@@ -1,0 +1,102 @@
+"""Ablation — the design choices DESIGN.md calls out.
+
+Quantifies what each pruning ingredient buys, on the DBpedia-like corpus
+at the paper defaults (k = 5, |q.psi| = 5):
+
+* SPP without Rule 1 (unqualified-place pruning) — must construct TQSPs
+  for unqualified places and explore their whole reachable subgraph;
+* SPP without Rule 2 (dynamic-bound pruning) — must finish every TQSP;
+* SP without Rules 3/4 enqueue filtering — still ordered by alpha-bounds
+  but prunes nothing from the queue;
+* Rule 1 probing in given order instead of rarest-first — more
+  reachability queries before a place is disqualified.
+"""
+
+import pytest
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+
+def _sweep(kind="O"):
+    ds = dataset("dbpedia")
+    queries = ds.workload(kind, keyword_count=5, k=5)
+    variants = [
+        ("SPP (full)", "spp", {}),
+        ("SPP w/o Rule 1", "spp", {"use_rule1": False}),
+        ("SPP w/o Rule 2", "spp", {"use_rule2": False}),
+        ("SPP given-order Rule 1", "spp", {"rule1_rarest_first": False}),
+        ("SP (full)", "sp", {}),
+        ("SP w/o Rule 3/4 filter", "sp", {"use_node_pruning": False}),
+        ("SP w/o Rule 2", "sp", {"use_rule2": False}),
+    ]
+    table = Table(
+        "Ablation of the pruning rules [%s, %s queries]" % (ds.profile.name, kind),
+        ["variant", "runtime_ms", "tqsp", "vertices_visited", "reach_queries"],
+    )
+    data = {}
+    for label, method, kwargs in variants:
+        aggregate = ds.aggregate(queries, method, k=5, **kwargs)
+        data[label] = aggregate
+        table.add_row(
+            label,
+            aggregate.mean_runtime_ms,
+            aggregate.mean_tqsp_computations,
+            sum(s.vertices_visited for s in aggregate.samples) / len(aggregate),
+            sum(s.reachability_queries for s in aggregate.samples) / len(aggregate),
+        )
+    return table, data
+
+
+def test_ablation_pruning(benchmark, emit):
+    table, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("ablation_pruning", table)
+
+    def visited(label):
+        agg = data[label]
+        return sum(s.vertices_visited for s in agg.samples) / len(agg)
+
+    def reach_queries(label):
+        agg = data[label]
+        return sum(s.reachability_queries for s in agg.samples) / len(agg)
+
+    # Rule 2 off => strictly more BFS work.
+    assert visited("SPP (full)") <= visited("SPP w/o Rule 2")
+    # Rule 1 off => every retrieved place gets a TQSP construction.
+    assert (
+        data["SPP (full)"].mean_tqsp_computations
+        <= data["SPP w/o Rule 1"].mean_tqsp_computations
+    )
+    # Rarest-first ordering never issues more reachability queries.
+    assert reach_queries("SPP (full)") <= reach_queries(
+        "SPP given-order Rule 1"
+    ) + 1e-9
+    # Rules 3/4 enqueue filtering reduces (or equals) TQSP computations.
+    assert (
+        data["SP (full)"].mean_tqsp_computations
+        <= data["SP w/o Rule 3/4 filter"].mean_tqsp_computations + 1e-9
+    )
+
+
+def test_ablation_pruning_sdll(benchmark, emit):
+    """On SDLL queries (rare keywords) many candidate places are
+    unqualified, which is the regime Rule 1 exists for."""
+    table, data = benchmark.pedantic(
+        _sweep, args=("SDLL",), rounds=1, iterations=1
+    )
+    emit("ablation_pruning_sdll", table)
+    # With rare keywords some candidate places are unqualified and Rule 1
+    # skips their TQSP constructions outright.
+    full = data["SPP (full)"]
+    assert sum(s.pruned_rule1 for s in full.samples) > 0
+    assert (
+        full.mean_tqsp_computations
+        <= data["SPP w/o Rule 1"].mean_tqsp_computations
+    )
+
+    def visited(label):
+        agg = data[label]
+        return sum(s.vertices_visited for s in agg.samples) / len(agg)
+
+    # ... and with them, Rule 1 + Rule 2 together dominate the BFS saving.
+    assert visited("SPP (full)") < visited("SPP w/o Rule 2")

@@ -1,0 +1,62 @@
+"""Figure 10 — comparison with the top-k aggregation baseline (TA).
+
+Paper claims reproduced: TA's runtime grows sharply with the number of
+query keywords (its backward keyword expansion must start from every
+vertex containing any keyword and book-keep per-vertex coverage), so TA is
+competitive only at |q.psi| = 1 and loses badly to SP for >= 3 keywords.
+
+Note (documented in EXPERIMENTS.md): on our 1/1000-scale corpora TA does
+not fall behind *BSP* the way it does at 8M vertices — the looseness
+stream's frontier spans a bounded community instead of millions of
+vertices — but the TA-vs-SP/SPP shape is preserved.
+"""
+
+import pytest
+
+from conftest import keyword_counts
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+METHODS = ("ta", "bsp", "spp", "sp")
+
+
+def _sweep(name):
+    ds = dataset(name)
+    table = Table(
+        "Runtime (ms): TA vs BSP/SPP/SP varying |q.psi| [%s]" % ds.profile.name,
+        ["|q.psi|"] + [m.upper() for m in METHODS],
+    )
+    data = {}
+    for keyword_count in keyword_counts():
+        queries = ds.workload("O", keyword_count=keyword_count, k=5)
+        per_method = {
+            method: ds.aggregate(queries, method, k=5) for method in METHODS
+        }
+        data[keyword_count] = per_method
+        table.add_row(
+            keyword_count,
+            *[per_method[m].mean_runtime_ms for m in METHODS],
+        )
+    return table, data
+
+
+@pytest.mark.parametrize("name", ["dbpedia", "yago"])
+def test_fig10_ta_comparison(benchmark, emit, name):
+    table, data = benchmark.pedantic(_sweep, args=(name,), rounds=1, iterations=1)
+    emit("fig10_ta_comparison_%s" % name, table)
+    counts = sorted(data)
+    # TA is slower than SP for every keyword count >= 3.
+    for keyword_count in counts:
+        if keyword_count >= 3:
+            assert (
+                data[keyword_count]["sp"].mean_runtime_ms
+                < data[keyword_count]["ta"].mean_runtime_ms
+            ), keyword_count
+    # TA degrades with |q.psi|: at the largest keyword count it costs
+    # several times more than at one keyword, and clearly more than SP.
+    # (A ratio-of-growth-rates comparison is too sensitive to the fastest
+    # single measurement to assert directly at 10 queries per point.)
+    first, last = counts[0], counts[-1]
+    assert data[last]["ta"].mean_runtime_ms > 3 * data[first]["ta"].mean_runtime_ms
+    assert data[last]["ta"].mean_runtime_ms > 2 * data[last]["sp"].mean_runtime_ms

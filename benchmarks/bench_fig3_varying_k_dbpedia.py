@@ -1,0 +1,30 @@
+"""Figure 3 — varying k on the DBpedia-like corpus.
+
+Paper claims reproduced: SP is orders of magnitude faster than BSP and
+2-5x faster than SPP for all k; SP computes TQSPs for only a handful of
+candidate places and accesses only a few R-tree nodes, while SPP computes
+tens of thousands (here: hundreds, at 1/1000 scale) and accesses hundreds
+of nodes; all cost metrics grow with k.
+"""
+
+import pytest
+
+from conftest import k_values
+from figure_common import (
+    assert_figure34_shape,
+    cost_metrics_nondecreasing_in_k,
+    varying_k_sweep,
+)
+
+from repro.bench.context import dataset
+
+
+def _sweep():
+    return varying_k_sweep(dataset("dbpedia"), k_values())
+
+
+def test_fig3_varying_k_dbpedia(benchmark, emit):
+    tables, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("fig3_varying_k_dbpedia", list(tables))
+    assert_figure34_shape(data)
+    assert cost_metrics_nondecreasing_in_k(data, "sp")

@@ -1,0 +1,23 @@
+"""Figure 4 — varying k on the Yago-like corpus.
+
+Same metrics as Figure 3 on the place-dense, keyword-sparse corpus.  The
+paper observes a smaller SPP-over-BSP gap here (more places => more Rule 1
+reachability probing, visible as SPP "other time") while SP stays robust.
+"""
+
+import pytest
+
+from conftest import k_values
+from figure_common import assert_figure34_shape, varying_k_sweep
+
+from repro.bench.context import dataset
+
+
+def _sweep():
+    return varying_k_sweep(dataset("yago"), k_values())
+
+
+def test_fig4_varying_k_yago(benchmark, emit):
+    tables, data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("fig4_varying_k_yago", list(tables))
+    assert_figure34_shape(data)

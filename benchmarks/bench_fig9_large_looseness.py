@@ -1,0 +1,34 @@
+"""Figure 9 — runtime on the hard SDLL and LDLL query classes (DBpedia-like).
+
+Paper claims reproduced: the relative order SP < SPP << BSP persists on
+queries whose results have large looseness; SDLL and LDLL cost about the
+same (the dominant cost factor is looseness, not spatial distance); these
+classes are several times more expensive than O queries for SP.
+"""
+
+import pytest
+
+from conftest import k_values
+from figure_common import varying_k_sweep
+
+from repro.bench.context import bench_query_count, dataset
+
+
+def _sweep(kind):
+    ds = dataset("dbpedia")
+    query_count = max(4, bench_query_count() // 2)
+    return varying_k_sweep(ds, k_values(), kind=kind, query_count=query_count)
+
+
+@pytest.mark.parametrize("kind", ["SDLL", "LDLL"])
+def test_fig9_large_looseness(benchmark, emit, kind):
+    tables, data = benchmark.pedantic(_sweep, args=(kind,), rounds=1, iterations=1)
+    emit("fig9_large_looseness_%s" % kind.lower(), list(tables))
+    for k, per_method in data.items():
+        assert (
+            per_method["sp"].mean_runtime_ms
+            <= 2.0 * per_method["spp"].mean_runtime_ms
+        ), k
+        assert (
+            per_method["spp"].mean_runtime_ms <= per_method["bsp"].mean_runtime_ms
+        ), k

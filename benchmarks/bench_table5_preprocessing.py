@@ -1,0 +1,47 @@
+"""Table 5 — preprocessing and indexing time.
+
+Paper values (minutes): DBpedia R-tree 3.17, inverted 4.61, TFlabel 22.60,
+alpha(=3)-radius 1192.01; Yago 31.90 / 1.00 / 6.09 / 101.61.  Expected
+shape: alpha-radius preprocessing dominates everything else by one to two
+orders of magnitude, and the reachability index costs more than the
+inverted index.
+"""
+
+import pytest
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+
+def _measure():
+    table = Table(
+        "Table 5: preprocessing and indexing time (seconds)",
+        ["dataset", "rtree", "inverted_index", "reachability", "alpha3_radius"],
+    )
+    measurements = {}
+    for name in ("dbpedia", "yago"):
+        ds = dataset(name)
+        ds.alpha_index(3)  # force the alpha build so its time is recorded
+        times = (
+            ds.build_seconds["rtree"],
+            ds.build_seconds["inverted_index"],
+            ds.build_seconds["reachability"],
+            ds.build_seconds["alpha_index_3"],
+        )
+        table.add_row(name, *times)
+        measurements[name] = times
+    table.add_note(
+        "paper (minutes): dbpedia 3.17/4.61/22.60/1192.01, "
+        "yago 31.90/1.00/6.09/101.61 — alpha-radius dominates"
+    )
+    return table, measurements
+
+
+def test_table5_preprocessing(benchmark, emit):
+    table, measurements = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit("table5_preprocessing", table)
+    for name, (rtree, inverted, reach, alpha) in measurements.items():
+        # Alpha-radius preprocessing dominates all other index builds.
+        assert alpha > rtree, name
+        assert alpha > inverted, name
+        assert alpha > reach, name

@@ -1,0 +1,41 @@
+"""Table 6 — alpha-radius word-neighborhood size versus alpha.
+
+Paper values: DBpedia 3.56/24.33/32.53/204.70 GB and Yago
+1.07/3.61/12.37/30.63 GB for alpha = 1/2/3/5.  Expected shape: sizes grow
+monotonically (and steeply) with alpha, and the keyword-rich DBpedia-like
+corpus outgrows the Yago-like one relative to its place count.
+"""
+
+import pytest
+
+from conftest import alpha_values
+
+from repro.bench.context import dataset
+from repro.bench.tables import Table
+
+
+def _measure():
+    alphas = alpha_values()
+    table = Table(
+        "Table 6: alpha-radius word neighborhood size (bytes)",
+        ["dataset"] + ["alpha=%d" % alpha for alpha in alphas],
+    )
+    measurements = {}
+    for name in ("dbpedia", "yago"):
+        ds = dataset(name)
+        sizes = [ds.alpha_index(alpha).size_bytes() for alpha in alphas]
+        table.add_row(name, *sizes)
+        measurements[name] = sizes
+    table.add_note(
+        "paper (GB): dbpedia 3.56/24.33/32.53/204.70, yago 1.07/3.61/12.37/30.63"
+    )
+    return table, measurements
+
+
+def test_table6_alpha_size(benchmark, emit):
+    table, measurements = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit("table6_alpha_size", table)
+    for name, sizes in measurements.items():
+        # Size grows monotonically with alpha.
+        for smaller, larger in zip(sizes, sizes[1:]):
+            assert smaller < larger, name

@@ -1,0 +1,53 @@
+"""Shared machinery for the per-figure/per-table benchmarks.
+
+Every bench test uses the ``benchmark`` fixture (so ``--benchmark-only``
+runs them) via ``benchmark.pedantic(..., rounds=1)``: the measured quantity
+is one full sweep that regenerates the corresponding paper artifact.  The
+resulting series are printed through ``capsys.disabled()`` and archived
+under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench.tables import Table, record
+
+
+@pytest.fixture
+def emit(capsys):
+    """Record tables to bench_results/ and print them to the terminal."""
+
+    def _emit(name, tables):
+        text = record(name, tables)
+        with capsys.disabled():
+            print("\n" + text, end="")
+        return text
+
+    return _emit
+
+
+def k_values():
+    """The paper's k grid {1,3,5,8,10,15,20}; trimmed in fast mode."""
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return (1, 5, 20)
+    return (1, 3, 5, 8, 10, 15, 20)
+
+
+def keyword_counts():
+    """The paper's |q.psi| grid {1,3,5,8,10}; trimmed in fast mode."""
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return (1, 5, 10)
+    return (1, 3, 5, 8, 10)
+
+
+def alpha_values():
+    """The paper's alpha grid {1,2,3,5}."""
+    if os.environ.get("REPRO_BENCH_FAST"):
+        return (1, 3)
+    return (1, 2, 3, 5)

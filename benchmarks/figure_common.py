@@ -1,0 +1,93 @@
+"""Shared sweep logic for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.bench.context import BenchDataset
+from repro.bench.tables import Table
+from repro.core.stats import AggregateStats
+
+SweepData = Dict[int, Dict[str, AggregateStats]]
+
+
+def varying_k_sweep(
+    ds: BenchDataset,
+    k_grid: Sequence[int],
+    methods: Sequence[str] = ("bsp", "spp", "sp"),
+    keyword_count: int = 5,
+    kind: str = "O",
+    query_count=None,
+    timeout=None,
+) -> Tuple[Tuple[Table, Table, Table], SweepData]:
+    """Run the Figure 3/4/9-style sweep: vary k, report the three cost
+    metrics per method."""
+    queries = ds.workload(kind, count=query_count, keyword_count=keyword_count)
+    label = "%s/%s" % (ds.profile.name, kind)
+    runtime = Table(
+        "Runtime (ms) varying k [%s]" % label,
+        ["k"] + ["%s total(sem+other)" % m.upper() for m in methods],
+    )
+    tqsp = Table(
+        "TQSP computations varying k [%s]" % label,
+        ["k"] + [m.upper() for m in methods],
+    )
+    nodes = Table(
+        "R-tree node accesses varying k [%s]" % label,
+        ["k"] + [m.upper() for m in methods],
+    )
+    data: SweepData = {}
+    for k in k_grid:
+        per_method = {}
+        for method in methods:
+            per_method[method] = ds.aggregate(queries, method, k=k, timeout=timeout)
+        data[k] = per_method
+        runtime.add_row(
+            k,
+            *[
+                "%.1f (%.1f+%.1f)"
+                % (
+                    per_method[m].mean_runtime_ms,
+                    per_method[m].mean_semantic_ms,
+                    per_method[m].mean_other_ms,
+                )
+                for m in methods
+            ],
+        )
+        tqsp.add_row(k, *[per_method[m].mean_tqsp_computations for m in methods])
+        nodes.add_row(k, *[per_method[m].mean_rtree_node_accesses for m in methods])
+    timeouts = sum(
+        agg.timeout_count for per_method in data.values() for agg in per_method.values()
+    )
+    if timeouts:
+        runtime.add_note("%d queries hit the per-query timeout cap" % timeouts)
+    return (runtime, tqsp, nodes), data
+
+
+def assert_figure34_shape(data: SweepData) -> None:
+    """The claims of Figures 3 and 4 that must hold at any scale."""
+    for k, per_method in data.items():
+        bsp, spp, sp = per_method["bsp"], per_method["spp"], per_method["sp"]
+        # SP computes far fewer TQSPs than SPP (paper: 2-30 vs tens of
+        # thousands) and touches far fewer R-tree nodes.
+        assert sp.mean_tqsp_computations <= spp.mean_tqsp_computations, k
+        assert sp.mean_rtree_node_accesses <= spp.mean_rtree_node_accesses, k
+        # SPP is much faster than BSP thanks to Rules 1 and 2 (generous
+        # slack absorbs timing noise).
+        assert spp.mean_runtime_ms <= bsp.mean_runtime_ms, k
+        # SP is the fastest method overall.
+        assert sp.mean_runtime_ms <= 2.0 * spp.mean_runtime_ms, k
+    # The gaps are order-of-magnitude at the default k = 5 (or nearest).
+    k = 5 if 5 in data else sorted(data)[len(data) // 2]
+    assert data[k]["spp"].mean_runtime_ms < data[k]["bsp"].mean_runtime_ms / 5
+    assert (
+        data[k]["sp"].mean_tqsp_computations
+        < data[k]["spp"].mean_tqsp_computations / 5
+    )
+
+
+def cost_metrics_nondecreasing_in_k(data: SweepData, method: str) -> bool:
+    """Search effort generally grows with k; used as a soft check."""
+    ks = sorted(data)
+    values = [data[k][method].mean_tqsp_computations for k in ks]
+    return all(b >= a * 0.5 for a, b in zip(values, values[1:]))

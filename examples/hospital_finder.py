@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Scenario: "patients who want to find nearby hospitals which offer
+treatment for specific conditions" (Section 1).
+
+Builds a small hand-authored health-care knowledge base as N-Triples —
+hospitals with locations, departments, treatments and conditions — and
+answers patient queries with kSP.  Shows that:
+
+* the top result balances distance against semantic relevance: a nearby
+  hospital whose *department* treats the condition can outrank a closer
+  one that only mentions it loosely;
+* unqualified places (hospitals that cannot reach a keyword at all) are
+  excluded by Pruning Rule 1, not ranked badly;
+* the tie-handling extension can enumerate all co-minimal covers.
+
+Run with::
+
+    python examples/hospital_finder.py
+"""
+
+from repro import KSPEngine
+from repro.rdf import parse
+from repro.core.semantic_place import SemanticPlaceSearcher
+from repro.text.inverted import build_query_map
+
+HOSPITAL_TRIPLES = """\
+# City General: cardiology + oncology, downtown.
+<http://h.org/City_General_Hospital> <http://h.org/dept> <http://h.org/CG_Cardiology_Department> .
+<http://h.org/City_General_Hospital> <http://h.org/dept> <http://h.org/CG_Oncology_Department> .
+<http://h.org/City_General_Hospital> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(0.10 0.10)" .
+<http://h.org/CG_Cardiology_Department> <http://h.org/treats> <http://h.org/Arrhythmia_Condition> .
+<http://h.org/CG_Cardiology_Department> <http://h.org/offers> <http://h.org/Bypass_Surgery_Treatment> .
+<http://h.org/CG_Oncology_Department> <http://h.org/treats> <http://h.org/Lymphoma_Condition> .
+<http://h.org/CG_Oncology_Department> <http://h.org/offers> <http://h.org/Chemotherapy_Treatment> .
+
+# Riverside Clinic: close to the patient but only dermatology.
+<http://h.org/Riverside_Clinic> <http://h.org/dept> <http://h.org/RC_Dermatology_Department> .
+<http://h.org/Riverside_Clinic> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(0.01 0.01)" .
+<http://h.org/RC_Dermatology_Department> <http://h.org/treats> <http://h.org/Eczema_Condition> .
+
+# Saint Mary: cardiology, but across town.
+<http://h.org/Saint_Mary_Hospital> <http://h.org/dept> <http://h.org/SM_Cardiology_Department> .
+<http://h.org/Saint_Mary_Hospital> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(0.90 0.80)" .
+<http://h.org/SM_Cardiology_Department> <http://h.org/treats> <http://h.org/Arrhythmia_Condition> .
+<http://h.org/SM_Cardiology_Department> <http://h.org/offers> <http://h.org/Pacemaker_Treatment> .
+
+# Extra facts (literals fold into entity documents).
+<http://h.org/City_General_Hospital> <http://h.org/motto> "emergency care around the clock" .
+<http://h.org/Saint_Mary_Hospital> <http://h.org/motto> "specialist cardiac surgery center" .
+<http://h.org/Bypass_Surgery_Treatment> <http://h.org/note> "coronary artery disease" .
+<http://h.org/Pacemaker_Treatment> <http://h.org/note> "implantable devices clinic" .
+"""
+
+
+def answer(engine, location, keywords, k=3):
+    print("\nPatient at (%.2f, %.2f) searching %s:" % (location[0], location[1], keywords))
+    result = engine.query(location, keywords, k=k, method="sp")
+    if not result.places:
+        print("  no hospital covers all keywords")
+        return result
+    for rank, place in enumerate(result, start=1):
+        short = place.root_label.rsplit("/", 1)[-1]
+        print(
+            "  %d. %-24s f=%.4f (L=%.0f, S=%.3f)"
+            % (rank, short, place.score, place.looseness, place.distance)
+        )
+        for keyword, vertex in sorted(place.keyword_vertices.items()):
+            covering = engine.graph.label(vertex).rsplit("/", 1)[-1]
+            print("       %-10s <- %s" % (keyword, covering))
+    return result
+
+
+def main():
+    engine = KSPEngine.from_triples(parse(HOSPITAL_TRIPLES))
+    print(
+        "Knowledge base: %d entities, %d facts, %d hospitals with locations"
+        % (engine.graph.vertex_count, engine.graph.edge_count, engine.graph.place_count())
+    )
+
+    # A cardiac patient downtown: City General (nearby, cardiology) should
+    # beat Saint Mary (cardiology but far) and Riverside (near but
+    # unqualified -> pruned by Rule 1).
+    result = answer(engine, (0.0, 0.0), ["cardiology", "arrhythmia"])
+    assert result[0].root_label.endswith("City_General_Hospital")
+
+    # The same patient next to Saint Mary gets Saint Mary first.
+    result = answer(engine, (0.9, 0.79), ["cardiology", "arrhythmia"])
+    assert result[0].root_label.endswith("Saint_Mary_Hospital")
+
+    # Only City General can cover chemotherapy + lymphoma.
+    answer(engine, (0.5, 0.5), ["chemotherapy", "lymphoma"])
+
+    # Nobody does neurosurgery: empty result, detected without any TQSP
+    # construction (Rule 1).
+    result = answer(engine, (0.0, 0.0), ["neurosurgery"])
+    assert len(result) == 0
+
+    # Extension: enumerate co-minimal covers (tie option 2 of Section 2).
+    searcher = SemanticPlaceSearcher(engine.graph)
+    keywords = ("treats",)
+    query_map = build_query_map(engine.inverted_index, keywords)
+    hospital = engine.graph.vertex_by_label("http://h.org/City_General_Hospital")
+    covers = searcher.cominimal_covers(keywords, hospital, query_map)
+    names = sorted(
+        engine.graph.label(v).rsplit("/", 1)[-1] for v in covers["treats"]
+    )
+    print("\nCo-minimal covers of 'treats' from City General: %s" % ", ".join(names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` to build a PEP 660
+editable wheel; when it is unavailable, ``python setup.py develop`` installs
+the same editable package through the legacy path.
+"""
+from setuptools import setup
+
+setup()

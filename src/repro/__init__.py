@@ -1,0 +1,46 @@
+"""repro — top-k relevant semantic place retrieval on spatial RDF data.
+
+A from-scratch reproduction of Shi, Wu & Mamoulis, SIGMOD 2016: the kSP
+query (location + keywords -> k tightest qualified semantic places) with
+the BSP, SPP and SP evaluation algorithms, the TA baseline, and every
+substrate they rely on (RDF graph store, inverted index, R-tree,
+reachability labelling, alpha-radius word neighborhoods, synthetic
+spatial-RDF and query-workload generators).
+
+Quickstart::
+
+    from repro import KSPEngine, Point
+    engine = KSPEngine.from_ntriples_file("data.nt")
+    result = engine.query((43.51, 4.75), ["ancient", "roman"], k=5)
+    for place in result:
+        print(place.root_label, place.score)
+"""
+
+from repro.core.engine import KSPEngine
+from repro.core.keyword_search import KeywordTree, keyword_search
+from repro.core.query import KSPQuery, KSPResult, SemanticPlace
+from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
+from repro.core.stats import QueryStats
+from repro.rdf.documents import GraphBuilder, graph_from_triples
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point, Rect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KSPEngine",
+    "KSPQuery",
+    "KSPResult",
+    "SemanticPlace",
+    "QueryStats",
+    "MultiplicativeRanking",
+    "WeightedSumRanking",
+    "keyword_search",
+    "KeywordTree",
+    "RDFGraph",
+    "GraphBuilder",
+    "graph_from_triples",
+    "Point",
+    "Rect",
+    "__version__",
+]

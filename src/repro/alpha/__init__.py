@@ -1,0 +1,20 @@
+"""alpha-radius word neighborhoods (Section 5): per-place bounded BFS
+vocabularies, bottom-up R-tree node aggregation, and the inverted file that
+serves the Lemma 2-5 bounds at query time."""
+
+from repro.alpha.index import AlphaIndex, AlphaQueryView
+from repro.alpha.neighborhood import (
+    WordNeighborhood,
+    looseness_alpha_bound,
+    merge_neighborhoods,
+    place_word_neighborhood,
+)
+
+__all__ = [
+    "AlphaIndex",
+    "AlphaQueryView",
+    "WordNeighborhood",
+    "place_word_neighborhood",
+    "merge_neighborhoods",
+    "looseness_alpha_bound",
+]

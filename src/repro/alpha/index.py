@@ -1,0 +1,147 @@
+"""The alpha-radius word-neighborhood index used by the SP algorithm.
+
+Preprocessing (Section 5, "Construction"): compute ``WN(p)`` for every place
+by bounded BFS, then aggregate ``WN(N)`` for every R-tree node bottom-up by
+min-distance union.  Both are stored as an inverted file keyed by word, so a
+query loads only the posting lists of its keywords (the paper's "part of the
+neighborhoods relevant to the query keywords") and evaluates the Lemma 2–5
+bounds from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.alpha.neighborhood import (
+    WordNeighborhood,
+    merge_neighborhoods,
+    place_word_neighborhood,
+)
+from repro.rdf.graph import RDFGraph
+from repro.spatial.rtree import RTree
+
+
+class AlphaIndex:
+    """Inverted file over the alpha-radius word neighborhoods of the places
+    and nodes of one R-tree."""
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        rtree: RTree,
+        alpha: int = 3,
+        undirected: bool = False,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self._undirected = undirected
+        # word -> {place vertex id -> distance}
+        self._place_postings: Dict[str, Dict[int, int]] = {}
+        # word -> {R-tree node id -> distance}
+        self._node_postings: Dict[str, Dict[int, int]] = {}
+        self._build(graph, rtree)
+
+    def _build(self, graph: RDFGraph, rtree: RTree) -> None:
+        place_neighborhoods: Dict[int, WordNeighborhood] = {}
+        for place, _ in graph.places():
+            neighborhood = place_word_neighborhood(
+                graph, place, self.alpha, undirected=self._undirected
+            )
+            place_neighborhoods[place] = neighborhood
+            for term, distance in neighborhood.items():
+                self._place_postings.setdefault(term, {})[place] = distance
+
+        # Bottom-up over tree levels: leaves aggregate their places, inner
+        # nodes aggregate their children.
+        node_neighborhoods: Dict[int, WordNeighborhood] = {}
+        for level in reversed(rtree.levels()):
+            for node in level:
+                aggregate: WordNeighborhood = {}
+                if node.is_leaf:
+                    for entry in node.entries:
+                        merge_neighborhoods(
+                            aggregate, place_neighborhoods.get(entry.key, {})
+                        )
+                else:
+                    for child in node.entries:
+                        merge_neighborhoods(
+                            aggregate, node_neighborhoods.get(child.node_id, {})
+                        )
+                node_neighborhoods[node.node_id] = aggregate
+                for term, distance in aggregate.items():
+                    self._node_postings.setdefault(term, {})[node.node_id] = distance
+
+    # ------------------------------------------------------------------
+
+    def query_view(self, keywords: Sequence[str]) -> "AlphaQueryView":
+        """Load the posting lists of the query keywords (Section 5,
+        "Storage") and return a bound evaluator for this query."""
+        place_lists = {
+            term: self._place_postings.get(term, {}) for term in keywords
+        }
+        node_lists = {term: self._node_postings.get(term, {}) for term in keywords}
+        return AlphaQueryView(self.alpha, tuple(keywords), place_lists, node_lists)
+
+    def place_neighborhood_distance(self, place: int, term: str) -> Optional[int]:
+        posting = self._place_postings.get(term)
+        if posting is None:
+            return None
+        return posting.get(place)
+
+    def node_neighborhood_distance(self, node_id: int, term: str) -> Optional[int]:
+        posting = self._node_postings.get(term)
+        if posting is None:
+            return None
+        return posting.get(node_id)
+
+    def size_bytes(self) -> int:
+        """Flat-storage estimate for Table 6: every (entry id, distance) pair
+        is an 8-byte record, plus the term dictionary."""
+        total = 0
+        for term, posting in self._place_postings.items():
+            total += len(term.encode("utf-8")) + 12
+            total += 8 * len(posting)
+        for term, posting in self._node_postings.items():
+            total += len(term.encode("utf-8")) + 12
+            total += 8 * len(posting)
+        return total
+
+    def posting_entry_count(self) -> int:
+        return sum(len(p) for p in self._place_postings.values()) + sum(
+            len(p) for p in self._node_postings.values()
+        )
+
+
+class AlphaQueryView:
+    """Per-query evaluator of the Lemma 2 and Lemma 4 looseness bounds."""
+
+    def __init__(
+        self,
+        alpha: int,
+        keywords: Tuple[str, ...],
+        place_lists: Mapping[str, Mapping[int, int]],
+        node_lists: Mapping[str, Mapping[int, int]],
+    ) -> None:
+        self.alpha = alpha
+        self.keywords = keywords
+        self._place_lists = place_lists
+        self._node_lists = node_lists
+
+    def place_looseness_bound(self, place: int) -> float:
+        """Lemma 2: lower bound on ``L(T_p)`` from the place's WN."""
+        total = 1.0
+        penalty = self.alpha + 1
+        for term in self.keywords:
+            distance = self._place_lists[term].get(place)
+            total += penalty if distance is None else distance
+        return total
+
+    def node_looseness_bound(self, node_id: int) -> float:
+        """Lemma 4: lower bound on the looseness of every TQSP under a node."""
+        total = 1.0
+        penalty = self.alpha + 1
+        for term in self.keywords:
+            distance = self._node_lists[term].get(node_id)
+            total += penalty if distance is None else distance
+        return total

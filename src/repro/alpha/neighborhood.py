@@ -1,0 +1,72 @@
+"""alpha-radius word neighborhoods (Definitions 5 and 6).
+
+``WN(p)`` maps every word reachable from place ``p`` within graph distance
+``alpha`` to its shortest distance; ``WN(N)`` for an R-tree node is the
+min-distance union over the node's places, computed bottom-up from the leaf
+level.  These neighborhoods power Lemmas 2–5: a query keyword found in a
+neighborhood contributes its recorded distance to the looseness lower
+bound, a missing keyword contributes ``alpha + 1`` (it cannot be closer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Mapping
+
+from repro.rdf.graph import RDFGraph
+
+WordNeighborhood = Dict[str, int]
+
+
+def place_word_neighborhood(
+    graph: RDFGraph, place: int, alpha: int, undirected: bool = False
+) -> WordNeighborhood:
+    """BFS from ``place`` to depth ``alpha``, recording each word's first
+    (i.e. shortest) distance."""
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    neighborhood: WordNeighborhood = {}
+    seen = {place}
+    queue = deque([(place, 0)])
+    while queue:
+        vertex, distance = queue.popleft()
+        for term in graph.document(vertex):
+            if term not in neighborhood:
+                neighborhood[term] = distance
+        if distance == alpha:
+            continue
+        neighbors: Iterable[int] = graph.out_neighbors(vertex)
+        if undirected:
+            neighbors = list(graph.out_neighbors(vertex)) + list(
+                graph.in_neighbors(vertex)
+            )
+        for neighbor in neighbors:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append((neighbor, distance + 1))
+    return neighborhood
+
+
+def merge_neighborhoods(
+    target: WordNeighborhood, source: Mapping[str, int]
+) -> None:
+    """Min-distance union of ``source`` into ``target`` (Definition 6)."""
+    for term, distance in source.items():
+        existing = target.get(term)
+        if existing is None or distance < existing:
+            target[term] = distance
+
+
+def looseness_alpha_bound(
+    neighborhood: Mapping[str, int], keywords: Iterable[str], alpha: int
+) -> float:
+    """Lemmas 2 and 4: ``1 + sum(d_g for covered) + (alpha+1) * missing``.
+
+    The ``1 +`` mirrors the looseness normalization of Definition 2, so the
+    bound is directly comparable with looseness values.
+    """
+    total = 1.0
+    for term in keywords:
+        distance = neighborhood.get(term)
+        total += (alpha + 1) if distance is None else distance
+    return total

@@ -1,0 +1,27 @@
+"""Benchmark harness: cached datasets/indexes, workloads, table rendering.
+
+One module per paper table/figure lives under ``benchmarks/``; this package
+provides the shared machinery they use.
+"""
+
+from repro.bench.context import (
+    BenchDataset,
+    bench_query_count,
+    bench_scale,
+    bench_timeout,
+    dataset,
+    dataset_from_graph,
+)
+from repro.bench.tables import Table, record, results_dir
+
+__all__ = [
+    "BenchDataset",
+    "dataset",
+    "dataset_from_graph",
+    "bench_scale",
+    "bench_query_count",
+    "bench_timeout",
+    "Table",
+    "record",
+    "results_dir",
+]

@@ -1,0 +1,88 @@
+"""Plain-text table rendering and result recording for the bench harness.
+
+Every benchmark regenerates one of the paper's tables or figures as an
+aligned text table; the harness prints it (so the operator sees the series
+the paper plots) and archives it under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+RESULTS_DIR_ENV = "REPRO_BENCH_RESULTS"
+DEFAULT_RESULTS_DIR = "bench_results"
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+class Table:
+    """An aligned text table with a title and optional commentary lines."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                "expected %d cells, got %d" % (len(self.columns), len(cells))
+            )
+        self.rows.append([format_cell(cell) for cell in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        parts = [self.title, "=" * len(self.title), line(self.columns)]
+        parts.append(line(["-" * width for width in widths]))
+        parts.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            parts.append("  * %s" % note)
+        return "\n".join(parts) + "\n"
+
+
+def results_dir() -> Path:
+    directory = Path(os.environ.get(RESULTS_DIR_ENV, DEFAULT_RESULTS_DIR))
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def record(name: str, tables: Union[Table, Iterable[Table]]) -> str:
+    """Render tables, write them to ``bench_results/<name>.txt`` and return
+    the rendered text."""
+    if isinstance(tables, Table):
+        tables = [tables]
+    text = "\n".join(table.render() for table in tables)
+    path = results_dir() / ("%s.txt" % name)
+    path.write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,177 @@
+"""Command-line interface for the kSP engine.
+
+Three subcommands::
+
+    python -m repro query    --data kb.nt --location 43.51,4.75 \
+                             --keywords ancient roman -k 5 --method sp
+    python -m repro stats    --data kb.nt
+    python -m repro generate --profile yago-like --vertices 5000 --output kb.nt
+
+``query`` loads an N-Triples knowledge base, builds the engine and answers
+one kSP query, printing the ranked places, their TQSP trees and the
+execution statistics.  ``stats`` prints dataset and index reports.
+``generate`` writes a synthetic spatial RDF corpus for experimentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.engine import ALGORITHMS, KSPEngine
+from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
+from repro.datagen.profiles import PROFILES
+from repro.datagen.synthetic import generate_graph, graph_to_triples
+from repro.rdf import ntriples
+
+
+def _parse_location(text: str):
+    try:
+        x_text, y_text = text.split(",")
+        return float(x_text), float(y_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "location must be 'x,y', e.g. 43.51,4.75"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k relevant semantic place retrieval on spatial RDF data",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="answer one kSP query")
+    query.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
+    query.add_argument(
+        "--location", required=True, type=_parse_location, help="query location 'x,y'"
+    )
+    query.add_argument(
+        "--keywords", required=True, nargs="+", help="query keywords"
+    )
+    query.add_argument("-k", type=int, default=5, help="places requested")
+    query.add_argument(
+        "--method", choices=ALGORITHMS, default="sp", help="evaluation algorithm"
+    )
+    query.add_argument("--alpha", type=int, default=3, help="alpha radius for SP")
+    query.add_argument(
+        "--ranking", choices=("product", "sum"), default="product",
+        help="Equation 2 (product) or Equation 1 (weighted sum)",
+    )
+    query.add_argument("--beta", type=float, default=0.5, help="beta for --ranking sum")
+    query.add_argument(
+        "--undirected", action="store_true", help="disregard edge directions"
+    )
+    query.add_argument("--timeout", type=float, default=None, help="seconds")
+
+    stats = commands.add_parser("stats", help="dataset and index reports")
+    stats.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
+    stats.add_argument("--alpha", type=int, default=3)
+
+    generate = commands.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument(
+        "--profile", choices=sorted(PROFILES), default="yago-like"
+    )
+    generate.add_argument("--vertices", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--output", required=True, help="output .nt path")
+
+    return parser
+
+
+def _cmd_query(args) -> int:
+    engine = KSPEngine.from_file(
+        args.data, alpha=args.alpha, undirected=args.undirected
+    )
+    ranking = (
+        MultiplicativeRanking()
+        if args.ranking == "product"
+        else WeightedSumRanking(beta=args.beta)
+    )
+    result = engine.query(
+        args.location,
+        args.keywords,
+        k=args.k,
+        method=args.method,
+        ranking=ranking,
+        timeout=args.timeout,
+    )
+    if not result.places:
+        print("no qualified semantic place covers all keywords")
+    for rank, place in enumerate(result, start=1):
+        print(
+            "%2d. %s  f=%.4f  looseness=%.0f  distance=%.4f"
+            % (rank, place.root_label, place.score, place.looseness, place.distance)
+        )
+        for keyword in sorted(place.paths):
+            path = " -> ".join(
+                engine.graph.label(vertex) for vertex in place.paths[keyword]
+            )
+            print("      %-12s %s" % (keyword, path))
+    stats = result.stats
+    print(
+        "[%s] %.1f ms (%.1f semantic), %d TQSP computations, "
+        "%d R-tree nodes, %d reachability probes%s"
+        % (
+            stats.algorithm,
+            1000 * stats.runtime_seconds,
+            1000 * stats.semantic_seconds,
+            stats.tqsp_computations,
+            stats.rtree_node_accesses,
+            stats.reachability_queries,
+            " [TIMED OUT]" if stats.timed_out else "",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    engine = KSPEngine.from_file(args.data, alpha=args.alpha)
+    print("dataset:")
+    for key, value in engine.dataset_report().items():
+        print("  %-20s %s" % (key, value))
+    print("storage (bytes):")
+    for key, value in engine.storage_report().items():
+        print("  %-20s %d" % (key, value))
+    print("build times (seconds):")
+    for key, value in engine.build_seconds.items():
+        print("  %-20s %.3f" % (key, value))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    profile = PROFILES[args.profile]
+    if args.vertices:
+        profile = profile.scaled(args.vertices)
+    if args.seed is not None:
+        profile = profile.with_seed(args.seed)
+    graph = generate_graph(profile)
+    count = ntriples.write_file(graph_to_triples(graph), args.output)
+    print(
+        "wrote %d triples (%d vertices, %d edges, %d places) to %s"
+        % (
+            count,
+            graph.vertex_count,
+            graph.edge_count,
+            graph.place_count(),
+            args.output,
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: kSP queries and the BSP / SPP / SP / TA
+evaluation algorithms."""
+
+from repro.core.bsp import bsp_search
+from repro.core.cursor import KSPCursor, ksp_cursor
+from repro.core.engine import ALGORITHMS, KSPEngine
+from repro.core.exhaustive import exhaustive_search
+from repro.core.keyword_search import KeywordTree, keyword_search
+from repro.core.query import KSPQuery, KSPResult, SemanticPlace
+from repro.core.ranking import (
+    DEFAULT_RANKING,
+    MultiplicativeRanking,
+    RankingFunction,
+    WeightedSumRanking,
+)
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher, TQSPSearch
+from repro.core.sp import sp_search
+from repro.core.spp import spp_search
+from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
+from repro.core.ta import LoosenessStream, ta_search
+from repro.core.topk import TopKQueue
+
+__all__ = [
+    "KSPEngine",
+    "ALGORITHMS",
+    "KSPQuery",
+    "KSPResult",
+    "SemanticPlace",
+    "RankingFunction",
+    "MultiplicativeRanking",
+    "WeightedSumRanking",
+    "DEFAULT_RANKING",
+    "SemanticPlaceSearcher",
+    "TQSPSearch",
+    "SearchStatus",
+    "bsp_search",
+    "exhaustive_search",
+    "keyword_search",
+    "KeywordTree",
+    "KSPCursor",
+    "ksp_cursor",
+    "spp_search",
+    "sp_search",
+    "ta_search",
+    "LoosenessStream",
+    "TopKQueue",
+    "QueryStats",
+    "AggregateStats",
+    "QueryTimeout",
+]

@@ -1,0 +1,193 @@
+"""Incremental kSP retrieval: semantic places as a lazy ranked stream.
+
+``KSPCursor`` generalizes the SP algorithm (Section 5) to the setting
+where ``k`` is not known in advance — result pagination, "give me more"
+interfaces, or downstream consumers that stop on a quality threshold.
+
+It runs SP's alpha-bound best-first traversal, but instead of a top-k
+queue it keeps a buffer of fully-evaluated places ordered by ranking
+score.  A buffered place may be emitted as soon as its score is no larger
+than the smallest alpha-bound left in the traversal queue — the same
+admissibility argument as Algorithm 4's termination test, applied per
+emission.  Pruning Rule 1 still discards unqualified places before TQSP
+construction; Rules 2-4 need a k-th-score threshold and therefore do not
+apply (this is the price of not fixing ``k``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.alpha.index import AlphaIndex
+from repro.core.query import KSPQuery, SemanticPlace
+from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.core.stats import QueryStats, QueryTimeout
+from repro.rdf.graph import RDFGraph
+from repro.reach.keyword import KeywordReachabilityIndex
+from repro.spatial.geometry import Point
+from repro.spatial.rtree import LeafEntry, Node, RTree
+from repro.text.inverted import build_query_map, order_rarest_first
+
+
+class KSPCursor:
+    """Iterator over semantic places in ascending ranking score."""
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        rtree: RTree,
+        inverted_index,
+        reachability: Optional[KeywordReachabilityIndex],
+        alpha_index: AlphaIndex,
+        query: KSPQuery,
+        ranking: RankingFunction = DEFAULT_RANKING,
+        undirected: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self._graph = graph
+        self._ranking = ranking
+        self._query = query
+        self._reachability = reachability
+        self._searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+        self._query_map = build_query_map(inverted_index, query.keywords)
+        self._rarest_first = order_rarest_first(inverted_index, query.keywords)
+        self._view = alpha_index.query_view(query.keywords)
+        self.stats = QueryStats(algorithm="SP-CURSOR")
+        self._deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+
+        self._counter = itertools.count()
+        # Traversal queue: (alpha score bound, tiebreak, is_place, item, S).
+        self._frontier: List[Tuple[float, int, bool, Union[Node, LeafEntry], float]] = []
+        # Emission buffer: (score, root id, place).
+        self._buffer: List[Tuple[float, int, SemanticPlace]] = []
+        self._push_node(rtree.root)
+
+    # ------------------------------------------------------------------
+
+    def _push_node(self, node: Node) -> None:
+        if node.rect is None:
+            return
+        distance = node.rect.min_distance(self._query.location)
+        bound = self._ranking.bound(
+            self._view.node_looseness_bound(node.node_id), distance
+        )
+        heapq.heappush(
+            self._frontier, (bound, next(self._counter), False, node, distance)
+        )
+
+    def _push_place(self, entry: LeafEntry) -> None:
+        distance = entry.point.distance_to(self._query.location)
+        bound = self._ranking.bound(
+            self._view.place_looseness_bound(entry.key), distance
+        )
+        heapq.heappush(
+            self._frontier, (bound, next(self._counter), True, entry, distance)
+        )
+
+    def _frontier_bound(self) -> float:
+        return self._frontier[0][0] if self._frontier else math.inf
+
+    def __iter__(self) -> Iterator[SemanticPlace]:
+        return self
+
+    def __next__(self) -> SemanticPlace:
+        while True:
+            if self._buffer and self._buffer[0][0] <= self._frontier_bound():
+                _, _, place = heapq.heappop(self._buffer)
+                return place
+            if not self._frontier:
+                raise StopIteration
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                self.stats.timed_out = True
+                raise QueryTimeout()
+
+            _, _, is_place, item, distance = heapq.heappop(self._frontier)
+            if not is_place:
+                self.stats.rtree_node_accesses += 1
+                if item.is_leaf:
+                    for entry in item.entries:
+                        self._push_place(entry)
+                else:
+                    for child in item.entries:
+                        self._push_node(child)
+                continue
+
+            self.stats.places_retrieved += 1
+            if self._reachability is not None:
+                issued_before = self._reachability.queries_issued
+                qualified = self._reachability.is_qualified(
+                    item.key, self._rarest_first
+                )
+                self.stats.reachability_queries += (
+                    self._reachability.queries_issued - issued_before
+                )
+                if not qualified:
+                    self.stats.pruned_rule1 += 1
+                    continue
+
+            semantic_started = time.monotonic()
+            try:
+                search = self._searcher.tightest(
+                    self._query.keywords,
+                    item.key,
+                    self._query_map,
+                    stats=self.stats,
+                    deadline=self._deadline,
+                )
+            finally:
+                self.stats.semantic_seconds += time.monotonic() - semantic_started
+            self.stats.tqsp_computations += 1
+            if search.status is not SearchStatus.COMPLETE:
+                continue
+            score = self._ranking.score(search.looseness, distance)
+            place = self._searcher.build_place(
+                self._query, item.key, item.point, distance, score, search
+            )
+            heapq.heappush(self._buffer, (score, place.root, place))
+
+    def take(self, count: int) -> List[SemanticPlace]:
+        """The next ``count`` places (fewer if the stream ends)."""
+        out: List[SemanticPlace] = []
+        for place in self:
+            out.append(place)
+            if len(out) == count:
+                break
+        return out
+
+
+def ksp_cursor(
+    graph: RDFGraph,
+    rtree: RTree,
+    inverted_index,
+    reachability: Optional[KeywordReachabilityIndex],
+    alpha_index: AlphaIndex,
+    location: Point,
+    keywords: Sequence[str],
+    ranking: RankingFunction = DEFAULT_RANKING,
+    undirected: bool = False,
+    timeout: Optional[float] = None,
+) -> KSPCursor:
+    """Build a :class:`KSPCursor` from raw components.
+
+    ``KSPQuery`` requires ``k``; internally a placeholder of 1 is used —
+    the cursor never reads it.
+    """
+    query = KSPQuery.create(location, keywords, k=1)
+    return KSPCursor(
+        graph,
+        rtree,
+        inverted_index,
+        reachability,
+        alpha_index,
+        query,
+        ranking=ranking,
+        undirected=undirected,
+        timeout=timeout,
+    )

@@ -1,0 +1,371 @@
+"""The kSP engine: one object that owns the graph and all indexes.
+
+``KSPEngine`` runs the preprocessing pipeline of Section 1 ("Data
+Representation and Indexing"): document extraction is assumed done (the
+graph already carries documents), then it builds the inverted file, the
+R-tree over place vertices (STR bulk-loaded), the keyword reachability
+index (Rule 1) and the alpha-radius word-neighborhood index (Section 5).
+Build wall-times land in ``build_seconds`` (Table 5) and index sizes in
+``storage_report()`` (Tables 4 and 6).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from repro.alpha.index import AlphaIndex
+from repro.core.bsp import bsp_search
+from repro.core.query import KSPQuery, KSPResult
+from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.sp import sp_search
+from repro.core.spp import spp_search
+from repro.core.ta import ta_search
+from repro.rdf.documents import graph_from_triples
+from repro.rdf.graph import RDFGraph
+from repro.rdf.ntriples import parse_file
+from repro.rdf.terms import Triple
+from repro.reach.keyword import KeywordReachabilityIndex
+from repro.spatial.geometry import Point
+from repro.spatial.rtree import RTree
+from repro.text.inverted import InvertedIndex
+
+ALGORITHMS = ("bsp", "spp", "sp", "ta")
+
+
+class KSPEngine:
+    """Facade over the kSP data structures and algorithms.
+
+    Parameters
+    ----------
+    graph:
+        The simplified RDF data graph (see :mod:`repro.rdf.documents`).
+    alpha:
+        Radius of the word neighborhoods (paper default 3).
+    rtree_max_entries:
+        R-tree node capacity.
+    build_reachability / build_alpha:
+        Disable to skip the respective preprocessing (then only the
+        algorithms that do not need the index can run).
+    undirected:
+        Treat edges as undirected everywhere — the paper's future-work
+        variant.
+    """
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        alpha: int = 3,
+        rtree_max_entries: int = 32,
+        build_reachability: bool = True,
+        build_alpha: bool = True,
+        reach_method: str = "pll",
+        undirected: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.alpha = alpha
+        self.undirected = undirected
+        self.rtree_max_entries = rtree_max_entries
+        self.build_seconds: Dict[str, float] = {}
+
+        started = time.monotonic()
+        self.inverted_index = InvertedIndex.build(graph)
+        self.build_seconds["inverted_index"] = time.monotonic() - started
+
+        started = time.monotonic()
+        self.rtree = RTree.bulk_load(graph.places(), max_entries=rtree_max_entries)
+        self.build_seconds["rtree"] = time.monotonic() - started
+
+        self.reachability: Optional[KeywordReachabilityIndex] = None
+        if build_reachability:
+            started = time.monotonic()
+            self.reachability = KeywordReachabilityIndex(
+                graph, method=reach_method, undirected=undirected
+            )
+            self.build_seconds["reachability"] = time.monotonic() - started
+
+        self.alpha_index: Optional[AlphaIndex] = None
+        if build_alpha:
+            started = time.monotonic()
+            self.alpha_index = AlphaIndex(
+                graph, self.rtree, alpha=alpha, undirected=undirected
+            )
+            self.build_seconds["alpha_index"] = time.monotonic() - started
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple], **kwargs) -> "KSPEngine":
+        """Build an engine from RDF triples (document extraction included)."""
+        return cls(graph_from_triples(triples), **kwargs)
+
+    @classmethod
+    def from_ntriples_file(cls, path, **kwargs) -> "KSPEngine":
+        """Build an engine from an N-Triples file on disk."""
+        return cls.from_triples(parse_file(path), **kwargs)
+
+    @classmethod
+    def from_turtle_file(cls, path, **kwargs) -> "KSPEngine":
+        """Build an engine from a Turtle file on disk."""
+        from repro.rdf.turtle import parse_turtle_file
+
+        return cls.from_triples(parse_turtle_file(path), **kwargs)
+
+    @classmethod
+    def from_file(cls, path, **kwargs) -> "KSPEngine":
+        """Build an engine from an RDF file, format chosen by extension
+        (``.ttl``/``.turtle`` -> Turtle, anything else -> N-Triples)."""
+        suffix = str(path).rsplit(".", 1)[-1].lower()
+        if suffix in ("ttl", "turtle"):
+            return cls.from_turtle_file(path, **kwargs)
+        return cls.from_ntriples_file(path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, directory) -> None:
+        """Persist the graph and all built indexes to ``directory``.
+
+        The preprocessing of Table 5 is expensive (20 hours of alpha-radius
+        work on full DBpedia), so deployments build once and reload with
+        :meth:`load`.  Only PLL-backed reachability indexes are saved;
+        everything is validated against a manifest on reload.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.storage.diskgraph import write_disk_graph
+        from repro.storage.serialize import save_alpha_index, save_reachability
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_disk_graph(self.graph, directory / "graph.rgrf")
+        self.inverted_index.save(directory / "inverted.idx", compress=True)
+        manifest = {
+            "format": 1,
+            "alpha": self.alpha,
+            "undirected": self.undirected,
+            "rtree_max_entries": self.rtree_max_entries,
+            "vertices": self.graph.vertex_count,
+            "edges": self.graph.edge_count,
+            "places": self.graph.place_count(),
+            "has_reachability": self.reachability is not None,
+            "has_alpha_index": self.alpha_index is not None,
+        }
+        if self.reachability is not None:
+            save_reachability(self.reachability, directory / "reach.idx")
+        if self.alpha_index is not None:
+            save_alpha_index(self.alpha_index, directory / "alpha.idx")
+        (directory / "manifest.json").write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory, graph_backend: str = "memory") -> "KSPEngine":
+        """Reload an engine saved with :meth:`save`.
+
+        ``graph_backend`` selects the data graph store: ``"memory"``
+        (default, adjacency lists) or ``"disk"`` (buffer-pool CSR — the
+        larger-than-memory path).  The R-tree is rebuilt by the
+        deterministic STR loader, so the persisted alpha node postings
+        stay valid.
+        """
+        import json
+        import time as _time
+        from pathlib import Path
+
+        from repro.storage.diskgraph import DiskRDFGraph, read_memory_graph
+        from repro.storage.serialize import load_alpha_index, load_reachability
+
+        directory = Path(directory)
+        manifest = json.loads(
+            (directory / "manifest.json").read_text(encoding="utf-8")
+        )
+        if manifest.get("format") != 1:
+            raise ValueError("unsupported engine directory format")
+        if graph_backend == "memory":
+            graph = read_memory_graph(directory / "graph.rgrf")
+        elif graph_backend == "disk":
+            graph = DiskRDFGraph(directory / "graph.rgrf")
+        else:
+            raise ValueError("graph_backend must be 'memory' or 'disk'")
+        if graph.vertex_count != manifest["vertices"]:
+            raise ValueError("graph file does not match the manifest")
+
+        engine = cls.__new__(cls)
+        engine.graph = graph
+        engine.alpha = manifest["alpha"]
+        engine.undirected = manifest["undirected"]
+        engine.rtree_max_entries = manifest["rtree_max_entries"]
+        engine.build_seconds = {}
+
+        started = _time.monotonic()
+        engine.inverted_index = InvertedIndex.load(directory / "inverted.idx")
+        engine.build_seconds["inverted_index"] = _time.monotonic() - started
+
+        started = _time.monotonic()
+        engine.rtree = RTree.bulk_load(
+            graph.places(), max_entries=engine.rtree_max_entries
+        )
+        engine.build_seconds["rtree"] = _time.monotonic() - started
+
+        engine.reachability = None
+        if manifest["has_reachability"]:
+            started = _time.monotonic()
+            engine.reachability = load_reachability(directory / "reach.idx", graph)
+            engine.build_seconds["reachability"] = _time.monotonic() - started
+
+        engine.alpha_index = None
+        if manifest["has_alpha_index"]:
+            started = _time.monotonic()
+            engine.alpha_index = load_alpha_index(directory / "alpha.idx")
+            engine.build_seconds["alpha_index"] = _time.monotonic() - started
+        return engine
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        location: Union[Point, Sequence[float]],
+        keywords: Iterable[str],
+        k: int = 5,
+        method: str = "sp",
+        ranking: RankingFunction = DEFAULT_RANKING,
+        timeout: Optional[float] = None,
+    ) -> KSPResult:
+        """Answer a kSP query.
+
+        ``method`` selects the algorithm: ``"sp"`` (default, fastest),
+        ``"spp"``, ``"bsp"``, or ``"ta"``.  ``location`` may be a
+        :class:`Point` or an ``(x, y)`` pair; raw keyword strings are
+        normalized with the document tokenizer.
+        """
+        if not isinstance(location, Point):
+            x, y = location
+            location = Point(float(x), float(y))
+        query = KSPQuery.create(location, keywords, k=k)
+        return self.run(query, method=method, ranking=ranking, timeout=timeout)
+
+    def run(
+        self,
+        query: KSPQuery,
+        method: str = "sp",
+        ranking: RankingFunction = DEFAULT_RANKING,
+        timeout: Optional[float] = None,
+    ) -> KSPResult:
+        """Answer an already-normalized :class:`KSPQuery`."""
+        method = method.lower()
+        if method == "bsp":
+            return bsp_search(
+                self.graph,
+                self.rtree,
+                self.inverted_index,
+                query,
+                ranking=ranking,
+                undirected=self.undirected,
+                timeout=timeout,
+            )
+        if method == "spp":
+            if self.reachability is None:
+                raise RuntimeError("SPP needs the reachability index")
+            return spp_search(
+                self.graph,
+                self.rtree,
+                self.inverted_index,
+                self.reachability,
+                query,
+                ranking=ranking,
+                undirected=self.undirected,
+                timeout=timeout,
+            )
+        if method == "sp":
+            if self.reachability is None:
+                raise RuntimeError("SP needs the reachability index")
+            if self.alpha_index is None:
+                raise RuntimeError("SP needs the alpha-radius index")
+            return sp_search(
+                self.graph,
+                self.rtree,
+                self.inverted_index,
+                self.reachability,
+                self.alpha_index,
+                query,
+                ranking=ranking,
+                undirected=self.undirected,
+                timeout=timeout,
+            )
+        if method == "ta":
+            return ta_search(
+                self.graph,
+                self.rtree,
+                self.inverted_index,
+                query,
+                ranking=ranking,
+                undirected=self.undirected,
+                timeout=timeout,
+            )
+        raise ValueError("unknown method %r; expected one of %r" % (method, ALGORITHMS))
+
+    def cursor(
+        self,
+        location: Union[Point, Sequence[float]],
+        keywords: Iterable[str],
+        ranking: RankingFunction = DEFAULT_RANKING,
+        timeout: Optional[float] = None,
+    ):
+        """An incremental result stream: semantic places in ascending
+        ranking score, without fixing ``k`` (see
+        :class:`repro.core.cursor.KSPCursor`)."""
+        from repro.core.cursor import ksp_cursor
+
+        if self.reachability is None or self.alpha_index is None:
+            raise RuntimeError(
+                "the cursor needs the reachability and alpha indexes"
+            )
+        if not isinstance(location, Point):
+            x, y = location
+            location = Point(float(x), float(y))
+        return ksp_cursor(
+            self.graph,
+            self.rtree,
+            self.inverted_index,
+            self.reachability,
+            self.alpha_index,
+            location,
+            list(keywords),
+            ranking=ranking,
+            undirected=self.undirected,
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> Dict[str, int]:
+        """Byte sizes of the data structures (Table 4 / Table 6 accounting)."""
+        report = {
+            "rtree": self.rtree.size_bytes(),
+            "rdf_graph": self.graph.size_bytes(),
+            "inverted_index": self.inverted_index.size_bytes(),
+        }
+        if self.reachability is not None:
+            report["reachability"] = self.reachability.size_bytes()
+        if self.alpha_index is not None:
+            report["alpha_index"] = self.alpha_index.size_bytes()
+        return report
+
+    def dataset_report(self) -> Dict[str, float]:
+        """Dataset statistics as reported in Section 6.1."""
+        return {
+            "vertices": self.graph.vertex_count,
+            "edges": self.graph.edge_count,
+            "places": self.graph.place_count(),
+            "vocabulary": self.inverted_index.vocabulary_size(),
+            "avg_posting_length": self.inverted_index.average_posting_length(),
+        }

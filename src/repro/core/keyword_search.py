@@ -1,0 +1,178 @@
+"""Classic top-k keyword search on the RDF graph (the prior art [31, 43]).
+
+This is the location-*unaware* ancestor of the kSP query that the paper
+builds on: retrieve the k tightest sub-trees — rooted at *any* vertex, not
+just places — whose vertices collectively cover all query keywords, ranked
+by looseness alone.  Example 1 of the paper ("the top-1 answer ... is the
+subgraph {p2, v6, v7, v8} rooted at p2 with looseness 3") is this query.
+
+The implementation is the bottom-up backward expansion the paper sketches
+in Section 3: one multi-source BFS per keyword walks *against* edge
+direction from the vertices containing it; a root is complete once every
+keyword's BFS has reached it, with looseness ``sum_i d_g(root, t_i)``
+(prior work does not add the kSP ``1 +`` normalization; pass
+``normalized=True`` to get Definition 2 looseness instead).
+
+Roots are emitted in non-decreasing looseness with the same frontier-bound
+argument as :class:`repro.core.ta.LoosenessStream`; the searcher then
+reconstructs each tree by forward BFS from the root.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.rdf.graph import RDFGraph
+from repro.text.inverted import build_query_map
+
+
+@dataclass(frozen=True)
+class KeywordTree:
+    """One keyword-search answer: a tree rooted at ``root``."""
+
+    root: int
+    root_label: str
+    looseness: float
+    keyword_vertices: Dict[str, int]
+    paths: Dict[str, Tuple[int, ...]]
+
+    def tree_vertices(self) -> frozenset:
+        vertices = {self.root}
+        for path in self.paths.values():
+            vertices.update(path)
+        return frozenset(vertices)
+
+
+class _BackwardExpansion:
+    """Roots in ascending raw looseness (no +1), any vertex allowed."""
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        inverted_index,
+        keywords: Sequence[str],
+        undirected: bool = False,
+    ) -> None:
+        self._graph = graph
+        self._undirected = undirected
+        self._keywords = list(keywords)
+        self._frontiers: List[List[int]] = []
+        self._seen: List[Set[int]] = []
+        self._radius = 0
+        self._partial: Dict[int, Dict[int, int]] = {}
+        self._complete: List[Tuple[float, int]] = []
+        for index, term in enumerate(self._keywords):
+            sources = list(inverted_index.posting(term))
+            self._frontiers.append(sources)
+            self._seen.append(set(sources))
+            for vertex in sources:
+                self._record(vertex, index, 0)
+
+    def _record(self, vertex: int, keyword_index: int, distance: int) -> None:
+        known = self._partial.setdefault(vertex, {})
+        if keyword_index in known:
+            return
+        known[keyword_index] = distance
+        if len(known) == len(self._keywords):
+            heapq.heappush(self._complete, (float(sum(known.values())), vertex))
+            del self._partial[vertex]
+
+    def _expand_round(self) -> None:
+        graph = self._graph
+        next_radius = self._radius + 1
+        for index, frontier in enumerate(self._frontiers):
+            if not frontier:
+                continue
+            seen = self._seen[index]
+            next_frontier: List[int] = []
+            for vertex in frontier:
+                neighbors = list(graph.in_neighbors(vertex))
+                if self._undirected:
+                    neighbors += list(graph.out_neighbors(vertex))
+                for neighbor in neighbors:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+                        self._record(neighbor, index, next_radius)
+            self._frontiers[index] = next_frontier
+        self._radius = next_radius
+
+    def _future_bound(self) -> float:
+        future = [
+            (self._radius + 1) if frontier else math.inf
+            for frontier in self._frontiers
+        ]
+        bound = float(sum(future))
+        for known in self._partial.values():
+            candidate = 0.0
+            for index in range(len(self._keywords)):
+                candidate += known.get(index, future[index])
+            if candidate < bound:
+                bound = candidate
+        return bound
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        while True:
+            while self._complete and self._complete[0][0] <= self._future_bound():
+                yield heapq.heappop(self._complete)
+            if all(not frontier for frontier in self._frontiers):
+                while self._complete:
+                    yield heapq.heappop(self._complete)
+                return
+            self._expand_round()
+
+
+def keyword_search(
+    graph: RDFGraph,
+    inverted_index,
+    keywords: Sequence[str],
+    k: int = 10,
+    undirected: bool = False,
+    normalized: bool = False,
+) -> List[KeywordTree]:
+    """Top-k keyword search: the k tightest keyword-covering trees.
+
+    ``normalized=True`` reports Definition 2 looseness (``1 + sum``)
+    instead of the prior-work raw sum.  Ties are broken by root id.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    keywords = list(dict.fromkeys(keywords))
+    if not keywords:
+        raise ValueError("keyword search needs at least one keyword")
+    query_map = build_query_map(inverted_index, keywords)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    results: List[KeywordTree] = []
+    emitted: Set[int] = set()
+    for looseness, root in _BackwardExpansion(
+        graph, inverted_index, keywords, undirected=undirected
+    ):
+        if root in emitted:
+            continue
+        emitted.add(root)
+        # Reconstruct the tree with a forward BFS (Algorithm 2); the
+        # looseness values must agree.
+        search = searcher.tightest(keywords, root, query_map)
+        if search.status is not SearchStatus.COMPLETE:
+            continue
+        paths = {
+            term: search.path_to(vertex, root)
+            for term, vertex in search.keyword_vertices.items()
+        }
+        reported = search.looseness if normalized else search.looseness - 1.0
+        results.append(
+            KeywordTree(
+                root=root,
+                root_label=graph.label(root),
+                looseness=reported,
+                keyword_vertices=dict(search.keyword_vertices),
+                paths=paths,
+            )
+        )
+        if len(results) == k:
+            break
+    return results

@@ -1,0 +1,167 @@
+"""kSP query and result types (Definitions 1-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+from repro.core.stats import QueryStats
+from repro.spatial.geometry import Point
+from repro.text.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class KSPQuery:
+    """A top-k relevant semantic place query ``q = (q.lambda, q.psi, k)``."""
+
+    location: Point
+    keywords: Tuple[str, ...]
+    k: int = 5
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if not self.keywords:
+            raise ValueError("a kSP query needs at least one keyword")
+        if len(set(self.keywords)) != len(self.keywords):
+            raise ValueError("query keywords must be distinct")
+
+    @staticmethod
+    def create(
+        location: Point, keywords: Iterable[str], k: int = 5
+    ) -> "KSPQuery":
+        """Build a query from raw keyword strings.
+
+        Keywords are normalized with the same tokenizer that built the
+        vertex documents (lowercased, punctuation stripped) and
+        deduplicated, preserving first-seen order.
+        """
+        normalized: List[str] = []
+        seen = set()
+        for raw in keywords:
+            for token in tokenize(raw) or [raw.strip().lower()]:
+                if token and token not in seen:
+                    seen.add(token)
+                    normalized.append(token)
+        return KSPQuery(location=location, keywords=tuple(normalized), k=k)
+
+    @property
+    def keyword_count(self) -> int:
+        return len(self.keywords)
+
+
+@dataclass(frozen=True)
+class SemanticPlace:
+    """One qualified semantic place: the TQSP of a place vertex.
+
+    ``keyword_vertices`` maps each query keyword to the vertex that first
+    covers it (the nearest occurrence); ``paths`` holds the shortest path
+    from the root to that vertex, root first.  The tree of Definition 1 is
+    the union of these paths.
+    """
+
+    root: int
+    root_label: str
+    location: Point
+    looseness: float
+    distance: float
+    score: float
+    keyword_vertices: Dict[str, int]
+    paths: Dict[str, Tuple[int, ...]]
+
+    def tree_vertices(self) -> FrozenSet[int]:
+        """All vertices of the TQSP (root plus every path vertex)."""
+        vertices = {self.root}
+        for path in self.paths.values():
+            vertices.update(path)
+        return frozenset(vertices)
+
+    def tree_edges(self) -> FrozenSet[Tuple[int, int]]:
+        """The directed edges of the TQSP."""
+        edges = set()
+        for path in self.paths.values():
+            for parent, child in zip(path, path[1:]):
+                edges.add((parent, child))
+        return frozenset(edges)
+
+    def graph_distance(self, keyword: str) -> int:
+        """``d_g(p, t)`` — the recorded distance to a covered keyword."""
+        return len(self.paths[keyword]) - 1
+
+
+@dataclass
+class KSPResult:
+    """The outcome of one kSP query: ranked places plus execution stats."""
+
+    query: KSPQuery
+    places: List[SemanticPlace] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.places)
+
+    def __iter__(self):
+        return iter(self.places)
+
+    def __getitem__(self, index: int) -> SemanticPlace:
+        return self.places[index]
+
+    def scores(self) -> List[float]:
+        return [place.score for place in self.places]
+
+    def roots(self) -> List[int]:
+        return [place.root for place in self.places]
+
+    def explain(self) -> str:
+        """A human-readable report: ranked places, their keyword covers,
+        and the execution profile — the kSP equivalent of EXPLAIN ANALYZE."""
+        lines = [
+            "kSP query: k=%d keywords=%s location=(%.4f, %.4f)"
+            % (
+                self.query.k,
+                list(self.query.keywords),
+                self.query.location.x,
+                self.query.location.y,
+            )
+        ]
+        if not self.places:
+            lines.append("  no qualified semantic place covers all keywords")
+        for rank, place in enumerate(self.places, start=1):
+            lines.append(
+                "  %d. %s  f=%.4f  (L=%.0f, S=%.4f)"
+                % (rank, place.root_label, place.score, place.looseness, place.distance)
+            )
+            for keyword in sorted(place.paths):
+                lines.append(
+                    "       %-14s %d hop(s)"
+                    % (keyword, place.graph_distance(keyword))
+                )
+        stats = self.stats
+        lines.append(
+            "executed by %s in %.2f ms (semantic %.2f ms): "
+            "%d TQSP construction(s), %d vertices visited, "
+            "%d R-tree node(s), %d reachability probe(s)"
+            % (
+                stats.algorithm or "?",
+                1000 * stats.runtime_seconds,
+                1000 * stats.semantic_seconds,
+                stats.tqsp_computations,
+                stats.vertices_visited,
+                stats.rtree_node_accesses,
+                stats.reachability_queries,
+            )
+        )
+        pruned = []
+        for rule, count in (
+            ("rule1", stats.pruned_rule1),
+            ("rule2", stats.pruned_rule2),
+            ("rule3", stats.pruned_rule3),
+            ("rule4", stats.pruned_rule4),
+        ):
+            if count:
+                pruned.append("%s x%d" % (rule, count))
+        if pruned:
+            lines.append("pruned: " + ", ".join(pruned))
+        if stats.timed_out:
+            lines.append("WARNING: query hit its timeout; results are partial")
+        return "\n".join(lines)

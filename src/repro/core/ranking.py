@@ -1,0 +1,96 @@
+"""Ranking functions ``f(L(T_p), S(q, p))`` (Definition 3).
+
+The paper requires only that ``f`` be monotone in both looseness and
+spatial distance, and gives two instances: the parameterless product
+(Equation 2, the default throughout the evaluation) and the beta-weighted
+sum (Equation 1).  All algorithm termination/pruning bounds are expressed
+through this interface so they adjust automatically to the chosen ``f``:
+
+* ``score`` — the ranking value of a finished TQSP;
+* ``bound`` — a lower bound on ``f`` given lower bounds on ``L`` and ``S``
+  (used for the alpha bounds of Lemmas 3 and 5 and the BSP/SP termination
+  conditions, where the looseness lower bound ``1`` gives the paper's
+  ``f >= S(q, p)`` argument);
+* ``looseness_threshold`` — the largest looseness that could still beat a
+  threshold score at a given distance (Definition 4, ``L_w``).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class RankingFunction(ABC):
+    """A monotone aggregate of looseness and spatial distance."""
+
+    @abstractmethod
+    def score(self, looseness: float, distance: float) -> float:
+        """``f(L, S)`` for a completed TQSP."""
+
+    @abstractmethod
+    def bound(self, looseness_bound: float, distance_bound: float) -> float:
+        """A lower bound on ``f`` given ``L >= looseness_bound`` and
+        ``S >= distance_bound``."""
+
+    @abstractmethod
+    def looseness_threshold(self, theta: float, distance: float) -> float:
+        """``L_w`` such that ``L >= L_w`` implies ``f(L, distance) >= theta``
+        (Definition 4).  May be ``+inf`` when no looseness can be pruned at
+        this distance (e.g. the product ranking at distance zero)."""
+
+    def distance_only_bound(self, distance: float) -> float:
+        """Lower bound on ``f`` knowing only the spatial distance.
+
+        Since looseness is at least 1 (Definition 2), this is
+        ``bound(1, distance)`` — the BSP termination test of Algorithm 1
+        line 7 in its ranking-generic form.
+        """
+        return self.bound(1.0, distance)
+
+
+class MultiplicativeRanking(RankingFunction):
+    """Equation 2: ``f = L x S`` — parameterless, the paper's default."""
+
+    def score(self, looseness: float, distance: float) -> float:
+        return looseness * distance
+
+    def bound(self, looseness_bound: float, distance_bound: float) -> float:
+        return looseness_bound * distance_bound
+
+    def looseness_threshold(self, theta: float, distance: float) -> float:
+        if theta == math.inf:
+            return math.inf
+        if distance <= 0.0:
+            # f(L, 0) == 0 < theta for every L: nothing can be pruned.
+            return math.inf
+        return theta / distance
+
+    def __repr__(self) -> str:
+        return "MultiplicativeRanking()"
+
+
+class WeightedSumRanking(RankingFunction):
+    """Equation 1: ``f = beta*L + (1-beta)*S`` with ``beta`` in (0, 1)."""
+
+    def __init__(self, beta: float = 0.5) -> None:
+        if not 0.0 < beta < 1.0:
+            raise ValueError("beta must lie strictly between 0 and 1")
+        self.beta = beta
+
+    def score(self, looseness: float, distance: float) -> float:
+        return self.beta * looseness + (1.0 - self.beta) * distance
+
+    def bound(self, looseness_bound: float, distance_bound: float) -> float:
+        return self.beta * looseness_bound + (1.0 - self.beta) * distance_bound
+
+    def looseness_threshold(self, theta: float, distance: float) -> float:
+        if theta == math.inf:
+            return math.inf
+        return (theta - (1.0 - self.beta) * distance) / self.beta
+
+    def __repr__(self) -> str:
+        return "WeightedSumRanking(beta=%r)" % self.beta
+
+
+DEFAULT_RANKING = MultiplicativeRanking()

@@ -1,0 +1,200 @@
+"""TQSP construction: GetSemanticPlace (Alg. 2) and its pruned variant
+GetSemanticPlaceP (Alg. 3).
+
+Both explore the RDF graph from the candidate place in BFS order, probing
+each encountered vertex against the query map ``M_{q.psi}`` and removing
+covered keywords from the outstanding set ``B``.  The pruned variant
+additionally maintains the Lemma 1 dynamic lower bound
+``LB = 1 + sum(d_g over covered) + d(p, v) * |B|`` and aborts as soon as it
+meets the looseness threshold ``L_w`` (Pruning Rule 2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.query import KSPQuery, SemanticPlace
+from repro.core.stats import QueryStats, QueryTimeout
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point
+
+_DEADLINE_CHECK_INTERVAL = 1024
+
+
+class SearchStatus(Enum):
+    """Outcome of one TQSP construction attempt."""
+
+    COMPLETE = "complete"  # all keywords covered; looseness is exact
+    UNQUALIFIED = "unqualified"  # BFS exhausted with keywords uncovered
+    PRUNED = "pruned"  # aborted early by the dynamic bound (Rule 2)
+
+
+@dataclass
+class TQSPSearch:
+    """Result of GetSemanticPlace(P): status plus reconstruction data."""
+
+    status: SearchStatus
+    looseness: float
+    keyword_vertices: Dict[str, int] = field(default_factory=dict)
+    parents: Dict[int, int] = field(default_factory=dict)
+    vertices_visited: int = 0
+
+    def path_to(self, vertex: int, root: int) -> Tuple[int, ...]:
+        """The BFS shortest path root -> vertex, root first."""
+        path = [vertex]
+        while vertex != root:
+            vertex = self.parents[vertex]
+            path.append(vertex)
+        path.reverse()
+        return tuple(path)
+
+
+class SemanticPlaceSearcher:
+    """Constructs tightest qualified semantic places on one RDF graph."""
+
+    def __init__(self, graph: RDFGraph, undirected: bool = False) -> None:
+        self._graph = graph
+        self._undirected = undirected
+
+    # ------------------------------------------------------------------
+
+    def tightest(
+        self,
+        keywords: Sequence[str],
+        place: int,
+        query_map: Mapping[int, frozenset],
+        looseness_threshold: float = math.inf,
+        stats: Optional[QueryStats] = None,
+        deadline: Optional[float] = None,
+    ) -> TQSPSearch:
+        """Construct the TQSP rooted at ``place``.
+
+        With ``looseness_threshold`` left at ``+inf`` this is Algorithm 2;
+        with a finite threshold it is Algorithm 3 (early abort when the
+        dynamic bound reaches the threshold).
+        """
+        graph = self._graph
+        outstanding: Set[str] = set(keywords)
+        total_keywords = len(outstanding)
+        if total_keywords == 0:
+            raise ValueError("TQSP construction needs at least one keyword")
+        covered_sum = 0.0
+        keyword_vertices: Dict[str, int] = {}
+        parents: Dict[int, int] = {}
+        visited = 0
+
+        for vertex, distance, parent in graph.bfs(place, undirected=self._undirected):
+            visited += 1
+            if deadline is not None and visited % _DEADLINE_CHECK_INTERVAL == 0:
+                if time.monotonic() > deadline:
+                    raise QueryTimeout()
+            parents[vertex] = parent
+            # Lemma 1: every outstanding keyword lies at distance >= d(p, v).
+            dynamic_bound = 1.0 + covered_sum + distance * len(outstanding)
+            if dynamic_bound >= looseness_threshold:
+                if stats is not None:
+                    stats.vertices_visited += visited
+                    stats.pruned_rule2 += 1
+                return TQSPSearch(
+                    SearchStatus.PRUNED, math.inf, vertices_visited=visited
+                )
+            matched = query_map.get(vertex)
+            if matched:
+                hits = outstanding & matched
+                if hits:
+                    covered_sum += len(hits) * distance
+                    for term in hits:
+                        keyword_vertices[term] = vertex
+                    outstanding -= hits
+                    if not outstanding:
+                        if stats is not None:
+                            stats.vertices_visited += visited
+                        return TQSPSearch(
+                            SearchStatus.COMPLETE,
+                            1.0 + covered_sum,
+                            keyword_vertices,
+                            parents,
+                            vertices_visited=visited,
+                        )
+
+        if stats is not None:
+            stats.vertices_visited += visited
+            stats.unqualified_places += 1
+        return TQSPSearch(SearchStatus.UNQUALIFIED, math.inf, vertices_visited=visited)
+
+    # ------------------------------------------------------------------
+
+    def build_place(
+        self,
+        query: KSPQuery,
+        place: int,
+        location: Point,
+        distance: float,
+        score: float,
+        search: TQSPSearch,
+    ) -> SemanticPlace:
+        """Materialize a :class:`SemanticPlace` from a COMPLETE search."""
+        if search.status is not SearchStatus.COMPLETE:
+            raise ValueError("cannot materialize an incomplete TQSP search")
+        paths = {
+            term: search.path_to(vertex, place)
+            for term, vertex in search.keyword_vertices.items()
+        }
+        return SemanticPlace(
+            root=place,
+            root_label=self._graph.label(place),
+            location=location,
+            looseness=search.looseness,
+            distance=distance,
+            score=score,
+            keyword_vertices=dict(search.keyword_vertices),
+            paths=paths,
+        )
+
+    # ------------------------------------------------------------------
+
+    def cominimal_covers(
+        self,
+        keywords: Sequence[str],
+        place: int,
+        query_map: Mapping[int, frozenset],
+    ) -> Optional[Dict[str, List[int]]]:
+        """Tie-handling option (2) of Section 2, footnote 2.
+
+        For each keyword, all vertices that cover it at the *minimal* graph
+        distance from ``place``; every per-keyword choice yields a TQSP of
+        the same (minimal) looseness.  Returns None when the place is
+        unqualified.
+        """
+        graph = self._graph
+        best_distance: Dict[str, int] = {}
+        covers: Dict[str, List[int]] = {term: [] for term in keywords}
+        outstanding = set(keywords)
+        frontier_done = -1
+        for vertex, distance, _ in graph.bfs(place, undirected=self._undirected):
+            if not outstanding and distance > frontier_done:
+                break
+            matched = query_map.get(vertex)
+            if not matched:
+                continue
+            for term in matched:
+                if term not in covers:
+                    continue
+                recorded = best_distance.get(term)
+                if recorded is None:
+                    best_distance[term] = distance
+                    covers[term].append(vertex)
+                    outstanding.discard(term)
+                    if not outstanding:
+                        # Finish scanning the current BFS level so that all
+                        # equally-near covers of the last keyword are found.
+                        frontier_done = distance
+                elif recorded == distance:
+                    covers[term].append(vertex)
+        if outstanding:
+            return None
+        return covers

@@ -1,0 +1,158 @@
+"""SP — Semantic Place retrieval with alpha-radius bounds (Algorithm 4).
+
+SP differs from SPP in three ways (Section 5):
+
+1. R-tree entries are visited in ascending order of the *alpha-bound on the
+   ranking score* ``f_aB`` (Lemmas 3 and 5) rather than plain spatial
+   distance;
+2. entries whose alpha-bound cannot beat the current k-th score are never
+   enqueued (Pruning Rules 3 and 4);
+3. termination fires when the smallest alpha-bound in the queue reaches the
+   k-th score — usually far earlier than the distance-only test, because
+   the bound also accounts for looseness.
+
+Rules 1 and 2 from SPP still apply to the places that survive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.alpha.index import AlphaIndex
+from repro.core.query import KSPQuery, KSPResult
+from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.core.stats import QueryStats, QueryTimeout
+from repro.core.topk import TopKQueue
+from repro.rdf.graph import RDFGraph
+from repro.reach.keyword import KeywordReachabilityIndex
+from repro.spatial.rtree import LeafEntry, Node, RTree
+from repro.text.inverted import build_query_map, order_rarest_first
+
+
+def sp_search(
+    graph: RDFGraph,
+    rtree: RTree,
+    inverted_index,
+    reachability: Optional[KeywordReachabilityIndex],
+    alpha_index: AlphaIndex,
+    query: KSPQuery,
+    ranking: RankingFunction = DEFAULT_RANKING,
+    undirected: bool = False,
+    timeout: Optional[float] = None,
+    use_rule1: bool = True,
+    use_rule2: bool = True,
+    use_node_pruning: bool = True,
+    rule1_rarest_first: bool = True,
+) -> KSPResult:
+    """Answer ``query`` with SP.
+
+    ``reachability`` may be None when ``use_rule1`` is False (ablation).
+    ``use_node_pruning`` toggles Rules 3/4 enqueue filtering (the priority
+    order itself is always the alpha-bound, as in Algorithm 4);
+    ``rule1_rarest_first`` toggles the rarest-first probing order.
+    """
+    if use_rule1 and reachability is None:
+        raise ValueError("Rule 1 requires a reachability index")
+    stats = QueryStats(algorithm="SP")
+    started = time.monotonic()
+    deadline = None if timeout is None else started + timeout
+
+    query_map = build_query_map(inverted_index, query.keywords)
+    rarest_first: Sequence[str] = (
+        order_rarest_first(inverted_index, query.keywords)
+        if rule1_rarest_first
+        else list(query.keywords)
+    )
+    view = alpha_index.query_view(query.keywords)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    top_k = TopKQueue(query.k)
+
+    # Priority queue over R-tree entries keyed by the alpha score bound.
+    counter = itertools.count()
+    heap: List[Tuple[float, int, bool, Union[Node, LeafEntry], float]] = []
+
+    def push_node(node: Node) -> None:
+        if node.rect is None:
+            return
+        distance = node.rect.min_distance(query.location)
+        bound = ranking.bound(view.node_looseness_bound(node.node_id), distance)
+        if use_node_pruning and bound >= top_k.threshold:
+            stats.pruned_rule4 += 1
+            return
+        heapq.heappush(heap, (bound, next(counter), False, node, distance))
+
+    def push_place(entry: LeafEntry) -> None:
+        distance = entry.point.distance_to(query.location)
+        bound = ranking.bound(view.place_looseness_bound(entry.key), distance)
+        if use_node_pruning and bound >= top_k.threshold:
+            stats.pruned_rule3 += 1
+            return
+        heapq.heappush(heap, (bound, next(counter), True, entry, distance))
+
+    push_node(rtree.root)
+
+    try:
+        while heap:
+            bound, _, is_place, item, distance = heapq.heappop(heap)
+            # Algorithm 4 line 9: nothing left can beat the k-th candidate.
+            if bound >= top_k.threshold:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise QueryTimeout()
+
+            if not is_place:
+                stats.rtree_node_accesses += 1
+                if item.is_leaf:
+                    for entry in item.entries:
+                        push_place(entry)
+                else:
+                    for child in item.entries:
+                        push_node(child)
+                continue
+
+            stats.places_retrieved += 1
+            if use_rule1:
+                issued_before = reachability.queries_issued
+                qualified = reachability.is_qualified(item.key, rarest_first)
+                stats.reachability_queries += (
+                    reachability.queries_issued - issued_before
+                )
+                if not qualified:
+                    stats.pruned_rule1 += 1
+                    continue
+
+            threshold = (
+                ranking.looseness_threshold(top_k.threshold, distance)
+                if use_rule2
+                else float("inf")
+            )
+            semantic_started = time.monotonic()
+            try:
+                search = searcher.tightest(
+                    query.keywords,
+                    item.key,
+                    query_map,
+                    looseness_threshold=threshold,
+                    stats=stats,
+                    deadline=deadline,
+                )
+            finally:
+                stats.semantic_seconds += time.monotonic() - semantic_started
+            stats.tqsp_computations += 1
+            if search.status is not SearchStatus.COMPLETE:
+                continue
+            score = ranking.score(search.looseness, distance)
+            top_k.consider(
+                searcher.build_place(
+                    query, item.key, item.point, distance, score, search
+                )
+            )
+    except QueryTimeout:
+        stats.timed_out = True
+
+    stats.runtime_seconds = time.monotonic() - started
+    return KSPResult(query=query, places=top_k.ranked(), stats=stats)

@@ -1,0 +1,57 @@
+"""The top-k candidate queue shared by all kSP algorithms.
+
+Holds at most ``k`` semantic places ordered by ranking score; ``threshold``
+is the score of the current k-th candidate (``+inf`` while fewer than ``k``
+candidates exist), the value every pruning rule compares against.  Ties are
+broken by root vertex id so results are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Tuple
+
+from repro.core.query import SemanticPlace
+
+
+class TopKQueue:
+    """A bounded max-heap keeping the k best (lowest-score) places."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self._k = k
+        # Python heapq is a min-heap; store negated keys to evict the worst.
+        self._heap: List[Tuple[float, int, SemanticPlace]] = []
+
+    @property
+    def threshold(self) -> float:
+        """The ranking score of the k-th candidate found so far (theta)."""
+        if len(self._heap) < self._k:
+            return math.inf
+        return -self._heap[0][0]
+
+    def consider(self, place: SemanticPlace) -> bool:
+        """Offer a candidate; returns True when it entered the top-k."""
+        key = (-place.score, -place.root)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, (key[0], key[1], place))
+            return True
+        worst = self._heap[0]
+        if key > (worst[0], worst[1]):
+            heapq.heapreplace(self._heap, (key[0], key[1], place))
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def ranked(self) -> List[SemanticPlace]:
+        """Candidates in final order: ascending score, then root id."""
+        return [
+            place
+            for _, _, place in sorted(
+                self._heap, key=lambda item: (-item[0], -item[1])
+            )
+        ]

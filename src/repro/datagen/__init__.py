@@ -1,0 +1,32 @@
+"""Synthetic data substrate: corpus profiles, the spatial-RDF generator,
+query workload generators (O / SDLL / LDLL) and random-jump sampling."""
+
+from repro.datagen.landmarks import generate_landmark_triples, landmark_graph
+from repro.datagen.profiles import (
+    DBPEDIA_LIKE,
+    PROFILES,
+    TINY_DBPEDIA,
+    TINY_YAGO,
+    YAGO_LIKE,
+    DatasetProfile,
+)
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.datagen.sampling import induced_subgraph, random_jump_sample
+from repro.datagen.synthetic import generate_graph, graph_to_triples
+
+__all__ = [
+    "DatasetProfile",
+    "DBPEDIA_LIKE",
+    "YAGO_LIKE",
+    "TINY_DBPEDIA",
+    "TINY_YAGO",
+    "PROFILES",
+    "generate_graph",
+    "graph_to_triples",
+    "generate_landmark_triples",
+    "landmark_graph",
+    "QueryGenerator",
+    "WorkloadConfig",
+    "random_jump_sample",
+    "induced_subgraph",
+]

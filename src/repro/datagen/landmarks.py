@@ -1,0 +1,162 @@
+"""A human-readable demo knowledge base: European cities and landmarks.
+
+The Zipf-vocabulary generator (`repro.datagen.synthetic`) is right for
+benchmarks but its ``kw00042`` terms make poor demos.  This module builds
+a small, *plausible* spatial RDF corpus in the spirit of the paper's
+DBpedia excerpt: cities at their real coordinates, each with a few
+landmarks (abbeys, museums, castles, ...) connected to historical figures,
+architectural styles and events — so queries like ``{gothic, cathedral,
+medieval}`` return meaningful answers.
+
+Entities, predicates and literals are assembled from templates with a
+seeded RNG: corpora are deterministic, and any size from tens to a few
+thousand entities is available via ``landmarks_per_city``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.rdf.terms import IRI, Literal, Triple
+
+_BASE = "http://landmarks.example.org/resource/"
+_ONTOLOGY = "http://landmarks.example.org/ontology/"
+_GEO = "http://www.opengis.net/ont/geosparql#hasGeometry"
+
+# (name, x, y) — approximate real coordinates (lat, lon).
+CITIES: List[Tuple[str, float, float]] = [
+    ("Arles", 43.68, 4.63),
+    ("Avignon", 43.95, 4.81),
+    ("Marseille", 43.30, 5.37),
+    ("Lyon", 45.76, 4.84),
+    ("Paris", 48.86, 2.35),
+    ("Toulouse", 43.60, 1.44),
+    ("Barcelona", 41.39, 2.17),
+    ("Milan", 45.46, 9.19),
+    ("Florence", 43.77, 11.26),
+    ("Rome", 41.90, 12.50),
+    ("Vienna", 48.21, 16.37),
+    ("Prague", 50.08, 14.44),
+    ("Munich", 48.14, 11.58),
+    ("Cologne", 50.94, 6.96),
+    ("Amsterdam", 52.37, 4.90),
+    ("Bruges", 51.21, 3.22),
+    ("Granada", 37.18, -3.60),
+    ("Seville", 37.39, -5.98),
+    ("Porto", 41.15, -8.61),
+    ("Krakow", 50.06, 19.94),
+]
+
+LANDMARK_KINDS = [
+    ("Abbey", "monastery cloister benedictine"),
+    ("Cathedral", "cathedral nave spire diocese"),
+    ("Castle", "castle fortress battlements moat"),
+    ("Museum", "museum gallery collection exhibition"),
+    ("Basilica", "basilica shrine pilgrimage relics"),
+    ("Palace", "palace royal residence gardens"),
+    ("Amphitheatre", "amphitheatre arena gladiator spectacle"),
+    ("Bridge", "bridge arch river crossing"),
+    ("Library", "library manuscripts archive scriptorium"),
+    ("Tower", "tower belfry lookout fortification"),
+]
+
+STYLES = [
+    ("Romanesque_architecture", "romanesque rounded arches medieval"),
+    ("Gothic_architecture", "gothic pointed vaults flying buttress medieval"),
+    ("Baroque_architecture", "baroque ornate dramatic counter reformation"),
+    ("Renaissance_architecture", "renaissance classical symmetry humanist"),
+    ("Moorish_architecture", "moorish islamic horseshoe arabesque"),
+    ("Art_Nouveau", "art nouveau organic floral modern"),
+]
+
+FIGURES = [
+    ("Charlemagne", "emperor frankish carolingian crowned"),
+    ("Julius_Caesar", "roman general consul empire"),
+    ("Leonardo_da_Vinci", "painter inventor renaissance polymath"),
+    ("Saint_Benedict", "saint monastic rule abbot"),
+    ("Eleanor_of_Aquitaine", "queen duchess crusade patron"),
+    ("Gustave_Eiffel", "engineer iron lattice exposition"),
+    ("Antoni_Gaudi", "architect catalan modernism organic"),
+    ("Marcus_Aurelius", "emperor stoic philosopher meditations"),
+]
+
+EVENTS = [
+    ("Hundred_Years_War", "war siege england france medieval"),
+    ("French_Revolution", "revolution republic estates bastille"),
+    ("Council_of_Trent", "council reformation doctrine catholic"),
+    ("Great_Plague", "plague pestilence quarantine medieval"),
+    ("World_Exposition", "exposition pavilion industry progress"),
+]
+
+
+def _iri(name: str) -> IRI:
+    return IRI(_BASE + name)
+
+
+def _predicate(name: str) -> IRI:
+    return IRI(_ONTOLOGY + name)
+
+
+def generate_landmark_triples(
+    landmarks_per_city: int = 5, seed: int = 2016
+) -> Iterator[Triple]:
+    """Yield the demo corpus as RDF triples.
+
+    Every landmark is a *place* (point geometry jittered around its city);
+    cities themselves are places too.  Landmarks link to one style, one or
+    two figures and possibly an event; figures and events link onward to
+    each other, giving the multi-hop structure kSP looseness rewards.
+    """
+    rng = random.Random(seed)
+
+    for style, description in STYLES:
+        yield Triple(_iri(style), _predicate("description"), Literal(description))
+    for figure, description in FIGURES:
+        yield Triple(_iri(figure), _predicate("description"), Literal(description))
+    for event, description in EVENTS:
+        yield Triple(_iri(event), _predicate("description"), Literal(description))
+        # Events involve figures: onward hops for the BFS to discover.
+        for figure, _ in rng.sample(FIGURES, 2):
+            yield Triple(_iri(event), _predicate("involves"), _iri(figure))
+
+    for city, x, y in CITIES:
+        yield Triple(_iri(city), _GEO_PREDICATE, Literal("POINT(%r %r)" % (x, y)))
+        yield Triple(
+            _iri(city),
+            _predicate("description"),
+            Literal("city historic centre %s" % city.lower()),
+        )
+        for index in range(landmarks_per_city):
+            kind, kind_terms = LANDMARK_KINDS[
+                rng.randrange(len(LANDMARK_KINDS))
+            ]
+            name = "%s_%s_%d" % (city, kind, index)
+            landmark = _iri(name)
+            jitter_x = x + rng.uniform(-0.08, 0.08)
+            jitter_y = y + rng.uniform(-0.08, 0.08)
+            yield Triple(
+                landmark, _GEO_PREDICATE, Literal("POINT(%r %r)" % (jitter_x, jitter_y))
+            )
+            yield Triple(landmark, _predicate("locatedIn"), _iri(city))
+            yield Triple(landmark, _predicate("description"), Literal(kind_terms))
+
+            style, _ = STYLES[rng.randrange(len(STYLES))]
+            yield Triple(landmark, _predicate("architecturalStyle"), _iri(style))
+            for figure, _ in rng.sample(FIGURES, rng.randint(1, 2)):
+                yield Triple(landmark, _predicate("associatedWith"), _iri(figure))
+            if rng.random() < 0.4:
+                event, _ = EVENTS[rng.randrange(len(EVENTS))]
+                yield Triple(landmark, _predicate("witnessed"), _iri(event))
+
+
+_GEO_PREDICATE = IRI(_GEO)
+
+
+def landmark_graph(landmarks_per_city: int = 5, seed: int = 2016):
+    """The demo corpus as a ready-to-index kSP data graph."""
+    from repro.rdf.documents import graph_from_triples
+
+    return graph_from_triples(
+        generate_landmark_triples(landmarks_per_city=landmarks_per_city, seed=seed)
+    )

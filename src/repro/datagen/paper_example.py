@@ -1,0 +1,92 @@
+"""The paper's running example (Figures 1 and 2) as a ready-made dataset.
+
+Ten vertices extracted from DBpedia: two places (Montmajour Abbey ``p1``
+and the Roman Catholic Diocese ``p2``) and eight entities, with the edge
+structure of Figure 1(a) and the documents of Figure 1(b).  The worked
+examples give exact expected values which the test suite asserts:
+
+* ``L(T_p1) = 6`` and ``L(T_p2) = 4`` for the keywords
+  ``{ancient, roman, catholic, history}`` (Examples 4-5);
+* from ``q1 = (43.51, 4.75)``: ``f(p1) = 1.32``, ``f(p2) = 5.12`` and
+  ``p1`` ranks first (Example 5);
+* from ``q2 = (43.17, 5.90)``: ``f(p1) = 8.10``, ``f(p2) = 0.32`` and
+  ``p2`` ranks first.
+
+Both a direct :class:`RDFGraph` constructor and an N-Triples document are
+provided; building the graph from the triples through
+:class:`~repro.rdf.documents.GraphBuilder` yields the same dataset, which
+exercises the whole ingestion pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point
+
+EXAMPLE_KEYWORDS = ("ancient", "roman", "catholic", "history")
+Q1 = Point(43.51, 4.75)
+Q2 = Point(43.17, 5.90)
+P1_LOCATION = Point(43.71, 4.66)
+P2_LOCATION = Point(43.13, 5.97)
+
+# label -> (document terms, location)
+_VERTICES = {
+    "p1": ({"abbey", "montmajour"}, P1_LOCATION),
+    "v1": ({"architecture", "romanesque", "subject"}, None),
+    "v2": ({"catholic", "dedication", "peter", "roman", "saint"}, None),
+    "v3": ({"ancient", "arles", "diocese"}, None),
+    "v4": ({"architectural", "history", "subject"}, None),
+    "v5": ({"ancient", "birthplace", "empire", "roman"}, None),
+    "p2": ({"catholic", "diocese", "roman"}, P2_LOCATION),
+    "v6": ({"mary", "magdalene", "patron"}, None),
+    "v7": ({"catholic", "church", "denomination", "history"}, None),
+    "v8": ({"anatolia", "ancient", "deathplace", "history"}, None),
+}
+
+# (source, predicate, target), matching Figure 1(a).
+_EDGES = (
+    ("p1", "subject", "v1"),
+    ("p1", "dedication", "v2"),
+    ("p1", "diocese", "v3"),
+    ("v1", "subject", "v4"),
+    ("v2", "birthPlace", "v5"),
+    ("p2", "patron", "v6"),
+    ("p2", "denomination", "v7"),
+    ("v6", "deathPlace", "v8"),
+)
+
+
+def build_example_graph() -> RDFGraph:
+    """The Figure 1 dataset as an :class:`RDFGraph`."""
+    graph = RDFGraph()
+    ids = {}
+    for label, (document, location) in _VERTICES.items():
+        ids[label] = graph.add_vertex(label, document=document, location=location)
+    for source, predicate, target in _EDGES:
+        graph.add_edge(ids[source], ids[target], predicate=predicate)
+    return graph
+
+
+# The same dataset as N-Triples.  Entity URIs reproduce the URI-derived
+# keywords; literal ``description`` objects supply the remaining document
+# terms; geometry literals supply the coordinates.  Predicate descriptions
+# of entity-entity triples land in the object documents exactly as in
+# Figure 1(b).
+EXAMPLE_NTRIPLES = """\
+# Figure 1 of Shi, Wu & Mamoulis, SIGMOD 2016
+<http://ex.org/Montmajour_Abbey> <http://ex.org/p/subject> <http://ex.org/Romanesque_architecture> .
+<http://ex.org/Montmajour_Abbey> <http://ex.org/p/dedication> <http://ex.org/Saint_Peter> .
+<http://ex.org/Montmajour_Abbey> <http://ex.org/p/diocese> <http://ex.org/Ancient_Diocese_of_Arles> .
+<http://ex.org/Romanesque_architecture> <http://ex.org/p/subject> <http://ex.org/Architectural_history> .
+<http://ex.org/Saint_Peter> <http://ex.org/p/birthPlace> <http://ex.org/Roman_Empire> .
+<http://ex.org/Roman_Catholic_Diocese> <http://ex.org/p/patron> <http://ex.org/Mary_Magdalene> .
+<http://ex.org/Roman_Catholic_Diocese> <http://ex.org/p/denomination> <http://ex.org/Catholic_Church> .
+<http://ex.org/Mary_Magdalene> <http://ex.org/p/deathPlace> <http://ex.org/Anatolia> .
+<http://ex.org/Montmajour_Abbey> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(43.71 4.66)" .
+<http://ex.org/Roman_Catholic_Diocese> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(43.13 5.97)" .
+<http://ex.org/Saint_Peter> <http://ex.org/p/description> "catholic roman" .
+<http://ex.org/Ancient_Diocese_of_Arles> <http://ex.org/p/description> "diocese" .
+<http://ex.org/Roman_Empire> <http://ex.org/p/description> "ancient" .
+<http://ex.org/Anatolia> <http://ex.org/p/description> "ancient history" .
+<http://ex.org/Catholic_Church> <http://ex.org/p/description> "history" .
+"""

@@ -1,0 +1,171 @@
+"""kSP query workload generators (Sections 6.1 and 6.2.5).
+
+Three query classes:
+
+* **O** (original, Section 6.1) — pick a random place ``p``; the query
+  location is drawn from a large range around it; explore the graph from
+  ``p`` by BFS and randomly keep between ``|q.psi|/2`` and
+  ``|q.psi| * factor`` reachable vertices (``factor = 2``); extract the
+  query keywords from the documents of (at most ``|q.psi|`` of) them.
+  Places with too small a reachable neighborhood are rejected and redrawn.
+* **SDLL** (small distance, large looseness) — like O, but the location is
+  *near* ``p`` and keywords are *infrequent* words found *beyond
+  ``min_hops`` hops* from ``p``, which forces results with large looseness
+  in ``p``'s spatial neighborhood.
+* **LDLL** (large distance, large looseness) — same keywords, but the
+  location is displaced by +90 degrees of longitude.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.query import KSPQuery
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point
+
+_DEFAULT_FACTOR = 2
+_BFS_VERTEX_CAP = 4000  # exploration budget per candidate place
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of the query generators."""
+
+    keyword_count: int = 5
+    k: int = 5
+    factor: int = _DEFAULT_FACTOR
+    location_range: float = 3.0  # half-side of the square around the place
+    sdll_range: float = 0.05  # SDLL: location very close to the place
+    ldll_offset: float = 90.0  # LDLL: longitude displacement (paper: +90)
+    min_hops: int = 4  # SDLL/LDLL keywords live beyond this depth
+    max_hops: int = 8  # exploration depth for SDLL/LDLL keyword hunting
+    max_term_frequency: int = 100  # SDLL/LDLL: infrequent words only
+    seed: int = 42
+
+
+class QueryGenerator:
+    """Draws kSP queries that follow the data distribution of a graph."""
+
+    def __init__(
+        self,
+        graph: RDFGraph,
+        inverted_index,
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._index = inverted_index
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        self._places = [vertex for vertex, _ in graph.places()]
+        if not self._places:
+            raise ValueError("the graph has no place vertices")
+
+    # ------------------------------------------------------------------
+
+    def _random_place(self) -> int:
+        return self._places[self._rng.randrange(len(self._places))]
+
+    def _explore(self, place: int) -> List[int]:
+        """Vertices reachable from ``place``, up to the exploration cap."""
+        reachable = []
+        for vertex, _, _ in self._graph.bfs(place):
+            reachable.append(vertex)
+            if len(reachable) >= _BFS_VERTEX_CAP:
+                break
+        return reachable
+
+    def _location_near(self, place: int, half_side: float) -> Point:
+        center = self._graph.location(place)
+        return Point(
+            center.x + self._rng.uniform(-half_side, half_side),
+            center.y + self._rng.uniform(-half_side, half_side),
+        )
+
+    # ------------------------------------------------------------------
+
+    def original(self, max_attempts: int = 200) -> KSPQuery:
+        """One query from the Section 6.1 generator (class O)."""
+        config = self.config
+        keyword_count = config.keyword_count
+        for _ in range(max_attempts):
+            place = self._random_place()
+            reachable = self._explore(place)
+            minimum = max(1, keyword_count // 2)
+            if len(reachable) < minimum:
+                continue
+            upper = min(len(reachable), keyword_count * config.factor)
+            sample_size = self._rng.randint(minimum, upper)
+            selected = self._rng.sample(reachable, sample_size)
+            if len(selected) > keyword_count:
+                selected = self._rng.sample(selected, keyword_count)
+            term_pool = set()
+            for vertex in selected:
+                term_pool.update(self._graph.document(vertex))
+            if len(term_pool) < keyword_count:
+                continue
+            keywords = self._rng.sample(sorted(term_pool), keyword_count)
+            location = self._location_near(place, config.location_range)
+            return KSPQuery(location=location, keywords=tuple(keywords), k=config.k)
+        raise RuntimeError(
+            "could not generate a query after %d attempts" % max_attempts
+        )
+
+    def _distant_infrequent_terms(self, place: int) -> List[str]:
+        """Infrequent terms first seen beyond ``min_hops`` hops from ``place``."""
+        config = self.config
+        first_distance: Dict[str, int] = {}
+        for vertex, distance, _ in self._graph.bfs(place):
+            if distance > config.max_hops:
+                break
+            for term in self._graph.document(vertex):
+                if term not in first_distance:
+                    first_distance[term] = distance
+        return [
+            term
+            for term, distance in first_distance.items()
+            if distance > config.min_hops
+            and self._index.document_frequency(term) < config.max_term_frequency
+        ]
+
+    def large_looseness(
+        self, distant: bool, max_attempts: int = 400
+    ) -> KSPQuery:
+        """One SDLL (``distant=False``) or LDLL (``distant=True``) query."""
+        config = self.config
+        keyword_count = config.keyword_count
+        for _ in range(max_attempts):
+            place = self._random_place()
+            candidates = self._distant_infrequent_terms(place)
+            if len(candidates) < keyword_count:
+                continue
+            keywords = self._rng.sample(sorted(candidates), keyword_count)
+            if distant:
+                center = self._graph.location(place)
+                location = Point(center.x, center.y + config.ldll_offset)
+            else:
+                location = self._location_near(place, config.sdll_range)
+            return KSPQuery(location=location, keywords=tuple(keywords), k=config.k)
+        raise RuntimeError(
+            "could not generate a large-looseness query after %d attempts"
+            % max_attempts
+        )
+
+    # ------------------------------------------------------------------
+
+    def workload(self, count: int, kind: str = "O") -> List[KSPQuery]:
+        """A batch of queries of one class: "O", "SDLL" or "LDLL"."""
+        kind = kind.upper()
+        queries = []
+        for _ in range(count):
+            if kind == "O":
+                queries.append(self.original())
+            elif kind == "SDLL":
+                queries.append(self.large_looseness(distant=False))
+            elif kind == "LDLL":
+                queries.append(self.large_looseness(distant=True))
+            else:
+                raise ValueError("unknown query class %r" % kind)
+        return queries

@@ -1,0 +1,35 @@
+"""RDF substrate: terms, N-Triples I/O, the adjacency-list graph store and
+the [43]-style graph simplification used by the kSP algorithms."""
+
+from repro.rdf.documents import GraphBuilder, graph_from_triples, parse_point_literal
+from repro.rdf.graph import RDFGraph
+from repro.rdf.ntriples import (
+    NTriplesError,
+    parse,
+    parse_file,
+    parse_line,
+    serialize,
+    write_file,
+)
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.rdf.turtle import TurtleSyntaxError, parse_turtle, parse_turtle_file
+
+__all__ = [
+    "IRI",
+    "BlankNode",
+    "Literal",
+    "Triple",
+    "RDFGraph",
+    "GraphBuilder",
+    "graph_from_triples",
+    "parse_point_literal",
+    "NTriplesError",
+    "TurtleSyntaxError",
+    "parse_turtle",
+    "parse_turtle_file",
+    "parse",
+    "parse_file",
+    "parse_line",
+    "serialize",
+    "write_file",
+]

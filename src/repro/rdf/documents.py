@@ -1,0 +1,152 @@
+"""Building the kSP data graph from RDF triples.
+
+This implements the graph simplification of Le et al. [43] that the paper
+adopts (Sections 1–2):
+
+* entity-to-entity triples become directed edges;
+* triples whose object is a literal (or a type) are *folded into the
+  subject's document* instead of creating a vertex — the outgoing edge is
+  eliminated and the keywords of the literal join the subject's text;
+* for every surviving edge, the predicate's description is added to the
+  **object** entity's document;
+* structural predicates ("sameAs", "linksTo", "redirectTo") that introduce
+  semantically meaningless paths are dropped entirely (Section 6.1);
+* spatial predicates attach a point location to the subject, making it a
+  place vertex.  Both a combined "lat long" literal (``geo:geometry`` /
+  ``georss:point`` style) and separate ``geo:lat`` / ``geo:long`` triples
+  are understood.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Optional
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.spatial.geometry import Point
+from repro.text.tokenizer import tokenize_unique
+
+# Predicate local names treated as structural noise and removed, as in the
+# paper's dataset preparation.
+STRUCTURAL_PREDICATES = frozenset({"sameas", "linksto", "redirectto", "wikipageredirects"})
+
+# Predicate local names that mark the subject as a place vertex.
+_POINT_PREDICATES = frozenset({"geometry", "hasgeometry", "point", "location"})
+_LAT_PREDICATES = frozenset({"lat", "latitude"})
+_LONG_PREDICATES = frozenset({"long", "lon", "longitude"})
+
+_POINT_LITERAL = re.compile(
+    r"(?:POINT\s*\(\s*)?(-?\d+(?:\.\d+)?)[\s,]+(-?\d+(?:\.\d+)?)\s*\)?", re.IGNORECASE
+)
+
+
+def parse_point_literal(text: str) -> Optional[Point]:
+    """Parse ``"43.71 4.66"`` / ``"POINT(4.66 43.71)"`` style literals.
+
+    WKT POINT order is (x=long, y=lat); bare pairs are taken as written.
+    Returns None when the text is not a coordinate pair.
+    """
+    match = _POINT_LITERAL.match(text.strip())
+    if match is None:
+        return None
+    first, second = float(match.group(1)), float(match.group(2))
+    return Point(first, second)
+
+
+class GraphBuilder:
+    """Accumulates triples and produces a simplified :class:`RDFGraph`."""
+
+    def __init__(self) -> None:
+        self._graph = RDFGraph()
+        self._pending_lat: Dict[int, float] = {}
+        self._pending_long: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _entity_vertex(self, term) -> int:
+        """Vertex for an IRI or blank node, created on first sight with the
+        keywords of its local name as the initial document."""
+        if isinstance(term, IRI):
+            label = term.value
+            text = term.local_name()
+        elif isinstance(term, BlankNode):
+            label = "_:%s" % term.label
+            text = ""
+        else:  # pragma: no cover - callers filter literals out
+            raise TypeError("not an entity term: %r" % (term,))
+        if self._graph.has_vertex_label(label):
+            return self._graph.vertex_by_label(label)
+        return self._graph.add_vertex(label, document=tokenize_unique(text))
+
+    def add_triple(self, triple: Triple) -> None:
+        predicate_name = triple.predicate.local_name()
+        predicate_key = predicate_name.lower()
+        if predicate_key in STRUCTURAL_PREDICATES:
+            return
+        subject = self._entity_vertex(triple.subject)
+        obj = triple.object
+
+        if isinstance(obj, Literal):
+            self._add_literal(subject, predicate_key, predicate_name, obj)
+            return
+
+        target = self._entity_vertex(obj)
+        self._graph.add_edge(subject, target, predicate=predicate_name)
+        # The predicate description joins the *object* document (Section 2).
+        self._graph.extend_document(target, tokenize_unique(predicate_name))
+
+    def _add_literal(
+        self, subject: int, predicate_key: str, predicate_name: str, literal: Literal
+    ) -> None:
+        if predicate_key in _POINT_PREDICATES:
+            point = parse_point_literal(literal.lexical)
+            if point is not None:
+                self._graph.set_location(subject, point)
+                return
+        if predicate_key in _LAT_PREDICATES:
+            value = _as_float(literal.lexical)
+            if value is not None:
+                self._pending_lat[subject] = value
+                self._maybe_finalize_location(subject)
+                return
+        if predicate_key in _LONG_PREDICATES:
+            value = _as_float(literal.lexical)
+            if value is not None:
+                self._pending_long[subject] = value
+                self._maybe_finalize_location(subject)
+                return
+        # Ordinary literal: fold its keywords into the subject document; no
+        # vertex or edge is created.  Predicate descriptions only join the
+        # documents of object *entities* (Section 2), so they are not added
+        # here — this reproduces the Figure 1(b) documents exactly.
+        self._graph.extend_document(subject, tokenize_unique(literal.lexical))
+
+    def _maybe_finalize_location(self, subject: int) -> None:
+        if subject in self._pending_lat and subject in self._pending_long:
+            self._graph.set_location(
+                subject,
+                Point(self._pending_lat.pop(subject), self._pending_long.pop(subject)),
+            )
+
+    def add_triples(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add_triple(triple)
+
+    def build(self) -> RDFGraph:
+        """The simplified graph built so far (the builder stays usable)."""
+        return self._graph
+
+
+def graph_from_triples(triples: Iterable[Triple]) -> RDFGraph:
+    """Convenience: build a simplified kSP data graph in one call."""
+    builder = GraphBuilder()
+    builder.add_triples(triples)
+    return builder.build()
+
+
+def _as_float(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except ValueError:
+        return None

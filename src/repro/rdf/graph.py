@@ -1,0 +1,191 @@
+"""The in-memory RDF graph store.
+
+The paper stores the RDF data "in their native graph form (i.e., using
+adjacency lists) in memory", because kSP evaluation is graph browsing (BFS),
+not SPARQL pattern matching.  Vertices are dense integer ids; each vertex
+carries its label (URI local name or entity name), its textual document
+(the set of keywords extracted from its URI, literals and incoming-predicate
+descriptions) and, for place vertices, a point location.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.rdf.traversal import GraphTraversalMixin
+from repro.spatial.geometry import Point
+
+
+class RDFGraph(GraphTraversalMixin):
+    """A directed multigraph with per-vertex documents and locations.
+
+    Traversal (BFS, shortest paths, weak components) comes from
+    :class:`~repro.rdf.traversal.GraphTraversalMixin`, shared with the
+    disk-resident store."""
+
+    def __init__(self) -> None:
+        self._labels: List[str] = []
+        self._documents: List[FrozenSet[str]] = []
+        self._locations: List[Optional[Point]] = []
+        self._out: List[List[int]] = []
+        self._in: List[List[int]] = []
+        self._id_by_label: Dict[str, int] = {}
+        self._edge_count = 0
+        self._predicates: Dict[Tuple[int, int], str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(
+        self,
+        label: str,
+        document: Iterable[str] = (),
+        location: Optional[Point] = None,
+    ) -> int:
+        """Add a vertex and return its id; labels must be unique."""
+        if label in self._id_by_label:
+            raise ValueError("duplicate vertex label: %r" % label)
+        vertex = len(self._labels)
+        self._labels.append(label)
+        self._documents.append(frozenset(document))
+        self._locations.append(location)
+        self._out.append([])
+        self._in.append([])
+        self._id_by_label[label] = vertex
+        return vertex
+
+    def get_or_add_vertex(self, label: str) -> int:
+        existing = self._id_by_label.get(label)
+        if existing is not None:
+            return existing
+        return self.add_vertex(label)
+
+    def add_edge(self, source: int, target: int, predicate: Optional[str] = None) -> None:
+        """Add the directed edge ``source -> target``.
+
+        Parallel edges are collapsed (a second identical edge is a no-op):
+        the kSP algorithms only use shortest hop counts, for which edge
+        multiplicity is irrelevant.
+        """
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if target in self._out[source]:
+            return
+        self._out[source].append(target)
+        self._in[target].append(source)
+        self._edge_count += 1
+        if predicate is not None:
+            self._predicates[(source, target)] = predicate
+
+    def extend_document(self, vertex: int, terms: Iterable[str]) -> None:
+        """Union extra terms into a vertex document (predicate descriptions
+        land in the *object* entity's document — Section 2)."""
+        self._check_vertex(vertex)
+        self._documents[vertex] = self._documents[vertex] | frozenset(terms)
+
+    def set_location(self, vertex: int, location: Optional[Point]) -> None:
+        self._check_vertex(vertex)
+        self._locations[vertex] = location
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < len(self._labels):
+            raise IndexError("no such vertex: %d" % vertex)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, vertex: int) -> str:
+        self._check_vertex(vertex)
+        return self._labels[vertex]
+
+    def vertex_by_label(self, label: str) -> int:
+        try:
+            return self._id_by_label[label]
+        except KeyError:
+            raise KeyError("no vertex labelled %r" % label) from None
+
+    def has_vertex_label(self, label: str) -> bool:
+        return label in self._id_by_label
+
+    def document(self, vertex: int) -> FrozenSet[str]:
+        self._check_vertex(vertex)
+        return self._documents[vertex]
+
+    def location(self, vertex: int) -> Optional[Point]:
+        self._check_vertex(vertex)
+        return self._locations[vertex]
+
+    def is_place(self, vertex: int) -> bool:
+        self._check_vertex(vertex)
+        return self._locations[vertex] is not None
+
+    def places(self) -> Iterator[Tuple[int, Point]]:
+        """All (vertex id, location) pairs of place vertices."""
+        for vertex, location in enumerate(self._locations):
+            if location is not None:
+                yield vertex, location
+
+    def place_count(self) -> int:
+        return sum(1 for location in self._locations if location is not None)
+
+    def out_neighbors(self, vertex: int) -> Sequence[int]:
+        self._check_vertex(vertex)
+        return self._out[vertex]
+
+    def in_neighbors(self, vertex: int) -> Sequence[int]:
+        self._check_vertex(vertex)
+        return self._in[vertex]
+
+    def predicate(self, source: int, target: int) -> Optional[str]:
+        return self._predicates.get((source, target))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        for source, targets in enumerate(self._out):
+            for target in targets:
+                yield source, target
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Flat-storage estimate of the graph (Table 4 accounting): two
+        adjacency arrays of vertex ids plus per-vertex offsets, labels,
+        documents and coordinates."""
+        total = 0
+        total += 2 * 8 * self._edge_count  # out + in adjacency, 8-byte ids
+        total += 2 * 8 * self.vertex_count  # offsets
+        total += sum(len(label.encode("utf-8")) + 4 for label in self._labels)
+        for document in self._documents:
+            total += 4 + sum(len(term.encode("utf-8")) + 4 for term in document)
+        total += sum(16 for location in self._locations if location is not None)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<RDFGraph |V|=%d |E|=%d places=%d>" % (
+            self.vertex_count,
+            self.edge_count,
+            self.place_count(),
+        )

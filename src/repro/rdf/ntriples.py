@@ -1,0 +1,212 @@
+"""A line-oriented N-Triples reader and writer.
+
+N-Triples is the simplest RDF serialization: one triple per line, terms in
+full.  This parser covers the constructs produced by knowledge-base dumps —
+IRIs, blank nodes, plain/language-tagged/typed literals with the standard
+string escapes — and reports malformed lines with their line number.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Object, Subject, Triple
+
+
+class NTriplesError(ValueError):
+    """Raised for a syntactically invalid N-Triples line."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__("line %d: %s" % (line_number, message))
+        self.line_number = line_number
+
+
+_UNESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+class _LineParser:
+    """A recursive-descent parser over a single line."""
+
+    def __init__(self, line: str, line_number: int) -> None:
+        self.line = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> NTriplesError:
+        return NTriplesError(message, self.line_number)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        if self.pos >= len(self.line) or self.line[self.pos] != char:
+            raise self.error("expected %r at column %d" % (char, self.pos))
+        self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.line[self.pos]
+
+    def parse_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end == -1:
+            raise self.error("unterminated IRI")
+        value = self.line[self.pos : end]
+        self.pos = end + 1
+        return IRI(value)
+
+    def parse_blank(self) -> BlankNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.line) and (
+            self.line[self.pos].isalnum() or self.line[self.pos] in "-_."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BlankNode(self.line[start : self.pos])
+
+    def parse_literal(self) -> Literal:
+        self.expect('"')
+        chars = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.line[self.pos]
+            self.pos += 1
+            if char == '"':
+                break
+            if char == "\\":
+                if self.at_end():
+                    raise self.error("dangling escape")
+                escape = self.line[self.pos]
+                self.pos += 1
+                if escape in _UNESCAPES:
+                    chars.append(_UNESCAPES[escape])
+                elif escape == "u":
+                    chars.append(self._unicode_escape(4))
+                elif escape == "U":
+                    chars.append(self._unicode_escape(8))
+                else:
+                    raise self.error("unknown escape \\%s" % escape)
+            else:
+                chars.append(char)
+        lexical = "".join(chars)
+        if not self.at_end() and self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.line) and (
+                self.line[self.pos].isalnum() or self.line[self.pos] == "-"
+            ):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=self.line[start : self.pos])
+        if self.pos + 1 < len(self.line) and self.line[self.pos : self.pos + 2] == "^^":
+            self.pos += 2
+            return Literal(lexical, datatype=self.parse_iri())
+        return Literal(lexical)
+
+    def _unicode_escape(self, width: int) -> str:
+        hex_digits = self.line[self.pos : self.pos + width]
+        if len(hex_digits) < width:
+            raise self.error("truncated unicode escape")
+        try:
+            code_point = int(hex_digits, 16)
+        except ValueError:
+            raise self.error("invalid unicode escape %r" % hex_digits) from None
+        self.pos += width
+        return chr(code_point)
+
+    def parse_subject(self) -> Subject:
+        char = self.peek()
+        if char == "<":
+            return self.parse_iri()
+        if char == "_":
+            return self.parse_blank()
+        raise self.error("subject must be an IRI or blank node")
+
+    def parse_object(self) -> Object:
+        char = self.peek()
+        if char == "<":
+            return self.parse_iri()
+        if char == "_":
+            return self.parse_blank()
+        if char == '"':
+            return self.parse_literal()
+        raise self.error("object must be an IRI, blank node, or literal")
+
+    def parse_triple(self) -> Triple:
+        self.skip_whitespace()
+        subject = self.parse_subject()
+        self.skip_whitespace()
+        predicate = self.parse_iri()
+        self.skip_whitespace()
+        obj = self.parse_object()
+        self.skip_whitespace()
+        self.expect(".")
+        self.skip_whitespace()
+        if not self.at_end():
+            raise self.error("trailing content after '.'")
+        return Triple(subject, predicate, obj)
+
+
+def parse_line(line: str, line_number: int = 1) -> Triple:
+    """Parse a single N-Triples statement line."""
+    return _LineParser(line, line_number).parse_triple()
+
+
+def parse(source: Union[str, IO[str]]) -> Iterator[Triple]:
+    """Yield triples from N-Triples text (a string or a text stream).
+
+    Blank lines and ``#`` comment lines are skipped, as per the spec.
+    """
+    stream: IO[str]
+    if isinstance(source, str):
+        stream = io.StringIO(source)
+    else:
+        stream = source
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield parse_line(line, line_number)
+
+
+def parse_file(path: Union[str, Path]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples file on disk."""
+    with open(path, "r", encoding="utf-8") as stream:
+        yield from parse(stream)
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Render triples as N-Triples text (one statement per line)."""
+    return "".join("%s\n" % triple for triple in triples)
+
+
+def write_file(triples: Iterable[Triple], path: Union[str, Path]) -> int:
+    """Write triples to ``path``; returns the number of statements written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for triple in triples:
+            stream.write("%s\n" % triple)
+            count += 1
+    return count

@@ -1,0 +1,98 @@
+"""RDF term and triple types.
+
+An RDF statement is a ``(subject, predicate, object)`` triple; subjects are
+IRIs or blank nodes, predicates are IRIs, objects may additionally be
+literals.  These types are deliberately small value objects — the query
+engine never touches them after the graph is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI reference, e.g. ``http://dbpedia.org/resource/Montmajour_Abbey``."""
+
+    value: str
+
+    def local_name(self) -> str:
+        """The fragment or last path segment — the human-readable part.
+
+        The paper extracts each entity's document from its URI; the local
+        name is what carries the keywords ("Montmajour_Abbey").
+        """
+        value = self.value
+        for separator in ("#", "/", ":"):
+            index = value.rfind(separator)
+            if index != -1 and index + 1 < len(value):
+                return value[index + 1 :]
+        return value
+
+    def __str__(self) -> str:
+        return "<%s>" % self.value
+
+
+@dataclass(frozen=True)
+class BlankNode:
+    """A blank node, identified by its label (without the ``_:`` prefix)."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return "_:%s" % self.label
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value with optional language tag or datatype IRI."""
+
+    lexical: str
+    language: Optional[str] = None
+    datatype: Optional[IRI] = None
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise ValueError("a literal cannot have both a language and a datatype")
+
+    def __str__(self) -> str:
+        escaped = _escape_literal(self.lexical)
+        if self.language:
+            return '"%s"@%s' % (escaped, self.language)
+        if self.datatype:
+            return '"%s"^^%s' % (escaped, self.datatype)
+        return '"%s"' % escaped
+
+
+Subject = Union[IRI, BlankNode]
+Object = Union[IRI, BlankNode, Literal]
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement."""
+
+    subject: Subject
+    predicate: IRI
+    object: Object
+
+    def __str__(self) -> str:
+        return "%s %s %s ." % (self.subject, self.predicate, self.object)
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def _escape_literal(text: str) -> str:
+    out = []
+    for char in text:
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out)

@@ -1,0 +1,314 @@
+"""A Turtle (TTL) reader for the constructs found in knowledge-base dumps.
+
+DBpedia and YAGO distribute their data as Turtle; this parser covers the
+subset those dumps use:
+
+* ``@prefix`` / ``@base`` directives (and the SPARQL-style ``PREFIX`` /
+  ``BASE`` variants);
+* prefixed names and full IRIs;
+* ``a`` as ``rdf:type``;
+* predicate lists (``;``) and object lists (``,``);
+* plain, language-tagged and datatyped literals with standard escapes,
+  plus bare integers/decimals/doubles and ``true``/``false``;
+* labelled blank nodes (``_:b0``) and ``#`` comments.
+
+RDF collections and anonymous blank-node property lists (``[...]``) are
+not supported — knowledge-base dumps do not use them — and are reported
+as clear syntax errors.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import IO, Dict, Iterator, List, Union
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Object, Subject, Triple
+
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class TurtleSyntaxError(ValueError):
+    """Raised for malformed Turtle text."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRIREF", r"<[^<>\"{}|^`\\\s]*>"),
+    ("STRING_LONG", r'"""(?:[^"\\]|\\.|"(?!""))*"""'),
+    ("STRING", r'"(?:[^"\n\\]|\\.)*"'),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLECARET", r"\^\^"),
+    ("NUMBER", r"[+-]?(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"),
+    ("BLANK", r"_:[A-Za-z0-9][A-Za-z0-9_.-]*"),
+    ("PNAME", r"(?:[A-Za-z_][A-Za-z0-9_.-]*)?:[A-Za-z0-9_]*(?:[A-Za-z0-9_.%-]*[A-Za-z0-9_%-])?"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("PUNCT", r"[.;,\[\]()]"),
+]
+_TOKEN_RE = re.compile("|".join("(?P<%s>%s)" % pair for pair in _TOKEN_SPEC))
+
+_STRING_UNESCAPES = {
+    "\\": "\\", '"': '"', "'": "'", "n": "\n", "t": "\t", "r": "\r",
+    "b": "\b", "f": "\f",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind: str, value: str, line: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    line = 1
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise TurtleSyntaxError("unexpected character %r" % text[position], line)
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "NEWLINE":
+            line += 1
+        elif kind == "STRING_LONG":
+            line += value.count("\n")
+            tokens.append(_Token("STRING_LONG", value, line))
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, value, line))
+        position = match.end()
+    tokens.append(_Token("EOF", "", line))
+    return tokens
+
+
+def _unescape(text: str, line: int) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        if index + 1 >= len(text):
+            raise TurtleSyntaxError("dangling escape", line)
+        escape = text[index + 1]
+        if escape in _STRING_UNESCAPES:
+            out.append(_STRING_UNESCAPES[escape])
+            index += 2
+        elif escape == "u":
+            out.append(chr(int(text[index + 2 : index + 6], 16)))
+            index += 6
+        elif escape == "U":
+            out.append(chr(int(text[index + 2 : index + 10], 16)))
+            index += 10
+        else:
+            raise TurtleSyntaxError("unknown escape \\%s" % escape, line)
+    return "".join(out)
+
+
+class _TurtleParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._prefixes: Dict[str, str] = {}
+        self._base = ""
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> TurtleSyntaxError:
+        return TurtleSyntaxError(message, self._peek().line)
+
+    def _expect_punct(self, punct: str) -> None:
+        token = self._next()
+        if token.kind != "PUNCT" or token.value != punct:
+            raise TurtleSyntaxError(
+                "expected %r, found %r" % (punct, token.value), token.line
+            )
+
+    def _accept_punct(self, punct: str) -> bool:
+        token = self._peek()
+        if token.kind == "PUNCT" and token.value == punct:
+            self._index += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Iterator[Triple]:
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.kind == "LANGTAG" and token.value in ("@prefix", "@base"):
+                self._parse_at_directive()
+                continue
+            if token.kind == "NAME" and token.value.upper() in ("PREFIX", "BASE"):
+                self._parse_sparql_directive()
+                continue
+            yield from self._parse_triples()
+
+    def _parse_at_directive(self) -> None:
+        token = self._next()
+        if token.value == "@prefix":
+            self._parse_prefix_binding()
+            self._expect_punct(".")
+        else:  # @base
+            self._base = self._parse_iriref()
+            self._expect_punct(".")
+
+    def _parse_sparql_directive(self) -> None:
+        token = self._next()
+        if token.value.upper() == "PREFIX":
+            self._parse_prefix_binding()
+        else:
+            self._base = self._parse_iriref()
+
+    def _parse_prefix_binding(self) -> None:
+        token = self._next()
+        if token.kind != "PNAME" or not token.value.endswith(":"):
+            raise TurtleSyntaxError(
+                "expected prefix declaration, found %r" % token.value, token.line
+            )
+        prefix = token.value[:-1]
+        self._prefixes[prefix] = self._parse_iriref()
+
+    def _parse_iriref(self) -> str:
+        token = self._next()
+        if token.kind != "IRIREF":
+            raise TurtleSyntaxError(
+                "expected an IRI, found %r" % token.value, token.line
+            )
+        value = token.value[1:-1]
+        if self._base and not re.match(r"[A-Za-z][A-Za-z0-9+.-]*:", value):
+            return self._base + value
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _parse_triples(self) -> Iterator[Triple]:
+        subject = self._parse_subject()
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_object()
+                yield Triple(subject, predicate, obj)
+                if not self._accept_punct(","):
+                    break
+            if self._accept_punct(";"):
+                # A trailing semicolon before '.' is legal Turtle.
+                if self._peek().kind == "PUNCT" and self._peek().value == ".":
+                    break
+                continue
+            break
+        self._expect_punct(".")
+
+    def _parse_subject(self) -> Subject:
+        token = self._peek()
+        if token.kind == "IRIREF":
+            return IRI(self._parse_iriref())
+        if token.kind == "PNAME":
+            return self._resolve_pname(self._next())
+        if token.kind == "BLANK":
+            return BlankNode(self._next().value[2:])
+        if token.kind == "PUNCT" and token.value == "[":
+            raise self._error("anonymous blank nodes are not supported")
+        raise self._error("expected a subject, found %r" % token.value)
+
+    def _parse_predicate(self) -> IRI:
+        token = self._peek()
+        if token.kind == "NAME" and token.value == "a":
+            self._next()
+            return RDF_TYPE
+        if token.kind == "IRIREF":
+            return IRI(self._parse_iriref())
+        if token.kind == "PNAME":
+            return self._resolve_pname(self._next())
+        raise self._error("expected a predicate, found %r" % token.value)
+
+    def _parse_object(self) -> Object:
+        token = self._peek()
+        if token.kind == "IRIREF":
+            return IRI(self._parse_iriref())
+        if token.kind == "PNAME":
+            return self._resolve_pname(self._next())
+        if token.kind == "BLANK":
+            return BlankNode(self._next().value[2:])
+        if token.kind in ("STRING", "STRING_LONG"):
+            return self._parse_literal()
+        if token.kind == "NUMBER":
+            self._next()
+            return _number_literal(token.value)
+        if token.kind == "NAME" and token.value in ("true", "false"):
+            self._next()
+            return Literal(token.value, datatype=IRI(_XSD + "boolean"))
+        if token.kind == "PUNCT" and token.value in ("[", "("):
+            raise self._error(
+                "collections / anonymous blank nodes are not supported"
+            )
+        raise self._error("expected an object, found %r" % token.value)
+
+    def _parse_literal(self) -> Literal:
+        token = self._next()
+        if token.kind == "STRING_LONG":
+            lexical = _unescape(token.value[3:-3], token.line)
+        else:
+            lexical = _unescape(token.value[1:-1], token.line)
+        nxt = self._peek()
+        if nxt.kind == "LANGTAG":
+            self._next()
+            return Literal(lexical, language=nxt.value[1:])
+        if nxt.kind == "DOUBLECARET":
+            self._next()
+            datatype_token = self._peek()
+            if datatype_token.kind == "IRIREF":
+                return Literal(lexical, datatype=IRI(self._parse_iriref()))
+            if datatype_token.kind == "PNAME":
+                return Literal(
+                    lexical, datatype=self._resolve_pname(self._next())
+                )
+            raise self._error("expected a datatype IRI")
+        return Literal(lexical)
+
+    def _resolve_pname(self, token: _Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        if prefix not in self._prefixes:
+            raise TurtleSyntaxError(
+                "undeclared prefix %r" % prefix, token.line
+            )
+        return IRI(self._prefixes[prefix] + local)
+
+
+def _number_literal(text: str) -> Literal:
+    if re.fullmatch(r"[+-]?\d+", text):
+        return Literal(text, datatype=IRI(_XSD + "integer"))
+    if "e" in text.lower():
+        return Literal(text, datatype=IRI(_XSD + "double"))
+    return Literal(text, datatype=IRI(_XSD + "decimal"))
+
+
+def parse_turtle(source: Union[str, IO[str]]) -> Iterator[Triple]:
+    """Yield triples from Turtle text (a string or a text stream)."""
+    if not isinstance(source, str):
+        source = source.read()
+    yield from _TurtleParser(source).parse()
+
+
+def parse_turtle_file(path: Union[str, Path]) -> Iterator[Triple]:
+    """Yield triples from a Turtle file on disk."""
+    with open(path, "r", encoding="utf-8") as stream:
+        yield from parse_turtle(stream.read())

@@ -1,0 +1,18 @@
+"""Reachability substrate: SCC condensation, GRAIL interval labels, exact
+pruned-landmark 2-hop labels, and the keyword-augmented index behind
+Pruning Rule 1."""
+
+from repro.reach.condensation import Condensation
+from repro.reach.grail import GrailIndex
+from repro.reach.keyword import BFSReachability, KeywordReachabilityIndex
+from repro.reach.pll import PrunedLandmarkIndex
+from repro.reach.tarjan import strongly_connected_components
+
+__all__ = [
+    "strongly_connected_components",
+    "Condensation",
+    "GrailIndex",
+    "PrunedLandmarkIndex",
+    "KeywordReachabilityIndex",
+    "BFSReachability",
+]

@@ -1,0 +1,48 @@
+"""Condensation of a directed graph into its DAG of SCCs."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List
+
+from repro.reach.tarjan import component_count, strongly_connected_components
+
+
+class Condensation:
+    """The SCC condensation DAG of a directed graph.
+
+    ``component[v]`` maps an original vertex to its DAG node.  DAG adjacency
+    is deduplicated.  Node ids are in reverse topological order (an edge
+    ``a -> b`` implies ``a > b``), a property the labelling schemes exploit.
+    """
+
+    def __init__(
+        self, vertex_count: int, successors: Callable[[int], Iterable[int]]
+    ) -> None:
+        self.component: List[int] = strongly_connected_components(
+            vertex_count, successors
+        )
+        self.node_count: int = component_count(self.component)
+        out_sets: List[set] = [set() for _ in range(self.node_count)]
+        for vertex in range(vertex_count):
+            source = self.component[vertex]
+            for successor in successors(vertex):
+                target = self.component[successor]
+                if source != target:
+                    out_sets[source].add(target)
+        self.out: List[List[int]] = [sorted(targets) for targets in out_sets]
+        in_lists: List[List[int]] = [[] for _ in range(self.node_count)]
+        for source, targets in enumerate(self.out):
+            for target in targets:
+                in_lists[target].append(source)
+        self.into: List[List[int]] = in_lists
+
+    def node_of(self, vertex: int) -> int:
+        return self.component[vertex]
+
+    def topological_order(self) -> range:
+        """Node ids from sources to sinks.
+
+        Tarjan assigns sinks the smallest ids, so descending id order is a
+        valid topological order of the condensation.
+        """
+        return range(self.node_count - 1, -1, -1)

@@ -1,0 +1,121 @@
+"""GRAIL-style interval labelling for reachability (Yildirim et al.).
+
+Each of ``label_count`` randomized post-order DFS traversals of the DAG
+assigns every node an interval ``[low, post]`` where ``low`` is the minimum
+post-order rank in the node's subtree (including indirect descendants).  If
+``u`` reaches ``v`` then ``v``'s interval is contained in ``u``'s in *every*
+labelling — so non-containment in any labelling is a certificate of
+non-reachability.  Containment is only necessary, not sufficient; positive
+candidates fall back to a pruned DFS (pruned again by the labels).
+
+The paper uses TF-Label, which is closed-source; GRAIL is the filter half of
+our substitution (see DESIGN.md §4), with exact 2-hop labels
+(:mod:`repro.reach.pll`) as the default exact index.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+
+class GrailIndex:
+    """Interval labels over a DAG given by ``out`` adjacency lists."""
+
+    def __init__(
+        self,
+        out: Sequence[Sequence[int]],
+        label_count: int = 3,
+        seed: int = 7,
+    ) -> None:
+        if label_count < 1:
+            raise ValueError("label_count must be positive")
+        self._out = out
+        node_count = len(out)
+        rng = random.Random(seed)
+        # lows[k][v], posts[k][v] for labelling k.
+        self.lows: List[List[int]] = []
+        self.posts: List[List[int]] = []
+        for _ in range(label_count):
+            low, post = self._one_labelling(rng)
+            self.lows.append(low)
+            self.posts.append(post)
+        self._node_count = node_count
+
+    def _one_labelling(self, rng: random.Random) -> Tuple[List[int], List[int]]:
+        node_count = len(self._out)
+        post = [0] * node_count
+        low = [0] * node_count
+        visited = [False] * node_count
+        counter = 0
+        # Randomize both the root order and each node's child order so the
+        # labellings are independent.
+        roots = list(range(node_count))
+        rng.shuffle(roots)
+        for root in roots:
+            if visited[root]:
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            visited[root] = True
+            shuffled: dict = {}
+            while stack:
+                node, child_index = stack[-1]
+                children = shuffled.get(node)
+                if children is None:
+                    children = list(self._out[node])
+                    rng.shuffle(children)
+                    shuffled[node] = children
+                advanced = False
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    stack[-1] = (node, child_index)
+                    if not visited[child]:
+                        visited[child] = True
+                        stack.append((child, 0))
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                stack.pop()
+                counter += 1
+                post[node] = counter
+                minimum = counter
+                for child in self._out[node]:
+                    if low[child] < minimum:
+                        minimum = low[child]
+                low[node] = minimum
+                del shuffled[node]
+        return low, post
+
+    def maybe_reaches(self, source: int, target: int) -> bool:
+        """False means definitely unreachable; True means "cannot rule out"."""
+        if source == target:
+            return True
+        for low, post in zip(self.lows, self.posts):
+            if not (low[source] <= low[target] and post[target] <= post[source]):
+                return False
+        return True
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Exact reachability: interval filter plus label-pruned DFS."""
+        if source == target:
+            return True
+        if not self.maybe_reaches(source, target):
+            return False
+        stack = [source]
+        seen = {source}
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            for child in self._out[node]:
+                if child in seen:
+                    continue
+                seen.add(child)
+                if self.maybe_reaches(child, target):
+                    stack.append(child)
+        return False
+
+    def size_bytes(self) -> int:
+        return 2 * 4 * self._node_count * len(self.lows)

@@ -1,0 +1,109 @@
+"""Pruned-landmark 2-hop labelling for exact reachability queries.
+
+Every DAG node ``v`` keeps two sorted landmark lists: ``label_out[v]`` (the
+landmarks ``v`` reaches) and ``label_in[v]`` (the landmarks that reach
+``v``).  ``reach(u, v)`` holds iff the two lists intersect (every processed
+node is its own landmark).  Landmarks are processed in descending degree
+order; each landmark's forward/backward BFS prunes at nodes whose
+reachability to/from the landmark is already answerable — the pruning that
+keeps labels near-constant size on real graph topologies.
+
+This is the exact index substituted for the paper's TF-Label component
+(DESIGN.md §4): Rule 1 only needs microsecond-exact ``reach`` answers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+
+class PrunedLandmarkIndex:
+    """Exact 2-hop reachability labels over a DAG."""
+
+    def __init__(
+        self,
+        out: Sequence[Sequence[int]],
+        into: Sequence[Sequence[int]],
+    ) -> None:
+        node_count = len(out)
+        if len(into) != node_count:
+            raise ValueError("out/in adjacency size mismatch")
+        self.label_out: List[List[int]] = [[] for _ in range(node_count)]
+        self.label_in: List[List[int]] = [[] for _ in range(node_count)]
+        # Process high-degree hubs first: they cover the most paths, which
+        # maximizes pruning for later landmarks.
+        order = sorted(
+            range(node_count),
+            key=lambda node: len(out[node]) + len(into[node]),
+            reverse=True,
+        )
+        rank = [0] * node_count
+        for position, node in enumerate(order):
+            rank[node] = position
+        for landmark in order:
+            self._forward_bfs(landmark, out, rank)
+            self._backward_bfs(landmark, into, rank)
+
+    def _forward_bfs(
+        self, landmark: int, out: Sequence[Sequence[int]], rank: Sequence[int]
+    ) -> None:
+        queue = deque([landmark])
+        seen = {landmark}
+        landmark_rank = rank[landmark]
+        while queue:
+            node = queue.popleft()
+            # Prune if (landmark -> node) is already answerable without this
+            # label entry; the landmark itself always records itself.
+            if node != landmark and self._query_labels(landmark, node):
+                continue
+            self.label_in[node].append(landmark_rank)
+            for child in out[node]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+
+    def _backward_bfs(
+        self, landmark: int, into: Sequence[Sequence[int]], rank: Sequence[int]
+    ) -> None:
+        queue = deque([landmark])
+        seen = {landmark}
+        landmark_rank = rank[landmark]
+        while queue:
+            node = queue.popleft()
+            if node != landmark and self._query_labels(node, landmark):
+                continue
+            self.label_out[node].append(landmark_rank)
+            for parent in into[node]:
+                if parent not in seen:
+                    seen.add(parent)
+                    queue.append(parent)
+
+    def _query_labels(self, source: int, target: int) -> bool:
+        # Labels are appended in ascending rank (processing order), so both
+        # lists are sorted: a linear merge finds any common landmark.
+        a = self.label_out[source]
+        b = self.label_in[target]
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i] == b[j]:
+                return True
+            if a[i] < b[j]:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Whether a directed path ``source`` ⇝ ``target`` exists in the DAG."""
+        if source == target:
+            return True
+        return self._query_labels(source, target)
+
+    def label_entry_count(self) -> int:
+        return sum(len(label) for label in self.label_out) + sum(
+            len(label) for label in self.label_in
+        )
+
+    def size_bytes(self) -> int:
+        return 4 * self.label_entry_count() + 16 * len(self.label_out)

@@ -1,0 +1,80 @@
+"""Iterative Tarjan strongly-connected-components algorithm.
+
+Reachability labelling (Section 4.1's Rule 1 component) operates on the DAG
+of SCCs: two vertices in one SCC trivially reach each other, and the
+condensation is usually dramatically smaller than the raw graph.
+
+The implementation is iterative (explicit stack) because knowledge-graph
+SCC chains can exceed Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+
+def strongly_connected_components(
+    vertex_count: int, successors: Callable[[int], Iterable[int]]
+) -> List[int]:
+    """Compute SCC ids for a graph given by a successor function.
+
+    Returns ``component`` where ``component[v]`` is the SCC id of vertex
+    ``v``.  Ids are assigned in reverse topological order of the
+    condensation: if SCC ``a`` has an edge to SCC ``b`` then
+    ``component id of a > component id of b``.  (Tarjan emits sinks first.)
+    """
+    UNVISITED = -1
+    index_counter = 0
+    component_counter = 0
+    indices = [UNVISITED] * vertex_count
+    lowlinks = [0] * vertex_count
+    on_stack = [False] * vertex_count
+    component = [UNVISITED] * vertex_count
+    stack: List[int] = []
+
+    for root in range(vertex_count):
+        if indices[root] != UNVISITED:
+            continue
+        # Each frame is (vertex, iterator over its successors).
+        work = [(root, iter(successors(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+
+        while work:
+            vertex, successor_iter = work[-1]
+            advanced = False
+            for successor in successor_iter:
+                if indices[successor] == UNVISITED:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(successors(successor))))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    if indices[successor] < lowlinks[vertex]:
+                        lowlinks[vertex] = indices[successor]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlinks[vertex] < lowlinks[parent]:
+                    lowlinks[parent] = lowlinks[vertex]
+            if lowlinks[vertex] == indices[vertex]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component[member] = component_counter
+                    if member == vertex:
+                        break
+                component_counter += 1
+
+    return component
+
+
+def component_count(component: Sequence[int]) -> int:
+    return max(component) + 1 if component else 0

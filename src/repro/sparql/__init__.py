@@ -1,0 +1,24 @@
+"""A small SPARQL engine over raw triples — the "traditional" structured
+access path the paper contrasts kSP against (Section 1).
+
+Supports SELECT with basic graph patterns, FILTER expressions (including a
+GeoSPARQL-flavoured ``DISTANCE`` built-in), DISTINCT, ORDER BY, LIMIT and
+OFFSET, over an in-memory triple store with SPO/POS/OSP hash indexes and a
+selectivity-ordered backtracking join.
+"""
+
+from repro.sparql.ast import SelectQuery, TriplePattern, Variable
+from repro.sparql.eval import QueryEngine, SparqlEvaluationError
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+from repro.sparql.store import TripleStore
+
+__all__ = [
+    "TripleStore",
+    "QueryEngine",
+    "parse_query",
+    "SelectQuery",
+    "TriplePattern",
+    "Variable",
+    "SparqlSyntaxError",
+    "SparqlEvaluationError",
+]

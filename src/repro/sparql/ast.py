@@ -1,0 +1,181 @@
+"""Abstract syntax for the SPARQL subset.
+
+The engine supports the fragment needed to query spatial RDF data in the
+"traditional" way the paper contrasts kSP against: basic graph patterns,
+FILTER expressions (comparisons, boolean connectives, arithmetic, and the
+built-ins ``STR``, ``CONTAINS``, ``BOUND`` and ``DISTANCE``), ``DISTINCT``,
+``ORDER BY``, ``LIMIT`` and ``OFFSET``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.terms import IRI, BlankNode, Literal
+
+Term = Union[IRI, BlankNode, Literal]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A SPARQL variable, e.g. ``?place`` (name stored without the ``?``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return "?%s" % self.name
+
+
+PatternTerm = Union[Variable, IRI, BlankNode, Literal]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One triple pattern of a basic graph pattern."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(
+            term
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Variable)
+        )
+
+
+# --------------------------------------------------------------------------
+# Filter expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TermExpr:
+    """A constant term or variable reference used as an expression leaf."""
+
+    term: PatternTerm
+
+
+@dataclass(frozen=True)
+class NumberExpr:
+    value: float
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in = != < <= > >=."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class BooleanOp:
+    """``&&`` / ``||`` over sub-expressions."""
+
+    op: str  # "and" | "or"
+    operands: Tuple["Expression", ...]
+
+
+@dataclass(frozen=True)
+class Negation:
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """``left <op> right`` with op in + - * /."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """Built-in call: STR, CONTAINS, BOUND, DISTANCE."""
+
+    name: str  # upper-cased
+    arguments: Tuple["Expression", ...]
+
+
+Expression = Union[
+    TermExpr, NumberExpr, Comparison, BooleanOp, Negation, Arithmetic, FunctionCall
+]
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass
+class BasicGroup:
+    """A flat basic graph pattern with its local filters.
+
+    Used as the body of ``UNION`` alternatives and ``OPTIONAL`` blocks
+    (one nesting level — the fragment knowledge-base queries use)."""
+
+    patterns: List[TriplePattern] = field(default_factory=list)
+    filters: List[Expression] = field(default_factory=list)
+
+    def variables(self) -> List[Variable]:
+        seen: List[Variable] = []
+        for pattern in self.patterns:
+            for variable in pattern.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return seen
+
+
+@dataclass
+class UnionBlock:
+    """``{ A } UNION { B } UNION ...`` — at least two alternatives."""
+
+    alternatives: List[BasicGroup]
+
+
+@dataclass
+class OptionalBlock:
+    """``OPTIONAL { ... }`` — a left join against the body group."""
+
+    group: BasicGroup
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    variables: List[Variable]  # empty means SELECT *
+    patterns: List[TriplePattern] = field(default_factory=list)
+    filters: List[Expression] = field(default_factory=list)
+    unions: List[UnionBlock] = field(default_factory=list)
+    optionals: List[OptionalBlock] = field(default_factory=list)
+    distinct: bool = False
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    def projected(self) -> List[Variable]:
+        """The variables actually projected (pattern variables for ``*``)."""
+        if self.variables:
+            return self.variables
+        seen: List[Variable] = []
+        for pattern in self.patterns:
+            for variable in pattern.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        for union in self.unions:
+            for alternative in union.alternatives:
+                for variable in alternative.variables():
+                    if variable not in seen:
+                        seen.append(variable)
+        for optional in self.optionals:
+            for variable in optional.group.variables():
+                if variable not in seen:
+                    seen.append(variable)
+        return seen

@@ -1,0 +1,552 @@
+"""Evaluation of the SPARQL subset over a :class:`TripleStore`.
+
+Basic graph patterns are evaluated by a selectivity-ordered backtracking
+join: at each step the pattern with the smallest cardinality estimate
+under the current bindings runs next (a greedy join order, the standard
+heuristic for hash-indexed stores).  FILTERs apply as soon as their
+variables are bound, pruning the search early.
+
+Built-in functions:
+
+* ``STR(x)`` — the lexical form of a term;
+* ``CONTAINS(haystack, needle)`` — case-insensitive substring test;
+* ``BOUND(?v)`` — whether the variable is bound;
+* ``DISTANCE(?s, x, y)`` — Euclidean distance between the query point and
+  the subject's point geometry (its ``hasGeometry``-style literal),
+  the GeoSPARQL-flavoured spatial predicate the paper's Related Work
+  discusses.  Unlocated subjects make the filter error-fail (SPARQL
+  semantics: an error eliminates the solution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.documents import parse_point_literal
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.sparql.ast import (
+    Arithmetic,
+    BooleanOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Negation,
+    NumberExpr,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.store import TripleStore
+from repro.spatial.geometry import Point
+
+Term = Union[IRI, BlankNode, Literal]
+Bindings = Dict[Variable, Term]
+
+_GEOMETRY_PREDICATES = ("hasgeometry", "geometry", "point", "location")
+
+_XSD_NUMERIC = {
+    "http://www.w3.org/2001/XMLSchema#integer",
+    "http://www.w3.org/2001/XMLSchema#decimal",
+    "http://www.w3.org/2001/XMLSchema#double",
+    "http://www.w3.org/2001/XMLSchema#float",
+    "http://www.w3.org/2001/XMLSchema#int",
+}
+
+
+class SparqlEvaluationError(ValueError):
+    """An expression error (type mismatch, unbound variable use, ...).
+
+    Per SPARQL semantics, an error in a FILTER eliminates the solution
+    rather than failing the query; the evaluator catches this internally.
+    """
+
+
+class QueryEngine:
+    """Evaluates parsed SELECT queries against one store."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self._store = store
+        self._location_cache: Dict[Term, Optional[Point]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def select(self, query: Union[str, SelectQuery]) -> List[Bindings]:
+        """All solutions of a SELECT query, modifiers applied."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        solutions = list(self._solutions(query))
+        if query.order_by:
+            for condition in reversed(query.order_by):
+                solutions.sort(
+                    key=lambda binding: _order_key(
+                        self._try_evaluate(condition.expression, binding)
+                    ),
+                    reverse=condition.descending,
+                )
+        projected = query.projected()
+        rows: List[Bindings] = []
+        seen = set()
+        for binding in solutions:
+            row = {
+                variable: binding[variable]
+                for variable in projected
+                if variable in binding
+            }
+            if query.distinct:
+                key = tuple(sorted((v.name, str(t)) for v, t in row.items()))
+                if key in seen:
+                    continue
+                seen.add(key)
+            rows.append(row)
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    # ------------------------------------------------------------------
+    # BGP evaluation
+    # ------------------------------------------------------------------
+
+    def _solutions(self, query: SelectQuery) -> Iterator[Bindings]:
+        """Base BGP, then UNION blocks, then OPTIONAL left joins.
+
+        UNION/OPTIONAL bodies are one-level basic groups (see the parser);
+        filters attached to the main group that could not be applied during
+        the base join (because they reference union/optional variables)
+        are re-checked at the end.
+        """
+        has_blocks = bool(query.unions or query.optionals)
+        for binding in self._join(
+            query.patterns,
+            query.filters,
+            {},
+            require_all_filters=not has_blocks,
+        ):
+            yield from self._apply_blocks(query, binding, 0)
+
+    def _apply_blocks(
+        self, query: SelectQuery, binding: Bindings, block_index: int
+    ) -> Iterator[Bindings]:
+        union_count = len(query.unions)
+        if block_index < union_count:
+            union = query.unions[block_index]
+            matched = False
+            for alternative in union.alternatives:
+                for extended in self._join(
+                    alternative.patterns, alternative.filters, binding
+                ):
+                    matched = True
+                    yield from self._apply_blocks(query, extended, block_index + 1)
+            if not matched:
+                return  # UNION with no matching alternative eliminates
+            return
+        optional_index = block_index - union_count
+        if optional_index < len(query.optionals):
+            optional = query.optionals[optional_index]
+            matched = False
+            for extended in self._join(
+                optional.group.patterns, optional.group.filters, binding
+            ):
+                matched = True
+                yield from self._apply_blocks(query, extended, block_index + 1)
+            if not matched:
+                # Left-join semantics: keep the binding unextended.
+                yield from self._apply_blocks(query, binding, block_index + 1)
+            return
+        # All blocks applied; re-check any main-group filter that had to be
+        # deferred past the base join.  Evaluation errors (e.g. a variable
+        # the optional left unbound, used outside BOUND) eliminate the
+        # solution, per SPARQL error semantics.
+        for expression in query.filters:
+            if not self._effective_boolean(expression, binding):
+                return
+        yield binding
+
+    def _join(
+        self,
+        patterns: Sequence[TriplePattern],
+        filters: Sequence[Expression],
+        bindings: Bindings,
+        require_all_filters: bool = True,
+    ) -> Iterator[Bindings]:
+        """Backtracking BGP join.
+
+        With ``require_all_filters`` (the default) a solution is only
+        emitted once every filter was applicable and true — a filter whose
+        variables stay unbound is an error and eliminates the solution.
+        The block-aware caller passes False so filters mentioning
+        union/optional variables can be re-checked after those blocks.
+        """
+        applicable, deferred = self._split_filters(filters, bindings)
+        for expression in applicable:
+            if not self._effective_boolean(expression, bindings):
+                return
+        if not patterns:
+            if not deferred or not require_all_filters:
+                yield dict(bindings)
+            return
+
+        # Greedy join order: most selective pattern first.
+        best_index = min(
+            range(len(patterns)),
+            key=lambda i: self._estimate(patterns[i], bindings),
+        )
+        pattern = patterns[best_index]
+        remaining = list(patterns[:best_index]) + list(patterns[best_index + 1 :])
+        subject = _resolve(pattern.subject, bindings)
+        predicate = _resolve(pattern.predicate, bindings)
+        object_ = _resolve(pattern.object, bindings)
+        for triple in self._store.match(
+            None if isinstance(subject, Variable) else subject,
+            None if isinstance(predicate, Variable) else predicate,
+            None if isinstance(object_, Variable) else object_,
+        ):
+            extended = dict(bindings)
+            if isinstance(subject, Variable):
+                extended[subject] = triple.subject
+            if isinstance(predicate, Variable):
+                if predicate in extended and extended[predicate] != triple.predicate:
+                    continue
+                extended[predicate] = triple.predicate
+            if isinstance(object_, Variable):
+                if object_ in extended and extended[object_] != triple.object:
+                    continue
+                extended[object_] = triple.object
+            # Same variable twice in one pattern must bind consistently.
+            if not _self_consistent(pattern, triple, extended):
+                continue
+            yield from self._join(
+                remaining, deferred, extended, require_all_filters
+            )
+
+    def _split_filters(
+        self, filters: Sequence[Expression], bindings: Bindings
+    ) -> Tuple[List[Expression], List[Expression]]:
+        applicable: List[Expression] = []
+        deferred: List[Expression] = []
+        for expression in filters:
+            # Variables that appear only inside BOUND() do not gate
+            # applicability — BOUND is defined on unbound variables.
+            if _required_variables(expression) <= set(bindings):
+                applicable.append(expression)
+            else:
+                deferred.append(expression)
+        return applicable, deferred
+
+    def _estimate(self, pattern: TriplePattern, bindings: Bindings) -> int:
+        subject = _resolve(pattern.subject, bindings)
+        predicate = _resolve(pattern.predicate, bindings)
+        object_ = _resolve(pattern.object, bindings)
+        return self._store.cardinality_estimate(
+            None if isinstance(subject, Variable) else subject,
+            None if isinstance(predicate, Variable) else predicate,
+            None if isinstance(object_, Variable) else object_,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _effective_boolean(self, expression: Expression, bindings: Bindings) -> bool:
+        try:
+            value = self._evaluate(expression, bindings)
+        except SparqlEvaluationError:
+            return False  # FILTER errors eliminate the solution
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value != 0.0
+        if isinstance(value, str):
+            return bool(value)
+        if isinstance(value, Literal):
+            return bool(value.lexical)
+        return value is not None
+
+    def _try_evaluate(self, expression: Expression, bindings: Bindings):
+        try:
+            return self._evaluate(expression, bindings)
+        except SparqlEvaluationError:
+            return None
+
+    def _evaluate(self, expression: Expression, bindings: Bindings):
+        if isinstance(expression, NumberExpr):
+            return expression.value
+        if isinstance(expression, TermExpr):
+            term = expression.term
+            if isinstance(term, Variable):
+                if term not in bindings:
+                    raise SparqlEvaluationError("unbound variable %s" % term)
+                term = bindings[term]
+            return _as_value(term)
+        if isinstance(expression, Negation):
+            return not self._effective_boolean(expression.operand, bindings)
+        if isinstance(expression, BooleanOp):
+            if expression.op == "and":
+                return all(
+                    self._effective_boolean(op, bindings)
+                    for op in expression.operands
+                )
+            return any(
+                self._effective_boolean(op, bindings) for op in expression.operands
+            )
+        if isinstance(expression, Comparison):
+            return _compare(
+                expression.op,
+                self._evaluate(expression.left, bindings),
+                self._evaluate(expression.right, bindings),
+            )
+        if isinstance(expression, Arithmetic):
+            left = _numeric(self._evaluate(expression.left, bindings))
+            right = _numeric(self._evaluate(expression.right, bindings))
+            if expression.op == "+":
+                return left + right
+            if expression.op == "-":
+                return left - right
+            if expression.op == "*":
+                return left * right
+            if right == 0:
+                raise SparqlEvaluationError("division by zero")
+            return left / right
+        if isinstance(expression, FunctionCall):
+            return self._call(expression, bindings)
+        raise SparqlEvaluationError("unknown expression %r" % (expression,))
+
+    def _call(self, call: FunctionCall, bindings: Bindings):
+        if call.name == "BOUND":
+            argument = call.arguments[0]
+            if not (
+                isinstance(argument, TermExpr)
+                and isinstance(argument.term, Variable)
+            ):
+                raise SparqlEvaluationError("BOUND needs a variable")
+            return argument.term in bindings
+        if call.name == "STR":
+            value = self._evaluate(call.arguments[0], bindings)
+            return _stringify(value)
+        if call.name == "CONTAINS":
+            haystack = _stringify(self._evaluate(call.arguments[0], bindings))
+            needle = _stringify(self._evaluate(call.arguments[1], bindings))
+            return needle.lower() in haystack.lower()
+        if call.name == "STRLEN":
+            return float(
+                len(_stringify(self._evaluate(call.arguments[0], bindings)))
+            )
+        if call.name == "UCASE":
+            return _stringify(self._evaluate(call.arguments[0], bindings)).upper()
+        if call.name == "LCASE":
+            return _stringify(self._evaluate(call.arguments[0], bindings)).lower()
+        if call.name == "STRSTARTS":
+            text = _stringify(self._evaluate(call.arguments[0], bindings))
+            prefix = _stringify(self._evaluate(call.arguments[1], bindings))
+            return text.startswith(prefix)
+        if call.name == "REGEX":
+            import re as _re
+
+            text = _stringify(self._evaluate(call.arguments[0], bindings))
+            pattern = _stringify(self._evaluate(call.arguments[1], bindings))
+            flags = 0
+            if len(call.arguments) >= 3:
+                flag_text = _stringify(
+                    self._evaluate(call.arguments[2], bindings)
+                )
+                if "i" in flag_text:
+                    flags |= _re.IGNORECASE
+            try:
+                return _re.search(pattern, text, flags) is not None
+            except _re.error:
+                raise SparqlEvaluationError(
+                    "invalid regular expression %r" % pattern
+                ) from None
+        if call.name == "DISTANCE":
+            if len(call.arguments) != 3:
+                raise SparqlEvaluationError("DISTANCE(?s, x, y) takes 3 arguments")
+            argument = call.arguments[0]
+            if not (
+                isinstance(argument, TermExpr)
+                and isinstance(argument.term, Variable)
+            ):
+                raise SparqlEvaluationError("DISTANCE needs a variable subject")
+            variable = argument.term
+            if variable not in bindings:
+                raise SparqlEvaluationError("unbound variable %s" % variable)
+            location = self._location_of(bindings[variable])
+            if location is None:
+                raise SparqlEvaluationError("subject has no geometry")
+            x = _numeric(self._evaluate(call.arguments[1], bindings))
+            y = _numeric(self._evaluate(call.arguments[2], bindings))
+            return location.distance_to(Point(x, y))
+        raise SparqlEvaluationError("unknown function %s" % call.name)
+
+    def _location_of(self, term: Term) -> Optional[Point]:
+        if term in self._location_cache:
+            return self._location_cache[term]
+        location = None
+        for triple in self._store.match(subject=term):
+            name = triple.predicate.local_name().lower()
+            if name in _GEOMETRY_PREDICATES and isinstance(triple.object, Literal):
+                location = parse_point_literal(triple.object.lexical)
+                if location is not None:
+                    break
+        self._location_cache[term] = location
+        return location
+
+
+# --------------------------------------------------------------------------
+# Value helpers
+# --------------------------------------------------------------------------
+
+
+def _resolve(term, bindings: Bindings):
+    if isinstance(term, Variable) and term in bindings:
+        return bindings[term]
+    return term
+
+
+def _self_consistent(pattern: TriplePattern, triple, bindings: Bindings) -> bool:
+    for slot, actual in (
+        (pattern.subject, triple.subject),
+        (pattern.predicate, triple.predicate),
+        (pattern.object, triple.object),
+    ):
+        if isinstance(slot, Variable) and bindings.get(slot) != actual:
+            return False
+    return True
+
+
+def _required_variables(expression: Expression) -> set:
+    """Free variables whose binding the expression *needs*: like
+    :func:`_free_variables` but BOUND(?v) contributes nothing."""
+    if isinstance(expression, FunctionCall) and expression.name == "BOUND":
+        return set()
+    if isinstance(expression, Negation):
+        return _required_variables(expression.operand)
+    if isinstance(expression, BooleanOp):
+        out = set()
+        for operand in expression.operands:
+            out |= _required_variables(operand)
+        return out
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return _required_variables(expression.left) | _required_variables(
+            expression.right
+        )
+    if isinstance(expression, FunctionCall):
+        out = set()
+        for argument in expression.arguments:
+            out |= _required_variables(argument)
+        return out
+    return _free_variables(expression)
+
+
+def _free_variables(expression: Expression) -> set:
+    if isinstance(expression, TermExpr):
+        if isinstance(expression.term, Variable):
+            return {expression.term}
+        return set()
+    if isinstance(expression, NumberExpr):
+        return set()
+    if isinstance(expression, Negation):
+        return _free_variables(expression.operand)
+    if isinstance(expression, BooleanOp):
+        out = set()
+        for operand in expression.operands:
+            out |= _free_variables(operand)
+        return out
+    if isinstance(expression, (Comparison, Arithmetic)):
+        return _free_variables(expression.left) | _free_variables(expression.right)
+    if isinstance(expression, FunctionCall):
+        out = set()
+        for argument in expression.arguments:
+            out |= _free_variables(argument)
+        return out
+    return set()
+
+
+def _as_value(term: Term):
+    """Map an RDF term to a comparison-friendly Python value."""
+    if isinstance(term, Literal):
+        if term.datatype is not None and term.datatype.value in _XSD_NUMERIC:
+            try:
+                return float(term.lexical)
+            except ValueError:
+                raise SparqlEvaluationError(
+                    "malformed numeric literal %r" % term.lexical
+                ) from None
+        return term.lexical
+    return term
+
+
+def _numeric(value) -> float:
+    if isinstance(value, bool):
+        raise SparqlEvaluationError("boolean is not numeric")
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise SparqlEvaluationError("not a number: %r" % value) from None
+    raise SparqlEvaluationError("not a number: %r" % (value,))
+
+
+def _stringify(value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return ("%g" % value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, BlankNode):
+        return value.label
+    if isinstance(value, Literal):
+        return value.lexical
+    raise SparqlEvaluationError("cannot stringify %r" % (value,))
+
+
+def _compare(op: str, left, right) -> bool:
+    # Numeric comparison when both sides are numeric; string comparison for
+    # strings; IRIs and blank nodes support (in)equality only.
+    if isinstance(left, (float, int)) and isinstance(right, (float, int)):
+        pass  # directly comparable
+    elif isinstance(left, str) and isinstance(right, str):
+        pass
+    elif op in ("=", "!="):
+        return (left == right) if op == "=" else (left != right)
+    else:
+        raise SparqlEvaluationError(
+            "cannot order %r and %r" % (type(left), type(right))
+        )
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SparqlEvaluationError("unknown comparison %r" % op)
+
+
+def _order_key(value):
+    """A total order over heterogeneous ORDER BY values."""
+    if value is None:
+        return (0, 0.0, "")
+    if isinstance(value, bool):
+        return (1, float(value), "")
+    if isinstance(value, (int, float)):
+        return (2, float(value), "")
+    if isinstance(value, str):
+        return (3, 0.0, value)
+    return (4, 0.0, str(value))

@@ -1,0 +1,492 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (informal)::
+
+    query      := (PREFIX pname: <iri>)* SELECT [DISTINCT] (?var+ | *)
+                  WHERE { (triple . | FILTER(expr))* }
+                  [ORDER BY cond+] [LIMIT n] [OFFSET n]
+    triple     := term term term       (term: IRI, pname:local, ?var,
+                                        "literal"[@lang|^^iri], number, a)
+    expr       := full boolean/relational/arithmetic expressions with
+                  built-ins STR, CONTAINS, BOUND, DISTANCE
+
+``a`` abbreviates ``rdf:type`` as in full SPARQL.  Errors carry the
+offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.ast import (
+    Arithmetic,
+    BasicGroup,
+    BooleanOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Negation,
+    NumberExpr,
+    OptionalBlock,
+    OrderCondition,
+    SelectQuery,
+    TermExpr,
+    TriplePattern,
+    UnionBlock,
+    Variable,
+)
+
+RDF_TYPE = IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class SparqlSyntaxError(ValueError):
+    """Raised for malformed query text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__("%s (at offset %d)" % (message, position))
+        self.position = position
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRIREF", r"<[^<>\"{}|^`\\\s]*>"),
+    ("VAR", r"\?[A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLECARET", r"\^\^"),
+    ("NUMBER", r"[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"),
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_-]*:[A-Za-z0-9_.-]*"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("OP", r"&&|\|\||<=|>=|!=|[{}().,;*!<>=+\-/]"),
+]
+_TOKEN_RE = re.compile("|".join("(?P<%s>%s)" % pair for pair in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "PREFIX", "SELECT", "DISTINCT", "WHERE", "FILTER", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "OFFSET", "TRUE", "FALSE", "A",
+    "UNION", "OPTIONAL",
+}
+_FUNCTIONS = {
+    "STR", "CONTAINS", "BOUND", "DISTANCE",
+    "REGEX", "STRLEN", "UCASE", "LCASE", "STRSTARTS",
+}
+
+_STRING_UNESCAPES = {
+    "\\": "\\", '"': '"', "n": "\n", "t": "\t", "r": "\r", "'": "'",
+}
+
+
+class _Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value: str, position: int) -> None:
+        self.kind = kind
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(%r)" % (self.kind, self.value)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SparqlSyntaxError(
+                "unexpected character %r" % text[position], position
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            if kind == "NAME" and value.upper() in _KEYWORDS:
+                kind = "KEYWORD"
+                # keep original case for error messages; compare upper
+            tokens.append(_Token(kind, value, position))
+        position = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+def _unescape(text: str) -> str:
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            out.append(_STRING_UNESCAPES.get(text[index + 1], text[index + 1]))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._prefixes: Dict[str, str] = {}
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> SparqlSyntaxError:
+        return SparqlSyntaxError(message, self._peek().position)
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "KEYWORD" or token.value.upper() != keyword:
+            raise SparqlSyntaxError(
+                "expected %s, found %r" % (keyword, token.value), token.position
+            )
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value.upper() == keyword:
+            self._index += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._next()
+        if token.kind != "OP" or token.value != op:
+            raise SparqlSyntaxError(
+                "expected %r, found %r" % (op, token.value), token.position
+            )
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "OP" and token.value == op:
+            self._index += 1
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        while self._accept_keyword("PREFIX"):
+            self._parse_prefix()
+        self._expect_keyword("SELECT")
+        query = SelectQuery(variables=[])
+        if self._accept_keyword("DISTINCT"):
+            query.distinct = True
+        if self._accept_op("*"):
+            pass  # empty variable list means SELECT *
+        else:
+            while self._peek().kind == "VAR":
+                query.variables.append(Variable(self._next().value[1:]))
+            if not query.variables:
+                raise self._error("SELECT needs variables or *")
+        self._expect_keyword("WHERE")
+        self._expect_op("{")
+        self._parse_group(query)
+        self._expect_op("}")
+        self._parse_modifiers(query)
+        token = self._peek()
+        if token.kind != "EOF":
+            raise SparqlSyntaxError(
+                "trailing content %r" % token.value, token.position
+            )
+        return query
+
+    def _parse_prefix(self) -> None:
+        token = self._next()
+        if token.kind != "PNAME" or not token.value.endswith(":"):
+            # allow bare "p:" — PNAME with empty local part
+            raise SparqlSyntaxError(
+                "expected prefix name, found %r" % token.value, token.position
+            )
+        prefix = token.value[:-1]
+        iri_token = self._next()
+        if iri_token.kind != "IRIREF":
+            raise SparqlSyntaxError(
+                "expected IRI, found %r" % iri_token.value, iri_token.position
+            )
+        self._prefixes[prefix] = iri_token.value[1:-1]
+
+    def _parse_group(self, query: SelectQuery) -> None:
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value == "}":
+                return
+            if token.kind == "KEYWORD" and token.value.upper() == "FILTER":
+                self._next()
+                self._expect_op("(")
+                query.filters.append(self._parse_expression())
+                self._expect_op(")")
+                self._accept_op(".")
+                continue
+            if token.kind == "KEYWORD" and token.value.upper() == "OPTIONAL":
+                self._next()
+                self._expect_op("{")
+                query.optionals.append(OptionalBlock(self._parse_basic_group()))
+                self._expect_op("}")
+                self._accept_op(".")
+                continue
+            if token.kind == "OP" and token.value == "{":
+                self._parse_braced_group(query)
+                self._accept_op(".")
+                continue
+            pattern = TriplePattern(
+                self._parse_term(), self._parse_term(), self._parse_term()
+            )
+            query.patterns.append(pattern)
+            if not self._accept_op("."):
+                # The final triple before "}" may omit the dot.
+                closing = self._peek()
+                if not (closing.kind == "OP" and closing.value == "}"):
+                    raise self._error("expected '.' after triple pattern")
+
+    def _parse_braced_group(self, query: SelectQuery) -> None:
+        """``{ A }`` alone merges into the main group; followed by one or
+        more ``UNION { B }`` it becomes a union block."""
+        self._expect_op("{")
+        first = self._parse_basic_group()
+        self._expect_op("}")
+        if not (
+            self._peek().kind == "KEYWORD"
+            and self._peek().value.upper() == "UNION"
+        ):
+            query.patterns.extend(first.patterns)
+            query.filters.extend(first.filters)
+            return
+        alternatives = [first]
+        while self._accept_keyword("UNION"):
+            self._expect_op("{")
+            alternatives.append(self._parse_basic_group())
+            self._expect_op("}")
+        query.unions.append(UnionBlock(alternatives))
+
+    def _parse_basic_group(self) -> BasicGroup:
+        """A flat BGP + filters (the body of UNION/OPTIONAL blocks)."""
+        group = BasicGroup()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value == "}":
+                return group
+            if token.kind == "KEYWORD" and token.value.upper() == "FILTER":
+                self._next()
+                self._expect_op("(")
+                group.filters.append(self._parse_expression())
+                self._expect_op(")")
+                self._accept_op(".")
+                continue
+            if token.kind == "KEYWORD" and token.value.upper() in (
+                "OPTIONAL",
+                "UNION",
+            ) or (token.kind == "OP" and token.value == "{"):
+                raise self._error(
+                    "nested group patterns are not supported inside "
+                    "UNION/OPTIONAL blocks"
+                )
+            pattern = TriplePattern(
+                self._parse_term(), self._parse_term(), self._parse_term()
+            )
+            group.patterns.append(pattern)
+            if not self._accept_op("."):
+                closing = self._peek()
+                if not (closing.kind == "OP" and closing.value == "}"):
+                    raise self._error("expected '.' after triple pattern")
+
+    def _parse_term(self):
+        token = self._next()
+        if token.kind == "VAR":
+            return Variable(token.value[1:])
+        if token.kind == "IRIREF":
+            return IRI(token.value[1:-1])
+        if token.kind == "PNAME":
+            return self._resolve_pname(token)
+        if token.kind == "STRING":
+            return self._parse_literal(token)
+        if token.kind == "NUMBER":
+            return _number_literal(token.value)
+        if token.kind == "KEYWORD" and token.value.upper() == "A":
+            return RDF_TYPE
+        if token.kind == "KEYWORD" and token.value.upper() in ("TRUE", "FALSE"):
+            return Literal(token.value.lower(), datatype=IRI(_XSD + "boolean"))
+        raise SparqlSyntaxError(
+            "expected a term, found %r" % token.value, token.position
+        )
+
+    def _resolve_pname(self, token: _Token) -> IRI:
+        prefix, _, local = token.value.partition(":")
+        if prefix not in self._prefixes:
+            raise SparqlSyntaxError(
+                "undeclared prefix %r" % prefix, token.position
+            )
+        return IRI(self._prefixes[prefix] + local)
+
+    def _parse_literal(self, token: _Token) -> Literal:
+        lexical = _unescape(token.value[1:-1])
+        nxt = self._peek()
+        if nxt.kind == "LANGTAG":
+            self._next()
+            return Literal(lexical, language=nxt.value[1:])
+        if nxt.kind == "DOUBLECARET":
+            self._next()
+            datatype_token = self._next()
+            if datatype_token.kind == "IRIREF":
+                return Literal(lexical, datatype=IRI(datatype_token.value[1:-1]))
+            if datatype_token.kind == "PNAME":
+                return Literal(lexical, datatype=self._resolve_pname(datatype_token))
+            raise SparqlSyntaxError(
+                "expected datatype IRI", datatype_token.position
+            )
+        return Literal(lexical)
+
+    # -- expressions ----------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        operands = [self._parse_and()]
+        while self._accept_op("||"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", tuple(operands))
+
+    def _parse_and(self) -> Expression:
+        operands = [self._parse_unary()]
+        while self._accept_op("&&"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", tuple(operands))
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_op("!"):
+            return Negation(self._parse_unary())
+        return self._parse_relational()
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self._next()
+            right = self._parse_additive()
+            return Comparison(token.value, left, right)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._next()
+                left = Arithmetic(token.value, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/"):
+                self._next()
+                left = Arithmetic(token.value, left, self._parse_primary())
+            else:
+                return left
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.kind == "OP" and token.value == "(":
+            self._next()
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        if token.kind == "NAME" and token.value.upper() in _FUNCTIONS:
+            self._next()
+            name = token.value.upper()
+            self._expect_op("(")
+            arguments = [self._parse_expression()]
+            while self._accept_op(","):
+                arguments.append(self._parse_expression())
+            self._expect_op(")")
+            return FunctionCall(name, tuple(arguments))
+        if token.kind == "NUMBER":
+            self._next()
+            return NumberExpr(float(token.value))
+        if token.kind == "VAR":
+            self._next()
+            return TermExpr(Variable(token.value[1:]))
+        if token.kind == "STRING":
+            self._next()
+            return TermExpr(self._parse_literal(token))
+        if token.kind == "IRIREF":
+            self._next()
+            return TermExpr(IRI(token.value[1:-1]))
+        if token.kind == "PNAME":
+            self._next()
+            return TermExpr(self._resolve_pname(token))
+        raise SparqlSyntaxError(
+            "expected an expression, found %r" % token.value, token.position
+        )
+
+    # -- solution modifiers ----------------------------------------------
+
+    def _parse_modifiers(self, query: SelectQuery) -> None:
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            conditions: List[OrderCondition] = []
+            while True:
+                token = self._peek()
+                if token.kind == "VAR":
+                    self._next()
+                    conditions.append(
+                        OrderCondition(TermExpr(Variable(token.value[1:])))
+                    )
+                elif self._accept_keyword("ASC"):
+                    self._expect_op("(")
+                    conditions.append(OrderCondition(self._parse_expression()))
+                    self._expect_op(")")
+                elif self._accept_keyword("DESC"):
+                    self._expect_op("(")
+                    conditions.append(
+                        OrderCondition(self._parse_expression(), descending=True)
+                    )
+                    self._expect_op(")")
+                else:
+                    break
+            if not conditions:
+                raise self._error("ORDER BY needs at least one condition")
+            query.order_by = conditions
+        if self._accept_keyword("LIMIT"):
+            query.limit = self._parse_int()
+        if self._accept_keyword("OFFSET"):
+            query.offset = self._parse_int()
+
+    def _parse_int(self) -> int:
+        token = self._next()
+        if token.kind != "NUMBER" or not re.fullmatch(r"\d+", token.value):
+            raise SparqlSyntaxError(
+                "expected a non-negative integer, found %r" % token.value,
+                token.position,
+            )
+        return int(token.value)
+
+
+def _number_literal(text: str) -> Literal:
+    if re.fullmatch(r"[+-]?\d+", text):
+        return Literal(text, datatype=IRI(_XSD + "integer"))
+    return Literal(text, datatype=IRI(_XSD + "decimal"))
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse one SELECT query."""
+    return _Parser(text).parse_query()

@@ -1,0 +1,176 @@
+"""A triple store with the three classic permutation indexes.
+
+Unlike :class:`~repro.rdf.graph.RDFGraph` (the simplified keyword-search
+view), the store keeps raw triples — literals, types and all — which is
+what SPARQL evaluation needs.  Three nested hash indexes (SPO, POS, OSP)
+answer every triple pattern with at most one bound-prefix lookup; pattern
+cardinality estimates drive the join order in the evaluator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Set, Union
+
+from repro.rdf.ntriples import parse, parse_file
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+
+Term = Union[IRI, BlankNode, Literal]
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+class TripleStore:
+    """An in-memory RDF triple store."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._count = 0
+        self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> None:
+        s, p, o = triple.subject, triple.predicate, triple.object
+        bucket = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in bucket:
+            return
+        bucket.add(o)
+        _add(self._pos, p, o, s)
+        _add(self._osp, o, s, p)
+        self._count += 1
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    @classmethod
+    def from_ntriples(cls, text: str) -> "TripleStore":
+        return cls(parse(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TripleStore":
+        return cls(parse_file(path))
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.object in (
+            self._spo.get(triple.subject, {}).get(triple.predicate, ())
+        )
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard."""
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if by_predicate is None:
+                return
+            predicates = (
+                [predicate] if predicate is not None else list(by_predicate)
+            )
+            for p in predicates:
+                objects = by_predicate.get(p)
+                if objects is None:
+                    continue
+                if object is not None:
+                    if object in objects:
+                        yield Triple(subject, p, object)
+                else:
+                    for o in objects:
+                        yield Triple(subject, p, o)
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if by_object is None:
+                return
+            objects = [object] if object is not None else list(by_object)
+            for o in objects:
+                subjects = by_object.get(o)
+                if subjects is None:
+                    continue
+                for s in subjects:
+                    yield Triple(s, predicate, o)
+            return
+        if object is not None:
+            by_subject = self._osp.get(object)
+            if by_subject is None:
+                return
+            for s, predicates in by_subject.items():
+                for p in predicates:
+                    yield Triple(s, p, object)
+            return
+        for s, by_predicate in self._spo.items():
+            for p, objects in by_predicate.items():
+                for o in objects:
+                    yield Triple(s, p, o)
+
+    def cardinality_estimate(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """An upper bound on the number of matches, from the indexes.
+
+        Exact for fully-bound and single-wildcard patterns; for the
+        remaining shapes it returns the size of the tightest index slice.
+        """
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if by_predicate is None:
+                return 0
+            if predicate is not None:
+                objects = by_predicate.get(predicate, ())
+                if object is not None:
+                    return 1 if object in objects else 0
+                return len(objects)
+            if object is not None:
+                slice_size = self._osp.get(object, {}).get(subject)
+                return len(slice_size) if slice_size else 0
+            return sum(len(objects) for objects in by_predicate.values())
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if by_object is None:
+                return 0
+            if object is not None:
+                return len(by_object.get(object, ()))
+            return sum(len(subjects) for subjects in by_object.values())
+        if object is not None:
+            by_subject = self._osp.get(object)
+            if by_subject is None:
+                return 0
+            return sum(len(predicates) for predicates in by_subject.values())
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def subjects(self) -> Iterator[Term]:
+        return iter(self._spo)
+
+    def predicates(self) -> Iterator[Term]:
+        return iter(self._pos)
+
+    def objects(self) -> Iterator[Term]:
+        return iter(self._osp)
+
+    def triples(self) -> Iterator[Triple]:
+        return self.match()

@@ -1,0 +1,12 @@
+"""Spatial substrate: planar geometry and a point R-tree.
+
+The paper spatially indexes all place vertices with an R-tree and retrieves
+them in ascending distance from the query location with best-first distance
+browsing; the SP algorithm re-traverses the same tree under alpha-bound
+priorities.
+"""
+
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import IncrementalNearest, LeafEntry, Node, RTree
+
+__all__ = ["Point", "Rect", "RTree", "Node", "LeafEntry", "IncrementalNearest"]

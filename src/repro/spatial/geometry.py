@@ -1,0 +1,149 @@
+"""Planar geometry primitives used by the spatial index.
+
+The paper measures spatial proximity with the Euclidean distance between a
+query location and a place vertex (Section 2).  Places are points; R-tree
+nodes are axis-aligned minimum bounding rectangles (MBRs).  Both expose the
+``min_distance`` needed by best-first distance browsing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane.
+
+    Coordinates are plain floats; the paper uses (latitude, longitude)
+    degrees but nothing in the algorithms depends on the unit.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt in hot loops)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                "degenerate rectangle: (%r, %r, %r, %r)"
+                % (self.min_x, self.min_y, self.max_x, self.max_y)
+            )
+
+    @staticmethod
+    def from_point(point: Point) -> "Rect":
+        """The degenerate rectangle covering a single point."""
+        return Rect(point.x, point.y, point.x, point.y)
+
+    @staticmethod
+    def union_all(rects: Iterable["Rect"]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty collection."""
+        iterator: Iterator[Rect] = iter(rects)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("union_all of an empty collection") from None
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for rect in iterator:
+            if rect.min_x < min_x:
+                min_x = rect.min_x
+            if rect.min_y < min_y:
+                min_y = rect.min_y
+            if rect.max_x > max_x:
+                max_x = rect.max_x
+            if rect.max_y > max_y:
+                max_y = rect.max_y
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def area(self) -> float:
+        return (self.max_x - self.min_x) * (self.max_y - self.min_y)
+
+    def margin(self) -> float:
+        """Half-perimeter, used by some split heuristics."""
+        return (self.max_x - self.min_x) + (self.max_y - self.min_y)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        return (
+            self.min_x <= point.x <= self.max_x
+            and self.min_y <= point.y <= self.max_y
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def min_distance(self, point: Point) -> float:
+        """MINDIST: the smallest distance from ``point`` to this rectangle.
+
+        Zero when the point lies inside.  This is the lower bound that makes
+        best-first R-tree traversal correct (Hjaltason & Samet).
+        """
+        dx = 0.0
+        if point.x < self.min_x:
+            dx = self.min_x - point.x
+        elif point.x > self.max_x:
+            dx = point.x - self.max_x
+        dy = 0.0
+        if point.y < self.min_y:
+            dy = self.min_y - point.y
+        elif point.y > self.max_y:
+            dy = point.y - self.max_y
+        return math.hypot(dx, dy)
+
+    def max_distance(self, point: Point) -> float:
+        """The largest distance from ``point`` to any point of the rectangle."""
+        dx = max(abs(point.x - self.min_x), abs(point.x - self.max_x))
+        dy = max(abs(point.y - self.min_y), abs(point.y - self.max_y))
+        return math.hypot(dx, dy)

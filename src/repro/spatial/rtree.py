@@ -1,0 +1,523 @@
+"""A point R-tree with dynamic inserts, STR bulk loading and best-first NN.
+
+The paper indexes all place vertices with an R-tree [Guttman 1984] and
+retrieves them in ascending distance from the query location with the
+best-first (distance browsing) algorithm of Hjaltason & Samet.  The SP
+algorithm additionally traverses the same tree under a different priority
+(the alpha-bound on the ranking score), so the tree exposes its nodes:
+every node carries a stable ``node_id`` which the alpha-radius preprocessing
+uses to attach word neighborhoods (Definition 6).
+
+Only points are stored (places are point entities), but nodes are full MBRs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.spatial.geometry import Point, Rect
+
+DEFAULT_MAX_ENTRIES = 32
+
+
+@dataclass(frozen=True)
+class LeafEntry:
+    """A data entry: an opaque key (vertex id) at a point location."""
+
+    key: Any
+    point: Point
+
+    @property
+    def rect(self) -> Rect:
+        return Rect.from_point(self.point)
+
+
+class Node:
+    """An R-tree node.
+
+    ``entries`` holds :class:`LeafEntry` objects when ``is_leaf`` is true and
+    child :class:`Node` objects otherwise.  ``rect`` is kept tight by the
+    insertion and bulk-loading code.
+    """
+
+    __slots__ = ("node_id", "is_leaf", "entries", "rect", "parent")
+
+    def __init__(self, node_id: int, is_leaf: bool) -> None:
+        self.node_id = node_id
+        self.is_leaf = is_leaf
+        self.entries: List[Any] = []
+        self.rect: Optional[Rect] = None
+        self.parent: Optional["Node"] = None
+
+    def recompute_rect(self) -> None:
+        if not self.entries:
+            self.rect = None
+            return
+        self.rect = Rect.union_all(entry.rect for entry in self.entries)
+
+    def add(self, entry: Any) -> None:
+        self.entries.append(entry)
+        if isinstance(entry, Node):
+            entry.parent = self
+        if self.rect is None:
+            self.rect = entry.rect
+        else:
+            self.rect = self.rect.union(entry.rect)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "node"
+        return "<%s #%d (%d entries)>" % (kind, self.node_id, len(self.entries))
+
+
+class RTree:
+    """Dynamic R-tree over points with pluggable node splitting.
+
+    ``split`` selects the overflow strategy: ``"quadratic"`` (Guttman's
+    quadratic split, the default) or ``"rstar"`` (the R*-tree topological
+    split: choose the axis minimizing the margin sum over candidate
+    distributions, then the distribution with the least overlap; forced
+    reinsertion is not implemented).  STR bulk loading is independent of
+    the choice.
+    """
+
+    def __init__(
+        self, max_entries: int = DEFAULT_MAX_ENTRIES, split: str = "quadratic"
+    ) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if split not in ("quadratic", "rstar"):
+            raise ValueError("split must be 'quadratic' or 'rstar'")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries * 2 // 5)
+        self.split_strategy = split
+        self._next_node_id = itertools.count()
+        self.root = self._new_node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _new_node(self, is_leaf: bool) -> Node:
+        return Node(next(self._next_node_id), is_leaf)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        levels = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.entries[0]
+            levels += 1
+        return levels
+
+    def insert(self, key: Any, point: Point) -> None:
+        """Insert one point entry (Guttman insert with quadratic split)."""
+        entry = LeafEntry(key, point)
+        leaf = self._choose_leaf(self.root, entry.rect)
+        leaf.add(entry)
+        self._size += 1
+        if len(leaf.entries) > self.max_entries:
+            self._split_and_propagate(leaf)
+        else:
+            self._tighten_upwards(leaf)
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[Tuple[Any, Point]],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive (STR) loading.
+
+        STR yields well-shaped leaves, which matters for the quality of the
+        alpha-radius node bounds (nearby places share a node, so their word
+        neighborhoods overlap and the node bound stays tight).
+        """
+        tree = cls(max_entries=max_entries)
+        entries: List[Any] = [LeafEntry(key, point) for key, point in items]
+        tree._size = len(entries)
+        if not entries:
+            return tree
+
+        level_is_leaf = True
+        while len(entries) > max_entries:
+            entries = tree._str_pack_level(entries, level_is_leaf)
+            level_is_leaf = False
+        root = tree._new_node(is_leaf=level_is_leaf)
+        for entry in entries:
+            root.add(entry)
+        tree.root = root
+        return tree
+
+    def _str_pack_level(self, entries: List[Any], is_leaf: bool) -> List[Node]:
+        """Pack one level of entries into nodes of ``max_entries`` each."""
+        capacity = self.max_entries
+        node_count = -(-len(entries) // capacity)  # ceil division
+        slice_count = max(1, int(round(node_count ** 0.5)))
+        per_slice = -(-len(entries) // slice_count)
+
+        def center_x(entry: Any) -> float:
+            return entry.rect.center().x
+
+        def center_y(entry: Any) -> float:
+            return entry.rect.center().y
+
+        entries = sorted(entries, key=center_x)
+        nodes: List[Node] = []
+        for start in range(0, len(entries), per_slice):
+            strip = sorted(entries[start : start + per_slice], key=center_y)
+            for node_start in range(0, len(strip), capacity):
+                node = self._new_node(is_leaf=is_leaf)
+                for entry in strip[node_start : node_start + capacity]:
+                    node.add(entry)
+                nodes.append(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Insert internals
+    # ------------------------------------------------------------------
+
+    def _choose_leaf(self, node: Node, rect: Rect) -> Node:
+        while not node.is_leaf:
+            best_child = None
+            best_enlargement = float("inf")
+            best_area = float("inf")
+            for child in node.entries:
+                enlargement = child.rect.enlargement(rect)
+                area = child.rect.area()
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best_child = child
+                    best_enlargement = enlargement
+                    best_area = area
+            node = best_child
+        return node
+
+    def _tighten_upwards(self, node: Node) -> None:
+        current: Optional[Node] = node
+        while current is not None:
+            current.recompute_rect()
+            for entry in current.entries:
+                if isinstance(entry, Node):
+                    entry.parent = current
+            current = current.parent
+
+    def _split_and_propagate(self, node: Node) -> None:
+        while len(node.entries) > self.max_entries:
+            if self.split_strategy == "rstar":
+                sibling = self._rstar_split(node)
+            else:
+                sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = self._new_node(is_leaf=False)
+                new_root.add(node)
+                new_root.add(sibling)
+                self.root = new_root
+                self._tighten_upwards(node)
+                return
+            parent.add(sibling)
+            self._tighten_upwards(node)
+            node = parent
+        self._tighten_upwards(node)
+
+    def _quadratic_split(self, node: Node) -> Node:
+        """Guttman's quadratic split: move roughly half of ``node``'s entries
+        into a new sibling node, which is returned."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a].rect
+        rect_b = entries[seed_b].rect
+        remaining = [
+            entry for i, entry in enumerate(entries) if i not in (seed_a, seed_b)
+        ]
+
+        while remaining:
+            # Force the rest into a group if it must reach the minimum fill.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                rect_a = Rect.union_all([rect_a] + [e.rect for e in remaining])
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                rect_b = Rect.union_all([rect_b] + [e.rect for e in remaining])
+                remaining = []
+                break
+            index, prefer_a = self._pick_next(remaining, rect_a, rect_b)
+            entry = remaining.pop(index)
+            if prefer_a:
+                group_a.append(entry)
+                rect_a = rect_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry.rect)
+
+        node.entries = group_a
+        node.recompute_rect()
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        for entry in group_b:
+            sibling.add(entry)
+        if node.is_leaf is False:
+            for child in node.entries:
+                child.parent = node
+        return sibling
+
+    def _rstar_split(self, node: Node) -> Node:
+        """R*-tree topological split (Beckmann et al., without reinsertion).
+
+        For each axis, sort entries by their rectangle's lower then upper
+        coordinate and consider every legal split position; pick the axis
+        with the smallest total margin, then the position with the least
+        overlap (area as tie-breaker)."""
+        entries = node.entries
+        minimum = self.min_entries
+        best = None  # (overlap, area, axis_margin, sorted_entries, position)
+
+        for axis in ("x", "y"):
+            if axis == "x":
+                keys = [(e.rect.min_x, e.rect.max_x) for e in entries]
+            else:
+                keys = [(e.rect.min_y, e.rect.max_y) for e in entries]
+            order = sorted(range(len(entries)), key=lambda i: keys[i])
+            ordered = [entries[i] for i in order]
+            margin_sum = 0.0
+            candidates = []
+            for position in range(minimum, len(ordered) - minimum + 1):
+                left = Rect.union_all(e.rect for e in ordered[:position])
+                right = Rect.union_all(e.rect for e in ordered[position:])
+                margin_sum += left.margin() + right.margin()
+                overlap = 0.0
+                if left.intersects(right):
+                    overlap = Rect(
+                        max(left.min_x, right.min_x),
+                        max(left.min_y, right.min_y),
+                        min(left.max_x, right.max_x),
+                        min(left.max_y, right.max_y),
+                    ).area()
+                candidates.append(
+                    (overlap, left.area() + right.area(), position)
+                )
+            for overlap, area, position in candidates:
+                key = (margin_sum, overlap, area)
+                if best is None or key < (best[0], best[1], best[2]):
+                    best = (margin_sum, overlap, area, ordered, position)
+
+        _, _, _, ordered, position = best
+        node.entries = ordered[:position]
+        node.recompute_rect()
+        sibling = self._new_node(is_leaf=node.is_leaf)
+        for entry in ordered[position:]:
+            sibling.add(entry)
+        if not node.is_leaf:
+            for child in node.entries:
+                child.parent = node
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[Any]) -> Tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = -float("inf")
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].rect.union(entries[j].rect)
+                waste = union.area() - entries[i].rect.area() - entries[j].rect.area()
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    @staticmethod
+    def _pick_next(
+        remaining: Sequence[Any], rect_a: Rect, rect_b: Rect
+    ) -> Tuple[int, bool]:
+        best_index = 0
+        best_difference = -1.0
+        prefer_a = True
+        for i, entry in enumerate(remaining):
+            enlargement_a = rect_a.enlargement(entry.rect)
+            enlargement_b = rect_b.enlargement(entry.rect)
+            difference = abs(enlargement_a - enlargement_b)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = i
+                prefer_a = enlargement_a < enlargement_b
+        return best_index, prefer_a
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_search(self, rect: Rect) -> List[LeafEntry]:
+        """All entries whose point lies inside ``rect``."""
+        results: List[LeafEntry] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.rect is None or not node.rect.intersects(rect):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    entry for entry in node.entries if rect.contains_point(entry.point)
+                )
+            else:
+                stack.extend(node.entries)
+        return results
+
+    def nearest(self, point: Point) -> "IncrementalNearest":
+        """An incremental nearest-neighbour cursor from ``point``.
+
+        Iterating it yields ``(distance, LeafEntry)`` pairs in ascending
+        distance; ``node_accesses`` counts expanded R-tree nodes, which is one
+        of the paper's reported cost metrics (Figures 3(c), 4(c), 7(b)).
+        """
+        return IncrementalNearest(self, point)
+
+    def iter_entries(self) -> Iterator[LeafEntry]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.entries)
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """All nodes, parents before children (pre-order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(node.entries)
+
+    def levels(self) -> List[List[Node]]:
+        """Nodes grouped by level, root level first."""
+        result: List[List[Node]] = []
+        frontier = [self.root]
+        while frontier:
+            result.append(frontier)
+            next_frontier: List[Node] = []
+            for node in frontier:
+                if not node.is_leaf:
+                    next_frontier.extend(node.entries)
+            frontier = next_frontier
+        return result
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def size_bytes(self) -> int:
+        """A flat-storage estimate of the index size (Table 4 accounting).
+
+        Each leaf entry is a (key, x, y) record; each node is an MBR plus a
+        child-pointer array.  Matches what a packed on-disk layout would use,
+        which is more meaningful than Python object overhead.
+        """
+        entry_bytes = 8 + 8 + 8  # key + two float64 coordinates
+        node_bytes = 4 * 8 + 8  # MBR + header
+        pointer_bytes = 8
+        total = 0
+        for node in self.iter_nodes():
+            total += node_bytes + pointer_bytes * len(node.entries)
+            if node.is_leaf:
+                total += entry_bytes * len(node.entries)
+        return total
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on violation.
+
+        Used by the property-based tests: every node MBR must cover its
+        entries, leaves must be at uniform depth, and fill factors must hold
+        for non-root nodes built by dynamic insertion.
+        """
+        depths = set()
+
+        def visit(node: Node, depth: int) -> None:
+            if node is not self.root and not node.entries:
+                raise AssertionError("empty non-root node")
+            if node.entries:
+                expected = Rect.union_all(e.rect for e in node.entries)
+                if node.rect != expected:
+                    raise AssertionError(
+                        "stale MBR at node %d: %r != %r"
+                        % (node.node_id, node.rect, expected)
+                    )
+            if node.is_leaf:
+                depths.add(depth)
+                return
+            for child in node.entries:
+                if child.parent is not node and child.parent is not None:
+                    raise AssertionError("broken parent pointer")
+                visit(child, depth + 1)
+
+        visit(self.root, 0)
+        if len(depths) > 1:
+            raise AssertionError("leaves at non-uniform depth: %r" % sorted(depths))
+        if self._size != sum(1 for _ in self.iter_entries()):
+            raise AssertionError("size counter out of sync")
+
+
+class IncrementalNearest:
+    """Best-first distance browsing over an :class:`RTree`.
+
+    A binary heap keyed by MINDIST holds both nodes and leaf entries; popping
+    a leaf entry yields the next nearest point.  The classic correctness
+    argument: MINDIST of a node lower-bounds the distance of everything below
+    it, so when an entry reaches the top of the heap no unexplored subtree can
+    contain anything closer.
+    """
+
+    def __init__(self, tree: RTree, point: Point) -> None:
+        self._point = point
+        self._counter = itertools.count()  # tie-breaker for equal distances
+        self._heap: List[Tuple[float, int, bool, Any]] = []
+        self.node_accesses = 0
+        root = tree.root
+        if root.rect is not None:
+            self._push_node(root)
+
+    def _push_node(self, node: Node) -> None:
+        heapq.heappush(
+            self._heap,
+            (node.rect.min_distance(self._point), next(self._counter), False, node),
+        )
+
+    def _push_entry(self, entry: LeafEntry) -> None:
+        heapq.heappush(
+            self._heap,
+            (entry.point.distance_to(self._point), next(self._counter), True, entry),
+        )
+
+    def __iter__(self) -> Iterator[Tuple[float, LeafEntry]]:
+        return self
+
+    def __next__(self) -> Tuple[float, LeafEntry]:
+        while self._heap:
+            distance, _, is_entry, item = heapq.heappop(self._heap)
+            if is_entry:
+                return distance, item
+            self.node_accesses += 1
+            if item.is_leaf:
+                for entry in item.entries:
+                    self._push_entry(entry)
+            else:
+                for child in item.entries:
+                    self._push_node(child)
+        raise StopIteration
+
+    def peek_distance(self) -> Optional[float]:
+        """The MINDIST of the current heap top, or None when exhausted."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

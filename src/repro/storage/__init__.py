@@ -1,0 +1,13 @@
+"""Disk-resident storage substrate: page buffer pool and the on-disk CSR
+graph store (the paper's future-work item for larger-than-memory data)."""
+
+from repro.storage.diskgraph import DiskRDFGraph, write_disk_graph
+from repro.storage.pages import PAGE_SIZE, BufferPool, BufferPoolStats
+
+__all__ = [
+    "BufferPool",
+    "BufferPoolStats",
+    "PAGE_SIZE",
+    "DiskRDFGraph",
+    "write_disk_graph",
+]

@@ -1,0 +1,313 @@
+"""A disk-resident RDF graph store (CSR adjacency + vertex records).
+
+The paper keeps the data graph memory-resident but notes that "disk-based
+graph representations for RDF data can also be used for larger-scale data"
+(Section 1, footnote 1) and lists disk-resident graph storage as future
+work (Section 8).  This module provides that store: a single-file format
+with compressed-sparse-row adjacency in both directions plus variable-
+length vertex records (label, document terms, optional location), read
+through an LRU :class:`~repro.storage.pages.BufferPool`.
+
+:class:`DiskRDFGraph` implements the same read protocol as
+:class:`~repro.rdf.graph.RDFGraph` (``out_neighbors`` / ``in_neighbors`` /
+``document`` / ``location`` / ``places`` / BFS via the shared traversal
+mixin), so every kSP algorithm and index builder runs on it unchanged.
+
+File layout (little-endian)::
+
+    header:        magic "RGRF1\\n", u64 x 3 (V, E, P), u64 x 6 section table
+    out_index:     (V+1) x u64   prefix sums into out_targets
+    out_targets:   E x u32       neighbour vertex ids
+    in_index:      (V+1) x u64
+    in_targets:    E x u32
+    record_index:  (V+1) x u64   byte offsets into records
+    records:       per vertex: u16 label_len, label, u8 flags,
+                   [f64 x, f64 y], u16 term_count, (u8 len, term)*
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from pathlib import Path
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.rdf.traversal import GraphTraversalMixin
+from repro.spatial.geometry import Point
+from repro.storage.pages import BufferPool
+
+MAGIC = b"RGRF1\n"
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+_HEADER = struct.Struct("<6s9Q")  # magic, V, E, P, six section offsets
+_FLAG_PLACE = 1
+
+
+def write_disk_graph(graph: RDFGraph, path: Union[str, Path]) -> int:
+    """Serialize ``graph`` to the single-file disk format.
+
+    Returns the number of bytes written.
+    """
+    vertex_count = graph.vertex_count
+
+    out_targets = bytearray()
+    out_index = bytearray()
+    offset = 0
+    for vertex in range(vertex_count):
+        out_index += _U64.pack(offset)
+        for neighbor in graph.out_neighbors(vertex):
+            out_targets += _U32.pack(neighbor)
+            offset += 1
+    out_index += _U64.pack(offset)
+
+    in_targets = bytearray()
+    in_index = bytearray()
+    offset = 0
+    for vertex in range(vertex_count):
+        in_index += _U64.pack(offset)
+        for neighbor in graph.in_neighbors(vertex):
+            in_targets += _U32.pack(neighbor)
+            offset += 1
+    in_index += _U64.pack(offset)
+
+    records = bytearray()
+    record_index = bytearray()
+    for vertex in range(vertex_count):
+        record_index += _U64.pack(len(records))
+        label = graph.label(vertex).encode("utf-8")
+        if len(label) > 0xFFFF:
+            raise ValueError("label too long for the record format")
+        records += struct.pack("<H", len(label))
+        records += label
+        location = graph.location(vertex)
+        flags = _FLAG_PLACE if location is not None else 0
+        records += struct.pack("<B", flags)
+        if location is not None:
+            records += struct.pack("<dd", location.x, location.y)
+        terms = sorted(graph.document(vertex))
+        if len(terms) > 0xFFFF:
+            raise ValueError("document too large for the record format")
+        records += struct.pack("<H", len(terms))
+        for term in terms:
+            encoded = term.encode("utf-8")
+            if len(encoded) > 0xFF:
+                raise ValueError("term too long for the record format")
+            records += struct.pack("<B", len(encoded))
+            records += encoded
+    record_index += _U64.pack(len(records))
+
+    sections = [
+        bytes(out_index),
+        bytes(out_targets),
+        bytes(in_index),
+        bytes(in_targets),
+        bytes(record_index),
+        bytes(records),
+    ]
+    header_size = _HEADER.size
+    offsets = []
+    position = header_size
+    for section in sections:
+        offsets.append(position)
+        position += len(section)
+
+    with open(path, "wb") as stream:
+        stream.write(
+            _HEADER.pack(
+                MAGIC,
+                vertex_count,
+                graph.edge_count,
+                graph.place_count(),
+                *offsets,
+            )
+        )
+        for section in sections:
+            stream.write(section)
+        return stream.tell()
+
+
+class DiskRDFGraph(GraphTraversalMixin):
+    """Read-only RDF graph backed by the on-disk CSR format.
+
+    All reads go through an LRU buffer pool (``capacity_pages`` pages of
+    8 KiB); decoded vertex records are additionally cached in a small LRU
+    (``record_cache_size``) because BFS revisits hot vertices' documents.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        capacity_pages: int = 256,
+        record_cache_size: int = 4096,
+    ) -> None:
+        self._pool = BufferPool(path, capacity_pages=capacity_pages)
+        header = self._pool.read(0, _HEADER.size)
+        fields = _HEADER.unpack(header)
+        if fields[0] != MAGIC:
+            self._pool.close()
+            raise ValueError("not a repro disk graph: %s" % path)
+        (
+            self._vertex_count,
+            self._edge_count,
+            self._place_count,
+            self._out_index,
+            self._out_targets,
+            self._in_index,
+            self._in_targets,
+            self._record_index,
+            self._records,
+        ) = fields[1:]
+        self._record_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._record_cache_size = record_cache_size
+        self._label_lookup: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "DiskRDFGraph":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def buffer_stats(self):
+        return self._pool.stats
+
+    def size_bytes(self) -> int:
+        return self._pool.file_size
+
+    # ------------------------------------------------------------------
+    # Core protocol (same as RDFGraph)
+    # ------------------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        return self._vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def vertices(self) -> range:
+        return range(self._vertex_count)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self._vertex_count:
+            raise IndexError("no such vertex: %d" % vertex)
+
+    def _index_pair(self, section: int, vertex: int) -> Tuple[int, int]:
+        data = self._pool.read(section + 8 * vertex, 16)
+        low, high = struct.unpack("<QQ", data)
+        return low, high
+
+    def _targets(self, index_section: int, target_section: int, vertex: int) -> List[int]:
+        self._check_vertex(vertex)
+        low, high = self._index_pair(index_section, vertex)
+        count = high - low
+        if count == 0:
+            return []
+        blob = self._pool.read(target_section + 4 * low, 4 * count)
+        return list(struct.unpack("<%dI" % count, blob))
+
+    def out_neighbors(self, vertex: int) -> Sequence[int]:
+        return self._targets(self._out_index, self._out_targets, vertex)
+
+    def in_neighbors(self, vertex: int) -> Sequence[int]:
+        return self._targets(self._in_index, self._in_targets, vertex)
+
+    # ------------------------------------------------------------------
+    # Vertex records
+    # ------------------------------------------------------------------
+
+    def _record(self, vertex: int) -> tuple:
+        cached = self._record_cache.get(vertex)
+        if cached is not None:
+            self._record_cache.move_to_end(vertex)
+            return cached
+        self._check_vertex(vertex)
+        low, high = self._index_pair(self._record_index, vertex)
+        blob = self._pool.read(self._records + low, high - low)
+        position = 0
+        (label_length,) = struct.unpack_from("<H", blob, position)
+        position += 2
+        label = blob[position : position + label_length].decode("utf-8")
+        position += label_length
+        (flags,) = struct.unpack_from("<B", blob, position)
+        position += 1
+        location = None
+        if flags & _FLAG_PLACE:
+            x, y = struct.unpack_from("<dd", blob, position)
+            position += 16
+            location = Point(x, y)
+        (term_count,) = struct.unpack_from("<H", blob, position)
+        position += 2
+        terms = []
+        for _ in range(term_count):
+            (term_length,) = struct.unpack_from("<B", blob, position)
+            position += 1
+            terms.append(blob[position : position + term_length].decode("utf-8"))
+            position += term_length
+        record = (label, frozenset(terms), location)
+        self._record_cache[vertex] = record
+        if len(self._record_cache) > self._record_cache_size:
+            self._record_cache.popitem(last=False)
+        return record
+
+    def label(self, vertex: int) -> str:
+        return self._record(vertex)[0]
+
+    def document(self, vertex: int) -> FrozenSet[str]:
+        return self._record(vertex)[1]
+
+    def location(self, vertex: int) -> Optional[Point]:
+        return self._record(vertex)[2]
+
+    def is_place(self, vertex: int) -> bool:
+        return self._record(vertex)[2] is not None
+
+    def place_count(self) -> int:
+        return self._place_count
+
+    def places(self) -> Iterator[Tuple[int, Point]]:
+        for vertex in range(self._vertex_count):
+            location = self._record(vertex)[2]
+            if location is not None:
+                yield vertex, location
+
+    def vertex_by_label(self, label: str) -> int:
+        """Label lookup; builds an in-memory map on first use."""
+        if self._label_lookup is None:
+            self._label_lookup = {
+                self._record(vertex)[0]: vertex
+                for vertex in range(self._vertex_count)
+            }
+        try:
+            return self._label_lookup[label]
+        except KeyError:
+            raise KeyError("no vertex labelled %r" % label) from None
+
+    def has_vertex_label(self, label: str) -> bool:
+        try:
+            self.vertex_by_label(label)
+            return True
+        except KeyError:
+            return False
+
+
+def read_memory_graph(path: Union[str, Path]) -> RDFGraph:
+    """Load a disk graph file fully into an in-memory :class:`RDFGraph`."""
+    graph = RDFGraph()
+    with DiskRDFGraph(path, capacity_pages=1024) as disk:
+        for vertex in disk.vertices():
+            label, document, location = disk._record(vertex)
+            graph.add_vertex(label, document=document, location=location)
+        for vertex in disk.vertices():
+            for neighbor in disk.out_neighbors(vertex):
+                graph.add_edge(vertex, neighbor)
+    return graph

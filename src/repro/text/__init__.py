@@ -1,0 +1,20 @@
+"""Text substrate: tokenizer and inverted indexes over vertex documents."""
+
+from repro.text.inverted import (
+    DiskInvertedIndex,
+    InvertedIndex,
+    build_query_map,
+    order_rarest_first,
+)
+from repro.text.tokenizer import STOPWORDS, tokenize, tokenize_all, tokenize_unique
+
+__all__ = [
+    "tokenize",
+    "tokenize_unique",
+    "tokenize_all",
+    "STOPWORDS",
+    "InvertedIndex",
+    "DiskInvertedIndex",
+    "build_query_map",
+    "order_rarest_first",
+]

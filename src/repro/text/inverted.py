@@ -1,0 +1,257 @@
+"""Inverted indexes over vertex documents.
+
+The paper indexes the documents of all vertices with an inverted file; at
+query time the posting lists of the query keywords are loaded and converted
+into the map ``M_{q.psi}`` (vertex -> matched query keywords, Table 2) that
+``GetSemanticPlace`` probes during BFS.
+
+Two interchangeable implementations are provided:
+
+* :class:`InvertedIndex` — in-memory, used by the benchmarks for timing
+  stability;
+* :class:`DiskInvertedIndex` — file-backed with an in-memory term dictionary
+  and one seek per posting-list read, matching the paper's setting where the
+  document index is disk-resident "following the setting of commercial
+  search engines".
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.rdf.graph import RDFGraph
+from repro.text.varint import decode_posting_list, encode_posting_list
+
+QueryMap = Dict[int, FrozenSet[str]]
+
+_HEADER = b"RPIX1\n"  # raw u32 postings
+_HEADER_COMPRESSED = b"RPIX2\n"  # gap + varint postings
+_COUNT_STRUCT = struct.Struct("<I")
+
+
+class InvertedIndex:
+    """An in-memory inverted file: term -> sorted vertex-id posting list."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[int]] = {}
+        self._finalized = False
+
+    @classmethod
+    def build(cls, graph: RDFGraph) -> "InvertedIndex":
+        """Index the documents of all vertices of ``graph``."""
+        index = cls()
+        for vertex in graph.vertices():
+            index.add_document(vertex, graph.document(vertex))
+        index.finalize()
+        return index
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "InvertedIndex":
+        """Load a saved index file fully into memory."""
+        index = cls()
+        with DiskInvertedIndex(path) as disk:
+            for term in disk.vocabulary():
+                index._postings[term] = list(disk.posting(term))
+        index._finalized = True
+        return index
+
+    def add_document(self, vertex: int, terms: Iterable[str]) -> None:
+        if self._finalized:
+            raise RuntimeError("index already finalized")
+        for term in terms:
+            self._postings.setdefault(term, []).append(vertex)
+
+    def finalize(self) -> None:
+        """Sort and deduplicate posting lists; required before querying."""
+        for term, posting in self._postings.items():
+            self._postings[term] = sorted(set(posting))
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # Read API (shared protocol with DiskInvertedIndex)
+    # ------------------------------------------------------------------
+
+    def posting(self, term: str) -> Sequence[int]:
+        """The sorted vertex ids whose document contains ``term``; empty for
+        unknown terms."""
+        self._require_finalized()
+        return self._postings.get(term, [])
+
+    def document_frequency(self, term: str) -> int:
+        self._require_finalized()
+        return len(self._postings.get(term, ()))
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def vocabulary(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def average_posting_length(self) -> float:
+        """Average keyword frequency — the dataset statistic the paper uses
+        to explain the DBpedia/Yago behaviour gap (56.46 vs 7.83)."""
+        self._require_finalized()
+        if not self._postings:
+            return 0.0
+        total = sum(len(posting) for posting in self._postings.values())
+        return total / len(self._postings)
+
+    def size_bytes(self) -> int:
+        """Flat-storage estimate: dictionary strings + 4-byte posting entries."""
+        total = 0
+        for term, posting in self._postings.items():
+            total += len(term.encode("utf-8")) + 12  # term + offset/len record
+            total += 4 * len(posting)
+        return total
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("finalize() must be called before querying")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path], compress: bool = False) -> None:
+        """Write the index in the :class:`DiskInvertedIndex` file format.
+
+        ``compress=True`` gap-encodes posting lists with varints (format
+        ``RPIX2``): typically 3-4x smaller than raw u32 postings.
+        """
+        self._require_finalized()
+        with open(path, "wb") as stream:
+            stream.write(_HEADER_COMPRESSED if compress else _HEADER)
+            stream.write(_COUNT_STRUCT.pack(len(self._postings)))
+            # Dictionary section is written after the postings, so compute
+            # offsets first by laying out postings sequentially.
+            blobs: List[Tuple[str, bytes, int]] = []
+            for term in sorted(self._postings):
+                posting = self._postings[term]
+                if compress:
+                    blob = encode_posting_list(posting)
+                else:
+                    blob = struct.pack("<%dI" % len(posting), *posting)
+                blobs.append((term, blob, len(posting)))
+            directory = bytearray()
+            offset = 0
+            for term, blob, count in blobs:
+                encoded = term.encode("utf-8")
+                directory += _COUNT_STRUCT.pack(len(encoded))
+                directory += encoded
+                directory += struct.pack("<QII", offset, count, len(blob))
+                offset += len(blob)
+            stream.write(_COUNT_STRUCT.pack(len(directory)))
+            stream.write(bytes(directory))
+            for _, blob, _ in blobs:
+                stream.write(blob)
+
+
+class DiskInvertedIndex:
+    """Read side of the on-disk inverted file written by ``save``.
+
+    The term dictionary (term -> offset, length) lives in memory; each
+    ``posting`` call performs one seek + one read, the access pattern of a
+    disk-resident index.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._stream = open(self._path, "rb")
+        header = self._stream.read(len(_HEADER))
+        if header == _HEADER:
+            self._compressed = False
+        elif header == _HEADER_COMPRESSED:
+            self._compressed = True
+        else:
+            self._stream.close()
+            raise ValueError("not a repro inverted index file: %s" % path)
+        (term_count,) = _COUNT_STRUCT.unpack(self._stream.read(4))
+        (directory_size,) = _COUNT_STRUCT.unpack(self._stream.read(4))
+        directory = self._stream.read(directory_size)
+        # term -> (byte offset, entry count, blob length)
+        self._dictionary: Dict[str, Tuple[int, int, int]] = {}
+        position = 0
+        for _ in range(term_count):
+            (name_length,) = _COUNT_STRUCT.unpack_from(directory, position)
+            position += 4
+            term = directory[position : position + name_length].decode("utf-8")
+            position += name_length
+            offset, count, blob_length = struct.unpack_from(
+                "<QII", directory, position
+            )
+            position += 16
+            self._dictionary[term] = (offset, count, blob_length)
+        self._postings_base = self._stream.tell()
+        self.reads = 0  # number of posting-list fetches performed
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "DiskInvertedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def posting(self, term: str) -> Sequence[int]:
+        entry = self._dictionary.get(term)
+        if entry is None:
+            return []
+        offset, count, blob_length = entry
+        self._stream.seek(self._postings_base + offset)
+        blob = self._stream.read(blob_length)
+        self.reads += 1
+        if self._compressed:
+            return decode_posting_list(blob, count)
+        return list(struct.unpack("<%dI" % count, blob))
+
+    def document_frequency(self, term: str) -> int:
+        entry = self._dictionary.get(term)
+        return 0 if entry is None else entry[1]
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._dictionary
+
+    def vocabulary(self) -> Iterator[str]:
+        return iter(self._dictionary)
+
+    def vocabulary_size(self) -> int:
+        return len(self._dictionary)
+
+    def average_posting_length(self) -> float:
+        if not self._dictionary:
+            return 0.0
+        total = sum(count for _, count, _ in self._dictionary.values())
+        return total / len(self._dictionary)
+
+    def size_bytes(self) -> int:
+        return self._path.stat().st_size
+
+
+def build_query_map(
+    index, keywords: Iterable[str]
+) -> QueryMap:
+    """Construct ``M_{q.psi}``: vertex -> set of query keywords it contains.
+
+    ``index`` may be any object with a ``posting(term)`` method.  The paper
+    notes the map is small and cheap because queries have few keywords.
+    """
+    accumulator: Dict[int, set] = {}
+    for term in keywords:
+        for vertex in index.posting(term):
+            accumulator.setdefault(vertex, set()).add(term)
+    return {vertex: frozenset(terms) for vertex, terms in accumulator.items()}
+
+
+def order_rarest_first(index, keywords: Sequence[str]) -> List[str]:
+    """Query keywords in ascending document frequency.
+
+    Rule 1 probes reachability rarest-first because "infrequent query
+    keywords have a high chance to make a place unqualified" (Section 4.1).
+    """
+    return sorted(keywords, key=lambda term: (index.document_frequency(term), term))

@@ -1,0 +1,52 @@
+"""Keyword tokenization for RDF documents.
+
+The paper forms a document per vertex "from the entity's URI and literals"
+plus, per triple, the predicate description added to the object's document.
+Tokenization mirrors Figure 1(b): URI local names are split on punctuation
+and underscores ("Montmajour_Abbey" -> {montmajour, abbey}), everything is
+lowercased, and a small stopword list removes glue words from literals.
+CamelCase identifiers are kept whole ("deathPlace" -> {deathplace}), matching
+the paper's example documents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+# Glue words that carry no retrieval signal in entity descriptions.
+STOPWORDS: FrozenSet[str] = frozenset(
+    """a an and are as at be by for from has have in is it its of on or that
+    the this to was were will with""".split()
+)
+
+MIN_TOKEN_LENGTH = 2
+
+
+def tokenize(text: str) -> List[str]:
+    """Extract lowercase keyword tokens from ``text``.
+
+    Order-preserving with duplicates; use :func:`tokenize_unique` for the
+    set view used by vertex documents.
+    """
+    tokens = _TOKEN_PATTERN.findall(text.lower())
+    return [
+        token
+        for token in tokens
+        if len(token) >= MIN_TOKEN_LENGTH and token not in STOPWORDS
+    ]
+
+
+def tokenize_unique(text: str) -> FrozenSet[str]:
+    """The set of distinct keywords in ``text``."""
+    return frozenset(tokenize(text))
+
+
+def tokenize_all(texts: Iterable[str]) -> FrozenSet[str]:
+    """The union of distinct keywords across several strings."""
+    terms = set()
+    for text in texts:
+        terms.update(tokenize(text))
+    return frozenset(terms)

@@ -1,0 +1,73 @@
+"""Variable-byte integer coding and delta-compressed posting lists.
+
+The standard inverted-file compression stack: sorted vertex-id posting
+lists are gap-encoded (each entry stores the difference to its
+predecessor) and the gaps are written as LEB128-style varints — 7 payload
+bits per byte, high bit set on continuation bytes.  Dense posting lists
+compress to little more than one byte per entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode one unsigned integer."""
+    if value < 0:
+        raise ValueError("varints encode unsigned integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one unsigned integer; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, position
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_posting_list(posting: Sequence[int]) -> bytes:
+    """Gap + varint encode a strictly increasing posting list."""
+    out = bytearray()
+    previous = -1
+    for value in posting:
+        if value <= previous:
+            raise ValueError("posting list must be strictly increasing")
+        gap = value - previous - 1 if previous >= 0 else value
+        out += encode_varint(gap)
+        previous = value
+    return bytes(out)
+
+
+def decode_posting_list(data: bytes, count: int) -> List[int]:
+    """Decode ``count`` entries produced by :func:`encode_posting_list`."""
+    posting: List[int] = []
+    offset = 0
+    previous = -1
+    for _ in range(count):
+        gap, offset = decode_varint(data, offset)
+        value = gap if previous < 0 else previous + 1 + gap
+        posting.append(value)
+        previous = value
+    if offset != len(data):
+        raise ValueError("trailing bytes after posting list")
+    return posting

@@ -1,0 +1,42 @@
+"""Shared fixtures: the paper's Figure 1 example and small synthetic
+corpora with their engines (session-scoped — index construction is the
+expensive part)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import build_example_graph
+from repro.datagen.profiles import TINY_DBPEDIA, TINY_YAGO
+from repro.datagen.synthetic import generate_graph
+
+
+@pytest.fixture(scope="session")
+def example_graph():
+    return build_example_graph()
+
+
+@pytest.fixture(scope="session")
+def example_engine(example_graph):
+    return KSPEngine(example_graph, alpha=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dbpedia_graph():
+    return generate_graph(TINY_DBPEDIA)
+
+
+@pytest.fixture(scope="session")
+def tiny_yago_graph():
+    return generate_graph(TINY_YAGO)
+
+
+@pytest.fixture(scope="session")
+def tiny_dbpedia_engine(tiny_dbpedia_graph):
+    return KSPEngine(tiny_dbpedia_graph, alpha=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_yago_engine(tiny_yago_graph):
+    return KSPEngine(tiny_yago_graph, alpha=3)

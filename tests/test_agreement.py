@@ -1,0 +1,113 @@
+"""Cross-algorithm agreement: BSP, SPP, SP and TA must all return the
+exhaustive reference answer on synthetic corpora — roots and scores alike.
+
+This is the strongest correctness check in the suite: the four algorithms
+share no pruning logic with the exhaustive scan, so agreement on hundreds
+of (query, k) combinations would be hard to achieve by coincidence."""
+
+import pytest
+
+from repro.core.exhaustive import exhaustive_search
+from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+
+METHODS = ("bsp", "spp", "sp", "ta")
+
+
+def signature(result):
+    return [(p.root, round(p.score, 9), p.looseness) for p in result]
+
+
+def assert_agreement(engine, query, ranking=MultiplicativeRanking()):
+    reference = exhaustive_search(
+        engine.graph, engine.inverted_index, query, ranking=ranking
+    )
+    expected = signature(reference)
+    for method in METHODS:
+        got = signature(engine.run(query, method=method, ranking=ranking))
+        assert got == expected, "%s disagrees for %r" % (method, query)
+
+
+@pytest.mark.parametrize("engine_name", ["tiny_dbpedia_engine", "tiny_yago_engine"])
+class TestAgreementOnWorkloads:
+    def test_original_queries(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=3, k=4, seed=11),
+        )
+        for query in generator.workload(8, "O"):
+            assert_agreement(engine, query)
+
+    def test_single_keyword_queries(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=1, k=3, seed=23),
+        )
+        for query in generator.workload(6, "O"):
+            assert_agreement(engine, query)
+
+    def test_sdll_queries(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=2, k=3, seed=37, min_hops=2,
+                           max_term_frequency=30),
+        )
+        for query in generator.workload(4, "SDLL"):
+            assert_agreement(engine, query)
+
+    def test_k_one(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=3, k=1, seed=5),
+        )
+        for query in generator.workload(5, "O"):
+            assert_agreement(engine, query)
+
+    def test_large_k(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=2, k=20, seed=17),
+        )
+        for query in generator.workload(4, "O"):
+            assert_agreement(engine, query)
+
+    def test_weighted_sum_ranking(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=3, k=4, seed=29),
+        )
+        ranking = WeightedSumRanking(beta=0.3)
+        for query in generator.workload(5, "O"):
+            assert_agreement(engine, query, ranking=ranking)
+
+
+class TestUndirectedAgreement:
+    def test_undirected_engines_agree(self, tiny_yago_graph):
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(tiny_yago_graph, alpha=2, undirected=True)
+        generator = QueryGenerator(
+            engine.graph,
+            engine.inverted_index,
+            WorkloadConfig(keyword_count=3, k=3, seed=3),
+        )
+        for query in generator.workload(4, "O"):
+            reference = exhaustive_search(
+                engine.graph, engine.inverted_index, query, undirected=True
+            )
+            expected = signature(reference)
+            for method in METHODS:
+                got = signature(engine.run(query, method=method))
+                assert got == expected, method

@@ -1,0 +1,117 @@
+"""All four algorithms on the paper's worked Examples 5, 6 and 8."""
+
+import math
+
+import pytest
+
+from repro.core.query import KSPQuery
+from repro.core.ranking import WeightedSumRanking
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, Q2
+
+METHODS = ("bsp", "spp", "sp", "ta")
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestExample5:
+    def test_q1_top1_is_montmajour(self, example_engine, method):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method=method)
+        assert len(result) == 1
+        place = result[0]
+        assert place.root_label == "p1"
+        assert place.looseness == 6.0
+        assert place.distance == pytest.approx(0.2193, abs=1e-4)
+        assert place.score == pytest.approx(6 * 0.2193, abs=1e-3)
+
+    def test_q1_top2_ranking(self, example_engine, method):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=2, method=method)
+        assert [p.root_label for p in result] == ["p1", "p2"]
+        assert result[1].looseness == 4.0
+        assert result[1].score == pytest.approx(4 * 1.2778, abs=1e-3)
+
+    def test_q2_flips_the_ranking(self, example_engine, method):
+        result = example_engine.query(Q2, EXAMPLE_KEYWORDS, k=2, method=method)
+        assert [p.root_label for p in result] == ["p2", "p1"]
+        assert result[0].score == pytest.approx(4 * 0.0806, abs=1e-3)
+        assert result[1].score == pytest.approx(6 * 1.3525, abs=1e-3)
+
+    def test_k_larger_than_qualified_places(self, example_engine, method):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=10, method=method)
+        assert len(result) == 2  # only two places exist
+
+    def test_result_tree_structure(self, example_engine, method):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method=method)
+        place = result[0]
+        graph = example_engine.graph
+        labels = {graph.label(v) for v in place.tree_vertices()}
+        # Example 2: the semantic place is {p1, v1, v2, v3, v4} minus v5
+        # (v1 is on the path to v4).
+        assert labels == {"p1", "v1", "v2", "v3", "v4"}
+        assert place.graph_distance("history") == 2
+        assert place.graph_distance("ancient") == 1
+
+    def test_unqualified_keywords_give_empty_result(self, example_engine, method):
+        result = example_engine.query(Q1, ["church", "architecture", "abbey"],
+                                      k=2, method=method)
+        # No single place reaches all three keywords.
+        assert len(result) == 0
+
+    def test_single_keyword(self, example_engine, method):
+        result = example_engine.query(Q1, ["history"], k=2, method=method)
+        assert len(result) == 2
+        # p1 reaches history at distance 2 (L=3), p2 at distance 1 (L=2).
+        by_label = {p.root_label: p for p in result}
+        assert by_label["p1"].looseness == 3.0
+        assert by_label["p2"].looseness == 2.0
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestWeightedSumRanking:
+    def test_equation_1_scores(self, example_engine, method):
+        ranking = WeightedSumRanking(beta=0.5)
+        result = example_engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method=method, ranking=ranking
+        )
+        assert len(result) == 2
+        for place in result:
+            assert place.score == pytest.approx(
+                0.5 * place.looseness + 0.5 * place.distance
+            )
+        scores = [p.score for p in result]
+        assert scores == sorted(scores)
+
+    def test_beta_near_one_ranks_by_looseness(self, example_engine, method):
+        ranking = WeightedSumRanking(beta=0.999)
+        result = example_engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method=method, ranking=ranking
+        )
+        # Looseness dominates: p2 (L=4) beats p1 (L=6) despite distance.
+        assert [p.root_label for p in result] == ["p2", "p1"]
+
+
+class TestStatsReporting:
+    def test_spp_prunes_rule2_in_example_8(self, example_engine):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="spp")
+        # p1 enters the result; p2's TQSP construction aborts via Rule 2.
+        assert result.stats.pruned_rule2 == 1
+        assert result.stats.tqsp_computations == 2
+
+    def test_bsp_computes_both_tqsps(self, example_engine):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="bsp")
+        assert result.stats.tqsp_computations == 2
+        assert result.stats.places_retrieved == 2
+        assert result.stats.rtree_node_accesses >= 1
+
+    def test_rule1_prunes_unqualified(self, example_engine):
+        result = example_engine.query(
+            Q1, ["church", "architecture"], k=1, method="spp"
+        )
+        assert len(result) == 0
+        assert result.stats.pruned_rule1 == 2  # both places unqualified
+        assert result.stats.tqsp_computations == 0
+
+    def test_runtime_recorded(self, example_engine):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="sp")
+        assert result.stats.runtime_seconds > 0
+        assert result.stats.semantic_seconds >= 0
+        assert result.stats.other_seconds >= 0
+        assert result.stats.algorithm == "SP"

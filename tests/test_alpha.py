@@ -1,0 +1,172 @@
+"""alpha-radius word neighborhoods and the Lemma 2-5 bounds."""
+
+import math
+
+import pytest
+
+from repro.alpha.index import AlphaIndex
+from repro.alpha.neighborhood import (
+    looseness_alpha_bound,
+    merge_neighborhoods,
+    place_word_neighborhood,
+)
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, build_example_graph
+from repro.spatial.rtree import RTree
+from repro.text.inverted import InvertedIndex, build_query_map
+
+
+@pytest.fixture(scope="module")
+def example():
+    graph = build_example_graph()
+    rtree = RTree.bulk_load(graph.places(), max_entries=4)
+    return graph, rtree
+
+
+class TestPlaceNeighborhood:
+    def test_matches_table_3_row_p1(self, example):
+        graph, _ = example
+        p1 = graph.vertex_by_label("p1")
+        neighborhood = place_word_neighborhood(graph, p1, alpha=1)
+        # Table 3 (alpha = 1): abbey at 0; ancient/catholic/roman at 1;
+        # history unreachable within radius 1.
+        assert neighborhood["abbey"] == 0
+        assert neighborhood["ancient"] == 1
+        assert neighborhood["catholic"] == 1
+        assert neighborhood["roman"] == 1
+        assert "history" not in neighborhood
+
+    def test_matches_table_3_row_p2(self, example):
+        graph, _ = example
+        p2 = graph.vertex_by_label("p2")
+        neighborhood = place_word_neighborhood(graph, p2, alpha=1)
+        assert neighborhood["catholic"] == 0
+        assert neighborhood["roman"] == 0
+        assert neighborhood["history"] == 1
+        assert "ancient" not in neighborhood  # at distance 2 via v8
+        assert "abbey" not in neighborhood
+
+    def test_larger_alpha_supersets(self, example):
+        graph, _ = example
+        p2 = graph.vertex_by_label("p2")
+        small = place_word_neighborhood(graph, p2, alpha=1)
+        large = place_word_neighborhood(graph, p2, alpha=3)
+        assert set(small) <= set(large)
+        for term, distance in small.items():
+            assert large[term] == distance
+        assert large["ancient"] == 2
+
+    def test_alpha_zero_is_own_document(self, example):
+        graph, _ = example
+        p1 = graph.vertex_by_label("p1")
+        assert place_word_neighborhood(graph, p1, alpha=0) == {
+            "abbey": 0,
+            "montmajour": 0,
+        }
+
+    def test_negative_alpha_rejected(self, example):
+        graph, _ = example
+        with pytest.raises(ValueError):
+            place_word_neighborhood(graph, 0, alpha=-1)
+
+
+class TestMerge:
+    def test_min_distance_union(self):
+        target = {"a": 2, "b": 1}
+        merge_neighborhoods(target, {"a": 1, "c": 3})
+        assert target == {"a": 1, "b": 1, "c": 3}
+
+
+class TestLoosenessBound:
+    def test_missing_terms_pay_alpha_plus_one(self):
+        bound = looseness_alpha_bound({"x": 1}, ["x", "y"], alpha=3)
+        assert bound == 1 + 1 + 4
+
+    def test_node_bound_matches_example_10(self, example):
+        # Example 10: node N over p1 and p2, alpha = 1, keywords
+        # {ancient, roman, catholic, history}: L_aB(T_N) = 1+0+0+1+1 = 3.
+        graph, _ = example
+        p1 = graph.vertex_by_label("p1")
+        p2 = graph.vertex_by_label("p2")
+        merged = place_word_neighborhood(graph, p1, alpha=1)
+        merge_neighborhoods(merged, place_word_neighborhood(graph, p2, alpha=1))
+        bound = looseness_alpha_bound(merged, EXAMPLE_KEYWORDS, alpha=1)
+        assert bound == 3.0
+
+
+class TestAlphaIndex:
+    def test_place_postings(self, example):
+        graph, rtree = example
+        index = AlphaIndex(graph, rtree, alpha=1)
+        p1 = graph.vertex_by_label("p1")
+        p2 = graph.vertex_by_label("p2")
+        assert index.place_neighborhood_distance(p1, "ancient") == 1
+        assert index.place_neighborhood_distance(p2, "ancient") is None
+        assert index.place_neighborhood_distance(p2, "history") == 1
+
+    def test_root_node_aggregates_all_places(self, example):
+        graph, rtree = example
+        index = AlphaIndex(graph, rtree, alpha=1)
+        root_id = rtree.root.node_id
+        # Root covers both places: min distances across them (Table 3).
+        assert index.node_neighborhood_distance(root_id, "abbey") == 0
+        assert index.node_neighborhood_distance(root_id, "ancient") == 1
+        assert index.node_neighborhood_distance(root_id, "catholic") == 0
+        assert index.node_neighborhood_distance(root_id, "roman") == 0
+        assert index.node_neighborhood_distance(root_id, "history") == 1
+
+    def test_query_view_bounds(self, example):
+        graph, rtree = example
+        index = AlphaIndex(graph, rtree, alpha=1)
+        view = index.query_view(EXAMPLE_KEYWORDS)
+        p1 = graph.vertex_by_label("p1")
+        # p1 at alpha=1: ancient 1, roman 1, catholic 1, history missing (2).
+        assert view.place_looseness_bound(p1) == 1 + 1 + 1 + 1 + 2
+        assert view.node_looseness_bound(rtree.root.node_id) == 3.0
+
+    def test_bound_never_exceeds_true_looseness(self, tiny_yago_graph):
+        """Lemma 2 as a property on a synthetic corpus."""
+        graph = tiny_yago_graph
+        rtree = RTree.bulk_load(graph.places(), max_entries=8)
+        index = AlphaIndex(graph, rtree, alpha=2)
+        inverted = InvertedIndex.build(graph)
+        searcher = SemanticPlaceSearcher(graph)
+        keywords = ["kw00000", "kw00001", "kw00003"]
+        view = index.query_view(keywords)
+        query_map = build_query_map(inverted, keywords)
+        checked = 0
+        for place, _ in graph.places():
+            search = searcher.tightest(keywords, place, query_map)
+            if search.status is not SearchStatus.COMPLETE:
+                continue
+            assert view.place_looseness_bound(place) <= search.looseness + 1e-9
+            checked += 1
+            if checked >= 40:
+                break
+        assert checked > 0
+
+    def test_node_bound_lower_bounds_place_bounds(self, tiny_dbpedia_graph):
+        """Lemma 4: a node's bound never exceeds any enclosed place's."""
+        graph = tiny_dbpedia_graph
+        rtree = RTree.bulk_load(graph.places(), max_entries=8)
+        index = AlphaIndex(graph, rtree, alpha=2)
+        keywords = ["kw00000", "kw00002", "kw00005"]
+        view = index.query_view(keywords)
+        for node in rtree.iter_nodes():
+            if not node.is_leaf:
+                continue
+            node_bound = view.node_looseness_bound(node.node_id)
+            for entry in node.entries:
+                assert node_bound <= view.place_looseness_bound(entry.key) + 1e-9
+
+    def test_size_grows_with_alpha(self, example):
+        graph, rtree = example
+        sizes = [
+            AlphaIndex(graph, rtree, alpha=alpha).size_bytes() for alpha in (0, 1, 3)
+        ]
+        assert sizes[0] < sizes[1] <= sizes[2]
+
+    def test_invalid_alpha(self, example):
+        graph, rtree = example
+        with pytest.raises(ValueError):
+            AlphaIndex(graph, rtree, alpha=-2)

@@ -1,0 +1,123 @@
+"""The benchmark harness itself: table rendering, env knobs, datasets."""
+
+import pytest
+
+from repro.bench.context import (
+    BenchDataset,
+    bench_query_count,
+    bench_scale,
+    bench_timeout,
+)
+from repro.bench.tables import Table, format_cell, record
+from repro.datagen.profiles import TINY_YAGO
+
+
+class TestFormatCell:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, "0"),
+            (1234.6, "1235"),
+            (42.31, "42.3"),
+            (3.14159, "3.142"),
+            ("text", "text"),
+            (7, "7"),
+            (float("nan"), "-"),
+            (True, "True"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert format_cell(value) == expected
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("short", 1)
+        table.add_row("much longer name", 123456.0)
+        table.add_note("a footnote")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        assert lines[2].startswith("name")
+        assert "much longer name" in text
+        assert "* a footnote" in text
+
+    def test_wrong_arity_rejected(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_record_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        table = Table("T", ["x"])
+        table.add_row(1)
+        text = record("unit_test_table", table)
+        assert (tmp_path / "unit_test_table.txt").read_text() == text
+
+    def test_record_multiple_tables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        tables = [Table("A", ["x"]), Table("B", ["y"])]
+        text = record("unit_test_pair", tables)
+        assert "A\n" in text and "B\n" in text
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_QUERIES", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_TIMEOUT", raising=False)
+        assert bench_scale() == 8000
+        assert bench_query_count() == 10
+        assert bench_timeout() == 8.0
+
+    def test_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1234")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "3")
+        monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "0.5")
+        assert bench_scale() == 1234
+        assert bench_query_count() == 3
+        assert bench_timeout() == 0.5
+
+
+class TestBenchDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self, tiny_yago_graph):
+        return BenchDataset(TINY_YAGO, graph=tiny_yago_graph)
+
+    def test_alpha_index_cached(self, dataset):
+        first = dataset.alpha_index(2)
+        second = dataset.alpha_index(2)
+        assert first is second
+        assert "alpha_index_2" in dataset.build_seconds
+
+    def test_workload_cached(self, dataset):
+        first = dataset.workload("O", count=3, keyword_count=2)
+        second = dataset.workload("O", count=3, keyword_count=2)
+        assert first is second
+        assert len(first) == 3
+
+    def test_run_dispatch(self, dataset):
+        query = dataset.workload("O", count=1, keyword_count=2)[0]
+        for method in ("bsp", "spp", "sp", "ta"):
+            result = dataset.run(query, method, k=2, alpha=2)
+            assert result.stats.algorithm in (method.upper(), "SP", "SPP")
+        with pytest.raises(ValueError):
+            dataset.run(query, "magic")
+
+    def test_k_override(self, dataset):
+        query = dataset.workload("O", count=1, keyword_count=2)[0]
+        result = dataset.run(query, "sp", k=2, alpha=2)
+        assert result.query.k == 2
+
+    def test_aggregate(self, dataset):
+        queries = dataset.workload("O", count=3, keyword_count=2)
+        aggregate = dataset.aggregate(queries, "sp", k=2, alpha=2)
+        assert len(aggregate) == 3
+        assert aggregate.mean_runtime_ms > 0
+
+    def test_describe(self, dataset):
+        report = dataset.describe()
+        assert report["vertices"] == TINY_YAGO.vertex_count
+        assert report["places"] > 0

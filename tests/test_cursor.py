@@ -1,0 +1,90 @@
+"""Incremental kSP cursor: ranked streaming without a fixed k."""
+
+import pytest
+
+from repro.core.exhaustive import exhaustive_search
+from repro.core.query import KSPQuery
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, Q2
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+
+
+class TestOnPaperExample:
+    def test_emits_in_score_order(self, example_engine):
+        cursor = example_engine.cursor(Q1, EXAMPLE_KEYWORDS)
+        places = list(cursor)
+        assert [p.root_label for p in places] == ["p1", "p2"]
+        assert places[0].score <= places[1].score
+
+    def test_q2_order_flips(self, example_engine):
+        places = list(example_engine.cursor(Q2, EXAMPLE_KEYWORDS))
+        assert [p.root_label for p in places] == ["p2", "p1"]
+
+    def test_take(self, example_engine):
+        cursor = example_engine.cursor(Q1, EXAMPLE_KEYWORDS)
+        first = cursor.take(1)
+        assert [p.root_label for p in first] == ["p1"]
+        rest = cursor.take(10)
+        assert [p.root_label for p in rest] == ["p2"]
+        assert cursor.take(1) == []
+
+    def test_exhausts_cleanly(self, example_engine):
+        cursor = example_engine.cursor(Q1, ["church", "architecture"])
+        assert list(cursor) == []  # no qualified place
+
+    def test_keywords_normalized(self, example_engine):
+        places = list(example_engine.cursor(Q1, ["Ancient!", "ROMAN"]))
+        assert places  # tokenizer applied as in engine.query
+
+    def test_needs_indexes(self, example_graph):
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(example_graph, build_alpha=False)
+        with pytest.raises(RuntimeError):
+            engine.cursor(Q1, EXAMPLE_KEYWORDS)
+
+
+class TestAgainstExhaustive:
+    @pytest.mark.parametrize("engine_name", ["tiny_dbpedia_engine", "tiny_yago_engine"])
+    def test_stream_prefix_equals_topk(self, engine_name, request):
+        engine = request.getfixturevalue(engine_name)
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=3, seed=61)
+        )
+        for query in generator.workload(5, "O"):
+            reference = exhaustive_search(
+                engine.graph, engine.inverted_index,
+                KSPQuery(location=query.location, keywords=query.keywords, k=10),
+            )
+            cursor = engine.cursor(query.location, query.keywords)
+            streamed = cursor.take(10)
+            # Scores must match position by position (root ties at equal
+            # scores may be ordered differently).
+            assert [round(p.score, 9) for p in streamed] == [
+                round(p.score, 9) for p in reference
+            ]
+            assert {p.root for p in streamed} == {p.root for p in reference}
+
+    def test_laziness(self, tiny_yago_engine):
+        """Taking one result must evaluate far fewer places than exist."""
+        engine = tiny_yago_engine
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=3, seed=62)
+        )
+        query = generator.original()
+        cursor = engine.cursor(query.location, query.keywords)
+        cursor.take(1)
+        assert cursor.stats.tqsp_computations < engine.graph.place_count() / 10
+
+    def test_resume_consistency(self, tiny_dbpedia_engine):
+        """take(2) + take(3) equals take(5) score-wise."""
+        engine = tiny_dbpedia_engine
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=2, seed=63)
+        )
+        query = generator.original()
+        split = engine.cursor(query.location, query.keywords)
+        combined = split.take(2) + split.take(3)
+        whole = engine.cursor(query.location, query.keywords).take(5)
+        assert [round(p.score, 9) for p in combined] == [
+            round(p.score, 9) for p in whole
+        ]

@@ -1,0 +1,200 @@
+"""Synthetic data generators: corpora, query workloads, sampling."""
+
+import math
+
+import pytest
+
+from repro.datagen.profiles import DBPEDIA_LIKE, TINY_DBPEDIA, TINY_YAGO, YAGO_LIKE, DatasetProfile
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.datagen.sampling import induced_subgraph, random_jump_sample
+from repro.datagen.synthetic import generate_graph, graph_to_triples
+from repro.rdf.documents import graph_from_triples
+from repro.text.inverted import InvertedIndex
+
+
+class TestProfiles:
+    def test_vocabulary_derived_from_posting_target(self):
+        profile = DBPEDIA_LIKE
+        rare = profile.vertex_count * profile.rare_term_fraction
+        postings = profile.vertex_count * profile.avg_document_length + rare
+        expected = postings / profile.target_posting_length - rare
+        assert profile.vocabulary_size == pytest.approx(expected, rel=0.01)
+
+    def test_scaled_keeps_shape(self):
+        scaled = YAGO_LIKE.scaled(5000)
+        assert scaled.vertex_count == 5000
+        assert scaled.place_fraction == YAGO_LIKE.place_fraction
+        assert scaled.name == "yago-like-5000"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad", vertex_count=5, avg_out_degree=1,
+                place_fraction=0.5, avg_document_length=2,
+                target_posting_length=2,
+            )
+        with pytest.raises(ValueError):
+            DatasetProfile(
+                name="bad", vertex_count=100, avg_out_degree=1,
+                place_fraction=0.0, avg_document_length=2,
+                target_posting_length=2,
+            )
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_graph(TINY_YAGO)
+        b = generate_graph(TINY_YAGO)
+        assert a.vertex_count == b.vertex_count
+        assert a.edge_count == b.edge_count
+        assert list(a.edges()) == list(b.edges())
+        assert a.document(0) == b.document(0)
+
+    def test_seed_changes_output(self):
+        a = generate_graph(TINY_YAGO)
+        b = generate_graph(TINY_YAGO.with_seed(999))
+        assert list(a.edges()) != list(b.edges())
+
+    def test_place_fraction_honored(self, tiny_yago_graph):
+        fraction = tiny_yago_graph.place_count() / tiny_yago_graph.vertex_count
+        assert fraction == pytest.approx(TINY_YAGO.place_fraction, abs=0.01)
+
+    def test_single_weak_component(self, tiny_dbpedia_graph):
+        components = tiny_dbpedia_graph.weakly_connected_components()
+        assert len(components) == 1
+
+    def test_posting_length_near_target(self, tiny_dbpedia_graph):
+        index = InvertedIndex.build(tiny_dbpedia_graph)
+        # Zipf + dedup pulls it below the target; same order of magnitude.
+        assert index.average_posting_length() > 0.5 * TINY_DBPEDIA.target_posting_length
+
+    def test_places_inside_bbox(self, tiny_yago_graph):
+        min_x, min_y, max_x, max_y = TINY_YAGO.bbox
+        for _, location in tiny_yago_graph.places():
+            assert min_x <= location.x <= max_x
+            assert min_y <= location.y <= max_y
+
+    def test_yago_profile_has_more_places_than_dbpedia(
+        self, tiny_yago_graph, tiny_dbpedia_graph
+    ):
+        assert tiny_yago_graph.place_count() > tiny_dbpedia_graph.place_count()
+
+
+class TestTripleExport:
+    def test_round_trip_preserves_structure(self, tiny_yago_graph):
+        small = induced_subgraph(tiny_yago_graph, list(range(150)))
+        rebuilt = graph_from_triples(graph_to_triples(small))
+        assert rebuilt.vertex_count == small.vertex_count
+        assert rebuilt.place_count() == small.place_count()
+        for vertex in small.vertices():
+            label = small.label(vertex)
+            # URI local names and predicate descriptions add tokens, so the
+            # rebuilt documents are supersets of the originals.
+            rebuilt_vertex = rebuilt.vertex_by_label(
+                "http://repro.example.org/entity/" + label
+            )
+            assert small.document(vertex) <= rebuilt.document(rebuilt_vertex)
+            original = small.location(vertex)
+            assert rebuilt.location(rebuilt_vertex) == original
+
+    def test_edges_preserved(self, tiny_yago_graph):
+        small = induced_subgraph(tiny_yago_graph, list(range(100)))
+        rebuilt = graph_from_triples(graph_to_triples(small))
+        assert rebuilt.edge_count == small.edge_count
+
+
+class TestQueryGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self, tiny_yago_graph):
+        index = InvertedIndex.build(tiny_yago_graph)
+        config = WorkloadConfig(keyword_count=3, k=5, seed=7,
+                                min_hops=2, max_term_frequency=40)
+        return QueryGenerator(tiny_yago_graph, index, config), index
+
+    def test_original_queries_valid(self, generator):
+        gen, index = generator
+        for query in gen.workload(10, "O"):
+            assert len(query.keywords) == 3
+            assert query.k == 5
+            for term in query.keywords:
+                assert index.document_frequency(term) > 0
+
+    def test_original_deterministic(self, tiny_yago_graph):
+        index = InvertedIndex.build(tiny_yago_graph)
+        config = WorkloadConfig(keyword_count=3, seed=9)
+        a = QueryGenerator(tiny_yago_graph, index, config).workload(5, "O")
+        b = QueryGenerator(tiny_yago_graph, index, config).workload(5, "O")
+        assert [q.keywords for q in a] == [q.keywords for q in b]
+        assert [q.location for q in a] == [q.location for q in b]
+
+    def test_sdll_keywords_are_infrequent(self, generator):
+        gen, index = generator
+        for query in gen.workload(4, "SDLL"):
+            for term in query.keywords:
+                frequency = index.document_frequency(term)
+                assert 0 < frequency < gen.config.max_term_frequency
+
+    def test_ldll_locations_displaced(self, tiny_yago_graph, generator):
+        gen, _ = generator
+        min_x, min_y, max_x, max_y = TINY_YAGO.bbox
+        for query in gen.workload(4, "LDLL"):
+            # +90 degrees of longitude pushes far outside the bbox.
+            assert query.location.y > max_y + 10
+
+    def test_sdll_locations_near_places(self, tiny_yago_graph, generator):
+        gen, _ = generator
+        for query in gen.workload(4, "SDLL"):
+            nearest = min(
+                query.location.distance_to(location)
+                for _, location in tiny_yago_graph.places()
+            )
+            assert nearest <= 2 * gen.config.sdll_range * math.sqrt(2)
+
+    def test_unknown_class_rejected(self, generator):
+        gen, _ = generator
+        with pytest.raises(ValueError):
+            gen.workload(1, "XXL")
+
+    def test_graph_without_places_rejected(self):
+        from repro.rdf.graph import RDFGraph
+
+        graph = RDFGraph()
+        graph.add_vertex("a", document={"x"})
+        index = InvertedIndex.build(graph)
+        with pytest.raises(ValueError):
+            QueryGenerator(graph, index)
+
+
+class TestSampling:
+    def test_sample_size(self, tiny_yago_graph):
+        sample = random_jump_sample(tiny_yago_graph, 300, seed=1)
+        assert sample.vertex_count == 300
+
+    def test_sample_preserves_attributes(self, tiny_yago_graph):
+        sample = random_jump_sample(tiny_yago_graph, 200, seed=2)
+        for vertex in sample.vertices():
+            original = tiny_yago_graph.vertex_by_label(sample.label(vertex))
+            assert sample.document(vertex) == tiny_yago_graph.document(original)
+            assert sample.location(vertex) == tiny_yago_graph.location(original)
+
+    def test_sample_edges_induced(self, tiny_yago_graph):
+        sample = random_jump_sample(tiny_yago_graph, 200, seed=3)
+        for source, target in sample.edges():
+            original_source = tiny_yago_graph.vertex_by_label(sample.label(source))
+            original_target = tiny_yago_graph.vertex_by_label(sample.label(target))
+            assert original_target in tiny_yago_graph.out_neighbors(original_source)
+
+    def test_target_larger_than_graph(self, tiny_yago_graph):
+        sample = random_jump_sample(tiny_yago_graph, 10**6, seed=4)
+        assert sample.vertex_count == tiny_yago_graph.vertex_count
+
+    def test_invalid_target(self, tiny_yago_graph):
+        with pytest.raises(ValueError):
+            random_jump_sample(tiny_yago_graph, 0)
+
+    def test_deterministic(self, tiny_yago_graph):
+        a = random_jump_sample(tiny_yago_graph, 150, seed=5)
+        b = random_jump_sample(tiny_yago_graph, 150, seed=5)
+        assert [a.label(v) for v in a.vertices()] == [
+            b.label(v) for v in b.vertices()
+        ]

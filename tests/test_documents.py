@@ -1,0 +1,164 @@
+"""GraphBuilder: the [43]-style simplification from triples to data graph."""
+
+import pytest
+
+from repro.rdf import ntriples
+from repro.rdf.documents import GraphBuilder, graph_from_triples, parse_point_literal
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.spatial.geometry import Point
+from repro.datagen.paper_example import (
+    EXAMPLE_NTRIPLES,
+    P1_LOCATION,
+    P2_LOCATION,
+    build_example_graph,
+)
+
+
+def _t(subject, predicate, obj):
+    return Triple(IRI(subject), IRI(predicate), obj)
+
+
+class TestPointLiteral:
+    def test_wkt_point(self):
+        assert parse_point_literal("POINT(4.66 43.71)") == Point(4.66, 43.71)
+
+    def test_bare_pair(self):
+        assert parse_point_literal("43.71 4.66") == Point(43.71, 4.66)
+
+    def test_comma_pair(self):
+        assert parse_point_literal("43.71, 4.66") == Point(43.71, 4.66)
+
+    def test_negative(self):
+        assert parse_point_literal("-1.5 -2.25") == Point(-1.5, -2.25)
+
+    def test_not_a_point(self):
+        assert parse_point_literal("somewhere nice") is None
+
+
+class TestSimplification:
+    def test_entity_edge_created(self):
+        graph = graph_from_triples(
+            [_t("http://x/A_Thing", "http://x/knows", IRI("http://x/B_Thing"))]
+        )
+        a = graph.vertex_by_label("http://x/A_Thing")
+        b = graph.vertex_by_label("http://x/B_Thing")
+        assert list(graph.out_neighbors(a)) == [b]
+
+    def test_uri_keywords_in_document(self):
+        graph = graph_from_triples(
+            [_t("http://x/Saint_Peter", "http://x/p", IRI("http://x/Rome"))]
+        )
+        subject = graph.vertex_by_label("http://x/Saint_Peter")
+        assert {"saint", "peter"} <= graph.document(subject)
+
+    def test_predicate_description_joins_object_document(self):
+        graph = graph_from_triples(
+            [_t("http://x/A", "http://x/birthPlace", IRI("http://x/Rome"))]
+        )
+        target = graph.vertex_by_label("http://x/Rome")
+        assert "birthplace" in graph.document(target)
+        source = graph.vertex_by_label("http://x/A")
+        assert "birthplace" not in graph.document(source)
+
+    def test_literal_folded_into_subject_without_edge(self):
+        graph = graph_from_triples(
+            [_t("http://x/A", "http://x/comment", Literal("ancient history"))]
+        )
+        assert graph.vertex_count == 1
+        subject = graph.vertex_by_label("http://x/A")
+        assert {"ancient", "history"} <= graph.document(subject)
+        # Predicate tokens of literal triples are NOT added (Figure 1(b)).
+        assert "comment" not in graph.document(subject)
+
+    def test_structural_edges_dropped(self):
+        graph = graph_from_triples(
+            [
+                _t("http://x/A", "http://x/sameAs", IRI("http://x/B")),
+                _t("http://x/A", "http://x/linksTo", IRI("http://x/C")),
+                _t("http://x/A", "http://x/redirectTo", IRI("http://x/D")),
+            ]
+        )
+        # Neither edges nor the object vertices are materialized.
+        assert graph.vertex_count == 0
+
+    def test_geometry_literal_sets_location(self):
+        graph = graph_from_triples(
+            [_t("http://x/P", "http://x/hasGeometry", Literal("POINT(1.0 2.0)"))]
+        )
+        place = graph.vertex_by_label("http://x/P")
+        assert graph.location(place) == Point(1.0, 2.0)
+
+    def test_lat_long_pair_sets_location(self):
+        graph = graph_from_triples(
+            [
+                _t("http://x/P", "http://www.w3.org/2003/01/geo/wgs84_pos#lat", Literal("43.71")),
+                _t("http://x/P", "http://www.w3.org/2003/01/geo/wgs84_pos#long", Literal("4.66")),
+            ]
+        )
+        place = graph.vertex_by_label("http://x/P")
+        assert graph.location(place) == Point(43.71, 4.66)
+
+    def test_lat_alone_is_not_a_place(self):
+        graph = graph_from_triples(
+            [_t("http://x/P", "http://x/lat", Literal("43.71"))]
+        )
+        assert not graph.is_place(graph.vertex_by_label("http://x/P"))
+
+    def test_unparsable_geometry_treated_as_literal(self):
+        graph = graph_from_triples(
+            [_t("http://x/P", "http://x/hasGeometry", Literal("the nice spot"))]
+        )
+        place = graph.vertex_by_label("http://x/P")
+        assert not graph.is_place(place)
+        assert "nice" in graph.document(place)
+
+    def test_blank_nodes_supported(self):
+        graph = graph_from_triples(
+            [Triple(BlankNode("b0"), IRI("http://x/p"), IRI("http://x/A"))]
+        )
+        assert graph.has_vertex_label("_:b0")
+
+    def test_duplicate_triples_idempotent(self):
+        triple = _t("http://x/A", "http://x/p", IRI("http://x/B"))
+        graph = graph_from_triples([triple, triple])
+        assert graph.edge_count == 1
+
+
+class TestPaperExamplePipeline:
+    """Building Figure 1 from N-Triples must reproduce the documents,
+    edges and locations of the hand-built fixture."""
+
+    def test_documents_match_figure_1b(self):
+        graph = graph_from_triples(ntriples.parse(EXAMPLE_NTRIPLES))
+        expected = {
+            "Montmajour_Abbey": {"abbey", "montmajour"},
+            "Romanesque_architecture": {"architecture", "romanesque", "subject"},
+            "Saint_Peter": {"catholic", "dedication", "peter", "roman", "saint"},
+            "Ancient_Diocese_of_Arles": {"ancient", "arles", "diocese"},
+            "Architectural_history": {"architectural", "history", "subject"},
+            "Roman_Empire": {"ancient", "birthplace", "empire", "roman"},
+            "Mary_Magdalene": {"mary", "magdalene", "patron"},
+            "Catholic_Church": {"catholic", "church", "denomination", "history"},
+            "Anatolia": {"anatolia", "ancient", "deathplace", "history"},
+        }
+        for local_name, document in expected.items():
+            vertex = graph.vertex_by_label("http://ex.org/" + local_name)
+            assert graph.document(vertex) == frozenset(document), local_name
+        diocese = graph.vertex_by_label("http://ex.org/Roman_Catholic_Diocese")
+        # Paper shows {catholic, diocese, roman} (documents are truncated in
+        # the figure); URI tokens are exactly these three.
+        assert graph.document(diocese) == frozenset({"catholic", "diocese", "roman"})
+
+    def test_locations_match_figure_2(self):
+        graph = graph_from_triples(ntriples.parse(EXAMPLE_NTRIPLES))
+        p1 = graph.vertex_by_label("http://ex.org/Montmajour_Abbey")
+        p2 = graph.vertex_by_label("http://ex.org/Roman_Catholic_Diocese")
+        assert graph.location(p1) == P1_LOCATION
+        assert graph.location(p2) == P2_LOCATION
+        assert graph.place_count() == 2
+
+    def test_edge_structure_matches_figure_1a(self):
+        graph = graph_from_triples(ntriples.parse(EXAMPLE_NTRIPLES))
+        fixture = build_example_graph()
+        assert graph.vertex_count == fixture.vertex_count
+        assert graph.edge_count == fixture.edge_count

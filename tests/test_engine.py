@@ -1,0 +1,108 @@
+"""KSPEngine facade: construction paths, option validation, reports."""
+
+import pytest
+
+from repro.core.engine import KSPEngine
+from repro.core.query import KSPQuery
+from repro.datagen.paper_example import (
+    EXAMPLE_KEYWORDS,
+    EXAMPLE_NTRIPLES,
+    Q1,
+    build_example_graph,
+)
+from repro.rdf import ntriples
+from repro.spatial.geometry import Point
+
+
+class TestConstruction:
+    def test_from_triples(self):
+        engine = KSPEngine.from_triples(ntriples.parse(EXAMPLE_NTRIPLES))
+        result = engine.query(Q1, EXAMPLE_KEYWORDS, k=1)
+        assert result[0].root_label.endswith("Montmajour_Abbey")
+        assert result[0].looseness == 6.0
+
+    def test_from_ntriples_file(self, tmp_path):
+        path = tmp_path / "example.nt"
+        path.write_text(EXAMPLE_NTRIPLES, encoding="utf-8")
+        engine = KSPEngine.from_ntriples_file(path)
+        result = engine.query(Q1, EXAMPLE_KEYWORDS, k=1)
+        assert result[0].looseness == 6.0
+
+    def test_build_times_recorded(self, example_engine):
+        for key in ("inverted_index", "rtree", "reachability", "alpha_index"):
+            assert key in example_engine.build_seconds
+            assert example_engine.build_seconds[key] >= 0
+
+    def test_optional_indexes_skipped(self):
+        engine = KSPEngine(
+            build_example_graph(), build_reachability=False, build_alpha=False
+        )
+        assert engine.reachability is None
+        assert engine.alpha_index is None
+        # BSP and TA still work; SPP and SP refuse.
+        assert len(engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="bsp")) == 1
+        assert len(engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="ta")) == 1
+        with pytest.raises(RuntimeError):
+            engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="spp")
+        with pytest.raises(RuntimeError):
+            engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="sp")
+
+    def test_grail_backend(self):
+        engine = KSPEngine(
+            build_example_graph(), reach_method="grail", build_alpha=False
+        )
+        result = engine.query(Q1, EXAMPLE_KEYWORDS, k=2, method="spp")
+        assert [p.root_label for p in result] == ["p1", "p2"]
+
+
+class TestQueryInterface:
+    def test_location_as_tuple(self, example_engine):
+        result = example_engine.query((43.51, 4.75), EXAMPLE_KEYWORDS, k=1)
+        assert result[0].root_label == "p1"
+
+    def test_keywords_normalized(self, example_engine):
+        # Mixed case and punctuation are tokenized like the documents were.
+        result = example_engine.query(Q1, ["Ancient", "ROMAN!"], k=1)
+        assert result.query.keywords == ("ancient", "roman")
+        assert len(result) == 1
+
+    def test_unknown_method_rejected(self, example_engine):
+        with pytest.raises(ValueError):
+            example_engine.query(Q1, EXAMPLE_KEYWORDS, method="magic")
+
+    def test_invalid_query_parameters(self):
+        with pytest.raises(ValueError):
+            KSPQuery(location=Point(0, 0), keywords=("a",), k=0)
+        with pytest.raises(ValueError):
+            KSPQuery(location=Point(0, 0), keywords=(), k=1)
+        with pytest.raises(ValueError):
+            KSPQuery(location=Point(0, 0), keywords=("a", "a"), k=1)
+
+    def test_run_accepts_query_object(self, example_engine):
+        query = KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=2)
+        result = example_engine.run(query, method="sp")
+        assert len(result) == 2
+
+
+class TestReports:
+    def test_storage_report(self, example_engine):
+        report = example_engine.storage_report()
+        for key in ("rtree", "rdf_graph", "inverted_index", "reachability",
+                    "alpha_index"):
+            assert report[key] > 0
+
+    def test_dataset_report(self, example_engine):
+        report = example_engine.dataset_report()
+        assert report["vertices"] == 10
+        assert report["edges"] == 8
+        assert report["places"] == 2
+        assert report["vocabulary"] > 0
+        assert report["avg_posting_length"] > 0
+
+
+class TestResultContainer:
+    def test_iteration_and_indexing(self, example_engine):
+        result = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=2)
+        assert len(list(result)) == 2
+        assert result[0].root == result.roots()[0]
+        assert result.scores() == sorted(result.scores())

@@ -1,0 +1,113 @@
+"""Unit and property tests for the geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, Rect
+
+coords = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+def rects():
+    return st.tuples(coords, coords, coords, coords).map(
+        lambda t: Rect(
+            min(t[0], t[2]), min(t[1], t[3]), max(t[0], t[2]), max(t[1], t[3])
+        )
+    )
+
+
+class TestPoint:
+    def test_distance_to_matches_paper_example(self):
+        # Example 5: S(q1, p1) = 0.22 (rounded).
+        q1 = Point(43.51, 4.75)
+        p1 = Point(43.71, 4.66)
+        assert q1.distance_to(p1) == pytest.approx(0.2193, abs=1e-4)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.distance_to(b) == b.distance_to(a) == 5.0
+
+    def test_squared_distance_consistent(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert a.squared_distance_to(b) == 25.0
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    @given(points, points)
+    def test_distance_nonnegative_and_zero_iff_equal(self, a, b):
+        distance = a.distance_to(b)
+        assert distance >= 0
+        if a == b:
+            assert distance == 0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_from_point_is_degenerate(self):
+        rect = Rect.from_point(Point(2, 3))
+        assert rect.area() == 0
+        assert rect.contains_point(Point(2, 3))
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+    def test_union_covers_both(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(2, 2, 3, 3)
+        union = a.union(b)
+        assert union.contains_rect(a) and union.contains_rect(b)
+        assert union == Rect(0, 0, 3, 3)
+
+    def test_enlargement(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+        assert a.enlargement(Rect(0.2, 0.2, 0.8, 0.8)) == 0.0
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert not a.intersects(Rect(3, 3, 4, 4))
+        # Touching edges count as intersecting.
+        assert a.intersects(Rect(2, 0, 3, 1))
+
+    def test_min_distance_inside_is_zero(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.min_distance(Point(5, 5)) == 0.0
+
+    def test_min_distance_outside(self):
+        rect = Rect(0, 0, 1, 1)
+        assert rect.min_distance(Point(4, 5)) == 5.0
+
+    def test_margin(self):
+        assert Rect(0, 0, 2, 3).margin() == 5.0
+
+    @given(rects(), points)
+    def test_min_distance_lower_bounds_max_distance(self, rect, point):
+        assert rect.min_distance(point) <= rect.max_distance(point) + 1e-9
+
+    @given(rects(), points)
+    def test_min_distance_lower_bounds_center_distance(self, rect, point):
+        assert rect.min_distance(point) <= point.distance_to(rect.center()) + 1e-9
+
+    @given(rects(), rects(), points)
+    def test_union_min_distance_is_smaller(self, a, b, point):
+        # MINDIST to a union never exceeds MINDIST to either part — the
+        # property that makes best-first traversal admissible.
+        union = a.union(b)
+        assert union.min_distance(point) <= a.min_distance(point) + 1e-9
+        assert union.min_distance(point) <= b.min_distance(point) + 1e-9

@@ -1,0 +1,141 @@
+"""RDFGraph store: construction, traversal, components, accounting."""
+
+import pytest
+
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point
+
+
+def build_chain(length):
+    graph = RDFGraph()
+    ids = [graph.add_vertex("v%d" % i) for i in range(length)]
+    for a, b in zip(ids, ids[1:]):
+        graph.add_edge(a, b)
+    return graph, ids
+
+
+class TestConstruction:
+    def test_add_vertex_and_lookup(self):
+        graph = RDFGraph()
+        vertex = graph.add_vertex("a", document={"x"}, location=Point(1, 2))
+        assert graph.label(vertex) == "a"
+        assert graph.vertex_by_label("a") == vertex
+        assert graph.document(vertex) == frozenset({"x"})
+        assert graph.location(vertex) == Point(1, 2)
+        assert graph.is_place(vertex)
+
+    def test_duplicate_label_rejected(self):
+        graph = RDFGraph()
+        graph.add_vertex("a")
+        with pytest.raises(ValueError):
+            graph.add_vertex("a")
+
+    def test_get_or_add_vertex(self):
+        graph = RDFGraph()
+        first = graph.get_or_add_vertex("a")
+        assert graph.get_or_add_vertex("a") == first
+        assert graph.vertex_count == 1
+
+    def test_missing_vertex_label(self):
+        graph = RDFGraph()
+        with pytest.raises(KeyError):
+            graph.vertex_by_label("nope")
+
+    def test_parallel_edges_collapsed(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a")
+        b = graph.add_vertex("b")
+        graph.add_edge(a, b)
+        graph.add_edge(a, b)
+        assert graph.edge_count == 1
+        assert list(graph.out_neighbors(a)) == [b]
+        assert list(graph.in_neighbors(b)) == [a]
+
+    def test_edge_bounds_checked(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a")
+        with pytest.raises(IndexError):
+            graph.add_edge(a, 99)
+
+    def test_extend_document_unions(self):
+        graph = RDFGraph()
+        vertex = graph.add_vertex("a", document={"x"})
+        graph.extend_document(vertex, {"y", "z"})
+        assert graph.document(vertex) == frozenset({"x", "y", "z"})
+
+    def test_predicate_recorded(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a")
+        b = graph.add_vertex("b")
+        graph.add_edge(a, b, predicate="knows")
+        assert graph.predicate(a, b) == "knows"
+        assert graph.predicate(b, a) is None
+
+    def test_places_iteration(self):
+        graph = RDFGraph()
+        graph.add_vertex("a")
+        p = graph.add_vertex("p", location=Point(0, 0))
+        assert list(graph.places()) == [(p, Point(0, 0))]
+        assert graph.place_count() == 1
+
+
+class TestTraversal:
+    def test_bfs_distances_on_chain(self):
+        graph, ids = build_chain(5)
+        result = {v: d for v, d, _ in graph.bfs(ids[0])}
+        assert result == {ids[i]: i for i in range(5)}
+
+    def test_bfs_respects_direction(self):
+        graph, ids = build_chain(3)
+        # From the tail, nothing is reachable forward.
+        assert [v for v, _, _ in graph.bfs(ids[2])] == [ids[2]]
+
+    def test_bfs_undirected(self):
+        graph, ids = build_chain(3)
+        result = {v: d for v, d, _ in graph.bfs(ids[2], undirected=True)}
+        assert result == {ids[2]: 0, ids[1]: 1, ids[0]: 2}
+
+    def test_bfs_parent_pointers(self):
+        graph, ids = build_chain(4)
+        parents = {v: p for v, _, p in graph.bfs(ids[0])}
+        assert parents[ids[0]] == -1
+        for i in range(1, 4):
+            assert parents[ids[i]] == ids[i - 1]
+
+    def test_bfs_shortest_over_diamond(self):
+        graph = RDFGraph()
+        a, b, c, d = (graph.add_vertex(x) for x in "abcd")
+        graph.add_edge(a, b)
+        graph.add_edge(a, c)
+        graph.add_edge(b, d)
+        graph.add_edge(c, d)
+        distances = {v: dist for v, dist, _ in graph.bfs(a)}
+        assert distances[d] == 2
+
+    def test_shortest_path_length(self):
+        graph, ids = build_chain(4)
+        assert graph.shortest_path_length(ids[0], ids[3]) == 3
+        assert graph.shortest_path_length(ids[3], ids[0]) is None
+        assert graph.shortest_path_length(ids[3], ids[0], undirected=True) == 3
+
+    def test_weakly_connected_components(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a")
+        b = graph.add_vertex("b")
+        c = graph.add_vertex("c")
+        graph.add_edge(a, b)
+        components = graph.weakly_connected_components()
+        assert len(components) == 2
+        assert sorted(components[0]) == [a, b]
+        assert components[1] == [c]
+
+
+class TestAccounting:
+    def test_size_bytes_grows_with_content(self):
+        small, _ = build_chain(3)
+        large, _ = build_chain(300)
+        assert 0 < small.size_bytes() < large.size_bytes()
+
+    def test_edges_iteration(self):
+        graph, ids = build_chain(3)
+        assert sorted(graph.edges()) == [(ids[0], ids[1]), (ids[1], ids[2])]

@@ -1,0 +1,101 @@
+"""Answer invariance across physical index configurations.
+
+The kSP answer is defined by the data, not by index layout: any R-tree
+fanout, split strategy or alpha radius must yield the same ranked places.
+This stresses the admissibility of the node bounds (a wrong Lemma 4
+aggregation would surface as a fanout-dependent answer)."""
+
+import pytest
+
+from repro.alpha.index import AlphaIndex
+from repro.core.sp import sp_search
+from repro.core.spp import spp_search
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.spatial.rtree import RTree
+from repro.text.inverted import InvertedIndex
+
+
+def signature(result):
+    return [(p.root, round(p.score, 9)) for p in result]
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_yago_engine):
+    generator = QueryGenerator(
+        tiny_yago_engine.graph,
+        tiny_yago_engine.inverted_index,
+        WorkloadConfig(keyword_count=3, k=5, seed=83),
+    )
+    return generator.workload(5, "O")
+
+
+class TestRTreeShapeInvariance:
+    @pytest.mark.parametrize("max_entries", [4, 8, 64])
+    def test_sp_invariant_to_fanout(self, tiny_yago_engine, workload, max_entries):
+        engine = tiny_yago_engine
+        rtree = RTree.bulk_load(engine.graph.places(), max_entries=max_entries)
+        alpha_index = AlphaIndex(engine.graph, rtree, alpha=2)
+        for query in workload:
+            reference = engine.run(query, method="sp")
+            got = sp_search(
+                engine.graph, rtree, engine.inverted_index,
+                engine.reachability, alpha_index, query,
+            )
+            assert signature(got) == signature(reference)
+
+    def test_sp_invariant_to_split_strategy(self, tiny_yago_engine, workload):
+        engine = tiny_yago_engine
+        for split in ("quadratic", "rstar"):
+            rtree = RTree(max_entries=8, split=split)
+            for key, point in engine.graph.places():
+                rtree.insert(key, point)
+            alpha_index = AlphaIndex(engine.graph, rtree, alpha=2)
+            for query in workload:
+                reference = engine.run(query, method="sp")
+                got = sp_search(
+                    engine.graph, rtree, engine.inverted_index,
+                    engine.reachability, alpha_index, query,
+                )
+                assert signature(got) == signature(reference), split
+
+    def test_spp_invariant_to_fanout(self, tiny_yago_engine, workload):
+        engine = tiny_yago_engine
+        rtree = RTree.bulk_load(engine.graph.places(), max_entries=5)
+        for query in workload:
+            reference = engine.run(query, method="spp")
+            got = spp_search(
+                engine.graph, rtree, engine.inverted_index,
+                engine.reachability, query,
+            )
+            assert signature(got) == signature(reference)
+
+
+class TestAlphaInvariance:
+    @pytest.mark.parametrize("alpha", [0, 1, 4])
+    def test_sp_invariant_to_alpha(self, tiny_yago_engine, workload, alpha):
+        """Any alpha gives the same answers — only the pruning power and
+        therefore the cost varies (Figure 6)."""
+        engine = tiny_yago_engine
+        alpha_index = AlphaIndex(engine.graph, engine.rtree, alpha=alpha)
+        for query in workload:
+            reference = engine.run(query, method="sp")
+            got = sp_search(
+                engine.graph, engine.rtree, engine.inverted_index,
+                engine.reachability, alpha_index, query,
+            )
+            assert signature(got) == signature(reference)
+
+    def test_larger_alpha_never_computes_more_tqsps(self, tiny_yago_engine, workload):
+        engine = tiny_yago_engine
+        small = AlphaIndex(engine.graph, engine.rtree, alpha=1)
+        large = AlphaIndex(engine.graph, engine.rtree, alpha=3)
+        for query in workload:
+            cost_small = sp_search(
+                engine.graph, engine.rtree, engine.inverted_index,
+                engine.reachability, small, query,
+            ).stats.tqsp_computations
+            cost_large = sp_search(
+                engine.graph, engine.rtree, engine.inverted_index,
+                engine.reachability, large, query,
+            ).stats.tqsp_computations
+            assert cost_large <= cost_small

@@ -1,0 +1,129 @@
+"""Keyword reachability (Pruning Rule 1 substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.graph import RDFGraph
+from repro.reach.keyword import BFSReachability, KeywordReachabilityIndex
+from repro.datagen.paper_example import build_example_graph
+
+
+def random_document_graph(seed, n=12, terms=("aa", "bb", "cc", "dd")):
+    rng = random.Random(seed)
+    graph = RDFGraph()
+    for index in range(n):
+        document = {term for term in terms if rng.random() < 0.25}
+        graph.add_vertex("v%d" % index, document=document)
+    for _ in range(2 * n):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            graph.add_edge(a, b)
+    return graph
+
+
+class TestPaperExample:
+    """Section 4.1: with keywords {church, architecture}, no qualified
+    semantic place is rooted at p2 because p2 never reaches architecture."""
+
+    def setup_method(self):
+        self.graph = build_example_graph()
+        self.index = KeywordReachabilityIndex(self.graph)
+        self.p1 = self.graph.vertex_by_label("p1")
+        self.p2 = self.graph.vertex_by_label("p2")
+
+    def test_p2_cannot_reach_architecture(self):
+        assert self.index.can_reach_term(self.p2, "church")
+        assert not self.index.can_reach_term(self.p2, "architecture")
+        assert not self.index.is_qualified(self.p2, ["church", "architecture"])
+
+    def test_p1_reaches_its_subtree_terms(self):
+        for term in ("ancient", "roman", "catholic", "history", "empire"):
+            assert self.index.can_reach_term(self.p1, term)
+
+    def test_p1_does_not_reach_p2_terms(self):
+        assert not self.index.can_reach_term(self.p1, "anatolia")
+        assert not self.index.can_reach_term(self.p1, "magdalene")
+
+    def test_own_document_counts(self):
+        assert self.index.can_reach_term(self.p1, "abbey")
+
+    def test_unknown_term_unreachable(self):
+        assert not self.index.can_reach_term(self.p1, "zzzz")
+        assert not self.index.has_term("zzzz")
+
+    def test_unreachable_keyword_reports_first_in_order(self):
+        missing = self.index.unreachable_keyword(
+            self.p2, ["architecture", "church"]
+        )
+        assert missing == "architecture"
+
+    def test_query_counter_increments(self):
+        before = self.index.queries_issued
+        self.index.is_qualified(self.p1, ["ancient", "roman"])
+        assert self.index.queries_issued == before + 2
+
+    def test_short_circuits_on_first_failure(self):
+        before = self.index.queries_issued
+        self.index.is_qualified(self.p2, ["architecture", "church"])
+        assert self.index.queries_issued == before + 1
+
+
+class TestAgainstBFSReference:
+    @pytest.mark.parametrize("method", ["pll", "grail"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_reference(self, seed, method):
+        graph = random_document_graph(seed)
+        index = KeywordReachabilityIndex(graph, method=method)
+        reference = BFSReachability(graph)
+        for vertex in graph.vertices():
+            for term in ("aa", "bb", "cc", "dd"):
+                assert index.can_reach_term(vertex, term) == reference.can_reach_term(
+                    vertex, term
+                ), (vertex, term)
+
+    def test_undirected_mode(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a", document={"x"})
+        b = graph.add_vertex("b", document={"y"})
+        graph.add_edge(a, b)
+        directed = KeywordReachabilityIndex(graph)
+        undirected = KeywordReachabilityIndex(graph, undirected=True)
+        assert not directed.can_reach_term(b, "x")
+        assert undirected.can_reach_term(b, "x")
+
+    def test_restricted_vocabulary(self):
+        graph = random_document_graph(1)
+        index = KeywordReachabilityIndex(graph, vocabulary=["aa"])
+        reference = BFSReachability(graph)
+        for vertex in graph.vertices():
+            assert index.can_reach_term(vertex, "aa") == reference.can_reach_term(
+                vertex, "aa"
+            )
+        # Terms outside the vocabulary are reported unreachable.
+        assert not index.can_reach_term(0, "bb")
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            KeywordReachabilityIndex(build_example_graph(), method="magic")
+
+    def test_size_bytes_positive(self):
+        index = KeywordReachabilityIndex(build_example_graph())
+        assert index.size_bytes() > 0
+
+
+class TestCycles:
+    def test_reachability_through_cycle(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a", document=set())
+        b = graph.add_vertex("b", document=set())
+        c = graph.add_vertex("c", document={"target"})
+        graph.add_edge(a, b)
+        graph.add_edge(b, a)
+        graph.add_edge(b, c)
+        index = KeywordReachabilityIndex(graph)
+        assert index.can_reach_term(a, "target")
+        assert index.can_reach_term(b, "target")
+        assert not index.can_reach_term(c, "zzz")

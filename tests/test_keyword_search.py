@@ -1,0 +1,105 @@
+"""Top-k keyword search (the location-unaware prior art, Example 1)."""
+
+import pytest
+
+from repro.core.keyword_search import keyword_search
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, build_example_graph
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.text.inverted import InvertedIndex, build_query_map
+
+
+@pytest.fixture(scope="module")
+def example():
+    graph = build_example_graph()
+    return graph, InvertedIndex.build(graph)
+
+
+class TestExample1:
+    """Example 1: top-1 answer for {ancient, roman, catholic, history} is
+    {p2, v6, v7, v8} rooted at p2 with looseness 3."""
+
+    def test_top1(self, example):
+        graph, index = example
+        results = keyword_search(graph, index, EXAMPLE_KEYWORDS, k=1)
+        assert len(results) == 1
+        top = results[0]
+        assert top.root_label == "p2"
+        assert top.looseness == 3.0
+        labels = {graph.label(v) for v in top.tree_vertices()}
+        assert labels == {"p2", "v6", "v7", "v8"}
+
+    def test_normalized_looseness(self, example):
+        graph, index = example
+        results = keyword_search(
+            graph, index, EXAMPLE_KEYWORDS, k=1, normalized=True
+        )
+        assert results[0].looseness == 4.0  # Definition 2 adds the +1
+
+    def test_ranking_order(self, example):
+        graph, index = example
+        results = keyword_search(graph, index, EXAMPLE_KEYWORDS, k=5)
+        loosenesses = [tree.looseness for tree in results]
+        assert loosenesses == sorted(loosenesses)
+        # p1's tree (looseness 5 = 6-1) ranks behind p2's (3).
+        assert results[0].root_label == "p2"
+        labels = [tree.root_label for tree in results]
+        assert "p1" in labels
+
+    def test_roots_need_not_be_places(self, example):
+        graph, index = example
+        # "history" alone: v4, v7, v8 are themselves roots with looseness 0.
+        results = keyword_search(graph, index, ["history"], k=10)
+        zero_roots = {t.root_label for t in results if t.looseness == 0.0}
+        assert {"v4", "v7", "v8"} <= zero_roots
+
+    def test_unmatchable_keywords_empty(self, example):
+        graph, index = example
+        assert keyword_search(graph, index, ["zzzz"], k=3) == []
+
+    def test_duplicate_keywords_collapsed(self, example):
+        graph, index = example
+        results = keyword_search(graph, index, ["history", "history"], k=1)
+        assert results[0].looseness == 0.0
+
+    def test_validation(self, example):
+        graph, index = example
+        with pytest.raises(ValueError):
+            keyword_search(graph, index, [], k=1)
+        with pytest.raises(ValueError):
+            keyword_search(graph, index, ["x"], k=0)
+
+
+class TestAgainstExhaustive:
+    def test_matches_per_vertex_tqsp(self, tiny_yago_graph):
+        """Each reported tree's looseness equals the Algorithm 2 result,
+        and the reported set is the true top-k over all vertices."""
+        graph = tiny_yago_graph
+        index = InvertedIndex.build(graph)
+        generator = QueryGenerator(
+            graph, index, WorkloadConfig(keyword_count=2, seed=41)
+        )
+        query = generator.original()
+        k = 8
+        results = keyword_search(graph, index, query.keywords, k=k)
+
+        searcher = SemanticPlaceSearcher(graph)
+        query_map = build_query_map(index, query.keywords)
+        all_loosenesses = []
+        for vertex in graph.vertices():
+            search = searcher.tightest(query.keywords, vertex, query_map)
+            if search.status is SearchStatus.COMPLETE:
+                all_loosenesses.append(search.looseness - 1.0)
+        expected = sorted(all_loosenesses)[:k]
+        assert [tree.looseness for tree in results] == expected
+
+    def test_undirected_superset(self, example):
+        graph, index = example
+        directed = keyword_search(graph, index, ["abbey", "history"], k=5)
+        undirected = keyword_search(
+            graph, index, ["abbey", "history"], k=5, undirected=True
+        )
+        # Ignoring directions can only add qualified roots / tighten trees.
+        assert len(undirected) >= len(directed)
+        if directed and undirected:
+            assert undirected[0].looseness <= directed[0].looseness

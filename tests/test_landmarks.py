@@ -1,0 +1,85 @@
+"""The human-readable landmarks demo corpus."""
+
+import pytest
+
+from repro.core.engine import KSPEngine
+from repro.datagen.landmarks import (
+    CITIES,
+    generate_landmark_triples,
+    landmark_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KSPEngine(landmark_graph(landmarks_per_city=4, seed=7), alpha=2)
+
+
+class TestCorpusShape:
+    def test_deterministic(self):
+        a = list(generate_landmark_triples(landmarks_per_city=3, seed=1))
+        b = list(generate_landmark_triples(landmarks_per_city=3, seed=1))
+        assert a == b
+        c = list(generate_landmark_triples(landmarks_per_city=3, seed=2))
+        assert a != c
+
+    def test_every_city_and_landmark_is_a_place(self, engine):
+        graph = engine.graph
+        expected_places = len(CITIES) * (1 + 4)  # city + its landmarks
+        assert graph.place_count() == expected_places
+
+    def test_landmark_coordinates_near_city(self):
+        graph = landmark_graph(landmarks_per_city=3, seed=3)
+        for city, x, y in CITIES:
+            city_vertex = graph.vertex_by_label(
+                "http://landmarks.example.org/resource/" + city
+            )
+            location = graph.location(city_vertex)
+            assert location.x == pytest.approx(x)
+            for vertex in graph.vertices():
+                label = graph.label(vertex)
+                if label.startswith(
+                    "http://landmarks.example.org/resource/%s_" % city
+                ) and graph.is_place(vertex):
+                    spot = graph.location(vertex)
+                    assert abs(spot.x - x) < 0.1
+                    assert abs(spot.y - y) < 0.1
+
+    def test_documents_are_readable_words(self, engine):
+        vocabulary = set(engine.inverted_index.vocabulary())
+        assert "gothic" in vocabulary
+        assert "cathedral" in vocabulary
+        assert "medieval" in vocabulary
+        assert not any(term.startswith("kw0") for term in vocabulary)
+
+
+class TestQueries:
+    def test_style_query_returns_abbeys(self, engine):
+        # Searching for romanesque monasteries: only Abbey landmarks carry
+        # the "monastery" keyword in their own document.
+        result = engine.query(
+            (43.68, 4.63), ["romanesque", "monastery"], k=3, method="sp"
+        )
+        assert result.places
+        top = result[0]
+        assert "Abbey" in top.root_label
+        assert top.graph_distance("monastery") == 0
+
+    def test_multi_hop_keywords(self, engine):
+        # "emperor" only lives on figures/events: covering it requires
+        # hops beyond the landmark itself.
+        result = engine.query((48.86, 2.35), ["emperor", "palace"], k=2)
+        if result.places:
+            assert result[0].graph_distance("emperor") >= 1
+
+    def test_all_algorithms_agree(self, engine):
+        reference = None
+        for method in ("bsp", "spp", "sp", "ta"):
+            result = engine.query(
+                (45.76, 4.84), ["gothic", "cathedral"], k=4, method=method
+            )
+            signature = [(p.root, round(p.score, 9)) for p in result]
+            if reference is None:
+                reference = signature
+            else:
+                assert signature == reference, method

@@ -1,0 +1,85 @@
+"""The public API surface: imports, __all__, and one end-to-end flow
+through only top-level names."""
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_importable(self):
+        import repro.alpha
+        import repro.bench
+        import repro.core
+        import repro.datagen
+        import repro.rdf
+        import repro.reach
+        import repro.sparql
+        import repro.spatial
+        import repro.storage
+        import repro.text
+
+        for module in (
+            repro.core,
+            repro.rdf,
+            repro.text,
+            repro.spatial,
+            repro.reach,
+            repro.alpha,
+            repro.datagen,
+            repro.sparql,
+            repro.storage,
+            repro.bench,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestTopLevelFlow:
+    def test_end_to_end_with_public_names_only(self):
+        from repro import (
+            GraphBuilder,
+            KSPEngine,
+            Point,
+            RDFGraph,
+            keyword_search,
+        )
+        from repro.rdf import IRI, Literal, Triple
+
+        builder = GraphBuilder()
+        builder.add_triple(
+            Triple(
+                IRI("http://x/Cafe"),
+                IRI("http://x/hasGeometry"),
+                Literal("POINT(1 2)"),
+            )
+        )
+        builder.add_triple(
+            Triple(
+                IRI("http://x/Cafe"), IRI("http://x/serves"), IRI("http://x/Espresso")
+            )
+        )
+        graph = builder.build()
+        assert isinstance(graph, RDFGraph)
+
+        engine = KSPEngine(graph, alpha=1)
+        result = engine.query(Point(1, 2), ["espresso"], k=1)
+        assert len(result) == 1
+        assert "Cafe" in result[0].root_label
+
+        trees = keyword_search(graph, engine.inverted_index, ["espresso"], k=2)
+        # The Espresso vertex itself is the tightest root (looseness 0);
+        # the cafe follows one hop behind.
+        assert trees[0].looseness == 0.0
+        assert "Espresso" in trees[0].root_label
+        assert trees[1].looseness == 1.0
+        assert "Cafe" in trees[1].root_label

@@ -1,0 +1,102 @@
+"""Ranking functions and their pruning-bound semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
+
+loosenesses = st.floats(min_value=1.0, max_value=1e3, allow_nan=False)
+distances = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+thetas = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+class TestMultiplicative:
+    def test_paper_example_5(self):
+        ranking = MultiplicativeRanking()
+        assert ranking.score(6.0, 0.22) == pytest.approx(1.32)
+        assert ranking.score(4.0, 1.28) == pytest.approx(5.12)
+
+    def test_distance_only_bound_is_distance(self):
+        # L >= 1 so f >= S — the BSP termination argument.
+        ranking = MultiplicativeRanking()
+        assert ranking.distance_only_bound(2.5) == 2.5
+
+    def test_looseness_threshold_definition_4(self):
+        ranking = MultiplicativeRanking()
+        assert ranking.looseness_threshold(1.32, 1.28) == pytest.approx(1.03125)
+
+    def test_threshold_at_zero_distance_is_infinite(self):
+        ranking = MultiplicativeRanking()
+        assert ranking.looseness_threshold(5.0, 0.0) == math.inf
+
+    def test_threshold_at_infinite_theta(self):
+        ranking = MultiplicativeRanking()
+        assert ranking.looseness_threshold(math.inf, 3.0) == math.inf
+
+    @given(loosenesses, distances, thetas)
+    def test_threshold_semantics(self, looseness, distance, theta):
+        """L >= L_w implies f(L, S) >= theta, and L < L_w implies f < theta."""
+        ranking = MultiplicativeRanking()
+        threshold = ranking.looseness_threshold(theta, distance)
+        if looseness >= threshold:
+            assert ranking.score(looseness, distance) >= theta * (1 - 1e-12)
+        else:
+            assert ranking.score(looseness, distance) < theta * (1 + 1e-12)
+
+    @given(loosenesses, loosenesses, distances, distances)
+    def test_monotonicity(self, l1, l2, s1, s2):
+        ranking = MultiplicativeRanking()
+        low = ranking.score(min(l1, l2), min(s1, s2))
+        high = ranking.score(max(l1, l2), max(s1, s2))
+        assert low <= high
+
+    @given(loosenesses, distances)
+    def test_bound_is_admissible(self, looseness, distance):
+        ranking = MultiplicativeRanking()
+        assert ranking.bound(1.0, distance) <= ranking.score(looseness, distance)
+
+
+class TestWeightedSum:
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            WeightedSumRanking(beta=0.0)
+        with pytest.raises(ValueError):
+            WeightedSumRanking(beta=1.0)
+
+    def test_score(self):
+        ranking = WeightedSumRanking(beta=0.25)
+        assert ranking.score(4.0, 8.0) == pytest.approx(0.25 * 4 + 0.75 * 8)
+
+    def test_distance_only_bound(self):
+        ranking = WeightedSumRanking(beta=0.5)
+        assert ranking.distance_only_bound(3.0) == pytest.approx(0.5 + 1.5)
+
+    @given(
+        loosenesses,
+        distances,
+        thetas,
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_threshold_semantics(self, looseness, distance, theta, beta):
+        ranking = WeightedSumRanking(beta=beta)
+        threshold = ranking.looseness_threshold(theta, distance)
+        score = ranking.score(looseness, distance)
+        if looseness >= threshold:
+            assert score >= theta - 1e-6
+        else:
+            assert score < theta + 1e-6
+
+    @given(loosenesses, distances, st.floats(min_value=0.05, max_value=0.95))
+    def test_bound_is_admissible(self, looseness, distance, beta):
+        ranking = WeightedSumRanking(beta=beta)
+        assert (
+            ranking.bound(1.0, distance)
+            <= ranking.score(looseness, distance) + 1e-9
+        )
+
+    def test_repr(self):
+        assert "0.3" in repr(WeightedSumRanking(beta=0.3))
+        assert repr(MultiplicativeRanking()) == "MultiplicativeRanking()"

@@ -1,0 +1,211 @@
+"""Reachability substrate: Tarjan SCC, condensation, GRAIL, PLL."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reach.condensation import Condensation
+from repro.reach.grail import GrailIndex
+from repro.reach.pll import PrunedLandmarkIndex
+from repro.reach.tarjan import component_count, strongly_connected_components
+
+
+def adjacency(edges, n):
+    out = [[] for _ in range(n)]
+    for a, b in edges:
+        if b not in out[a]:
+            out[a].append(b)
+    return out
+
+
+def successors_of(out):
+    return lambda v: out[v]
+
+
+def brute_force_reach(out, source, target):
+    stack, seen = [source], {source}
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for child in out[node]:
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+    return False
+
+
+# Random directed graphs as edge lists.
+def graphs(max_n=14):
+    return st.integers(min_value=1, max_value=max_n).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1), st.integers(0, n - 1)
+                ),
+                max_size=3 * n,
+            ),
+        )
+    )
+
+
+class TestTarjan:
+    def test_single_vertex(self):
+        assert strongly_connected_components(1, lambda v: []) == [0]
+
+    def test_two_cycles_and_bridge(self):
+        # 0<->1 -> 2<->3
+        out = adjacency([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], 4)
+        component = strongly_connected_components(4, successors_of(out))
+        assert component[0] == component[1]
+        assert component[2] == component[3]
+        assert component[0] != component[2]
+        # Reverse topological ids: upstream SCC has the larger id.
+        assert component[0] > component[2]
+
+    def test_dag_gives_singletons(self):
+        out = adjacency([(0, 1), (1, 2), (0, 2)], 3)
+        component = strongly_connected_components(3, successors_of(out))
+        assert component_count(component) == 3
+
+    def test_full_cycle_single_component(self):
+        n = 50
+        out = adjacency([(i, (i + 1) % n) for i in range(n)], n)
+        component = strongly_connected_components(n, successors_of(out))
+        assert component_count(component) == 1
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        out = [[i + 1] if i + 1 < n else [] for i in range(n)]
+        component = strongly_connected_components(n, successors_of(out))
+        assert component_count(component) == n
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_mutual_reachability_characterization(self, data):
+        n, edges = data
+        out = adjacency(edges, n)
+        component = strongly_connected_components(n, successors_of(out))
+        rng = random.Random(0)
+        for _ in range(12):
+            a, b = rng.randrange(n), rng.randrange(n)
+            mutually = brute_force_reach(out, a, b) and brute_force_reach(out, b, a)
+            assert (component[a] == component[b]) == mutually
+
+
+class TestCondensation:
+    def test_is_acyclic(self):
+        out = adjacency([(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)], 4)
+        condensation = Condensation(4, successors_of(out))
+        # The whole graph collapses: 1->2->3->1 and 0<->1.
+        assert condensation.node_count == 1
+
+    def test_edge_direction_preserved(self):
+        out = adjacency([(0, 1)], 2)
+        condensation = Condensation(2, successors_of(out))
+        a, b = condensation.node_of(0), condensation.node_of(1)
+        assert b in condensation.out[a]
+        assert a in condensation.into[b]
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_reachability_preserved(self, data):
+        n, edges = data
+        out = adjacency(edges, n)
+        condensation = Condensation(n, successors_of(out))
+        rng = random.Random(1)
+        for _ in range(10):
+            a, b = rng.randrange(n), rng.randrange(n)
+            expected = brute_force_reach(out, a, b)
+            got = brute_force_reach(
+                condensation.out, condensation.node_of(a), condensation.node_of(b)
+            )
+            assert got == expected
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_id_order(self, data):
+        n, edges = data
+        out = adjacency(edges, n)
+        condensation = Condensation(n, successors_of(out))
+        for source in range(condensation.node_count):
+            for target in condensation.out[source]:
+                assert source > target  # edges point to smaller ids
+
+
+def _dag_from(data):
+    """A DAG via condensation of a random digraph."""
+    n, edges = data
+    out = adjacency(edges, n)
+    return Condensation(n, successors_of(out))
+
+
+class TestGrail:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_exact_on_random_dags(self, data):
+        condensation = _dag_from(data)
+        index = GrailIndex(condensation.out, label_count=2)
+        for a in range(condensation.node_count):
+            for b in range(condensation.node_count):
+                assert index.reaches(a, b) == brute_force_reach(
+                    condensation.out, a, b
+                )
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_filter_has_no_false_negatives(self, data):
+        condensation = _dag_from(data)
+        index = GrailIndex(condensation.out, label_count=3)
+        for a in range(condensation.node_count):
+            for b in range(condensation.node_count):
+                if brute_force_reach(condensation.out, a, b):
+                    assert index.maybe_reaches(a, b)
+
+    def test_invalid_label_count(self):
+        with pytest.raises(ValueError):
+            GrailIndex([[]], label_count=0)
+
+    def test_size_accounting(self):
+        index = GrailIndex([[1], []], label_count=2)
+        assert index.size_bytes() == 2 * 4 * 2 * 2
+
+
+class TestPrunedLandmark:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_on_random_dags(self, data):
+        condensation = _dag_from(data)
+        index = PrunedLandmarkIndex(condensation.out, condensation.into)
+        for a in range(condensation.node_count):
+            for b in range(condensation.node_count):
+                assert index.reaches(a, b) == brute_force_reach(
+                    condensation.out, a, b
+                )
+
+    def test_chain(self):
+        out = [[1], [2], [3], []]
+        into = [[], [0], [1], [2]]
+        index = PrunedLandmarkIndex(out, into)
+        assert index.reaches(0, 3)
+        assert not index.reaches(3, 0)
+        assert index.reaches(2, 2)
+
+    def test_mismatched_adjacency_rejected(self):
+        with pytest.raises(ValueError):
+            PrunedLandmarkIndex([[]], [[], []])
+
+    def test_pruning_keeps_labels_small_on_star(self):
+        # Hub-and-spoke: the hub is processed first and covers everything,
+        # so every other node carries O(1) labels.
+        n = 200
+        out = [[] for _ in range(n)]
+        into = [[] for _ in range(n)]
+        for i in range(1, n):
+            out[0].append(i)
+            into[i].append(0)
+        index = PrunedLandmarkIndex(out, into)
+        assert index.label_entry_count() <= 3 * n

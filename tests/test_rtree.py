@@ -1,0 +1,180 @@
+"""R-tree structural invariants and query correctness."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import RTree
+
+coords = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+point_lists = st.lists(st.tuples(coords, coords), min_size=0, max_size=120)
+
+
+def _make_items(pairs):
+    return [(index, Point(x, y)) for index, (x, y) in enumerate(pairs)]
+
+
+def _brute_force_nearest(items, query):
+    return sorted(
+        ((point.distance_to(query), key) for key, point in items),
+        key=lambda pair: (pair[0], pair[1]),
+    )
+
+
+class TestConstruction:
+    def test_max_entries_minimum(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert list(tree.nearest(Point(0, 0))) == []
+
+    def test_insert_grows_and_validates(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(0)
+        for index in range(200):
+            tree.insert(index, Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+        assert len(tree) == 200
+        tree.validate()
+        assert tree.height >= 3
+
+    def test_bulk_load_validates(self):
+        rng = random.Random(1)
+        items = [
+            (index, Point(rng.uniform(0, 10), rng.uniform(0, 10)))
+            for index in range(500)
+        ]
+        tree = RTree.bulk_load(items, max_entries=8)
+        assert len(tree) == 500
+        tree.validate()
+        assert sorted(entry.key for entry in tree.iter_entries()) == list(range(500))
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_bulk_load_single(self):
+        tree = RTree.bulk_load([("only", Point(1, 2))])
+        assert [entry.key for entry in tree.iter_entries()] == ["only"]
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_insert_invariants_hold(self, pairs):
+        tree = RTree(max_entries=4)
+        for key, point in _make_items(pairs):
+            tree.insert(key, point)
+        tree.validate()
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_bulk_load_invariants_hold(self, pairs):
+        tree = RTree.bulk_load(_make_items(pairs), max_entries=4)
+        tree.validate()
+
+
+class TestNearest:
+    @given(point_lists, st.tuples(coords, coords))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_order(self, pairs, query_xy):
+        items = _make_items(pairs)
+        query = Point(*query_xy)
+        tree = RTree.bulk_load(items, max_entries=4)
+        expected = [distance for distance, _ in _brute_force_nearest(items, query)]
+        got = [distance for distance, _ in tree.nearest(query)]
+        assert len(got) == len(expected)
+        for got_distance, expected_distance in zip(got, expected):
+            assert got_distance == pytest.approx(expected_distance)
+
+    def test_distances_nondecreasing_dynamic_tree(self):
+        rng = random.Random(3)
+        tree = RTree(max_entries=5)
+        for index in range(300):
+            tree.insert(index, Point(rng.uniform(0, 50), rng.uniform(0, 50)))
+        previous = -1.0
+        for distance, _ in tree.nearest(Point(25, 25)):
+            assert distance >= previous
+            previous = distance
+
+    def test_node_access_counter(self):
+        rng = random.Random(4)
+        items = [
+            (index, Point(rng.uniform(0, 50), rng.uniform(0, 50)))
+            for index in range(400)
+        ]
+        tree = RTree.bulk_load(items, max_entries=8)
+        cursor = tree.nearest(Point(0, 0))
+        next(cursor)
+        # Retrieving one point should only expand a root-to-leaf path, not
+        # the whole tree.
+        assert 1 <= cursor.node_accesses < tree.node_count()
+
+    def test_peek_distance_lower_bounds_next(self):
+        rng = random.Random(5)
+        items = [
+            (index, Point(rng.uniform(0, 50), rng.uniform(0, 50)))
+            for index in range(100)
+        ]
+        tree = RTree.bulk_load(items, max_entries=4)
+        cursor = tree.nearest(Point(10, 10))
+        for _ in range(50):
+            peek = cursor.peek_distance()
+            distance, _ = next(cursor)
+            assert peek <= distance + 1e-9
+
+    def test_peek_none_when_exhausted(self):
+        tree = RTree.bulk_load([(0, Point(0, 0))])
+        cursor = tree.nearest(Point(1, 1))
+        next(cursor)
+        with pytest.raises(StopIteration):
+            next(cursor)
+        assert cursor.peek_distance() is None
+
+
+class TestRangeSearch:
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_linear_scan(self, pairs):
+        items = _make_items(pairs)
+        tree = RTree.bulk_load(items, max_entries=4)
+        window = Rect(-20, -20, 30, 30)
+        expected = {key for key, point in items if window.contains_point(point)}
+        got = {entry.key for entry in tree.range_search(window)}
+        assert got == expected
+
+    def test_empty_window(self):
+        tree = RTree.bulk_load([(0, Point(0, 0)), (1, Point(10, 10))])
+        assert tree.range_search(Rect(50, 50, 60, 60)) == []
+
+
+class TestAccounting:
+    def test_levels_cover_all_nodes(self):
+        rng = random.Random(6)
+        tree = RTree.bulk_load(
+            [(i, Point(rng.random(), rng.random())) for i in range(300)],
+            max_entries=8,
+        )
+        level_nodes = sum(len(level) for level in tree.levels())
+        assert level_nodes == tree.node_count()
+        assert len(tree.levels()) == tree.height
+
+    def test_size_bytes_positive_and_grows(self):
+        small = RTree.bulk_load([(i, Point(i, i)) for i in range(10)])
+        large = RTree.bulk_load([(i, Point(i, i)) for i in range(1000)])
+        assert 0 < small.size_bytes() < large.size_bytes()
+
+    def test_node_ids_unique(self):
+        rng = random.Random(7)
+        tree = RTree(max_entries=4)
+        for index in range(200):
+            tree.insert(index, Point(rng.random(), rng.random()))
+        ids = [node.node_id for node in tree.iter_nodes()]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,92 @@
+"""R*-style split strategy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import RTree
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(st.tuples(coords, coords), min_size=0, max_size=100)
+
+
+class TestRStarSplit:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            RTree(split="fancy")
+
+    @given(point_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold(self, pairs):
+        tree = RTree(max_entries=4, split="rstar")
+        for index, (x, y) in enumerate(pairs):
+            tree.insert(index, Point(x, y))
+        tree.validate()
+
+    @given(point_lists, st.tuples(coords, coords))
+    @settings(max_examples=30, deadline=None)
+    def test_nearest_matches_brute_force(self, pairs, query_xy):
+        tree = RTree(max_entries=4, split="rstar")
+        items = [(i, Point(x, y)) for i, (x, y) in enumerate(pairs)]
+        for key, point in items:
+            tree.insert(key, point)
+        query = Point(*query_xy)
+        expected = sorted(point.distance_to(query) for _, point in items)
+        got = [distance for distance, _ in tree.nearest(query)]
+        assert len(got) == len(expected)
+        for got_distance, expected_distance in zip(got, expected):
+            assert got_distance == pytest.approx(expected_distance)
+
+    def test_same_contents_as_quadratic(self):
+        rng = random.Random(11)
+        points = [
+            (i, Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+            for i in range(400)
+        ]
+        quadratic = RTree(max_entries=6, split="quadratic")
+        rstar = RTree(max_entries=6, split="rstar")
+        for key, point in points:
+            quadratic.insert(key, point)
+            rstar.insert(key, point)
+        assert sorted(e.key for e in quadratic.iter_entries()) == sorted(
+            e.key for e in rstar.iter_entries()
+        )
+        quadratic.validate()
+        rstar.validate()
+
+    def test_rstar_reduces_leaf_overlap_on_clustered_data(self):
+        """R* split optimizes overlap; on clustered points its leaves
+        should overlap no more than (and typically less than) quadratic's."""
+        rng = random.Random(13)
+        clusters = [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(10)]
+        points = []
+        for index in range(600):
+            cx, cy = clusters[index % len(clusters)]
+            points.append(
+                (index, Point(rng.gauss(cx, 2.0), rng.gauss(cy, 2.0)))
+            )
+
+        def total_leaf_overlap(tree):
+            leaves = [n for n in tree.iter_nodes() if n.is_leaf and n.rect]
+            overlap = 0.0
+            for i in range(len(leaves)):
+                for j in range(i + 1, len(leaves)):
+                    a, b = leaves[i].rect, leaves[j].rect
+                    if a.intersects(b):
+                        overlap += Rect(
+                            max(a.min_x, b.min_x),
+                            max(a.min_y, b.min_y),
+                            min(a.max_x, b.max_x),
+                            min(a.max_y, b.max_y),
+                        ).area()
+            return overlap
+
+        quadratic = RTree(max_entries=8, split="quadratic")
+        rstar = RTree(max_entries=8, split="rstar")
+        for key, point in points:
+            quadratic.insert(key, point)
+            rstar.insert(key, point)
+        assert total_leaf_overlap(rstar) <= total_leaf_overlap(quadratic) * 1.05

@@ -1,0 +1,190 @@
+"""GetSemanticPlace / GetSemanticPlaceP (Algorithms 2 and 3) on the paper's
+worked examples."""
+
+import math
+
+import pytest
+
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, build_example_graph
+from repro.text.inverted import InvertedIndex, build_query_map
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = build_example_graph()
+    inverted = InvertedIndex.build(graph)
+    query_map = build_query_map(inverted, EXAMPLE_KEYWORDS)
+    searcher = SemanticPlaceSearcher(graph)
+    return graph, query_map, searcher
+
+
+class TestExample7:
+    """Algorithm 2 walkthrough: L(T_p1) = 6 with covers v2, v3, v4."""
+
+    def test_looseness(self, setup):
+        graph, query_map, searcher = setup
+        p1 = graph.vertex_by_label("p1")
+        search = searcher.tightest(EXAMPLE_KEYWORDS, p1, query_map)
+        assert search.status is SearchStatus.COMPLETE
+        assert search.looseness == 6.0
+
+    def test_keyword_vertices(self, setup):
+        graph, query_map, searcher = setup
+        p1 = graph.vertex_by_label("p1")
+        search = searcher.tightest(EXAMPLE_KEYWORDS, p1, query_map)
+        v2 = graph.vertex_by_label("v2")
+        v3 = graph.vertex_by_label("v3")
+        v4 = graph.vertex_by_label("v4")
+        assert search.keyword_vertices == {
+            "catholic": v2,
+            "roman": v2,
+            "ancient": v3,
+            "history": v4,
+        }
+
+    def test_paths_reconstruct_tree(self, setup):
+        graph, query_map, searcher = setup
+        p1 = graph.vertex_by_label("p1")
+        v1 = graph.vertex_by_label("v1")
+        v4 = graph.vertex_by_label("v4")
+        search = searcher.tightest(EXAMPLE_KEYWORDS, p1, query_map)
+        assert search.path_to(v4, p1) == (p1, v1, v4)
+
+
+class TestExample4:
+    """TQSP rooted at p2 has looseness 4 (covers p2, v7, v8)."""
+
+    def test_looseness(self, setup):
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(EXAMPLE_KEYWORDS, p2, query_map)
+        assert search.status is SearchStatus.COMPLETE
+        assert search.looseness == 4.0
+
+    def test_root_covers_its_own_keywords_at_zero(self, setup):
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(EXAMPLE_KEYWORDS, p2, query_map)
+        assert search.keyword_vertices["catholic"] == p2
+        assert search.keyword_vertices["roman"] == p2
+        assert search.path_to(p2, p2) == (p2,)
+
+
+class TestUnqualified:
+    def test_missing_keyword_gives_unqualified(self, setup):
+        graph, _, searcher = setup
+        inverted = InvertedIndex.build(graph)
+        keywords = ("church", "architecture")
+        query_map = build_query_map(inverted, keywords)
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(keywords, p2, query_map)
+        assert search.status is SearchStatus.UNQUALIFIED
+        assert search.looseness == math.inf
+
+    def test_nonexistent_keyword(self, setup):
+        graph, _, searcher = setup
+        p1 = graph.vertex_by_label("p1")
+        search = searcher.tightest(("nosuchword",), p1, {})
+        assert search.status is SearchStatus.UNQUALIFIED
+
+    def test_empty_keywords_rejected(self, setup):
+        graph, query_map, searcher = setup
+        with pytest.raises(ValueError):
+            searcher.tightest((), 0, query_map)
+
+
+class TestExample8DynamicBound:
+    """With theta = 1.32 from p1 and S(q1, p2) = 1.28, L_w = 1.03: the BFS
+    from p2 must abort via Pruning Rule 2."""
+
+    def test_pruned(self, setup):
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        threshold = 1.32 / 1.28  # ~1.03
+        search = searcher.tightest(
+            EXAMPLE_KEYWORDS, p2, query_map, looseness_threshold=threshold
+        )
+        assert search.status is SearchStatus.PRUNED
+        assert search.looseness == math.inf
+
+    def test_prune_happens_early(self, setup):
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(
+            EXAMPLE_KEYWORDS, p2, query_map, looseness_threshold=1.32 / 1.28
+        )
+        # Example 8: the abort fires when v6 is visited (second BFS pop).
+        assert search.vertices_visited == 2
+
+    def test_loose_threshold_does_not_prune(self, setup):
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(
+            EXAMPLE_KEYWORDS, p2, query_map, looseness_threshold=100.0
+        )
+        assert search.status is SearchStatus.COMPLETE
+        assert search.looseness == 4.0
+
+    def test_threshold_exactly_at_looseness_prunes(self, setup):
+        # LB converges to the true looseness, so threshold == L must prune
+        # (the rule is LB >= L_w).
+        graph, query_map, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        search = searcher.tightest(
+            EXAMPLE_KEYWORDS, p2, query_map, looseness_threshold=4.0
+        )
+        assert search.status is SearchStatus.PRUNED
+
+
+class TestUndirected:
+    def test_undirected_reaches_against_edges(self, setup):
+        graph, _, _ = setup
+        searcher = SemanticPlaceSearcher(graph, undirected=True)
+        inverted = InvertedIndex.build(graph)
+        keywords = ("abbey",)
+        query_map = build_query_map(inverted, keywords)
+        # v4 -> p1 only exists against edge direction (p1 -> v1 -> v4).
+        v4 = graph.vertex_by_label("v4")
+        search = searcher.tightest(keywords, v4, query_map)
+        assert search.status is SearchStatus.COMPLETE
+        assert search.looseness == 1.0 + 2
+
+
+class TestCominimalCovers:
+    def test_all_minimal_covers_found(self, setup):
+        graph, query_map, searcher = setup
+        p1 = graph.vertex_by_label("p1")
+        covers = searcher.cominimal_covers(EXAMPLE_KEYWORDS, p1, query_map)
+        v2 = graph.vertex_by_label("v2")
+        v3 = graph.vertex_by_label("v3")
+        v4 = graph.vertex_by_label("v4")
+        assert covers["catholic"] == [v2]
+        assert covers["roman"] == [v2]
+        assert covers["ancient"] == [v3]
+        assert covers["history"] == [v4]
+
+    def test_ties_enumerated(self):
+        # Two vertices cover the keyword at the same minimal distance.
+        from repro.rdf.graph import RDFGraph
+        from repro.spatial.geometry import Point
+
+        graph = RDFGraph()
+        root = graph.add_vertex("root", location=Point(0, 0))
+        a = graph.add_vertex("a", document={"kw"})
+        b = graph.add_vertex("b", document={"kw"})
+        graph.add_edge(root, a)
+        graph.add_edge(root, b)
+        searcher = SemanticPlaceSearcher(graph)
+        inverted = InvertedIndex.build(graph)
+        query_map = build_query_map(inverted, ("kw",))
+        covers = searcher.cominimal_covers(("kw",), root, query_map)
+        assert sorted(covers["kw"]) == sorted([a, b])
+
+    def test_unqualified_returns_none(self, setup):
+        graph, _, searcher = setup
+        p2 = graph.vertex_by_label("p2")
+        inverted = InvertedIndex.build(graph)
+        keywords = ("architecture",)
+        query_map = build_query_map(inverted, keywords)
+        assert searcher.cominimal_covers(keywords, p2, query_map) is None

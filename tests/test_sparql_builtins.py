@@ -1,0 +1,69 @@
+"""Extended SPARQL string built-ins."""
+
+import pytest
+
+from repro.sparql.ast import Variable
+from repro.sparql.eval import QueryEngine
+from repro.sparql.store import TripleStore
+
+DATA = """\
+<http://x/a> <http://x/name> "Montmajour Abbey" .
+<http://x/b> <http://x/name> "Roman Catholic Diocese" .
+<http://x/c> <http://x/name> "Saint-Peter Basilica" .
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(TripleStore.from_ntriples(DATA))
+
+
+def names(rows):
+    return sorted(row[Variable("s")].value.rsplit("/", 1)[-1] for row in rows)
+
+
+class TestStringBuiltins:
+    def test_strlen(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(STRLEN(?n) < 17) }"
+        )
+        assert names(rows) == ["a"]  # "Montmajour Abbey" has 16 chars
+
+    def test_ucase_lcase(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . '
+            'FILTER(UCASE(?n) = "MONTMAJOUR ABBEY") }'
+        )
+        assert names(rows) == ["a"]
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . '
+            'FILTER(CONTAINS(LCASE(?n), "catholic")) }'
+        )
+        assert names(rows) == ["b"]
+
+    def test_strstarts(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . '
+            'FILTER(STRSTARTS(?n, "Saint")) }'
+        )
+        assert names(rows) == ["c"]
+
+    def test_regex(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . '
+            'FILTER(REGEX(?n, "^[MR].*(Abbey|Diocese)$")) }'
+        )
+        assert names(rows) == ["a", "b"]
+
+    def test_regex_case_insensitive_flag(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . '
+            'FILTER(REGEX(?n, "abbey", "i")) }'
+        )
+        assert names(rows) == ["a"]
+
+    def test_regex_invalid_pattern_eliminates(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(REGEX(?n, "([")) }'
+        )
+        assert rows == []  # error semantics, not a crash

@@ -1,0 +1,181 @@
+"""SPARQL evaluation: joins, filters, built-ins, modifiers."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.ast import Variable
+from repro.sparql.eval import QueryEngine
+from repro.sparql.store import TripleStore
+
+DATA = """\
+<http://x/alice> <http://x/knows> <http://x/bob> .
+<http://x/alice> <http://x/knows> <http://x/carol> .
+<http://x/bob> <http://x/knows> <http://x/carol> .
+<http://x/alice> <http://x/age> "34"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/bob> <http://x/age> "25"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/carol> <http://x/age> "41"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/alice> <http://x/name> "Alice Lidell" .
+<http://x/bob> <http://x/name> "Bob Stone" .
+<http://x/alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/Person> .
+<http://x/shop> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(1.0 1.0)" .
+<http://x/cafe> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(5.0 5.0)" .
+<http://x/shop> <http://x/name> "Corner Shop" .
+<http://x/cafe> <http://x/name> "River Cafe" .
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(TripleStore.from_ntriples(DATA))
+
+
+def names(rows, variable="s"):
+    return sorted(row[Variable(variable)].value.rsplit("/", 1)[-1] for row in rows)
+
+
+class TestJoins:
+    def test_single_pattern(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/knows> <http://x/carol> . }"
+        )
+        assert names(rows) == ["alice", "bob"]
+
+    def test_two_hop_join(self, engine):
+        rows = engine.select(
+            "SELECT ?a ?c WHERE { ?a <http://x/knows> ?b . ?b <http://x/knows> ?c . }"
+        )
+        assert len(rows) == 1
+        assert rows[0][Variable("a")] == IRI("http://x/alice")
+        assert rows[0][Variable("c")] == IRI("http://x/carol")
+
+    def test_type_pattern_with_a(self, engine):
+        rows = engine.select("SELECT ?s WHERE { ?s a <http://x/Person> . }")
+        assert names(rows) == ["alice", "bob"]
+
+    def test_shared_variable_consistency(self, engine):
+        # ?x knows ?x — nobody knows themselves.
+        rows = engine.select("SELECT ?x WHERE { ?x <http://x/knows> ?x . }")
+        assert rows == []
+
+    def test_variable_predicate(self, engine):
+        rows = engine.select(
+            "SELECT DISTINCT ?p WHERE { <http://x/alice> ?p ?o . }"
+        )
+        predicates = {row[Variable("p")].local_name() for row in rows}
+        assert predicates == {"knows", "age", "name", "type"}
+
+    def test_no_match(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/knows> <http://x/nobody> . }"
+        )
+        assert rows == []
+
+    def test_empty_pattern_list(self, engine):
+        rows = engine.select("SELECT * WHERE { }")
+        assert rows == [{}]
+
+
+class TestFilters:
+    def test_numeric_comparison(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . FILTER(?age > 30) }"
+        )
+        assert names(rows) == ["alice", "carol"]
+
+    def test_arithmetic_in_filter(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . FILTER(?age * 2 < 60) }"
+        )
+        assert names(rows) == ["bob"]
+
+    def test_contains(self, engine):
+        rows = engine.select(
+            'SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(CONTAINS(?n, "stone")) }'
+        )
+        assert names(rows) == ["bob"]
+
+    def test_boolean_connectives(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . "
+            "FILTER(?age < 30 || ?age > 40) }"
+        )
+        assert names(rows) == ["bob", "carol"]
+
+    def test_negation(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . FILTER(!(?age < 30)) }"
+        )
+        assert names(rows) == ["alice", "carol"]
+
+    def test_iri_equality(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/knows> ?o . "
+            "FILTER(?o = <http://x/bob>) }"
+        )
+        assert names(rows) == ["alice"]
+
+    def test_type_error_eliminates_solution(self, engine):
+        # Comparing a name string with a number is an error, not a crash.
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/name> ?n . FILTER(?n < 5) }"
+        )
+        assert rows == []
+
+    def test_distance_builtin(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/name> ?n . "
+            "FILTER(DISTANCE(?s, 0.0, 0.0) < 2.0) }"
+        )
+        assert names(rows) == ["shop"]
+
+    def test_distance_unlocated_eliminated(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?a . "
+            "FILTER(DISTANCE(?s, 0.0, 0.0) < 1000) }"
+        )
+        assert rows == []  # people have no geometry
+
+
+class TestModifiers:
+    def test_order_by_and_limit(self, engine):
+        rows = engine.select(
+            "SELECT ?s ?age WHERE { ?s <http://x/age> ?age . } "
+            "ORDER BY ?age LIMIT 2"
+        )
+        assert names(rows) == sorted(["bob", "alice"])
+        assert [row[Variable("age")].lexical for row in rows] == ["25", "34"]
+
+    def test_order_by_desc(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . } ORDER BY DESC(?age)"
+        )
+        assert [names([row])[0] for row in rows] == ["carol", "alice", "bob"]
+
+    def test_offset(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { ?s <http://x/age> ?age . } "
+            "ORDER BY ?age LIMIT 2 OFFSET 1"
+        )
+        assert [names([row])[0] for row in rows] == ["alice", "carol"]
+
+    def test_distinct(self, engine):
+        rows = engine.select(
+            "SELECT DISTINCT ?a WHERE { ?a <http://x/knows> ?b . }"
+        )
+        assert names(rows, "a") == ["alice", "bob"]
+
+    def test_projection_drops_unselected(self, engine):
+        rows = engine.select(
+            "SELECT ?a WHERE { ?a <http://x/knows> ?b . } LIMIT 1"
+        )
+        assert set(rows[0]) == {Variable("a")}
+
+
+class TestOrderByHeterogeneous:
+    def test_mixed_types_do_not_crash(self, engine):
+        rows = engine.select(
+            "SELECT ?o WHERE { <http://x/alice> ?p ?o . } ORDER BY ?o"
+        )
+        # alice has 5 outgoing triples (two knows, age, name, type).
+        assert len(rows) == 5

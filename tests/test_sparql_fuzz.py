@@ -1,0 +1,115 @@
+"""Property-based fuzzing of the SPARQL BGP evaluator.
+
+A brute-force reference enumerates every assignment of store terms to
+query variables and keeps those under which all patterns are present;
+the engine's selectivity-ordered backtracking join must produce exactly
+the same solution multiset, for arbitrary small stores and patterns.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.sparql.ast import SelectQuery, TriplePattern, Variable
+from repro.sparql.eval import QueryEngine
+from repro.sparql.store import TripleStore
+
+SUBJECTS = [IRI("http://f/s%d" % i) for i in range(3)]
+PREDICATES = [IRI("http://f/p%d" % i) for i in range(2)]
+OBJECTS = [IRI("http://f/o%d" % i) for i in range(2)] + [Literal("v")]
+ALL_TERMS = list(dict.fromkeys(SUBJECTS + PREDICATES + OBJECTS))
+VARIABLES = [Variable("a"), Variable("b"), Variable("c")]
+
+triples_strategy = st.lists(
+    st.builds(
+        Triple,
+        st.sampled_from(SUBJECTS),
+        st.sampled_from(PREDICATES),
+        st.sampled_from(OBJECTS),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+pattern_term = st.one_of(
+    st.sampled_from(VARIABLES),
+    st.sampled_from(SUBJECTS),
+    st.sampled_from(PREDICATES),
+    st.sampled_from(OBJECTS),
+)
+
+patterns_strategy = st.lists(
+    st.builds(TriplePattern, pattern_term, pattern_term, pattern_term),
+    min_size=1,
+    max_size=3,
+)
+
+
+def naive_solutions(store, patterns):
+    """Enumerate all assignments of store terms to the pattern variables."""
+    variables = []
+    for pattern in patterns:
+        for variable in pattern.variables():
+            if variable not in variables:
+                variables.append(variable)
+    solutions = []
+    for assignment in itertools.product(ALL_TERMS, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+
+        def ground(term):
+            return binding[term] if isinstance(term, Variable) else term
+
+        if all(
+            Triple(ground(p.subject), ground(p.predicate), ground(p.object))
+            in store
+            for p in patterns
+        ):
+            solutions.append(binding)
+    return solutions
+
+
+def canonical(rows):
+    return sorted(
+        tuple(sorted((v.name, str(t)) for v, t in row.items())) for row in rows
+    )
+
+
+class TestBGPFuzz:
+    @given(triples_strategy, patterns_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_join_matches_brute_force(self, triples, patterns):
+        store = TripleStore(triples)
+        engine = QueryEngine(store)
+        query = SelectQuery(variables=[], patterns=list(patterns))
+        got = canonical(engine.select(query))
+        expected = canonical(naive_solutions(store, patterns))
+        assert got == expected
+
+    @given(triples_strategy, patterns_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_is_set_semantics(self, triples, patterns):
+        store = TripleStore(triples)
+        engine = QueryEngine(store)
+        query = SelectQuery(variables=[], patterns=list(patterns), distinct=True)
+        got = canonical(engine.select(query))
+        assert got == sorted(set(got))
+
+    @given(triples_strategy, patterns_strategy, st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_limit_prefix_property(self, triples, patterns, limit):
+        store = TripleStore(triples)
+        engine = QueryEngine(store)
+        full = SelectQuery(variables=[], patterns=list(patterns))
+        limited = SelectQuery(
+            variables=[], patterns=list(patterns), limit=limit
+        )
+        full_rows = engine.select(full)
+        limited_rows = engine.select(limited)
+        assert len(limited_rows) == min(limit, len(full_rows))
+        # Every limited row appears in the full result.
+        full_canonical = canonical(full_rows)
+        for row in canonical(limited_rows):
+            assert row in full_canonical

@@ -1,0 +1,167 @@
+"""SPARQL subset parser."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.ast import (
+    BooleanOp,
+    Comparison,
+    FunctionCall,
+    NumberExpr,
+    TermExpr,
+    TriplePattern,
+    Variable,
+)
+from repro.sparql.parser import RDF_TYPE, SparqlSyntaxError, parse_query
+
+
+class TestBasics:
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o . }")
+        assert query.variables == []
+        assert query.patterns == [
+            TriplePattern(Variable("s"), Variable("p"), Variable("o"))
+        ]
+        assert query.projected() == [Variable("s"), Variable("p"), Variable("o")]
+
+    def test_select_variables(self):
+        query = parse_query("SELECT ?a ?b WHERE { ?a <http://p> ?b . }")
+        assert query.variables == [Variable("a"), Variable("b")]
+
+    def test_final_dot_optional(self):
+        query = parse_query("SELECT * WHERE { ?s <http://p> ?o }")
+        assert len(query.patterns) == 1
+
+    def test_multiple_patterns(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c . }"
+        )
+        assert len(query.patterns) == 2
+
+    def test_prefixes(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/>\n"
+            "SELECT * WHERE { ?s ex:knows ex:alice . }"
+        )
+        pattern = query.patterns[0]
+        assert pattern.predicate == IRI("http://example.org/knows")
+        assert pattern.object == IRI("http://example.org/alice")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?s nope:p ?o . }")
+
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_query("SELECT * WHERE { ?s a <http://x/City> . }")
+        assert query.patterns[0].predicate == RDF_TYPE
+
+    def test_literals(self):
+        query = parse_query(
+            'SELECT * WHERE { ?s <http://p> "hello"@en . '
+            '?s <http://q> "5"^^<http://www.w3.org/2001/XMLSchema#int> . '
+            "?s <http://r> 42 . }"
+        )
+        assert query.patterns[0].object == Literal("hello", language="en")
+        assert query.patterns[1].object.datatype.value.endswith("#int")
+        assert query.patterns[2].object.lexical == "42"
+
+    def test_string_escapes(self):
+        query = parse_query(r'SELECT * WHERE { ?s <http://p> "a\"b\nc" . }')
+        assert query.patterns[0].object.lexical == 'a"b\nc'
+
+    def test_comments_skipped(self):
+        query = parse_query(
+            "# leading comment\nSELECT * WHERE { ?s ?p ?o . # inline\n }"
+        )
+        assert len(query.patterns) == 1
+
+
+class TestFilters:
+    def test_comparison(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?v . FILTER(?v < 5) }"
+        )
+        (filter_,) = query.filters
+        assert isinstance(filter_, Comparison)
+        assert filter_.op == "<"
+        assert filter_.right == NumberExpr(5.0)
+
+    def test_boolean_connectives_and_precedence(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?v . "
+            "FILTER(?v > 1 && ?v < 9 || ?v = 0) }"
+        )
+        (filter_,) = query.filters
+        assert isinstance(filter_, BooleanOp)
+        assert filter_.op == "or"
+        assert isinstance(filter_.operands[0], BooleanOp)
+        assert filter_.operands[0].op == "and"
+
+    def test_function_calls(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?v . "
+            'FILTER(CONTAINS(STR(?v), "abc") && DISTANCE(?s, 1.5, 2.5) < 3) }'
+        )
+        (filter_,) = query.filters
+        contains = filter_.operands[0]
+        assert isinstance(contains, FunctionCall)
+        assert contains.name == "CONTAINS"
+        assert isinstance(contains.arguments[0], FunctionCall)
+
+    def test_arithmetic(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?v . FILTER(?v * 2 + 1 > 7) }"
+        )
+        (filter_,) = query.filters
+        assert isinstance(filter_, Comparison)
+
+    def test_negation(self):
+        query = parse_query(
+            "SELECT * WHERE { ?s <http://p> ?v . FILTER(!BOUND(?v)) }"
+        )
+        assert query.filters
+
+
+class TestModifiers:
+    def test_distinct_limit_offset(self):
+        query = parse_query(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o . } LIMIT 10 OFFSET 5"
+        )
+        assert query.distinct
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_order_by(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://p> ?v . } ORDER BY ?v DESC(?s) LIMIT 3"
+        )
+        assert len(query.order_by) == 2
+        assert not query.order_by[0].descending
+        assert query.order_by[1].descending
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?s ?p ?o . } LIMIT -3")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT WHERE { ?s ?p ?o . }",  # no variables
+            "SELECT * { ?s ?p ?o . }",  # missing WHERE
+            "SELECT * WHERE { ?s ?p . }",  # incomplete triple
+            "SELECT * WHERE { ?s ?p ?o ",  # unterminated group
+            "SELECT * WHERE { ?s ?p ?o . } trailing",
+            "SELECT * WHERE { ?s ?p ?o . FILTER ?x }",  # missing parens
+            "SELECT * WHERE { FILTER(NOSUCHFN(?x)) }",
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(text)
+
+    def test_error_position(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            parse_query("SELECT * WHERE { ?s ?p ?o . } garbage")
+        assert excinfo.value.position == 30

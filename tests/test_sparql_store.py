@@ -1,0 +1,88 @@
+"""Triple store: permutation indexes and pattern matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.sparql.store import TripleStore
+
+S = [IRI("http://x/s%d" % i) for i in range(4)]
+P = [IRI("http://x/p%d" % i) for i in range(3)]
+O = [IRI("http://x/o%d" % i) for i in range(4)] + [Literal("lit")]
+
+triples_strategy = st.lists(
+    st.builds(
+        Triple,
+        st.sampled_from(S),
+        st.sampled_from(P),
+        st.sampled_from(O),
+    ),
+    max_size=40,
+)
+
+
+def linear_match(triples, s=None, p=None, o=None):
+    return {
+        t
+        for t in triples
+        if (s is None or t.subject == s)
+        and (p is None or t.predicate == p)
+        and (o is None or t.object == o)
+    }
+
+
+class TestStore:
+    def test_add_and_contains(self):
+        triple = Triple(S[0], P[0], O[0])
+        store = TripleStore([triple])
+        assert len(store) == 1
+        assert triple in store
+        assert Triple(S[0], P[0], O[1]) not in store
+
+    def test_duplicates_ignored(self):
+        triple = Triple(S[0], P[0], O[0])
+        store = TripleStore([triple, triple])
+        assert len(store) == 1
+
+    def test_from_ntriples(self):
+        store = TripleStore.from_ntriples(
+            '<http://x/a> <http://x/p> "v" .\n<http://x/a> <http://x/q> <http://x/b> .\n'
+        )
+        assert len(store) == 2
+        assert len(list(store.match(subject=IRI("http://x/a")))) == 2
+
+    @given(triples_strategy)
+    @settings(max_examples=40)
+    def test_match_all_patterns_against_linear_scan(self, triples):
+        store = TripleStore(triples)
+        reference = set(triples)
+        for s in [None, S[0], S[3]]:
+            for p in [None, P[0]]:
+                for o in [None, O[0], O[4]]:
+                    assert set(store.match(s, p, o)) == linear_match(
+                        reference, s, p, o
+                    )
+
+    @given(triples_strategy)
+    @settings(max_examples=40)
+    def test_cardinality_estimates_upper_bound(self, triples):
+        store = TripleStore(triples)
+        reference = set(triples)
+        for s in [None, S[0]]:
+            for p in [None, P[1]]:
+                for o in [None, O[2]]:
+                    exact = len(linear_match(reference, s, p, o))
+                    estimate = store.cardinality_estimate(s, p, o)
+                    assert estimate >= exact
+                    # Estimates are exact when at most one slot is free.
+                    free = sum(1 for slot in (s, p, o) if slot is None)
+                    if free <= 1:
+                        assert estimate == exact
+
+    def test_introspection(self):
+        store = TripleStore([Triple(S[0], P[0], O[0]), Triple(S[1], P[1], O[0])])
+        assert set(store.subjects()) == {S[0], S[1]}
+        assert set(store.predicates()) == {P[0], P[1]}
+        assert O[0] in set(store.objects())
+        assert len(list(store.triples())) == 2

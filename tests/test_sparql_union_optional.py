@@ -1,0 +1,199 @@
+"""UNION and OPTIONAL evaluation in the SPARQL engine."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.ast import Variable
+from repro.sparql.eval import QueryEngine
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+from repro.sparql.store import TripleStore
+
+DATA = """\
+<http://x/paris> <http://x/country> <http://x/france> .
+<http://x/lyon> <http://x/country> <http://x/france> .
+<http://x/rome> <http://x/country> <http://x/italy> .
+<http://x/paris> <http://x/population> "2100000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/rome> <http://x/population> "2800000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/paris> <http://x/nickname> "city of light" .
+<http://x/paris> <http://x/landmark> <http://x/eiffel> .
+<http://x/rome> <http://x/landmark> <http://x/colosseum> .
+<http://x/eiffel> <http://x/built> "1889"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(TripleStore.from_ntriples(DATA))
+
+
+def locals_of(rows, name="s"):
+    return sorted(
+        row[Variable(name)].value.rsplit("/", 1)[-1]
+        for row in rows
+        if Variable(name) in row
+    )
+
+
+class TestUnion:
+    def test_two_alternatives(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              { ?s <http://x/country> <http://x/france> . }
+              UNION
+              { ?s <http://x/country> <http://x/italy> . }
+            }
+            """
+        )
+        assert locals_of(rows) == ["lyon", "paris", "rome"]
+
+    def test_union_joins_with_base_pattern(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s ?l WHERE {
+              ?s <http://x/landmark> ?l .
+              { ?s <http://x/country> <http://x/france> . }
+              UNION
+              { ?s <http://x/country> <http://x/italy> . }
+            }
+            """
+        )
+        # Only cities with landmarks survive the base pattern.
+        assert locals_of(rows) == ["paris", "rome"]
+
+    def test_three_way_union(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              { ?s <http://x/nickname> ?n . }
+              UNION { ?s <http://x/country> <http://x/italy> . }
+              UNION { ?s <http://x/landmark> <http://x/eiffel> . }
+            }
+            """
+        )
+        # paris matches twice (nickname + landmark) — duplicates kept
+        # without DISTINCT, as in SPARQL.
+        assert locals_of(rows) == ["paris", "paris", "rome"]
+
+    def test_union_with_filters_inside(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              { ?s <http://x/population> ?p . FILTER(?p > 2500000) }
+              UNION
+              { ?s <http://x/nickname> ?n . }
+            }
+            """
+        )
+        assert locals_of(rows) == ["paris", "rome"]
+
+    def test_no_alternative_matches(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              ?s <http://x/country> ?c .
+              { ?s <http://x/mayor> ?m . } UNION { ?s <http://x/anthem> ?a . }
+            }
+            """
+        )
+        assert rows == []
+
+    def test_plain_braced_group_merges(self, engine):
+        rows = engine.select(
+            "SELECT ?s WHERE { { ?s <http://x/country> <http://x/italy> . } }"
+        )
+        assert locals_of(rows) == ["rome"]
+
+
+class TestOptional:
+    def test_left_join_keeps_unmatched(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s ?p WHERE {
+              ?s <http://x/country> ?c .
+              OPTIONAL { ?s <http://x/population> ?p . }
+            }
+            """
+        )
+        assert len(rows) == 3
+        by_city = {
+            row[Variable("s")].value.rsplit("/", 1)[-1]: row.get(Variable("p"))
+            for row in rows
+        }
+        assert by_city["paris"].lexical == "2100000"
+        assert by_city["rome"].lexical == "2800000"
+        assert by_city["lyon"] is None  # unbound, kept by the left join
+
+    def test_optional_filter_inside(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s ?p WHERE {
+              ?s <http://x/country> ?c .
+              OPTIONAL { ?s <http://x/population> ?p . FILTER(?p > 2500000) }
+            }
+            """
+        )
+        by_city = {
+            row[Variable("s")].value.rsplit("/", 1)[-1]: row.get(Variable("p"))
+            for row in rows
+        }
+        assert by_city["rome"] is not None
+        assert by_city["paris"] is None  # filtered out inside the OPTIONAL
+        assert by_city["lyon"] is None
+
+    def test_bound_detects_optional_misses(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              ?s <http://x/country> ?c .
+              OPTIONAL { ?s <http://x/population> ?p . }
+              FILTER(!BOUND(?p))
+            }
+            """
+        )
+        assert locals_of(rows) == ["lyon"]
+
+    def test_filter_on_optional_variable(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s WHERE {
+              ?s <http://x/country> ?c .
+              OPTIONAL { ?s <http://x/population> ?p . }
+              FILTER(?p > 2500000)
+            }
+            """
+        )
+        # Unbound ?p is a filter error -> eliminated; only rome survives.
+        assert locals_of(rows) == ["rome"]
+
+    def test_union_then_optional(self, engine):
+        rows = engine.select(
+            """
+            SELECT ?s ?b WHERE {
+              { ?s <http://x/country> <http://x/france> . }
+              UNION { ?s <http://x/country> <http://x/italy> . }
+              OPTIONAL { ?s <http://x/landmark> ?l . ?l <http://x/built> ?b . }
+            }
+            """
+        )
+        by_city = {
+            row[Variable("s")].value.rsplit("/", 1)[-1]: row.get(Variable("b"))
+            for row in rows
+        }
+        assert by_city["paris"].lexical == "1889"
+        assert by_city["lyon"] is None
+        assert by_city["rome"] is None  # colosseum has no build year
+
+
+class TestNestedRejected:
+    def test_nested_union_inside_optional(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                "SELECT * WHERE { OPTIONAL { { ?a ?b ?c . } UNION { ?d ?e ?f . } } }"
+            )
+
+    def test_nested_group_inside_union(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query(
+                "SELECT * WHERE { { { ?a ?b ?c . } } UNION { ?d ?e ?f . } }"
+            )

@@ -1,0 +1,113 @@
+"""Edge cases of the query algorithms that the main suites skim over."""
+
+import math
+
+import pytest
+
+from repro.core.query import KSPQuery
+from repro.core.ranking import MultiplicativeRanking
+from repro.core.spp import spp_search
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, build_example_graph
+from repro.rdf.graph import RDFGraph
+from repro.spatial.geometry import Point
+from repro.spatial.rtree import RTree
+from repro.text.inverted import InvertedIndex
+
+
+class TestQueryAtPlaceLocation:
+    """S(q, p) = 0: the product ranking scores 0 regardless of looseness,
+    and the looseness threshold degenerates to +inf (nothing pruned)."""
+
+    def test_zero_distance_place_wins(self, example_engine):
+        location = Point(43.13, 5.97)  # exactly p2
+        for method in ("bsp", "spp", "sp", "ta"):
+            result = example_engine.query(
+                location, EXAMPLE_KEYWORDS, k=2, method=method
+            )
+            assert result[0].root_label == "p2", method
+            assert result[0].score == 0.0
+            assert result[0].distance == 0.0
+
+    def test_two_zero_distance_places(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a", document={"target"}, location=Point(1, 1))
+        b = graph.add_vertex("b", document={"target"}, location=Point(1, 1))
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(graph, alpha=1)
+        result = engine.query(Point(1, 1), ["target"], k=2)
+        assert len(result) == 2
+        assert result.scores() == [0.0, 0.0]
+        # Deterministic tie-break by root id.
+        assert result.roots() == [a, b]
+
+
+class TestDegenerateGraphs:
+    def test_no_places_at_all(self):
+        graph = RDFGraph()
+        graph.add_vertex("lonely", document={"word"})
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(graph, alpha=1)
+        for method in ("bsp", "spp", "sp", "ta"):
+            result = engine.query(Point(0, 0), ["word"], k=1, method=method)
+            assert len(result) == 0, method
+
+    def test_place_is_its_own_answer(self):
+        graph = RDFGraph()
+        graph.add_vertex(
+            "solo", document={"alpha", "beta"}, location=Point(3, 4)
+        )
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(graph, alpha=1)
+        result = engine.query(Point(0, 0), ["alpha", "beta"], k=1)
+        assert len(result) == 1
+        assert result[0].looseness == 1.0  # everything at distance 0
+        assert result[0].score == pytest.approx(5.0)  # 1 x dist(3,4)
+
+    def test_self_loop_tolerated(self):
+        graph = RDFGraph()
+        a = graph.add_vertex("a", document={"x"}, location=Point(0, 0))
+        graph.add_edge(a, a)
+        from repro.core.engine import KSPEngine
+
+        engine = KSPEngine(graph, alpha=1)
+        result = engine.query(Point(1, 0), ["x"], k=1)
+        assert result[0].looseness == 1.0
+
+
+class TestSPPDirectCall:
+    def test_spp_on_raw_components(self):
+        graph = build_example_graph()
+        inverted = InvertedIndex.build(graph)
+        rtree = RTree.bulk_load(graph.places())
+        from repro.reach.keyword import KeywordReachabilityIndex
+
+        reach = KeywordReachabilityIndex(graph)
+        query = KSPQuery(
+            location=Point(43.51, 4.75), keywords=EXAMPLE_KEYWORDS, k=1
+        )
+        result = spp_search(
+            graph, rtree, inverted, reach, query,
+            ranking=MultiplicativeRanking(),
+        )
+        assert result[0].root_label == "p1"
+
+    def test_spp_without_either_rule_is_bsp_equivalent(self):
+        graph = build_example_graph()
+        inverted = InvertedIndex.build(graph)
+        rtree = RTree.bulk_load(graph.places())
+        from repro.reach.keyword import KeywordReachabilityIndex
+
+        reach = KeywordReachabilityIndex(graph)
+        query = KSPQuery(
+            location=Point(43.51, 4.75), keywords=EXAMPLE_KEYWORDS, k=2
+        )
+        result = spp_search(
+            graph, rtree, inverted, reach, query,
+            use_rule1=False, use_rule2=False,
+        )
+        assert [p.root_label for p in result] == ["p1", "p2"]
+        assert result.stats.reachability_queries == 0
+        assert result.stats.pruned_rule2 == 0

@@ -1,0 +1,66 @@
+"""QueryStats / AggregateStats accounting."""
+
+import pytest
+
+from repro.core.stats import AggregateStats, QueryStats
+
+
+class TestQueryStats:
+    def test_other_seconds(self):
+        stats = QueryStats(runtime_seconds=1.0, semantic_seconds=0.4)
+        assert stats.other_seconds == pytest.approx(0.6)
+
+    def test_other_seconds_clamped(self):
+        stats = QueryStats(runtime_seconds=0.1, semantic_seconds=0.4)
+        assert stats.other_seconds == 0.0
+
+    def test_as_dict_round_trips_fields(self):
+        stats = QueryStats(algorithm="SP", tqsp_computations=3, pruned_rule1=2)
+        data = stats.as_dict()
+        assert data["algorithm"] == "SP"
+        assert data["tqsp_computations"] == 3
+        assert data["pruned_rule1"] == 2
+        assert data["timed_out"] is False
+
+
+class TestAggregateStats:
+    def test_means(self):
+        aggregate = AggregateStats()
+        aggregate.add(QueryStats(runtime_seconds=0.1, semantic_seconds=0.06,
+                                 tqsp_computations=4, rtree_node_accesses=2))
+        aggregate.add(QueryStats(runtime_seconds=0.3, semantic_seconds=0.10,
+                                 tqsp_computations=6, rtree_node_accesses=4))
+        assert aggregate.mean_runtime_ms == pytest.approx(200.0)
+        assert aggregate.mean_semantic_ms == pytest.approx(80.0)
+        assert aggregate.mean_other_ms == pytest.approx(120.0)
+        assert aggregate.mean_tqsp_computations == 5.0
+        assert aggregate.mean_rtree_node_accesses == 3.0
+        assert len(aggregate) == 2
+
+    def test_empty(self):
+        aggregate = AggregateStats()
+        assert aggregate.mean_runtime_ms == 0.0
+        assert aggregate.timeout_count == 0
+
+    def test_timeout_count(self):
+        aggregate = AggregateStats()
+        aggregate.add(QueryStats(timed_out=True))
+        aggregate.add(QueryStats())
+        assert aggregate.timeout_count == 1
+
+    def test_percentiles(self):
+        aggregate = AggregateStats()
+        for seconds in (0.01, 0.02, 0.03, 0.04, 0.10):
+            aggregate.add(QueryStats(runtime_seconds=seconds))
+        assert aggregate.runtime_percentile_ms(0) == pytest.approx(10.0)
+        assert aggregate.runtime_percentile_ms(50) == pytest.approx(30.0)
+        assert aggregate.runtime_percentile_ms(100) == pytest.approx(100.0)
+        assert aggregate.runtime_percentile_ms(75) == pytest.approx(40.0)
+
+    def test_percentile_edge_cases(self):
+        aggregate = AggregateStats()
+        assert aggregate.runtime_percentile_ms(50) == 0.0
+        aggregate.add(QueryStats(runtime_seconds=0.5))
+        assert aggregate.runtime_percentile_ms(99) == pytest.approx(500.0)
+        with pytest.raises(ValueError):
+            aggregate.runtime_percentile_ms(101)

@@ -1,0 +1,97 @@
+"""The TA looseness stream: emission order, completeness, exhaustion."""
+
+import math
+
+import pytest
+
+from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
+from repro.core.ta import LoosenessStream
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, build_example_graph
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.text.inverted import InvertedIndex, build_query_map
+
+
+def drain(stream):
+    emissions = []
+    while True:
+        item = stream.next()
+        if item is None:
+            return emissions
+        emissions.append(item)
+
+
+class TestOnPaperExample:
+    def test_emits_both_places_in_looseness_order(self):
+        graph = build_example_graph()
+        index = InvertedIndex.build(graph)
+        stream = LoosenessStream(graph, index, EXAMPLE_KEYWORDS)
+        emissions = drain(stream)
+        labels = [(graph.label(place), looseness) for looseness, place in emissions]
+        assert labels == [("p2", 4.0), ("p1", 6.0)]
+
+    def test_unqualified_keywords_emit_nothing(self):
+        graph = build_example_graph()
+        index = InvertedIndex.build(graph)
+        stream = LoosenessStream(graph, index, ("church", "architecture"))
+        assert drain(stream) == []
+
+    def test_single_keyword(self):
+        graph = build_example_graph()
+        index = InvertedIndex.build(graph)
+        stream = LoosenessStream(graph, index, ("history",))
+        emissions = drain(stream)
+        labels = [(graph.label(place), looseness) for looseness, place in emissions]
+        # p2 reaches history at 1 (L=2), p1 at 2 (L=3).
+        assert labels == [("p2", 2.0), ("p1", 3.0)]
+
+    def test_lower_bound_never_decreases(self):
+        graph = build_example_graph()
+        index = InvertedIndex.build(graph)
+        stream = LoosenessStream(graph, index, EXAMPLE_KEYWORDS)
+        previous = 0.0
+        while True:
+            bound = stream.lower_bound()
+            assert bound >= previous - 1e-9
+            item = stream.next()
+            if item is None:
+                break
+            # Every emission respects the bound published before it.
+            assert item[0] >= previous - 1e-9
+            previous = item[0]
+
+
+class TestOnSyntheticCorpus:
+    def test_matches_per_place_tqsp_computation(self, tiny_yago_graph):
+        """Stream emissions must equal the looseness of each place's TQSP
+        computed independently by Algorithm 2, in sorted order."""
+        graph = tiny_yago_graph
+        index = InvertedIndex.build(graph)
+        generator = QueryGenerator(
+            graph, index, WorkloadConfig(keyword_count=2, seed=77)
+        )
+        query = generator.original()
+        stream = LoosenessStream(graph, index, query.keywords)
+        emissions = drain(stream)
+
+        searcher = SemanticPlaceSearcher(graph)
+        query_map = build_query_map(index, query.keywords)
+        expected = []
+        for place, _ in graph.places():
+            search = searcher.tightest(query.keywords, place, query_map)
+            if search.status is SearchStatus.COMPLETE:
+                expected.append((search.looseness, place))
+
+        assert sorted(emissions) == sorted(expected)
+        loosenesses = [looseness for looseness, _ in emissions]
+        assert loosenesses == sorted(loosenesses)
+
+    def test_no_duplicate_places(self, tiny_dbpedia_graph):
+        graph = tiny_dbpedia_graph
+        index = InvertedIndex.build(graph)
+        generator = QueryGenerator(
+            graph, index, WorkloadConfig(keyword_count=2, seed=13)
+        )
+        query = generator.original()
+        stream = LoosenessStream(graph, index, query.keywords)
+        places = [place for _, place in drain(stream)]
+        assert len(places) == len(set(places))

@@ -1,0 +1,60 @@
+"""RDF term value objects."""
+
+import pytest
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+
+
+class TestIRI:
+    def test_local_name_fragment(self):
+        assert IRI("http://ex.org/onto#birthPlace").local_name() == "birthPlace"
+
+    def test_local_name_path(self):
+        assert IRI("http://ex.org/resource/Saint_Peter").local_name() == "Saint_Peter"
+
+    def test_local_name_plain(self):
+        assert IRI("just_a_name").local_name() == "just_a_name"
+
+    def test_local_name_prefers_fragment_over_path(self):
+        assert IRI("http://ex.org/res/Thing#part").local_name() == "part"
+
+    def test_str(self):
+        assert str(IRI("http://x")) == "<http://x>"
+
+
+class TestLiteral:
+    def test_plain(self):
+        assert str(Literal("hello")) == '"hello"'
+
+    def test_language_tag(self):
+        assert str(Literal("bonjour", language="fr")) == '"bonjour"@fr'
+
+    def test_datatype(self):
+        literal = Literal("42", datatype=IRI("http://www.w3.org/2001/XMLSchema#int"))
+        assert str(literal) == '"42"^^<http://www.w3.org/2001/XMLSchema#int>'
+
+    def test_language_and_datatype_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("x", language="en", datatype=IRI("http://t"))
+
+    def test_escaping(self):
+        literal = Literal('say "hi"\n\tok\\')
+        assert str(literal) == '"say \\"hi\\"\\n\\tok\\\\"'
+
+
+class TestTriple:
+    def test_str_round(self):
+        triple = Triple(
+            IRI("http://s"), IRI("http://p"), Literal("o", language="en")
+        )
+        assert str(triple) == '<http://s> <http://p> "o"@en .'
+
+    def test_blank_node_subject(self):
+        triple = Triple(BlankNode("b1"), IRI("http://p"), IRI("http://o"))
+        assert str(triple) == "_:b1 <http://p> <http://o> ."
+
+    def test_equality_and_hash(self):
+        a = Triple(IRI("s"), IRI("p"), IRI("o"))
+        b = Triple(IRI("s"), IRI("p"), IRI("o"))
+        assert a == b
+        assert hash(a) == hash(b)

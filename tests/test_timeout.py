@@ -1,0 +1,50 @@
+"""The per-query timeout protocol (the paper's 120 s BSP abort)."""
+
+import math
+
+import pytest
+
+from repro.core.exhaustive import exhaustive_search
+from repro.core.query import KSPQuery
+from repro.datagen import QueryGenerator, WorkloadConfig
+from repro.spatial.geometry import Point
+
+
+class TestTimeout:
+    def test_bsp_times_out_and_flags(self, tiny_yago_engine):
+        engine = tiny_yago_engine
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=5, seed=55)
+        )
+        query = generator.original()
+        result = engine.run(query, method="bsp", timeout=0.0)
+        assert result.stats.timed_out
+        # A partial (possibly empty) result is still returned.
+        assert result.stats.runtime_seconds >= 0
+
+    def test_generous_timeout_not_triggered(self, example_engine):
+        result = example_engine.query(
+            Point(43.51, 4.75), ["ancient", "roman"], k=1, method="bsp",
+            timeout=60.0,
+        )
+        assert not result.stats.timed_out
+        assert len(result) == 1
+
+    @pytest.mark.parametrize("method", ["bsp", "spp", "sp", "ta"])
+    def test_all_methods_accept_timeout(self, example_engine, method):
+        result = example_engine.query(
+            Point(43.51, 4.75), ["ancient", "roman"], k=1, method=method,
+            timeout=30.0,
+        )
+        assert len(result) == 1
+
+    def test_exhaustive_timeout(self, tiny_yago_engine):
+        engine = tiny_yago_engine
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=5, seed=56)
+        )
+        query = generator.original()
+        result = exhaustive_search(
+            engine.graph, engine.inverted_index, query, timeout=0.0
+        )
+        assert result.stats.timed_out

@@ -1,0 +1,66 @@
+"""Document tokenizer behaviour."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenizer import STOPWORDS, tokenize, tokenize_all, tokenize_unique
+
+
+class TestTokenize:
+    def test_underscores_split(self):
+        assert tokenize("Montmajour_Abbey") == ["montmajour", "abbey"]
+
+    def test_camel_case_kept_whole(self):
+        # Matches Figure 1(b): "deathPlace" is a single token.
+        assert tokenize("deathPlace") == ["deathplace"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the history of the empire") == ["history", "empire"]
+
+    def test_short_tokens_removed(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_numbers_kept(self):
+        assert tokenize("route 66") == ["route", "66"]
+
+    def test_punctuation_split(self):
+        assert tokenize("Fréjus-Toulon") == ["fr", "jus", "toulon"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+    def test_duplicates_preserved_in_order(self):
+        assert tokenize("roman roman empire") == ["roman", "roman", "empire"]
+
+
+class TestTokenizeUnique:
+    def test_deduplicates(self):
+        assert tokenize_unique("roman roman empire") == frozenset(
+            {"roman", "empire"}
+        )
+
+    def test_tokenize_all_unions(self):
+        assert tokenize_all(["ancient rome", "roman empire"]) == frozenset(
+            {"ancient", "rome", "roman", "empire"}
+        )
+
+
+class TestProperties:
+    @given(st.text(max_size=80))
+    def test_tokens_are_normalized(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert len(token) >= 2
+            assert token not in STOPWORDS
+            assert token.isalnum()
+
+    @given(st.text(max_size=80))
+    def test_unique_matches_set_of_tokenize(self, text):
+        assert tokenize_unique(text) == frozenset(tokenize(text))
+
+    @given(st.text(max_size=40), st.text(max_size=40))
+    def test_concatenation_superset(self, a, b):
+        combined = tokenize_unique(a + " " + b)
+        assert tokenize_unique(a) <= combined
+        assert tokenize_unique(b) <= combined

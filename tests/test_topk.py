@@ -1,0 +1,67 @@
+"""TopKQueue: thresholds, eviction, deterministic ordering."""
+
+import math
+
+import pytest
+
+from repro.core.query import SemanticPlace
+from repro.core.topk import TopKQueue
+from repro.spatial.geometry import Point
+
+
+def make_place(root, score, looseness=2.0, distance=1.0):
+    return SemanticPlace(
+        root=root,
+        root_label="p%d" % root,
+        location=Point(0, 0),
+        looseness=looseness,
+        distance=distance,
+        score=score,
+        keyword_vertices={},
+        paths={},
+    )
+
+
+class TestTopKQueue:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKQueue(0)
+
+    def test_threshold_infinite_until_full(self):
+        queue = TopKQueue(2)
+        assert queue.threshold == math.inf
+        queue.consider(make_place(1, 5.0))
+        assert queue.threshold == math.inf
+        queue.consider(make_place(2, 3.0))
+        assert queue.threshold == 5.0
+
+    def test_eviction_tightens_threshold(self):
+        queue = TopKQueue(2)
+        for root, score in ((1, 5.0), (2, 3.0), (3, 1.0)):
+            queue.consider(make_place(root, score))
+        assert queue.threshold == 3.0
+        assert [p.root for p in queue.ranked()] == [3, 2]
+
+    def test_worse_candidate_rejected(self):
+        queue = TopKQueue(1)
+        assert queue.consider(make_place(1, 1.0))
+        assert not queue.consider(make_place(2, 2.0))
+        assert [p.root for p in queue.ranked()] == [1]
+
+    def test_equal_score_ties_keep_lower_root(self):
+        queue = TopKQueue(1)
+        queue.consider(make_place(5, 2.0))
+        assert not queue.consider(make_place(9, 2.0))
+        queue.consider(make_place(1, 2.0))
+        assert [p.root for p in queue.ranked()] == [1]
+
+    def test_ranked_ascending_score_then_root(self):
+        queue = TopKQueue(4)
+        for root, score in ((4, 2.0), (2, 1.0), (3, 2.0), (1, 3.0)):
+            queue.consider(make_place(root, score))
+        assert [p.root for p in queue.ranked()] == [2, 3, 4, 1]
+
+    def test_len(self):
+        queue = TopKQueue(3)
+        queue.consider(make_place(1, 1.0))
+        assert len(queue) == 1

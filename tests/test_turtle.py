@@ -1,0 +1,190 @@
+"""Turtle parser (the dump format of DBpedia/YAGO)."""
+
+import pytest
+
+from repro.rdf.ntriples import serialize
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.rdf.turtle import RDF_TYPE, TurtleSyntaxError, parse_turtle
+
+
+def triples(text):
+    return list(parse_turtle(text))
+
+
+class TestBasics:
+    def test_simple_triple(self):
+        got = triples("<http://x/s> <http://x/p> <http://x/o> .")
+        assert got == [Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o"))]
+
+    def test_prefix_directive(self):
+        got = triples(
+            "@prefix ex: <http://example.org/> .\n"
+            "ex:alice ex:knows ex:bob .\n"
+        )
+        assert got[0].subject == IRI("http://example.org/alice")
+        assert got[0].object == IRI("http://example.org/bob")
+
+    def test_sparql_style_prefix(self):
+        got = triples(
+            "PREFIX ex: <http://example.org/>\n"
+            "ex:a ex:p ex:b .\n"
+        )
+        assert got[0].subject == IRI("http://example.org/a")
+
+    def test_base_resolution(self):
+        got = triples(
+            "@base <http://example.org/> .\n<alice> <knows> <bob> .\n"
+        )
+        assert got[0].subject == IRI("http://example.org/alice")
+        # Absolute IRIs are untouched by @base.
+        got = triples(
+            "@base <http://example.org/> .\n<http://y/a> <p> <b> .\n"
+        )
+        assert got[0].subject == IRI("http://y/a")
+
+    def test_a_keyword(self):
+        got = triples("<http://x/s> a <http://x/City> .")
+        assert got[0].predicate == RDF_TYPE
+
+    def test_predicate_list_semicolons(self):
+        got = triples(
+            "<http://x/s> <http://x/p> <http://x/a> ;\n"
+            "             <http://x/q> <http://x/b> ;\n"
+            "             <http://x/r> <http://x/c> .\n"
+        )
+        assert len(got) == 3
+        assert all(t.subject == IRI("http://x/s") for t in got)
+        assert [t.predicate.local_name() for t in got] == ["p", "q", "r"]
+
+    def test_trailing_semicolon_allowed(self):
+        got = triples("<http://x/s> <http://x/p> <http://x/a> ; .")
+        assert len(got) == 1
+
+    def test_object_list_commas(self):
+        got = triples("<http://x/s> <http://x/p> <http://x/a>, <http://x/b> .")
+        assert len(got) == 2
+        assert {t.object for t in got} == {IRI("http://x/a"), IRI("http://x/b")}
+
+    def test_mixed_lists(self):
+        got = triples(
+            "<http://x/s> <http://x/p> <http://x/a>, <http://x/b> ; "
+            "<http://x/q> <http://x/c> ."
+        )
+        assert len(got) == 3
+
+    def test_blank_nodes(self):
+        got = triples("_:a <http://x/p> _:b .")
+        assert got[0].subject == BlankNode("a")
+        assert got[0].object == BlankNode("b")
+
+    def test_comments_and_blank_lines(self):
+        got = triples(
+            "# comment\n\n<http://x/s> <http://x/p> <http://x/o> . # trailing\n"
+        )
+        assert len(got) == 1
+
+
+class TestLiterals:
+    def test_plain_and_language(self):
+        got = triples(
+            '<http://x/s> <http://x/p> "hello" ; <http://x/q> "salut"@fr .'
+        )
+        assert got[0].object == Literal("hello")
+        assert got[1].object == Literal("salut", language="fr")
+
+    def test_typed(self):
+        got = triples(
+            '<http://x/s> <http://x/p> "5"^^<http://www.w3.org/2001/XMLSchema#int> .'
+        )
+        assert got[0].object.datatype.value.endswith("#int")
+
+    def test_typed_with_pname(self):
+        got = triples(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            '<http://x/s> <http://x/p> "5"^^xsd:int .'
+        )
+        assert got[0].object.datatype == IRI("http://www.w3.org/2001/XMLSchema#int")
+
+    def test_bare_numbers(self):
+        got = triples("<http://x/s> <http://x/p> 42, 3.14, 1e6 .")
+        datatypes = [t.object.datatype.value.rsplit("#")[-1] for t in got]
+        assert datatypes == ["integer", "decimal", "double"]
+
+    def test_booleans(self):
+        got = triples("<http://x/s> <http://x/p> true, false .")
+        assert [t.object.lexical for t in got] == ["true", "false"]
+
+    def test_escapes(self):
+        got = triples(r'<http://x/s> <http://x/p> "a\"b\ncé" .')
+        assert got[0].object.lexical == 'a"b\ncé'
+
+    def test_long_string(self):
+        got = triples('<http://x/s> <http://x/p> """multi\nline "quoted" text""" .')
+        assert got[0].object.lexical == 'multi\nline "quoted" text'
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<http://x/s> <http://x/p> <http://x/o>",  # missing dot
+            "<http://x/s> <http://x/p> .",  # missing object
+            "ex:a ex:p ex:b .",  # undeclared prefix
+            "<http://x/s> <http://x/p> [ <http://x/q> <http://x/o> ] .",  # anon bnode
+            "<http://x/s> <http://x/p> ( 1 2 ) .",  # collection
+            '"literal" <http://x/p> <http://x/o> .',  # literal subject
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(TurtleSyntaxError):
+            triples(text)
+
+    def test_error_carries_line(self):
+        text = "<http://x/s> <http://x/p> <http://x/o> .\nbroken .\n"
+        with pytest.raises(TurtleSyntaxError) as excinfo:
+            triples(text)
+        assert excinfo.value.line == 2
+
+
+class TestPipelineCompatibility:
+    def test_equivalent_to_ntriples(self):
+        """The same data in Turtle and N-Triples yields identical triples."""
+        from repro.rdf import ntriples
+
+        ttl = (
+            "@prefix ex: <http://ex.org/> .\n"
+            "@prefix geo: <http://www.opengis.net/ont/geosparql#> .\n"
+            'ex:Abbey geo:hasGeometry "POINT(43.71 4.66)" ;\n'
+            "         ex:dedication ex:Saint_Peter .\n"
+        )
+        nt = (
+            '<http://ex.org/Abbey> <http://www.opengis.net/ont/geosparql#hasGeometry> "POINT(43.71 4.66)" .\n'
+            "<http://ex.org/Abbey> <http://ex.org/dedication> <http://ex.org/Saint_Peter> .\n"
+        )
+        assert set(parse_turtle(ttl)) == set(ntriples.parse(nt))
+
+    def test_engine_builds_from_turtle(self):
+        from repro.core.engine import KSPEngine
+
+        ttl = (
+            "@prefix ex: <http://ex.org/> .\n"
+            "@prefix geo: <http://www.opengis.net/ont/geosparql#> .\n"
+            'ex:Abbey geo:hasGeometry "POINT(0 0)" ;\n'
+            "         ex:dedication ex:Saint_Peter .\n"
+            'ex:Saint_Peter ex:description "catholic roman" .\n'
+        )
+        engine = KSPEngine.from_triples(parse_turtle(ttl), alpha=1)
+        result = engine.query((0.1, 0.1), ["catholic"], k=1)
+        assert len(result) == 1
+        assert result[0].root_label.endswith("Abbey")
+
+    def test_round_trip_through_ntriples_serializer(self):
+        ttl = (
+            "@prefix ex: <http://ex.org/> .\n"
+            'ex:a ex:p "v"@en , "w" ; ex:q 7 .\n'
+        )
+        from repro.rdf import ntriples
+
+        original = list(parse_turtle(ttl))
+        again = list(ntriples.parse(serialize(original)))
+        assert set(again) == set(original)

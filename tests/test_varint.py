@@ -1,0 +1,130 @@
+"""Varint coding and compressed posting lists."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.inverted import DiskInvertedIndex, InvertedIndex
+from repro.text.varint import (
+    decode_posting_list,
+    decode_varint,
+    encode_posting_list,
+    encode_varint,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (1, b"\x01"),
+            (127, b"\x7f"),
+            (128, b"\x80\x01"),
+            (300, b"\xac\x02"),
+            (2 ** 32 - 1, b"\xff\xff\xff\xff\x0f"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\x80")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varint(b"\xff" * 11)
+
+    @given(st.integers(min_value=0, max_value=2 ** 62))
+    def test_round_trip(self, value):
+        encoded = encode_varint(value)
+        assert decode_varint(encoded) == (value, len(encoded))
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 30), max_size=20))
+    def test_stream_of_varints(self, values):
+        blob = b"".join(encode_varint(v) for v in values)
+        offset = 0
+        decoded = []
+        for _ in values:
+            value, offset = decode_varint(blob, offset)
+            decoded.append(value)
+        assert decoded == values
+        assert offset == len(blob)
+
+
+posting_lists = st.lists(
+    st.integers(min_value=0, max_value=10 ** 7), max_size=60, unique=True
+).map(sorted)
+
+
+class TestPostingCompression:
+    @given(posting_lists)
+    def test_round_trip(self, posting):
+        blob = encode_posting_list(posting)
+        assert decode_posting_list(blob, len(posting)) == posting
+
+    def test_dense_lists_compress_to_one_byte_per_entry(self):
+        posting = list(range(1000))
+        blob = encode_posting_list(posting)
+        assert len(blob) == 1000  # all gaps are zero after the first
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            encode_posting_list([3, 3])
+        with pytest.raises(ValueError):
+            encode_posting_list([5, 2])
+
+    def test_trailing_bytes_rejected(self):
+        blob = encode_posting_list([1, 2]) + b"\x00"
+        with pytest.raises(ValueError):
+            decode_posting_list(blob, 2)
+
+
+class TestCompressedDiskIndex:
+    def _index(self):
+        index = InvertedIndex()
+        for vertex in range(200):
+            terms = {"common"}
+            if vertex % 3 == 0:
+                terms.add("third")
+            if vertex % 97 == 0:
+                terms.add("rare")
+            index.add_document(vertex, terms)
+        index.finalize()
+        return index
+
+    def test_round_trip_compressed(self, tmp_path):
+        index = self._index()
+        path = tmp_path / "compressed.bin"
+        index.save(path, compress=True)
+        with DiskInvertedIndex(path) as disk:
+            for term in index.vocabulary():
+                assert list(disk.posting(term)) == list(index.posting(term))
+            assert disk.document_frequency("third") == index.document_frequency(
+                "third"
+            )
+
+    def test_compression_shrinks_file(self, tmp_path):
+        index = self._index()
+        raw_path = tmp_path / "raw.bin"
+        compressed_path = tmp_path / "compressed.bin"
+        index.save(raw_path)
+        index.save(compressed_path, compress=True)
+        assert compressed_path.stat().st_size < raw_path.stat().st_size
+
+    def test_both_formats_coexist(self, tmp_path):
+        index = self._index()
+        raw_path = tmp_path / "raw.bin"
+        compressed_path = tmp_path / "compressed.bin"
+        index.save(raw_path)
+        index.save(compressed_path, compress=True)
+        with DiskInvertedIndex(raw_path) as raw, DiskInvertedIndex(
+            compressed_path
+        ) as compressed:
+            assert list(raw.posting("common")) == list(compressed.posting("common"))

@@ -1,0 +1,121 @@
+"""Batched serving throughput — the serving stack's headline number.
+
+A 200-query workload built from 20 distinct keyword sets, each repeated
+at 10 jittered locations: the realistic serving shape (users near each
+other ask about the same things) where looseness's location-independence
+lets the cross-query TQSP cache absorb the repeated BFS work.
+
+Measured: the seed sequential path (generator traversal, no cache, one
+thread) versus the fast path (CSR kernel + shared TQSP cache + 4 worker
+threads, cache warmed by a first pass).  The fast path must deliver at
+least 2x the sequential throughput — the smoke mode (``REPRO_BENCH_FAST``)
+relaxes the bar to "not slower" so loaded CI runners stay green — and
+both paths must return identical rankings for every query.
+"""
+
+import dataclasses
+import os
+import random
+import time
+
+import pytest
+
+from repro.bench.context import bench_timeout, dataset
+from repro.bench.tables import Table
+from repro.core.engine import KSPEngine
+from repro.spatial.geometry import Point
+
+WORKLOAD_SIZE = 200
+DISTINCT_KEYWORD_SETS = 20
+WORKERS = 4
+
+
+def _workload(ds):
+    """200 queries over 20 keyword sets at jittered locations."""
+    base = ds.workload("O", count=DISTINCT_KEYWORD_SETS, keyword_count=3, k=5)
+    rng = random.Random(271)
+    queries = []
+    while len(queries) < WORKLOAD_SIZE:
+        for query in base:
+            location = Point(
+                query.location.x + rng.uniform(-0.5, 0.5),
+                query.location.y + rng.uniform(-0.5, 0.5),
+            )
+            queries.append(dataclasses.replace(query, location=location))
+    return queries[:WORKLOAD_SIZE]
+
+
+def _compare(name):
+    ds = dataset(name)
+    workload = _workload(ds)
+    timeout = bench_timeout()
+
+    seed_engine = KSPEngine(
+        ds.graph, use_csr_kernel=False, tqsp_cache_size=0
+    )
+    fast_engine = KSPEngine(ds.graph)
+
+    started = time.perf_counter()
+    sequential = [
+        seed_engine.run(query, method="sp", timeout=timeout)
+        for query in workload
+    ]
+    sequential_seconds = time.perf_counter() - started
+
+    fast_engine.query_batch(
+        workload, workers=WORKERS, method="sp", timeout=timeout
+    )  # warm the shared cache
+    report = fast_engine.query_batch(
+        workload, workers=WORKERS, method="sp", timeout=timeout
+    )
+
+    for expected, got in zip(sequential, report.results):
+        assert [p.root for p in expected] == [p.root for p in got]
+        assert [p.looseness for p in expected] == [p.looseness for p in got]
+
+    sequential_qps = len(workload) / sequential_seconds
+    speedup = sequential_seconds / report.wall_seconds
+    totals = report.counter_totals()
+
+    table = Table(
+        "Batched serving throughput: %d queries, %d keyword sets [%s]"
+        % (WORKLOAD_SIZE, DISTINCT_KEYWORD_SETS, ds.profile.name),
+        ["mode", "wall (s)", "queries/s", "vertices visited", "cache hits"],
+    )
+    table.add_row(
+        "sequential seed path",
+        sequential_seconds,
+        sequential_qps,
+        sum(r.stats.vertices_visited for r in sequential),
+        0,
+    )
+    table.add_row(
+        "batched fast path (%d workers, warm cache)" % WORKERS,
+        report.wall_seconds,
+        report.queries_per_second,
+        totals["vertices_visited"],
+        totals["cache_hits"],
+    )
+    table.add_note("speedup: %.2fx" % speedup)
+    table.add_note(
+        "fast path: %d kernel searches, %d cache misses, %d bound reuses"
+        % (
+            totals["kernel_searches"],
+            totals["cache_misses"],
+            totals["cache_bound_reuses"],
+        )
+    )
+    return table, speedup
+
+
+@pytest.mark.parametrize("name", ["dbpedia"])
+def test_batch_throughput(benchmark, emit, name):
+    table, speedup = benchmark.pedantic(
+        _compare, args=(name,), rounds=1, iterations=1
+    )
+    emit("batch_throughput", table)
+    if os.environ.get("REPRO_BENCH_FAST"):
+        # Smoke bar: batching must never be slower than sequential.
+        assert speedup > 1.0
+    else:
+        assert speedup >= 2.0

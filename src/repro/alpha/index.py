@@ -17,6 +17,7 @@ from repro.alpha.neighborhood import (
     merge_neighborhoods,
     place_word_neighborhood,
 )
+from repro.rdf.csr import BFSScratch, csr_word_neighborhood
 from repro.rdf.graph import RDFGraph
 from repro.spatial.rtree import RTree
 
@@ -31,7 +32,12 @@ class AlphaIndex:
         rtree: RTree,
         alpha: int = 3,
         undirected: bool = False,
+        csr=None,
     ) -> None:
+        """``csr`` (a :class:`~repro.rdf.csr.CSRAdjacency` snapshot of
+        ``graph``) routes the per-place bounded BFS of the construction
+        pass onto the flat-array kernel; omit it to use the traversal
+        fallback."""
         if alpha < 0:
             raise ValueError("alpha must be non-negative")
         self.alpha = alpha
@@ -40,14 +46,25 @@ class AlphaIndex:
         self._place_postings: Dict[str, Dict[int, int]] = {}
         # word -> {R-tree node id -> distance}
         self._node_postings: Dict[str, Dict[int, int]] = {}
-        self._build(graph, rtree)
+        self._build(graph, rtree, csr)
 
-    def _build(self, graph: RDFGraph, rtree: RTree) -> None:
+    def _build(self, graph: RDFGraph, rtree: RTree, csr=None) -> None:
+        scratch = BFSScratch(csr.vertex_count) if csr is not None else None
         place_neighborhoods: Dict[int, WordNeighborhood] = {}
         for place, _ in graph.places():
-            neighborhood = place_word_neighborhood(
-                graph, place, self.alpha, undirected=self._undirected
-            )
+            if csr is not None:
+                neighborhood = csr_word_neighborhood(
+                    csr,
+                    scratch,
+                    graph.document,
+                    place,
+                    self.alpha,
+                    undirected=self._undirected,
+                )
+            else:
+                neighborhood = place_word_neighborhood(
+                    graph, place, self.alpha, undirected=self._undirected
+                )
             place_neighborhoods[place] = neighborhood
             for term, distance in neighborhood.items():
                 self._place_postings.setdefault(term, {})[place] = distance

@@ -11,6 +11,7 @@ bound, a missing keyword contributes ``alpha + 1`` (it cannot be closer).
 from __future__ import annotations
 
 from collections import deque
+from itertools import chain
 from typing import Dict, Iterable, Mapping
 
 from repro.rdf.graph import RDFGraph
@@ -37,9 +38,7 @@ def place_word_neighborhood(
             continue
         neighbors: Iterable[int] = graph.out_neighbors(vertex)
         if undirected:
-            neighbors = list(graph.out_neighbors(vertex)) + list(
-                graph.in_neighbors(vertex)
-            )
+            neighbors = chain(neighbors, graph.in_neighbors(vertex))
         for neighbor in neighbors:
             if neighbor not in seen:
                 seen.add(neighbor)

@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--undirected", action="store_true", help="disregard edge directions"
     )
     query.add_argument("--timeout", type=float, default=None, help="seconds")
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full execution-statistics table (cache and "
+        "kernel counters included)",
+    )
 
     stats = commands.add_parser("stats", help="dataset and index reports")
     stats.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
@@ -124,6 +130,14 @@ def _cmd_query(args) -> int:
             " [TIMED OUT]" if stats.timed_out else "",
         )
     )
+    if args.stats:
+        print("statistics:")
+        for key, value in stats.as_dict().items():
+            print("  %-22s %s" % (key, value))
+        if engine.tqsp_cache is not None:
+            print("tqsp cache:")
+            for key, value in engine.tqsp_cache.counters().items():
+                print("  %-22s %s" % (key, value))
     return 0
 
 

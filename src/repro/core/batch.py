@@ -1,0 +1,132 @@
+"""The batched query executor — the serving layer's entry point.
+
+``KSPEngine.query_batch`` delegates here.  A batch shares one TQSP
+cache across all of its queries (the cross-query wins come from
+repeated ``(place, keyword-set)`` work, which looseness's
+location-independence makes safe to reuse) and one set of BFS scratch
+buffers per worker thread (handed out thread-locally by the runtime).
+
+Results come back in submission order together with an
+:class:`~repro.core.stats.AggregateStats` over the per-query stats and
+a wall-clock throughput figure, so callers can report cache hit rates
+and queries/second per workload.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.query import KSPQuery, KSPResult
+from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.stats import AggregateStats
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one executed batch."""
+
+    results: List[KSPResult] = field(default_factory=list)
+    aggregate: AggregateStats = field(default_factory=AggregateStats)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    method: str = ""
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.results) / self.wall_seconds
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Batch-wide sums of the serving counters."""
+        return {
+            name: int(self.aggregate.total(name))
+            for name in (
+                "tqsp_computations",
+                "vertices_visited",
+                "cache_hits",
+                "cache_misses",
+                "cache_bound_reuses",
+                "kernel_searches",
+                "fallback_searches",
+            )
+        }
+
+    def summary(self) -> str:
+        totals = self.counter_totals()
+        lines = [
+            "batch of %d queries [%s] in %.3f s (%.1f q/s, %d worker%s)"
+            % (
+                len(self.results),
+                self.method or "?",
+                self.wall_seconds,
+                self.queries_per_second,
+                self.workers,
+                "" if self.workers == 1 else "s",
+            ),
+            "  latency: mean %.2f ms, p50 %.2f ms, p95 %.2f ms"
+            % (
+                self.aggregate.mean_runtime_ms,
+                self.aggregate.runtime_percentile_ms(50),
+                self.aggregate.runtime_percentile_ms(95),
+            ),
+            "  tqsp: %d computations, %d vertices visited"
+            % (totals["tqsp_computations"], totals["vertices_visited"]),
+            "  cache: %d hits, %d misses, %d bound reuses"
+            % (
+                totals["cache_hits"],
+                totals["cache_misses"],
+                totals["cache_bound_reuses"],
+            ),
+            "  kernel: %d fast-path, %d fallback searches"
+            % (totals["kernel_searches"], totals["fallback_searches"]),
+        ]
+        timeouts = self.aggregate.timeout_count
+        if timeouts:
+            lines.append("  WARNING: %d queries timed out" % timeouts)
+        return "\n".join(lines)
+
+
+def run_batch(
+    engine,
+    queries: Sequence[KSPQuery],
+    workers: int = 4,
+    method: str = "sp",
+    ranking: RankingFunction = DEFAULT_RANKING,
+    timeout: Optional[float] = None,
+) -> BatchReport:
+    """Execute ``queries`` against ``engine`` and aggregate the stats.
+
+    ``workers`` > 1 fans the batch over a thread pool; every worker gets
+    its own BFS scratch buffers (via the runtime's thread-local storage)
+    while the TQSP cache is shared under its lock, so results are
+    identical to sequential execution in any interleaving.
+    """
+    queries = list(queries)
+    if workers < 1:
+        raise ValueError("workers must be positive")
+
+    def run_one(query: KSPQuery) -> KSPResult:
+        return engine.run(query, method=method, ranking=ranking, timeout=timeout)
+
+    started = time.monotonic()
+    if workers == 1 or len(queries) <= 1:
+        results = [run_one(query) for query in queries]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(run_one, queries))
+    wall_seconds = time.monotonic() - started
+
+    aggregate = AggregateStats()
+    for result in results:
+        aggregate.add(result.stats)
+    return BatchReport(
+        results=results,
+        aggregate=aggregate,
+        wall_seconds=wall_seconds,
+        workers=workers,
+        method=method,
+    )

@@ -31,20 +31,23 @@ def bsp_search(
     ranking: RankingFunction = DEFAULT_RANKING,
     undirected: bool = False,
     timeout: Optional[float] = None,
+    runtime=None,
 ) -> KSPResult:
     """Answer ``query`` with BSP.
 
     ``inverted_index`` is anything with a ``posting(term)`` method (the
     in-memory or the disk-resident index).  ``timeout`` (seconds) replicates
     the paper's 120 s abort protocol: on expiry the partial top-k found so
-    far is returned with ``stats.timed_out`` set.
+    far is returned with ``stats.timed_out`` set.  ``runtime`` activates
+    the CSR kernel / TQSP cache fast path (see
+    :class:`~repro.core.runtime.TQSPRuntime`).
     """
     stats = QueryStats(algorithm="BSP")
     started = time.monotonic()
     deadline = None if timeout is None else started + timeout
 
     query_map = build_query_map(inverted_index, query.keywords)
-    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
     top_k = TopKQueue(query.k)
     cursor = rtree.nearest(query.location)
 

@@ -48,12 +48,15 @@ class KSPCursor:
         ranking: RankingFunction = DEFAULT_RANKING,
         undirected: bool = False,
         timeout: Optional[float] = None,
+        runtime=None,
     ) -> None:
         self._graph = graph
         self._ranking = ranking
         self._query = query
         self._reachability = reachability
-        self._searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+        self._searcher = SemanticPlaceSearcher(
+            graph, undirected=undirected, runtime=runtime
+        )
         self._query_map = build_query_map(inverted_index, query.keywords)
         self._rarest_first = order_rarest_first(inverted_index, query.keywords)
         self._view = alpha_index.query_view(query.keywords)
@@ -173,6 +176,7 @@ def ksp_cursor(
     ranking: RankingFunction = DEFAULT_RANKING,
     undirected: bool = False,
     timeout: Optional[float] = None,
+    runtime=None,
 ) -> KSPCursor:
     """Build a :class:`KSPCursor` from raw components.
 
@@ -190,4 +194,5 @@ def ksp_cursor(
         ranking=ranking,
         undirected=undirected,
         timeout=timeout,
+        runtime=runtime,
     )

@@ -18,9 +18,12 @@ from repro.alpha.index import AlphaIndex
 from repro.core.bsp import bsp_search
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.runtime import TQSPRuntime
 from repro.core.sp import sp_search
 from repro.core.spp import spp_search
 from repro.core.ta import ta_search
+from repro.core.tqsp_cache import TQSPCache
+from repro.rdf.csr import CSRAdjacency
 from repro.rdf.documents import graph_from_triples
 from repro.rdf.graph import RDFGraph
 from repro.rdf.ntriples import parse_file
@@ -50,6 +53,13 @@ class KSPEngine:
     undirected:
         Treat edges as undirected everywhere — the paper's future-work
         variant.
+    use_csr_kernel:
+        Snapshot the graph into flat-array CSR adjacency and run every
+        TQSP construction (and the alpha preprocessing BFS) on the
+        fast-path kernel.  Disable to force the seed generator path.
+    tqsp_cache_size:
+        Capacity of the cross-query TQSP result cache (entries); 0
+        disables caching.
     """
 
     def __init__(
@@ -61,12 +71,28 @@ class KSPEngine:
         build_alpha: bool = True,
         reach_method: str = "pll",
         undirected: bool = False,
+        use_csr_kernel: bool = True,
+        tqsp_cache_size: int = 4096,
     ) -> None:
         self.graph = graph
         self.alpha = alpha
         self.undirected = undirected
         self.rtree_max_entries = rtree_max_entries
         self.build_seconds: Dict[str, float] = {}
+
+        self.csr: Optional[CSRAdjacency] = None
+        if use_csr_kernel:
+            started = time.monotonic()
+            self.csr = CSRAdjacency.from_graph(graph)
+            self.build_seconds["csr_snapshot"] = time.monotonic() - started
+        self.tqsp_cache: Optional[TQSPCache] = (
+            TQSPCache(tqsp_cache_size) if tqsp_cache_size > 0 else None
+        )
+        self._runtime: Optional[TQSPRuntime] = (
+            TQSPRuntime(csr=self.csr, cache=self.tqsp_cache)
+            if (self.csr is not None or self.tqsp_cache is not None)
+            else None
+        )
 
         started = time.monotonic()
         self.inverted_index = InvertedIndex.build(graph)
@@ -88,7 +114,7 @@ class KSPEngine:
         if build_alpha:
             started = time.monotonic()
             self.alpha_index = AlphaIndex(
-                graph, self.rtree, alpha=alpha, undirected=undirected
+                graph, self.rtree, alpha=alpha, undirected=undirected, csr=self.csr
             )
             self.build_seconds["alpha_index"] = time.monotonic() - started
 
@@ -116,8 +142,16 @@ class KSPEngine:
     @classmethod
     def from_file(cls, path, **kwargs) -> "KSPEngine":
         """Build an engine from an RDF file, format chosen by extension
-        (``.ttl``/``.turtle`` -> Turtle, anything else -> N-Triples)."""
-        suffix = str(path).rsplit(".", 1)[-1].lower()
+        (``.ttl``/``.turtle`` -> Turtle, anything else -> N-Triples).
+
+        A trailing ``.gz`` is stripped before the format check, so
+        ``kb.nt.gz`` and ``kb.ttl.gz`` load transparently (the parsers
+        decompress on the fly).
+        """
+        name = str(path).lower()
+        if name.endswith(".gz"):
+            name = name[: -len(".gz")]
+        suffix = name.rsplit(".", 1)[-1]
         if suffix in ("ttl", "turtle"):
             return cls.from_turtle_file(path, **kwargs)
         return cls.from_ntriples_file(path, **kwargs)
@@ -164,14 +198,22 @@ class KSPEngine:
         )
 
     @classmethod
-    def load(cls, directory, graph_backend: str = "memory") -> "KSPEngine":
+    def load(
+        cls,
+        directory,
+        graph_backend: str = "memory",
+        use_csr_kernel: bool = True,
+        tqsp_cache_size: int = 4096,
+    ) -> "KSPEngine":
         """Reload an engine saved with :meth:`save`.
 
         ``graph_backend`` selects the data graph store: ``"memory"``
         (default, adjacency lists) or ``"disk"`` (buffer-pool CSR — the
         larger-than-memory path).  The R-tree is rebuilt by the
         deterministic STR loader, so the persisted alpha node postings
-        stay valid.
+        stay valid.  The in-memory CSR kernel snapshot is only built for
+        the memory backend — the disk backend keeps the generator
+        traversal fallback so queries stay within the buffer pool.
         """
         import json
         import time as _time
@@ -201,6 +243,20 @@ class KSPEngine:
         engine.undirected = manifest["undirected"]
         engine.rtree_max_entries = manifest["rtree_max_entries"]
         engine.build_seconds = {}
+
+        engine.csr = None
+        if use_csr_kernel and graph_backend == "memory":
+            started = _time.monotonic()
+            engine.csr = CSRAdjacency.from_graph(graph)
+            engine.build_seconds["csr_snapshot"] = _time.monotonic() - started
+        engine.tqsp_cache = (
+            TQSPCache(tqsp_cache_size) if tqsp_cache_size > 0 else None
+        )
+        engine._runtime = (
+            TQSPRuntime(csr=engine.csr, cache=engine.tqsp_cache)
+            if (engine.csr is not None or engine.tqsp_cache is not None)
+            else None
+        )
 
         started = _time.monotonic()
         engine.inverted_index = InvertedIndex.load(directory / "inverted.idx")
@@ -260,6 +316,7 @@ class KSPEngine:
     ) -> KSPResult:
         """Answer an already-normalized :class:`KSPQuery`."""
         method = method.lower()
+        runtime = self._runtime
         if method == "bsp":
             return bsp_search(
                 self.graph,
@@ -269,6 +326,7 @@ class KSPEngine:
                 ranking=ranking,
                 undirected=self.undirected,
                 timeout=timeout,
+                runtime=runtime,
             )
         if method == "spp":
             if self.reachability is None:
@@ -282,6 +340,7 @@ class KSPEngine:
                 ranking=ranking,
                 undirected=self.undirected,
                 timeout=timeout,
+                runtime=runtime,
             )
         if method == "sp":
             if self.reachability is None:
@@ -298,6 +357,7 @@ class KSPEngine:
                 ranking=ranking,
                 undirected=self.undirected,
                 timeout=timeout,
+                runtime=runtime,
             )
         if method == "ta":
             return ta_search(
@@ -308,8 +368,37 @@ class KSPEngine:
                 ranking=ranking,
                 undirected=self.undirected,
                 timeout=timeout,
+                runtime=runtime,
             )
         raise ValueError("unknown method %r; expected one of %r" % (method, ALGORITHMS))
+
+    def query_batch(
+        self,
+        queries: Sequence[KSPQuery],
+        workers: int = 4,
+        method: str = "sp",
+        ranking: RankingFunction = DEFAULT_RANKING,
+        timeout: Optional[float] = None,
+    ):
+        """Answer a workload of queries and aggregate their statistics.
+
+        The batch shares this engine's TQSP cache across all queries and
+        gives each worker thread its own BFS scratch buffers, so batched
+        results are identical to running :meth:`run` per query — only
+        faster.  Returns a :class:`~repro.core.batch.BatchReport` with
+        the per-query results (in submission order), aggregate stats and
+        throughput.
+        """
+        from repro.core.batch import run_batch
+
+        return run_batch(
+            self,
+            queries,
+            workers=workers,
+            method=method,
+            ranking=ranking,
+            timeout=timeout,
+        )
 
     def cursor(
         self,
@@ -341,6 +430,7 @@ class KSPEngine:
             ranking=ranking,
             undirected=self.undirected,
             timeout=timeout,
+            runtime=self._runtime,
         )
 
     # ------------------------------------------------------------------
@@ -354,6 +444,8 @@ class KSPEngine:
             "rdf_graph": self.graph.size_bytes(),
             "inverted_index": self.inverted_index.size_bytes(),
         }
+        if self.csr is not None:
+            report["csr_snapshot"] = self.csr.size_bytes()
         if self.reachability is not None:
             report["reachability"] = self.reachability.size_bytes()
         if self.alpha_index is not None:

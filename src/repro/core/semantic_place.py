@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.query import KSPQuery, SemanticPlace
 from repro.core.stats import QueryStats, QueryTimeout
+from repro.rdf.csr import csr_cominimal_covers, csr_tightest
 from repro.rdf.graph import RDFGraph
 from repro.spatial.geometry import Point
 
@@ -54,11 +55,22 @@ class TQSPSearch:
 
 
 class SemanticPlaceSearcher:
-    """Constructs tightest qualified semantic places on one RDF graph."""
+    """Constructs tightest qualified semantic places on one RDF graph.
 
-    def __init__(self, graph: RDFGraph, undirected: bool = False) -> None:
+    ``runtime`` (a :class:`~repro.core.runtime.TQSPRuntime`) activates
+    the serving fast path: searches run on the CSR BFS kernel with
+    reusable scratch buffers, and outcomes are memoized in the
+    cross-query TQSP cache.  Without a runtime (or on graph backends
+    with no CSR snapshot) the generator traversal path of the seed
+    implementation is used.
+    """
+
+    def __init__(
+        self, graph: RDFGraph, undirected: bool = False, runtime=None
+    ) -> None:
         self._graph = graph
         self._undirected = undirected
+        self._runtime = runtime
 
     # ------------------------------------------------------------------
 
@@ -77,6 +89,52 @@ class SemanticPlaceSearcher:
         with a finite threshold it is Algorithm 3 (early abort when the
         dynamic bound reaches the threshold).
         """
+        runtime = self._runtime
+        cache = runtime.cache if runtime is not None else None
+        if cache is not None:
+            cache_key = cache.key(place, keywords, self._undirected)
+            cached = cache.lookup(cache_key, looseness_threshold, stats=stats)
+            if cached is not None:
+                return cached
+        if runtime is not None and runtime.csr is not None:
+            if stats is not None:
+                stats.kernel_searches += 1
+            search = csr_tightest(
+                runtime.csr,
+                runtime.scratch(),
+                place,
+                keywords,
+                query_map,
+                looseness_threshold=looseness_threshold,
+                stats=stats,
+                deadline=deadline,
+                undirected=self._undirected,
+            )
+        else:
+            if stats is not None:
+                stats.fallback_searches += 1
+            search = self._tightest_generator(
+                keywords,
+                place,
+                query_map,
+                looseness_threshold=looseness_threshold,
+                stats=stats,
+                deadline=deadline,
+            )
+        if cache is not None:
+            cache.store(cache_key, search, looseness_threshold)
+        return search
+
+    def _tightest_generator(
+        self,
+        keywords: Sequence[str],
+        place: int,
+        query_map: Mapping[int, frozenset],
+        looseness_threshold: float = math.inf,
+        stats: Optional[QueryStats] = None,
+        deadline: Optional[float] = None,
+    ) -> TQSPSearch:
+        """The seed tuple-yielding traversal path (disk-graph fallback)."""
         graph = self._graph
         outstanding: Set[str] = set(keywords)
         total_keywords = len(outstanding)
@@ -170,6 +228,16 @@ class SemanticPlaceSearcher:
         the same (minimal) looseness.  Returns None when the place is
         unqualified.
         """
+        runtime = self._runtime
+        if runtime is not None and runtime.csr is not None:
+            return csr_cominimal_covers(
+                runtime.csr,
+                runtime.scratch(),
+                place,
+                keywords,
+                query_map,
+                undirected=self._undirected,
+            )
         graph = self._graph
         best_distance: Dict[str, int] = {}
         covers: Dict[str, List[int]] = {term: [] for term in keywords}

@@ -47,6 +47,7 @@ def sp_search(
     use_rule2: bool = True,
     use_node_pruning: bool = True,
     rule1_rarest_first: bool = True,
+    runtime=None,
 ) -> KSPResult:
     """Answer ``query`` with SP.
 
@@ -54,6 +55,7 @@ def sp_search(
     ``use_node_pruning`` toggles Rules 3/4 enqueue filtering (the priority
     order itself is always the alpha-bound, as in Algorithm 4);
     ``rule1_rarest_first`` toggles the rarest-first probing order.
+    ``runtime`` activates the CSR kernel / TQSP cache fast path.
     """
     if use_rule1 and reachability is None:
         raise ValueError("Rule 1 requires a reachability index")
@@ -68,7 +70,7 @@ def sp_search(
         else list(query.keywords)
     )
     view = alpha_index.query_view(query.keywords)
-    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
     top_k = TopKQueue(query.k)
 
     # Priority queue over R-tree entries keyed by the alpha score bound.

@@ -43,11 +43,13 @@ def spp_search(
     use_rule1: bool = True,
     use_rule2: bool = True,
     rule1_rarest_first: bool = True,
+    runtime=None,
 ) -> KSPResult:
     """Answer ``query`` with SPP.
 
     ``use_rule1`` / ``use_rule2`` / ``rule1_rarest_first`` exist for the
     ablation bench; all default on, which is the paper's SPP.
+    ``runtime`` activates the CSR kernel / TQSP cache fast path.
     """
     stats = QueryStats(algorithm="SPP")
     started = time.monotonic()
@@ -59,7 +61,7 @@ def spp_search(
         if rule1_rarest_first
         else list(query.keywords)
     )
-    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
     top_k = TopKQueue(query.k)
     cursor = rtree.nearest(query.location)
 

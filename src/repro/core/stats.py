@@ -31,6 +31,11 @@ class QueryStats:
     pruned_rule3: int = 0  # alpha place-bound prunes
     pruned_rule4: int = 0  # alpha node-bound prunes
     unqualified_places: int = 0  # TQSP constructions that found no cover
+    cache_hits: int = 0  # TQSP cache: exact COMPLETE/UNQUALIFIED reuses
+    cache_misses: int = 0  # TQSP cache: lookups that ran a BFS
+    cache_bound_reuses: int = 0  # TQSP cache: PRUNED lower-bound re-prunes
+    kernel_searches: int = 0  # TQSP constructions on the CSR fast path
+    fallback_searches: int = 0  # TQSP constructions on the generator path
     timed_out: bool = False
 
     @property
@@ -54,6 +59,11 @@ class QueryStats:
             "pruned_rule3": self.pruned_rule3,
             "pruned_rule4": self.pruned_rule4,
             "unqualified_places": self.unqualified_places,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_bound_reuses": self.cache_bound_reuses,
+            "kernel_searches": self.kernel_searches,
+            "fallback_searches": self.fallback_searches,
             "timed_out": self.timed_out,
         }
 
@@ -71,6 +81,10 @@ class AggregateStats:
         if not self.samples:
             return 0.0
         return sum(getattr(s, attribute) for s in self.samples) / len(self.samples)
+
+    def total(self, attribute: str) -> float:
+        """Sum of one counter over the batch (e.g. ``"cache_hits"``)."""
+        return sum(getattr(s, attribute) for s in self.samples)
 
     @property
     def mean_runtime_ms(self) -> float:

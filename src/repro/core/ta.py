@@ -172,14 +172,19 @@ def ta_search(
     ranking: RankingFunction = DEFAULT_RANKING,
     undirected: bool = False,
     timeout: Optional[float] = None,
+    runtime=None,
 ) -> KSPResult:
-    """Answer ``query`` with the TA baseline."""
+    """Answer ``query`` with the TA baseline.
+
+    ``runtime`` activates the CSR kernel / TQSP cache fast path for the
+    random-access TQSP constructions.
+    """
     stats = QueryStats(algorithm="TA")
     started = time.monotonic()
     deadline = None if timeout is None else started + timeout
 
     query_map = build_query_map(inverted_index, query.keywords)
-    searcher = SemanticPlaceSearcher(graph, undirected=undirected)
+    searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
     top_k = TopKQueue(query.k)
     looseness_stream = LoosenessStream(
         graph, inverted_index, query.keywords, undirected=undirected

@@ -1,0 +1,162 @@
+"""Cross-query TQSP result cache.
+
+A TQSP's looseness and keyword cover depend only on the candidate place,
+the query keyword *set* and the edge-direction mode — never on the query
+location or ``k`` (Definition 2 is purely graph-side).  That makes
+``GetSemanticPlace`` results reusable across queries: two queries issued
+from opposite ends of the map with the same keywords probe the same
+places and redo identical BFS work.
+
+The cache is an engine-owned bounded LRU keyed by
+``(place, frozenset(keywords), undirected)`` storing three entry kinds:
+
+* **COMPLETE** — exact looseness plus keyword vertices and parent
+  chains.  Reusable at any threshold: if the caller's looseness
+  threshold is at or below the exact looseness, Algorithm 3 would have
+  pruned, so a PRUNED verdict is synthesized instead (the dynamic bound
+  reaches exactly the final looseness on the last covering vertex).
+* **UNQUALIFIED** — the BFS exhausted the reachable component without
+  covering every keyword.  A terminal verdict, reusable at any
+  threshold.
+* **PRUNED lower bound** — an aborted Algorithm 3 run at threshold
+  ``T`` proves ``looseness >= T``.  The bound is threshold-tagged: it
+  re-prunes any *cheaper* (lower-or-equal) threshold but never
+  substitutes for an exact answer — a later lookup with a higher
+  threshold is a miss and re-runs the search, whose (possibly exact)
+  result then upgrades the entry.
+
+All operations take the internal lock, so one instance can be shared by
+every worker thread of a batched executor.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.semantic_place import SearchStatus, TQSPSearch
+
+CacheKey = Tuple[int, frozenset, bool]
+
+_EXACT = 0  # COMPLETE or UNQUALIFIED: the verdict is final
+_BOUND = 1  # PRUNED: only a looseness lower bound is known
+
+
+class TQSPCache:
+    """Bounded LRU over TQSP search outcomes."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Tuple[int, TQSPSearch, float]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.bound_reuses = 0
+
+    @staticmethod
+    def key(place: int, keywords, undirected: bool) -> CacheKey:
+        return (place, frozenset(keywords), bool(undirected))
+
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, key: CacheKey, looseness_threshold: float = math.inf, stats=None
+    ) -> Optional[TQSPSearch]:
+        """A reusable search outcome for ``key`` at this threshold, or
+        None on a miss (the caller must run the BFS and :meth:`store`)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                kind, search, bound = entry
+                if kind == _EXACT:
+                    self.hits += 1
+                    if stats is not None:
+                        stats.cache_hits += 1
+                        # Replay the logical outcome the BFS would have
+                        # recorded, so per-query counters are identical
+                        # with and without the cache (only the BFS work
+                        # counters stay at zero).
+                        if search.status is SearchStatus.UNQUALIFIED:
+                            stats.unqualified_places += 1
+                        elif search.looseness >= looseness_threshold:
+                            stats.pruned_rule2 += 1
+                    if (
+                        search.status is SearchStatus.COMPLETE
+                        and search.looseness >= looseness_threshold
+                    ):
+                        # Algorithm 3 at this threshold would have aborted.
+                        return TQSPSearch(SearchStatus.PRUNED, math.inf)
+                    return search
+                if bound >= looseness_threshold:
+                    # The recorded abort proves looseness >= bound >= T.
+                    self.bound_reuses += 1
+                    if stats is not None:
+                        stats.cache_bound_reuses += 1
+                        stats.pruned_rule2 += 1
+                    return TQSPSearch(SearchStatus.PRUNED, math.inf)
+            self.misses += 1
+            if stats is not None:
+                stats.cache_misses += 1
+            return None
+
+    def store(
+        self, key: CacheKey, search: TQSPSearch, looseness_threshold: float
+    ) -> None:
+        """Record the outcome of a freshly-run search."""
+        if search.status is SearchStatus.PRUNED:
+            if not math.isfinite(looseness_threshold):
+                return  # cannot happen in practice; nothing provable to keep
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None and existing[0] == _EXACT:
+                    self._entries.move_to_end(key)
+                    return  # never downgrade an exact verdict to a bound
+                bound = looseness_threshold
+                if existing is not None:
+                    bound = max(bound, existing[2])
+                self._put(key, (_BOUND, None, bound))
+            return
+        # COMPLETE and UNQUALIFIED are exact; strip the transient
+        # vertices_visited counter so cached hits report zero BFS work.
+        cached = TQSPSearch(
+            search.status,
+            search.looseness,
+            search.keyword_vertices,
+            search.parents,
+        )
+        with self._lock:
+            self._put(key, (_EXACT, cached, 0.0))
+
+    def _put(self, key: CacheKey, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bound_reuses": self.bound_reuses,
+        }

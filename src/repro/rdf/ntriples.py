@@ -192,7 +192,18 @@ def parse(source: Union[str, IO[str]]) -> Iterator[Triple]:
 
 
 def parse_file(path: Union[str, Path]) -> Iterator[Triple]:
-    """Yield triples from an N-Triples file on disk."""
+    """Yield triples from an N-Triples file on disk.
+
+    Files ending in ``.gz`` are decompressed on the fly — knowledge-base
+    dumps ship gzipped, and N-Triples being line-oriented streams cleanly
+    through ``gzip``'s text mode.
+    """
+    if str(path).lower().endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as stream:
+            yield from parse(stream)
+        return
     with open(path, "r", encoding="utf-8") as stream:
         yield from parse(stream)
 

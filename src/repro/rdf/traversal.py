@@ -9,6 +9,7 @@ run unchanged over either store.
 from __future__ import annotations
 
 from collections import deque
+from itertools import chain
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 
@@ -39,9 +40,7 @@ class GraphTraversalMixin:
             yield vertex, distance, parent
             neighbors: Iterable[int] = self.out_neighbors(vertex)
             if undirected:
-                neighbors = list(self.out_neighbors(vertex)) + list(
-                    self.in_neighbors(vertex)
-                )
+                neighbors = chain(neighbors, self.in_neighbors(vertex))
             for neighbor in neighbors:
                 if neighbor not in seen:
                     seen.add(neighbor)

@@ -309,6 +309,13 @@ def parse_turtle(source: Union[str, IO[str]]) -> Iterator[Triple]:
 
 
 def parse_turtle_file(path: Union[str, Path]) -> Iterator[Triple]:
-    """Yield triples from a Turtle file on disk."""
+    """Yield triples from a Turtle file on disk (``.gz`` transparently
+    decompressed)."""
+    if str(path).lower().endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as stream:
+            yield from parse_turtle(stream.read())
+        return
     with open(path, "r", encoding="utf-8") as stream:
         yield from parse_turtle(stream.read())

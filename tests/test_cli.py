@@ -112,3 +112,36 @@ class TestGenerateCommand:
         # The generated corpus is loadable and queryable end-to-end.
         code = main(["stats", "--data", str(output), "--alpha", "1"])
         assert code == 0
+
+
+class TestStatsFlag:
+    def test_stats_tables_printed(self, example_file, capsys):
+        code = main(
+            [
+                "query",
+                "--data", example_file,
+                "--location", "43.51,4.75",
+                "--keywords", "ancient", "roman",
+                "-k", "1",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "statistics:" in out
+        assert "cache_hits" in out
+        assert "kernel_searches" in out
+        assert "tqsp cache:" in out
+
+    def test_no_stats_by_default(self, example_file, capsys):
+        code = main(
+            [
+                "query",
+                "--data", example_file,
+                "--location", "43.51,4.75",
+                "--keywords", "ancient", "roman",
+                "-k", "1",
+            ]
+        )
+        assert code == 0
+        assert "statistics:" not in capsys.readouterr().out

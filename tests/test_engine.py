@@ -106,3 +106,35 @@ class TestResultContainer:
         assert len(list(result)) == 2
         assert result[0].root == result.roots()[0]
         assert result.scores() == sorted(result.scores())
+
+
+class TestGzipLoading:
+    def test_from_file_detects_nt_gz(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "example.nt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            stream.write(EXAMPLE_NTRIPLES)
+        engine = KSPEngine.from_file(path)
+        result = engine.query(Q1, EXAMPLE_KEYWORDS, k=1)
+        assert result[0].looseness == 6.0
+
+    def test_from_file_detects_ttl_gz(self, tmp_path):
+        import gzip
+
+        # @prefix only parses on the Turtle path, so this proves the
+        # suffix check looks through the trailing .gz.
+        text = (
+            "@prefix ex: <http://ex.org/> .\n"
+            "@prefix geo: <http://www.opengis.net/ont/geosparql#> .\n"
+            "ex:a ex:p ex:b .\n"
+            'ex:a geo:hasGeometry "POINT(1.0 2.0)" .\n'
+            'ex:b ex:description "history" .\n'
+        )
+        path = tmp_path / "kb.ttl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            stream.write(text)
+        engine = KSPEngine.from_file(path)
+        assert engine.graph.place_count() == 1
+        result = engine.query((1.0, 2.0), ["history"], k=1)
+        assert len(result) == 1

@@ -120,3 +120,23 @@ class TestRoundTripProperties:
             for i, text in enumerate(texts)
         ]
         assert list(ntriples.parse(ntriples.serialize(triples))) == triples
+
+
+class TestGzipFiles:
+    def test_parse_file_reads_gzip(self, tmp_path):
+        import gzip
+
+        triples = [
+            Triple(IRI("http://s%d" % i), IRI("http://p"), Literal("t%d" % i))
+            for i in range(5)
+        ]
+        path = tmp_path / "data.nt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            stream.write(ntriples.serialize(triples))
+        assert list(ntriples.parse_file(path)) == triples
+
+    def test_plain_file_still_reads(self, tmp_path):
+        triples = [Triple(IRI("http://s"), IRI("http://p"), Literal("x"))]
+        path = tmp_path / "data.nt"
+        ntriples.write_file(triples, path)
+        assert list(ntriples.parse_file(path)) == triples

@@ -1,0 +1,161 @@
+"""TQSPCache semantics: exact entries, threshold interplay, pruned lower
+bounds, LRU eviction and counter accounting."""
+
+import math
+
+import pytest
+
+from repro.core.semantic_place import SearchStatus, TQSPSearch
+from repro.core.stats import QueryStats
+from repro.core.tqsp_cache import TQSPCache
+
+
+def complete(looseness, keyword_vertices=None, parents=None):
+    return TQSPSearch(
+        SearchStatus.COMPLETE,
+        looseness,
+        keyword_vertices or {"t": 1},
+        parents or {0: -1, 1: 0},
+    )
+
+
+KEY = TQSPCache.key(0, ["t"], False)
+
+
+class TestExactEntries:
+    def test_complete_hit_above_threshold(self):
+        cache = TQSPCache()
+        cache.store(KEY, complete(4.0), math.inf)
+        got = cache.lookup(KEY, math.inf)
+        assert got is not None
+        assert got.status is SearchStatus.COMPLETE
+        assert got.looseness == 4.0
+        assert cache.hits == 1
+
+    def test_complete_synthesizes_pruned_at_tight_threshold(self):
+        # Algorithm 3's dynamic bound reaches the exact looseness on the
+        # final covering vertex, so any threshold <= looseness would have
+        # aborted the BFS: the cache must replay that verdict.
+        cache = TQSPCache()
+        cache.store(KEY, complete(4.0), math.inf)
+        stats = QueryStats()
+        got = cache.lookup(KEY, 3.0, stats=stats)
+        assert got.status is SearchStatus.PRUNED
+        assert got.looseness == math.inf
+        assert stats.pruned_rule2 == 1
+
+    def test_complete_exact_at_threshold_boundary(self):
+        cache = TQSPCache()
+        cache.store(KEY, complete(4.0), math.inf)
+        assert cache.lookup(KEY, 4.0).status is SearchStatus.PRUNED
+        assert cache.lookup(KEY, 4.0 + 1e-9).status is SearchStatus.COMPLETE
+
+    def test_unqualified_is_terminal_at_any_threshold(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.UNQUALIFIED, math.inf), math.inf)
+        stats = QueryStats()
+        got = cache.lookup(KEY, 2.0, stats=stats)
+        assert got.status is SearchStatus.UNQUALIFIED
+        assert stats.unqualified_places == 1
+
+    def test_cached_search_reports_zero_bfs_work(self):
+        cache = TQSPCache()
+        search = complete(4.0)
+        search.vertices_visited = 123
+        cache.store(KEY, search, math.inf)
+        assert cache.lookup(KEY, math.inf).vertices_visited == 0
+
+
+class TestPrunedBounds:
+    def test_bound_reprunes_cheaper_threshold(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 5.0)
+        stats = QueryStats()
+        got = cache.lookup(KEY, 4.0, stats=stats)
+        assert got.status is SearchStatus.PRUNED
+        assert cache.bound_reuses == 1
+        assert stats.cache_bound_reuses == 1
+        assert stats.pruned_rule2 == 1
+
+    def test_bound_never_answers_higher_threshold(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 5.0)
+        assert cache.lookup(KEY, 6.0) is None
+        assert cache.misses == 1
+
+    def test_bound_tightens_to_max_observed(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 3.0)
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 7.0)
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 5.0)
+        assert cache.lookup(KEY, 7.0).status is SearchStatus.PRUNED
+        assert cache.lookup(KEY, 7.5) is None
+
+    def test_exact_result_upgrades_bound(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 5.0)
+        cache.store(KEY, complete(6.0), 7.0)
+        got = cache.lookup(KEY, math.inf)
+        assert got.status is SearchStatus.COMPLETE
+        assert got.looseness == 6.0
+
+    def test_bound_never_downgrades_exact(self):
+        cache = TQSPCache()
+        cache.store(KEY, complete(6.0), math.inf)
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), 5.0)
+        assert cache.lookup(KEY, math.inf).status is SearchStatus.COMPLETE
+
+    def test_infinite_threshold_prune_not_stored(self):
+        cache = TQSPCache()
+        cache.store(KEY, TQSPSearch(SearchStatus.PRUNED, math.inf), math.inf)
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_capacity_bound(self):
+        cache = TQSPCache(capacity=3)
+        for place in range(5):
+            cache.store(TQSPCache.key(place, ["t"], False), complete(2.0), math.inf)
+        assert len(cache) == 3
+        assert cache.lookup(TQSPCache.key(0, ["t"], False), math.inf) is None
+        assert (
+            cache.lookup(TQSPCache.key(4, ["t"], False), math.inf) is not None
+        )
+
+    def test_lookup_refreshes_recency(self):
+        cache = TQSPCache(capacity=2)
+        key_a = TQSPCache.key(0, ["t"], False)
+        key_b = TQSPCache.key(1, ["t"], False)
+        cache.store(key_a, complete(2.0), math.inf)
+        cache.store(key_b, complete(2.0), math.inf)
+        cache.lookup(key_a, math.inf)  # a is now most recent
+        cache.store(TQSPCache.key(2, ["t"], False), complete(2.0), math.inf)
+        assert cache.lookup(key_a, math.inf) is not None
+        assert cache.lookup(key_b, math.inf) is None
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            TQSPCache(capacity=0)
+
+
+class TestKeying:
+    def test_keyword_order_is_irrelevant(self):
+        assert TQSPCache.key(3, ["a", "b"], False) == TQSPCache.key(
+            3, ["b", "a"], False
+        )
+
+    def test_undirected_mode_separates_entries(self):
+        cache = TQSPCache()
+        cache.store(TQSPCache.key(0, ["t"], False), complete(2.0), math.inf)
+        assert cache.lookup(TQSPCache.key(0, ["t"], True), math.inf) is None
+
+    def test_counters_report(self):
+        cache = TQSPCache(capacity=8)
+        cache.store(KEY, complete(2.0), math.inf)
+        cache.lookup(KEY, math.inf)
+        cache.lookup(TQSPCache.key(9, ["t"], False), math.inf)
+        counters = cache.counters()
+        assert counters["entries"] == 1
+        assert counters["capacity"] == 8
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1

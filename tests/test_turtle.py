@@ -188,3 +188,23 @@ class TestPipelineCompatibility:
         original = list(parse_turtle(ttl))
         again = list(ntriples.parse(serialize(original)))
         assert set(again) == set(original)
+
+
+class TestGzipFiles:
+    def test_parse_turtle_file_reads_gzip(self, tmp_path):
+        import gzip
+
+        from repro.rdf.turtle import parse_turtle_file
+
+        text = (
+            "@prefix ex: <http://ex.org/> .\n"
+            "ex:a ex:p ex:b ; ex:q \"lit\" .\n"
+        )
+        path = tmp_path / "data.ttl.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as stream:
+            stream.write(text)
+        triples = list(parse_turtle_file(path))
+        assert triples == [
+            Triple(IRI("http://ex.org/a"), IRI("http://ex.org/p"), IRI("http://ex.org/b")),
+            Triple(IRI("http://ex.org/a"), IRI("http://ex.org/q"), Literal("lit")),
+        ]

@@ -12,7 +12,6 @@ at the paper defaults (k = 5, |q.psi| = 5):
   reachability queries before a place is disqualified.
 """
 
-import pytest
 
 from repro.bench.context import dataset
 from repro.bench.tables import Table

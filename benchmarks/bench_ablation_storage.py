@@ -12,17 +12,14 @@ Two comparisons the paper discusses but does not plot:
 
 import time
 
-import pytest
 
 from repro.bench.context import dataset
 from repro.bench.tables import Table, results_dir
 from repro.core.sp import sp_search
 from repro.core.spp import spp_search
 from repro.alpha.index import AlphaIndex
-from repro.reach.keyword import KeywordReachabilityIndex
 from repro.spatial.rtree import RTree
 from repro.storage.diskgraph import DiskRDFGraph, write_disk_graph
-from repro.text.inverted import InvertedIndex
 
 
 def _disk_graph_comparison():

@@ -9,7 +9,6 @@ strategy's, while producing identical score sequences.
 
 import time
 
-import pytest
 
 from repro.bench.context import dataset
 from repro.bench.tables import Table

@@ -7,7 +7,6 @@ tens of thousands (here: hundreds, at 1/1000 scale) and accesses hundreds
 of nodes; all cost metrics grow with k.
 """
 
-import pytest
 
 from conftest import k_values
 from figure_common import (

@@ -5,7 +5,6 @@ paper observes a smaller SPP-over-BSP gap here (more places => more Rule 1
 reachability probing, visible as SPP "other time") while SP stays robust.
 """
 
-import pytest
 
 from conftest import k_values
 from figure_common import assert_figure34_shape, varying_k_sweep

@@ -7,10 +7,8 @@ and SPP grow (mildly) with graph size; SP stays flat or improves (better
 connectivity helps find tight TQSPs early).
 """
 
-import pytest
 
 from repro.bench.context import (
-    BenchDataset,
     bench_scale,
     dataset,
     dataset_from_graph,

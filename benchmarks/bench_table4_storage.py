@@ -6,7 +6,6 @@ the Yago-like R-tree is far larger than the DBpedia-like one (5.4x more
 places) while its inverted index is far smaller (low keyword frequency).
 """
 
-import pytest
 
 from repro.bench.context import dataset
 from repro.bench.tables import Table

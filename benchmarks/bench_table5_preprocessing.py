@@ -7,7 +7,6 @@ orders of magnitude, and the reachability index costs more than the
 inverted index.
 """
 
-import pytest
 
 from repro.bench.context import dataset
 from repro.bench.tables import Table

@@ -6,7 +6,6 @@ monotonically (and steeply) with alpha, and the keyword-rich DBpedia-like
 corpus outgrows the Yago-like one relative to its place count.
 """
 
-import pytest
 
 from conftest import alpha_values
 

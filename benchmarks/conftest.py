@@ -16,7 +16,7 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro.bench.tables import Table, record
+from repro.bench.tables import record
 
 
 @pytest.fixture

@@ -71,6 +71,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full execution-statistics table (cache and "
         "kernel counters included)",
     )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="record and print the per-phase time breakdown (R-tree "
+        "ascent, reachability probes, TQSP BFS, alpha bounds)",
+    )
+    query.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the engine's Prometheus-style metrics exposition "
+        "to PATH after answering",
+    )
 
     stats = commands.add_parser("stats", help="dataset and index reports")
     stats.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
@@ -103,6 +116,7 @@ def _cmd_query(args) -> int:
         method=args.method,
         ranking=ranking,
         timeout=args.timeout,
+        trace=args.trace,
     )
     if not result.places:
         print("no qualified semantic place covers all keywords")
@@ -138,6 +152,15 @@ def _cmd_query(args) -> int:
             print("tqsp cache:")
             for key, value in engine.tqsp_cache.counters().items():
                 print("  %-22s %s" % (key, value))
+    if args.trace and result.trace is not None:
+        print(result.trace.report(stats.runtime_seconds))
+    if args.metrics_out:
+        from pathlib import Path
+
+        Path(args.metrics_out).write_text(
+            engine.metrics_text(), encoding="utf-8"
+        )
+        print("metrics written to %s" % args.metrics_out)
     return 0
 
 

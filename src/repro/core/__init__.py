@@ -1,11 +1,14 @@
 """The paper's contribution: kSP queries and the BSP / SPP / SP / TA
 evaluation algorithms."""
 
+from repro.core.batch import BatchReport, SlowQuery, run_batch
 from repro.core.bsp import bsp_search
 from repro.core.cursor import KSPCursor, ksp_cursor
+from repro.core.deadline import Deadline
 from repro.core.engine import ALGORITHMS, KSPEngine
 from repro.core.exhaustive import exhaustive_search
 from repro.core.keyword_search import KeywordTree, keyword_search
+from repro.core.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.core.query import KSPQuery, KSPResult, SemanticPlace
 from repro.core.ranking import (
     DEFAULT_RANKING,
@@ -19,6 +22,7 @@ from repro.core.spp import spp_search
 from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
 from repro.core.ta import LoosenessStream, ta_search
 from repro.core.topk import TopKQueue
+from repro.core.trace import QueryTrace
 
 __all__ = [
     "KSPEngine",
@@ -47,4 +51,13 @@ __all__ = [
     "QueryStats",
     "AggregateStats",
     "QueryTimeout",
+    "Deadline",
+    "QueryTrace",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "BatchReport",
+    "SlowQuery",
+    "run_batch",
 ]

@@ -6,10 +6,19 @@ repeated ``(place, keyword-set)`` work, which looseness's
 location-independence makes safe to reuse) and one set of BFS scratch
 buffers per worker thread (handed out thread-locally by the runtime).
 
+The executor is deadline-safe: every per-query outcome is captured
+inside the worker, so a query that times out (cooperative
+:class:`~repro.core.deadline.Deadline` expiry — the engine returns a
+partial result rather than raising) or dies on an unexpected exception
+occupies its slot in the result list without discarding the rest of
+the batch.  Errored slots carry an empty :class:`KSPResult` whose
+``stats.error`` names the exception.
+
 Results come back in submission order together with an
-:class:`~repro.core.stats.AggregateStats` over the per-query stats and
-a wall-clock throughput figure, so callers can report cache hit rates
-and queries/second per workload.
+:class:`~repro.core.stats.AggregateStats` over the per-query stats, a
+wall-clock throughput figure and — when ``slow_query_threshold`` is
+set — a slow-query log, so callers can report cache hit rates,
+queries/second and tail offenders per workload.
 """
 
 from __future__ import annotations
@@ -17,11 +26,38 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
-from repro.core.stats import AggregateStats
+from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
+
+
+@dataclass
+class SlowQuery:
+    """One slow-query log entry (see ``BatchReport.slow_queries``)."""
+
+    index: int  # position in the submitted batch
+    keywords: Tuple[str, ...]
+    k: int
+    runtime_seconds: float
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        flags = []
+        if self.timed_out:
+            flags.append("timed out")
+        if self.error is not None:
+            flags.append("error: %s" % self.error)
+        suffix = (" [%s]" % "; ".join(flags)) if flags else ""
+        return "#%d %s k=%d %.1f ms%s" % (
+            self.index,
+            "/".join(self.keywords),
+            self.k,
+            1000.0 * self.runtime_seconds,
+            suffix,
+        )
 
 
 @dataclass
@@ -33,12 +69,22 @@ class BatchReport:
     wall_seconds: float = 0.0
     workers: int = 1
     method: str = ""
+    slow_query_threshold: Optional[float] = None
+    slow_queries: List[SlowQuery] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
             return 0.0
         return len(self.results) / self.wall_seconds
+
+    @property
+    def timeout_count(self) -> int:
+        return self.aggregate.timeout_count
+
+    @property
+    def error_count(self) -> int:
+        return self.aggregate.error_count
 
     def counter_totals(self) -> Dict[str, int]:
         """Batch-wide sums of the serving counters."""
@@ -84,9 +130,19 @@ class BatchReport:
             "  kernel: %d fast-path, %d fallback searches"
             % (totals["kernel_searches"], totals["fallback_searches"]),
         ]
-        timeouts = self.aggregate.timeout_count
+        timeouts = self.timeout_count
         if timeouts:
             lines.append("  WARNING: %d queries timed out" % timeouts)
+        errors = self.error_count
+        if errors:
+            lines.append("  WARNING: %d queries errored" % errors)
+        if self.slow_queries:
+            lines.append(
+                "  slow queries (>= %.0f ms):"
+                % (1000.0 * (self.slow_query_threshold or 0.0))
+            )
+            for entry in self.slow_queries:
+                lines.append("    " + entry.describe())
         return "\n".join(lines)
 
 
@@ -97,6 +153,7 @@ def run_batch(
     method: str = "sp",
     ranking: RankingFunction = DEFAULT_RANKING,
     timeout: Optional[float] = None,
+    slow_query_threshold: Optional[float] = None,
 ) -> BatchReport:
     """Execute ``queries`` against ``engine`` and aggregate the stats.
 
@@ -104,29 +161,77 @@ def run_batch(
     its own BFS scratch buffers (via the runtime's thread-local storage)
     while the TQSP cache is shared under its lock, so results are
     identical to sequential execution in any interleaving.
+
+    One bad query cannot kill the batch: outcomes are collected
+    per-future with the exception captured inside the worker, so a
+    :class:`~repro.core.stats.QueryTimeout` (or any other exception)
+    surfacing from one query is recorded in that query's slot —
+    ``stats.timed_out`` / ``stats.error`` — while every other result is
+    kept.  ``slow_query_threshold`` (seconds) logs queries at or above
+    the threshold (and every timed-out/errored query) in
+    ``BatchReport.slow_queries``, slowest first.
     """
     queries = list(queries)
     if workers < 1:
         raise ValueError("workers must be positive")
 
     def run_one(query: KSPQuery) -> KSPResult:
-        return engine.run(query, method=method, ranking=ranking, timeout=timeout)
+        try:
+            return engine.run(query, method=method, ranking=ranking, timeout=timeout)
+        except QueryTimeout:
+            # Engines return partial results on expiry; a raw cursor or a
+            # custom engine may still raise — record, don't abort.
+            stats = QueryStats(algorithm=method.upper(), timed_out=True)
+            return KSPResult(query=query, stats=stats)
+        except Exception as exc:
+            stats = QueryStats(
+                algorithm=method.upper(),
+                error="%s: %s" % (type(exc).__name__, exc),
+            )
+            return KSPResult(query=query, stats=stats)
 
     started = time.monotonic()
     if workers == 1 or len(queries) <= 1:
         results = [run_one(query) for query in queries]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(run_one, queries))
+            futures = [pool.submit(run_one, query) for query in queries]
+            # run_one never raises, so gathering in submission order keeps
+            # result slots aligned with the input workload.
+            results = [future.result() for future in futures]
     wall_seconds = time.monotonic() - started
 
     aggregate = AggregateStats()
     for result in results:
         aggregate.add(result.stats)
+
+    slow_queries: List[SlowQuery] = []
+    if slow_query_threshold is not None:
+        for index, result in enumerate(results):
+            stats = result.stats
+            if (
+                stats.runtime_seconds >= slow_query_threshold
+                or stats.timed_out
+                or stats.error is not None
+            ):
+                slow_queries.append(
+                    SlowQuery(
+                        index=index,
+                        keywords=result.query.keywords,
+                        k=result.query.k,
+                        runtime_seconds=stats.runtime_seconds,
+                        timed_out=stats.timed_out,
+                        error=stats.error,
+                    )
+                )
+        slow_queries.sort(key=lambda entry: -entry.runtime_seconds)
+
     return BatchReport(
         results=results,
         aggregate=aggregate,
         wall_seconds=wall_seconds,
         workers=workers,
         method=method,
+        slow_query_threshold=slow_query_threshold,
+        slow_queries=slow_queries,
     )

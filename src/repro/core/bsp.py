@@ -13,11 +13,13 @@ import math
 import time
 from typing import Optional
 
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.stats import QueryStats, QueryTimeout
 from repro.core.topk import TopKQueue
+from repro.core.trace import PHASE_RTREE, PHASE_TQSP, QueryTrace
 from repro.rdf.graph import RDFGraph
 from repro.spatial.rtree import RTree
 from repro.text.inverted import build_query_map
@@ -32,19 +34,22 @@ def bsp_search(
     undirected: bool = False,
     timeout: Optional[float] = None,
     runtime=None,
+    trace: Optional[QueryTrace] = None,
 ) -> KSPResult:
     """Answer ``query`` with BSP.
 
     ``inverted_index`` is anything with a ``posting(term)`` method (the
-    in-memory or the disk-resident index).  ``timeout`` (seconds) replicates
-    the paper's 120 s abort protocol: on expiry the partial top-k found so
+    in-memory or the disk-resident index).  ``timeout`` (seconds, or a
+    pre-built :class:`~repro.core.deadline.Deadline`) replicates the
+    paper's 120 s abort protocol: on expiry the partial top-k found so
     far is returned with ``stats.timed_out`` set.  ``runtime`` activates
     the CSR kernel / TQSP cache fast path (see
-    :class:`~repro.core.runtime.TQSPRuntime`).
+    :class:`~repro.core.runtime.TQSPRuntime`); ``trace`` records the
+    per-phase time breakdown.
     """
     stats = QueryStats(algorithm="BSP")
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    deadline = Deadline.resolve(timeout)
 
     query_map = build_query_map(inverted_index, query.keywords)
     searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
@@ -61,12 +66,17 @@ def bsp_search(
             # distance of every place below a node).
             if ranking.distance_only_bound(next_distance) >= top_k.threshold:
                 break
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and deadline.expired():
                 raise QueryTimeout()
+            rtree_started = time.monotonic() if trace is not None else 0.0
             distance, entry = next(cursor)
             stats.places_retrieved += 1
 
+            # The TQSP timestamp doubles as the R-tree span's end: one
+            # traced clock read per iteration, not two.
             semantic_started = time.monotonic()
+            if trace is not None:
+                trace.add(PHASE_RTREE, semantic_started - rtree_started)
             try:
                 search = searcher.tightest(
                     query.keywords,
@@ -77,7 +87,10 @@ def bsp_search(
                     deadline=deadline,
                 )
             finally:
-                stats.semantic_seconds += time.monotonic() - semantic_started
+                semantic_elapsed = time.monotonic() - semantic_started
+                stats.semantic_seconds += semantic_elapsed
+                if trace is not None:
+                    trace.add(PHASE_TQSP, semantic_elapsed)
             stats.tqsp_computations += 1
             if search.status is not SearchStatus.COMPLETE:
                 continue
@@ -94,4 +107,4 @@ def bsp_search(
 
     stats.rtree_node_accesses = cursor.node_accesses
     stats.runtime_seconds = time.monotonic() - started
-    return KSPResult(query=query, places=top_k.ranked(), stats=stats)
+    return KSPResult(query=query, places=top_k.ranked(), stats=stats, trace=trace)

@@ -23,6 +23,7 @@ import time
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.alpha.index import AlphaIndex
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, SemanticPlace
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
@@ -61,9 +62,7 @@ class KSPCursor:
         self._rarest_first = order_rarest_first(inverted_index, query.keywords)
         self._view = alpha_index.query_view(query.keywords)
         self.stats = QueryStats(algorithm="SP-CURSOR")
-        self._deadline = (
-            None if timeout is None else time.monotonic() + timeout
-        )
+        self._deadline = Deadline.resolve(timeout)
 
         self._counter = itertools.count()
         # Traversal queue: (alpha score bound, tiebreak, is_place, item, S).
@@ -107,7 +106,7 @@ class KSPCursor:
                 return place
             if not self._frontier:
                 raise StopIteration
-            if self._deadline is not None and time.monotonic() > self._deadline:
+            if self._deadline is not None and self._deadline.expired():
                 self.stats.timed_out = True
                 raise QueryTimeout()
 

@@ -1,0 +1,71 @@
+"""Cooperative per-query deadlines.
+
+The paper aborts BSP queries after 120 seconds (Section 6.2); a serving
+engine needs that protocol to be *cooperative* and *non-fatal*: every
+algorithm polls the deadline at its natural yield points (R-tree pops,
+BFS levels, kernel visit intervals) and, on expiry, unwinds to the
+algorithm's top level which returns the best-so-far partial top-k with
+``stats.timed_out`` set instead of surfacing an exception to callers.
+
+A :class:`Deadline` wraps one absolute ``time.monotonic()`` instant so
+it can be threaded through nested calls (algorithm -> searcher -> BFS
+kernel) without re-deriving "now + timeout" at each layer.  Public
+entry points keep accepting a plain ``timeout`` in seconds and convert
+with :meth:`Deadline.resolve`, which also passes pre-built ``Deadline``
+instances straight through — tests exploit this to inject deterministic
+deadlines (e.g. "expire after N polls") without patching clocks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from repro.core.stats import QueryTimeout
+
+
+class Deadline:
+    """An absolute monotonic-clock instant after which a query must stop."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> Optional["Deadline"]:
+        """A deadline ``seconds`` from now, or None for "no deadline"."""
+        if seconds is None:
+            return None
+        return cls(time.monotonic() + float(seconds))
+
+    @classmethod
+    def resolve(
+        cls, timeout: Optional[Union[float, "Deadline"]]
+    ) -> Optional["Deadline"]:
+        """Normalize a public ``timeout`` argument.
+
+        ``None`` stays None, a number of seconds becomes a deadline
+        measured from now, and an existing :class:`Deadline` is returned
+        unchanged (so one deadline can bound a whole pipeline).
+        """
+        if timeout is None:
+            return None
+        if isinstance(timeout, Deadline):
+            return timeout
+        return cls.after(timeout)
+
+    def expired(self) -> bool:
+        return time.monotonic() > self.at
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.at - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`~repro.core.stats.QueryTimeout` once expired."""
+        if self.expired():
+            raise QueryTimeout()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Deadline(at=%.6f, remaining=%.3fs)" % (self.at, self.remaining())

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.alpha.index import AlphaIndex
 from repro.core.bsp import bsp_search
+from repro.core.metrics import MetricsRegistry
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.runtime import TQSPRuntime
@@ -23,6 +24,7 @@ from repro.core.sp import sp_search
 from repro.core.spp import spp_search
 from repro.core.ta import ta_search
 from repro.core.tqsp_cache import TQSPCache
+from repro.core.trace import QueryTrace
 from repro.rdf.csr import CSRAdjacency
 from repro.rdf.documents import graph_from_triples
 from repro.rdf.graph import RDFGraph
@@ -93,6 +95,7 @@ class KSPEngine:
             if (self.csr is not None or self.tqsp_cache is not None)
             else None
         )
+        self._init_metrics()
 
         started = time.monotonic()
         self.inverted_index = InvertedIndex.build(graph)
@@ -117,6 +120,79 @@ class KSPEngine:
                 graph, self.rtree, alpha=alpha, undirected=undirected, csr=self.csr
             )
             self.build_seconds["alpha_index"] = time.monotonic() - started
+
+    # ------------------------------------------------------------------
+    # Serving metrics
+    # ------------------------------------------------------------------
+
+    def _init_metrics(self) -> None:
+        """Register the engine's serving metric families."""
+        self.metrics = MetricsRegistry()
+        self._metric_latency = self.metrics.histogram(
+            "ksp_query_latency_seconds", "kSP query latency distribution"
+        )
+        self._metric_timeouts = self.metrics.counter(
+            "ksp_query_timeouts_total", "queries that hit their deadline"
+        )
+        self._metric_errors = self.metrics.counter(
+            "ksp_query_errors_total", "queries that raised inside the engine"
+        )
+        self._metric_cache_hits = self.metrics.counter(
+            "ksp_tqsp_cache_hits_total", "TQSP cache exact reuses"
+        )
+        self._metric_cache_misses = self.metrics.counter(
+            "ksp_tqsp_cache_misses_total", "TQSP cache lookups that ran a BFS"
+        )
+        self._metric_cache_bound_reuses = self.metrics.counter(
+            "ksp_tqsp_cache_bound_reuses_total", "TQSP cache PRUNED-bound re-prunes"
+        )
+        self._metric_kernel = self.metrics.counter(
+            "ksp_tqsp_kernel_searches_total", "TQSP constructions on the CSR kernel"
+        )
+        self._metric_fallback = self.metrics.counter(
+            "ksp_tqsp_fallback_searches_total",
+            "TQSP constructions on the generator fallback",
+        )
+
+    def _record_query(self, method: str, result: KSPResult) -> None:
+        stats = result.stats
+        self.metrics.counter(
+            "ksp_queries_total", "answered kSP queries", labels={"method": method}
+        ).inc()
+        self._metric_latency.observe(stats.runtime_seconds)
+        if stats.timed_out:
+            self._metric_timeouts.inc()
+        if stats.cache_hits:
+            self._metric_cache_hits.inc(stats.cache_hits)
+        if stats.cache_misses:
+            self._metric_cache_misses.inc(stats.cache_misses)
+        if stats.cache_bound_reuses:
+            self._metric_cache_bound_reuses.inc(stats.cache_bound_reuses)
+        if stats.kernel_searches:
+            self._metric_kernel.inc(stats.kernel_searches)
+        if stats.fallback_searches:
+            self._metric_fallback.inc(stats.fallback_searches)
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of the serving metrics.
+
+        Gauges derived from the TQSP cache (entries, capacity, hit
+        ratio) are refreshed at call time from an atomic counter
+        snapshot, so the output is consistent even mid-batch.
+        """
+        if self.tqsp_cache is not None:
+            counters = self.tqsp_cache.counters()
+            self.metrics.gauge(
+                "ksp_tqsp_cache_entries", "live TQSP cache entries"
+            ).set(counters["entries"])
+            self.metrics.gauge(
+                "ksp_tqsp_cache_capacity", "TQSP cache capacity"
+            ).set(counters["capacity"])
+            lookups = counters["hits"] + counters["misses"]
+            self.metrics.gauge(
+                "ksp_tqsp_cache_hit_ratio", "TQSP cache hits / lookups"
+            ).set(counters["hits"] / lookups if lookups else 0.0)
+        return self.metrics.render_text()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -234,8 +310,21 @@ class KSPEngine:
             graph = DiskRDFGraph(directory / "graph.rgrf")
         else:
             raise ValueError("graph_backend must be 'memory' or 'disk'")
-        if graph.vertex_count != manifest["vertices"]:
-            raise ValueError("graph file does not match the manifest")
+        # A graph file can match on vertex count yet still be the wrong
+        # snapshot (different edges or place annotations) — then every
+        # index built from the manifest silently mis-answers.  Validate
+        # all three counts and name the first mismatched field.
+        for field, actual in (
+            ("vertices", graph.vertex_count),
+            ("edges", graph.edge_count),
+            ("places", graph.place_count()),
+        ):
+            expected = manifest.get(field)
+            if expected is not None and actual != expected:
+                raise ValueError(
+                    "graph file does not match the manifest: %s is %d, "
+                    "manifest records %d" % (field, actual, expected)
+                )
 
         engine = cls.__new__(cls)
         engine.graph = graph
@@ -257,6 +346,7 @@ class KSPEngine:
             if (engine.csr is not None or engine.tqsp_cache is not None)
             else None
         )
+        engine._init_metrics()
 
         started = _time.monotonic()
         engine.inverted_index = InvertedIndex.load(directory / "inverted.idx")
@@ -293,19 +383,23 @@ class KSPEngine:
         method: str = "sp",
         ranking: RankingFunction = DEFAULT_RANKING,
         timeout: Optional[float] = None,
+        trace: bool = False,
     ) -> KSPResult:
         """Answer a kSP query.
 
         ``method`` selects the algorithm: ``"sp"`` (default, fastest),
         ``"spp"``, ``"bsp"``, or ``"ta"``.  ``location`` may be a
         :class:`Point` or an ``(x, y)`` pair; raw keyword strings are
-        normalized with the document tokenizer.
+        normalized with the document tokenizer.  ``trace`` attaches a
+        per-phase time breakdown to ``result.trace``.
         """
         if not isinstance(location, Point):
             x, y = location
             location = Point(float(x), float(y))
         query = KSPQuery.create(location, keywords, k=k)
-        return self.run(query, method=method, ranking=ranking, timeout=timeout)
+        return self.run(
+            query, method=method, ranking=ranking, timeout=timeout, trace=trace
+        )
 
     def run(
         self,
@@ -313,9 +407,34 @@ class KSPEngine:
         method: str = "sp",
         ranking: RankingFunction = DEFAULT_RANKING,
         timeout: Optional[float] = None,
+        trace: bool = False,
     ) -> KSPResult:
-        """Answer an already-normalized :class:`KSPQuery`."""
+        """Answer an already-normalized :class:`KSPQuery`.
+
+        A query that hits ``timeout`` returns its best-so-far partial
+        top-k with ``stats.timed_out`` set (and ``result.incomplete``
+        true) — it does not raise.  Every query is recorded in the
+        engine's :class:`~repro.core.metrics.MetricsRegistry` (see
+        :meth:`metrics_text`).
+        """
         method = method.lower()
+        recorder = QueryTrace() if trace else None
+        try:
+            result = self._dispatch(query, method, ranking, timeout, recorder)
+        except Exception:
+            self._metric_errors.inc()
+            raise
+        self._record_query(method, result)
+        return result
+
+    def _dispatch(
+        self,
+        query: KSPQuery,
+        method: str,
+        ranking: RankingFunction,
+        timeout: Optional[float],
+        trace: Optional[QueryTrace],
+    ) -> KSPResult:
         runtime = self._runtime
         if method == "bsp":
             return bsp_search(
@@ -327,6 +446,7 @@ class KSPEngine:
                 undirected=self.undirected,
                 timeout=timeout,
                 runtime=runtime,
+                trace=trace,
             )
         if method == "spp":
             if self.reachability is None:
@@ -341,6 +461,7 @@ class KSPEngine:
                 undirected=self.undirected,
                 timeout=timeout,
                 runtime=runtime,
+                trace=trace,
             )
         if method == "sp":
             if self.reachability is None:
@@ -358,6 +479,7 @@ class KSPEngine:
                 undirected=self.undirected,
                 timeout=timeout,
                 runtime=runtime,
+                trace=trace,
             )
         if method == "ta":
             return ta_search(
@@ -369,6 +491,7 @@ class KSPEngine:
                 undirected=self.undirected,
                 timeout=timeout,
                 runtime=runtime,
+                trace=trace,
             )
         raise ValueError("unknown method %r; expected one of %r" % (method, ALGORITHMS))
 
@@ -379,14 +502,18 @@ class KSPEngine:
         method: str = "sp",
         ranking: RankingFunction = DEFAULT_RANKING,
         timeout: Optional[float] = None,
+        slow_query_threshold: Optional[float] = None,
     ):
         """Answer a workload of queries and aggregate their statistics.
 
         The batch shares this engine's TQSP cache across all queries and
         gives each worker thread its own BFS scratch buffers, so batched
         results are identical to running :meth:`run` per query — only
-        faster.  Returns a :class:`~repro.core.batch.BatchReport` with
-        the per-query results (in submission order), aggregate stats and
+        faster.  A timed-out or errored query yields a partial/empty
+        result in its slot; it never aborts the rest of the batch.
+        ``slow_query_threshold`` (seconds) fills the report's slow-query
+        log.  Returns a :class:`~repro.core.batch.BatchReport` with the
+        per-query results (in submission order), aggregate stats and
         throughput.
         """
         from repro.core.batch import run_batch
@@ -398,6 +525,7 @@ class KSPEngine:
             method=method,
             ranking=ranking,
             timeout=timeout,
+            slow_query_threshold=slow_query_threshold,
         )
 
     def cursor(

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
@@ -31,7 +32,7 @@ def exhaustive_search(
     """Answer ``query`` by evaluating every place vertex."""
     stats = QueryStats(algorithm="EXHAUSTIVE")
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    deadline = Deadline.resolve(timeout)
 
     query_map = build_query_map(inverted_index, query.keywords)
     searcher = SemanticPlaceSearcher(graph, undirected=undirected)
@@ -39,7 +40,7 @@ def exhaustive_search(
 
     try:
         for place, location in graph.places():
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and deadline.expired():
                 raise QueryTimeout()
             stats.places_retrieved += 1
             semantic_started = time.monotonic()

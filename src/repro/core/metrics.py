@@ -1,0 +1,250 @@
+"""Engine-owned serving metrics with Prometheus-style text exposition.
+
+A :class:`MetricsRegistry` holds counters, gauges and histograms keyed
+by ``(name, labels)``.  Registration is get-or-create and idempotent,
+so recording sites simply ask for the metric they need; families that
+share a name render under one ``# HELP`` / ``# TYPE`` header.  All
+mutation is lock-protected — one registry is shared by every worker
+thread of the batched executor.
+
+``render_text()`` emits the Prometheus text exposition format
+(counters with ``_total`` conventions left to the caller's names,
+histograms as cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+``_count``), which the CLI's ``--metrics-out`` writes to a file for
+scrape-by-node-exporter-textfile style deployments.  No third-party
+client library is required — the format is plain text.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+# Prometheus' default histogram buckets suit request latencies in seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_pairs(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(pairs: LabelPairs) -> str:
+    if not pairs:
+        return ""
+    body = ",".join('%s="%s"' % (key, value.replace('"', '\\"')) for key, value in pairs)
+    return "{%s}" % body
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
+        return ["%s%s %s" % (name, _render_labels(pairs), _format_value(self.value))]
+
+
+class Gauge:
+    """A value that can go up and down (set at observation time)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
+        return ["%s%s %s" % (name, _render_labels(pairs), _format_value(self.value))]
+
+
+class Histogram:
+    """Cumulative-bucket distribution of observed values."""
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.buckets = tuple(bounds)
+        self._lock = threading.Lock()
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Cumulative count per upper bound (``+Inf`` included)."""
+        with self._lock:
+            counts = dict(zip(self.buckets, self._counts))
+            counts[math.inf] = self._count
+            return counts
+
+    def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
+        lines = []
+        for bound, count in self.bucket_counts().items():
+            bucket_pairs = pairs + (("le", _format_value(bound)),)
+            lines.append(
+                "%s_bucket%s %d" % (name, _render_labels(bucket_pairs), count)
+            )
+        lines.append(
+            "%s_sum%s %s" % (name, _render_labels(pairs), _format_value(self.sum))
+        )
+        lines.append("%s_count%s %d" % (name, _render_labels(pairs), self.count))
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (type string, help string)
+        self._families: "Dict[str, Tuple[str, str]]" = {}
+        # (name, label pairs) -> metric instance
+        self._metrics: "Dict[Tuple[str, LabelPairs], object]" = {}
+
+    # ------------------------------------------------------------------
+
+    def _get_or_create(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labels: Optional[Mapping[str, str]],
+        factory,
+    ):
+        pairs = _label_pairs(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                self._families[name] = (kind, help_text)
+            elif family[0] != kind:
+                raise ValueError(
+                    "metric %r is already registered as a %s" % (name, family[0])
+                )
+            metric = self._metrics.get((name, pairs))
+            if metric is None:
+                metric = factory()
+                self._metrics[(name, pairs)] = metric
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create("counter", name, help_text, labels, Counter)
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get_or_create("gauge", name, help_text, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, help_text, labels, lambda: Histogram(buckets)
+        )
+
+    # ------------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        with self._lock:
+            families = dict(self._families)
+            members: "Dict[str, List[Tuple[LabelPairs, object]]]" = {}
+            for (name, pairs), metric in self._metrics.items():
+                members.setdefault(name, []).append((pairs, metric))
+        lines: List[str] = []
+        for name in sorted(families):
+            kind, help_text = families[name]
+            if help_text:
+                lines.append("# HELP %s %s" % (name, help_text))
+            lines.append("# TYPE %s %s" % (name, kind))
+            for pairs, metric in sorted(members.get(name, ()), key=lambda m: m[0]):
+                lines.extend(metric._samples(name, pairs))
+        return "\n".join(lines) + "\n" if lines else ""

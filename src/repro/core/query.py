@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.core.stats import QueryStats
+from repro.core.trace import QueryTrace
 from repro.spatial.geometry import Point
 from repro.text.tokenizer import tokenize
 
@@ -91,11 +92,22 @@ class SemanticPlace:
 
 @dataclass
 class KSPResult:
-    """The outcome of one kSP query: ranked places plus execution stats."""
+    """The outcome of one kSP query: ranked places plus execution stats.
+
+    ``trace`` carries the per-phase breakdown when tracing was enabled
+    for the query (see :mod:`repro.core.trace`); it is None otherwise.
+    """
 
     query: KSPQuery
     places: List[SemanticPlace] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+    trace: Optional[QueryTrace] = None
+
+    @property
+    def incomplete(self) -> bool:
+        """True when the answer may be partial: the query hit its
+        deadline (best-so-far top-k) or errored inside a batch worker."""
+        return self.stats.timed_out or self.stats.error is not None
 
     def __len__(self) -> int:
         return len(self.places)
@@ -164,4 +176,8 @@ class KSPResult:
             lines.append("pruned: " + ", ".join(pruned))
         if stats.timed_out:
             lines.append("WARNING: query hit its timeout; results are partial")
+        if stats.error is not None:
+            lines.append("ERROR: %s" % stats.error)
+        if self.trace is not None:
+            lines.append(self.trace.report(stats.runtime_seconds))
         return "\n".join(lines)

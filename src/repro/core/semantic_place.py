@@ -12,16 +12,18 @@ meets the looseness threshold ``L_w`` (Pruning Rule 2).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.query import KSPQuery, SemanticPlace
-from repro.core.stats import QueryStats, QueryTimeout
+from repro.core.stats import QueryStats
 from repro.rdf.csr import csr_cominimal_covers, csr_tightest
 from repro.rdf.graph import RDFGraph
 from repro.spatial.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deadline -> stats)
+    from repro.core.deadline import Deadline
 
 _DEADLINE_CHECK_INTERVAL = 1024
 
@@ -81,13 +83,17 @@ class SemanticPlaceSearcher:
         query_map: Mapping[int, frozenset],
         looseness_threshold: float = math.inf,
         stats: Optional[QueryStats] = None,
-        deadline: Optional[float] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> TQSPSearch:
         """Construct the TQSP rooted at ``place``.
 
         With ``looseness_threshold`` left at ``+inf`` this is Algorithm 2;
         with a finite threshold it is Algorithm 3 (early abort when the
-        dynamic bound reaches the threshold).
+        dynamic bound reaches the threshold).  ``deadline`` is a
+        :class:`~repro.core.deadline.Deadline` polled cooperatively during
+        the BFS; on expiry :class:`~repro.core.stats.QueryTimeout`
+        propagates to the calling algorithm, which returns its partial
+        top-k.
         """
         runtime = self._runtime
         cache = runtime.cache if runtime is not None else None
@@ -132,7 +138,7 @@ class SemanticPlaceSearcher:
         query_map: Mapping[int, frozenset],
         looseness_threshold: float = math.inf,
         stats: Optional[QueryStats] = None,
-        deadline: Optional[float] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> TQSPSearch:
         """The seed tuple-yielding traversal path (disk-graph fallback)."""
         graph = self._graph
@@ -148,8 +154,7 @@ class SemanticPlaceSearcher:
         for vertex, distance, parent in graph.bfs(place, undirected=self._undirected):
             visited += 1
             if deadline is not None and visited % _DEADLINE_CHECK_INTERVAL == 0:
-                if time.monotonic() > deadline:
-                    raise QueryTimeout()
+                deadline.check()
             parents[vertex] = parent
             # Lemma 1: every outstanding keyword lies at distance >= d(p, v).
             dynamic_bound = 1.0 + covered_sum + distance * len(outstanding)

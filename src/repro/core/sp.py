@@ -22,11 +22,19 @@ import time
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.alpha.index import AlphaIndex
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.stats import QueryStats, QueryTimeout
 from repro.core.topk import TopKQueue
+from repro.core.trace import (
+    PHASE_ALPHA,
+    PHASE_REACH,
+    PHASE_RTREE,
+    PHASE_TQSP,
+    QueryTrace,
+)
 from repro.rdf.graph import RDFGraph
 from repro.reach.keyword import KeywordReachabilityIndex
 from repro.spatial.rtree import LeafEntry, Node, RTree
@@ -48,6 +56,7 @@ def sp_search(
     use_node_pruning: bool = True,
     rule1_rarest_first: bool = True,
     runtime=None,
+    trace: Optional[QueryTrace] = None,
 ) -> KSPResult:
     """Answer ``query`` with SP.
 
@@ -55,13 +64,14 @@ def sp_search(
     ``use_node_pruning`` toggles Rules 3/4 enqueue filtering (the priority
     order itself is always the alpha-bound, as in Algorithm 4);
     ``rule1_rarest_first`` toggles the rarest-first probing order.
-    ``runtime`` activates the CSR kernel / TQSP cache fast path.
+    ``runtime`` activates the CSR kernel / TQSP cache fast path;
+    ``trace`` records the per-phase time breakdown.
     """
     if use_rule1 and reachability is None:
         raise ValueError("Rule 1 requires a reachability index")
     stats = QueryStats(algorithm="SP")
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    deadline = Deadline.resolve(timeout)
 
     query_map = build_query_map(inverted_index, query.keywords)
     rarest_first: Sequence[str] = (
@@ -103,27 +113,55 @@ def sp_search(
             # Algorithm 4 line 9: nothing left can beat the k-th candidate.
             if bound >= top_k.threshold:
                 break
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and deadline.expired():
                 raise QueryTimeout()
 
             if not is_place:
                 stats.rtree_node_accesses += 1
-                if item.is_leaf:
-                    for entry in item.entries:
-                        push_place(entry)
+                if trace is None:
+                    if item.is_leaf:
+                        for entry in item.entries:
+                            push_place(entry)
+                    else:
+                        for child in item.entries:
+                            push_node(child)
                 else:
-                    for child in item.entries:
-                        push_node(child)
+                    # Timed at expansion-block granularity (two clock
+                    # reads per node access, not two per pushed child) so
+                    # the traced path stays within a few percent of the
+                    # untraced one.  Leaf expansion is per-place Rule 3
+                    # bound evaluation -> alpha-bounds; internal-node
+                    # expansion is rect distances plus Rule 4 -> R-tree
+                    # ascent.  The two intervals are disjoint.
+                    block_started = time.monotonic()
+                    if item.is_leaf:
+                        for entry in item.entries:
+                            push_place(entry)
+                        trace.add(
+                            PHASE_ALPHA,
+                            time.monotonic() - block_started,
+                            count=len(item.entries),
+                        )
+                    else:
+                        for child in item.entries:
+                            push_node(child)
+                        trace.add(
+                            PHASE_RTREE, time.monotonic() - block_started
+                        )
                 continue
 
             stats.places_retrieved += 1
+            traced_reach = trace is not None and use_rule1
             if use_rule1:
+                reach_started = time.monotonic() if traced_reach else 0.0
                 issued_before = reachability.queries_issued
                 qualified = reachability.is_qualified(item.key, rarest_first)
                 stats.reachability_queries += (
                     reachability.queries_issued - issued_before
                 )
                 if not qualified:
+                    if traced_reach:
+                        trace.add(PHASE_REACH, time.monotonic() - reach_started)
                     stats.pruned_rule1 += 1
                     continue
 
@@ -132,7 +170,11 @@ def sp_search(
                 if use_rule2
                 else float("inf")
             )
+            # For a qualified place the TQSP timestamp ends the
+            # reachability span too: one traced clock read, not a pair.
             semantic_started = time.monotonic()
+            if traced_reach:
+                trace.add(PHASE_REACH, semantic_started - reach_started)
             try:
                 search = searcher.tightest(
                     query.keywords,
@@ -143,7 +185,10 @@ def sp_search(
                     deadline=deadline,
                 )
             finally:
-                stats.semantic_seconds += time.monotonic() - semantic_started
+                semantic_elapsed = time.monotonic() - semantic_started
+                stats.semantic_seconds += semantic_elapsed
+                if trace is not None:
+                    trace.add(PHASE_TQSP, semantic_elapsed)
             stats.tqsp_computations += 1
             if search.status is not SearchStatus.COMPLETE:
                 continue
@@ -157,4 +202,4 @@ def sp_search(
         stats.timed_out = True
 
     stats.runtime_seconds = time.monotonic() - started
-    return KSPResult(query=query, places=top_k.ranked(), stats=stats)
+    return KSPResult(query=query, places=top_k.ranked(), stats=stats, trace=trace)

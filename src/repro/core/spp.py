@@ -20,11 +20,13 @@ from __future__ import annotations
 import time
 from typing import Optional, Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.stats import QueryStats, QueryTimeout
 from repro.core.topk import TopKQueue
+from repro.core.trace import PHASE_REACH, PHASE_RTREE, PHASE_TQSP, QueryTrace
 from repro.rdf.graph import RDFGraph
 from repro.reach.keyword import KeywordReachabilityIndex
 from repro.spatial.rtree import RTree
@@ -44,16 +46,18 @@ def spp_search(
     use_rule2: bool = True,
     rule1_rarest_first: bool = True,
     runtime=None,
+    trace: Optional[QueryTrace] = None,
 ) -> KSPResult:
     """Answer ``query`` with SPP.
 
     ``use_rule1`` / ``use_rule2`` / ``rule1_rarest_first`` exist for the
     ablation bench; all default on, which is the paper's SPP.
-    ``runtime`` activates the CSR kernel / TQSP cache fast path.
+    ``runtime`` activates the CSR kernel / TQSP cache fast path;
+    ``trace`` records the per-phase time breakdown.
     """
     stats = QueryStats(algorithm="SPP")
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    deadline = Deadline.resolve(timeout)
 
     query_map = build_query_map(inverted_index, query.keywords)
     rarest_first: Sequence[str] = (
@@ -72,27 +76,42 @@ def spp_search(
                 break
             if ranking.distance_only_bound(next_distance) >= top_k.threshold:
                 break
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and deadline.expired():
                 raise QueryTimeout()
+            rtree_started = time.monotonic() if trace is not None else 0.0
             distance, entry = next(cursor)
             stats.places_retrieved += 1
 
             if use_rule1:
+                # Each clock read ends one span and starts the next, so
+                # tracing costs one read per phase boundary rather than
+                # a start/stop pair per phase.
+                if trace is not None:
+                    reach_started = time.monotonic()
+                    trace.add(PHASE_RTREE, reach_started - rtree_started)
                 issued_before = reachability.queries_issued
                 qualified = reachability.is_qualified(entry.key, rarest_first)
                 stats.reachability_queries += (
                     reachability.queries_issued - issued_before
                 )
                 if not qualified:
+                    if trace is not None:
+                        trace.add(PHASE_REACH, time.monotonic() - reach_started)
                     stats.pruned_rule1 += 1
                     continue
+            elif trace is not None:
+                trace.add(PHASE_RTREE, time.monotonic() - rtree_started)
 
             threshold = (
                 ranking.looseness_threshold(top_k.threshold, distance)
                 if use_rule2
                 else float("inf")
             )
+            # For a qualified place the TQSP timestamp ends the
+            # reachability span too.
             semantic_started = time.monotonic()
+            if trace is not None and use_rule1:
+                trace.add(PHASE_REACH, semantic_started - reach_started)
             try:
                 search = searcher.tightest(
                     query.keywords,
@@ -103,7 +122,10 @@ def spp_search(
                     deadline=deadline,
                 )
             finally:
-                stats.semantic_seconds += time.monotonic() - semantic_started
+                semantic_elapsed = time.monotonic() - semantic_started
+                stats.semantic_seconds += semantic_elapsed
+                if trace is not None:
+                    trace.add(PHASE_TQSP, semantic_elapsed)
             stats.tqsp_computations += 1
             if search.status is not SearchStatus.COMPLETE:
                 continue
@@ -118,4 +140,4 @@ def spp_search(
 
     stats.rtree_node_accesses = cursor.node_accesses
     stats.runtime_seconds = time.monotonic() - started
-    return KSPResult(query=query, places=top_k.ranked(), stats=stats)
+    return KSPResult(query=query, places=top_k.ranked(), stats=stats, trace=trace)

@@ -11,7 +11,7 @@ ablation bench.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -37,6 +37,7 @@ class QueryStats:
     kernel_searches: int = 0  # TQSP constructions on the CSR fast path
     fallback_searches: int = 0  # TQSP constructions on the generator path
     timed_out: bool = False
+    error: Optional[str] = None  # worker exception captured by the batch layer
 
     @property
     def other_seconds(self) -> float:
@@ -65,6 +66,7 @@ class QueryStats:
             "kernel_searches": self.kernel_searches,
             "fallback_searches": self.fallback_searches,
             "timed_out": self.timed_out,
+            "error": self.error,
         }
 
 
@@ -109,6 +111,10 @@ class AggregateStats:
     @property
     def timeout_count(self) -> int:
         return sum(1 for s in self.samples if s.timed_out)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for s in self.samples if s.error is not None)
 
     def runtime_percentile_ms(self, percentile: float) -> float:
         """Linear-interpolated runtime percentile in milliseconds.

@@ -28,11 +28,13 @@ import math
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.stats import QueryStats, QueryTimeout
 from repro.core.topk import TopKQueue
+from repro.core.trace import PHASE_RTREE, PHASE_STREAM, PHASE_TQSP, QueryTrace
 from repro.rdf.graph import RDFGraph
 from repro.spatial.rtree import RTree
 from repro.text.inverted import build_query_map
@@ -51,7 +53,6 @@ class LoosenessStream:
         self._graph = graph
         self._undirected = undirected
         self._keywords = list(keywords)
-        keyword_count = len(self._keywords)
         self._frontiers: List[List[int]] = []
         self._seen: List[Set[int]] = []
         self._radius = 0
@@ -173,15 +174,17 @@ def ta_search(
     undirected: bool = False,
     timeout: Optional[float] = None,
     runtime=None,
+    trace: Optional[QueryTrace] = None,
 ) -> KSPResult:
     """Answer ``query`` with the TA baseline.
 
     ``runtime`` activates the CSR kernel / TQSP cache fast path for the
-    random-access TQSP constructions.
+    random-access TQSP constructions; ``trace`` records the per-phase
+    time breakdown.
     """
     stats = QueryStats(algorithm="TA")
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    deadline = Deadline.resolve(timeout)
 
     query_map = build_query_map(inverted_index, query.keywords)
     searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
@@ -210,7 +213,10 @@ def ta_search(
                 deadline=deadline,
             )
         finally:
-            stats.semantic_seconds += time.monotonic() - semantic_started
+            semantic_elapsed = time.monotonic() - semantic_started
+            stats.semantic_seconds += semantic_elapsed
+            if trace is not None:
+                trace.add(PHASE_TQSP, semantic_elapsed)
         stats.tqsp_computations += 1
         if search.status is not SearchStatus.COMPLETE:
             return
@@ -223,7 +229,7 @@ def ta_search(
 
     try:
         while not (looseness_exhausted and spatial_exhausted):
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and deadline.expired():
                 raise QueryTimeout()
 
             # Sorted access on the looseness list + random spatial access.
@@ -232,7 +238,10 @@ def ta_search(
                 try:
                     item = looseness_stream.next()
                 finally:
-                    stats.semantic_seconds += time.monotonic() - semantic_started
+                    semantic_elapsed = time.monotonic() - semantic_started
+                    stats.semantic_seconds += semantic_elapsed
+                    if trace is not None:
+                        trace.add(PHASE_STREAM, semantic_elapsed)
                 if item is None:
                     looseness_exhausted = True
                 else:
@@ -247,11 +256,14 @@ def ta_search(
 
             # Sorted access on the spatial list + random looseness access.
             if not spatial_exhausted:
+                rtree_started = time.monotonic() if trace is not None else 0.0
                 try:
                     distance, entry = next(spatial_cursor)
                 except StopIteration:
                     spatial_exhausted = True
                 else:
+                    if trace is not None:
+                        trace.add(PHASE_RTREE, time.monotonic() - rtree_started)
                     last_distance = distance
                     stats.places_retrieved += 1
                     if entry.key not in seen_places:
@@ -266,9 +278,12 @@ def ta_search(
                                 deadline=deadline,
                             )
                         finally:
-                            stats.semantic_seconds += (
+                            semantic_elapsed = (
                                 time.monotonic() - semantic_started
                             )
+                            stats.semantic_seconds += semantic_elapsed
+                            if trace is not None:
+                                trace.add(PHASE_TQSP, semantic_elapsed)
                         stats.tqsp_computations += 1
                         if search.status is SearchStatus.COMPLETE:
                             score = ranking.score(search.looseness, distance)
@@ -304,4 +319,4 @@ def ta_search(
     stats.vertices_visited += looseness_stream.vertices_visited
     stats.rtree_node_accesses = spatial_cursor.node_accesses
     stats.runtime_seconds = time.monotonic() - started
-    return KSPResult(query=query, places=top_k.ranked(), stats=stats)
+    return KSPResult(query=query, places=top_k.ranked(), stats=stats, trace=trace)

@@ -143,20 +143,29 @@ class TQSPCache:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
 
     def counters(self) -> Dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "bound_reuses": self.bound_reuses,
-        }
+        """An atomic snapshot of size and hit/miss counters.
+
+        Taken under the lock so a concurrent ``_put`` eviction or
+        ``lookup`` increment can never yield a torn view (e.g. hits and
+        misses from different instants of a batched run).
+        """
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "bound_reuses": self.bound_reuses,
+            }

@@ -1,0 +1,116 @@
+"""Per-query phase tracing: where did a slow query spend its time?
+
+A :class:`QueryTrace` is a lightweight span recorder (monotonic clock,
+no dependencies).  The algorithms enter/exit named phases around their
+hot sections — R-tree ascent, Rule 1 reachability probes, TQSP BFS
+construction, alpha-bound computation — and the recorder accumulates
+per-phase elapsed time and span counts rather than storing every raw
+span, so tracing a million-visit query costs a dict update per span,
+not unbounded memory.
+
+Tracing is strictly additive: a ``None`` recorder (the default) skips
+every measurement, and an active recorder only ever *times* work, so
+traced and untraced runs return identical results (enforced by the
+agreement tests).  The rendered report attributes the remainder of the
+runtime outside all recorded phases to ``(untraced)``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+# Canonical phase names used by the built-in algorithms.
+PHASE_RTREE = "rtree-ascent"  # R-tree pops and node expansions
+PHASE_REACH = "reachability"  # Rule 1 keyword reachability probes
+PHASE_TQSP = "tqsp-bfs"  # GetSemanticPlace(P) constructions
+PHASE_ALPHA = "alpha-bounds"  # Rule 3/4 alpha score-bound computation
+PHASE_STREAM = "looseness-stream"  # TA's backward-expansion sorted access
+
+
+class QueryTrace:
+    """Accumulated per-phase wall time and span counts for one query."""
+
+    __slots__ = ("_phases",)
+
+    def __init__(self) -> None:
+        # phase -> [total_seconds, span_count]; insertion order preserved.
+        self._phases: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def add(self, phase: str, seconds: float, count: int = 1) -> None:
+        """Record ``count`` spans of ``phase`` totalling ``seconds``."""
+        entry = self._phases.get(phase)
+        if entry is None:
+            self._phases[phase] = [seconds, count]
+        else:
+            entry[0] += seconds
+            entry[1] += count
+
+    @contextmanager
+    def span(self, phase: str):
+        """Context-manager convenience for non-hot-path callers."""
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            self.add(phase, time.monotonic() - started)
+
+    # ------------------------------------------------------------------
+
+    def phases(self) -> List[str]:
+        return list(self._phases)
+
+    def seconds(self, phase: str) -> float:
+        entry = self._phases.get(phase)
+        return entry[0] if entry is not None else 0.0
+
+    def count(self, phase: str) -> int:
+        entry = self._phases.get(phase)
+        return int(entry[1]) if entry is not None else 0
+
+    def total_seconds(self) -> float:
+        return sum(entry[0] for entry in self._phases.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            phase: {"seconds": entry[0], "count": int(entry[1])}
+            for phase, entry in self._phases.items()
+        }
+
+    def report(self, runtime_seconds: Optional[float] = None) -> str:
+        """A per-phase breakdown table.
+
+        ``runtime_seconds`` (typically ``stats.runtime_seconds``) adds a
+        percentage column and an ``(untraced)`` remainder row covering
+        work outside every recorded phase.
+        """
+        if not self._phases:
+            return "trace: no phases recorded"
+        rows = [
+            (phase, entry[0], int(entry[1]))
+            for phase, entry in sorted(
+                self._phases.items(), key=lambda item: -item[1][0]
+            )
+        ]
+        if runtime_seconds is not None:
+            untraced = runtime_seconds - self.total_seconds()
+            if untraced > 0.0:
+                rows.append(("(untraced)", untraced, 0))
+        lines = ["trace: per-phase breakdown"]
+        for phase, seconds, count in rows:
+            parts = ["  %-18s %9.3f ms" % (phase, 1000.0 * seconds)]
+            if runtime_seconds:
+                parts.append(" %5.1f%%" % (100.0 * seconds / runtime_seconds))
+            if count:
+                parts.append(
+                    "  %6d span%s (avg %.1f us)"
+                    % (count, "" if count == 1 else "s", 1e6 * seconds / count)
+                )
+            lines.append("".join(parts))
+        return "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return bool(self._phases)

@@ -26,7 +26,6 @@ arrays would defeat the backend's purpose).
 from __future__ import annotations
 
 import math
-import time
 from array import array
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -148,7 +147,7 @@ def csr_tightest(
     query_map: Mapping[int, frozenset],
     looseness_threshold: float = math.inf,
     stats=None,
-    deadline: Optional[float] = None,
+    deadline=None,
     undirected: bool = False,
 ):
     """GetSemanticPlace(P) on the CSR snapshot.
@@ -156,9 +155,14 @@ def csr_tightest(
     Level-synchronous BFS probing vertices in the same order as the
     generator path; returns the same :class:`~repro.core.semantic_place.
     TQSPSearch` (status, looseness, keyword vertices, parent chains).
+
+    ``deadline`` is a :class:`~repro.core.deadline.Deadline` (or any
+    object with ``check()``), polled cooperatively every
+    ``_DEADLINE_CHECK_INTERVAL`` visits and at every BFS level boundary;
+    ``check()`` raises :class:`~repro.core.stats.QueryTimeout` on expiry
+    and the calling algorithm returns its best-so-far partial top-k.
     """
     from repro.core.semantic_place import SearchStatus, TQSPSearch
-    from repro.core.stats import QueryTimeout
 
     if not 0 <= place < csr.vertex_count:
         raise IndexError("no such vertex: %d" % place)
@@ -187,14 +191,15 @@ def csr_tightest(
     distance = 0
 
     while frontier:
+        if deadline is not None:
+            deadline.check()
         for vertex in frontier:
             visited_count += 1
             if (
                 deadline is not None
                 and visited_count % _DEADLINE_CHECK_INTERVAL == 0
-                and time.monotonic() > deadline
             ):
-                raise QueryTimeout()
+                deadline.check()
             # Lemma 1 dynamic bound (Pruning Rule 2).
             if 1.0 + covered_sum + distance * len(outstanding) >= looseness_threshold:
                 if stats is not None:

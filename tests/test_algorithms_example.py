@@ -1,10 +1,8 @@
 """All four algorithms on the paper's worked Examples 5, 6 and 8."""
 
-import math
 
 import pytest
 
-from repro.core.query import KSPQuery
 from repro.core.ranking import WeightedSumRanking
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, Q2
 

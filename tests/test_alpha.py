@@ -1,6 +1,5 @@
 """alpha-radius word neighborhoods and the Lemma 2-5 bounds."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,209 @@
+"""Deadline-safe batched serving: one bad query cannot kill a batch.
+
+The ISSUE-2 regression: ``run_batch`` used to surface a worker
+exception straight out of ``ThreadPoolExecutor.map``, discarding every
+completed result.  These tests pin the fixed contract — timed-out
+queries come back as partial results in their slot, arbitrary worker
+exceptions come back as errored (empty) results, and the engine's
+metrics expose the timeout count, latency histogram and cache hit
+rate afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.deadline import Deadline
+from repro.core.engine import KSPEngine
+from repro.core.query import KSPQuery
+from repro.core.stats import QueryTimeout
+from repro.spatial.geometry import Point
+
+from tests.test_batch_cache_agreement import build_graph, random_queries
+
+
+class ExpireAfterChecks(Deadline):
+    """A deterministic deadline: expires after N cooperative polls."""
+
+    def __init__(self, checks: int) -> None:
+        super().__init__(at=float("inf"))
+        self.remaining_checks = checks
+
+    def expired(self) -> bool:
+        if self.remaining_checks <= 0:
+            return True
+        self.remaining_checks -= 1
+        return False
+
+
+class SelectiveEngine:
+    """Engine wrapper that sabotages designated queries.
+
+    ``run_batch`` only needs ``engine.run``; marked queries get an
+    instantly-expired deadline (hung-query stand-in) or raise.
+    """
+
+    def __init__(self, inner, timeout_queries=(), error_queries=(), raise_timeout_queries=()):
+        self._inner = inner
+        self._timeout = set(id(q) for q in timeout_queries)
+        self._error = set(id(q) for q in error_queries)
+        self._raise_timeout = set(id(q) for q in raise_timeout_queries)
+        self.metrics = inner.metrics
+
+    def run(self, query, **kwargs):
+        if id(query) in self._error:
+            raise RuntimeError("injected worker failure")
+        if id(query) in self._raise_timeout:
+            raise QueryTimeout()
+        if id(query) in self._timeout:
+            kwargs["timeout"] = 0.0
+        return self._inner.run(query, **kwargs)
+
+    def query_batch(self, queries, **kwargs):
+        from repro.core.batch import run_batch
+
+        return run_batch(self, queries, **kwargs)
+
+
+def make_engine(seed=91):
+    return KSPEngine(build_graph(seed), alpha=2)
+
+
+class TestTimeoutRobustness:
+    def test_one_timed_out_query_does_not_abort_the_batch(self):
+        engine = make_engine()
+        workload = random_queries(random.Random(11), 20)
+        flaky = SelectiveEngine(engine, timeout_queries=[workload[7]])
+        report = flaky.query_batch(workload, workers=4, method="sp")
+
+        assert len(report.results) == 20
+        timed_out = [r for r in report.results if r.stats.timed_out]
+        assert len(timed_out) == 1
+        assert timed_out[0].query is workload[7]
+        assert timed_out[0].incomplete
+        assert report.timeout_count == 1
+        # Every other slot answered normally.
+        assert sum(1 for r in report.results if not r.incomplete) == 19
+        assert "timed out" in report.summary()
+
+    def test_metrics_expose_timeouts_latency_and_cache(self):
+        engine = make_engine(92)
+        workload = random_queries(random.Random(12), 20)
+        flaky = SelectiveEngine(engine, timeout_queries=[workload[3]])
+        flaky.query_batch(workload, workers=4, method="sp")
+        text = engine.metrics_text()
+        assert "ksp_query_timeouts_total 1" in text
+        assert "ksp_query_latency_seconds_bucket" in text
+        assert "ksp_query_latency_seconds_count 20" in text
+        assert "ksp_tqsp_cache_hit_ratio" in text
+
+    def test_worker_exception_recorded_not_fatal(self):
+        engine = make_engine(93)
+        workload = random_queries(random.Random(13), 10)
+        flaky = SelectiveEngine(engine, error_queries=[workload[2], workload[8]])
+        report = flaky.query_batch(workload, workers=4, method="spp")
+
+        assert len(report.results) == 10
+        errored = [r for r in report.results if r.stats.error is not None]
+        assert len(errored) == 2
+        assert all("RuntimeError: injected worker failure" == r.stats.error for r in errored)
+        assert all(len(r.places) == 0 and r.incomplete for r in errored)
+        assert report.error_count == 2
+        assert "errored" in report.summary()
+
+    def test_raw_query_timeout_from_worker_is_recorded(self):
+        # A custom engine (or a raw cursor) may raise QueryTimeout
+        # instead of returning a partial result; the batch still keeps
+        # every slot and flags the offender as timed out.
+        engine = make_engine(94)
+        workload = random_queries(random.Random(14), 6)
+        flaky = SelectiveEngine(engine, raise_timeout_queries=[workload[0]])
+        report = flaky.query_batch(workload, workers=3, method="bsp")
+        assert len(report.results) == 6
+        assert report.results[0].stats.timed_out
+        assert report.timeout_count == 1
+        assert report.error_count == 0
+
+    def test_sequential_path_equally_robust(self):
+        engine = make_engine(95)
+        workload = random_queries(random.Random(15), 5)
+        flaky = SelectiveEngine(engine, error_queries=[workload[4]])
+        report = flaky.query_batch(workload, workers=1, method="sp")
+        assert len(report.results) == 5
+        assert report.results[4].stats.error is not None
+
+
+class TestPartialResults:
+    def test_partial_topk_is_consistent_with_untimed_answer(self):
+        """A deadline mid-query yields a sound partial answer.
+
+        The untimed top-k scores are the k minimal scores over all
+        qualified places, so any partial best-so-far list must be
+        pointwise dominated by them; with no expiry the answers match
+        exactly.  ``ExpireAfterChecks`` injects a deterministic expiry
+        after N cooperative polls — no clock patching.
+        """
+        engine = make_engine(96)
+        rng = random.Random(16)
+        compared = 0
+        for query in random_queries(rng, 12):
+            full = engine.run(query, method="bsp")
+            full_scores = full.scores()
+            for checks in (0, 1, 2, 5):
+                partial = engine.run(
+                    query, method="bsp", timeout=ExpireAfterChecks(checks)
+                )
+                if not partial.stats.timed_out:
+                    assert partial.scores() == full_scores
+                    continue
+                compared += 1
+                assert partial.incomplete
+                partial_scores = partial.scores()
+                assert len(partial_scores) <= len(full_scores) or (
+                    len(partial_scores) <= query.k
+                )
+                for rank, score in enumerate(partial_scores):
+                    if rank < len(full_scores):
+                        assert score >= full_scores[rank] - 1e-12
+        assert compared > 0  # the injected deadlines actually fired
+
+    def test_injected_deadline_fires_in_every_algorithm(self):
+        engine = make_engine(97)
+        query = KSPQuery.create(Point(0.0, 0.0), ["alpha", "beta"], k=3)
+        for method in ("bsp", "spp", "sp", "ta"):
+            result = engine.run(
+                query, method=method, timeout=ExpireAfterChecks(0)
+            )
+            assert result.stats.timed_out, method
+            assert result.incomplete, method
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_logs_every_query(self):
+        engine = make_engine(98)
+        workload = random_queries(random.Random(17), 6)
+        report = engine.query_batch(
+            workload, workers=2, method="sp", slow_query_threshold=0.0
+        )
+        assert len(report.slow_queries) == 6
+        # Slowest first.
+        runtimes = [e.runtime_seconds for e in report.slow_queries]
+        assert runtimes == sorted(runtimes, reverse=True)
+        assert "slow queries" in report.summary()
+
+    def test_timed_out_query_always_logged(self):
+        engine = make_engine(99)
+        workload = random_queries(random.Random(18), 8)
+        flaky = SelectiveEngine(engine, timeout_queries=[workload[5]])
+        report = flaky.query_batch(
+            workload, workers=2, method="sp", slow_query_threshold=1000.0
+        )
+        assert [e.index for e in report.slow_queries] == [5]
+        assert report.slow_queries[0].timed_out
+        assert "timed out" in report.slow_queries[0].describe()
+
+    def test_no_threshold_no_log(self):
+        engine = make_engine(100)
+        workload = random_queries(random.Random(19), 3)
+        report = engine.query_batch(workload, workers=1, method="sp")
+        assert report.slow_queries == []

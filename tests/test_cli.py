@@ -145,3 +145,53 @@ class TestStatsFlag:
         )
         assert code == 0
         assert "statistics:" not in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_phase_breakdown(self, example_file, capsys):
+        code = main(
+            [
+                "query",
+                "--data", example_file,
+                "--location", "43.51,4.75",
+                "--keywords", "ancient", "roman",
+                "-k", "1",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace: per-phase breakdown" in out
+        assert "tqsp-bfs" in out
+
+    def test_no_trace_by_default(self, example_file, capsys):
+        code = main(
+            [
+                "query",
+                "--data", example_file,
+                "--location", "43.51,4.75",
+                "--keywords", "ancient", "roman",
+                "-k", "1",
+            ]
+        )
+        assert code == 0
+        assert "trace:" not in capsys.readouterr().out
+
+    def test_metrics_out_writes_exposition(self, example_file, capsys, tmp_path):
+        target = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "query",
+                "--data", example_file,
+                "--location", "43.51,4.75",
+                "--keywords", "ancient", "roman",
+                "-k", "1",
+                "--metrics-out", str(target),
+            ]
+        )
+        assert code == 0
+        assert "metrics written to" in capsys.readouterr().out
+        text = target.read_text(encoding="utf-8")
+        assert "# TYPE ksp_query_latency_seconds histogram" in text
+        assert "ksp_query_latency_seconds_count 1" in text
+        assert 'ksp_queries_total{method="sp"} 1' in text

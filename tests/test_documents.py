@@ -1,6 +1,5 @@
 """GraphBuilder: the [43]-style simplification from triples to data graph."""
 
-import pytest
 
 from repro.rdf import ntriples
 from repro.rdf.documents import GraphBuilder, graph_from_triples, parse_point_literal

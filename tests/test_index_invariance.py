@@ -12,7 +12,6 @@ from repro.core.sp import sp_search
 from repro.core.spp import spp_search
 from repro.datagen.queries import QueryGenerator, WorkloadConfig
 from repro.spatial.rtree import RTree
-from repro.text.inverted import InvertedIndex
 
 
 def signature(result):

@@ -42,9 +42,6 @@ class TestFilePipeline:
             # places *more* qualified, never less, so the direct results
             # must appear with at-most-equal scores.
             direct_roots = [p.root_label for p in direct_result]
-            file_roots = [
-                p.root_label.rsplit("/", 1)[-1] for p in file_result
-            ]
             if direct_roots:
                 assert len(file_result) >= len(direct_result)
                 assert file_result[0].score <= direct_result[0].score + 1e-9

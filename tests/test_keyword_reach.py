@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.rdf.graph import RDFGraph
 from repro.reach.keyword import BFSReachability, KeywordReachabilityIndex

@@ -142,3 +142,35 @@ class TestEngineSaveLoad:
         (bad / "manifest.json").write_text('{"format": 99}')
         with pytest.raises(ValueError):
             KSPEngine.load(bad)
+
+
+class TestManifestValidation:
+    """``KSPEngine.load`` must reject a graph/manifest mismatch.
+
+    A silently mismatched pair is the worst failure mode — the alpha
+    index and reachability labels were built for a *different* graph and
+    would mis-answer queries without any error.  Each tampered count
+    must be rejected with a message naming the offending field.
+    """
+
+    @pytest.fixture()
+    def tampered_copy(self, saved_engine, tmp_path):
+        import shutil
+
+        _, directory = saved_engine
+        copy = tmp_path / "tampered"
+        shutil.copytree(directory, copy)
+        return copy
+
+    @pytest.mark.parametrize("backend", ["memory", "disk"])
+    @pytest.mark.parametrize("field", ["vertices", "edges", "places"])
+    def test_count_mismatch_names_the_field(self, tampered_copy, field, backend):
+        manifest_path = tampered_copy / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest[field] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match=field):
+            KSPEngine.load(tampered_copy, graph_backend=backend)
+
+    def test_untampered_copy_loads(self, tampered_copy):
+        assert KSPEngine.load(tampered_copy).graph.vertex_count > 0

@@ -1,7 +1,6 @@
 """The public API surface: imports, __all__, and one end-to-end flow
 through only top-level names."""
 
-import pytest
 
 
 class TestTopLevelExports:

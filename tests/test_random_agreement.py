@@ -5,9 +5,7 @@ feeds the algorithms completely unstructured graphs — disconnected parts,
 empty documents, coincident locations, dangling places — and asserts all
 four algorithms still match the exhaustive reference."""
 
-import math
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

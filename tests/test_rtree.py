@@ -1,6 +1,5 @@
 """R-tree structural invariants and query correctness."""
 
-import math
 import random
 
 import pytest

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf.terms import IRI, Literal
+from repro.rdf.terms import IRI
 from repro.sparql.ast import Variable
 from repro.sparql.eval import QueryEngine
 from repro.sparql.store import TripleStore

@@ -8,7 +8,6 @@ the same solution multiset, for arbitrary small stores and patterns.
 
 import itertools
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

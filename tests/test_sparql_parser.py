@@ -8,7 +8,6 @@ from repro.sparql.ast import (
     Comparison,
     FunctionCall,
     NumberExpr,
-    TermExpr,
     TriplePattern,
     Variable,
 )

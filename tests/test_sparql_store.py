@@ -1,6 +1,5 @@
 """Triple store: permutation indexes and pattern matching."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,14 +8,14 @@ from repro.sparql.store import TripleStore
 
 S = [IRI("http://x/s%d" % i) for i in range(4)]
 P = [IRI("http://x/p%d" % i) for i in range(3)]
-O = [IRI("http://x/o%d" % i) for i in range(4)] + [Literal("lit")]
+OBJ = [IRI("http://x/o%d" % i) for i in range(4)] + [Literal("lit")]
 
 triples_strategy = st.lists(
     st.builds(
         Triple,
         st.sampled_from(S),
         st.sampled_from(P),
-        st.sampled_from(O),
+        st.sampled_from(OBJ),
     ),
     max_size=40,
 )
@@ -34,14 +33,14 @@ def linear_match(triples, s=None, p=None, o=None):
 
 class TestStore:
     def test_add_and_contains(self):
-        triple = Triple(S[0], P[0], O[0])
+        triple = Triple(S[0], P[0], OBJ[0])
         store = TripleStore([triple])
         assert len(store) == 1
         assert triple in store
-        assert Triple(S[0], P[0], O[1]) not in store
+        assert Triple(S[0], P[0], OBJ[1]) not in store
 
     def test_duplicates_ignored(self):
-        triple = Triple(S[0], P[0], O[0])
+        triple = Triple(S[0], P[0], OBJ[0])
         store = TripleStore([triple, triple])
         assert len(store) == 1
 
@@ -59,7 +58,7 @@ class TestStore:
         reference = set(triples)
         for s in [None, S[0], S[3]]:
             for p in [None, P[0]]:
-                for o in [None, O[0], O[4]]:
+                for o in [None, OBJ[0], OBJ[4]]:
                     assert set(store.match(s, p, o)) == linear_match(
                         reference, s, p, o
                     )
@@ -71,7 +70,7 @@ class TestStore:
         reference = set(triples)
         for s in [None, S[0]]:
             for p in [None, P[1]]:
-                for o in [None, O[2]]:
+                for o in [None, OBJ[2]]:
                     exact = len(linear_match(reference, s, p, o))
                     estimate = store.cardinality_estimate(s, p, o)
                     assert estimate >= exact
@@ -81,8 +80,8 @@ class TestStore:
                         assert estimate == exact
 
     def test_introspection(self):
-        store = TripleStore([Triple(S[0], P[0], O[0]), Triple(S[1], P[1], O[0])])
+        store = TripleStore([Triple(S[0], P[0], OBJ[0]), Triple(S[1], P[1], OBJ[0])])
         assert set(store.subjects()) == {S[0], S[1]}
         assert set(store.predicates()) == {P[0], P[1]}
-        assert O[0] in set(store.objects())
+        assert OBJ[0] in set(store.objects())
         assert len(list(store.triples())) == 2

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rdf.terms import IRI, Literal
 from repro.sparql.ast import Variable
 from repro.sparql.eval import QueryEngine
 from repro.sparql.parser import SparqlSyntaxError, parse_query

@@ -1,6 +1,5 @@
 """Edge cases of the query algorithms that the main suites skim over."""
 
-import math
 
 import pytest
 

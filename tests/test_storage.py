@@ -7,7 +7,6 @@ from repro.datagen import QueryGenerator, WorkloadConfig
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
 from repro.datagen.sampling import induced_subgraph
 from repro.rdf.graph import RDFGraph
-from repro.spatial.geometry import Point
 from repro.storage.diskgraph import DiskRDFGraph, write_disk_graph
 from repro.storage.pages import BufferPool
 

@@ -1,8 +1,6 @@
 """The TA looseness stream: emission order, completeness, exhaustion."""
 
-import math
 
-import pytest
 
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.ta import LoosenessStream

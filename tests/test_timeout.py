@@ -1,11 +1,9 @@
 """The per-query timeout protocol (the paper's 120 s BSP abort)."""
 
-import math
 
 import pytest
 
 from repro.core.exhaustive import exhaustive_search
-from repro.core.query import KSPQuery
 from repro.datagen import QueryGenerator, WorkloadConfig
 from repro.spatial.geometry import Point
 

@@ -159,3 +159,74 @@ class TestKeying:
         assert counters["capacity"] == 8
         assert counters["hits"] == 1
         assert counters["misses"] == 1
+
+
+class TestThreadSafety:
+    """Counter and membership reads are atomic under concurrent writers.
+
+    Eight workers hammer one shared cache with interleaved stores and
+    lookups while readers repeatedly call ``counters()`` / ``len`` /
+    ``in``; every snapshot must be internally consistent (the fixed bug:
+    unlocked reads could observe hits and misses from different
+    instants, or race ``_put``'s eviction loop mid-mutation).
+    """
+
+    def test_eight_worker_hammer_keeps_counters_consistent(self):
+        import threading
+
+        cache = TQSPCache(capacity=64)
+        workers = 8
+        rounds = 400
+        start = threading.Barrier(workers + 1)
+        snapshots = []
+        errors = []
+
+        def writer(worker_id):
+            try:
+                start.wait()
+                for i in range(rounds):
+                    key = TQSPCache.key((worker_id * rounds + i) % 96, ["t"], False)
+                    if cache.lookup(key, math.inf) is None:
+                        cache.store(key, complete(2.0), math.inf)
+                    key in cache  # noqa: B015 - exercising the locked path
+                    len(cache)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                start.wait()
+                for _ in range(rounds):
+                    snapshots.append(cache.counters())
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(workers)
+        ] + [threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        total_lookups = workers * rounds
+        previous_events = -1
+        for snap in snapshots:
+            assert 0 <= snap["entries"] <= snap["capacity"] == 64
+            events = snap["hits"] + snap["misses"] + snap["bound_reuses"]
+            assert events <= total_lookups
+            # One reader thread: event totals can only grow between its
+            # successive snapshots.  A torn (unlocked) view could go
+            # backwards.
+            assert events >= previous_events
+            previous_events = events
+        final = cache.counters()
+        assert final["hits"] + final["misses"] == total_lookups
+        assert len(cache) == final["entries"] <= 64
+
+    def test_counters_snapshot_is_detached(self):
+        cache = TQSPCache(capacity=4)
+        snap = cache.counters()
+        snap["hits"] = 999
+        assert cache.counters()["hits"] == 0

@@ -1,0 +1,214 @@
+"""Observability layer: QueryTrace, MetricsRegistry and their engine wiring.
+
+Two properties matter: tracing must be *strictly additive* (identical
+top-k with the recorder on or off), and the Prometheus exposition must
+be well-formed text a scraper can ingest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.core.engine import KSPEngine
+from repro.core.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.core.trace import (
+    PHASE_ALPHA,
+    PHASE_REACH,
+    PHASE_RTREE,
+    PHASE_STREAM,
+    PHASE_TQSP,
+    QueryTrace,
+)
+
+from tests.test_batch_cache_agreement import (
+    METHODS,
+    build_graph,
+    fingerprint,
+    random_queries,
+)
+
+import pytest
+
+
+class TestQueryTrace:
+    def test_add_accumulates(self):
+        trace = QueryTrace()
+        trace.add("x", 0.5)
+        trace.add("x", 0.25, count=3)
+        assert trace.seconds("x") == 0.75
+        assert trace.count("x") == 4
+        assert trace.phases() == ["x"]
+        assert trace.total_seconds() == 0.75
+        assert bool(trace)
+
+    def test_empty_trace(self):
+        trace = QueryTrace()
+        assert not trace
+        assert trace.seconds("missing") == 0.0
+        assert trace.count("missing") == 0
+        assert trace.report() == "trace: no phases recorded"
+
+    def test_span_context_manager(self):
+        trace = QueryTrace()
+        with trace.span("work"):
+            pass
+        assert trace.count("work") == 1
+        assert trace.seconds("work") >= 0.0
+
+    def test_as_dict(self):
+        trace = QueryTrace()
+        trace.add("a", 1.0, count=2)
+        assert trace.as_dict() == {"a": {"seconds": 1.0, "count": 2}}
+
+    def test_report_sorted_with_untraced_remainder(self):
+        trace = QueryTrace()
+        trace.add("small", 0.1)
+        trace.add("large", 0.6)
+        report = trace.report(runtime_seconds=1.0)
+        lines = report.splitlines()
+        assert "large" in lines[1] and "60.0%" in lines[1]
+        assert "small" in lines[2]
+        assert "(untraced)" in lines[3] and "30.0%" in lines[3]
+
+
+class TestMetricsPrimitives:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_cumulative_buckets(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts[0.1] == 1
+        assert counts[1.0] == 2
+        assert counts[math.inf] == 3
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+
+    def test_histogram_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", "help")
+        b = registry.counter("requests_total")
+        assert a is b
+
+    def test_labels_separate_instances_same_family(self):
+        registry = MetricsRegistry()
+        sp = registry.counter("queries_total", labels={"method": "sp"})
+        ta = registry.counter("queries_total", labels={"method": "ta"})
+        assert sp is not ta
+        sp.inc(2)
+        ta.inc()
+        text = registry.render_text()
+        assert 'queries_total{method="sp"} 2' in text
+        assert 'queries_total{method="ta"} 1' in text
+        # One family header for both children.
+        assert text.count("# TYPE queries_total counter") == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_render_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things done").inc(3)
+        registry.gauge("b_current", "things now").set(1.5)
+        h = registry.histogram("c_seconds", "latency", buckets=(0.5,))
+        h.observe(0.25)
+        h.observe(2.0)
+        text = registry.render_text()
+        assert "# HELP a_total things done\n# TYPE a_total counter\na_total 3" in text
+        assert "# TYPE b_current gauge\nb_current 1.5" in text
+        assert 'c_seconds_bucket{le="0.5"} 1' in text
+        assert 'c_seconds_bucket{le="+Inf"} 2' in text
+        assert "c_seconds_sum 2.25" in text
+        assert "c_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_text() == ""
+
+
+@pytest.fixture(scope="module")
+def engine():
+    # Large enough that the R-tree has internal levels, so SP's
+    # node-expansion phase is exercised too.
+    return KSPEngine(build_graph(57, vertex_count=300), alpha=2)
+
+
+class TestTraceAgreement:
+    def test_traced_and_untraced_topk_identical(self, engine):
+        """Tracing must never change an answer (the recorder only times)."""
+        rng = random.Random(58)
+        for query in random_queries(rng, 15):
+            for method in METHODS:
+                plain = engine.run(query, method=method)
+                traced = engine.run(query, method=method, trace=True)
+                assert fingerprint(traced) == fingerprint(plain), (
+                    method,
+                    query.keywords,
+                )
+                assert plain.trace is None
+                assert traced.trace is not None
+
+    def test_expected_phases_recorded_per_algorithm(self, engine):
+        rng = random.Random(59)
+        expected = {
+            "bsp": {PHASE_RTREE, PHASE_TQSP},
+            "spp": {PHASE_RTREE, PHASE_REACH},
+            "sp": {PHASE_RTREE, PHASE_ALPHA},
+            "ta": {PHASE_STREAM},
+        }
+        seen = {method: set() for method in METHODS}
+        for query in random_queries(rng, 10):
+            for method in METHODS:
+                result = engine.run(query, method=method, trace=True)
+                seen[method].update(result.trace.phases())
+        for method, phases in expected.items():
+            assert phases <= seen[method], (method, seen[method])
+
+    def test_trace_rendered_by_explain(self, engine):
+        query = random_queries(random.Random(60), 1)[0]
+        result = engine.run(query, method="sp", trace=True)
+        assert "trace: per-phase breakdown" in result.explain()
+
+    def test_engine_metrics_after_queries(self, engine):
+        for query in random_queries(random.Random(61), 5):
+            engine.run(query, method="sp")
+        text = engine.metrics_text()
+        assert "# TYPE ksp_query_latency_seconds histogram" in text
+        assert 'ksp_queries_total{method="sp"}' in text
+        assert "ksp_tqsp_cache_entries" in text
+        assert "ksp_tqsp_cache_hit_ratio" in text
+        assert "ksp_query_timeouts_total" in text

@@ -16,6 +16,7 @@ Run with::
 from repro import KSPEngine
 from repro.datagen import YAGO_LIKE, generate_graph
 from repro.spatial.geometry import Point
+from repro.core.config import EngineConfig
 
 
 def opportunity_score(result):
@@ -31,7 +32,7 @@ def main():
     profile = YAGO_LIKE.scaled(6_000)
     print("Generating %s corpus..." % profile.name)
     graph = generate_graph(profile)
-    engine = KSPEngine(graph, alpha=3)
+    engine = KSPEngine(graph, EngineConfig(alpha=3))
     print(
         "  %d vertices, %d edges, %d places"
         % (graph.vertex_count, graph.edge_count, graph.place_count())
@@ -86,7 +87,7 @@ def main():
 
     # Extension: ignore edge directions (Section 8 future work).  Results
     # can only get tighter — every directed tree is also an undirected one.
-    undirected_engine = KSPEngine(graph, alpha=3, undirected=True)
+    undirected_engine = KSPEngine(graph, EngineConfig(alpha=3, undirected=True))
     directed = engine.query(best_site, keywords, k=1, method="sp")
     undirected = undirected_engine.query(best_site, keywords, k=1, method="sp")
     print("\nEdge-direction sensitivity at the recommended site:")

@@ -25,6 +25,7 @@ import time
 
 from repro import KSPEngine
 from repro.datagen import YAGO_LIKE, QueryGenerator, WorkloadConfig, generate_graph
+from repro.core.config import EngineConfig
 
 
 def main():
@@ -34,7 +35,7 @@ def main():
 
     print("Building the engine (this is the expensive, once-only part)...")
     build_started = time.monotonic()
-    engine = KSPEngine(graph, alpha=3)
+    engine = KSPEngine(graph, EngineConfig(alpha=3))
     build_seconds = time.monotonic() - build_started
     print("  built in %.2f s %s" % (build_seconds, engine.build_seconds))
 
@@ -65,16 +66,23 @@ def main():
         )
 
         cursor = served.cursor(query.location, query.keywords)
-        for page in range(1, 4):
-            places = cursor.take(5)
-            if not places:
-                print("  page %d: (end of results)" % page)
+        for page_number in range(1, 4):
+            # Each pagination step is a KSPResult, so the page shares the
+            # wire schema (to_dict) with engine.query and the HTTP server.
+            page = cursor.page(5)
+            if not page.places:
+                print("  page %d: (end of results)" % page_number)
                 break
-            print("  page %d:" % page)
-            for place in places:
+            print("  page %d:" % page_number)
+            for entry in page.to_dict()["places"]:
                 print(
                     "    %-14s f=%8.3f L=%.0f S=%.3f"
-                    % (place.root_label, place.score, place.looseness, place.distance)
+                    % (
+                        entry["label"],
+                        entry["score"],
+                        entry["looseness"],
+                        entry["distance"],
+                    )
                 )
         print(
             "  cursor stats: %d TQSP constructions, %d R-tree nodes, "
@@ -87,7 +95,7 @@ def main():
         )
 
         # The classic fixed-k query returns the same top results.
-        batch = served.run(query, method="sp")
+        batch = served.query(query, method="sp")
         stream_scores = [
             round(p.score, 9)
             for p in served.cursor(query.location, query.keywords).take(query.k)

@@ -23,6 +23,7 @@ Run with::
 
 from repro import KSPEngine, MultiplicativeRanking, WeightedSumRanking
 from repro.datagen import DBPEDIA_LIKE, QueryGenerator, WorkloadConfig, generate_graph
+from repro.core.config import EngineConfig
 
 
 def show_results(engine, result, limit=3):
@@ -59,7 +60,7 @@ def main():
     )
 
     print("Building the kSP engine (alpha = 3)...")
-    engine = KSPEngine(graph, alpha=3)
+    engine = KSPEngine(graph, EngineConfig(alpha=3))
     for index, seconds in engine.build_seconds.items():
         print("  %-15s %6.2f s" % (index, seconds))
 
@@ -72,7 +73,7 @@ def main():
     print("Query location: (%.2f, %.2f)" % (query.location.x, query.location.y))
 
     print("\nTop-5 semantic places (SP algorithm):")
-    result = engine.run(query, method="sp")
+    result = engine.query(query, method="sp")
     show_results(engine, result, limit=5)
 
     # Location-awareness: move the user across the map and re-ask.
@@ -84,7 +85,7 @@ def main():
         query, location=Point(query.location.x + 15.0, query.location.y)
     )
     print("\nSame keywords, user moved 15 degrees east:")
-    moved_result = engine.run(moved, method="sp")
+    moved_result = engine.query(moved, method="sp")
     show_results(engine, moved_result, limit=5)
     if result.roots() != moved_result.roots():
         print("  -> the ranking changed with the location (location-aware).")
@@ -92,7 +93,7 @@ def main():
     # Equation 2 (product) vs Equation 1 (weighted sum).
     print("\nRanking functions on the original query:")
     for ranking in (MultiplicativeRanking(), WeightedSumRanking(beta=0.9)):
-        ranked = engine.run(query, method="sp", ranking=ranking)
+        ranked = engine.query(query, method="sp", ranking=ranking)
         roots = ", ".join(p.root_label for p in ranked[:3])
         print("  %-35r top-3: %s" % (ranking, roots))
 
@@ -103,7 +104,7 @@ def main():
         % ("alg", "time(ms)", "TQSPs", "nodes", "reach")
     )
     for method in ("bsp", "spp", "sp", "ta"):
-        answer = engine.run(query, method=method)
+        answer = engine.query(query, method=method)
         stats = answer.stats
         print(
             "  %-4s %10.1f %8d %8d %8d"

@@ -16,6 +16,7 @@ Quickstart::
         print(place.root_label, place.score)
 """
 
+from repro.core.config import EngineConfig, QueryOptions
 from repro.core.engine import KSPEngine
 from repro.core.keyword_search import KeywordTree, keyword_search
 from repro.core.query import KSPQuery, KSPResult, SemanticPlace
@@ -29,6 +30,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "KSPEngine",
+    "EngineConfig",
+    "QueryOptions",
     "KSPQuery",
     "KSPResult",
     "SemanticPlace",

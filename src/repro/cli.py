@@ -1,24 +1,29 @@
 """Command-line interface for the kSP engine.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro query    --data kb.nt --location 43.51,4.75 \
                              --keywords ancient roman -k 5 --method sp
+    python -m repro serve    --data kb.nt --port 8080 --workers 4
     python -m repro stats    --data kb.nt
     python -m repro generate --profile yago-like --vertices 5000 --output kb.nt
 
 ``query`` loads an N-Triples knowledge base, builds the engine and answers
 one kSP query, printing the ranked places, their TQSP trees and the
-execution statistics.  ``stats`` prints dataset and index reports.
-``generate`` writes a synthetic spatial RDF corpus for experimentation.
+execution statistics (``--json`` emits the wire schema instead).
+``serve`` runs the HTTP/JSON query service (see :mod:`repro.serve`).
+``stats`` prints dataset and index reports.  ``generate`` writes a
+synthetic spatial RDF corpus for experimentation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.core.config import EngineConfig
 from repro.core.engine import ALGORITHMS, KSPEngine
 from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
 from repro.datagen.profiles import PROFILES
@@ -78,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
         "ascent, reachability probes, TQSP BFS, alpha bounds)",
     )
     query.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as wire-schema JSON (KSPResult.to_dict) "
+        "instead of the human-readable listing",
+    )
+    query.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -88,6 +99,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="dataset and index reports")
     stats.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
     stats.add_argument("--alpha", type=int, default=3)
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP/JSON query service (see repro.serve)"
+    )
+    serve.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--alpha", type=int, default=3, help="alpha radius for SP")
+    serve.add_argument(
+        "--undirected", action="store_true", help="disregard edge directions"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="queries admitted into the engine concurrently",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded admission queue; beyond it requests get 429",
+    )
+    serve.add_argument(
+        "--default-timeout",
+        type=float,
+        default=None,
+        help="per-request budget in seconds when the client sends none",
+    )
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
     generate.add_argument(
@@ -102,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_query(args) -> int:
     engine = KSPEngine.from_file(
-        args.data, alpha=args.alpha, undirected=args.undirected
+        args.data, EngineConfig(alpha=args.alpha, undirected=args.undirected)
     )
     ranking = (
         MultiplicativeRanking()
@@ -118,6 +158,13 @@ def _cmd_query(args) -> int:
         timeout=args.timeout,
         trace=args.trace,
     )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if args.metrics_out:
+            from pathlib import Path
+
+            Path(args.metrics_out).write_text(engine.metrics_text(), encoding="utf-8")
+        return 0
     if not result.places:
         print("no qualified semantic place covers all keywords")
     for rank, place in enumerate(result, start=1):
@@ -145,8 +192,10 @@ def _cmd_query(args) -> int:
         )
     )
     if args.stats:
+        # The wire schema (KSPResult.to_dict) is the one source of truth
+        # for what a query execution reports — the table mirrors it.
         print("statistics:")
-        for key, value in stats.as_dict().items():
+        for key, value in sorted(result.to_dict()["stats"].items()):
             print("  %-22s %s" % (key, value))
         if engine.tqsp_cache is not None:
             print("tqsp cache:")
@@ -165,7 +214,7 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    engine = KSPEngine.from_file(args.data, alpha=args.alpha)
+    engine = KSPEngine.from_file(args.data, EngineConfig(alpha=args.alpha))
     print("dataset:")
     for key, value in engine.dataset_report().items():
         print("  %-20s %s" % (key, value))
@@ -175,6 +224,32 @@ def _cmd_stats(args) -> int:
     print("build times (seconds):")
     for key, value in engine.build_seconds.items():
         print("  %-20s %.3f" % (key, value))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import KSPServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout=args.default_timeout,
+    )
+
+    def load_engine():
+        return KSPEngine.from_file(
+            args.data, EngineConfig(alpha=args.alpha, undirected=args.undirected)
+        )
+
+    # The socket opens immediately; /v1/ready flips to 200 once the
+    # background index build finishes.
+    server = KSPServer(engine_loader=load_engine, config=config).start()
+    print("kSP query service listening on %s" % server.url)
+    print("  POST /v1/query   POST /v1/batch")
+    print("  GET  /v1/metrics GET  /v1/healthz  GET  /v1/ready")
+    server.serve_forever()
     return 0
 
 
@@ -205,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "generate":
         return _cmd_generate(args)
     raise AssertionError("unreachable")

@@ -3,12 +3,19 @@ evaluation algorithms."""
 
 from repro.core.batch import BatchReport, SlowQuery, run_batch
 from repro.core.bsp import bsp_search
+from repro.core.config import EngineConfig, QueryOptions
 from repro.core.cursor import KSPCursor, ksp_cursor
 from repro.core.deadline import Deadline
 from repro.core.engine import ALGORITHMS, KSPEngine
 from repro.core.exhaustive import exhaustive_search
 from repro.core.keyword_search import KeywordTree, keyword_search
-from repro.core.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.core.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServingMetrics,
+)
 from repro.core.query import KSPQuery, KSPResult, SemanticPlace
 from repro.core.ranking import (
     DEFAULT_RANKING,
@@ -26,6 +33,8 @@ from repro.core.trace import QueryTrace
 
 __all__ = [
     "KSPEngine",
+    "EngineConfig",
+    "QueryOptions",
     "ALGORITHMS",
     "KSPQuery",
     "KSPResult",
@@ -54,6 +63,7 @@ __all__ = [
     "Deadline",
     "QueryTrace",
     "MetricsRegistry",
+    "ServingMetrics",
     "Counter",
     "Gauge",
     "Histogram",

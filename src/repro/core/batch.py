@@ -28,8 +28,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.config import QueryOptions, fold_legacy_kwargs
 from repro.core.query import KSPQuery, KSPResult
-from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
 
 
@@ -43,6 +43,7 @@ class SlowQuery:
     runtime_seconds: float
     timed_out: bool = False
     error: Optional[str] = None
+    request_id: Optional[str] = None
 
     def describe(self) -> str:
         flags = []
@@ -51,8 +52,13 @@ class SlowQuery:
         if self.error is not None:
             flags.append("error: %s" % self.error)
         suffix = (" [%s]" % "; ".join(flags)) if flags else ""
-        return "#%d %s k=%d %.1f ms%s" % (
-            self.index,
+        prefix = (
+            "#%d" % self.index
+            if self.request_id is None
+            else "#%d (%s)" % (self.index, self.request_id)
+        )
+        return "%s %s k=%d %.1f ms%s" % (
+            prefix,
             "/".join(self.keywords),
             self.k,
             1000.0 * self.runtime_seconds,
@@ -149,13 +155,20 @@ class BatchReport:
 def run_batch(
     engine,
     queries: Sequence[KSPQuery],
+    options: Optional[QueryOptions] = None,
     workers: int = 4,
-    method: str = "sp",
-    ranking: RankingFunction = DEFAULT_RANKING,
-    timeout: Optional[float] = None,
     slow_query_threshold: Optional[float] = None,
+    request_ids: Optional[Sequence[Optional[str]]] = None,
+    **legacy,
 ) -> BatchReport:
     """Execute ``queries`` against ``engine`` and aggregate the stats.
+
+    ``options`` (a :class:`~repro.core.config.QueryOptions`) carries
+    method/ranking/timeout for every query in the batch; the historic
+    ``method=``/``ranking=``/``timeout=`` kwargs keep working with a
+    :class:`DeprecationWarning`.  ``request_ids``, aligned with
+    ``queries``, tags each result (``KSPResult.request_id``) and its
+    slow-query-log entry.
 
     ``workers`` > 1 fans the batch over a thread pool; every worker gets
     its own BFS scratch buffers (via the runtime's thread-local storage)
@@ -171,31 +184,45 @@ def run_batch(
     the threshold (and every timed-out/errored query) in
     ``BatchReport.slow_queries``, slowest first.
     """
+    options = fold_legacy_kwargs(
+        "run_batch", options or QueryOptions(), legacy, "options=QueryOptions(...)"
+    )
     queries = list(queries)
     if workers < 1:
         raise ValueError("workers must be positive")
+    if request_ids is not None and len(request_ids) != len(queries):
+        raise ValueError("request_ids must align one-to-one with queries")
+    method = options.method or "sp"
 
-    def run_one(query: KSPQuery) -> KSPResult:
+    def run_one(query: KSPQuery, request_id: Optional[str]) -> KSPResult:
+        slot_options = (
+            options if request_id is None else options.replace(request_id=request_id)
+        )
         try:
-            return engine.run(query, method=method, ranking=ranking, timeout=timeout)
+            return engine.query(query, options=slot_options)
         except QueryTimeout:
             # Engines return partial results on expiry; a raw cursor or a
             # custom engine may still raise — record, don't abort.
             stats = QueryStats(algorithm=method.upper(), timed_out=True)
-            return KSPResult(query=query, stats=stats)
+            return KSPResult(query=query, stats=stats, request_id=request_id)
         except Exception as exc:
             stats = QueryStats(
                 algorithm=method.upper(),
                 error="%s: %s" % (type(exc).__name__, exc),
             )
-            return KSPResult(query=query, stats=stats)
+            return KSPResult(query=query, stats=stats, request_id=request_id)
 
+    ids: Sequence[Optional[str]] = (
+        request_ids if request_ids is not None else [None] * len(queries)
+    )
     started = time.monotonic()
     if workers == 1 or len(queries) <= 1:
-        results = [run_one(query) for query in queries]
+        results = [run_one(query, rid) for query, rid in zip(queries, ids)]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(run_one, query) for query in queries]
+            futures = [
+                pool.submit(run_one, query, rid) for query, rid in zip(queries, ids)
+            ]
             # run_one never raises, so gathering in submission order keeps
             # result slots aligned with the input workload.
             results = [future.result() for future in futures]
@@ -222,6 +249,7 @@ def run_batch(
                         runtime_seconds=stats.runtime_seconds,
                         timed_out=stats.timed_out,
                         error=stats.error,
+                        request_id=result.request_id,
                     )
                 )
         slow_queries.sort(key=lambda entry: -entry.runtime_seconds)

@@ -12,6 +12,16 @@ admissibility argument as Algorithm 4's termination test, applied per
 emission.  Pruning Rule 1 still discards unqualified places before TQSP
 construction; Rules 2-4 need a k-th-score threshold and therefore do not
 apply (this is the price of not fixing ``k``).
+
+Deadlines apply at two scopes.  The cursor-level deadline (from
+``QueryOptions.timeout``) bounds the whole stream.  On top of it, every
+continuation fetch — :meth:`KSPCursor.take` / :meth:`KSPCursor.page` —
+accepts its own per-poll ``timeout``, resolved with
+:meth:`~repro.core.deadline.Deadline.resolve` and consulted at the same
+yield points (frontier pops and inside the TQSP BFS), so a paginated
+client cannot hang past the budget of the poll it is waiting on.  An
+expired fetch returns the partially filled page with
+``stats.timed_out`` set instead of raising.
 """
 
 from __future__ import annotations
@@ -20,11 +30,12 @@ import heapq
 import itertools
 import math
 import time
+from dataclasses import replace
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.alpha.index import AlphaIndex
 from repro.core.deadline import Deadline
-from repro.core.query import KSPQuery, SemanticPlace
+from repro.core.query import KSPQuery, KSPResult, SemanticPlace
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
 from repro.core.semantic_place import SearchStatus, SemanticPlaceSearcher
 from repro.core.stats import QueryStats, QueryTimeout
@@ -50,6 +61,7 @@ class KSPCursor:
         undirected: bool = False,
         timeout: Optional[float] = None,
         runtime=None,
+        request_id: Optional[str] = None,
     ) -> None:
         self._graph = graph
         self._ranking = ranking
@@ -62,7 +74,10 @@ class KSPCursor:
         self._rarest_first = order_rarest_first(inverted_index, query.keywords)
         self._view = alpha_index.query_view(query.keywords)
         self.stats = QueryStats(algorithm="SP-CURSOR")
+        self.request_id = request_id
         self._deadline = Deadline.resolve(timeout)
+        # Per-fetch (take/page) deadline, rearmed by each poll.
+        self._fetch_deadline: Optional[Deadline] = None
 
         self._counter = itertools.count()
         # Traversal queue: (alpha score bound, tiebreak, is_place, item, S).
@@ -96,6 +111,16 @@ class KSPCursor:
     def _frontier_bound(self) -> float:
         return self._frontier[0][0] if self._frontier else math.inf
 
+    def _effective_deadline(self) -> Optional[Deadline]:
+        """The binding deadline right now: the tighter of the stream's
+        and the current fetch's (continuation polls rearm the latter)."""
+        fetch = self._fetch_deadline
+        if fetch is None:
+            return self._deadline
+        if self._deadline is None or fetch.at <= self._deadline.at:
+            return fetch
+        return self._deadline
+
     def __iter__(self) -> Iterator[SemanticPlace]:
         return self
 
@@ -106,7 +131,8 @@ class KSPCursor:
                 return place
             if not self._frontier:
                 raise StopIteration
-            if self._deadline is not None and self._deadline.expired():
+            deadline = self._effective_deadline()
+            if deadline is not None and deadline.expired():
                 self.stats.timed_out = True
                 raise QueryTimeout()
 
@@ -141,7 +167,7 @@ class KSPCursor:
                     item.key,
                     self._query_map,
                     stats=self.stats,
-                    deadline=self._deadline,
+                    deadline=deadline,
                 )
             finally:
                 self.stats.semantic_seconds += time.monotonic() - semantic_started
@@ -154,14 +180,62 @@ class KSPCursor:
             )
             heapq.heappush(self._buffer, (score, place.root, place))
 
-    def take(self, count: int) -> List[SemanticPlace]:
-        """The next ``count`` places (fewer if the stream ends)."""
+    def take(
+        self,
+        count: int,
+        timeout: Optional[Union[float, Deadline]] = None,
+    ) -> List[SemanticPlace]:
+        """The next ``count`` places (fewer if the stream ends).
+
+        ``timeout`` bounds *this* fetch: seconds or a pre-built
+        :class:`~repro.core.deadline.Deadline` (resolved with
+        :meth:`Deadline.resolve`), polled at every frontier pop and
+        inside the TQSP BFS exactly like the stream-level deadline.  On
+        expiry the partially filled page is returned (possibly empty)
+        with ``stats.timed_out`` set — the cursor itself stays usable,
+        so the next poll, with a fresh budget, resumes where this one
+        stopped.
+        """
         out: List[SemanticPlace] = []
-        for place in self:
-            out.append(place)
-            if len(out) == count:
-                break
+        previous = self._fetch_deadline
+        self._fetch_deadline = Deadline.resolve(timeout)
+        if timeout is not None and not (
+            self._deadline is not None and self._deadline.expired()
+        ):
+            # A fresh poll budget: a truncation flag left by an earlier
+            # poll must not outlive the poll it described.
+            self.stats.timed_out = False
+        try:
+            for place in self:
+                out.append(place)
+                if len(out) == count:
+                    break
+        except QueryTimeout:
+            if timeout is None:
+                raise  # the stream-level deadline expired: not a poll budget
+        finally:
+            self._fetch_deadline = previous
         return out
+
+    def page(
+        self,
+        count: int,
+        timeout: Optional[Union[float, Deadline]] = None,
+    ) -> KSPResult:
+        """One pagination step as a :class:`KSPResult`.
+
+        Wraps :meth:`take` so paginated serving shares the single wire
+        schema (:meth:`KSPResult.to_dict`) with ``engine.query`` and
+        the HTTP server; ``stats`` is a snapshot of the cursor's
+        cumulative counters after the fetch.
+        """
+        places = self.take(count, timeout=timeout)
+        return KSPResult(
+            query=self._query,
+            places=places,
+            stats=replace(self.stats),
+            request_id=self.request_id,
+        )
 
 
 def ksp_cursor(
@@ -176,6 +250,7 @@ def ksp_cursor(
     undirected: bool = False,
     timeout: Optional[float] = None,
     runtime=None,
+    request_id: Optional[str] = None,
 ) -> KSPCursor:
     """Build a :class:`KSPCursor` from raw components.
 
@@ -194,4 +269,5 @@ def ksp_cursor(
         undirected=undirected,
         timeout=timeout,
         runtime=runtime,
+        request_id=request_id,
     )

@@ -12,13 +12,15 @@ Build wall-times land in ``build_seconds`` (Table 5) and index sizes in
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.alpha.index import AlphaIndex
 from repro.core.bsp import bsp_search
+from repro.core.config import EngineConfig, QueryOptions, fold_legacy_kwargs
 from repro.core.metrics import MetricsRegistry
 from repro.core.query import KSPQuery, KSPResult
-from repro.core.ranking import DEFAULT_RANKING, RankingFunction
+from repro.core.ranking import RankingFunction
 from repro.core.runtime import TQSPRuntime
 from repro.core.sp import sp_search
 from repro.core.spp import spp_search
@@ -45,50 +47,40 @@ class KSPEngine:
     ----------
     graph:
         The simplified RDF data graph (see :mod:`repro.rdf.documents`).
-    alpha:
-        Radius of the word neighborhoods (paper default 3).
-    rtree_max_entries:
-        R-tree node capacity.
-    build_reachability / build_alpha:
-        Disable to skip the respective preprocessing (then only the
-        algorithms that do not need the index can run).
-    undirected:
-        Treat edges as undirected everywhere — the paper's future-work
-        variant.
-    use_csr_kernel:
-        Snapshot the graph into flat-array CSR adjacency and run every
-        TQSP construction (and the alpha preprocessing BFS) on the
-        fast-path kernel.  Disable to force the seed generator path.
-    tqsp_cache_size:
-        Capacity of the cross-query TQSP result cache (entries); 0
-        disables caching.
+    config:
+        An :class:`~repro.core.config.EngineConfig` with every
+        construction knob (alpha radius, R-tree capacity, which indexes
+        to build, fast-path and cache settings, default ranking and
+        batch worker count).
+
+    The pre-1.1 keyword arguments (``alpha=``, ``undirected=``,
+    ``tqsp_cache_size=``, ...) keep working for one release; they emit
+    a :class:`DeprecationWarning` and are folded into ``config``.
     """
 
     def __init__(
         self,
         graph: RDFGraph,
-        alpha: int = 3,
-        rtree_max_entries: int = 32,
-        build_reachability: bool = True,
-        build_alpha: bool = True,
-        reach_method: str = "pll",
-        undirected: bool = False,
-        use_csr_kernel: bool = True,
-        tqsp_cache_size: int = 4096,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ) -> None:
+        config = fold_legacy_kwargs(
+            "KSPEngine", config or EngineConfig(), legacy, "config=EngineConfig(...)"
+        )
         self.graph = graph
-        self.alpha = alpha
-        self.undirected = undirected
-        self.rtree_max_entries = rtree_max_entries
+        self.config = config
+        self.alpha = config.alpha
+        self.undirected = config.undirected
+        self.rtree_max_entries = config.rtree_max_entries
         self.build_seconds: Dict[str, float] = {}
 
         self.csr: Optional[CSRAdjacency] = None
-        if use_csr_kernel:
+        if config.use_csr_kernel:
             started = time.monotonic()
             self.csr = CSRAdjacency.from_graph(graph)
             self.build_seconds["csr_snapshot"] = time.monotonic() - started
         self.tqsp_cache: Optional[TQSPCache] = (
-            TQSPCache(tqsp_cache_size) if tqsp_cache_size > 0 else None
+            TQSPCache(config.tqsp_cache_size) if config.tqsp_cache_size > 0 else None
         )
         self._runtime: Optional[TQSPRuntime] = (
             TQSPRuntime(csr=self.csr, cache=self.tqsp_cache)
@@ -102,22 +94,28 @@ class KSPEngine:
         self.build_seconds["inverted_index"] = time.monotonic() - started
 
         started = time.monotonic()
-        self.rtree = RTree.bulk_load(graph.places(), max_entries=rtree_max_entries)
+        self.rtree = RTree.bulk_load(
+            graph.places(), max_entries=config.rtree_max_entries
+        )
         self.build_seconds["rtree"] = time.monotonic() - started
 
         self.reachability: Optional[KeywordReachabilityIndex] = None
-        if build_reachability:
+        if config.build_reachability:
             started = time.monotonic()
             self.reachability = KeywordReachabilityIndex(
-                graph, method=reach_method, undirected=undirected
+                graph, method=config.reach_method, undirected=config.undirected
             )
             self.build_seconds["reachability"] = time.monotonic() - started
 
         self.alpha_index: Optional[AlphaIndex] = None
-        if build_alpha:
+        if config.build_alpha:
             started = time.monotonic()
             self.alpha_index = AlphaIndex(
-                graph, self.rtree, alpha=alpha, undirected=undirected, csr=self.csr
+                graph,
+                self.rtree,
+                alpha=config.alpha,
+                undirected=config.undirected,
+                csr=self.csr,
             )
             self.build_seconds["alpha_index"] = time.monotonic() - started
 
@@ -199,24 +197,35 @@ class KSPEngine:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_triples(cls, triples: Iterable[Triple], **kwargs) -> "KSPEngine":
+    def from_triples(
+        cls,
+        triples: Iterable[Triple],
+        config: Optional[EngineConfig] = None,
+        **legacy,
+    ) -> "KSPEngine":
         """Build an engine from RDF triples (document extraction included)."""
-        return cls(graph_from_triples(triples), **kwargs)
+        return cls(graph_from_triples(triples), config=config, **legacy)
 
     @classmethod
-    def from_ntriples_file(cls, path, **kwargs) -> "KSPEngine":
+    def from_ntriples_file(
+        cls, path, config: Optional[EngineConfig] = None, **legacy
+    ) -> "KSPEngine":
         """Build an engine from an N-Triples file on disk."""
-        return cls.from_triples(parse_file(path), **kwargs)
+        return cls.from_triples(parse_file(path), config=config, **legacy)
 
     @classmethod
-    def from_turtle_file(cls, path, **kwargs) -> "KSPEngine":
+    def from_turtle_file(
+        cls, path, config: Optional[EngineConfig] = None, **legacy
+    ) -> "KSPEngine":
         """Build an engine from a Turtle file on disk."""
         from repro.rdf.turtle import parse_turtle_file
 
-        return cls.from_triples(parse_turtle_file(path), **kwargs)
+        return cls.from_triples(parse_turtle_file(path), config=config, **legacy)
 
     @classmethod
-    def from_file(cls, path, **kwargs) -> "KSPEngine":
+    def from_file(
+        cls, path, config: Optional[EngineConfig] = None, **legacy
+    ) -> "KSPEngine":
         """Build an engine from an RDF file, format chosen by extension
         (``.ttl``/``.turtle`` -> Turtle, anything else -> N-Triples).
 
@@ -229,8 +238,8 @@ class KSPEngine:
             name = name[: -len(".gz")]
         suffix = name.rsplit(".", 1)[-1]
         if suffix in ("ttl", "turtle"):
-            return cls.from_turtle_file(path, **kwargs)
-        return cls.from_ntriples_file(path, **kwargs)
+            return cls.from_turtle_file(path, config=config, **legacy)
+        return cls.from_ntriples_file(path, config=config, **legacy)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -278,8 +287,8 @@ class KSPEngine:
         cls,
         directory,
         graph_backend: str = "memory",
-        use_csr_kernel: bool = True,
-        tqsp_cache_size: int = 4096,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ) -> "KSPEngine":
         """Reload an engine saved with :meth:`save`.
 
@@ -290,6 +299,11 @@ class KSPEngine:
         stay valid.  The in-memory CSR kernel snapshot is only built for
         the memory backend — the disk backend keeps the generator
         traversal fallback so queries stay within the buffer pool.
+
+        ``config`` supplies the serving knobs (``use_csr_kernel``,
+        ``tqsp_cache_size``, default ranking, workers); the fields that
+        were fixed at build time (``alpha``, ``undirected``,
+        ``rtree_max_entries``) are overridden by the manifest.
         """
         import json
         import time as _time
@@ -298,6 +312,10 @@ class KSPEngine:
         from repro.storage.diskgraph import DiskRDFGraph, read_memory_graph
         from repro.storage.serialize import load_alpha_index, load_reachability
 
+        config = fold_legacy_kwargs(
+            "KSPEngine.load", config or EngineConfig(), legacy,
+            "config=EngineConfig(...)",
+        )
         directory = Path(directory)
         manifest = json.loads(
             (directory / "manifest.json").read_text(encoding="utf-8")
@@ -326,20 +344,28 @@ class KSPEngine:
                     "manifest records %d" % (field, actual, expected)
                 )
 
+        config = config.replace(
+            alpha=manifest["alpha"],
+            undirected=manifest["undirected"],
+            rtree_max_entries=manifest["rtree_max_entries"],
+        )
         engine = cls.__new__(cls)
         engine.graph = graph
-        engine.alpha = manifest["alpha"]
-        engine.undirected = manifest["undirected"]
-        engine.rtree_max_entries = manifest["rtree_max_entries"]
+        engine.config = config
+        engine.alpha = config.alpha
+        engine.undirected = config.undirected
+        engine.rtree_max_entries = config.rtree_max_entries
         engine.build_seconds = {}
 
         engine.csr = None
-        if use_csr_kernel and graph_backend == "memory":
+        if config.use_csr_kernel and graph_backend == "memory":
             started = _time.monotonic()
             engine.csr = CSRAdjacency.from_graph(graph)
             engine.build_seconds["csr_snapshot"] = _time.monotonic() - started
         engine.tqsp_cache = (
-            TQSPCache(tqsp_cache_size) if tqsp_cache_size > 0 else None
+            TQSPCache(config.tqsp_cache_size)
+            if config.tqsp_cache_size > 0
+            else None
         )
         engine._runtime = (
             TQSPRuntime(csr=engine.csr, cache=engine.tqsp_cache)
@@ -377,53 +403,108 @@ class KSPEngine:
 
     def query(
         self,
-        location: Union[Point, Sequence[float]],
-        keywords: Iterable[str],
-        k: int = 5,
-        method: str = "sp",
-        ranking: RankingFunction = DEFAULT_RANKING,
+        location: Union[Point, Sequence[float], KSPQuery],
+        keywords: Optional[Iterable[str]] = None,
+        k: Optional[int] = None,
+        method: Optional[str] = None,
+        ranking: Optional[RankingFunction] = None,
         timeout: Optional[float] = None,
-        trace: bool = False,
+        trace: Optional[bool] = None,
+        options: Optional[QueryOptions] = None,
+        request_id: Optional[str] = None,
     ) -> KSPResult:
-        """Answer a kSP query.
+        """Answer a kSP query — the one canonical entry point.
 
-        ``method`` selects the algorithm: ``"sp"`` (default, fastest),
-        ``"spp"``, ``"bsp"``, or ``"ta"``.  ``location`` may be a
-        :class:`Point` or an ``(x, y)`` pair; raw keyword strings are
-        normalized with the document tokenizer.  ``trace`` attaches a
-        per-phase time breakdown to ``result.trace``.
+        ``location`` may be a :class:`Point`, an ``(x, y)`` pair (raw
+        keyword strings are then normalized with the document
+        tokenizer), or an already-built :class:`KSPQuery` (``keywords``
+        must then be omitted).  Execution parameters come from
+        ``options`` (a :class:`~repro.core.config.QueryOptions`, the
+        same object ``query_batch`` and ``cursor`` accept); the
+        individual keyword arguments are ergonomic overrides applied on
+        top of it.  ``method`` defaults to ``"sp"`` and ``ranking`` to
+        the engine's ``config.ranking``.
+
+        A query that hits its ``timeout`` returns the best-so-far
+        partial top-k with ``stats.timed_out`` set (and
+        ``result.incomplete`` true) — it does not raise.  Every query
+        is recorded in the engine's
+        :class:`~repro.core.metrics.MetricsRegistry` (see
+        :meth:`metrics_text`).
         """
-        if not isinstance(location, Point):
-            x, y = location
-            location = Point(float(x), float(y))
-        query = KSPQuery.create(location, keywords, k=k)
-        return self.run(
-            query, method=method, ranking=ranking, timeout=timeout, trace=trace
-        )
+        opts = options if options is not None else QueryOptions()
+        overrides = {}
+        if k is not None:
+            overrides["k"] = k
+        if method is not None:
+            overrides["method"] = method
+        if ranking is not None:
+            overrides["ranking"] = ranking
+        if timeout is not None:
+            overrides["timeout"] = timeout
+        if trace is not None:
+            overrides["trace"] = trace
+        if request_id is not None:
+            overrides["request_id"] = request_id
+        if overrides:
+            opts = opts.replace(**overrides)
+
+        if isinstance(location, KSPQuery):
+            if keywords is not None:
+                raise TypeError(
+                    "pass either a KSPQuery or location+keywords, not both"
+                )
+            query = location
+        else:
+            if keywords is None:
+                raise TypeError("keywords are required with a location")
+            if not isinstance(location, Point):
+                x, y = location
+                location = Point(float(x), float(y))
+            query = KSPQuery.create(location, keywords, k=opts.k)
+        return self._execute(query, opts)
 
     def run(
         self,
         query: KSPQuery,
         method: str = "sp",
-        ranking: RankingFunction = DEFAULT_RANKING,
+        ranking: Optional[RankingFunction] = None,
         timeout: Optional[float] = None,
         trace: bool = False,
     ) -> KSPResult:
-        """Answer an already-normalized :class:`KSPQuery`.
+        """Deprecated alias of :meth:`query` for pre-built queries."""
+        warnings.warn(
+            "KSPEngine.run() is deprecated; use KSPEngine.query(query, "
+            "options=QueryOptions(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute(
+            query,
+            QueryOptions(
+                k=query.k,
+                method=method,
+                ranking=ranking,
+                timeout=timeout,
+                trace=trace,
+            ),
+        )
 
-        A query that hits ``timeout`` returns its best-so-far partial
-        top-k with ``stats.timed_out`` set (and ``result.incomplete``
-        true) — it does not raise.  Every query is recorded in the
-        engine's :class:`~repro.core.metrics.MetricsRegistry` (see
-        :meth:`metrics_text`).
-        """
-        method = method.lower()
-        recorder = QueryTrace() if trace else None
+    def _execute(self, query: KSPQuery, options: QueryOptions) -> KSPResult:
+        """Dispatch one normalized query under resolved options."""
+        method = (options.method or "sp").lower()
+        ranking = (
+            options.ranking if options.ranking is not None else self.config.ranking
+        )
+        recorder = QueryTrace() if options.trace else None
         try:
-            result = self._dispatch(query, method, ranking, timeout, recorder)
+            result = self._dispatch(
+                query, method, ranking, options.timeout, recorder
+            )
         except Exception:
             self._metric_errors.inc()
             raise
+        result.request_id = options.request_id
         self._record_query(method, result)
         return result
 
@@ -498,19 +579,26 @@ class KSPEngine:
     def query_batch(
         self,
         queries: Sequence[KSPQuery],
-        workers: int = 4,
-        method: str = "sp",
-        ranking: RankingFunction = DEFAULT_RANKING,
-        timeout: Optional[float] = None,
+        workers: Optional[int] = None,
+        options: Optional[QueryOptions] = None,
         slow_query_threshold: Optional[float] = None,
+        request_ids: Optional[Sequence[Optional[str]]] = None,
+        **legacy,
     ):
         """Answer a workload of queries and aggregate their statistics.
 
         The batch shares this engine's TQSP cache across all queries and
         gives each worker thread its own BFS scratch buffers, so batched
-        results are identical to running :meth:`run` per query — only
+        results are identical to running :meth:`query` per query — only
         faster.  A timed-out or errored query yields a partial/empty
         result in its slot; it never aborts the rest of the batch.
+
+        ``options`` is the same :class:`~repro.core.config.QueryOptions`
+        that :meth:`query` accepts (the per-query ``k`` of each
+        :class:`KSPQuery` still wins); ``workers`` defaults to
+        ``config.workers``.  ``request_ids`` (aligned with ``queries``)
+        tags each result and its slow-query-log entry — the serving
+        layer derives them from the wire request id.
         ``slow_query_threshold`` (seconds) fills the report's slow-query
         log.  Returns a :class:`~repro.core.batch.BatchReport` with the
         per-query results (in submission order), aggregate stats and
@@ -518,28 +606,42 @@ class KSPEngine:
         """
         from repro.core.batch import run_batch
 
+        options = fold_legacy_kwargs(
+            "KSPEngine.query_batch", options or QueryOptions(), legacy,
+            "options=QueryOptions(...)",
+        )
         return run_batch(
             self,
             queries,
-            workers=workers,
-            method=method,
-            ranking=ranking,
-            timeout=timeout,
+            options=options,
+            workers=self.config.workers if workers is None else workers,
             slow_query_threshold=slow_query_threshold,
+            request_ids=request_ids,
         )
 
     def cursor(
         self,
         location: Union[Point, Sequence[float]],
         keywords: Iterable[str],
-        ranking: RankingFunction = DEFAULT_RANKING,
-        timeout: Optional[float] = None,
+        options: Optional[QueryOptions] = None,
+        **legacy,
     ):
         """An incremental result stream: semantic places in ascending
         ranking score, without fixing ``k`` (see
-        :class:`repro.core.cursor.KSPCursor`)."""
+        :class:`repro.core.cursor.KSPCursor`).
+
+        ``options`` carries ``ranking``/``timeout`` exactly as in
+        :meth:`query` (``k``, ``method`` and ``trace`` do not apply to
+        the stream).  The options timeout bounds the whole stream; each
+        :meth:`~repro.core.cursor.KSPCursor.take` call can additionally
+        bound its own poll.
+        """
         from repro.core.cursor import ksp_cursor
 
+        options = fold_legacy_kwargs(
+            "KSPEngine.cursor", options or QueryOptions(), legacy,
+            "options=QueryOptions(...)",
+        )
         if self.reachability is None or self.alpha_index is None:
             raise RuntimeError(
                 "the cursor needs the reachability and alpha indexes"
@@ -547,6 +649,9 @@ class KSPEngine:
         if not isinstance(location, Point):
             x, y = location
             location = Point(float(x), float(y))
+        ranking = (
+            options.ranking if options.ranking is not None else self.config.ranking
+        )
         return ksp_cursor(
             self.graph,
             self.rtree,
@@ -557,8 +662,9 @@ class KSPEngine:
             list(keywords),
             ranking=ranking,
             undirected=self.undirected,
-            timeout=timeout,
+            timeout=options.timeout,
             runtime=self._runtime,
+            request_id=options.request_id,
         )
 
     # ------------------------------------------------------------------

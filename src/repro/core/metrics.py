@@ -168,6 +168,50 @@ class Histogram:
         return lines
 
 
+class ServingMetrics:
+    """The HTTP query service's metric bundle (see ``repro.serve``).
+
+    Groups the server-side families — request counts by endpoint and
+    status code, overload rejections, admission queue wait, in-flight
+    gauge and end-to-end request latency — over one
+    :class:`MetricsRegistry` so the server can render them in a single
+    exposition together with the engine's ``ksp_query_*`` families.
+    """
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.rejections = self.registry.counter(
+            "ksp_http_rejections_total",
+            "requests refused with 429 because the admission queue was full",
+        )
+        self.timeouts = self.registry.counter(
+            "ksp_http_timeouts_total",
+            "requests answered 504 after their deadline expired",
+        )
+        self.queue_wait = self.registry.histogram(
+            "ksp_http_queue_wait_seconds",
+            "time spent waiting in the admission queue",
+        )
+        self.latency = self.registry.histogram(
+            "ksp_http_request_seconds",
+            "end-to-end request latency (admission wait included)",
+        )
+        self.inflight = self.registry.gauge(
+            "ksp_http_inflight_requests",
+            "requests currently admitted and executing",
+        )
+
+    def count_request(self, endpoint: str, code: int) -> None:
+        self.registry.counter(
+            "ksp_http_requests_total",
+            "HTTP requests served, by endpoint and status code",
+            labels={"endpoint": endpoint, "code": str(code)},
+        ).inc()
+
+    def render_text(self) -> str:
+        return self.registry.render_text()
+
+
 class MetricsRegistry:
     """Get-or-create registry of named metric families."""
 

@@ -20,6 +20,11 @@ class KSPQuery:
     k: int = 5
 
     def __post_init__(self) -> None:
+        if not isinstance(self.location, Point):
+            # Accept an (x, y) pair at every entry point — hand-built
+            # queries reach the R-tree without passing through create().
+            x, y = self.location
+            object.__setattr__(self, "location", Point(float(x), float(y)))
         if self.k < 1:
             raise ValueError("k must be positive")
         if not self.keywords:
@@ -89,6 +94,40 @@ class SemanticPlace:
         """``d_g(p, t)`` — the recorded distance to a covered keyword."""
         return len(self.paths[keyword]) - 1
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (part of the kSP wire schema)."""
+        return {
+            "root": self.root,
+            "label": self.root_label,
+            "location": [self.location.x, self.location.y],
+            "looseness": self.looseness,
+            "distance": self.distance,
+            "score": self.score,
+            "keyword_vertices": dict(self.keyword_vertices),
+            "paths": {term: list(path) for term, path in self.paths.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SemanticPlace":
+        """Rebuild a place from :meth:`to_dict` output."""
+        x, y = data["location"]
+        return cls(
+            root=int(data["root"]),
+            root_label=str(data["label"]),
+            location=Point(float(x), float(y)),
+            looseness=float(data["looseness"]),
+            distance=float(data["distance"]),
+            score=float(data["score"]),
+            keyword_vertices={
+                term: int(vertex)
+                for term, vertex in data["keyword_vertices"].items()
+            },
+            paths={
+                term: tuple(int(v) for v in path)
+                for term, path in data["paths"].items()
+            },
+        )
+
 
 @dataclass
 class KSPResult:
@@ -96,12 +135,16 @@ class KSPResult:
 
     ``trace`` carries the per-phase breakdown when tracing was enabled
     for the query (see :mod:`repro.core.trace`); it is None otherwise.
+    ``request_id`` is the serving layer's correlation id, threaded from
+    :class:`~repro.core.config.QueryOptions` so a wire response, the
+    slow-query log and a fetched trace all name the same request.
     """
 
     query: KSPQuery
     places: List[SemanticPlace] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
     trace: Optional[QueryTrace] = None
+    request_id: Optional[str] = None
 
     @property
     def incomplete(self) -> bool:
@@ -123,6 +166,49 @@ class KSPResult:
 
     def roots(self) -> List[int]:
         return [place.root for place in self.places]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The kSP wire schema: one JSON-safe dict for the whole result.
+
+        This is the single serialization used by the HTTP server, the
+        CLI's ``--json``/``--stats`` output and cursor pagination.
+        ``scores`` and ``looseness`` repeat the per-place values as flat
+        arrays for clients that only rank; :meth:`from_dict` ignores
+        them and rebuilds from ``places``.
+        """
+        return {
+            "query": {
+                "location": [self.query.location.x, self.query.location.y],
+                "keywords": list(self.query.keywords),
+                "k": self.query.k,
+            },
+            "request_id": self.request_id,
+            "places": [place.to_dict() for place in self.places],
+            "scores": self.scores(),
+            "looseness": [place.looseness for place in self.places],
+            "timed_out": self.stats.timed_out,
+            "stats": self.stats.as_dict(),
+            "trace": self.trace.as_dict() if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "KSPResult":
+        """Rebuild a result from :meth:`to_dict` output (wire round-trip)."""
+        query_data = data["query"]
+        x, y = query_data["location"]
+        query = KSPQuery(
+            location=Point(float(x), float(y)),
+            keywords=tuple(query_data["keywords"]),
+            k=int(query_data["k"]),
+        )
+        trace_data = data.get("trace")
+        return cls(
+            query=query,
+            places=[SemanticPlace.from_dict(entry) for entry in data["places"]],
+            stats=QueryStats.from_dict(data.get("stats") or {}),
+            trace=QueryTrace.from_dict(trace_data) if trace_data else None,
+            request_id=data.get("request_id"),
+        )
 
     def explain(self) -> str:
         """A human-readable report: ranked places, their keyword covers,

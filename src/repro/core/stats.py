@@ -10,7 +10,7 @@ ablation bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 
@@ -43,6 +43,16 @@ class QueryStats:
     def other_seconds(self) -> float:
         """Runtime outside TQSP construction (the paper's "other time")."""
         return max(0.0, self.runtime_seconds - self.semantic_seconds)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QueryStats":
+        """Rebuild stats from :meth:`as_dict` output.
+
+        Derived keys (``other_seconds``) and unknown keys are ignored,
+        so the wire schema can grow without breaking old clients.
+        """
+        field_names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in field_names})
 
     def as_dict(self) -> Dict[str, float]:
         return {

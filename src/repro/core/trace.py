@@ -80,6 +80,14 @@ class QueryTrace:
             for phase, entry in self._phases.items()
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, float]]) -> "QueryTrace":
+        """Rebuild a trace from :meth:`as_dict` output."""
+        trace = cls()
+        for phase, entry in data.items():
+            trace.add(phase, float(entry["seconds"]), int(entry.get("count", 1)))
+        return trace
+
     def report(self, runtime_seconds: Optional[float] = None) -> str:
         """A per-phase breakdown table.
 

@@ -1,0 +1,32 @@
+"""HTTP/JSON serving layer for the kSP engine (stdlib only).
+
+``KSPServer`` exposes one preloaded
+:class:`~repro.core.engine.KSPEngine` over ``POST /v1/query`` /
+``POST /v1/batch`` with bounded admission control (429 on overload,
+504 with partial results on deadline expiry), Prometheus metrics at
+``GET /v1/metrics`` and a readiness gate at ``GET /v1/ready``.  See
+:mod:`repro.serve.server` for the protocol details and
+:mod:`repro.serve.schemas` for the wire schema.
+"""
+
+from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.schemas import (
+    SchemaError,
+    build_options,
+    error_body,
+    parse_batch_request,
+    parse_query_request,
+)
+from repro.serve.server import KSPServer, ServeConfig
+
+__all__ = [
+    "KSPServer",
+    "ServeConfig",
+    "AdmissionController",
+    "QueueFull",
+    "SchemaError",
+    "parse_query_request",
+    "parse_batch_request",
+    "build_options",
+    "error_body",
+]

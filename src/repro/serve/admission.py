@@ -1,0 +1,142 @@
+"""Bounded admission control for the query service.
+
+The server admits at most ``max_concurrency`` requests into the engine
+at once.  Arrivals beyond that wait in a bounded FIFO queue of depth
+``max_queue_depth``; once the queue is full, further arrivals are
+refused immediately with :class:`QueueFull` — the HTTP layer turns that
+into ``429 Too Many Requests`` with a ``Retry-After`` hint.  Refusing
+at admission (rather than accepting and stalling) keeps overload
+behavior crisp: a client always gets an answer, never a dropped or
+hung connection.
+
+Waiting is deadline-aware.  Each waiter passes the same cooperative
+:class:`~repro.core.deadline.Deadline` that will later bound its query
+execution, so time spent queued counts against the request's total
+budget; a deadline that expires while still queued raises
+:class:`~repro.core.stats.QueryTimeout` (HTTP ``504`` with an empty
+partial result) without ever occupying an execution slot.
+
+Fairness comes from explicit ticketing: every waiter takes a
+monotonically increasing ticket and only the lowest outstanding ticket
+may claim a freed slot, so a stampede of notify-wakeups cannot reorder
+the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.core.deadline import Deadline
+from repro.core.stats import QueryTimeout
+
+
+class QueueFull(Exception):
+    """The admission queue is at capacity; the request was refused.
+
+    ``retry_after_seconds`` is a crude service-time hint for the
+    ``Retry-After`` response header: the full pipeline (every running
+    and queued request) times the configured per-request budget, with a
+    one-second floor so clients never busy-loop.
+    """
+
+    def __init__(self, retry_after_seconds: float) -> None:
+        super().__init__(
+            "admission queue full; retry after %.0f s" % retry_after_seconds
+        )
+        self.retry_after_seconds = retry_after_seconds
+
+
+class AdmissionController:
+    """A bounded counting semaphore with FIFO ticketing and deadlines."""
+
+    def __init__(self, max_concurrency: int, max_queue_depth: int) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be positive")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth cannot be negative")
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self._condition = threading.Condition()
+        self._active = 0
+        self._queued = 0
+        self._next_ticket = 0  # next ticket to hand out
+        self._serving = 0  # lowest ticket allowed to claim a slot
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        with self._condition:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        with self._condition:
+            return self._queued
+
+    def retry_after_hint(self, per_request_seconds: Optional[float]) -> float:
+        """Seconds a refused client should back off before retrying."""
+        with self._condition:
+            backlog = self._active + self._queued
+        budget = per_request_seconds if per_request_seconds else 1.0
+        return max(1.0, backlog * budget / float(self.max_concurrency))
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, deadline: Optional[Deadline] = None) -> float:
+        """Claim an execution slot; returns seconds spent queued.
+
+        Raises :class:`QueueFull` when the wait queue is at capacity and
+        :class:`~repro.core.stats.QueryTimeout` when ``deadline``
+        expires before a slot frees up.
+        """
+        with self._condition:
+            if self._active < self.max_concurrency and self._queued == 0:
+                self._active += 1
+                self._serving = self._next_ticket
+                return 0.0
+            if self._queued >= self.max_queue_depth:
+                raise QueueFull(self.retry_after_hint(None))
+
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queued += 1
+            started = time.monotonic()
+            try:
+                while not (
+                    self._active < self.max_concurrency and self._serving == ticket
+                ):
+                    if deadline is not None and deadline.expired():
+                        raise QueryTimeout()
+                    interval = 0.05
+                    if deadline is not None:
+                        interval = min(interval, max(deadline.remaining(), 0.001))
+                    self._condition.wait(interval)
+            finally:
+                self._queued -= 1
+                if self._serving == ticket:
+                    self._serving = ticket + 1
+                # A waiter that gave up (timeout) must pass the torch, or
+                # the queue wedges behind its ticket.
+                self._condition.notify_all()
+            self._active += 1
+            return time.monotonic() - started
+
+    def release(self) -> None:
+        with self._condition:
+            if self._active <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._active -= 1
+            self._condition.notify_all()
+
+    @contextmanager
+    def admit(self, deadline: Optional[Deadline] = None) -> Iterator[float]:
+        """``with controller.admit(deadline) as queue_wait: ...``"""
+        waited = self.acquire(deadline)
+        try:
+            yield waited
+        finally:
+            self.release()

@@ -1,0 +1,185 @@
+"""Wire schemas for the HTTP query service.
+
+One request body maps onto the engine's canonical call
+``engine.query(query, options=QueryOptions(...))``; one response body
+is exactly :meth:`~repro.core.query.KSPResult.to_dict` — the same
+schema the CLI's ``--json`` flag and cursor pagination emit, so every
+surface of the system speaks one dialect.
+
+Query request::
+
+    {
+      "location": [43.51, 4.75],          # required: [x, y]
+      "keywords": ["ancient", "roman"],   # required: non-empty list
+      "k": 5,                             # optional (default 5)
+      "method": "sp",                     # optional: bsp | spp | sp | ta
+      "ranking": "product",               # optional: "product", "sum",
+                                          #   or {"kind": "sum", "beta": 0.4}
+      "timeout": 2.0,                     # optional seconds (server may cap)
+      "trace": true                       # optional per-phase breakdown
+    }
+
+Batch request::
+
+    {"queries": [<query request>, ...], "method": ..., "timeout": ...}
+
+where per-slot fields override the batch-level defaults.
+
+Malformed input raises :class:`SchemaError` with a client-safe message;
+the server answers ``400`` with ``{"error": ...}`` and never lets a
+parse failure near the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import QueryOptions
+from repro.core.deadline import Deadline
+from repro.core.query import KSPQuery
+from repro.core.ranking import (
+    MultiplicativeRanking,
+    RankingFunction,
+    WeightedSumRanking,
+)
+from repro.spatial.geometry import Point
+
+METHODS = ("bsp", "spp", "sp", "ta")
+
+
+class SchemaError(ValueError):
+    """A request body that does not match the wire schema."""
+
+
+def _require(payload: Dict[str, Any], key: str) -> Any:
+    if key not in payload:
+        raise SchemaError("missing required field %r" % key)
+    return payload[key]
+
+
+def parse_location(value: Any) -> Point:
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or not all(isinstance(c, (int, float)) and not isinstance(c, bool) for c in value)
+    ):
+        raise SchemaError("location must be a [x, y] pair of numbers")
+    return Point(float(value[0]), float(value[1]))
+
+
+def parse_keywords(value: Any) -> List[str]:
+    if (
+        not isinstance(value, list)
+        or not value
+        or not all(isinstance(word, str) and word.strip() for word in value)
+    ):
+        raise SchemaError("keywords must be a non-empty list of strings")
+    return value
+
+
+def parse_ranking(value: Any) -> RankingFunction:
+    if value == "product":
+        return MultiplicativeRanking()
+    if value == "sum":
+        return WeightedSumRanking()
+    if isinstance(value, dict) and value.get("kind") == "sum":
+        beta = value.get("beta", 0.5)
+        if not isinstance(beta, (int, float)) or isinstance(beta, bool):
+            raise SchemaError("ranking beta must be a number")
+        return WeightedSumRanking(beta=float(beta))
+    raise SchemaError(
+        'ranking must be "product", "sum", or {"kind": "sum", "beta": ...}'
+    )
+
+
+def _parse_common(
+    payload: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The fields shared by single requests and batch-level defaults."""
+    out: Dict[str, Any] = {}
+    if "method" in payload and payload["method"] is not None:
+        method = payload["method"]
+        if not isinstance(method, str) or method.lower() not in METHODS:
+            raise SchemaError("method must be one of %s" % ", ".join(METHODS))
+        out["method"] = method.lower()
+    if "ranking" in payload and payload["ranking"] is not None:
+        out["ranking"] = parse_ranking(payload["ranking"])
+    if "timeout" in payload and payload["timeout"] is not None:
+        timeout = payload["timeout"]
+        if not isinstance(timeout, (int, float)) or isinstance(timeout, bool):
+            raise SchemaError("timeout must be a number of seconds")
+        if timeout <= 0:
+            raise SchemaError("timeout must be positive")
+        out["timeout"] = float(timeout)
+    if "trace" in payload and payload["trace"] is not None:
+        if not isinstance(payload["trace"], bool):
+            raise SchemaError("trace must be a boolean")
+        out["trace"] = payload["trace"]
+    return out
+
+
+def parse_query_request(
+    payload: Any,
+    defaults: Optional[Dict[str, Any]] = None,
+) -> Tuple[KSPQuery, Dict[str, Any]]:
+    """One request body -> ``(KSPQuery, option fields)``.
+
+    ``defaults`` (batch-level fields, already parsed) fill in whatever
+    the request leaves unset.  The option fields are plain values —
+    the server merges in the deadline and request id before building
+    the final :class:`~repro.core.config.QueryOptions`.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("request body must be a JSON object")
+    location = parse_location(_require(payload, "location"))
+    keywords = parse_keywords(_require(payload, "keywords"))
+    k = payload.get("k", 5)
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise SchemaError("k must be a positive integer")
+
+    fields = dict(defaults or {})
+    fields.update(_parse_common(payload))
+
+    try:
+        query = KSPQuery.create(location, keywords, k=k)
+    except ValueError as exc:
+        raise SchemaError(str(exc)) from None
+    if not query.keywords:
+        raise SchemaError("keywords normalize to nothing searchable")
+    return query, fields
+
+
+def parse_batch_request(
+    payload: Any,
+) -> Tuple[List[Tuple[KSPQuery, Dict[str, Any]]], Dict[str, Any]]:
+    """A batch body -> per-slot ``(query, fields)`` plus batch fields."""
+    if not isinstance(payload, dict):
+        raise SchemaError("request body must be a JSON object")
+    slots = _require(payload, "queries")
+    if not isinstance(slots, list) or not slots:
+        raise SchemaError("queries must be a non-empty list")
+    shared = _parse_common(payload)
+    parsed = [parse_query_request(slot, defaults=shared) for slot in slots]
+    return parsed, shared
+
+
+def build_options(
+    fields: Dict[str, Any],
+    deadline: Optional[Deadline],
+    request_id: Optional[str],
+) -> QueryOptions:
+    """Merge parsed fields with the server-owned deadline and id."""
+    return QueryOptions(
+        method=fields.get("method"),
+        ranking=fields.get("ranking"),
+        timeout=deadline,
+        trace=bool(fields.get("trace", False)),
+        request_id=request_id,
+    )
+
+
+def error_body(message: str, request_id: Optional[str] = None) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"error": message}
+    if request_id is not None:
+        body["request_id"] = request_id
+    return body

@@ -1,0 +1,429 @@
+"""The kSP query service: a stdlib-only HTTP/JSON serving layer.
+
+``KSPServer`` wraps one preloaded :class:`~repro.core.engine.KSPEngine`
+behind ``http.server.ThreadingHTTPServer`` — no third-party web
+framework, matching the repository's no-dependency rule.  Endpoints:
+
+``POST /v1/query``
+    One kSP query (see :mod:`repro.serve.schemas` for the body).  The
+    response is :meth:`KSPResult.to_dict`; append ``?trace=1`` (or set
+    ``"trace": true``) for the per-phase time breakdown.
+``POST /v1/batch``
+    ``{"queries": [...]}`` with batch-level defaults; slots answer in
+    order under one shared deadline and one admission slot.
+``GET /v1/metrics``
+    Prometheus text exposition: the server's ``ksp_http_*`` families
+    concatenated with the engine's ``ksp_query_*`` families.
+``GET /v1/healthz`` / ``GET /v1/ready``
+    Liveness (always 200 once listening) versus readiness (503 until
+    the engine — possibly still loading in the background — is up).
+
+Overload protocol.  Admission is bounded (``workers`` concurrent
+queries, ``queue_depth`` waiters).  A request that finds the queue full
+is answered ``429`` with a ``Retry-After`` hint — never a dropped
+connection.  A request whose cooperative deadline expires — while
+queued or mid-query — is answered ``504`` whose body is still the full
+wire schema carrying the best-so-far partial top-k and
+``"timed_out": true``; one :class:`~repro.core.deadline.Deadline`
+bounds queue wait plus execution, so time spent queued counts against
+the request's budget.
+
+Every request carries an id (client's ``X-Request-Id`` or a generated
+one), echoed in the response header and body and threaded through
+``QueryOptions.request_id`` into slow-query logs and traces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+import uuid
+from dataclasses import dataclass, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.deadline import Deadline
+from repro.core.engine import KSPEngine
+from repro.core.metrics import ServingMetrics
+from repro.core.query import KSPQuery, KSPResult
+from repro.core.stats import QueryStats, QueryTimeout
+from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.schemas import (
+    SchemaError,
+    build_options,
+    error_body,
+    parse_batch_request,
+    parse_query_request,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server tunables (immutable, like :class:`EngineConfig`)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back from server.port
+    workers: int = 4  # queries admitted into the engine concurrently
+    queue_depth: int = 16  # bounded waiters beyond the active set
+    default_timeout: Optional[float] = None  # per-request budget fallback
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth cannot be negative")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ValueError("default_timeout must be positive")
+
+    def replace(self, **changes) -> "ServeConfig":
+        return replace(self, **changes)
+
+
+def _new_request_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # socketserver's default accept backlog is 5; overload bursts must
+    # reach the admission controller (and get an orderly 429), not be
+    # reset by a full kernel queue.
+    request_queue_size = 128
+
+
+class KSPServer:
+    """One engine behind a threaded HTTP front end.
+
+    Pass a ready ``engine``, or an ``engine_loader`` callable to build
+    it in a background thread — ``/v1/ready`` answers 503 until the
+    load finishes, so orchestrators can gate traffic on it.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[KSPEngine] = None,
+        config: Optional[ServeConfig] = None,
+        engine_loader: Optional[Callable[[], KSPEngine]] = None,
+    ) -> None:
+        if engine is None and engine_loader is None:
+            raise ValueError("provide an engine or an engine_loader")
+        self.config = config or ServeConfig()
+        self.metrics = ServingMetrics()
+        self.admission = AdmissionController(
+            self.config.workers, self.config.queue_depth
+        )
+        self._engine = engine
+        self._engine_loader = engine_loader
+        self._load_error: Optional[str] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> Optional[KSPEngine]:
+        return self._engine
+
+    @property
+    def ready(self) -> bool:
+        return self._engine is not None
+
+    @property
+    def load_error(self) -> Optional[str]:
+        return self._load_error
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.config.host, self.port)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "KSPServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = _HTTPServer((self.config.host, self.config.port), handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="ksp-serve", daemon=True
+        )
+        self._thread.start()
+        if self._engine is None and self._engine_loader is not None:
+            threading.Thread(
+                target=self._load_engine, name="ksp-engine-load", daemon=True
+            ).start()
+        return self
+
+    def _load_engine(self) -> None:
+        try:
+            self._engine = self._engine_loader()
+        except Exception as exc:  # surfaced via /v1/ready, not a crash
+            self._load_error = "%s: %s" % (type(exc).__name__, exc)
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until interrupted (CLI entry)."""
+        if self._httpd is None:
+            self.start()
+        try:
+            while True:
+                time.sleep(3600.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "KSPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads).
+
+    def handle_get(self, path: str) -> Tuple[int, Any, str]:
+        """-> (status, body, content type); body may be dict or str."""
+        if path == "/v1/healthz":
+            return 200, {"status": "ok"}, "application/json"
+        if path == "/v1/ready":
+            if self.ready:
+                return 200, {"status": "ready"}, "application/json"
+            body = {"status": "loading"}
+            if self._load_error is not None:
+                body = {"status": "failed", "error": self._load_error}
+            return 503, body, "application/json"
+        if path == "/v1/metrics":
+            text = self.metrics.render_text()
+            if self._engine is not None:
+                text += self._engine.metrics_text()
+            return 200, text, "text/plain; version=0.0.4"
+        return 404, error_body("no such endpoint: %s" % path), "application/json"
+
+    def handle_query(
+        self, payload: Any, request_id: str, force_trace: bool
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /v1/query`` -> (status, body, extra headers)."""
+        started = time.monotonic()
+        if not self.ready:
+            return 503, error_body("engine is still loading", request_id), {}
+        try:
+            query, fields = parse_query_request(payload)
+        except SchemaError as exc:
+            return 400, error_body(str(exc), request_id), {}
+        if force_trace:
+            fields["trace"] = True
+        timeout = fields.get("timeout", self.config.default_timeout)
+        deadline = Deadline.after(timeout)
+
+        try:
+            with self.admission.admit(deadline) as queue_wait:
+                self.metrics.queue_wait.observe(queue_wait)
+                self.metrics.inflight.inc()
+                try:
+                    result = self._engine.query(
+                        query,
+                        options=build_options(fields, deadline, request_id),
+                    )
+                finally:
+                    self.metrics.inflight.inc(-1)
+        except QueueFull:
+            self.metrics.rejections.inc()
+            retry_after = max(
+                1, int(math.ceil(self.admission.retry_after_hint(timeout)))
+            )
+            body = error_body("server overloaded; retry later", request_id)
+            body["retry_after_seconds"] = retry_after
+            return 429, body, {"Retry-After": str(retry_after)}
+        except QueryTimeout:
+            # The deadline expired while still queued: a 504 whose body is
+            # the same wire schema, with an empty partial top-k.
+            self.metrics.timeouts.inc()
+            return 504, self._timed_out_result(query, request_id).to_dict(), {}
+        finally:
+            self.metrics.latency.observe(time.monotonic() - started)
+
+        status = 200
+        if result.stats.timed_out:
+            self.metrics.timeouts.inc()
+            status = 504
+        return status, result.to_dict(), {}
+
+    def handle_batch(
+        self, payload: Any, request_id: str, force_trace: bool
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /v1/batch`` -> (status, body, extra headers)."""
+        started = time.monotonic()
+        if not self.ready:
+            return 503, error_body("engine is still loading", request_id), {}
+        try:
+            slots, shared = parse_batch_request(payload)
+        except SchemaError as exc:
+            return 400, error_body(str(exc), request_id), {}
+        timeout = shared.get("timeout", self.config.default_timeout)
+        deadline = Deadline.after(timeout)
+
+        try:
+            with self.admission.admit(deadline) as queue_wait:
+                self.metrics.queue_wait.observe(queue_wait)
+                self.metrics.inflight.inc()
+                try:
+                    results = []
+                    for index, (query, fields) in enumerate(slots):
+                        slot_id = "%s-%d" % (request_id, index)
+                        if force_trace:
+                            fields["trace"] = True
+                        # The shared deadline overrides any per-slot
+                        # timeout: one budget bounds the whole batch.
+                        results.append(
+                            self._engine.query(
+                                query,
+                                options=build_options(fields, deadline, slot_id),
+                            )
+                        )
+                finally:
+                    self.metrics.inflight.inc(-1)
+        except QueueFull:
+            self.metrics.rejections.inc()
+            retry_after = max(
+                1, int(math.ceil(self.admission.retry_after_hint(timeout)))
+            )
+            body = error_body("server overloaded; retry later", request_id)
+            body["retry_after_seconds"] = retry_after
+            return 429, body, {"Retry-After": str(retry_after)}
+        except QueryTimeout:
+            self.metrics.timeouts.inc()
+            body = {
+                "request_id": request_id,
+                "timed_out": True,
+                "results": [],
+            }
+            return 504, body, {}
+        finally:
+            self.metrics.latency.observe(time.monotonic() - started)
+
+        timed_out = any(result.stats.timed_out for result in results)
+        if timed_out:
+            self.metrics.timeouts.inc()
+        body = {
+            "request_id": request_id,
+            "timed_out": timed_out,
+            "results": [result.to_dict() for result in results],
+        }
+        return (504 if timed_out else 200), body, {}
+
+    @staticmethod
+    def _timed_out_result(query: KSPQuery, request_id: str) -> KSPResult:
+        stats = QueryStats(algorithm="QUEUED", timed_out=True)
+        return KSPResult(query=query, stats=stats, request_id=request_id)
+
+
+def _make_handler(app: KSPServer):
+    """A BaseHTTPRequestHandler subclass bound to one server instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "ksp-serve/1.0"
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # request logging lives in the metrics, not stderr
+
+        # ----------------------------------------------------------
+
+        def _send(
+            self,
+            status: int,
+            body: Any,
+            content_type: str = "application/json",
+            request_id: Optional[str] = None,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            if isinstance(body, (dict, list)):
+                raw = json.dumps(body, sort_keys=True).encode("utf-8")
+            else:
+                raw = str(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(raw)))
+            if request_id is not None:
+                self.send_header("X-Request-Id", request_id)
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _read_json(self) -> Any:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise SchemaError("request body is required")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise SchemaError("request body is not valid JSON") from None
+
+        # ----------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            path = urlparse(self.path).path
+            status, body, content_type = app.handle_get(path)
+            self._send(status, body, content_type)
+            app.metrics.count_request(path, status)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            parsed = urlparse(self.path)
+            path = parsed.path
+            params = parse_qs(parsed.query)
+            force_trace = params.get("trace", ["0"])[-1] in ("1", "true")
+            request_id = self.headers.get("X-Request-Id") or _new_request_id()
+
+            if path == "/v1/query":
+                endpoint = app.handle_query
+            elif path == "/v1/batch":
+                endpoint = app.handle_batch
+            else:
+                self._send(
+                    404,
+                    error_body("no such endpoint: %s" % path, request_id),
+                    request_id=request_id,
+                )
+                app.metrics.count_request(path, 404)
+                return
+
+            try:
+                payload = self._read_json()
+            except SchemaError as exc:
+                self._send(
+                    400, error_body(str(exc), request_id), request_id=request_id
+                )
+                app.metrics.count_request(path, 400)
+                return
+
+            try:
+                status, body, headers = endpoint(payload, request_id, force_trace)
+            except Exception as exc:  # a bug, not a client error: answer 500
+                status = 500
+                body = error_body(
+                    "internal error: %s" % type(exc).__name__, request_id
+                )
+                headers = {}
+            self._send(status, body, request_id=request_id, headers=headers)
+            app.metrics.count_request(path, status)
+
+    return Handler

@@ -10,6 +10,7 @@ from repro.core.engine import KSPEngine
 from repro.datagen.paper_example import build_example_graph
 from repro.datagen.profiles import TINY_DBPEDIA, TINY_YAGO
 from repro.datagen.synthetic import generate_graph
+from repro.core.config import EngineConfig
 
 
 @pytest.fixture(scope="session")
@@ -19,7 +20,7 @@ def example_graph():
 
 @pytest.fixture(scope="session")
 def example_engine(example_graph):
-    return KSPEngine(example_graph, alpha=3)
+    return KSPEngine(example_graph, EngineConfig(alpha=3))
 
 
 @pytest.fixture(scope="session")
@@ -34,9 +35,9 @@ def tiny_yago_graph():
 
 @pytest.fixture(scope="session")
 def tiny_dbpedia_engine(tiny_dbpedia_graph):
-    return KSPEngine(tiny_dbpedia_graph, alpha=3)
+    return KSPEngine(tiny_dbpedia_graph, EngineConfig(alpha=3))
 
 
 @pytest.fixture(scope="session")
 def tiny_yago_engine(tiny_yago_graph):
-    return KSPEngine(tiny_yago_graph, alpha=3)
+    return KSPEngine(tiny_yago_graph, EngineConfig(alpha=3))

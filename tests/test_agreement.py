@@ -10,6 +10,7 @@ import pytest
 from repro.core.exhaustive import exhaustive_search
 from repro.core.ranking import MultiplicativeRanking, WeightedSumRanking
 from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.core.config import EngineConfig
 
 METHODS = ("bsp", "spp", "sp", "ta")
 
@@ -24,7 +25,7 @@ def assert_agreement(engine, query, ranking=MultiplicativeRanking()):
     )
     expected = signature(reference)
     for method in METHODS:
-        got = signature(engine.run(query, method=method, ranking=ranking))
+        got = signature(engine.query(query, method=method, ranking=ranking))
         assert got == expected, "%s disagrees for %r" % (method, query)
 
 
@@ -97,7 +98,7 @@ class TestUndirectedAgreement:
     def test_undirected_engines_agree(self, tiny_yago_graph):
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(tiny_yago_graph, alpha=2, undirected=True)
+        engine = KSPEngine(tiny_yago_graph, EngineConfig(alpha=2, undirected=True))
         generator = QueryGenerator(
             engine.graph,
             engine.inverted_index,
@@ -109,5 +110,5 @@ class TestUndirectedAgreement:
             )
             expected = signature(reference)
             for method in METHODS:
-                got = signature(engine.run(query, method=method))
+                got = signature(engine.query(query, method=method))
                 assert got == expected, method

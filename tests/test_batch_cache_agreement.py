@@ -18,6 +18,7 @@ from repro.core.engine import KSPEngine
 from repro.core.query import KSPQuery
 from repro.rdf.graph import RDFGraph
 from repro.spatial.geometry import Point
+from repro.core.config import EngineConfig, QueryOptions
 
 TERMS = ["alpha", "beta", "gamma", "delta", "epsilon"]
 METHODS = ("bsp", "spp", "sp", "ta")
@@ -78,12 +79,14 @@ def engines():
     for undirected in (False, True):
         seed = KSPEngine(
             graph,
-            alpha=2,
-            undirected=undirected,
-            use_csr_kernel=False,
-            tqsp_cache_size=0,
+            EngineConfig(
+                alpha=2,
+                undirected=undirected,
+                use_csr_kernel=False,
+                tqsp_cache_size=0,
+            ),
         )
-        fast = KSPEngine(graph, alpha=2, undirected=undirected)
+        fast = KSPEngine(graph, EngineConfig(alpha=2, undirected=undirected))
         pairs[undirected] = (seed, fast)
     return pairs
 
@@ -98,10 +101,10 @@ class TestCachedVsUncached:
         seed_engine, fast_engine = engines[undirected]
         rng = random.Random(hash((method, undirected)) & 0xFFFF)
         for index, query in enumerate(random_queries(rng, 8)):
-            expected = fingerprint(seed_engine.run(query, method=method))
-            cold = fast_engine.run(query, method=method)
+            expected = fingerprint(seed_engine.query(query, method=method))
+            cold = fast_engine.query(query, method=method)
             assert fingerprint(cold) == expected, (method, undirected, index)
-            warm = fast_engine.run(query, method=method)
+            warm = fast_engine.query(query, method=method)
             assert fingerprint(warm) == expected, (method, undirected, index)
 
     def test_warm_cache_answers_without_bfs(self, engines):
@@ -109,8 +112,8 @@ class TestCachedVsUncached:
         query = KSPQuery(
             location=Point(0.5, -0.5), keywords=("alpha", "beta"), k=3
         )
-        fast_engine.run(query, method="sp")
-        warm = fast_engine.run(query, method="sp")
+        fast_engine.query(query, method="sp")
+        warm = fast_engine.query(query, method="sp")
         stats = warm.stats
         assert stats.cache_hits > 0
         assert stats.vertices_visited == 0
@@ -133,17 +136,20 @@ class TestBatchedVsSequential:
             for q in base
         ]
         expected = [
-            fingerprint(seed_engine.run(q, method=method)) for q in workload
+            fingerprint(seed_engine.query(q, method=method)) for q in workload
         ]
-        report = fast_engine.query_batch(workload, workers=4, method=method)
+        report = fast_engine.query_batch(
+            workload, workers=4, options=QueryOptions(method=method)
+        )
         assert len(report.results) == len(workload)
         assert [fingerprint(r) for r in report.results] == expected
 
     def test_single_worker_batch_matches_threaded(self, engines):
         _, fast_engine = engines[True]
         workload = random_queries(random.Random(77), 12)
-        threaded = fast_engine.query_batch(workload, workers=4, method="spp")
-        sequential = fast_engine.query_batch(workload, workers=1, method="spp")
+        opts = QueryOptions(method="spp")
+        threaded = fast_engine.query_batch(workload, workers=4, options=opts)
+        sequential = fast_engine.query_batch(workload, workers=1, options=opts)
         assert [fingerprint(r) for r in threaded.results] == [
             fingerprint(r) for r in sequential.results
         ]
@@ -151,7 +157,7 @@ class TestBatchedVsSequential:
     def test_report_accounting(self, engines):
         _, fast_engine = engines[False]
         workload = random_queries(random.Random(3), 6) * 2
-        report = fast_engine.query_batch(workload, workers=3, method="sp")
+        report = fast_engine.query_batch(workload, workers=3, options=QueryOptions(method="sp"))
         assert report.workers == 3
         assert report.method == "sp"
         assert report.wall_seconds > 0

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 
+from repro.core.config import EngineConfig, QueryOptions
 from repro.core.deadline import Deadline
 from repro.core.engine import KSPEngine
 from repro.core.query import KSPQuery
@@ -39,8 +40,9 @@ class ExpireAfterChecks(Deadline):
 class SelectiveEngine:
     """Engine wrapper that sabotages designated queries.
 
-    ``run_batch`` only needs ``engine.run``; marked queries get an
-    instantly-expired deadline (hung-query stand-in) or raise.
+    ``run_batch`` only needs the canonical ``engine.query(query,
+    options=...)``; marked queries get an instantly-expired deadline
+    (hung-query stand-in) or raise.
     """
 
     def __init__(self, inner, timeout_queries=(), error_queries=(), raise_timeout_queries=()):
@@ -50,14 +52,15 @@ class SelectiveEngine:
         self._raise_timeout = set(id(q) for q in raise_timeout_queries)
         self.metrics = inner.metrics
 
-    def run(self, query, **kwargs):
+    def query(self, query, options=None):
+        options = options or QueryOptions()
         if id(query) in self._error:
             raise RuntimeError("injected worker failure")
         if id(query) in self._raise_timeout:
             raise QueryTimeout()
         if id(query) in self._timeout:
-            kwargs["timeout"] = 0.0
-        return self._inner.run(query, **kwargs)
+            options = options.replace(timeout=0.0)
+        return self._inner.query(query, options=options)
 
     def query_batch(self, queries, **kwargs):
         from repro.core.batch import run_batch
@@ -66,7 +69,7 @@ class SelectiveEngine:
 
 
 def make_engine(seed=91):
-    return KSPEngine(build_graph(seed), alpha=2)
+    return KSPEngine(build_graph(seed), EngineConfig(alpha=2))
 
 
 class TestTimeoutRobustness:
@@ -74,7 +77,7 @@ class TestTimeoutRobustness:
         engine = make_engine()
         workload = random_queries(random.Random(11), 20)
         flaky = SelectiveEngine(engine, timeout_queries=[workload[7]])
-        report = flaky.query_batch(workload, workers=4, method="sp")
+        report = flaky.query_batch(workload, workers=4, options=QueryOptions(method="sp"))
 
         assert len(report.results) == 20
         timed_out = [r for r in report.results if r.stats.timed_out]
@@ -90,7 +93,7 @@ class TestTimeoutRobustness:
         engine = make_engine(92)
         workload = random_queries(random.Random(12), 20)
         flaky = SelectiveEngine(engine, timeout_queries=[workload[3]])
-        flaky.query_batch(workload, workers=4, method="sp")
+        flaky.query_batch(workload, workers=4, options=QueryOptions(method="sp"))
         text = engine.metrics_text()
         assert "ksp_query_timeouts_total 1" in text
         assert "ksp_query_latency_seconds_bucket" in text
@@ -101,7 +104,7 @@ class TestTimeoutRobustness:
         engine = make_engine(93)
         workload = random_queries(random.Random(13), 10)
         flaky = SelectiveEngine(engine, error_queries=[workload[2], workload[8]])
-        report = flaky.query_batch(workload, workers=4, method="spp")
+        report = flaky.query_batch(workload, workers=4, options=QueryOptions(method="spp"))
 
         assert len(report.results) == 10
         errored = [r for r in report.results if r.stats.error is not None]
@@ -118,7 +121,7 @@ class TestTimeoutRobustness:
         engine = make_engine(94)
         workload = random_queries(random.Random(14), 6)
         flaky = SelectiveEngine(engine, raise_timeout_queries=[workload[0]])
-        report = flaky.query_batch(workload, workers=3, method="bsp")
+        report = flaky.query_batch(workload, workers=3, options=QueryOptions(method="bsp"))
         assert len(report.results) == 6
         assert report.results[0].stats.timed_out
         assert report.timeout_count == 1
@@ -128,7 +131,7 @@ class TestTimeoutRobustness:
         engine = make_engine(95)
         workload = random_queries(random.Random(15), 5)
         flaky = SelectiveEngine(engine, error_queries=[workload[4]])
-        report = flaky.query_batch(workload, workers=1, method="sp")
+        report = flaky.query_batch(workload, workers=1, options=QueryOptions(method="sp"))
         assert len(report.results) == 5
         assert report.results[4].stats.error is not None
 
@@ -147,10 +150,10 @@ class TestPartialResults:
         rng = random.Random(16)
         compared = 0
         for query in random_queries(rng, 12):
-            full = engine.run(query, method="bsp")
+            full = engine.query(query, method="bsp")
             full_scores = full.scores()
             for checks in (0, 1, 2, 5):
-                partial = engine.run(
+                partial = engine.query(
                     query, method="bsp", timeout=ExpireAfterChecks(checks)
                 )
                 if not partial.stats.timed_out:
@@ -171,7 +174,7 @@ class TestPartialResults:
         engine = make_engine(97)
         query = KSPQuery.create(Point(0.0, 0.0), ["alpha", "beta"], k=3)
         for method in ("bsp", "spp", "sp", "ta"):
-            result = engine.run(
+            result = engine.query(
                 query, method=method, timeout=ExpireAfterChecks(0)
             )
             assert result.stats.timed_out, method
@@ -183,7 +186,7 @@ class TestSlowQueryLog:
         engine = make_engine(98)
         workload = random_queries(random.Random(17), 6)
         report = engine.query_batch(
-            workload, workers=2, method="sp", slow_query_threshold=0.0
+            workload, workers=2, options=QueryOptions(method="sp"), slow_query_threshold=0.0
         )
         assert len(report.slow_queries) == 6
         # Slowest first.
@@ -196,7 +199,7 @@ class TestSlowQueryLog:
         workload = random_queries(random.Random(18), 8)
         flaky = SelectiveEngine(engine, timeout_queries=[workload[5]])
         report = flaky.query_batch(
-            workload, workers=2, method="sp", slow_query_threshold=1000.0
+            workload, workers=2, options=QueryOptions(method="sp"), slow_query_threshold=1000.0
         )
         assert [e.index for e in report.slow_queries] == [5]
         assert report.slow_queries[0].timed_out
@@ -205,5 +208,5 @@ class TestSlowQueryLog:
     def test_no_threshold_no_log(self):
         engine = make_engine(100)
         workload = random_queries(random.Random(19), 3)
-        report = engine.query_batch(workload, workers=1, method="sp")
+        report = engine.query_batch(workload, workers=1, options=QueryOptions(method="sp"))
         assert report.slow_queries == []

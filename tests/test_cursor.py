@@ -6,6 +6,7 @@ from repro.core.exhaustive import exhaustive_search
 from repro.core.query import KSPQuery
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, Q2
 from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.core.config import EngineConfig
 
 
 class TestOnPaperExample:
@@ -38,7 +39,7 @@ class TestOnPaperExample:
     def test_needs_indexes(self, example_graph):
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(example_graph, build_alpha=False)
+        engine = KSPEngine(example_graph, EngineConfig(build_alpha=False))
         with pytest.raises(RuntimeError):
             engine.cursor(Q1, EXAMPLE_KEYWORDS)
 
@@ -88,3 +89,87 @@ class TestAgainstExhaustive:
         assert [round(p.score, 9) for p in combined] == [
             round(p.score, 9) for p in whole
         ]
+
+
+class TestPollDeadlines:
+    """Satellite regression: a paginated client cannot hang past the
+    budget of the poll it is waiting on — each ``take``/``page`` accepts
+    its own deadline, consulted inside the traversal and the TQSP BFS."""
+
+    def _cursor(self, request):
+        engine = request.getfixturevalue("tiny_yago_engine")
+        generator = QueryGenerator(
+            engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=3, seed=64)
+        )
+        query = generator.original()
+        return engine, query
+
+    def test_expired_poll_returns_partial_page_not_hang(self, request):
+        from tests.test_batch_robustness import ExpireAfterChecks
+
+        engine, query = self._cursor(request)
+        cursor = engine.cursor(query.location, query.keywords)
+        # The poll's deadline expires after 0 cooperative checks: the
+        # fetch must come back (possibly empty) with the flag set.
+        page = cursor.take(5, timeout=ExpireAfterChecks(0))
+        assert cursor.stats.timed_out
+        assert len(page) < 5
+
+    def test_next_poll_resumes_with_fresh_budget(self, request):
+        from tests.test_batch_robustness import ExpireAfterChecks
+
+        engine, query = self._cursor(request)
+        untimed = engine.cursor(query.location, query.keywords).take(5)
+
+        cursor = engine.cursor(query.location, query.keywords)
+        starved = cursor.take(5, timeout=ExpireAfterChecks(0))
+        assert cursor.stats.timed_out
+        recovered = cursor.take(5 - len(starved))  # fresh, unbounded poll
+        combined = starved + recovered
+        assert [round(p.score, 9) for p in combined] == [
+            round(p.score, 9) for p in untimed
+        ]
+
+    def test_expiry_between_polls_counts_checks_per_poll(self, request):
+        from tests.test_batch_robustness import ExpireAfterChecks
+
+        engine, query = self._cursor(request)
+        cursor = engine.cursor(query.location, query.keywords)
+        first = cursor.take(2, timeout=ExpireAfterChecks(10_000))
+        assert not cursor.stats.timed_out
+        second = cursor.take(2, timeout=ExpireAfterChecks(10_000))
+        whole = engine.cursor(query.location, query.keywords).take(4)
+        assert [round(p.score, 9) for p in first + second] == [
+            round(p.score, 9) for p in whole
+        ]
+
+    def test_stream_deadline_still_raises_from_iteration(self, request):
+        import pytest as _pytest
+
+        from repro.core.config import QueryOptions
+        from repro.core.stats import QueryTimeout
+        from tests.test_batch_robustness import ExpireAfterChecks
+
+        engine, query = self._cursor(request)
+        cursor = engine.cursor(
+            query.location,
+            query.keywords,
+            options=QueryOptions(timeout=ExpireAfterChecks(0)),
+        )
+        with _pytest.raises(QueryTimeout):
+            list(cursor)
+
+    def test_page_is_a_wire_schema_result(self, request):
+        from repro.core.config import QueryOptions
+        from tests.test_batch_robustness import ExpireAfterChecks
+
+        engine, query = self._cursor(request)
+        cursor = engine.cursor(
+            query.location,
+            query.keywords,
+            options=QueryOptions(request_id="page-1"),
+        )
+        document = cursor.page(1, timeout=ExpireAfterChecks(10_000)).to_dict()
+        assert document["request_id"] == "page-1"
+        assert document["timed_out"] is False
+        assert len(document["places"]) <= 1

@@ -39,7 +39,7 @@ class TestDiskIndexDrivesAlgorithms:
         engine = tiny_dbpedia_engine
         for query in workload:
             got = bsp_search(engine.graph, engine.rtree, disk_index, query)
-            assert signature(got) == signature(engine.run(query, method="bsp"))
+            assert signature(got) == signature(engine.query(query, method="bsp"))
 
     def test_spp(self, tiny_dbpedia_engine, disk_index, workload):
         engine = tiny_dbpedia_engine
@@ -47,7 +47,7 @@ class TestDiskIndexDrivesAlgorithms:
             got = spp_search(
                 engine.graph, engine.rtree, disk_index, engine.reachability, query
             )
-            assert signature(got) == signature(engine.run(query, method="spp"))
+            assert signature(got) == signature(engine.query(query, method="spp"))
 
     def test_sp(self, tiny_dbpedia_engine, disk_index, workload):
         engine = tiny_dbpedia_engine
@@ -56,13 +56,13 @@ class TestDiskIndexDrivesAlgorithms:
                 engine.graph, engine.rtree, disk_index, engine.reachability,
                 engine.alpha_index, query,
             )
-            assert signature(got) == signature(engine.run(query, method="sp"))
+            assert signature(got) == signature(engine.query(query, method="sp"))
 
     def test_ta(self, tiny_dbpedia_engine, disk_index, workload):
         engine = tiny_dbpedia_engine
         for query in workload:
             got = ta_search(engine.graph, engine.rtree, disk_index, query)
-            assert signature(got) == signature(engine.run(query, method="ta"))
+            assert signature(got) == signature(engine.query(query, method="ta"))
 
     def test_reads_counted(self, disk_index):
         assert disk_index.reads > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.config import EngineConfig
 from repro.core.engine import KSPEngine
 from repro.core.query import KSPQuery
 from repro.datagen.paper_example import (
@@ -35,7 +36,8 @@ class TestConstruction:
 
     def test_optional_indexes_skipped(self):
         engine = KSPEngine(
-            build_example_graph(), build_reachability=False, build_alpha=False
+            build_example_graph(),
+            EngineConfig(build_reachability=False, build_alpha=False),
         )
         assert engine.reachability is None
         assert engine.alpha_index is None
@@ -49,7 +51,8 @@ class TestConstruction:
 
     def test_grail_backend(self):
         engine = KSPEngine(
-            build_example_graph(), reach_method="grail", build_alpha=False
+            build_example_graph(),
+            EngineConfig(reach_method="grail", build_alpha=False),
         )
         result = engine.query(Q1, EXAMPLE_KEYWORDS, k=2, method="spp")
         assert [p.root_label for p in result] == ["p1", "p2"]
@@ -78,10 +81,23 @@ class TestQueryInterface:
         with pytest.raises(ValueError):
             KSPQuery(location=Point(0, 0), keywords=("a", "a"), k=1)
 
-    def test_run_accepts_query_object(self, example_engine):
+    def test_query_accepts_query_object(self, example_engine):
         query = KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=2)
-        result = example_engine.run(query, method="sp")
+        result = example_engine.query(query, method="sp")
         assert len(result) == 2
+
+    def test_query_object_coerces_tuple_location(self, example_engine):
+        # Hand-built queries skip query()'s normalization, so the
+        # dataclass itself must accept an (x, y) pair.
+        query = KSPQuery(location=(Q1.x, Q1.y), keywords=EXAMPLE_KEYWORDS, k=2)
+        reference = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=2)
+        assert example_engine.query(query).scores() == reference.scores()
+
+    def test_run_is_a_deprecated_alias(self, example_engine):
+        query = KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=2)
+        with pytest.warns(DeprecationWarning):
+            legacy = example_engine.run(query, method="sp")
+        assert legacy.scores() == example_engine.query(query, method="sp").scores()
 
 
 class TestReports:

@@ -1,0 +1,118 @@
+"""The frozen public API surface: ``EngineConfig`` / ``QueryOptions``
+and the deprecation shim that keeps the historic kwargs working.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import EngineConfig, QueryOptions, fold_legacy_kwargs
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+
+
+class TestEngineConfig:
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.alpha = 5
+
+    def test_replace_returns_new_instance(self):
+        base = EngineConfig()
+        changed = base.replace(alpha=7, undirected=True)
+        assert (changed.alpha, changed.undirected) == (7, True)
+        assert (base.alpha, base.undirected) == (3, False)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(alpha=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(rtree_max_entries=1)
+        with pytest.raises(ValueError):
+            EngineConfig(reach_method="magic")
+        with pytest.raises(ValueError):
+            EngineConfig(tqsp_cache_size=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+
+    def test_engine_reads_config(self):
+        engine = KSPEngine(
+            build_example_graph(), EngineConfig(alpha=2, undirected=True)
+        )
+        assert engine.config.alpha == 2
+        assert engine.alpha == 2  # back-compat attribute mirrors config
+        assert engine.undirected is True
+
+
+class TestLegacyKwargShim:
+    def test_constructor_kwargs_warn_and_still_work(self):
+        graph = build_example_graph()
+        with pytest.warns(DeprecationWarning, match="EngineConfig"):
+            legacy = KSPEngine(graph, alpha=2, undirected=True)
+        modern = KSPEngine(graph, EngineConfig(alpha=2, undirected=True))
+        assert legacy.config == modern.config
+        assert legacy.query(Q1, EXAMPLE_KEYWORDS, k=2).scores() == modern.query(
+            Q1, EXAMPLE_KEYWORDS, k=2
+        ).scores()
+
+    def test_from_triples_kwargs_warn(self):
+        from repro.datagen.synthetic import graph_to_triples
+
+        triples = list(graph_to_triples(build_example_graph()))
+        with pytest.warns(DeprecationWarning):
+            engine = KSPEngine.from_triples(triples, alpha=2)
+        assert engine.config.alpha == 2
+
+    def test_query_batch_method_kwarg_warns(self):
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=2))
+        from repro.core.query import KSPQuery
+
+        queries = [KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=1)]
+        with pytest.warns(DeprecationWarning, match="QueryOptions"):
+            report = engine.query_batch(queries, workers=1, method="bsp")
+        assert len(report.results) == 1
+        assert report.method == "bsp"
+
+    def test_cursor_legacy_kwargs_warn(self):
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=3))
+        with pytest.warns(DeprecationWarning):
+            cursor = engine.cursor(Q1, EXAMPLE_KEYWORDS, timeout=30.0)
+        assert cursor.take(1)
+
+    def test_unknown_kwarg_is_a_type_error_not_a_warning(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            KSPEngine(build_example_graph(), alpa=2)  # typo must not warn
+
+    def test_fold_requires_no_legacy_to_stay_silent(self):
+        config = EngineConfig()
+        assert fold_legacy_kwargs("x", config, {}, "config=...") is config
+
+
+class TestQueryOptions:
+    def test_frozen_defaults(self):
+        options = QueryOptions()
+        assert (options.k, options.method, options.timeout) == (5, None, None)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.k = 9
+
+    def test_replace(self):
+        options = QueryOptions().replace(method="bsp", request_id="r1")
+        assert (options.method, options.request_id) == ("bsp", "r1")
+
+    def test_options_flow_through_query(self):
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=3))
+        result = engine.query(
+            Q1,
+            EXAMPLE_KEYWORDS,
+            options=QueryOptions(k=1, method="bsp", request_id="opt-1"),
+        )
+        assert len(result) == 1
+        assert result.stats.algorithm == "BSP"
+        assert result.request_id == "opt-1"
+
+    def test_kwargs_override_options(self):
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=3))
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, options=QueryOptions(k=1, method="sp")
+        )
+        assert len(result) == 2

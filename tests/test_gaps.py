@@ -10,6 +10,7 @@ from repro.core.stats import QueryStats
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, EXAMPLE_NTRIPLES, Q1
 from repro.datagen.queries import QueryGenerator, WorkloadConfig
 from repro.spatial.geometry import Point, Rect
+from repro.core.config import EngineConfig
 
 
 class TestQueryCreation:
@@ -77,14 +78,14 @@ class TestSPPruningCounters:
         (Rules 3/4) must actually skip entries somewhere in a workload."""
         import dataclasses
 
-        engine = KSPEngine(tiny_yago_graph, alpha=3, rtree_max_entries=4)
+        engine = KSPEngine(tiny_yago_graph, EngineConfig(alpha=3, rtree_max_entries=4))
         generator = QueryGenerator(
             engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=5, seed=71)
         )
         fired = 0
         for query in generator.workload(10, "O"):
             for k in (1, 5, 20):
-                stats = engine.run(
+                stats = engine.query(
                     dataclasses.replace(query, k=k), method="sp"
                 ).stats
                 fired += stats.pruned_rule3 + stats.pruned_rule4
@@ -98,7 +99,7 @@ class TestSPPruningCounters:
             engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=3, seed=72)
         )
         for query in generator.workload(4, "O"):
-            with_pruning = engine.run(query, method="sp")
+            with_pruning = engine.query(query, method="sp")
             without = sp_search(
                 engine.graph, engine.rtree, engine.inverted_index,
                 engine.reachability, engine.alpha_index, query,
@@ -120,7 +121,7 @@ class TestSPPruningCounters:
             engine.graph, engine.rtree, engine.inverted_index, None,
             engine.alpha_index, query, use_rule1=False,
         )
-        reference = engine.run(query, method="sp")
+        reference = engine.query(query, method="sp")
         assert result.roots() == reference.roots()
 
     def test_sp_rule1_without_index_rejected(self, tiny_yago_engine):
@@ -145,14 +146,14 @@ class TestFileFormats:
         )
         path = tmp_path / "data.ttl"
         path.write_text(ttl, encoding="utf-8")
-        engine = KSPEngine.from_file(path, alpha=1)
+        engine = KSPEngine.from_file(path, EngineConfig(alpha=1))
         result = engine.query((1, 1), ["ancient"], k=1)
         assert len(result) == 1
 
     def test_from_file_defaults_to_ntriples(self, tmp_path):
         path = tmp_path / "data.nt"
         path.write_text(EXAMPLE_NTRIPLES, encoding="utf-8")
-        engine = KSPEngine.from_file(path, alpha=1)
+        engine = KSPEngine.from_file(path, EngineConfig(alpha=1))
         assert engine.graph.place_count() == 2
 
 
@@ -173,7 +174,7 @@ class TestGeometryGaps:
 
 class TestEngineReportsOnLoadedState:
     def test_storage_report_after_load(self, tmp_path, example_graph):
-        engine = KSPEngine(example_graph, alpha=2)
+        engine = KSPEngine(example_graph, EngineConfig(alpha=2))
         engine.save(tmp_path / "e")
         loaded = KSPEngine.load(tmp_path / "e")
         report = loaded.storage_report()

@@ -35,7 +35,7 @@ class TestRTreeShapeInvariance:
         rtree = RTree.bulk_load(engine.graph.places(), max_entries=max_entries)
         alpha_index = AlphaIndex(engine.graph, rtree, alpha=2)
         for query in workload:
-            reference = engine.run(query, method="sp")
+            reference = engine.query(query, method="sp")
             got = sp_search(
                 engine.graph, rtree, engine.inverted_index,
                 engine.reachability, alpha_index, query,
@@ -50,7 +50,7 @@ class TestRTreeShapeInvariance:
                 rtree.insert(key, point)
             alpha_index = AlphaIndex(engine.graph, rtree, alpha=2)
             for query in workload:
-                reference = engine.run(query, method="sp")
+                reference = engine.query(query, method="sp")
                 got = sp_search(
                     engine.graph, rtree, engine.inverted_index,
                     engine.reachability, alpha_index, query,
@@ -61,7 +61,7 @@ class TestRTreeShapeInvariance:
         engine = tiny_yago_engine
         rtree = RTree.bulk_load(engine.graph.places(), max_entries=5)
         for query in workload:
-            reference = engine.run(query, method="spp")
+            reference = engine.query(query, method="spp")
             got = spp_search(
                 engine.graph, rtree, engine.inverted_index,
                 engine.reachability, query,
@@ -77,7 +77,7 @@ class TestAlphaInvariance:
         engine = tiny_yago_engine
         alpha_index = AlphaIndex(engine.graph, engine.rtree, alpha=alpha)
         for query in workload:
-            reference = engine.run(query, method="sp")
+            reference = engine.query(query, method="sp")
             got = sp_search(
                 engine.graph, engine.rtree, engine.inverted_index,
                 engine.reachability, alpha_index, query,

@@ -9,6 +9,7 @@ from repro.datagen import QueryGenerator, WorkloadConfig
 from repro.datagen.sampling import induced_subgraph
 from repro.datagen.synthetic import graph_to_triples
 from repro.rdf import ntriples
+from repro.core.config import EngineConfig
 
 
 @pytest.fixture(scope="module")
@@ -18,7 +19,7 @@ def file_engine(tiny_yago_graph, tmp_path_factory):
     subgraph = induced_subgraph(tiny_yago_graph, list(range(400)))
     path = tmp_path_factory.mktemp("data") / "corpus.nt"
     ntriples.write_file(graph_to_triples(subgraph), path)
-    return subgraph, KSPEngine.from_ntriples_file(path, alpha=2)
+    return subgraph, KSPEngine.from_ntriples_file(path, EngineConfig(alpha=2))
 
 
 class TestFilePipeline:
@@ -30,13 +31,13 @@ class TestFilePipeline:
 
     def test_queries_match_direct_engine(self, file_engine):
         subgraph, engine = file_engine
-        direct = KSPEngine(subgraph, alpha=2)
+        direct = KSPEngine(subgraph, EngineConfig(alpha=2))
         generator = QueryGenerator(
             subgraph, direct.inverted_index, WorkloadConfig(keyword_count=2, seed=3)
         )
         for query in generator.workload(5, "O"):
-            direct_result = direct.run(query, method="sp")
-            file_result = engine.run(query, method="sp")
+            direct_result = direct.query(query, method="sp")
+            file_result = engine.query(query, method="sp")
             # Labels are URI-prefixed in the file engine; compare suffixes
             # and scores.  Document supersets (URI tokens) can only make
             # places *more* qualified, never less, so the direct results

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.engine import KSPEngine
+from repro.core.config import EngineConfig
 from repro.datagen.landmarks import (
     CITIES,
     generate_landmark_triples,
@@ -12,7 +13,7 @@ from repro.datagen.landmarks import (
 
 @pytest.fixture(scope="module")
 def engine():
-    return KSPEngine(landmark_graph(landmarks_per_city=4, seed=7), alpha=2)
+    return KSPEngine(landmark_graph(landmarks_per_city=4, seed=7), EngineConfig(alpha=2))
 
 
 class TestCorpusShape:

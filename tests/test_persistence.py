@@ -8,6 +8,7 @@ from repro.core.engine import KSPEngine
 from repro.datagen import QueryGenerator, WorkloadConfig
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
 from repro.datagen.sampling import induced_subgraph
+from repro.core.config import EngineConfig
 from repro.storage.serialize import (
     load_alpha_index,
     load_reachability,
@@ -19,7 +20,7 @@ from repro.storage.serialize import (
 @pytest.fixture(scope="module")
 def saved_engine(tiny_yago_graph, tmp_path_factory):
     subgraph = induced_subgraph(tiny_yago_graph, list(range(1200)))
-    engine = KSPEngine(subgraph, alpha=3)
+    engine = KSPEngine(subgraph, EngineConfig(alpha=3))
     directory = tmp_path_factory.mktemp("engine")
     engine.save(directory)
     return engine, directory
@@ -28,7 +29,7 @@ def saved_engine(tiny_yago_graph, tmp_path_factory):
 class TestIndexSerialization:
     def test_reachability_round_trip(self, tmp_path):
         graph = build_example_graph()
-        original = KSPEngine(graph, build_alpha=False).reachability
+        original = KSPEngine(graph, EngineConfig(build_alpha=False)).reachability
         path = tmp_path / "reach.idx"
         save_reachability(original, path)
         restored = load_reachability(path, graph)
@@ -41,13 +42,13 @@ class TestIndexSerialization:
 
     def test_grail_not_persistable(self, tmp_path):
         graph = build_example_graph()
-        engine = KSPEngine(graph, build_alpha=False, reach_method="grail")
+        engine = KSPEngine(graph, EngineConfig(build_alpha=False, reach_method="grail"))
         with pytest.raises(ValueError):
             save_reachability(engine.reachability, tmp_path / "reach.idx")
 
     def test_alpha_round_trip(self, tmp_path):
         graph = build_example_graph()
-        engine = KSPEngine(graph, alpha=2)
+        engine = KSPEngine(graph, EngineConfig(alpha=2))
         path = tmp_path / "alpha.idx"
         save_alpha_index(engine.alpha_index, path)
         restored = load_alpha_index(path)
@@ -75,7 +76,7 @@ class TestIndexSerialization:
 
     def test_graph_mismatch_detected(self, tmp_path):
         graph = build_example_graph()
-        engine = KSPEngine(graph, build_alpha=False)
+        engine = KSPEngine(graph, EngineConfig(build_alpha=False))
         path = tmp_path / "reach.idx"
         save_reachability(engine.reachability, path)
         from repro.rdf.graph import RDFGraph
@@ -104,8 +105,8 @@ class TestEngineSaveLoad:
         )
         for query in generator.workload(5, "O"):
             for method in ("spp", "sp"):
-                original = engine.run(query, method=method)
-                restored = loaded.run(query, method=method)
+                original = engine.query(query, method=method)
+                restored = loaded.query(query, method=method)
                 assert restored.roots() == original.roots()
                 assert restored.scores() == original.scores()
 
@@ -123,7 +124,7 @@ class TestEngineSaveLoad:
         assert load_seconds < alpha_build
 
     def test_paper_example_round_trip(self, tmp_path):
-        engine = KSPEngine(build_example_graph(), alpha=3)
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=3))
         engine.save(tmp_path / "engine")
         loaded = KSPEngine.load(tmp_path / "engine")
         result = loaded.query(Q1, EXAMPLE_KEYWORDS, k=2, method="sp")

@@ -46,6 +46,7 @@ class TestTopLevelExports:
 class TestTopLevelFlow:
     def test_end_to_end_with_public_names_only(self):
         from repro import (
+            EngineConfig,
             GraphBuilder,
             KSPEngine,
             Point,
@@ -70,7 +71,7 @@ class TestTopLevelFlow:
         graph = builder.build()
         assert isinstance(graph, RDFGraph)
 
-        engine = KSPEngine(graph, alpha=1)
+        engine = KSPEngine(graph, EngineConfig(alpha=1))
         result = engine.query(Point(1, 2), ["espresso"], k=1)
         assert len(result) == 1
         assert "Cafe" in result[0].root_label

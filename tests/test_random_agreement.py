@@ -14,6 +14,7 @@ from repro.core.exhaustive import exhaustive_search
 from repro.core.query import KSPQuery
 from repro.rdf.graph import RDFGraph
 from repro.spatial.geometry import Point
+from repro.core.config import EngineConfig
 
 TERMS = ["aa", "bb", "cc", "dd", "ee"]
 
@@ -55,13 +56,13 @@ class TestRandomGraphAgreement:
     def test_all_methods_match_exhaustive(self, graph, query_spec):
         keywords, k, x, y = query_spec
         query = KSPQuery(location=Point(x, y), keywords=tuple(keywords), k=k)
-        engine = KSPEngine(graph, alpha=2)
+        engine = KSPEngine(graph, EngineConfig(alpha=2))
         reference = exhaustive_search(graph, engine.inverted_index, query)
         expected = [(p.root, round(p.score, 9)) for p in reference]
         for method in ("bsp", "spp", "sp", "ta"):
             got = [
                 (p.root, round(p.score, 9))
-                for p in engine.run(query, method=method)
+                for p in engine.query(query, method=method)
             ]
             assert got == expected, method
 
@@ -70,7 +71,7 @@ class TestRandomGraphAgreement:
     def test_undirected_mode_matches_exhaustive(self, graph, query_spec):
         keywords, k, x, y = query_spec
         query = KSPQuery(location=Point(x, y), keywords=tuple(keywords), k=k)
-        engine = KSPEngine(graph, alpha=2, undirected=True)
+        engine = KSPEngine(graph, EngineConfig(alpha=2, undirected=True))
         reference = exhaustive_search(
             graph, engine.inverted_index, query, undirected=True
         )
@@ -78,7 +79,7 @@ class TestRandomGraphAgreement:
         for method in ("spp", "sp"):
             got = [
                 (p.root, round(p.score, 9))
-                for p in engine.run(query, method=method)
+                for p in engine.query(query, method=method)
             ]
             assert got == expected, method
 
@@ -86,7 +87,7 @@ class TestRandomGraphAgreement:
     @settings(max_examples=25, deadline=None)
     def test_cursor_prefix_matches_exhaustive(self, graph, query_spec):
         keywords, k, x, y = query_spec
-        engine = KSPEngine(graph, alpha=2)
+        engine = KSPEngine(graph, EngineConfig(alpha=2))
         query = KSPQuery(location=Point(x, y), keywords=tuple(keywords), k=10)
         reference = exhaustive_search(graph, engine.inverted_index, query)
         cursor = engine.cursor(Point(x, y), list(keywords))

@@ -11,6 +11,7 @@ from repro.rdf.graph import RDFGraph
 from repro.spatial.geometry import Point
 from repro.spatial.rtree import RTree
 from repro.text.inverted import InvertedIndex
+from repro.core.config import EngineConfig
 
 
 class TestQueryAtPlaceLocation:
@@ -33,7 +34,7 @@ class TestQueryAtPlaceLocation:
         b = graph.add_vertex("b", document={"target"}, location=Point(1, 1))
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(graph, alpha=1)
+        engine = KSPEngine(graph, EngineConfig(alpha=1))
         result = engine.query(Point(1, 1), ["target"], k=2)
         assert len(result) == 2
         assert result.scores() == [0.0, 0.0]
@@ -47,7 +48,7 @@ class TestDegenerateGraphs:
         graph.add_vertex("lonely", document={"word"})
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(graph, alpha=1)
+        engine = KSPEngine(graph, EngineConfig(alpha=1))
         for method in ("bsp", "spp", "sp", "ta"):
             result = engine.query(Point(0, 0), ["word"], k=1, method=method)
             assert len(result) == 0, method
@@ -59,7 +60,7 @@ class TestDegenerateGraphs:
         )
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(graph, alpha=1)
+        engine = KSPEngine(graph, EngineConfig(alpha=1))
         result = engine.query(Point(0, 0), ["alpha", "beta"], k=1)
         assert len(result) == 1
         assert result[0].looseness == 1.0  # everything at distance 0
@@ -71,7 +72,7 @@ class TestDegenerateGraphs:
         graph.add_edge(a, a)
         from repro.core.engine import KSPEngine
 
-        engine = KSPEngine(graph, alpha=1)
+        engine = KSPEngine(graph, EngineConfig(alpha=1))
         result = engine.query(Point(1, 0), ["x"], k=1)
         assert result[0].looseness == 1.0
 

@@ -9,6 +9,7 @@ from repro.datagen.sampling import induced_subgraph
 from repro.rdf.graph import RDFGraph
 from repro.storage.diskgraph import DiskRDFGraph, write_disk_graph
 from repro.storage.pages import BufferPool
+from repro.core.config import EngineConfig
 
 
 @pytest.fixture(scope="module")
@@ -147,8 +148,8 @@ class TestAlgorithmsOnDiskGraph:
         path = tmp_path / "example.rgrf"
         write_disk_graph(graph, path)
         with DiskRDFGraph(path) as disk:
-            memory_engine = KSPEngine(graph, alpha=2)
-            disk_engine = KSPEngine(disk, alpha=2)
+            memory_engine = KSPEngine(graph, EngineConfig(alpha=2))
+            disk_engine = KSPEngine(disk, EngineConfig(alpha=2))
             for method in ("bsp", "spp", "sp", "ta"):
                 memory_result = memory_engine.query(
                     Q1, EXAMPLE_KEYWORDS, k=2, method=method
@@ -163,13 +164,13 @@ class TestAlgorithmsOnDiskGraph:
 
     def test_corpus_queries_match(self, corpus_disk):
         graph, disk = corpus_disk
-        memory_engine = KSPEngine(graph, alpha=2)
-        disk_engine = KSPEngine(disk, alpha=2)
+        memory_engine = KSPEngine(graph, EngineConfig(alpha=2))
+        disk_engine = KSPEngine(disk, EngineConfig(alpha=2))
         generator = QueryGenerator(
             graph, memory_engine.inverted_index, WorkloadConfig(keyword_count=2, seed=8)
         )
         for query in generator.workload(4, "O"):
-            memory_result = memory_engine.run(query, method="sp")
-            disk_result = disk_engine.run(query, method="sp")
+            memory_result = memory_engine.query(query, method="sp")
+            disk_result = disk_engine.query(query, method="sp")
             assert disk_result.roots() == memory_result.roots()
             assert disk_result.scores() == memory_result.scores()

@@ -15,7 +15,7 @@ class TestTimeout:
             engine.graph, engine.inverted_index, WorkloadConfig(keyword_count=5, seed=55)
         )
         query = generator.original()
-        result = engine.run(query, method="bsp", timeout=0.0)
+        result = engine.query(query, method="bsp", timeout=0.0)
         assert result.stats.timed_out
         # A partial (possibly empty) result is still returned.
         assert result.stats.runtime_seconds >= 0

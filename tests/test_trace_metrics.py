@@ -35,6 +35,7 @@ from tests.test_batch_cache_agreement import (
 )
 
 import pytest
+from repro.core.config import EngineConfig
 
 
 class TestQueryTrace:
@@ -164,7 +165,7 @@ class TestMetricsRegistry:
 def engine():
     # Large enough that the R-tree has internal levels, so SP's
     # node-expansion phase is exercised too.
-    return KSPEngine(build_graph(57, vertex_count=300), alpha=2)
+    return KSPEngine(build_graph(57, vertex_count=300), EngineConfig(alpha=2))
 
 
 class TestTraceAgreement:
@@ -173,8 +174,8 @@ class TestTraceAgreement:
         rng = random.Random(58)
         for query in random_queries(rng, 15):
             for method in METHODS:
-                plain = engine.run(query, method=method)
-                traced = engine.run(query, method=method, trace=True)
+                plain = engine.query(query, method=method)
+                traced = engine.query(query, method=method, trace=True)
                 assert fingerprint(traced) == fingerprint(plain), (
                     method,
                     query.keywords,
@@ -193,19 +194,19 @@ class TestTraceAgreement:
         seen = {method: set() for method in METHODS}
         for query in random_queries(rng, 10):
             for method in METHODS:
-                result = engine.run(query, method=method, trace=True)
+                result = engine.query(query, method=method, trace=True)
                 seen[method].update(result.trace.phases())
         for method, phases in expected.items():
             assert phases <= seen[method], (method, seen[method])
 
     def test_trace_rendered_by_explain(self, engine):
         query = random_queries(random.Random(60), 1)[0]
-        result = engine.run(query, method="sp", trace=True)
+        result = engine.query(query, method="sp", trace=True)
         assert "trace: per-phase breakdown" in result.explain()
 
     def test_engine_metrics_after_queries(self, engine):
         for query in random_queries(random.Random(61), 5):
-            engine.run(query, method="sp")
+            engine.query(query, method="sp")
         text = engine.metrics_text()
         assert "# TYPE ksp_query_latency_seconds histogram" in text
         assert 'ksp_queries_total{method="sp"}' in text

@@ -5,6 +5,7 @@ import pytest
 from repro.rdf.ntriples import serialize
 from repro.rdf.terms import IRI, BlankNode, Literal, Triple
 from repro.rdf.turtle import RDF_TYPE, TurtleSyntaxError, parse_turtle
+from repro.core.config import EngineConfig
 
 
 def triples(text):
@@ -173,7 +174,7 @@ class TestPipelineCompatibility:
             "         ex:dedication ex:Saint_Peter .\n"
             'ex:Saint_Peter ex:description "catholic roman" .\n'
         )
-        engine = KSPEngine.from_triples(parse_turtle(ttl), alpha=1)
+        engine = KSPEngine.from_triples(parse_turtle(ttl), EngineConfig(alpha=1))
         result = engine.query((0.1, 0.1), ["catholic"], k=1)
         assert len(result) == 1
         assert result[0].root_label.endswith("Abbey")

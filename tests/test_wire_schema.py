@@ -1,0 +1,116 @@
+"""The wire schema: ``KSPResult.to_dict`` / ``from_dict`` round trips
+and a golden-file pin of the exact JSON shape.
+
+The schema is the single serialization surface — the HTTP server, the
+CLI's ``--json`` / ``--stats`` output and cursor pagination all emit
+it — so its shape is pinned byte-for-byte against a checked-in golden
+file (timing fields zeroed: they are the only nondeterministic part).
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.core.query import KSPResult, SemanticPlace
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TIMING_FIELDS = ("runtime_seconds", "semantic_seconds", "other_seconds")
+
+
+def golden_engine():
+    # Cache off for deterministic counters; the paper's worked example
+    # makes the golden file human-checkable.
+    return KSPEngine(
+        build_example_graph(), EngineConfig(alpha=3, tqsp_cache_size=0)
+    )
+
+
+def normalize(document):
+    """Zero the wall-clock fields — everything else is deterministic."""
+    for field in TIMING_FIELDS:
+        if field in document.get("stats", {}):
+            document["stats"][field] = 0.0
+    return document
+
+
+class TestGoldenFiles:
+    def test_query_result_matches_golden(self):
+        engine = golden_engine()
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method="sp", request_id="golden-1"
+        )
+        document = normalize(result.to_dict())
+        golden = json.loads((GOLDEN_DIR / "query_example.json").read_text())
+        assert document == golden
+
+    def test_golden_file_is_canonical_json(self):
+        raw = (GOLDEN_DIR / "query_example.json").read_text()
+        parsed = json.loads(raw)
+        assert raw == json.dumps(parsed, indent=2, sort_keys=True) + "\n"
+
+    def test_timed_out_result_schema(self):
+        engine = golden_engine()
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method="bsp", timeout=1e-9
+        )
+        document = result.to_dict()
+        assert document["timed_out"] is True
+        assert document["stats"]["timed_out"] is True
+        assert document["places"] == []
+
+
+class TestRoundTrips:
+    def test_result_round_trip_preserves_everything(self):
+        engine = golden_engine()
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method="sp", trace=True, request_id="rt-1"
+        )
+        rebuilt = KSPResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.request_id == "rt-1"
+        assert rebuilt.scores() == result.scores()
+        assert [p.root for p in rebuilt] == [p.root for p in result]
+        assert rebuilt.stats.tqsp_computations == result.stats.tqsp_computations
+        assert rebuilt.trace is not None
+
+    def test_place_round_trip(self):
+        engine = golden_engine()
+        place = engine.query(Q1, EXAMPLE_KEYWORDS, k=1, method="sp")[0]
+        rebuilt = SemanticPlace.from_dict(place.to_dict())
+        assert rebuilt.to_dict() == place.to_dict()
+        assert rebuilt.root == place.root
+        assert rebuilt.paths == place.paths
+
+    def test_json_float_exactness(self):
+        # repr round-trips floats exactly, so serialized scores compare
+        # byte-identical across process boundaries.
+        engine = golden_engine()
+        result = engine.query(Q1, EXAMPLE_KEYWORDS, k=2, method="sp")
+        through_json = json.loads(json.dumps(result.to_dict()))
+        assert through_json["scores"] == result.to_dict()["scores"]
+
+    def test_cursor_page_shares_the_schema(self):
+        engine = golden_engine()
+        page = engine.cursor(Q1, EXAMPLE_KEYWORDS).page(1)
+        document = page.to_dict()
+        assert set(document) == {
+            "query",
+            "request_id",
+            "places",
+            "scores",
+            "looseness",
+            "timed_out",
+            "stats",
+            "trace",
+        }
+        assert len(document["places"]) == 1
+
+    def test_from_dict_ignores_unknown_stats_fields(self):
+        engine = golden_engine()
+        document = engine.query(Q1, EXAMPLE_KEYWORDS, k=1).to_dict()
+        document["stats"]["added_in_a_future_version"] = 42
+        rebuilt = KSPResult.from_dict(document)
+        assert rebuilt.stats.algorithm == document["stats"]["algorithm"]

@@ -1,0 +1,59 @@
+"""reprolint — AST-based invariant checks for the kSP serving stack.
+
+The repository's correctness rests on a handful of hand-maintained
+contracts that ordinary linters cannot see: shared state touched only
+under its lock, hot loops polling the cooperative deadline, frozen
+config objects never mutated, monotonic clocks on the query path,
+exceptions never silently swallowed, and the wire schema kept in
+lockstep between :class:`~repro.core.query.KSPResult` and
+:mod:`repro.serve.schemas`.  This package checks them mechanically:
+
+======  ==============================================================
+RL001   lock discipline: attributes guarded by a ``threading.Lock``
+        somewhere must be guarded everywhere
+RL002   deadline polling: every ``while`` loop in the query hot paths
+        must consult the cooperative deadline
+RL003   frozen-config mutation: no attribute assignment on
+        ``EngineConfig`` / ``QueryOptions`` / ``ServeConfig`` instances
+RL004   wall-clock ban: ``time.time`` / argless ``datetime.now`` /
+        ``random`` are forbidden in ``core/`` and ``rdf/``
+RL005   swallowed exceptions: ``except Exception`` must re-raise,
+        record an error, or log
+RL006   wire-schema drift: ``KSPResult.to_dict``/``from_dict`` must
+        match the field set declared in ``repro/serve/schemas.py``
+======  ==============================================================
+
+Run it as ``python -m repro.analysis [paths]`` or ``repro lint``.  A
+finding is silenced with an inline suppression on the offending line or
+the line above::
+
+    while chain:  # repro-lint: allow[RL002] bounded by path length
+
+The reason text is mandatory — a suppression without one does not
+count.  Rules are mapped to the module globs they govern by the
+``[tool.reprolint]`` block in ``pyproject.toml``.
+"""
+
+from repro.analysis.config import DEFAULT_RULE_PATHS, LintConfig, load_config
+from repro.analysis.engine import LintResult, lint_paths
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+
+__all__ = [
+    "DEFAULT_RULE_PATHS",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "all_rules",
+    "lint_paths",
+    "load_config",
+    "main",
+]
+
+
+def main(argv=None):
+    """CLI entry point (shared by ``python -m repro.analysis`` and
+    ``repro lint``)."""
+    from repro.analysis.__main__ import main as _main
+
+    return _main(argv)

@@ -1,0 +1,95 @@
+"""``python -m repro.analysis`` — run reprolint from the command line.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration or usage
+error (unknown rule id, unparseable file, broken ``[tool.reprolint]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.config import ConfigError, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based invariant checks for the kSP serving "
+            "stack (lock discipline, deadline polling, frozen configs, "
+            "monotonic time, exception accounting, wire-schema drift)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show suppressed findings in text output",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, rule_cls in all_rules().items():
+            print("%s  %s" % (rule_id, rule_cls.summary))
+        return 0
+
+    paths: List[Path] = []
+    for raw in options.paths:
+        path = Path(raw)
+        if not path.exists():
+            print("error: no such path: %s" % raw, file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    rule_ids = None
+    if options.rules:
+        rule_ids = [part.strip() for part in options.rules.split(",") if part.strip()]
+
+    try:
+        config = load_config(paths[0] if paths else Path.cwd())
+    except ConfigError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    result = lint_paths(paths, config=config, rule_ids=rule_ids)
+    if options.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=options.verbose))
+    return result.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""reprolint configuration: which rules govern which modules.
+
+The ``[tool.reprolint]`` block of ``pyproject.toml`` maps rule ids to
+the module globs they govern::
+
+    [tool.reprolint]
+    RL001 = ["src/repro/**/*.py"]
+    RL002 = [
+        "src/repro/core/bsp.py",
+        "src/repro/rdf/csr.py",
+    ]
+
+Patterns are matched against repo-relative posix paths; ``**`` crosses
+directory separators, ``*`` and ``?`` do not.  Rules absent from the
+block fall back to :data:`DEFAULT_RULE_PATHS`, so the analyzer is
+usable on a bare checkout; an empty list disables a rule outright.
+
+``tomllib`` (Python 3.11+) parses the block when available.  On the
+3.9/3.10 floor a minimal fallback parser handles exactly the shape
+above — one table header and ``key = [string, ...]`` entries — which is
+all this tool ever reads from the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.9/3.10
+    tomllib = None
+
+#: Fallback scoping when pyproject.toml has no [tool.reprolint] block.
+#: The serving-stack contracts each rule enforces live in these modules
+#: (see the package docstring and DESIGN.md section 10).
+DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
+    "RL001": ("src/repro/**/*.py",),
+    "RL002": (
+        "src/repro/core/bsp.py",
+        "src/repro/core/spp.py",
+        "src/repro/core/sp.py",
+        "src/repro/core/ta.py",
+        "src/repro/core/cursor.py",
+        "src/repro/rdf/csr.py",
+    ),
+    "RL003": ("src/repro/**/*.py",),
+    "RL004": ("src/repro/core/**/*.py", "src/repro/rdf/**/*.py"),
+    "RL005": ("src/repro/**/*.py",),
+    "RL006": ("src/repro/core/query.py", "src/repro/serve/schemas.py"),
+}
+
+
+class ConfigError(ValueError):
+    """A [tool.reprolint] block that cannot be interpreted."""
+
+
+def _glob_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    i = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "*":
+            if pattern[i : i + 3] == "**/":
+                out.append("(?:.*/)?")
+                i += 3
+                continue
+            if pattern[i : i + 2] == "**":
+                out.append(".*")
+                i += 2
+                continue
+            out.append("[^/]*")
+        elif ch == "?":
+            out.append("[^/]")
+        else:
+            out.append(re.escape(ch))
+        i += 1
+    return re.compile("".join(out) + r"\Z")
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one analyzer run."""
+
+    root: Path
+    rule_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    _compiled: Dict[str, Tuple["re.Pattern[str]", ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        merged = dict(DEFAULT_RULE_PATHS)
+        merged.update(self.rule_paths)
+        self.rule_paths = merged
+        self._compiled = {
+            rule: tuple(_glob_to_regex(p) for p in patterns)
+            for rule, patterns in merged.items()
+        }
+
+    def governs(self, rule: str, relpath: str) -> bool:
+        """Whether ``rule`` applies to the repo-relative posix ``relpath``."""
+        patterns = self._compiled.get(rule)
+        if patterns is None:
+            return True  # unscoped rules see every file
+        return any(p.match(relpath) for p in patterns)
+
+
+def _parse_reprolint_block_fallback(text: str) -> Dict[str, Sequence[str]]:
+    """Extract [tool.reprolint] without tomllib (3.9/3.10 floor)."""
+    match = re.search(r"^\[tool\.reprolint\]\s*$(.*?)(?=^\[|\Z)", text, re.M | re.S)
+    if match is None:
+        return {}
+    body_lines = []
+    for line in match.group(1).splitlines():
+        # Globs never contain '#', so a naive comment strip is safe here.
+        body_lines.append(line.split("#", 1)[0])
+    body = "\n".join(body_lines)
+    entries: Dict[str, Sequence[str]] = {}
+    for key, value in re.findall(r"([A-Za-z0-9_-]+)\s*=\s*(\[[^\]]*\])", body, re.S):
+        try:
+            parsed = ast.literal_eval(re.sub(r",\s*\]", "]", value))
+        except (ValueError, SyntaxError) as exc:
+            raise ConfigError(
+                "cannot parse [tool.reprolint] entry %r: %s" % (key, exc)
+            ) from exc
+        entries[key] = parsed
+    return entries
+
+
+def _read_reprolint_block(pyproject: Path) -> Dict[str, Sequence[str]]:
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        block = data.get("tool", {}).get("reprolint", {})
+        if not isinstance(block, dict):
+            raise ConfigError("[tool.reprolint] must be a table")
+        return block
+    return _parse_reprolint_block_fallback(text)
+
+
+def load_config(root: Optional[Path] = None) -> LintConfig:
+    """Load configuration for the repo containing ``root`` (default cwd).
+
+    Walks upward to the first directory holding a ``pyproject.toml``;
+    that directory becomes the path-matching root.  Without one, the
+    starting directory and :data:`DEFAULT_RULE_PATHS` are used.
+    """
+    start = (root or Path.cwd()).resolve()
+    probe = start if start.is_dir() else start.parent
+    for candidate in (probe, *probe.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return config_from_mapping(candidate, _read_reprolint_block(pyproject))
+    return LintConfig(root=probe)
+
+
+def config_from_mapping(
+    root: Path, block: Mapping[str, object]
+) -> LintConfig:
+    """Build a config from an already-parsed [tool.reprolint] mapping."""
+    rule_paths: Dict[str, Tuple[str, ...]] = {}
+    for key, value in block.items():
+        if not isinstance(value, (list, tuple)) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ConfigError(
+                "[tool.reprolint] %s must be a list of glob strings" % key
+            )
+        rule_paths[key.upper()] = tuple(value)
+    return LintConfig(root=root, rule_paths=rule_paths)

@@ -1,0 +1,116 @@
+"""Analyzer orchestration: discover files, run rules, split suppressions."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.findings import (
+    Finding,
+    SuppressedFinding,
+    SuppressionIndex,
+    split_suppressed,
+)
+from repro.analysis.registry import all_rules
+from repro.analysis.rules.base import ModuleInfo
+
+
+@dataclass
+class LintResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[SuppressedFinding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)  # unparseable files etc.
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 0 if not self.findings else 1
+
+
+def discover_files(paths: Sequence[Path], root: Path) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen = {}
+    for path in paths:
+        resolved = path.resolve()
+        if resolved.is_dir():
+            candidates: Iterable[Path] = sorted(resolved.rglob("*.py"))
+        else:
+            candidates = [resolved]
+        for candidate in candidates:
+            if candidate.suffix == ".py" and "__pycache__" not in candidate.parts:
+                seen[candidate] = None
+    return sorted(seen)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run the analyzer over ``paths`` (files or directories).
+
+    ``rule_ids`` restricts the run to a subset (``--rules RL002,RL005``);
+    unknown ids land in ``result.errors`` so a typo cannot masquerade as
+    a clean pass.
+    """
+    if config is None:
+        start = paths[0] if paths else Path.cwd()
+        config = load_config(start if isinstance(start, Path) else Path(start))
+    result = LintResult()
+
+    registry = all_rules()
+    selected = list(registry)
+    if rule_ids is not None:
+        wanted = [rid.upper() for rid in rule_ids]
+        unknown = [rid for rid in wanted if rid not in registry]
+        if unknown:
+            result.errors.append(
+                "unknown rule id(s): %s (known: %s)"
+                % (", ".join(unknown), ", ".join(registry))
+            )
+            return result
+        selected = wanted
+    rules = {rid: registry[rid]() for rid in selected}
+    result.rules_run = tuple(rules)
+
+    raw: List[Finding] = []
+    suppressions: Dict[str, SuppressionIndex] = {}
+    for file_path in discover_files(paths, config.root):
+        relpath = _relpath(file_path, config.root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(file_path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append("%s: cannot analyze: %s" % (relpath, exc))
+            continue
+        lines = source.splitlines()
+        module = ModuleInfo(path=file_path, relpath=relpath, tree=tree, lines=lines)
+        suppressions[relpath] = SuppressionIndex.from_source(lines)
+        result.files_checked += 1
+        for rule_id, rule in rules.items():
+            if not config.governs(rule_id, relpath):
+                continue
+            raw.extend(rule.check_module(module))
+    for rule in rules.values():
+        raw.extend(rule.finalize())
+
+    result.findings, result.suppressed = split_suppressed(raw, suppressions)
+    return result

@@ -1,0 +1,127 @@
+"""Findings and inline suppressions.
+
+A :class:`Finding` names one violated invariant at one source location.
+Suppressions are inline comments::
+
+    self._entries[key] = value  # repro-lint: allow[RL001] helper runs under store()'s lock
+
+    # repro-lint: allow[RL002] bounded: walks one parent chain
+    while vertex not in parents:
+
+The comment may sit on the offending line or on the line directly
+above; it may name several rules (``allow[RL001,RL002]``); and the
+trailing reason is mandatory — an allowance with no justification is
+ignored, so every silenced finding documents *why* it is safe.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(\S.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return "%s:%d:%d: %s %s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of line number -> rules allowed on that line."""
+
+    # line -> (rule ids, reason)
+    allowances: Dict[int, Tuple[Tuple[str, ...], str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, lines: Sequence[str]) -> "SuppressionIndex":
+        index = cls()
+        for number, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            reason = (match.group(2) or "").strip()
+            if not reason:
+                continue  # a suppression must explain itself
+            rules = tuple(
+                part.strip().upper()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if rules:
+                index.allowances[number] = (rules, reason)
+        return index
+
+    def covers(self, rule: str, line: int) -> Optional[str]:
+        """The reason suppressing ``rule`` at ``line``, or None.
+
+        An allowance applies to its own line and to the line below it
+        (comment-above style).
+        """
+        for candidate in (line, line - 1):
+            entry = self.allowances.get(candidate)
+            if entry is not None and rule in entry[0]:
+                return entry[1]
+        return None
+
+
+@dataclass(frozen=True)
+class SuppressedFinding:
+    """A finding silenced by an inline allowance (kept for reporting)."""
+
+    finding: Finding
+    reason: str
+
+    def as_dict(self) -> Dict[str, object]:
+        data = self.finding.as_dict()
+        data["suppressed"] = True
+        data["reason"] = self.reason
+        return data
+
+
+def split_suppressed(
+    findings: Sequence[Finding],
+    suppressions: Dict[str, SuppressionIndex],
+) -> Tuple[List[Finding], List[SuppressedFinding]]:
+    """Partition findings into (active, suppressed) using per-file indexes."""
+    active: List[Finding] = []
+    suppressed: List[SuppressedFinding] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        index = suppressions.get(finding.path)
+        reason = index.covers(finding.rule, finding.line) if index else None
+        if reason is None:
+            active.append(finding)
+        else:
+            suppressed.append(SuppressedFinding(finding, reason))
+    return active, suppressed

@@ -1,0 +1,36 @@
+"""Rule registry: rule id -> rule class.
+
+Rule modules self-register at import time via :func:`register`;
+:func:`all_rules` imports the bundled rule package and returns the
+registry, so adding a rule is dropping one module into
+``repro/analysis/rules/`` and importing it from the package
+``__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.rules.base import Rule
+
+_REGISTRY: Dict[str, "Type[Rule]"] = {}
+
+
+def register(rule_cls: "Type[Rule]") -> "Type[Rule]":
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise ValueError("rule class %r has no rule_id" % rule_cls.__name__)
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError("duplicate rule id %s" % rule_id)
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, "Type[Rule]"]:
+    """The full registry, importing the bundled rules on first use."""
+    import repro.analysis.rules  # noqa: F401 - registers on import
+
+    return dict(sorted(_REGISTRY.items()))

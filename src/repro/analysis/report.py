@@ -1,0 +1,51 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.registry import all_rules
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """ruff-style one-line-per-finding text, with a closing summary."""
+    lines = []
+    for error in result.errors:
+        lines.append("error: %s" % error)
+    for finding in result.findings:
+        lines.append(finding.render())
+    if verbose:
+        for item in result.suppressed:
+            lines.append(
+                "%s  [suppressed: %s]" % (item.finding.render(), item.reason)
+            )
+    noun = "file" if result.files_checked == 1 else "files"
+    summary = "%d %s checked, %d finding(s), %d suppressed" % (
+        result.files_checked,
+        noun,
+        len(result.findings),
+        len(result.suppressed),
+    )
+    if result.errors:
+        summary += ", %d error(s)" % len(result.errors)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for CI artifacts and tooling."""
+    registry = all_rules()
+    payload = {
+        "files_checked": result.files_checked,
+        "rules": [
+            {"id": rule_id, "summary": registry[rule_id].summary}
+            for rule_id in result.rules_run
+            if rule_id in registry
+        ],
+        "findings": [finding.as_dict() for finding in result.findings],
+        "suppressed": [item.as_dict() for item in result.suppressed],
+        "errors": list(result.errors),
+        "exit_code": result.exit_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

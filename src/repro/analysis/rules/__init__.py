@@ -1,0 +1,18 @@
+"""Bundled reprolint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry`; each module is one rule, named after
+its id.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    rl001_lock_discipline,
+    rl002_deadline_poll,
+    rl003_frozen_config,
+    rl004_wall_clock,
+    rl005_swallowed_exceptions,
+    rl006_wire_schema,
+)
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+__all__ = ["ModuleInfo", "Rule", "dotted_name"]

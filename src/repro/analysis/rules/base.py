@@ -1,0 +1,63 @@
+"""Rule protocol and the parsed-module container."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence
+
+from repro.analysis.findings import Finding
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to the rules."""
+
+    path: Path  # absolute
+    relpath: str  # repo-relative, posix separators (what globs match)
+    tree: ast.Module
+    lines: Sequence[str]
+
+
+class Rule:
+    """One invariant check.
+
+    A rule instance lives for one analyzer run.  ``check_module`` is
+    called once per governed file; ``finalize`` runs after every file
+    has been seen, for rules that correlate across files (RL006).
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        return iter(())
+
+    # ------------------------------------------------------------------
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, '' for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

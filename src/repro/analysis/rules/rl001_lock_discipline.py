@@ -1,0 +1,290 @@
+"""RL001 — lock discipline on shared mutable state.
+
+In any class that owns a ``threading.Lock`` (or ``RLock`` /
+``Condition`` / ``Semaphore``), an instance attribute that is *written*
+inside a ``with self.<lock>:`` block anywhere in the class is treated
+as lock-guarded shared state.  Every other access to that attribute —
+read or write, in any method — must also happen under the lock, or the
+class has a data race of exactly the torn-counter kind fixed in
+``TQSPCache.counters()`` (PR 2).
+
+Two deliberate outs keep the rule precise:
+
+* ``__init__`` is exempt: construction happens-before publication to
+  other threads.
+* A private helper that is *only ever called from under the lock* (all
+  of its intra-class ``self.helper()`` call sites sit inside lock
+  blocks, transitively) counts as lock-held — ``TQSPCache._put`` is the
+  canonical example.  A helper reached from under the lock by only
+  *some* chains still marks the attributes it writes as guarded; the
+  unlocked chain then surfaces as the violation.
+
+The analysis is intra-class: accesses spelled ``self.attr``.  Foreign
+reads (``cache.hits`` from another module) are invisible to it — the
+repository convention is that lock-owning classes expose snapshot
+methods (``counters()``) instead of raw attributes, which this rule
+keeps honest from the inside.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+
+def _is_lock_factory(call: ast.AST) -> bool:
+    """``threading.Lock()`` / ``Condition()``-style constructor calls."""
+    if not isinstance(call, ast.Call):
+        return False
+    name = dotted_name(call.func)
+    tail = name.rsplit(".", 1)[-1]
+    return tail in _LOCK_FACTORIES
+
+
+@dataclass
+class _Access:
+    attr: str
+    is_write: bool
+    under_lock: bool
+    method: str
+    node: ast.AST
+
+
+@dataclass
+class _CallSite:
+    method: str  # callee
+    under_lock: bool
+    caller: str
+
+
+@dataclass
+class _ClassFacts:
+    lock_attrs: Set[str] = field(default_factory=set)
+    accesses: List[_Access] = field(default_factory=list)
+    call_sites: List[_CallSite] = field(default_factory=list)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Walk one method body tracking ``with self.<lock>:`` nesting."""
+
+    def __init__(self, method: str, lock_attrs: Set[str], facts: _ClassFacts):
+        self._method = method
+        self._lock_attrs = lock_attrs
+        self._facts = facts
+        self._lock_depth = 0
+
+    # -- lock context ---------------------------------------------------
+
+    def _is_lock_item(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        return (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in self._lock_attrs
+        )
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(self._is_lock_item(item) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if holds:
+            self._lock_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if holds:
+            self._lock_depth -= 1
+
+    # -- accesses and intra-class calls ---------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr not in self._lock_attrs
+        ):
+            self._facts.accesses.append(
+                _Access(
+                    attr=node.attr,
+                    is_write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    under_lock=self._lock_depth > 0,
+                    method=self._method,
+                    node=node,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.attr[key] = v`` / ``del self.attr[key]`` mutate guarded
+        # containers even though the attribute itself is only loaded.
+        target = node.value
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr not in self._lock_attrs
+        ):
+            self._facts.accesses.append(
+                _Access(
+                    attr=target.attr,
+                    is_write=True,
+                    under_lock=self._lock_depth > 0,
+                    method=self._method,
+                    node=node,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            self._facts.call_sites.append(
+                _CallSite(
+                    method=func.attr,
+                    under_lock=self._lock_depth > 0,
+                    caller=self._method,
+                )
+            )
+        self.generic_visit(node)
+
+    # Nested defs inherit the lexical lock context (closures created
+    # under the lock); a nested class starts a fresh analysis scope and
+    # is handled by the outer class walk, so don't descend into it here.
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+
+def _collect_class_facts(cls: ast.ClassDef) -> _ClassFacts:
+    facts = _ClassFacts()
+    methods = [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for method in methods:
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Assign) and _is_lock_factory(sub.value):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        facts.lock_attrs.add(target.attr)
+    if not facts.lock_attrs:
+        return facts
+    for method in methods:
+        _MethodScanner(method.name, facts.lock_attrs, facts).visit(method)
+    return facts
+
+
+def _lock_held_methods(facts: _ClassFacts) -> Set[str]:
+    """Methods whose every intra-class call site holds the lock."""
+    sites: Dict[str, List[_CallSite]] = {}
+    for site in facts.call_sites:
+        sites.setdefault(site.method, []).append(site)
+    held: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for method, callers in sites.items():
+            if method in held:
+                continue
+            if all(
+                site.under_lock or site.caller in held for site in callers
+            ):
+                held.add(method)
+                changed = True
+    return held
+
+
+def _sometimes_held_methods(facts: _ClassFacts, held: Set[str]) -> Set[str]:
+    """Methods reached from under the lock by at least one call chain.
+
+    A write inside one marks its attribute as guarded even when another
+    call site leaks — the leak then shows up as the violation, instead
+    of silently downgrading the attribute to "unguarded".
+    """
+    sites: Dict[str, List[_CallSite]] = {}
+    for site in facts.call_sites:
+        sites.setdefault(site.method, []).append(site)
+    sometimes = set(held)
+    changed = True
+    while changed:
+        changed = False
+        for method, callers in sites.items():
+            if method in sometimes:
+                continue
+            if any(
+                site.under_lock or site.caller in sometimes for site in callers
+            ):
+                sometimes.add(method)
+                changed = True
+    return sometimes
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RL001"
+    summary = (
+        "attributes written under a threading lock must be accessed "
+        "under it everywhere in the class"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            facts = _collect_class_facts(node)
+            if not facts.lock_attrs:
+                continue
+            held = _lock_held_methods(facts)
+            sometimes = _sometimes_held_methods(facts, held)
+            guarded: Set[str] = {
+                access.attr
+                for access in facts.accesses
+                if access.is_write
+                and access.method != "__init__"
+                and (access.under_lock or access.method in sometimes)
+            }
+            lock_names = ", ".join("self.%s" % name for name in sorted(facts.lock_attrs))
+            for access in facts.accesses:
+                if access.attr not in guarded:
+                    continue
+                if access.method == "__init__":
+                    continue
+                if access.under_lock or access.method in held:
+                    continue
+                kind = "written" if access.is_write else "read"
+                yield self.finding(
+                    module,
+                    access.node,
+                    "%s.%s: attribute '%s' is guarded by %s elsewhere "
+                    "but %s without it in %s()"
+                    % (
+                        node.name,
+                        access.method,
+                        access.attr,
+                        lock_names,
+                        kind,
+                        access.method,
+                    ),
+                )

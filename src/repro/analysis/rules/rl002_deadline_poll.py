@@ -1,0 +1,60 @@
+"""RL002 — search loops must poll the cooperative deadline.
+
+The serving stack cancels long queries cooperatively: every expansion
+loop in the search kernels checks ``deadline.expired()`` (or calls
+``deadline.check()``, which raises ``QueryTimeout``) once per
+iteration.  A ``while`` loop in a governed kernel module that never
+consults a deadline is a loop the admission controller cannot preempt —
+one adversarial query then holds its worker thread until process death.
+
+The rule accepts any call whose terminal attribute is ``expired`` or
+``check`` on a receiver whose dotted name mentions ``deadline``
+(``deadline.expired()``, ``self._deadline.check()``,
+``opts.deadline.expired()``).  Loops that are structurally bounded
+(fixed-depth chain walks, alpha-bounded expansions) carry an inline
+``repro-lint: allow[RL002] <why bounded>`` instead, so the bound is
+documented at the loop.
+
+Only ``while`` loops are examined: ``for`` loops over materialised
+sequences are bounded by construction, and the kernels' unbounded
+frontier expansions are all spelled ``while``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_POLL_METHODS = {"expired", "check"}
+
+
+def _is_deadline_poll(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr not in _POLL_METHODS:
+        return False
+    receiver = dotted_name(node.func.value)
+    return "deadline" in receiver.lower()
+
+
+@register
+class DeadlinePollRule(Rule):
+    rule_id = "RL002"
+    summary = "while loops in search kernels must poll the query deadline"
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if any(_is_deadline_poll(sub) for sub in ast.walk(node)):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "while loop never polls a deadline (.expired()/.check()); "
+                "an expired query cannot be cancelled here",
+            )

@@ -1,0 +1,204 @@
+"""RL003 — frozen configuration objects are never mutated in place.
+
+``EngineConfig``, ``QueryOptions``, and ``ServeConfig`` are frozen
+dataclasses: every consumer from the CLI to the HTTP service assumes a
+config value observed once stays observed.  Mutating one through the
+back door — ``object.__setattr__(cfg, ...)`` — would still *run* (frozen
+dataclasses enforce immutability exactly this way themselves), so the
+type system alone does not close the hole.  This rule does: the only
+sanctioned way to derive a variant is ``dataclasses.replace``.
+
+Tracking is name-based and flow-insensitive: a local acquires config
+type from a constructor call (``cfg = EngineConfig(...)``), an
+annotation (``cfg: EngineConfig``, parameter or assignment), or a
+``dataclasses.replace`` call whose first argument is already tracked.
+Any attribute store / ``del`` / augmented assignment on a tracked name,
+and any ``object.__setattr__``/``setattr``/``delattr`` whose target is
+tracked, is flagged.  The classes' own module is exempt only for the
+``object.__setattr__`` idiom *inside the class body* (``__post_init__``
+fix-ups), which is how frozen dataclasses are legitimately initialised.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_CONFIG_CLASSES = {"EngineConfig", "QueryOptions", "ServeConfig"}
+
+
+def _config_class_from_annotation(annotation: Optional[ast.AST]) -> Optional[str]:
+    if annotation is None:
+        return None
+    # Unwrap Optional[X] / "X" string annotations one level deep.
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.rsplit(".", 1)[-1].strip()
+        return name if name in _CONFIG_CLASSES else None
+    if isinstance(annotation, ast.Subscript):
+        return _config_class_from_annotation(annotation.slice)
+    name = dotted_name(annotation).rsplit(".", 1)[-1]
+    return name if name in _CONFIG_CLASSES else None
+
+
+def _config_class_from_value(value: ast.AST, tracked: Set[str]) -> Optional[str]:
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    tail = name.rsplit(".", 1)[-1]
+    if tail in _CONFIG_CLASSES:
+        return tail
+    if tail == "replace" and value.args:
+        first = dotted_name(value.args[0])
+        if first in tracked:
+            return "replace"
+    return None
+
+
+class _FunctionScanner:
+    """Track config-typed names within one function (or module) scope."""
+
+    def __init__(self, rule: "FrozenConfigRule", module: ModuleInfo, in_config_class: bool):
+        self._rule = rule
+        self._module = module
+        self._in_config_class = in_config_class
+        self._tracked: Set[str] = set()
+
+    def scan(self, body: list, params: Optional[ast.arguments] = None) -> Iterator[Finding]:
+        if params is not None:
+            for arg in [
+                *params.posonlyargs,
+                *params.args,
+                *params.kwonlyargs,
+            ]:
+                if _config_class_from_annotation(arg.annotation):
+                    self._tracked.add(arg.arg)
+        for statement in body:
+            yield from self._visit(statement)
+
+    # ------------------------------------------------------------------
+
+    def _track_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._tracked.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            if name:
+                self._tracked.add(name)
+
+    def _untrack_target(self, target: ast.AST) -> None:
+        name = dotted_name(target)
+        self._tracked.discard(name)
+
+    def _visit(self, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = _FunctionScanner(self._rule, self._module, self._in_config_class)
+            yield from inner.scan(node.body, node.args)
+            return
+        if isinstance(node, ast.ClassDef):
+            inner = _FunctionScanner(
+                self._rule, self._module, node.name in _CONFIG_CLASSES
+            )
+            yield from inner.scan(node.body)
+            return
+
+        if isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and _config_class_from_annotation(
+                node.annotation
+            ):
+                self._tracked.add(node.target.id)
+            if node.value is not None:
+                yield from self._visit_expr(node.value)
+            return
+
+        if isinstance(node, ast.Assign):
+            yield from self._visit_expr(node.value)
+            hits = _config_class_from_value(node.value, self._tracked)
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    name = dotted_name(target.value)
+                    if name in self._tracked:
+                        yield self._rule.finding(
+                            self._module,
+                            target,
+                            "attribute assignment on frozen config %r; "
+                            "use dataclasses.replace() to derive a variant" % name,
+                        )
+                if hits:
+                    self._track_target(target)
+                elif isinstance(target, ast.Name):
+                    self._tracked.discard(target.id)
+            return
+
+        if isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Attribute):
+                name = dotted_name(node.target.value)
+                if name in self._tracked:
+                    yield self._rule.finding(
+                        self._module,
+                        node.target,
+                        "augmented assignment on frozen config %r; "
+                        "use dataclasses.replace() to derive a variant" % name,
+                    )
+            yield from self._visit_expr(node.value)
+            return
+
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    name = dotted_name(target.value)
+                    if name in self._tracked:
+                        yield self._rule.finding(
+                            self._module,
+                            target,
+                            "attribute deletion on frozen config %r" % name,
+                        )
+            return
+
+        # Generic statement: check embedded expressions, recurse into
+        # compound-statement bodies with the same scope.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                yield from self._visit_expr(child)
+            else:
+                yield from self._visit(child)
+
+    def _visit_expr(self, node: ast.AST) -> Iterator[Finding]:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func_name = dotted_name(sub.func)
+            if func_name not in {"object.__setattr__", "setattr", "delattr"}:
+                continue
+            if not sub.args:
+                continue
+            target = dotted_name(sub.args[0])
+            if (
+                func_name == "object.__setattr__"
+                and target == "self"
+                and self._in_config_class
+            ):
+                continue  # frozen dataclass __post_init__ idiom
+            if target in self._tracked:
+                yield self._rule.finding(
+                    self._module,
+                    sub,
+                    "%s on frozen config %r bypasses immutability; "
+                    "use dataclasses.replace()" % (func_name, target),
+                )
+
+
+@register
+class FrozenConfigRule(Rule):
+    rule_id = "RL003"
+    summary = (
+        "EngineConfig/QueryOptions/ServeConfig instances must not be "
+        "mutated; derive variants with dataclasses.replace"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        scanner = _FunctionScanner(self, module, in_config_class=False)
+        yield from scanner.scan(module.tree.body)

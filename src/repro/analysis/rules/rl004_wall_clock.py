@@ -1,0 +1,83 @@
+"""RL004 — no wall clock or ambient randomness in the kernels.
+
+Deadlines, phase traces, and the TQSP cache all measure elapsed time
+with ``time.monotonic()``; reproducibility of a search (same dataset,
+same query, same result and trace) is a repo-level contract tested in
+CI.  ``time.time()`` breaks the first (NTP steps make deadlines jump),
+``random`` breaks the second, and ``datetime.now()`` smuggles both in
+through formatting code.  None of them belong in ``core/`` or ``rdf/``.
+
+Flagged in governed modules:
+
+* ``time.time`` — referenced or imported (``from time import time``)
+* ``datetime.now`` / ``datetime.utcnow`` / ``date.today`` calls
+* any use of the ``random`` module (import or attribute reference)
+
+``time.monotonic``/``perf_counter`` remain free, as does a *seeded*
+``random.Random(seed)`` instance — but none of the kernels need one
+today, so the import itself is treated as a violation until somebody
+suppresses it with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_DATETIME_NOW = {"datetime.now", "datetime.utcnow", "datetime.datetime.now",
+                 "datetime.datetime.utcnow", "date.today", "datetime.date.today"}
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "RL004"
+    summary = (
+        "core/ and rdf/ must use monotonic time and stay deterministic: "
+        "no time.time, datetime.now, or random"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name == "time":
+                            yield self.finding(
+                                module, node,
+                                "wall-clock import 'from time import time'; "
+                                "use time.monotonic()",
+                            )
+                if node.module == "random" or (
+                    node.module or ""
+                ).startswith("random."):
+                    yield self.finding(
+                        module, node,
+                        "import from 'random' breaks search determinism",
+                    )
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            module, node,
+                            "import of 'random' breaks search determinism",
+                        )
+                continue
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name == "time.time":
+                    yield self.finding(
+                        module, node,
+                        "time.time() is wall clock; deadlines and traces "
+                        "use time.monotonic()",
+                    )
+                elif name in _DATETIME_NOW:
+                    yield self.finding(
+                        module, node,
+                        "%s reads the wall clock; pass timestamps in from "
+                        "the serving layer instead" % name,
+                    )

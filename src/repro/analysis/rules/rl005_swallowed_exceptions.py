@@ -1,0 +1,100 @@
+"""RL005 — broad exception handlers must not swallow the error.
+
+A ``except Exception:`` (or bare ``except:``) handler in the serving
+stack is allowed — worker threads and the HTTP loop must survive
+arbitrary query failures — but it must *account* for the exception.
+Accepted evidence, anywhere in the handler body:
+
+* a ``raise`` (re-raise or wrap),
+* an assignment whose target name contains ``error`` (recording it,
+  e.g. ``self._load_error = exc`` or ``stats.error = str(exc)``),
+* a call with a keyword argument named ``error`` (structured recording,
+  e.g. ``batch.record(..., error=str(exc))``),
+* a logging call — a method named ``exception`` / ``error`` /
+  ``warning`` / ``critical`` / ``debug`` / ``info`` / ``log`` invoked
+  as an attribute (``log.exception(...)``, ``self._log.error(...)``).
+
+Everything else — including answering an HTTP 500 with a generic body
+while the traceback evaporates — is a swallowed exception: the
+operator sees the failure rate move and has nothing to debug with.
+
+Narrow handlers (``except QueryTimeout:``, ``except (KeyError,
+ValueError):``) are out of scope; catching a specific exception is
+itself the accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_METHODS = {"exception", "error", "warning", "critical", "debug", "info", "log"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [dotted_name(el).rsplit(".", 1)[-1] for el in handler.type.elts]
+    else:
+        names = [dotted_name(handler.type).rsplit(".", 1)[-1]]
+    return any(name in _BROAD for name in names)
+
+
+def _target_mentions_error(target: ast.AST) -> bool:
+    if isinstance(target, ast.Name):
+        return "error" in target.id.lower()
+    if isinstance(target, ast.Attribute):
+        return "error" in target.attr.lower()
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return any(_target_mentions_error(el) for el in target.elts)
+    return False
+
+
+def _accounts_for_exception(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Assign) and any(
+            _target_mentions_error(t) for t in node.targets
+        ):
+            return True
+        if isinstance(node, ast.AnnAssign) and _target_mentions_error(node.target):
+            return True
+        if isinstance(node, ast.Call):
+            if any(kw.arg == "error" for kw in node.keywords if kw.arg):
+                return True
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _LOG_METHODS:
+                return True
+    return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    rule_id = "RL005"
+    summary = (
+        "except Exception must re-raise, record an error field, or log — "
+        "never silently drop the traceback"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _accounts_for_exception(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad exception handler neither re-raises, records an "
+                "error field, nor logs; the traceback is lost",
+            )

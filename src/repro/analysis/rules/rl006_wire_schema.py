@@ -1,0 +1,218 @@
+"""RL006 — the kSP wire schema cannot drift between its three homes.
+
+One JSON schema describes a query result everywhere: what
+``KSPResult.to_dict`` emits, what ``KSPResult.from_dict`` consumes, and
+what ``serve/schemas.py`` declares to HTTP clients as ``RESULT_FIELDS``.
+History shows these rot independently — a field added to ``to_dict``
+for the CLI quietly never arrives in the service docs, or ``from_dict``
+keeps reading a key the producer stopped writing.  This rule pins them
+together mechanically:
+
+* the key set of the dict literal returned by ``to_dict`` must equal
+  ``RESULT_FIELDS``;
+* ``from_dict`` must read (``data["k"]`` or ``data.get("k")``) exactly
+  the non-derived fields — ``RESULT_FIELDS`` minus
+  ``RESULT_DERIVED_FIELDS``, the flattened conveniences (``scores``,
+  ``looseness``, ``timed_out``) that consumers rebuild from ``places``
+  and ``stats`` — and nothing outside ``RESULT_FIELDS``.
+
+This is the one cross-file rule: each governed module contributes its
+half during ``check_module`` and the comparison happens in
+``finalize``, after the whole run has been parsed.  If a run sees only
+one side (single-file invocation), no comparison is possible and the
+rule stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_RESULT_CLASS = "KSPResult"
+_FIELDS_NAME = "RESULT_FIELDS"
+_DERIVED_NAME = "RESULT_DERIVED_FIELDS"
+
+
+@dataclass
+class _ResultSide:
+    path: str
+    to_dict_line: int = 0
+    from_dict_line: int = 0
+    to_dict_keys: Set[str] = field(default_factory=set)
+    from_dict_keys: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _SchemaSide:
+    path: str
+    line: int
+    fields: Tuple[str, ...]
+    derived: Tuple[str, ...]
+
+
+def _string_tuple(value: ast.AST) -> Optional[Tuple[str, ...]]:
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    items: List[str] = []
+    for element in value.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        items.append(element.value)
+    return tuple(items)
+
+
+def _returned_dict_keys(func: ast.AST) -> Set[str]:
+    """Keys of every dict literal returned by ``func``."""
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Return) and isinstance(node.value, ast.Dict)):
+            continue
+        for key in node.value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys.add(key.value)
+    return keys
+
+
+def _read_keys(func: ast.AST, param: str) -> Set[str]:
+    """String keys read off ``param`` via subscript or ``.get``."""
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and dotted_name(node.func.value) == param
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+    return keys
+
+
+@register
+class WireSchemaRule(Rule):
+    rule_id = "RL006"
+    summary = (
+        "KSPResult.to_dict/from_dict and serve.schemas.RESULT_FIELDS "
+        "must describe the same wire schema"
+    )
+
+    def __init__(self) -> None:
+        self._results: List[_ResultSide] = []
+        self._schemas: List[_SchemaSide] = []
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        self._collect_result_side(module)
+        self._collect_schema_side(module)
+        return iter(())
+
+    def _collect_result_side(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == _RESULT_CLASS):
+                continue
+            side = _ResultSide(path=module.relpath)
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name == "to_dict":
+                    side.to_dict_line = item.lineno
+                    side.to_dict_keys = _returned_dict_keys(item)
+                elif item.name == "from_dict":
+                    side.from_dict_line = item.lineno
+                    args = item.args.args
+                    # classmethod: (cls, data)
+                    param = args[1].arg if len(args) > 1 else (
+                        args[0].arg if args else "data"
+                    )
+                    side.from_dict_keys = _read_keys(item, param)
+            if side.to_dict_line or side.from_dict_line:
+                self._results.append(side)
+
+    def _collect_schema_side(self, module: ModuleInfo) -> None:
+        fields: Optional[Tuple[str, ...]] = None
+        derived: Tuple[str, ...] = ()
+        line = 0
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == _FIELDS_NAME:
+                    fields = _string_tuple(node.value)
+                    line = node.lineno
+                elif target.id == _DERIVED_NAME:
+                    derived = _string_tuple(node.value) or ()
+        if fields is not None:
+            self._schemas.append(
+                _SchemaSide(path=module.relpath, line=line, fields=fields, derived=derived)
+            )
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Iterator[Finding]:
+        for result in self._results:
+            for schema in self._schemas:
+                yield from self._compare(result, schema)
+
+    def _compare(
+        self, result: _ResultSide, schema: _SchemaSide
+    ) -> Iterator[Finding]:
+        declared = set(schema.fields)
+        required = declared - set(schema.derived)
+
+        def fail(path: str, line: int, message: str) -> Finding:
+            return Finding(
+                rule=self.rule_id, path=path, line=line, col=1, message=message
+            )
+
+        if result.to_dict_line:
+            missing = sorted(declared - result.to_dict_keys)
+            extra = sorted(result.to_dict_keys - declared)
+            if missing:
+                yield fail(
+                    result.path,
+                    result.to_dict_line,
+                    "to_dict omits declared wire field(s) %s (see %s %s:%d)"
+                    % (", ".join(missing), _FIELDS_NAME, schema.path, schema.line),
+                )
+            if extra:
+                yield fail(
+                    result.path,
+                    result.to_dict_line,
+                    "to_dict emits undeclared field(s) %s; declare them in "
+                    "%s (%s:%d) or drop them"
+                    % (", ".join(extra), _FIELDS_NAME, schema.path, schema.line),
+                )
+        if result.from_dict_line:
+            unread = sorted(required - result.from_dict_keys)
+            unknown = sorted(result.from_dict_keys - declared)
+            if unread:
+                yield fail(
+                    result.path,
+                    result.from_dict_line,
+                    "from_dict never reads required wire field(s) %s; a "
+                    "round-trip silently drops them" % ", ".join(unread),
+                )
+            if unknown:
+                yield fail(
+                    result.path,
+                    result.from_dict_line,
+                    "from_dict reads field(s) %s absent from %s (%s:%d); "
+                    "the producer no longer writes them"
+                    % (", ".join(unknown), _FIELDS_NAME, schema.path, schema.line),
+                )

@@ -1,19 +1,21 @@
 """Command-line interface for the kSP engine.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro query    --data kb.nt --location 43.51,4.75 \
                              --keywords ancient roman -k 5 --method sp
     python -m repro serve    --data kb.nt --port 8080 --workers 4
     python -m repro stats    --data kb.nt
     python -m repro generate --profile yago-like --vertices 5000 --output kb.nt
+    python -m repro lint     src tests
 
 ``query`` loads an N-Triples knowledge base, builds the engine and answers
 one kSP query, printing the ranked places, their TQSP trees and the
 execution statistics (``--json`` emits the wire schema instead).
 ``serve`` runs the HTTP/JSON query service (see :mod:`repro.serve`).
 ``stats`` prints dataset and index reports.  ``generate`` writes a
-synthetic spatial RDF corpus for experimentation.
+synthetic spatial RDF corpus for experimentation.  ``lint`` runs the
+reprolint invariant checker (see :mod:`repro.analysis`) over the tree.
 """
 
 from __future__ import annotations
@@ -136,6 +138,31 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--vertices", type=int, default=None)
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--output", required=True, help="output .nt path")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the reprolint invariant checker (see repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to analyze (default: src tests)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print registered rules and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also show suppressed findings",
+    )
 
     return parser
 
@@ -274,6 +301,21 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.__main__ import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.verbose:
+        argv.append("--verbose")
+    return lint_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "query":
@@ -284,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError("unreachable")
 
 

@@ -148,7 +148,7 @@ def keyword_search(
     searcher = SemanticPlaceSearcher(graph, undirected=undirected)
     results: List[KeywordTree] = []
     emitted: Set[int] = set()
-    for looseness, root in _BackwardExpansion(
+    for _looseness, root in _BackwardExpansion(
         graph, inverted_index, keywords, undirected=undirected
     ):
         if root in emitted:

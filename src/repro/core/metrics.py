@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 # Prometheus' default histogram buckets suit request latencies in seconds.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -212,6 +212,9 @@ class ServingMetrics:
         return self.registry.render_text()
 
 
+Metric = Union[Counter, Gauge, Histogram]
+
+
 class MetricsRegistry:
     """Get-or-create registry of named metric families."""
 
@@ -220,7 +223,7 @@ class MetricsRegistry:
         # name -> (type string, help string)
         self._families: "Dict[str, Tuple[str, str]]" = {}
         # (name, label pairs) -> metric instance
-        self._metrics: "Dict[Tuple[str, LabelPairs], object]" = {}
+        self._metrics: "Dict[Tuple[str, LabelPairs], Metric]" = {}
 
     # ------------------------------------------------------------------
 
@@ -280,7 +283,7 @@ class MetricsRegistry:
         """The Prometheus text exposition of every registered metric."""
         with self._lock:
             families = dict(self._families)
-            members: "Dict[str, List[Tuple[LabelPairs, object]]]" = {}
+            members: "Dict[str, List[Tuple[LabelPairs, Metric]]]" = {}
             for (name, pairs), metric in self._metrics.items():
                 members.setdefault(name, []).append((pairs, metric))
         lines: List[str] = []

@@ -225,6 +225,7 @@ class SemanticPlaceSearcher:
         keywords: Sequence[str],
         place: int,
         query_map: Mapping[int, frozenset],
+        deadline: Optional["Deadline"] = None,
     ) -> Optional[Dict[str, List[int]]]:
         """Tie-handling option (2) of Section 2, footnote 2.
 
@@ -242,13 +243,18 @@ class SemanticPlaceSearcher:
                 keywords,
                 query_map,
                 undirected=self._undirected,
+                deadline=deadline,
             )
         graph = self._graph
         best_distance: Dict[str, int] = {}
         covers: Dict[str, List[int]] = {term: [] for term in keywords}
         outstanding = set(keywords)
         frontier_done = -1
+        level = -1
         for vertex, distance, _ in graph.bfs(place, undirected=self._undirected):
+            if deadline is not None and distance != level:
+                deadline.check()
+                level = distance
             if not outstanding and distance > frontier_done:
                 break
             matched = query_map.get(vertex)

@@ -49,9 +49,11 @@ class LoosenessStream:
         inverted_index,
         keywords: Sequence[str],
         undirected: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self._graph = graph
         self._undirected = undirected
+        self._deadline = deadline
         self._keywords = list(keywords)
         self._frontiers: List[List[int]] = []
         self._seen: List[Set[int]] = []
@@ -138,6 +140,8 @@ class LoosenessStream:
     def next(self) -> Optional[Tuple[float, int]]:
         """The next (looseness, place) in ascending looseness, or None."""
         while True:
+            if self._deadline is not None:
+                self._deadline.check()
             if self._complete:
                 looseness, place = self._complete[0]
                 frontier_bound = 1.0 + sum(
@@ -190,7 +194,8 @@ def ta_search(
     searcher = SemanticPlaceSearcher(graph, undirected=undirected, runtime=runtime)
     top_k = TopKQueue(query.k)
     looseness_stream = LoosenessStream(
-        graph, inverted_index, query.keywords, undirected=undirected
+        graph, inverted_index, query.keywords, undirected=undirected,
+        deadline=deadline,
     )
     spatial_cursor = rtree.nearest(query.location)
 

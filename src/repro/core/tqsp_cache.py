@@ -51,7 +51,8 @@ class TQSPCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self._entries: "OrderedDict[CacheKey, Tuple[int, TQSPSearch, float]]" = (
+        # (_EXACT, search, looseness) | (_BOUND, None, looseness bound)
+        self._entries: "OrderedDict[CacheKey, Tuple[int, Optional[TQSPSearch], float]]" = (
             OrderedDict()
         )
         self._lock = threading.Lock()
@@ -134,7 +135,7 @@ class TQSPCache:
         with self._lock:
             self._put(key, (_EXACT, cached, 0.0))
 
-    def _put(self, key: CacheKey, value) -> None:
+    def _put(self, key: CacheKey, value: Tuple[int, Optional["TQSPSearch"], float]) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

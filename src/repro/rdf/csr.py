@@ -133,6 +133,7 @@ def _extract_parents(
     part of the parent array that path reconstruction needs."""
     parents: Dict[int, int] = {root: -1}
     for vertex in keyword_vertices.values():
+        # repro-lint: allow[RL002] bounded: walks one already-built parent chain, <= BFS depth steps
         while vertex not in parents:
             parents[vertex] = parent[vertex]
             vertex = parent[vertex]
@@ -261,6 +262,7 @@ def csr_cominimal_covers(
     keywords: Sequence[str],
     query_map: Mapping[int, frozenset],
     undirected: bool = False,
+    deadline=None,
 ) -> Optional[Dict[str, List[int]]]:
     """Kernel port of ``SemanticPlaceSearcher.cominimal_covers``."""
     if not 0 <= place < csr.vertex_count:
@@ -285,6 +287,8 @@ def csr_cominimal_covers(
     distance = 0
 
     while frontier:
+        if deadline is not None:
+            deadline.check()
         if not outstanding and distance > frontier_done:
             break
         for vertex in frontier:
@@ -355,6 +359,7 @@ def csr_word_neighborhood(
     visited[place] = epoch
     distance = 0
 
+    # repro-lint: allow[RL002] bounded: expansion stops at alpha hops (validated non-negative above)
     while frontier:
         for vertex in frontier:
             for term in document(vertex):

@@ -92,10 +92,10 @@ class GrailIndex:
         """False means definitely unreachable; True means "cannot rule out"."""
         if source == target:
             return True
-        for low, post in zip(self.lows, self.posts):
-            if not (low[source] <= low[target] and post[target] <= post[source]):
-                return False
-        return True
+        return all(
+            low[source] <= low[target] and post[target] <= post[source]
+            for low, post in zip(self.lows, self.posts)
+        )
 
     def reaches(self, source: int, target: int) -> bool:
         """Exact reachability: interval filter plus label-pruned DFS."""

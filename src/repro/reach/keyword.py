@@ -139,10 +139,10 @@ class BFSReachability:
         self._undirected = undirected
 
     def can_reach_term(self, vertex: int, term: str) -> bool:
-        for visited, _, _ in self._graph.bfs(vertex, undirected=self._undirected):
-            if term in self._graph.document(visited):
-                return True
-        return False
+        return any(
+            term in self._graph.document(visited)
+            for visited, _, _ in self._graph.bfs(vertex, undirected=self._undirected)
+        )
 
     def is_qualified(self, vertex: int, keywords: Sequence[str]) -> bool:
         return all(self.can_reach_term(vertex, term) for term in keywords)

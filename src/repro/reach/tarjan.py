@@ -54,9 +54,8 @@ def strongly_connected_components(
                     work.append((successor, iter(successors(successor))))
                     advanced = True
                     break
-                if on_stack[successor]:
-                    if indices[successor] < lowlinks[vertex]:
-                        lowlinks[vertex] = indices[successor]
+                if on_stack[successor] and indices[successor] < lowlinks[vertex]:
+                    lowlinks[vertex] = indices[successor]
             if advanced:
                 continue
             work.pop()

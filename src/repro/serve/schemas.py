@@ -46,6 +46,26 @@ from repro.spatial.geometry import Point
 
 METHODS = ("bsp", "spp", "sp", "ta")
 
+#: The kSP result wire schema, field by field.  This tuple is the
+#: service's public contract and is mechanically pinned to
+#: ``KSPResult.to_dict``/``from_dict`` by reprolint rule RL006 — adding
+#: a field to one without the other fails ``python -m repro.analysis``.
+RESULT_FIELDS = (
+    "query",
+    "request_id",
+    "places",
+    "scores",
+    "looseness",
+    "timed_out",
+    "stats",
+    "trace",
+)
+
+#: Flattened conveniences inside :data:`RESULT_FIELDS` that a consumer
+#: rebuilds from ``places``/``stats`` — written on the wire, not read
+#: back by ``KSPResult.from_dict``.
+RESULT_DERIVED_FIELDS = ("scores", "looseness", "timed_out")
+
 
 class SchemaError(ValueError):
     """A request body that does not match the wire schema."""

@@ -35,7 +35,9 @@ one), echoed in the response header and body and threaded through
 
 from __future__ import annotations
 
+import contextlib
 import json
+import logging
 import math
 import threading
 import time
@@ -58,6 +60,8 @@ from repro.serve.schemas import (
     parse_batch_request,
     parse_query_request,
 )
+
+_log = logging.getLogger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -182,10 +186,9 @@ class KSPServer:
         if self._httpd is None:
             self.start()
         try:
-            while True:
-                time.sleep(3600.0)
-        except KeyboardInterrupt:
-            pass
+            with contextlib.suppress(KeyboardInterrupt):
+                while True:
+                    time.sleep(3600.0)
         finally:
             self.stop()
 
@@ -418,6 +421,11 @@ def _make_handler(app: KSPServer):
             try:
                 status, body, headers = endpoint(payload, request_id, force_trace)
             except Exception as exc:  # a bug, not a client error: answer 500
+                _log.exception(
+                    "unhandled error answering %s (request_id=%s)",
+                    path,
+                    request_id,
+                )
                 status = 500
                 body = error_body(
                     "internal error: %s" % type(exc).__name__, request_id

@@ -408,14 +408,14 @@ def _resolve(term, bindings: Bindings):
 
 
 def _self_consistent(pattern: TriplePattern, triple, bindings: Bindings) -> bool:
-    for slot, actual in (
-        (pattern.subject, triple.subject),
-        (pattern.predicate, triple.predicate),
-        (pattern.object, triple.object),
-    ):
-        if isinstance(slot, Variable) and bindings.get(slot) != actual:
-            return False
-    return True
+    return not any(
+        isinstance(slot, Variable) and bindings.get(slot) != actual
+        for slot, actual in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        )
+    )
 
 
 def _required_variables(expression: Expression) -> set:

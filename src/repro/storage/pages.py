@@ -61,7 +61,7 @@ class BufferPool:
         if page_size < 64:
             raise ValueError("page_size too small")
         self._path = Path(path)
-        self._stream = open(self._path, "rb")
+        self._stream = open(self._path, "rb")  # noqa: SIM115 - closed by self.close()
         self._capacity = capacity_pages
         self.page_size = page_size
         self._pages: "OrderedDict[int, bytes]" = OrderedDict()

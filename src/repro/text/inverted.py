@@ -161,7 +161,7 @@ class DiskInvertedIndex:
 
     def __init__(self, path: Union[str, Path]) -> None:
         self._path = Path(path)
-        self._stream = open(self._path, "rb")
+        self._stream = open(self._path, "rb")  # noqa: SIM115 - closed by self.close()
         header = self._stream.read(len(_HEADER))
         if header == _HEADER:
             self._compressed = False

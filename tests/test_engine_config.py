@@ -15,7 +15,7 @@ class TestEngineConfig:
     def test_frozen(self):
         config = EngineConfig()
         with pytest.raises(dataclasses.FrozenInstanceError):
-            config.alpha = 5
+            config.alpha = 5  # repro-lint: allow[RL003] asserts the mutation raises
 
     def test_replace_returns_new_instance(self):
         base = EngineConfig()
@@ -93,7 +93,7 @@ class TestQueryOptions:
         options = QueryOptions()
         assert (options.k, options.method, options.timeout) == (5, None, None)
         with pytest.raises(dataclasses.FrozenInstanceError):
-            options.k = 9
+            options.k = 9  # repro-lint: allow[RL003] asserts the mutation raises
 
     def test_replace(self):
         options = QueryOptions().replace(method="bsp", request_id="r1")

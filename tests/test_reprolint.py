@@ -1,0 +1,577 @@
+"""reprolint: every rule fires on a seeded violation and stays quiet on
+the fixed twin, suppressions need a reason, and the repository itself
+lints clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.analysis.config import (
+    ConfigError,
+    LintConfig,
+    config_from_mapping,
+    load_config,
+)
+from repro.analysis.report import render_json, render_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+
+
+def run_lint(tmp_path, files, rule_paths=None, rule_ids=None):
+    """Write ``files`` (name -> source) under ``tmp_path`` and lint them.
+
+    Unless a test narrows them, every rule governs every fixture file —
+    the repo defaults scope rules to ``src/repro/**`` and would skip
+    fixtures living in pytest tmp directories.
+    """
+    paths = []
+    for name, source in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(target)
+    if rule_paths is None:
+        rule_paths = {rule_id: ["**/*.py"] for rule_id in ALL_RULE_IDS}
+    config = config_from_mapping(tmp_path, rule_paths)
+    return lint_paths(paths, config=config, rule_ids=rule_ids)
+
+
+def rules_fired(result):
+    return sorted({finding.rule for finding in result.findings})
+
+
+# ---------------------------------------------------------------------------
+# RL001 lock discipline
+
+
+RL001_BAD = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def record(self):
+            with self._lock:
+                self.hits += 1
+
+        def snapshot(self):
+            return self.hits
+"""
+
+RL001_GOOD = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def record(self):
+            with self._lock:
+                self.hits += 1
+
+        def snapshot(self):
+            with self._lock:
+                return self.hits
+"""
+
+# The TQSPCache shape: a private helper writing guarded state is fine
+# as long as every call site of the helper holds the lock.
+RL001_HELPER = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.entries = {}
+
+        def store(self, key, value):
+            with self._lock:
+                self._put(key, value)
+
+        def _put(self, key, value):
+            self.entries[key] = value
+"""
+
+RL001_HELPER_LEAK = """
+    import threading
+
+    class Cache:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.entries = {}
+
+        def store(self, key, value):
+            with self._lock:
+                self._put(key, value)
+
+        def store_fast(self, key, value):
+            self._put(key, value)
+
+        def _put(self, key, value):
+            self.entries[key] = value
+"""
+
+
+class TestLockDiscipline:
+    def test_unguarded_read_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL001_BAD})
+        assert rules_fired(result) == ["RL001"]
+        assert "snapshot" in result.findings[0].message
+
+    def test_guarded_twin_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL001_GOOD})
+        assert result.findings == []
+
+    def test_lock_held_helper_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"helper.py": RL001_HELPER})
+        assert result.findings == []
+
+    def test_helper_with_unlocked_call_site_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"leak.py": RL001_HELPER_LEAK})
+        assert "RL001" in rules_fired(result)
+
+    def test_init_writes_are_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL001_GOOD})
+        assert result.findings == []  # __init__ seeds hits without the lock
+
+
+# ---------------------------------------------------------------------------
+# RL002 deadline polling
+
+
+RL002_BAD = """
+    def drain(queue, deadline):
+        while queue:
+            queue.pop()
+"""
+
+RL002_GOOD = """
+    def drain(queue, deadline):
+        while queue:
+            deadline.check()
+            queue.pop()
+"""
+
+RL002_GOOD_EXPIRED = """
+    def drain(queue, deadline):
+        while queue:
+            if deadline.expired():
+                break
+            queue.pop()
+"""
+
+
+class TestDeadlinePoll:
+    def test_unpolled_while_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        assert rules_fired(result) == ["RL002"]
+
+    def test_check_satisfies(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL002_GOOD})
+        assert result.findings == []
+
+    def test_expired_satisfies(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL002_GOOD_EXPIRED})
+        assert result.findings == []
+
+    def test_scoping_excludes_ungoverned_files(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"elsewhere.py": RL002_BAD},
+            rule_paths={"RL002": ["kernels/*.py"]},
+        )
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 frozen config mutation
+
+
+RL003_BAD = """
+    def tune(base):
+        cfg = EngineConfig(alpha=3)
+        cfg.alpha = 5
+        return cfg
+"""
+
+RL003_GOOD = """
+    import dataclasses
+
+    def tune(base):
+        cfg = EngineConfig(alpha=3)
+        return dataclasses.replace(cfg, alpha=5)
+"""
+
+RL003_SETATTR = """
+    def tune():
+        options = QueryOptions()
+        object.__setattr__(options, "k", 9)
+        return options
+"""
+
+RL003_ANNOTATED_PARAM = """
+    def tune(cfg: EngineConfig):
+        cfg.alpha = 7
+"""
+
+
+class TestFrozenConfig:
+    def test_attribute_store_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL003_BAD})
+        assert rules_fired(result) == ["RL003"]
+
+    def test_replace_twin_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL003_GOOD})
+        assert result.findings == []
+
+    def test_object_setattr_backdoor_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL003_SETATTR})
+        assert rules_fired(result) == ["RL003"]
+
+    def test_annotated_parameter_is_tracked(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL003_ANNOTATED_PARAM})
+        assert rules_fired(result) == ["RL003"]
+
+
+# ---------------------------------------------------------------------------
+# RL004 wall clock / randomness
+
+
+RL004_BAD_TIME = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+RL004_BAD_IMPORT = """
+    from time import time
+
+    def stamp():
+        return time()
+"""
+
+RL004_BAD_RANDOM = """
+    import random
+
+    def jitter():
+        return random.random()
+"""
+
+RL004_GOOD = """
+    import time
+
+    def stamp():
+        return time.monotonic()
+"""
+
+
+class TestWallClock:
+    @pytest.mark.parametrize(
+        "source", [RL004_BAD_TIME, RL004_BAD_IMPORT, RL004_BAD_RANDOM]
+    )
+    def test_wall_clock_and_random_fire(self, tmp_path, source):
+        result = run_lint(tmp_path, {"bad.py": source})
+        assert rules_fired(result) == ["RL004"]
+
+    def test_monotonic_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL004_GOOD})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 swallowed exceptions
+
+
+RL005_BAD = """
+    def call(task):
+        try:
+            return task()
+        except Exception:
+            return None
+"""
+
+RL005_GOOD_LOG = """
+    import logging
+
+    log = logging.getLogger(__name__)
+
+    def call(task):
+        try:
+            return task()
+        except Exception:
+            log.exception("task failed")
+            return None
+"""
+
+RL005_GOOD_RECORD = """
+    def call(task, stats):
+        try:
+            return task()
+        except Exception as exc:
+            stats.error = str(exc)
+            return None
+"""
+
+RL005_GOOD_RERAISE = """
+    def call(task, counter):
+        try:
+            return task()
+        except Exception:
+            counter.inc()
+            raise
+"""
+
+RL005_NARROW = """
+    def call(task):
+        try:
+            return task()
+        except KeyError:
+            return None
+"""
+
+
+class TestSwallowedExceptions:
+    def test_silent_broad_handler_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL005_BAD})
+        assert rules_fired(result) == ["RL005"]
+
+    @pytest.mark.parametrize(
+        "source", [RL005_GOOD_LOG, RL005_GOOD_RECORD, RL005_GOOD_RERAISE]
+    )
+    def test_accounted_handlers_are_clean(self, tmp_path, source):
+        result = run_lint(tmp_path, {"good.py": source})
+        assert result.findings == []
+
+    def test_narrow_handler_out_of_scope(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL005_NARROW})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 wire-schema drift (cross-file)
+
+
+RL006_RESULT = """
+    class KSPResult:
+        def to_dict(self):
+            return {"places": self.places, "stats": self.stats, "extra": 1}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(places=data["places"], stats=data.get("stats"))
+"""
+
+RL006_SCHEMA = """
+    RESULT_FIELDS = ("places", "stats")
+    RESULT_DERIVED_FIELDS = ()
+"""
+
+RL006_RESULT_OK = """
+    class KSPResult:
+        def to_dict(self):
+            return {"places": self.places, "stats": self.stats}
+
+        @classmethod
+        def from_dict(cls, data):
+            return cls(places=data["places"], stats=data.get("stats"))
+"""
+
+
+class TestWireSchema:
+    def test_undeclared_field_fires(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"result.py": RL006_RESULT, "schemas.py": RL006_SCHEMA},
+            rule_paths={"RL006": ["*.py"]},
+        )
+        assert rules_fired(result) == ["RL006"]
+        assert any("extra" in f.message for f in result.findings)
+
+    def test_matching_sides_are_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"result.py": RL006_RESULT_OK, "schemas.py": RL006_SCHEMA},
+            rule_paths={"RL006": ["*.py"]},
+        )
+        assert result.findings == []
+
+    def test_single_side_stays_silent(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"result.py": RL006_RESULT},
+            rule_paths={"RL006": ["*.py"]},
+        )
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+
+
+SUPPRESSED = """
+    def drain(queue, deadline):
+        # repro-lint: allow[RL002] bounded: queue length fixed before entry
+        while queue:
+            queue.pop()
+"""
+
+SUPPRESSED_SAME_LINE = """
+    def drain(queue, deadline):
+        while queue:  # repro-lint: allow[RL002] bounded: fixed length
+            queue.pop()
+"""
+
+SUPPRESSED_NO_REASON = """
+    def drain(queue, deadline):
+        # repro-lint: allow[RL002]
+        while queue:
+            queue.pop()
+"""
+
+SUPPRESSED_OTHER_RULE = """
+    def drain(queue, deadline):
+        # repro-lint: allow[RL005] wrong rule id
+        while queue:
+            queue.pop()
+"""
+
+
+class TestSuppressions:
+    def test_comment_above_suppresses(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED})
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].finding.rule == "RL002"
+        assert "bounded" in result.suppressed[0].reason
+
+    def test_same_line_suppresses(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED_SAME_LINE})
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_reason_is_mandatory(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED_NO_REASON})
+        assert rules_fired(result) == ["RL002"]
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED_OTHER_RULE})
+        assert rules_fired(result) == ["RL002"]
+
+
+# ---------------------------------------------------------------------------
+# Engine, reporters, CLI
+
+
+class TestEngine:
+    def test_exit_codes(self, tmp_path):
+        clean = run_lint(tmp_path, {"ok.py": "x = 1\n"})
+        assert clean.exit_code() == 0
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        assert dirty.exit_code() == 1
+
+    def test_unknown_rule_id_is_an_error(self, tmp_path):
+        result = run_lint(tmp_path, {"ok.py": "x = 1\n"}, rule_ids=["RL999"])
+        assert result.exit_code() == 2
+        assert "RL999" in result.errors[0]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        result = run_lint(tmp_path, {"broken.py": "def f(:\n"})
+        assert result.exit_code() == 2
+        assert "broken.py" in result.errors[0]
+
+    def test_rule_subset_runs_only_selected(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            {"bad.py": RL002_BAD + RL005_BAD},
+            rule_ids=["RL005"],
+        )
+        assert rules_fired(result) == ["RL005"]
+
+
+class TestReporters:
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        text = render_text(result)
+        assert "bad.py:" in text and "RL002" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        payload = json.loads(render_json(result))
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "RL002"
+        assert payload["findings"][0]["path"].endswith("bad.py")
+        assert {r["id"] for r in payload["rules"]} >= {"RL001", "RL006"}
+
+    def test_json_report_carries_suppressions(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED})
+        payload = json.loads(render_json(result))
+        assert payload["suppressed"][0]["suppressed"] is True
+        assert "bounded" in payload["suppressed"][0]["reason"]
+
+
+class TestConfig:
+    def test_glob_double_star_crosses_directories(self, tmp_path):
+        config = config_from_mapping(tmp_path, {"RL002": ["src/**/*.py"]})
+        assert config.governs("RL002", "src/repro/core/bsp.py")
+        assert not config.governs("RL002", "tests/test_bsp.py")
+
+    def test_single_star_stays_within_directory(self, tmp_path):
+        config = config_from_mapping(tmp_path, {"RL002": ["src/*.py"]})
+        assert config.governs("RL002", "src/top.py")
+        assert not config.governs("RL002", "src/repro/deep.py")
+
+    def test_empty_list_disables_a_rule(self, tmp_path):
+        config = config_from_mapping(tmp_path, {"RL002": []})
+        assert not config.governs("RL002", "src/repro/core/bsp.py")
+
+    def test_malformed_block_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            config_from_mapping(tmp_path, {"RL002": "not-a-list"})
+
+    def test_load_config_reads_repo_pyproject(self):
+        config = load_config(REPO_ROOT)
+        assert isinstance(config, LintConfig)
+        assert config.root == REPO_ROOT
+        assert config.governs("RL002", "src/repro/rdf/csr.py")
+        assert not config.governs("RL002", "src/repro/serve/server.py")
+
+
+# ---------------------------------------------------------------------------
+# The repository itself
+
+
+class TestRepositoryInvariants:
+    def test_repo_lints_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "tests"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_cli_lint_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in proc.stdout

@@ -62,9 +62,8 @@ class TestBufferPool:
         path.write_bytes(b"x")
         with pytest.raises(ValueError):
             BufferPool(path, capacity_pages=0)
-        with BufferPool(path) as pool:
-            with pytest.raises(ValueError):
-                pool.read(-1, 4)
+        with BufferPool(path) as pool, pytest.raises(ValueError):
+            pool.read(-1, 4)
 
 
 class TestFormatRoundTrip:

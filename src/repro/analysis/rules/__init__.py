@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     rl004_wall_clock,
     rl005_swallowed_exceptions,
     rl006_wire_schema,
+    rl007_metric_help,
 )
 from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
 

@@ -1,0 +1,86 @@
+"""RL007 — metric registrations must carry help text.
+
+``MetricsRegistry.counter/gauge/histogram`` default ``help_text`` to
+``""`` so call sites stay terse, but a metric that renders without a
+``# HELP`` line is a dashboard mystery: the exposition is the only
+place an operator learns what ``ksp_query_cache_hits_total`` counts.
+This rule closes the default's escape hatch — every registration call
+must pass a non-empty help string, either as the second positional
+argument or as ``help_text=``.
+
+Detection is name-based: a call whose callee is an attribute named
+``counter``/``gauge``/``histogram`` on a receiver whose dotted-name
+tail is ``metrics`` or ``registry`` (``self.metrics.counter(...)``,
+``self.registry.gauge(...)``, ``registry.histogram(...)``).  Only
+literal emptiness is flagged — a missing argument or an ``""``/f-string
+of nothing constant — so call sites that compute help text from a
+variable pass through, matching the rest of reprolint's
+flow-insensitive posture.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register
+from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
+
+_METRIC_METHODS = {"counter", "gauge", "histogram"}
+_RECEIVER_TAILS = {"metrics", "registry"}
+
+
+def _help_argument(call: ast.Call) -> Optional[ast.AST]:
+    """The help-text argument node, or None when absent."""
+    for keyword in call.keywords:
+        if keyword.arg == "help_text":
+            return keyword.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def _is_empty_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or node.value == ""
+    )
+
+
+@register
+class MetricHelpRule(Rule):
+    rule_id = "RL007"
+    summary = (
+        "registry.counter/gauge/histogram registrations must pass "
+        "non-empty help text"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _METRIC_METHODS:
+                continue
+            receiver = dotted_name(func.value)
+            if receiver.rsplit(".", 1)[-1] not in _RECEIVER_TAILS:
+                continue
+            help_arg = _help_argument(node)
+            if help_arg is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "metric registration %s.%s(...) has no help text; "
+                    "pass a non-empty description so the exposition "
+                    "renders a # HELP line" % (receiver, func.attr),
+                )
+            elif _is_empty_literal(help_arg):
+                yield self.finding(
+                    module,
+                    node,
+                    "metric registration %s.%s(...) passes empty help "
+                    "text; describe what the metric measures"
+                    % (receiver, func.attr),
+                )

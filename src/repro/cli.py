@@ -97,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the engine's Prometheus-style metrics exposition "
         "to PATH after answering",
     )
+    query.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the per-phase breakdown as Chrome trace_event JSON "
+        "to PATH (loadable in Perfetto); implies --trace",
+    )
 
     stats = commands.add_parser("stats", help="dataset and index reports")
     stats.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
@@ -129,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request budget in seconds when the client sends none",
+    )
+    serve.add_argument(
+        "--flight-recorder-size",
+        type=int,
+        default=256,
+        help="ring-buffer capacity of the flight recorder backing "
+        "GET /v1/debug/queries",
     )
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
@@ -176,6 +190,7 @@ def _cmd_query(args) -> int:
         if args.ranking == "product"
         else WeightedSumRanking(beta=args.beta)
     )
+    trace = args.trace or bool(args.trace_out)
     result = engine.query(
         args.location,
         args.keywords,
@@ -183,8 +198,22 @@ def _cmd_query(args) -> int:
         method=args.method,
         ranking=ranking,
         timeout=args.timeout,
-        trace=args.trace,
+        trace=trace,
     )
+    if args.trace_out and result.trace is not None:
+        from pathlib import Path
+
+        from repro.obs.traceexport import render_trace_json
+
+        Path(args.trace_out).write_text(
+            render_trace_json(
+                result.trace,
+                request_id=result.request_id,
+                runtime_seconds=result.stats.runtime_seconds,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         if args.metrics_out:
@@ -228,8 +257,10 @@ def _cmd_query(args) -> int:
             print("tqsp cache:")
             for key, value in engine.tqsp_cache.counters().items():
                 print("  %-22s %s" % (key, value))
-    if args.trace and result.trace is not None:
+    if trace and result.trace is not None:
         print(result.trace.report(stats.runtime_seconds))
+    if args.trace_out:
+        print("trace written to %s" % args.trace_out)
     if args.metrics_out:
         from pathlib import Path
 
@@ -267,7 +298,12 @@ def _cmd_serve(args) -> int:
 
     def load_engine():
         return KSPEngine.from_file(
-            args.data, EngineConfig(alpha=args.alpha, undirected=args.undirected)
+            args.data,
+            EngineConfig(
+                alpha=args.alpha,
+                undirected=args.undirected,
+                flight_recorder_size=args.flight_recorder_size,
+            ),
         )
 
     # The socket opens immediately; /v1/ready flips to 200 once the
@@ -276,6 +312,10 @@ def _cmd_serve(args) -> int:
     print("kSP query service listening on %s" % server.url)
     print("  POST /v1/query   POST /v1/batch")
     print("  GET  /v1/metrics GET  /v1/healthz  GET  /v1/ready")
+    print(
+        "  GET  /v1/debug/queries  GET  /v1/debug/inflight  "
+        "GET  /v1/debug/engine"
+    )
     server.serve_forever()
     return 0
 

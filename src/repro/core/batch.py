@@ -18,7 +18,11 @@ Results come back in submission order together with an
 :class:`~repro.core.stats.AggregateStats` over the per-query stats, a
 wall-clock throughput figure and — when ``slow_query_threshold`` is
 set — a slow-query log, so callers can report cache hit rates,
-queries/second and tail offenders per workload.
+queries/second and tail offenders per workload.  Each slow-query entry
+is also emitted as one structured JSON warning through
+:mod:`repro.obs.log` (logger ``repro.core.batch``), so tail offenders
+reach operators' log pipelines without anyone polling
+``BatchReport.slow_queries``.
 """
 
 from __future__ import annotations
@@ -31,6 +35,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.config import QueryOptions, fold_legacy_kwargs
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
+from repro.obs.log import get_logger
+
+_log = get_logger("repro.core.batch")
 
 
 @dataclass
@@ -253,6 +260,19 @@ def run_batch(
                     )
                 )
         slow_queries.sort(key=lambda entry: -entry.runtime_seconds)
+        for entry in slow_queries:
+            _log.warning(
+                "slow_query",
+                request_id=entry.request_id,
+                index=entry.index,
+                keywords=list(entry.keywords),
+                k=entry.k,
+                runtime_ms=1000.0 * entry.runtime_seconds,
+                threshold_ms=1000.0 * slow_query_threshold,
+                timed_out=entry.timed_out,
+                error=entry.error,
+                method=method,
+            )
 
     return BatchReport(
         results=results,

@@ -58,6 +58,9 @@ class EngineConfig:
         when a query does not override it.
     workers:
         Default thread count for :meth:`KSPEngine.query_batch`.
+    flight_recorder_size:
+        Ring-buffer capacity of the always-on flight recorder (one
+        record per completed query, served by ``/v1/debug/queries``).
     """
 
     alpha: int = 3
@@ -70,6 +73,7 @@ class EngineConfig:
     tqsp_cache_size: int = 4096
     ranking: RankingFunction = DEFAULT_RANKING
     workers: int = 4
+    flight_recorder_size: int = 256
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -82,6 +86,8 @@ class EngineConfig:
             raise ValueError("tqsp_cache_size must be non-negative")
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.flight_recorder_size < 1:
+            raise ValueError("flight_recorder_size must be positive")
 
     def replace(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""
@@ -99,6 +105,10 @@ class QueryOptions:
     whole pipeline (admission wait + query execution in the server).
     ``request_id`` tags the result, the slow-query log and the trace —
     the serving layer threads its wire request id through here.
+    ``trace_id`` is the W3C trace-context trace id (32 hex digits) when
+    the request arrived with a ``traceparent`` header; it rides along
+    into :class:`~repro.core.query.KSPResult` and the flight recorder
+    so exported traces correlate with the caller's distributed trace.
     """
 
     k: int = 5
@@ -107,6 +117,7 @@ class QueryOptions:
     timeout: Optional[Union[float, Deadline]] = None
     trace: bool = False
     request_id: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:

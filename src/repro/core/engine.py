@@ -11,15 +11,18 @@ Build wall-times land in ``build_seconds`` (Table 5) and index sizes in
 
 from __future__ import annotations
 
+import hashlib
+import json as _json
 import time
 import warnings
-from typing import Dict, Iterable, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro.alpha.index import AlphaIndex
 from repro.core.bsp import bsp_search
 from repro.core.config import EngineConfig, QueryOptions, fold_legacy_kwargs
-from repro.core.metrics import MetricsRegistry
+from repro.core.metrics import MetricsRegistry, process_uptime_seconds
 from repro.core.query import KSPQuery, KSPResult
+from repro.obs.recorder import FlightRecorder
 from repro.core.ranking import RankingFunction
 from repro.core.runtime import TQSPRuntime
 from repro.core.sp import sp_search
@@ -38,6 +41,12 @@ from repro.spatial.rtree import RTree
 from repro.text.inverted import InvertedIndex
 
 ALGORITHMS = ("bsp", "spp", "sp", "ta")
+
+
+def _hash_manifest(manifest: Dict[str, Any]) -> str:
+    """A short stable digest of the index manifest (``ksp_build_info``)."""
+    canonical = _json.dumps(manifest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 class KSPEngine:
@@ -87,6 +96,7 @@ class KSPEngine:
             if (self.csr is not None or self.tqsp_cache is not None)
             else None
         )
+        self.flight_recorder = FlightRecorder(config.flight_recorder_size)
         self._init_metrics()
 
         started = time.monotonic()
@@ -118,6 +128,8 @@ class KSPEngine:
                 csr=self.csr,
             )
             self.build_seconds["alpha_index"] = time.monotonic() - started
+
+        self.manifest_hash = _hash_manifest(self._manifest_dict())
 
     # ------------------------------------------------------------------
     # Serving metrics
@@ -157,7 +169,16 @@ class KSPEngine:
         self.metrics.counter(
             "ksp_queries_total", "answered kSP queries", labels={"method": method}
         ).inc()
-        self._metric_latency.observe(stats.runtime_seconds)
+        # The exemplar links this latency bucket back to the flight
+        # recorder entry (and, transitively, the structured log lines)
+        # carrying the same request id.
+        exemplar = (
+            {"request_id": result.request_id}
+            if result.request_id is not None
+            else None
+        )
+        self._metric_latency.observe(stats.runtime_seconds, exemplar=exemplar)
+        self.flight_recorder.record_result(result, method)
         if stats.timed_out:
             self._metric_timeouts.inc()
         if stats.cache_hits:
@@ -176,8 +197,28 @@ class KSPEngine:
 
         Gauges derived from the TQSP cache (entries, capacity, hit
         ratio) are refreshed at call time from an atomic counter
-        snapshot, so the output is consistent even mid-batch.
+        snapshot, so the output is consistent even mid-batch.  The
+        exposition also carries ``ksp_build_info`` (version, python,
+        index manifest hash — the "what exactly is running?" gauge) and
+        ``ksp_process_uptime_seconds``.
         """
+        import platform
+
+        from repro import __version__
+
+        self.metrics.gauge(
+            "ksp_build_info",
+            "build identity: repro version, python version, index manifest hash",
+            labels={
+                "version": __version__,
+                "python": platform.python_version(),
+                "manifest": self.manifest_hash,
+            },
+        ).set(1.0)
+        self.metrics.gauge(
+            "ksp_process_uptime_seconds",
+            "seconds since this process started serving",
+        ).set(process_uptime_seconds())
         if self.tqsp_cache is not None:
             counters = self.tqsp_cache.counters()
             self.metrics.gauge(
@@ -245,6 +286,25 @@ class KSPEngine:
     # Persistence
     # ------------------------------------------------------------------
 
+    def _manifest_dict(self) -> Dict[str, Any]:
+        """The engine-directory manifest (also the build-info hash input).
+
+        Built-in-memory and reloaded-from-disk engines over the same
+        data produce the same dict, so ``manifest_hash`` identifies the
+        index snapshot regardless of how the engine came to be.
+        """
+        return {
+            "format": 1,
+            "alpha": self.alpha,
+            "undirected": self.undirected,
+            "rtree_max_entries": self.rtree_max_entries,
+            "vertices": self.graph.vertex_count,
+            "edges": self.graph.edge_count,
+            "places": self.graph.place_count(),
+            "has_reachability": self.reachability is not None,
+            "has_alpha_index": self.alpha_index is not None,
+        }
+
     def save(self, directory) -> None:
         """Persist the graph and all built indexes to ``directory``.
 
@@ -263,17 +323,7 @@ class KSPEngine:
         directory.mkdir(parents=True, exist_ok=True)
         write_disk_graph(self.graph, directory / "graph.rgrf")
         self.inverted_index.save(directory / "inverted.idx", compress=True)
-        manifest = {
-            "format": 1,
-            "alpha": self.alpha,
-            "undirected": self.undirected,
-            "rtree_max_entries": self.rtree_max_entries,
-            "vertices": self.graph.vertex_count,
-            "edges": self.graph.edge_count,
-            "places": self.graph.place_count(),
-            "has_reachability": self.reachability is not None,
-            "has_alpha_index": self.alpha_index is not None,
-        }
+        manifest = self._manifest_dict()
         if self.reachability is not None:
             save_reachability(self.reachability, directory / "reach.idx")
         if self.alpha_index is not None:
@@ -372,6 +422,7 @@ class KSPEngine:
             if (engine.csr is not None or engine.tqsp_cache is not None)
             else None
         )
+        engine.flight_recorder = FlightRecorder(config.flight_recorder_size)
         engine._init_metrics()
 
         started = _time.monotonic()
@@ -395,6 +446,7 @@ class KSPEngine:
             started = _time.monotonic()
             engine.alpha_index = load_alpha_index(directory / "alpha.idx")
             engine.build_seconds["alpha_index"] = _time.monotonic() - started
+        engine.manifest_hash = _hash_manifest(engine._manifest_dict())
         return engine
 
     # ------------------------------------------------------------------
@@ -505,6 +557,7 @@ class KSPEngine:
             self._metric_errors.inc()
             raise
         result.request_id = options.request_id
+        result.trace_id = options.trace_id
         self._record_query(method, result)
         return result
 
@@ -694,4 +747,40 @@ class KSPEngine:
             "places": self.graph.place_count(),
             "vocabulary": self.inverted_index.vocabulary_size(),
             "avg_posting_length": self.inverted_index.average_posting_length(),
+        }
+
+    def debug_snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot for ``GET /v1/debug/engine``.
+
+        Index sizes, dataset counts, build times, TQSP-cache occupancy,
+        flight-recorder accounting, the manifest hash and the effective
+        :class:`EngineConfig` — everything "what exactly is this server
+        running?" needs, assembled from atomic per-component snapshots.
+        """
+        config: Dict[str, Any] = {}
+        for name in (
+            "alpha",
+            "rtree_max_entries",
+            "build_reachability",
+            "build_alpha",
+            "reach_method",
+            "undirected",
+            "use_csr_kernel",
+            "tqsp_cache_size",
+            "workers",
+            "flight_recorder_size",
+        ):
+            config[name] = getattr(self.config, name)
+        config["ranking"] = type(self.config.ranking).__name__
+        return {
+            "manifest_hash": self.manifest_hash,
+            "uptime_seconds": process_uptime_seconds(),
+            "dataset": self.dataset_report(),
+            "storage_bytes": self.storage_report(),
+            "build_seconds": dict(self.build_seconds),
+            "tqsp_cache": (
+                self.tqsp_cache.counters() if self.tqsp_cache is not None else None
+            ),
+            "flight_recorder": self.flight_recorder.counters(),
+            "config": config,
         }

@@ -19,7 +19,18 @@ from __future__ import annotations
 
 import math
 import threading
+import time
+from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+# Anchor for ksp_process_uptime_seconds: module import time is the
+# closest monotonic stand-in for process start without wall clocks.
+_PROCESS_START = time.monotonic()
+
+
+def process_uptime_seconds() -> float:
+    """Seconds since this process imported the metrics module."""
+    return time.monotonic() - _PROCESS_START
 
 # Prometheus' default histogram buckets suit request latencies in seconds.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -114,9 +125,22 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket distribution of observed values."""
+    """Cumulative-bucket distribution of observed values.
 
-    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+    The hot path records into the single *owning* bucket (first bound
+    >= value, found with :func:`bisect.bisect_left`) — O(log buckets)
+    per observation instead of the O(buckets) cumulative walk, which
+    lands on every served request.  Cumulative counts are accumulated
+    only at render time.
+
+    An observation may carry an **exemplar** — a tiny label set, by
+    convention ``{"request_id": ...}`` — stored per owning bucket
+    (latest wins) and rendered OpenMetrics-style after the bucket
+    sample, so a latency bucket in ``/v1/metrics`` links back to a
+    concrete flight-recorder entry.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = sorted(float(b) for b in buckets)
@@ -124,18 +148,24 @@ class Histogram:
             raise ValueError("a histogram needs at least one bucket bound")
         self.buckets = tuple(bounds)
         self._lock = threading.Lock()
-        self._counts = [0] * len(bounds)
+        # Per-owning-bucket counts; index len(bounds) is the +Inf overflow.
+        self._counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        # owning-bucket index -> (label pairs, observed value)
+        self._exemplars: Dict[int, Tuple[LabelPairs, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[Mapping[str, str]] = None
+    ) -> None:
         value = float(value)
+        index = bisect_left(self.buckets, value)
         with self._lock:
             self._sum += value
             self._count += 1
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self._counts[index] += 1
+            self._counts[index] += 1
+            if exemplar:
+                self._exemplars[index] = (_label_pairs(exemplar), value)
 
     @property
     def count(self) -> int:
@@ -150,21 +180,39 @@ class Histogram:
     def bucket_counts(self) -> Dict[float, int]:
         """Cumulative count per upper bound (``+Inf`` included)."""
         with self._lock:
-            counts = dict(zip(self.buckets, self._counts))
-            counts[math.inf] = self._count
-            return counts
+            per_bucket = list(self._counts)
+        counts: Dict[float, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, per_bucket):
+            running += count
+            counts[bound] = running
+        counts[math.inf] = running + per_bucket[-1]
+        return counts
 
     def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
+        with self._lock:
+            per_bucket = list(self._counts)
+            exemplars = dict(self._exemplars)
+            total = self._count
+            value_sum = self._sum
         lines = []
-        for bound, count in self.bucket_counts().items():
+        running = 0
+        bounds = self.buckets + (math.inf,)
+        for index, bound in enumerate(bounds):
+            running += per_bucket[index]
             bucket_pairs = pairs + (("le", _format_value(bound)),)
-            lines.append(
-                "%s_bucket%s %d" % (name, _render_labels(bucket_pairs), count)
-            )
+            line = "%s_bucket%s %d" % (name, _render_labels(bucket_pairs), running)
+            exemplar = exemplars.get(index)
+            if exemplar is not None:
+                line += " # %s %s" % (
+                    _render_labels(exemplar[0]),
+                    _format_value(exemplar[1]),
+                )
+            lines.append(line)
         lines.append(
-            "%s_sum%s %s" % (name, _render_labels(pairs), _format_value(self.sum))
+            "%s_sum%s %s" % (name, _render_labels(pairs), _format_value(value_sum))
         )
-        lines.append("%s_count%s %d" % (name, _render_labels(pairs), self.count))
+        lines.append("%s_count%s %d" % (name, _render_labels(pairs), total))
         return lines
 
 

@@ -138,6 +138,9 @@ class KSPResult:
     ``request_id`` is the serving layer's correlation id, threaded from
     :class:`~repro.core.config.QueryOptions` so a wire response, the
     slow-query log and a fetched trace all name the same request.
+    ``trace_id`` is the caller's W3C trace id (from a ``traceparent``
+    header) when one was supplied — it rides the wire alongside
+    ``request_id`` so distributed traces and kSP results correlate.
     """
 
     query: KSPQuery
@@ -145,6 +148,7 @@ class KSPResult:
     stats: QueryStats = field(default_factory=QueryStats)
     trace: Optional[QueryTrace] = None
     request_id: Optional[str] = None
+    trace_id: Optional[str] = None
 
     @property
     def incomplete(self) -> bool:
@@ -183,6 +187,7 @@ class KSPResult:
                 "k": self.query.k,
             },
             "request_id": self.request_id,
+            "trace_id": self.trace_id,
             "places": [place.to_dict() for place in self.places],
             "scores": self.scores(),
             "looseness": [place.looseness for place in self.places],
@@ -208,6 +213,7 @@ class KSPResult:
             stats=QueryStats.from_dict(data.get("stats") or {}),
             trace=QueryTrace.from_dict(trace_data) if trace_data else None,
             request_id=data.get("request_id"),
+            trace_id=data.get("trace_id"),
         )
 
     def explain(self) -> str:

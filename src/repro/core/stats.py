@@ -44,6 +44,20 @@ class QueryStats:
         """Runtime outside TQSP construction (the paper's "other time")."""
         return max(0.0, self.runtime_seconds - self.semantic_seconds)
 
+    @property
+    def outcome(self) -> str:
+        """One-word classification: ``"error"``, ``"timeout"`` or ``"ok"``.
+
+        The flight recorder and the ``/v1/debug/queries`` outcome filter
+        key on this, so the precedence (an errored query that also timed
+        out counts as ``"error"``) is part of the debug contract.
+        """
+        if self.error is not None:
+            return "error"
+        if self.timed_out:
+            return "timeout"
+        return "ok"
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "QueryStats":
         """Rebuild stats from :meth:`as_dict` output.

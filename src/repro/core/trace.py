@@ -13,13 +13,22 @@ every measurement, and an active recorder only ever *times* work, so
 traced and untraced runs return identical results (enforced by the
 agreement tests).  The rendered report attributes the remainder of the
 runtime outside all recorded phases to ``(untraced)``.
+
+Live recorders additionally keep a bounded **timeline** — the first
+:data:`TIMELINE_CAP` spans as ``(phase, start_offset, duration)``
+tuples, offsets measured from recorder construction — which the
+Chrome ``trace_event`` exporter (:mod:`repro.obs.traceexport`) renders
+as real spans in Perfetto.  Past the cap only the aggregates keep
+accumulating, so a million-visit query still costs bounded memory; a
+trace rebuilt from the wire (:meth:`QueryTrace.from_dict`) has no
+timeline and exports in aggregate form.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 # Canonical phase names used by the built-in algorithms.
 PHASE_RTREE = "rtree-ascent"  # R-tree pops and node expansions
@@ -28,15 +37,21 @@ PHASE_TQSP = "tqsp-bfs"  # GetSemanticPlace(P) constructions
 PHASE_ALPHA = "alpha-bounds"  # Rule 3/4 alpha score-bound computation
 PHASE_STREAM = "looseness-stream"  # TA's backward-expansion sorted access
 
+#: Raw spans kept per trace for timeline export; aggregates are exact
+#: regardless — the cap bounds memory, not accounting.
+TIMELINE_CAP = 4096
+
 
 class QueryTrace:
     """Accumulated per-phase wall time and span counts for one query."""
 
-    __slots__ = ("_phases",)
+    __slots__ = ("_phases", "_t0", "_timeline")
 
     def __init__(self) -> None:
         # phase -> [total_seconds, span_count]; insertion order preserved.
         self._phases: Dict[str, List[float]] = {}
+        self._t0 = time.monotonic()
+        self._timeline: List[Tuple[str, float, float]] = []
 
     # ------------------------------------------------------------------
 
@@ -48,6 +63,9 @@ class QueryTrace:
         else:
             entry[0] += seconds
             entry[1] += count
+        if len(self._timeline) < TIMELINE_CAP:
+            end_offset = time.monotonic() - self._t0
+            self._timeline.append((phase, max(0.0, end_offset - seconds), seconds))
 
     @contextmanager
     def span(self, phase: str):
@@ -74,6 +92,15 @@ class QueryTrace:
     def total_seconds(self) -> float:
         return sum(entry[0] for entry in self._phases.values())
 
+    def timeline(self) -> List[Tuple[str, float, float]]:
+        """The recorded raw spans as ``(phase, start_offset, duration)``.
+
+        Offsets are seconds since the recorder was constructed.  Empty
+        for traces rebuilt from :meth:`from_dict` (the wire carries only
+        aggregates) — exporters fall back to per-phase totals then.
+        """
+        return list(self._timeline)
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         return {
             phase: {"seconds": entry[0], "count": int(entry[1])}
@@ -86,6 +113,9 @@ class QueryTrace:
         trace = cls()
         for phase, entry in data.items():
             trace.add(phase, float(entry["seconds"]), int(entry.get("count", 1)))
+        # The wire carries aggregates only; the spans add() just logged
+        # are synthetic, and exporters must take the aggregate path.
+        trace._timeline.clear()
         return trace
 
     def report(self, runtime_seconds: Optional[float] = None) -> str:

@@ -1,0 +1,44 @@
+"""Correlated observability for the kSP serving stack.
+
+Three signals, one correlation key.  The serving layer (PR 2-3) emits
+metrics, per-phase traces and slow-query lines; this package ties them
+together so a single ``request_id`` (and, when the client sends a W3C
+``traceparent``, a ``trace_id``) names the same query in every signal:
+
+:mod:`repro.obs.log`
+    Structured JSON logging with request-scoped contextual fields —
+    every line machine-parses and carries ``request_id`` / ``endpoint``
+    / ``phase``.
+:mod:`repro.obs.recorder`
+    The flight recorder: a lock-protected fixed-size ring buffer with
+    one record per completed query plus a live in-flight registry,
+    always on at ~zero cost, served by ``GET /v1/debug/*``.
+:mod:`repro.obs.traceexport`
+    W3C ``traceparent`` parsing and Chrome ``trace_event`` JSON export
+    of completed :class:`~repro.core.trace.QueryTrace` recorders, so a
+    slow query opens directly in Perfetto / ``chrome://tracing``.
+
+Nothing in here imports the engine: ``repro.core`` and ``repro.serve``
+depend on ``repro.obs``, never the other way around.
+"""
+
+from repro.obs.log import StructuredLogger, get_logger, log_context, set_sink
+from repro.obs.recorder import FlightRecorder, InflightHandle, QueryRecord
+from repro.obs.traceexport import (
+    parse_traceparent,
+    render_trace_json,
+    trace_events,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "InflightHandle",
+    "QueryRecord",
+    "StructuredLogger",
+    "get_logger",
+    "log_context",
+    "parse_traceparent",
+    "render_trace_json",
+    "set_sink",
+    "trace_events",
+]

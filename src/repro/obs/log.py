@@ -1,0 +1,167 @@
+"""Structured JSON logging with request-scoped context.
+
+One log line is one JSON object — ``{"ts": ..., "level": ...,
+"logger": ..., "event": ..., <context fields>, <call fields>}`` — so
+the serving stack's diagnostics machine-parse instead of requiring a
+regex per message shape.  Two pieces:
+
+* :func:`log_context` binds contextual fields (``request_id``,
+  ``endpoint``, ``phase``) to the current execution context via
+  :mod:`contextvars`; every line emitted inside the block carries them
+  automatically.  Bindings nest — an inner block extends, and on exit
+  restores, the outer one.  Each HTTP handler thread opens its own
+  block, so one ``with`` scopes a whole request.  A *new* thread starts
+  with an empty context; hand bindings across with
+  ``contextvars.copy_context().run(worker)`` when a worker should
+  inherit them.
+* :class:`StructuredLogger` formats and emits the line.  Loggers are
+  named like stdlib loggers and obtained with :func:`get_logger`; the
+  process-wide sink defaults to JSON-per-line on ``sys.stderr`` and is
+  swappable with :func:`set_sink` (tests capture records as dicts, a
+  deployment can forward them to its shipper).
+
+Values that are not JSON-serializable are stringified rather than
+raised on: a diagnostic path must never take the request down.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import sys
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+#: Severity ordering, stdlib-compatible names.
+LEVELS = ("debug", "info", "warning", "error")
+
+_context: "contextvars.ContextVar[Dict[str, Any]]" = contextvars.ContextVar(
+    "repro_obs_log_context", default={}
+)
+
+Sink = Callable[[Dict[str, Any]], None]
+
+
+class _StderrSink:
+    """Default sink: one sorted-key JSON object per line on stderr."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            sys.stderr.write(line + "\n")
+
+
+_sink: Sink = _StderrSink()
+_sink_lock = threading.Lock()
+
+
+def set_sink(sink: Optional[Sink]) -> Sink:
+    """Replace the process-wide sink; returns the previous one.
+
+    ``None`` restores the default stderr sink.  The sink receives the
+    record as a plain dict *before* serialization, so tests and
+    shippers can consume structure directly.
+    """
+    global _sink
+    with _sink_lock:
+        previous = _sink
+        _sink = sink if sink is not None else _StderrSink()
+        return previous
+
+
+def current_sink() -> Sink:
+    with _sink_lock:
+        return _sink
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Bind ``fields`` to every log line emitted inside the block."""
+    merged = dict(_context.get())
+    merged.update(fields)
+    token = _context.set(merged)
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def context_fields() -> Dict[str, Any]:
+    """The currently bound contextual fields (a copy)."""
+    return dict(_context.get())
+
+
+def _jsonable(value: Any) -> Any:
+    """``value`` if JSON-serializable, else its ``str()``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+class StructuredLogger:
+    """A named emitter of structured records (see module docstring)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    # ------------------------------------------------------------------
+
+    def log(self, level: str, event: str, **fields: Any) -> Dict[str, Any]:
+        """Emit one record; returns the dict handed to the sink."""
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        for key, value in context_fields().items():
+            record[key] = _jsonable(value)
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        current_sink()(record)
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("warning", event, **fields)
+
+    def error(
+        self, event: str, exc_info: bool = False, **fields: Any
+    ) -> Dict[str, Any]:
+        """An error record; ``exc_info=True`` attaches the active
+        traceback as a ``"traceback"`` field (the structured equivalent
+        of ``logging.exception``)."""
+        if exc_info:
+            fields.setdefault("traceback", traceback.format_exc())
+        return self.log("error", event, **fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (cached) structured logger for ``name``."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _loggers[name] = logger
+        return logger

@@ -1,0 +1,224 @@
+"""W3C trace context parsing and Chrome ``trace_event`` export.
+
+Inbound: :func:`parse_traceparent` extracts the 32-hex-digit trace id
+from a W3C ``traceparent`` header (https://www.w3.org/TR/trace-context/)
+so a query served here correlates with the caller's distributed trace.
+Malformed headers yield ``None`` — a bad header must never fail the
+request it decorates.
+
+Outbound: :func:`trace_events` renders a completed
+:class:`~repro.core.trace.QueryTrace` as Chrome's JSON ``trace_event``
+object format, loadable directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``.  Two fidelities:
+
+* a live trace carries a bounded **timeline** of raw spans (phase,
+  start offset, duration) — these render as real ``"X"`` events at
+  their actual offsets, one track per phase;
+* a trace rebuilt from the wire (``QueryTrace.from_dict``) only has
+  per-phase aggregates — each phase renders as one consolidated span,
+  laid end-to-end in insertion order, with span count and mean span
+  cost in ``args``.  Deterministic by construction, which is what the
+  golden-file test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+_HEX = set("0123456789abcdef")
+
+#: pid used for every exported event; one query is one logical process.
+_PID = 1
+
+
+def _is_hex(text: str, length: int) -> bool:
+    return len(text) == length and all(ch in _HEX for ch in text)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[str]:
+    """The trace id of a W3C ``traceparent`` header, or None.
+
+    Accepts ``version-traceid-parentid-flags`` with lowercase hex
+    fields, version ``ff`` excluded, and all-zero trace/parent ids
+    rejected, per the spec.  Unknown versions are tolerated as long as
+    the first four fields parse (forward compatibility).
+    """
+    if header is None:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if not _is_hex(version, 2) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not _is_hex(trace_id, 32) or set(trace_id) == {"0"}:
+        return None
+    if not _is_hex(parent_id, 16) or set(parent_id) == {"0"}:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    return trace_id
+
+
+def _microseconds(seconds: float) -> int:
+    return int(round(1e6 * seconds))
+
+
+def _phase_dict(trace: Any) -> Dict[str, Dict[str, float]]:
+    """``QueryTrace`` or its ``as_dict()`` output -> the phase dict."""
+    if hasattr(trace, "as_dict"):
+        return trace.as_dict()
+    return dict(trace)
+
+
+def trace_events(
+    trace: Any,
+    request_id: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    runtime_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A Chrome ``trace_event`` JSON object for one query's trace.
+
+    ``trace`` is a :class:`~repro.core.trace.QueryTrace` or its
+    ``as_dict()`` form.  ``runtime_seconds`` (when known) adds an
+    enclosing ``query`` span and an ``(untraced)`` remainder.
+    """
+    phases = _phase_dict(trace)
+    timeline: List[Any] = []
+    if hasattr(trace, "timeline"):
+        timeline = list(trace.timeline())
+
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "ksp-query"},
+        }
+    ]
+    # One track (tid) per phase, numbered by first appearance so the
+    # Perfetto row order matches the trace's own phase order.
+    tids: Dict[str, int] = {}
+
+    def tid_for(phase: str) -> int:
+        tid = tids.get(phase)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[phase] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": phase},
+                }
+            )
+        return tid
+
+    total = sum(entry["seconds"] for entry in phases.values())
+    span_args: Dict[str, Any] = {}
+    if request_id is not None:
+        span_args["request_id"] = request_id
+    if trace_id is not None:
+        span_args["trace_id"] = trace_id
+
+    if runtime_seconds is not None:
+        events.append(
+            {
+                "name": "query",
+                "cat": "query",
+                "ph": "X",
+                "ts": 0,
+                "dur": _microseconds(runtime_seconds),
+                "pid": _PID,
+                "tid": 0,
+                "args": dict(span_args, phases=len(phases)),
+            }
+        )
+
+    if timeline:
+        for phase, start, duration in timeline:
+            events.append(
+                {
+                    "name": phase,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": _microseconds(start),
+                    "dur": _microseconds(duration),
+                    "pid": _PID,
+                    "tid": tid_for(phase),
+                    "args": span_args,
+                }
+            )
+    else:
+        # Aggregate fallback: consolidated spans laid end to end.
+        cursor = 0.0
+        for phase, entry in phases.items():
+            seconds = float(entry["seconds"])
+            count = int(entry.get("count", 1))
+            args = dict(span_args, spans=count)
+            if count:
+                args["mean_span_us"] = round(1e6 * seconds / count, 3)
+            events.append(
+                {
+                    "name": phase,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": _microseconds(cursor),
+                    "dur": _microseconds(seconds),
+                    "pid": _PID,
+                    "tid": tid_for(phase),
+                    "args": args,
+                }
+            )
+            cursor += seconds
+
+    if runtime_seconds is not None and runtime_seconds > total:
+        events.append(
+            {
+                "name": "(untraced)",
+                "cat": "phase",
+                "ph": "X",
+                "ts": _microseconds(total),
+                "dur": _microseconds(runtime_seconds - total),
+                "pid": _PID,
+                "tid": tid_for("(untraced)"),
+                "args": span_args,
+            }
+        )
+
+    other: Dict[str, Any] = {}
+    if request_id is not None:
+        other["request_id"] = request_id
+    if trace_id is not None:
+        other["trace_id"] = trace_id
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def render_trace_json(
+    trace: Any,
+    request_id: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    runtime_seconds: Optional[float] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """:func:`trace_events` serialized deterministically (sorted keys)."""
+    document = trace_events(
+        trace,
+        request_id=request_id,
+        trace_id=trace_id,
+        runtime_seconds=runtime_seconds,
+    )
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+__all__ = ["parse_traceparent", "render_trace_json", "trace_events"]

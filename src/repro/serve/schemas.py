@@ -53,6 +53,7 @@ METHODS = ("bsp", "spp", "sp", "ta")
 RESULT_FIELDS = (
     "query",
     "request_id",
+    "trace_id",
     "places",
     "scores",
     "looseness",
@@ -187,14 +188,16 @@ def build_options(
     fields: Dict[str, Any],
     deadline: Optional[Deadline],
     request_id: Optional[str],
+    trace_id: Optional[str] = None,
 ) -> QueryOptions:
-    """Merge parsed fields with the server-owned deadline and id."""
+    """Merge parsed fields with the server-owned deadline and ids."""
     return QueryOptions(
         method=fields.get("method"),
         ranking=fields.get("ranking"),
         timeout=deadline,
         trace=bool(fields.get("trace", False)),
         request_id=request_id,
+        trace_id=trace_id,
     )
 
 

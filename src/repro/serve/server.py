@@ -17,6 +17,26 @@ framework, matching the repository's no-dependency rule.  Endpoints:
 ``GET /v1/healthz`` / ``GET /v1/ready``
     Liveness (always 200 once listening) versus readiness (503 until
     the engine — possibly still loading in the background — is up).
+``GET /v1/debug/queries``
+    The engine's flight recorder: the last N completed queries, newest
+    first, with phase breakdowns and cost counters.  Filters:
+    ``?limit=``, ``?outcome=ok|timeout|error|rejected``, ``?min_ms=``.
+``GET /v1/debug/inflight``
+    Queries executing or queued right now, oldest first, each with its
+    age and current phase — "what is the server doing?" while a slow
+    query is still running.
+``GET /v1/debug/engine``
+    One self-describing snapshot: dataset/index sizes, manifest hash,
+    TQSP-cache occupancy, flight-recorder accounting, admission state
+    and the frozen engine + serve configs.
+
+Telemetry.  Request ids (client ``X-Request-Id`` or generated) and W3C
+``traceparent`` trace ids thread through ``QueryOptions`` into results,
+flight-recorder entries, latency-histogram exemplars and structured
+logs (:mod:`repro.obs.log`), so one id correlates a request across
+every surface.  ``?trace=1`` responses add ``trace_events`` — the
+per-phase breakdown in Chrome ``trace_event`` JSON, loadable in
+Perfetto.
 
 Overload protocol.  Admission is bounded (``workers`` concurrent
 queries, ``queue_depth`` waiters).  A request that finds the queue full
@@ -37,7 +57,6 @@ from __future__ import annotations
 
 import contextlib
 import json
-import logging
 import math
 import threading
 import time
@@ -52,6 +71,9 @@ from repro.core.engine import KSPEngine
 from repro.core.metrics import ServingMetrics
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.stats import QueryStats, QueryTimeout
+from repro.obs.log import get_logger, log_context
+from repro.obs.recorder import OUTCOMES, QueryRecord
+from repro.obs.traceexport import parse_traceparent, trace_events
 from repro.serve.admission import AdmissionController, QueueFull
 from repro.serve.schemas import (
     SchemaError,
@@ -61,7 +83,7 @@ from repro.serve.schemas import (
     parse_query_request,
 )
 
-_log = logging.getLogger("repro.serve")
+_log = get_logger("repro.serve")
 
 
 @dataclass(frozen=True)
@@ -88,6 +110,40 @@ class ServeConfig:
 
 def _new_request_id() -> str:
     return uuid.uuid4().hex[:12]
+
+
+def _last_param(params: Dict[str, Any], name: str) -> Optional[str]:
+    """The last value of a repeatable query parameter, or None."""
+    values = params.get(name)
+    if not values:
+        return None
+    return values[-1]
+
+
+def _int_param(params: Dict[str, Any], name: str, default: Optional[int]):
+    raw = _last_param(params, name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise SchemaError("%s must be an integer" % name) from None
+    if value < 0:
+        raise SchemaError("%s cannot be negative" % name)
+    return value
+
+
+def _float_param(params: Dict[str, Any], name: str, default: Optional[float]):
+    raw = _last_param(params, name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SchemaError("%s must be a number" % name) from None
+    if value < 0:
+        raise SchemaError("%s cannot be negative" % name)
+    return value
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -201,8 +257,11 @@ class KSPServer:
     # ------------------------------------------------------------------
     # Request handling (called from handler threads).
 
-    def handle_get(self, path: str) -> Tuple[int, Any, str]:
+    def handle_get(
+        self, path: str, params: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any, str]:
         """-> (status, body, content type); body may be dict or str."""
+        params = params or {}
         if path == "/v1/healthz":
             return 200, {"status": "ok"}, "application/json"
         if path == "/v1/ready":
@@ -217,10 +276,69 @@ class KSPServer:
             if self._engine is not None:
                 text += self._engine.metrics_text()
             return 200, text, "text/plain; version=0.0.4"
+        if path.startswith("/v1/debug/"):
+            return self._handle_debug(path, params)
+        return 404, error_body("no such endpoint: %s" % path), "application/json"
+
+    def _handle_debug(
+        self, path: str, params: Dict[str, Any]
+    ) -> Tuple[int, Any, str]:
+        """The ``/v1/debug/*`` introspection family (JSON only)."""
+        if not self.ready:
+            return 503, error_body("engine is still loading"), "application/json"
+        recorder = self._engine.flight_recorder
+        if path == "/v1/debug/queries":
+            try:
+                limit = _int_param(params, "limit", 50)
+                min_ms = _float_param(params, "min_ms", None)
+            except SchemaError as exc:
+                return 400, error_body(str(exc)), "application/json"
+            outcome = _last_param(params, "outcome")
+            if outcome is not None and outcome not in OUTCOMES:
+                return (
+                    400,
+                    error_body(
+                        "outcome must be one of %s" % ", ".join(OUTCOMES)
+                    ),
+                    "application/json",
+                )
+            records = recorder.snapshot(
+                limit=limit,
+                outcome=outcome,
+                min_runtime_seconds=(
+                    min_ms / 1000.0 if min_ms is not None else None
+                ),
+            )
+            body = {"queries": records, "count": len(records)}
+            body.update(recorder.counters())
+            return 200, body, "application/json"
+        if path == "/v1/debug/inflight":
+            live = recorder.inflight()
+            return 200, {"inflight": live, "count": len(live)}, "application/json"
+        if path == "/v1/debug/engine":
+            snapshot = self._engine.debug_snapshot()
+            snapshot["admission"] = {
+                "active": self.admission.active,
+                "queued": self.admission.queued,
+                "workers": self.config.workers,
+                "queue_depth": self.config.queue_depth,
+            }
+            snapshot["serve_config"] = {
+                "host": self.config.host,
+                "port": self.config.port,
+                "workers": self.config.workers,
+                "queue_depth": self.config.queue_depth,
+                "default_timeout": self.config.default_timeout,
+            }
+            return 200, snapshot, "application/json"
         return 404, error_body("no such endpoint: %s" % path), "application/json"
 
     def handle_query(
-        self, payload: Any, request_id: str, force_trace: bool
+        self,
+        payload: Any,
+        request_id: str,
+        force_trace: bool,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """``POST /v1/query`` -> (status, body, extra headers)."""
         started = time.monotonic()
@@ -235,14 +353,28 @@ class KSPServer:
         timeout = fields.get("timeout", self.config.default_timeout)
         deadline = Deadline.after(timeout)
 
+        recorder = self._engine.flight_recorder
+        handle = recorder.begin(
+            request_id=request_id,
+            endpoint="/v1/query",
+            method=fields.get("method") or "sp",
+            keywords=query.keywords,
+            k=query.k,
+            phase="admission-queue",
+        )
+        admission_wait: Optional[float] = None
         try:
             with self.admission.admit(deadline) as queue_wait:
+                admission_wait = queue_wait
                 self.metrics.queue_wait.observe(queue_wait)
+                handle.set_phase("executing")
                 self.metrics.inflight.inc()
                 try:
                     result = self._engine.query(
                         query,
-                        options=build_options(fields, deadline, request_id),
+                        options=build_options(
+                            fields, deadline, request_id, trace_id
+                        ),
                     )
                 finally:
                     self.metrics.inflight.inc(-1)
@@ -251,6 +383,22 @@ class KSPServer:
             retry_after = max(
                 1, int(math.ceil(self.admission.retry_after_hint(timeout)))
             )
+            self._record_refusal(
+                request_id,
+                trace_id,
+                "/v1/query",
+                "rejected",
+                429,
+                started,
+                keywords=query.keywords,
+                k=query.k,
+            )
+            _log.warning(
+                "request_rejected",
+                request_id=request_id,
+                endpoint="/v1/query",
+                retry_after_seconds=retry_after,
+            )
             body = error_body("server overloaded; retry later", request_id)
             body["retry_after_seconds"] = retry_after
             return 429, body, {"Retry-After": str(retry_after)}
@@ -258,18 +406,57 @@ class KSPServer:
             # The deadline expired while still queued: a 504 whose body is
             # the same wire schema, with an empty partial top-k.
             self.metrics.timeouts.inc()
-            return 504, self._timed_out_result(query, request_id).to_dict(), {}
+            self._record_refusal(
+                request_id,
+                trace_id,
+                "/v1/query",
+                "timeout",
+                504,
+                started,
+                keywords=query.keywords,
+                k=query.k,
+                admission_wait=admission_wait,
+            )
+            _log.warning(
+                "request_timed_out_in_queue",
+                request_id=request_id,
+                endpoint="/v1/query",
+                timeout_seconds=timeout,
+            )
+            timed_out = self._timed_out_result(query, request_id, trace_id)
+            return 504, timed_out.to_dict(), {}
         finally:
-            self.metrics.latency.observe(time.monotonic() - started)
+            recorder.end(handle)
+            self.metrics.latency.observe(
+                time.monotonic() - started, exemplar={"request_id": request_id}
+            )
 
         status = 200
         if result.stats.timed_out:
             self.metrics.timeouts.inc()
             status = 504
-        return status, result.to_dict(), {}
+        recorder.annotate(
+            request_id,
+            endpoint="/v1/query",
+            admission_wait_seconds=admission_wait,
+            status=status,
+        )
+        body = result.to_dict()
+        if result.trace is not None:
+            body["trace_events"] = trace_events(
+                result.trace,
+                request_id=request_id,
+                trace_id=trace_id,
+                runtime_seconds=result.stats.runtime_seconds,
+            )
+        return status, body, {}
 
     def handle_batch(
-        self, payload: Any, request_id: str, force_trace: bool
+        self,
+        payload: Any,
+        request_id: str,
+        force_trace: bool,
+        trace_id: Optional[str] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """``POST /v1/batch`` -> (status, body, extra headers)."""
         started = time.monotonic()
@@ -282,9 +469,20 @@ class KSPServer:
         timeout = shared.get("timeout", self.config.default_timeout)
         deadline = Deadline.after(timeout)
 
+        recorder = self._engine.flight_recorder
+        handle = recorder.begin(
+            request_id=request_id,
+            endpoint="/v1/batch",
+            method=shared.get("method") or "sp",
+            k=len(slots),
+            phase="admission-queue",
+        )
+        admission_wait: Optional[float] = None
         try:
             with self.admission.admit(deadline) as queue_wait:
+                admission_wait = queue_wait
                 self.metrics.queue_wait.observe(queue_wait)
+                handle.set_phase("executing")
                 self.metrics.inflight.inc()
                 try:
                     results = []
@@ -292,12 +490,15 @@ class KSPServer:
                         slot_id = "%s-%d" % (request_id, index)
                         if force_trace:
                             fields["trace"] = True
+                        handle.set_phase("executing %d/%d" % (index + 1, len(slots)))
                         # The shared deadline overrides any per-slot
                         # timeout: one budget bounds the whole batch.
                         results.append(
                             self._engine.query(
                                 query,
-                                options=build_options(fields, deadline, slot_id),
+                                options=build_options(
+                                    fields, deadline, slot_id, trace_id
+                                ),
                             )
                         )
                 finally:
@@ -307,11 +508,35 @@ class KSPServer:
             retry_after = max(
                 1, int(math.ceil(self.admission.retry_after_hint(timeout)))
             )
+            self._record_refusal(
+                request_id, trace_id, "/v1/batch", "rejected", 429, started
+            )
+            _log.warning(
+                "request_rejected",
+                request_id=request_id,
+                endpoint="/v1/batch",
+                retry_after_seconds=retry_after,
+            )
             body = error_body("server overloaded; retry later", request_id)
             body["retry_after_seconds"] = retry_after
             return 429, body, {"Retry-After": str(retry_after)}
         except QueryTimeout:
             self.metrics.timeouts.inc()
+            self._record_refusal(
+                request_id,
+                trace_id,
+                "/v1/batch",
+                "timeout",
+                504,
+                started,
+                admission_wait=admission_wait,
+            )
+            _log.warning(
+                "request_timed_out_in_queue",
+                request_id=request_id,
+                endpoint="/v1/batch",
+                timeout_seconds=timeout,
+            )
             body = {
                 "request_id": request_id,
                 "timed_out": True,
@@ -319,22 +544,74 @@ class KSPServer:
             }
             return 504, body, {}
         finally:
-            self.metrics.latency.observe(time.monotonic() - started)
+            recorder.end(handle)
+            self.metrics.latency.observe(
+                time.monotonic() - started, exemplar={"request_id": request_id}
+            )
 
         timed_out = any(result.stats.timed_out for result in results)
         if timed_out:
             self.metrics.timeouts.inc()
+        status = 504 if timed_out else 200
+        slot_bodies = []
+        for result in results:
+            recorder.annotate(
+                result.request_id,
+                endpoint="/v1/batch",
+                admission_wait_seconds=admission_wait,
+                status=status,
+            )
+            slot_body = result.to_dict()
+            if result.trace is not None:
+                slot_body["trace_events"] = trace_events(
+                    result.trace,
+                    request_id=result.request_id,
+                    trace_id=trace_id,
+                    runtime_seconds=result.stats.runtime_seconds,
+                )
+            slot_bodies.append(slot_body)
         body = {
             "request_id": request_id,
             "timed_out": timed_out,
-            "results": [result.to_dict() for result in results],
+            "results": slot_bodies,
         }
-        return (504 if timed_out else 200), body, {}
+        return status, body, {}
+
+    def _record_refusal(
+        self,
+        request_id: str,
+        trace_id: Optional[str],
+        endpoint: str,
+        outcome: str,
+        status: int,
+        started: float,
+        keywords: Tuple[str, ...] = (),
+        k: int = 0,
+        admission_wait: Optional[float] = None,
+    ) -> None:
+        """Flight-record a request that never reached the engine."""
+        self._engine.flight_recorder.record(
+            QueryRecord(
+                request_id=request_id,
+                trace_id=trace_id,
+                endpoint=endpoint,
+                keywords=keywords,
+                k=k,
+                outcome=outcome,
+                status=status,
+                runtime_seconds=time.monotonic() - started,
+                admission_wait_seconds=admission_wait,
+            )
+        )
 
     @staticmethod
-    def _timed_out_result(query: KSPQuery, request_id: str) -> KSPResult:
+    def _timed_out_result(
+        query: KSPQuery, request_id: str, trace_id: Optional[str] = None
+    ) -> KSPResult:
         stats = QueryStats(algorithm="QUEUED", timed_out=True)
-        return KSPResult(query=query, stats=stats, request_id=request_id)
+        return KSPResult(
+            query=query, stats=stats, request_id=request_id, trace_id=trace_id
+        )
 
 
 def _make_handler(app: KSPServer):
@@ -384,8 +661,10 @@ def _make_handler(app: KSPServer):
         # ----------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-            path = urlparse(self.path).path
-            status, body, content_type = app.handle_get(path)
+            parsed = urlparse(self.path)
+            path = parsed.path
+            params = parse_qs(parsed.query)
+            status, body, content_type = app.handle_get(path, params)
             self._send(status, body, content_type)
             app.metrics.count_request(path, status)
 
@@ -395,6 +674,7 @@ def _make_handler(app: KSPServer):
             params = parse_qs(parsed.query)
             force_trace = params.get("trace", ["0"])[-1] in ("1", "true")
             request_id = self.headers.get("X-Request-Id") or _new_request_id()
+            trace_id = parse_traceparent(self.headers.get("traceparent"))
 
             if path == "/v1/query":
                 endpoint = app.handle_query
@@ -419,13 +699,16 @@ def _make_handler(app: KSPServer):
                 return
 
             try:
-                status, body, headers = endpoint(payload, request_id, force_trace)
-            except Exception as exc:  # a bug, not a client error: answer 500
-                _log.exception(
-                    "unhandled error answering %s (request_id=%s)",
-                    path,
-                    request_id,
+                status, body, headers = endpoint(
+                    payload, request_id, force_trace, trace_id
                 )
+            except Exception as exc:  # a bug, not a client error: answer 500
+                with log_context(request_id=request_id, endpoint=path):
+                    _log.error(
+                        "unhandled_error",
+                        exc_info=True,
+                        error="%s: %s" % (type(exc).__name__, exc),
+                    )
                 status = 500
                 body = error_body(
                     "internal error: %s" % type(exc).__name__, request_id

@@ -1,0 +1,386 @@
+"""End-to-end suite for the ``/v1/debug/*`` introspection endpoints and
+the correlated-telemetry contract (live sockets, no handler mocking).
+
+The acceptance bar: one query issued with ``X-Request-Id`` and a W3C
+``traceparent`` header must be correlatable across every surface — the
+wire response, the flight-recorder entry in ``/v1/debug/queries``, the
+latency-histogram exemplar in ``/v1/metrics`` and the exported
+``trace_events`` document — by its ids alone.
+"""
+
+import contextlib
+import json
+import threading
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.serve import KSPServer, ServeConfig
+
+from tests.test_serve import GatedEngine, post_query, request
+
+TRACEPARENT = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+
+def make_engine(flight_recorder_size=8):
+    return KSPEngine(
+        build_example_graph(),
+        EngineConfig(alpha=3, flight_recorder_size=flight_recorder_size),
+    )
+
+
+@contextlib.contextmanager
+def serving(engine=None, **serve_kwargs):
+    engine = engine if engine is not None else make_engine()
+    with KSPServer(engine, ServeConfig(**serve_kwargs)) as server:
+        yield server, engine
+
+
+def example_body(**extra):
+    body = {
+        "location": [Q1.x, Q1.y],
+        "keywords": list(EXAMPLE_KEYWORDS),
+        "k": 2,
+    }
+    body.update(extra)
+    return body
+
+
+def get_json(port, path):
+    status, body, _ = request(port, "GET", path)
+    return status, body
+
+
+# ----------------------------------------------------------------------
+# /v1/debug/queries
+
+
+class TestDebugQueries:
+    def test_served_query_is_recorded_with_serving_fields(self):
+        with serving() as (server, engine):
+            status, _, _ = post_query(
+                server.port,
+                example_body(),
+                headers={"X-Request-Id": "dbg-1"},
+            )
+            assert status == 200
+            status, body = get_json(server.port, "/v1/debug/queries")
+            assert status == 200
+            entry = body["queries"][0]
+            assert entry["request_id"] == "dbg-1"
+            assert entry["endpoint"] == "/v1/query"
+            assert entry["status"] == 200
+            assert entry["outcome"] == "ok"
+            assert entry["admission_wait_seconds"] is not None
+            assert entry["keywords"] == list(EXAMPLE_KEYWORDS)
+            assert entry["counters"]["tqsp_computations"] >= 1
+            assert body["count"] == len(body["queries"])
+
+    def test_ring_buffer_evicts_oldest_over_http(self):
+        with serving(make_engine(flight_recorder_size=4)) as (server, _):
+            for index in range(7):
+                status, _, _ = post_query(
+                    server.port,
+                    example_body(),
+                    headers={"X-Request-Id": "evict-%d" % index},
+                )
+                assert status == 200
+            status, body = get_json(server.port, "/v1/debug/queries")
+            assert status == 200
+            ids = [entry["request_id"] for entry in body["queries"]]
+            assert ids == ["evict-6", "evict-5", "evict-4", "evict-3"]
+            assert body["capacity"] == 4
+            assert body["recorded_total"] == 7
+            assert body["evicted"] == 3
+
+    def test_outcome_and_limit_filters(self):
+        with serving() as (server, _):
+            for index in range(3):
+                post_query(
+                    server.port,
+                    example_body(),
+                    headers={"X-Request-Id": "f-%d" % index},
+                )
+            status, body = get_json(
+                server.port, "/v1/debug/queries?outcome=timeout"
+            )
+            assert status == 200 and body["queries"] == []
+            status, body = get_json(
+                server.port, "/v1/debug/queries?outcome=ok&limit=2"
+            )
+            assert status == 200 and len(body["queries"]) == 2
+
+    def test_min_ms_filter(self):
+        with serving() as (server, _):
+            post_query(server.port, example_body())
+            status, body = get_json(
+                server.port, "/v1/debug/queries?min_ms=60000"
+            )
+            assert status == 200
+            assert body["queries"] == []
+
+    def test_bad_filter_values_answer_400(self):
+        with serving() as (server, _):
+            status, body = get_json(
+                server.port, "/v1/debug/queries?limit=banana"
+            )
+            assert status == 400 and "limit" in body["error"]
+            status, body = get_json(
+                server.port, "/v1/debug/queries?outcome=exploded"
+            )
+            assert status == 400 and "outcome" in body["error"]
+            status, body = get_json(
+                server.port, "/v1/debug/queries?min_ms=-5"
+            )
+            assert status == 400 and "min_ms" in body["error"]
+
+    def test_rejected_requests_are_recorded(self):
+        engine = make_engine()
+        gated = GatedEngine(engine)
+        with serving(gated, workers=1, queue_depth=0) as (server, _):
+            blocker = threading.Thread(
+                target=post_query,
+                args=(server.port, example_body()),
+                kwargs={"headers": {"X-Request-Id": "holder"}},
+            )
+            blocker.start()
+            assert gated.entered.acquire(timeout=30.0)
+            try:
+                status, _, _ = post_query(
+                    server.port,
+                    example_body(),
+                    headers={"X-Request-Id": "refused"},
+                )
+                assert status == 429
+                status, body = get_json(
+                    server.port, "/v1/debug/queries?outcome=rejected"
+                )
+                assert status == 200
+                entry = body["queries"][0]
+                assert entry["request_id"] == "refused"
+                assert entry["status"] == 429
+                assert entry["endpoint"] == "/v1/query"
+            finally:
+                gated.release.set()
+                blocker.join(timeout=30.0)
+
+
+# ----------------------------------------------------------------------
+# /v1/debug/inflight
+
+
+class TestDebugInflight:
+    def test_live_query_is_visible_with_phase_and_age(self):
+        engine = make_engine()
+        gated = GatedEngine(engine)
+        with serving(gated, workers=2, queue_depth=4) as (server, _):
+            client = threading.Thread(
+                target=post_query,
+                args=(server.port, example_body()),
+                kwargs={"headers": {"X-Request-Id": "slow-1"}},
+            )
+            client.start()
+            assert gated.entered.acquire(timeout=30.0)
+            try:
+                status, body = get_json(server.port, "/v1/debug/inflight")
+                assert status == 200
+                assert body["count"] == 1
+                live = body["inflight"][0]
+                assert live["request_id"] == "slow-1"
+                assert live["endpoint"] == "/v1/query"
+                assert live["phase"] == "executing"
+                assert live["age_seconds"] >= 0.0
+            finally:
+                gated.release.set()
+                client.join(timeout=30.0)
+            status, body = get_json(server.port, "/v1/debug/inflight")
+            assert status == 200 and body["inflight"] == []
+
+
+# ----------------------------------------------------------------------
+# /v1/debug/engine
+
+
+class TestDebugEngine:
+    def test_snapshot_reflects_engine_and_serve_state(self):
+        with serving(workers=3, queue_depth=5) as (server, engine):
+            status, body = get_json(server.port, "/v1/debug/engine")
+            assert status == 200
+            assert body["manifest_hash"] == engine.manifest_hash
+            assert body["uptime_seconds"] > 0.0
+            dataset = engine.dataset_report()
+            assert body["dataset"] == dataset
+            assert body["config"]["alpha"] == 3
+            assert body["config"]["flight_recorder_size"] == 8
+            assert body["flight_recorder"]["capacity"] == 8
+            assert body["admission"] == {
+                "active": 0,
+                "queued": 0,
+                "workers": 3,
+                "queue_depth": 5,
+            }
+            assert body["serve_config"]["workers"] == 3
+            assert body["tqsp_cache"] is not None
+
+    def test_debug_endpoints_answer_503_until_ready(self):
+        loaded = threading.Event()
+
+        def loader():
+            loaded.wait(timeout=30.0)
+            return make_engine()
+
+        with KSPServer(engine_loader=loader, config=ServeConfig()) as server:
+            try:
+                for path in (
+                    "/v1/debug/queries",
+                    "/v1/debug/inflight",
+                    "/v1/debug/engine",
+                ):
+                    status, body = get_json(server.port, path)
+                    assert status == 503
+                    assert "loading" in body["error"]
+            finally:
+                loaded.set()
+
+    def test_unknown_debug_path_is_404(self):
+        with serving() as (server, _):
+            status, body = get_json(server.port, "/v1/debug/nonsense")
+            assert status == 404
+
+
+# ----------------------------------------------------------------------
+# Correlation: one request, every telemetry surface
+
+
+class TestCorrelation:
+    def test_request_correlates_across_all_surfaces(self):
+        from repro.obs.log import set_sink
+
+        records = []
+        previous = set_sink(records.append)
+        try:
+            with serving() as (server, engine):
+                status, body, headers = post_query(
+                    server.port,
+                    example_body(),
+                    headers={
+                        "X-Request-Id": "corr-1",
+                        "traceparent": TRACEPARENT,
+                    },
+                    path="/v1/query?trace=1",
+                )
+                assert status == 200
+
+                # 1. The wire response carries both ids and trace_events.
+                assert headers["X-Request-Id"] == "corr-1"
+                assert body["request_id"] == "corr-1"
+                assert body["trace_id"] == TRACE_ID
+                document = json.loads(json.dumps(body["trace_events"]))
+                assert document["otherData"]["request_id"] == "corr-1"
+                assert document["otherData"]["trace_id"] == TRACE_ID
+                assert any(
+                    event.get("cat") == "phase"
+                    for event in document["traceEvents"]
+                )
+
+                # 2. The flight recorder names the same request.
+                status, debug = get_json(server.port, "/v1/debug/queries")
+                assert status == 200
+                entry = debug["queries"][0]
+                assert entry["request_id"] == "corr-1"
+                assert entry["trace_id"] == TRACE_ID
+                assert entry["endpoint"] == "/v1/query"
+                assert entry["phases"]
+
+                # 3. The latency histogram exemplar links back to it.
+                status, text = get_json(server.port, "/v1/metrics")
+                assert status == 200
+                exemplar_lines = [
+                    line
+                    for line in text.splitlines()
+                    if 'request_id="corr-1"' in line
+                ]
+                assert exemplar_lines, "no exemplar carries the request id"
+                for line in exemplar_lines:
+                    sample, _, suffix = line.partition(" # ")
+                    assert "_bucket" in sample
+                    label_part, value = suffix.rsplit(" ", 1)
+                    assert label_part == '{request_id="corr-1"}'
+                    float(value)  # exemplar value parses as a number
+        finally:
+            set_sink(previous)
+
+    def test_batch_slots_inherit_the_trace_id(self):
+        with serving() as (server, _):
+            status, body, _ = post_query(
+                server.port,
+                {"queries": [example_body(), example_body()]},
+                headers={
+                    "X-Request-Id": "b-1",
+                    "traceparent": TRACEPARENT,
+                },
+                path="/v1/batch",
+            )
+            assert status == 200
+            assert [r["request_id"] for r in body["results"]] == [
+                "b-1-0",
+                "b-1-1",
+            ]
+            assert all(r["trace_id"] == TRACE_ID for r in body["results"])
+            status, debug = get_json(
+                server.port, "/v1/debug/queries?limit=2"
+            )
+            assert status == 200
+            assert {e["request_id"] for e in debug["queries"]} == {
+                "b-1-0",
+                "b-1-1",
+            }
+            assert all(
+                e["endpoint"] == "/v1/batch" and e["status"] == 200
+                for e in debug["queries"]
+            )
+
+    def test_malformed_traceparent_is_ignored_not_fatal(self):
+        with serving() as (server, _):
+            status, body, _ = post_query(
+                server.port,
+                example_body(),
+                headers={
+                    "X-Request-Id": "bad-tp",
+                    "traceparent": "definitely-not-a-traceparent",
+                },
+            )
+            assert status == 200
+            assert body["trace_id"] is None
+
+    def test_internal_error_logs_structured_record(self):
+        from repro.obs.log import set_sink
+
+        class ExplodingEngine:
+            flight_recorder = make_engine().flight_recorder
+
+            def query(self, *args, **kwargs):
+                raise RuntimeError("engine exploded")
+
+        records = []
+        previous = set_sink(records.append)
+        try:
+            with serving(ExplodingEngine()) as (server, _):
+                status, body, _ = post_query(
+                    server.port,
+                    example_body(),
+                    headers={"X-Request-Id": "boom-1"},
+                )
+                assert status == 500
+                assert body["request_id"] == "boom-1"
+            errors = [r for r in records if r["level"] == "error"]
+            assert errors, "500 path must emit a structured error record"
+            record = errors[0]
+            assert record["event"] == "unhandled_error"
+            assert record["request_id"] == "boom-1"
+            assert record["endpoint"] == "/v1/query"
+            assert "RuntimeError" in record["error"]
+            assert "engine exploded" in record["traceback"]
+        finally:
+            set_sink(previous)

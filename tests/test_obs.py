@@ -1,0 +1,450 @@
+"""The observability layer: structured logs, the flight recorder,
+W3C trace-context parsing, Chrome trace_event export, and the
+histogram fast path with exemplars.
+
+The trace exporter's aggregate form is pinned byte-for-byte against
+``tests/golden/trace_example.json`` — a trace rebuilt from the wire is
+deterministic by construction, so the golden file guards the export
+schema the CI serve-e2e job validates with ``json.load``.
+"""
+
+import contextvars
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.metrics import (
+    Histogram,
+    MetricsRegistry,
+    process_uptime_seconds,
+)
+from repro.core.trace import QueryTrace
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.obs.log import (
+    context_fields,
+    get_logger,
+    log_context,
+    set_sink,
+)
+from repro.obs.recorder import (
+    OUTCOMES,
+    FlightRecorder,
+    QueryRecord,
+)
+from repro.obs.traceexport import (
+    parse_traceparent,
+    render_trace_json,
+    trace_events,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The fixed aggregate trace the golden file pins.
+GOLDEN_PHASES = {
+    "rtree-ascent": {"seconds": 0.001, "count": 4},
+    "reachability": {"seconds": 0.0005, "count": 8},
+    "tqsp-bfs": {"seconds": 0.0025, "count": 2},
+}
+GOLDEN_RUNTIME = 0.0045
+
+
+@pytest.fixture()
+def sink():
+    """Capture structured log records as dicts; restore the default after."""
+    records = []
+    previous = set_sink(records.append)
+    try:
+        yield records
+    finally:
+        set_sink(previous)
+
+
+# ----------------------------------------------------------------------
+# Structured logging
+
+
+class TestStructuredLog:
+    def test_record_shape_and_sink_capture(self, sink):
+        log = get_logger("repro.test")
+        returned = log.info("unit_event", request_id="r-1", k=5)
+        assert sink == [returned]
+        record = sink[0]
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["event"] == "unit_event"
+        assert record["request_id"] == "r-1"
+        assert record["k"] == 5
+        assert isinstance(record["ts"], float)
+
+    def test_context_binds_and_nests(self, sink):
+        log = get_logger("repro.test")
+        with log_context(request_id="outer", endpoint="/v1/query"):
+            with log_context(request_id="inner"):
+                log.info("nested")
+            log.info("outer_again")
+        log.info("unbound")
+        assert sink[0]["request_id"] == "inner"
+        assert sink[0]["endpoint"] == "/v1/query"
+        assert sink[1]["request_id"] == "outer"
+        assert "request_id" not in sink[2]
+        assert context_fields() == {}
+
+    def test_copy_context_hands_bindings_to_a_worker_thread(self, sink):
+        # New threads start with an empty context; copy_context().run is
+        # the sanctioned way to hand request-scoped fields across.
+        log = get_logger("repro.test")
+        with log_context(request_id="threaded"):
+            snapshot = contextvars.copy_context()
+        worker = threading.Thread(
+            target=lambda: snapshot.run(log.info, "from_thread")
+        )
+        worker.start()
+        worker.join()
+        assert sink[0]["request_id"] == "threaded"
+
+    def test_new_threads_start_unbound(self, sink):
+        log = get_logger("repro.test")
+        with log_context(request_id="not-inherited"):
+            worker = threading.Thread(target=lambda: log.info("bare"))
+            worker.start()
+            worker.join()
+        assert "request_id" not in sink[0]
+
+    def test_unserializable_values_are_stringified(self, sink):
+        log = get_logger("repro.test")
+        log.info("weird", payload=object(), items=[1, {2: object()}])
+        line = json.dumps(sink[0])  # must not raise
+        assert "object object" in line
+
+    def test_error_with_exc_info_attaches_traceback(self, sink):
+        log = get_logger("repro.test")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.error("failed", exc_info=True, error="ValueError: boom")
+        assert sink[0]["level"] == "error"
+        assert "ValueError: boom" in sink[0]["traceback"]
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+
+
+def make_record(request_id, outcome="ok", runtime=0.01):
+    return QueryRecord(
+        request_id=request_id,
+        method="sp",
+        keywords=("ancient",),
+        k=2,
+        outcome=outcome,
+        runtime_seconds=runtime,
+    )
+
+
+class TestFlightRecorder:
+    def test_record_stamps_sequence_and_wall_clock(self):
+        recorder = FlightRecorder(capacity=4)
+        first = recorder.record(make_record("a"))
+        second = recorder.record(make_record("b"))
+        assert (first.sequence, second.sequence) == (1, 2)
+        assert first.recorded_at > 0
+        snapshot = recorder.snapshot()
+        assert [entry["request_id"] for entry in snapshot] == ["b", "a"]
+
+    def test_ring_eviction_keeps_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(10):
+            recorder.record(make_record("q-%d" % index))
+        snapshot = recorder.snapshot()
+        assert [entry["request_id"] for entry in snapshot] == [
+            "q-9",
+            "q-8",
+            "q-7",
+        ]
+        counters = recorder.counters()
+        assert counters["recorded_total"] == 10
+        assert counters["buffered"] == 3
+        assert counters["evicted"] == 7
+        assert counters["capacity"] == 3
+
+    def test_snapshot_filters(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record(make_record("fast", runtime=0.001))
+        recorder.record(make_record("slow", runtime=0.5))
+        recorder.record(make_record("late", outcome="timeout", runtime=2.0))
+        assert [
+            e["request_id"] for e in recorder.snapshot(outcome="timeout")
+        ] == ["late"]
+        assert [
+            e["request_id"]
+            for e in recorder.snapshot(min_runtime_seconds=0.1)
+        ] == ["late", "slow"]
+        assert len(recorder.snapshot(limit=1)) == 1
+
+    def test_annotate_targets_newest_match(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record(make_record("dup"))
+        recorder.record(make_record("dup"))
+        assert recorder.annotate("dup", status=504, endpoint="/v1/query")
+        newest, oldest = recorder.snapshot()
+        assert newest["status"] == 504 and newest["endpoint"] == "/v1/query"
+        assert oldest["status"] is None
+        assert not recorder.annotate("missing", status=200)
+
+    def test_inflight_lifecycle(self):
+        recorder = FlightRecorder(capacity=8)
+        handle = recorder.begin(
+            request_id="live-1",
+            endpoint="/v1/query",
+            method="sp",
+            keywords=("roman",),
+            k=3,
+            phase="admission-queue",
+        )
+        handle.set_phase("executing")
+        live = recorder.inflight()
+        assert len(live) == 1
+        assert live[0]["request_id"] == "live-1"
+        assert live[0]["phase"] == "executing"
+        assert live[0]["age_seconds"] >= 0.0
+        recorder.end(handle)
+        assert recorder.inflight() == []
+        assert recorder.counters()["inflight"] == 0
+
+    def test_engine_records_every_query(self):
+        engine = KSP_ENGINE()
+        recorder = engine.flight_recorder
+        before = recorder.counters()["recorded_total"]
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method="sp", request_id="obs-1", trace=True
+        )
+        assert recorder.counters()["recorded_total"] == before + 1
+        entry = recorder.snapshot(limit=1)[0]
+        assert entry["request_id"] == "obs-1"
+        assert entry["outcome"] == "ok"
+        assert entry["method"] == "sp"
+        assert entry["phases"]  # tracing was on: phase breakdown kept
+        assert entry["counters"]["tqsp_computations"] == (
+            result.stats.tqsp_computations
+        )
+
+    def test_outcomes_tuple_is_the_debug_contract(self):
+        assert OUTCOMES == ("ok", "timeout", "error", "rejected")
+
+
+def KSP_ENGINE():
+    from repro.core.engine import KSPEngine
+
+    return KSPEngine(
+        build_example_graph(), EngineConfig(alpha=3, flight_recorder_size=8)
+    )
+
+
+# ----------------------------------------------------------------------
+# W3C traceparent
+
+
+class TestTraceparent:
+    def test_valid_header_yields_trace_id(self):
+        header = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+        assert (
+            parse_traceparent(header)
+            == "4bf92f3577b34da6a3ce929d0e0e4736"
+        )
+
+    def test_whitespace_is_tolerated(self):
+        header = " 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00 "
+        assert parse_traceparent(header) is not None
+
+    def test_future_version_with_extra_fields_is_tolerated(self):
+        header = (
+            "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what"
+        )
+        assert parse_traceparent(header) is not None
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",  # 3 fields
+            "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  # ff
+            "00-00000000000000000000000000000000-00f067aa0ba902b7-01",  # zero
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  # zero
+            "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  # upper
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x",  # v00 extra
+            "00-4bf92f3577b34da6-00f067aa0ba902b7-01",  # short trace id
+        ],
+    )
+    def test_malformed_headers_yield_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event export
+
+
+class TestTraceExport:
+    def test_live_trace_exports_real_timeline_spans(self):
+        trace = QueryTrace()
+        trace.add("tqsp-bfs", 0.002)
+        trace.add("rtree-ascent", 0.001)
+        assert len(trace.timeline()) == 2
+        document = trace_events(trace, request_id="t-1")
+        spans = [
+            e for e in document["traceEvents"] if e.get("cat") == "phase"
+        ]
+        assert [span["name"] for span in spans] == ["tqsp-bfs", "rtree-ascent"]
+        assert all(span["ph"] == "X" for span in spans)
+        assert all(span["args"]["request_id"] == "t-1" for span in spans)
+        # Real offsets: the second span starts at or after the first's start.
+        assert spans[1]["ts"] >= spans[0]["ts"]
+
+    def test_wire_rebuilt_trace_takes_the_aggregate_path(self):
+        trace = QueryTrace.from_dict(GOLDEN_PHASES)
+        assert trace.timeline() == []
+        document = trace_events(trace, runtime_seconds=GOLDEN_RUNTIME)
+        spans = [
+            e for e in document["traceEvents"] if e.get("cat") == "phase"
+        ]
+        # Aggregate spans lie end to end in insertion order, plus the
+        # (untraced) remainder covering runtime outside every phase.
+        assert [span["name"] for span in spans] == [
+            "rtree-ascent",
+            "reachability",
+            "tqsp-bfs",
+            "(untraced)",
+        ]
+        assert spans[0]["ts"] == 0
+        assert spans[1]["ts"] == spans[0]["dur"]
+        assert spans[0]["args"]["spans"] == 4
+        untraced = spans[-1]
+        assert untraced["ts"] == 4000 and untraced["dur"] == 500
+
+    def test_enclosing_query_span_and_metadata(self):
+        trace = QueryTrace.from_dict(GOLDEN_PHASES)
+        document = trace_events(
+            trace,
+            request_id="t-2",
+            trace_id="a" * 32,
+            runtime_seconds=GOLDEN_RUNTIME,
+        )
+        events = document["traceEvents"]
+        assert events[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "ksp-query"},
+        }
+        query_spans = [e for e in events if e["name"] == "query"]
+        assert len(query_spans) == 1
+        assert query_spans[0]["dur"] == 4500
+        assert document["otherData"] == {
+            "request_id": "t-2",
+            "trace_id": "a" * 32,
+        }
+        thread_names = [
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        ]
+        assert thread_names == [
+            "rtree-ascent",
+            "reachability",
+            "tqsp-bfs",
+            "(untraced)",
+        ]
+
+    def test_golden_trace_export(self):
+        trace = QueryTrace.from_dict(GOLDEN_PHASES)
+        rendered = (
+            render_trace_json(
+                trace,
+                request_id="golden-trace-1",
+                runtime_seconds=GOLDEN_RUNTIME,
+            )
+            + "\n"
+        )
+        golden = (GOLDEN_DIR / "trace_example.json").read_text()
+        assert rendered == golden
+
+    def test_golden_trace_file_is_canonical_json(self):
+        raw = (GOLDEN_DIR / "trace_example.json").read_text()
+        parsed = json.loads(raw)
+        assert raw == json.dumps(parsed, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Histogram owning-bucket fast path and exemplars
+
+
+class TestHistogram:
+    def test_owning_bucket_is_inclusive_upper_bound(self):
+        histogram = Histogram(buckets=(0.1, 0.5, 1.0))
+        histogram.observe(0.1)  # exactly on a bound: le="0.1" owns it
+        histogram.observe(0.3)
+        histogram.observe(0.99)
+        counts = histogram.bucket_counts()
+        assert counts[0.1] == 1
+        assert counts[0.5] == 2
+        assert counts[1.0] == 3
+        assert counts[float("inf")] == 3
+
+    def test_overflow_lands_in_inf_only(self):
+        histogram = Histogram(buckets=(0.1, 0.5))
+        histogram.observe(7.0)
+        counts = histogram.bucket_counts()
+        assert counts[0.1] == 0 and counts[0.5] == 0
+        assert counts[float("inf")] == 1
+        assert histogram.count == 1
+        assert histogram.sum == 7.0
+
+    def test_cumulative_rendering_matches_per_bucket_counts(self):
+        histogram = Histogram(buckets=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.05, 0.2, 0.7, 3.0):
+            histogram.observe(value)
+        lines = histogram._samples("h", ())
+        buckets = [line for line in lines if "_bucket" in line]
+        assert buckets == [
+            'h_bucket{le="0.1"} 2',
+            'h_bucket{le="0.5"} 3',
+            'h_bucket{le="1"} 4',
+            'h_bucket{le="+Inf"} 5',
+        ]
+        assert lines[-1] == "h_count 5"
+
+    def test_exemplar_renders_on_owning_bucket(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.05, exemplar={"request_id": "ex-1"})
+        histogram.observe(0.5)  # no exemplar on this bucket
+        lines = histogram._samples("h", ())
+        assert 'h_bucket{le="0.1"} 1 # {request_id="ex-1"} 0.05' in lines
+        assert 'h_bucket{le="1"} 2' in lines
+
+    def test_latest_exemplar_wins(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(0.2, exemplar={"request_id": "old"})
+        histogram.observe(0.4, exemplar={"request_id": "new"})
+        (bucket_line,) = [
+            line
+            for line in histogram._samples("h", ())
+            if 'le="1"' in line
+        ]
+        assert 'request_id="new"' in bucket_line
+
+    def test_registry_renders_exemplars_in_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "t_seconds", "test latency", buckets=(1.0,)
+        )
+        histogram.observe(0.25, exemplar={"request_id": "r-9"})
+        text = registry.render_text()
+        assert '# {request_id="r-9"} 0.25' in text
+
+    def test_process_uptime_is_positive_and_monotonic(self):
+        first = process_uptime_seconds()
+        second = process_uptime_seconds()
+        assert 0.0 < first <= second

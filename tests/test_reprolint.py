@@ -24,7 +24,7 @@ from repro.analysis.report import render_json, render_text
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
 
 
 def run_lint(tmp_path, files, rule_paths=None, rule_ids=None):
@@ -419,6 +419,78 @@ class TestWireSchema:
 
 
 # ---------------------------------------------------------------------------
+# RL007 metric help text
+
+
+RL007_NO_HELP = """
+    def init_metrics(registry):
+        return registry.counter("ksp_query_timeouts_total")
+"""
+
+RL007_EMPTY_HELP = """
+    class Engine:
+        def _init_metrics(self):
+            self._latency = self.metrics.histogram(
+                "ksp_query_seconds", ""
+            )
+"""
+
+RL007_EMPTY_KWARG = """
+    def init_metrics(registry):
+        return registry.gauge("ksp_cache_entries", help_text="")
+"""
+
+RL007_GOOD = """
+    class Engine:
+        def _init_metrics(self):
+            self._timeouts = self.metrics.counter(
+                "ksp_query_timeouts_total",
+                "queries that hit their deadline",
+            )
+            self._entries = self.metrics.gauge(
+                "ksp_cache_entries", help_text="live TQSP cache entries"
+            )
+"""
+
+RL007_COMPUTED_HELP = """
+    def init_metrics(registry, description):
+        return registry.counter("ksp_query_errors_total", description)
+"""
+
+RL007_OTHER_RECEIVER = """
+    def tally(stats):
+        return stats.counter("retries")
+"""
+
+
+class TestMetricHelp:
+    def test_missing_help_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL007_NO_HELP})
+        assert rules_fired(result) == ["RL007"]
+        assert "help text" in result.findings[0].message
+
+    def test_empty_positional_help_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL007_EMPTY_HELP})
+        assert rules_fired(result) == ["RL007"]
+
+    def test_empty_keyword_help_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL007_EMPTY_KWARG})
+        assert rules_fired(result) == ["RL007"]
+
+    def test_described_twin_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL007_GOOD})
+        assert result.findings == []
+
+    def test_computed_help_is_accepted(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL007_COMPUTED_HELP})
+        assert result.findings == []
+
+    def test_non_metric_receiver_stays_silent(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL007_OTHER_RECEIVER})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 
 
@@ -573,5 +645,5 @@ class TestRepositoryInvariants:
             text=True,
         )
         assert proc.returncode == 0
-        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        for rule_id in ALL_RULE_IDS:
             assert rule_id in proc.stdout

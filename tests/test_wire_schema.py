@@ -99,6 +99,7 @@ class TestRoundTrips:
         assert set(document) == {
             "query",
             "request_id",
+            "trace_id",
             "places",
             "scores",
             "looseness",

@@ -1,0 +1,96 @@
+"""Snapshot cold-start vs warm-start — the mmap payoff.
+
+A parse-based load (``KSPEngine.from_file``) re-tokenizes the corpus and
+rebuilds every index; opening a snapshot (``KSPEngine.from_snapshot``)
+mmaps one file and serves zero-copy views, so warm start is O(1) in the
+data size.  This bench measures both paths on the same corpus, checks
+query parity between the two engines, and records the machine-readable
+``BENCH_snapshot.json``.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.context import bench_scale
+from repro.bench.tables import Table
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.profiles import YAGO_LIKE
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.datagen.synthetic import generate_graph, graph_to_triples
+from repro.rdf import ntriples
+
+PARITY_QUERIES = 6
+
+
+def _signature(result):
+    return [(p.root, round(p.score, 9), p.looseness) for p in result]
+
+
+def _sweep():
+    scale = bench_scale()
+    config = EngineConfig(alpha=3)
+    with tempfile.TemporaryDirectory(prefix="ksp-bench-snapshot-") as tmp:
+        corpus = Path(tmp) / "kb.nt"
+        snapshot = Path(tmp) / "kb.snap"
+        graph = generate_graph(YAGO_LIKE.scaled(scale))
+        ntriples.write_file(graph_to_triples(graph), corpus)
+
+        started = time.monotonic()
+        cold_engine = KSPEngine.from_file(corpus, config)
+        cold_seconds = time.monotonic() - started
+
+        started = time.monotonic()
+        snapshot_bytes = cold_engine.save_snapshot(snapshot)
+        write_seconds = time.monotonic() - started
+
+        started = time.monotonic()
+        warm_engine = KSPEngine.from_snapshot(snapshot, config)
+        warm_seconds = time.monotonic() - started
+
+        generator = QueryGenerator(
+            cold_engine.graph,
+            cold_engine.inverted_index,
+            WorkloadConfig(keyword_count=3, k=5, seed=71),
+        )
+        agreements = 0
+        for query in generator.workload(PARITY_QUERIES, "O"):
+            cold = _signature(cold_engine.query(query, method="sp"))
+            warm = _signature(warm_engine.query(query, method="sp"))
+            assert cold == warm, "snapshot engine disagrees for %r" % (query,)
+            agreements += 1
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    table = Table(
+        "Snapshot: cold start (parse + index build) vs warm start (mmap)",
+        ["path", "seconds", "notes"],
+    )
+    table.add_row("cold: from_file", cold_seconds, "parse corpus, build all indexes")
+    table.add_row("snapshot write", write_seconds, "%d bytes" % snapshot_bytes)
+    table.add_row("warm: from_snapshot", warm_seconds, "mmap + zero-copy views")
+    table.add_note(
+        "warm start is %.1fx faster; %d/%d parity queries agree"
+        % (speedup, agreements, PARITY_QUERIES)
+    )
+    payload = {
+        "benchmark": "snapshot",
+        "scale_vertices": scale,
+        "cold_load_seconds": round(cold_seconds, 6),
+        "snapshot_write_seconds": round(write_seconds, 6),
+        "warm_load_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(speedup, 3),
+        "snapshot_bytes": snapshot_bytes,
+        "parity_queries": agreements,
+    }
+    return table, payload
+
+
+def test_snapshot_cold_vs_warm(benchmark, emit, emit_json):
+    table, payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("snapshot_load", table)
+    emit_json("BENCH_snapshot", payload)
+    # The acceptance bar: mmap'd warm start is at least 10x faster than
+    # re-parsing and rebuilding.
+    assert payload["warm_speedup"] >= 10.0, json.dumps(payload)

@@ -16,7 +16,7 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from repro.bench.tables import record
+from repro.bench.tables import record, record_json, record_section
 
 
 @pytest.fixture
@@ -27,6 +27,32 @@ def emit(capsys):
         text = record(name, tables)
         with capsys.disabled():
             print("\n" + text, end="")
+        return text
+
+    return _emit
+
+
+@pytest.fixture
+def emit_section(capsys):
+    """Record tables into one section of a shared bench_results/ file."""
+
+    def _emit(name, section, tables):
+        text = record_section(name, section, tables)
+        with capsys.disabled():
+            print("\n" + text, end="")
+        return text
+
+    return _emit
+
+
+@pytest.fixture
+def emit_json(capsys):
+    """Record a machine-readable BENCH_*.json result file."""
+
+    def _emit(name, payload):
+        text = record_json(name, payload)
+        with capsys.disabled():
+            print("\n%s.json: %s" % (name, text.strip()))
         return text
 
     return _emit

@@ -7,9 +7,11 @@ the paper plots) and archives it under ``bench_results/``.
 
 from __future__ import annotations
 
+import json
 import os
+from collections import OrderedDict
 from pathlib import Path
-from typing import Iterable, List, Sequence, Union
+from typing import Any, Iterable, List, Sequence, Union
 
 Cell = Union[str, int, float]
 
@@ -84,5 +86,69 @@ def record(name: str, tables: Union[Table, Iterable[Table]]) -> str:
         tables = [tables]
     text = "\n".join(table.render() for table in tables)
     path = results_dir() / ("%s.txt" % name)
+    path.write_text(text, encoding="utf-8")
+    return text
+
+
+_SECTION_PREFIX = "===== "
+_SECTION_SUFFIX = " ====="
+
+
+def _parse_sections(text: str) -> "OrderedDict[str, str]":
+    """Split a recorded file into marker-delimited sections; content
+    before the first marker keeps the key ``""``."""
+    sections: "OrderedDict[str, str]" = OrderedDict()
+    current = ""
+    buffer: List[str] = []
+    for line in text.splitlines(keepends=True):
+        stripped = line.rstrip("\n")
+        if stripped.startswith(_SECTION_PREFIX) and stripped.endswith(
+            _SECTION_SUFFIX
+        ):
+            if buffer or current:
+                sections[current] = "".join(buffer)
+            current = stripped[len(_SECTION_PREFIX) : -len(_SECTION_SUFFIX)]
+            buffer = []
+        else:
+            buffer.append(line)
+    if buffer or current:
+        sections[current] = "".join(buffer)
+    return sections
+
+
+def record_section(
+    name: str, section: str, tables: Union[Table, Iterable[Table]]
+) -> str:
+    """Render tables into one named section of ``bench_results/<name>.txt``,
+    preserving every other section — so benchmark tests that share a
+    result file can each refresh only their own part."""
+    if not section:
+        raise ValueError("section name must be non-empty")
+    if isinstance(tables, Table):
+        tables = [tables]
+    text = "\n".join(table.render() for table in tables)
+    path = results_dir() / ("%s.txt" % name)
+    sections = (
+        _parse_sections(path.read_text(encoding="utf-8"))
+        if path.exists()
+        else OrderedDict()
+    )
+    sections[section] = text
+    parts: List[str] = []
+    for key, body in sections.items():
+        if key:
+            parts.append(_SECTION_PREFIX + key + _SECTION_SUFFIX + "\n")
+        if body and not body.endswith("\n"):
+            body += "\n"
+        parts.append(body)
+    path.write_text("".join(parts), encoding="utf-8")
+    return text
+
+
+def record_json(name: str, payload: Any) -> str:
+    """Write a machine-readable result file ``bench_results/<name>.json``
+    (canonical JSON: sorted keys, two-space indent, trailing newline)."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = results_dir() / ("%s.json" % name)
     path.write_text(text, encoding="utf-8")
     return text

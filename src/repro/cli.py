@@ -1,10 +1,12 @@
 """Command-line interface for the kSP engine.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro query    --data kb.nt --location 43.51,4.75 \
                              --keywords ancient roman -k 5 --method sp
-    python -m repro serve    --data kb.nt --port 8080 --workers 4
+    python -m repro serve    --data kb.nt --port 8080
+    python -m repro serve    --snapshot kb.snap --workers 4
+    python -m repro snapshot build --data kb.nt --output kb.snap
     python -m repro stats    --data kb.nt
     python -m repro generate --profile yago-like --vertices 5000 --output kb.nt
     python -m repro lint     src tests
@@ -12,10 +14,14 @@ Five subcommands::
 ``query`` loads an N-Triples knowledge base, builds the engine and answers
 one kSP query, printing the ranked places, their TQSP trees and the
 execution statistics (``--json`` emits the wire schema instead).
-``serve`` runs the HTTP/JSON query service (see :mod:`repro.serve`).
-``stats`` prints dataset and index reports.  ``generate`` writes a
-synthetic spatial RDF corpus for experimentation.  ``lint`` runs the
-reprolint invariant checker (see :mod:`repro.analysis`) over the tree.
+``serve`` runs the HTTP/JSON query service (see :mod:`repro.serve`);
+``--workers N`` with N > 1 pre-forks N serving processes (best fed from
+``--snapshot``, so they share one mmap'd index file).  ``snapshot``
+builds and inspects immutable index snapshot files (see
+:mod:`repro.storage.snapshot`).  ``stats`` prints dataset and index
+reports.  ``generate`` writes a synthetic spatial RDF corpus for
+experimentation.  ``lint`` runs the reprolint invariant checker (see
+:mod:`repro.analysis`) over the tree.
 """
 
 from __future__ import annotations
@@ -112,7 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="run the HTTP/JSON query service (see repro.serve)"
     )
-    serve.add_argument("--data", required=True, help="RDF file (.nt or .ttl) to load")
+    serve.add_argument(
+        "--data", default=None, help="RDF file (.nt or .ttl) to load"
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="serve from an index snapshot built with 'repro snapshot "
+        "build' (mmap'd zero-copy; O(1) warm start) instead of --data",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--alpha", type=int, default=3, help="alpha radius for SP")
@@ -122,8 +136,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers",
         type=int,
+        default=1,
+        help="serving processes; above 1 the service pre-forks that many "
+        "workers sharing one listen socket (escapes the GIL)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
         default=4,
-        help="queries admitted into the engine concurrently",
+        help="queries admitted into each worker's engine concurrently",
     )
     serve.add_argument(
         "--queue-depth",
@@ -143,6 +164,39 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="ring-buffer capacity of the flight recorder backing "
         "GET /v1/debug/queries",
+    )
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="build and inspect immutable index snapshot files "
+        "(see repro.storage.snapshot)",
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snapshot_build = snapshot_commands.add_parser(
+        "build", help="parse an RDF file, build all indexes, write one snapshot"
+    )
+    snapshot_build.add_argument(
+        "--data", required=True, help="RDF file (.nt or .ttl) to load"
+    )
+    snapshot_build.add_argument(
+        "--output", required=True, help="snapshot file to write"
+    )
+    snapshot_build.add_argument(
+        "--alpha", type=int, default=3, help="alpha radius for SP"
+    )
+    snapshot_build.add_argument(
+        "--undirected", action="store_true", help="disregard edge directions"
+    )
+    snapshot_inspect = snapshot_commands.add_parser(
+        "inspect", help="print a snapshot's manifest and section table"
+    )
+    snapshot_inspect.add_argument("path", help="snapshot file to inspect")
+    snapshot_inspect.add_argument(
+        "--verify",
+        action="store_true",
+        help="also recompute and check the full content hash",
     )
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
@@ -286,38 +340,106 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import KSPServer, ServeConfig
+    from repro.serve import KSPServer, PreForkServer, ServeConfig
 
+    if (args.data is None) == (args.snapshot is None):
+        print("serve needs exactly one of --data or --snapshot", file=sys.stderr)
+        return 2
     config = ServeConfig(
         host=args.host,
         port=args.port,
-        workers=args.workers,
+        workers=args.concurrency,
         queue_depth=args.queue_depth,
         default_timeout=args.default_timeout,
     )
+    engine_config = EngineConfig(
+        alpha=args.alpha,
+        undirected=args.undirected,
+        flight_recorder_size=args.flight_recorder_size,
+    )
 
     def load_engine():
-        return KSPEngine.from_file(
-            args.data,
-            EngineConfig(
-                alpha=args.alpha,
-                undirected=args.undirected,
-                flight_recorder_size=args.flight_recorder_size,
-            ),
+        if args.snapshot is not None:
+            return KSPEngine.from_snapshot(args.snapshot, engine_config)
+        return KSPEngine.from_file(args.data, engine_config)
+
+    if args.workers > 1:
+        # Pre-fork: the engine loads once in the foreground, then every
+        # worker process serves it (snapshots share one OS page cache).
+        server = PreForkServer(
+            engine_loader=load_engine, config=config, workers=args.workers
+        ).start()
+        print(
+            "kSP query service listening on %s (%d worker processes)"
+            % (server.url, args.workers)
         )
+        _print_endpoints()
+        server.run_forever()
+        return 0
 
     # The socket opens immediately; /v1/ready flips to 200 once the
     # background index build finishes.
     server = KSPServer(engine_loader=load_engine, config=config).start()
     print("kSP query service listening on %s" % server.url)
+    _print_endpoints()
+    server.serve_forever()
+    return 0
+
+
+def _print_endpoints() -> None:
     print("  POST /v1/query   POST /v1/batch")
     print("  GET  /v1/metrics GET  /v1/healthz  GET  /v1/ready")
     print(
         "  GET  /v1/debug/queries  GET  /v1/debug/inflight  "
         "GET  /v1/debug/engine"
     )
-    server.serve_forever()
-    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    if args.snapshot_command == "build":
+        engine = KSPEngine.from_file(
+            args.data,
+            EngineConfig(alpha=args.alpha, undirected=args.undirected),
+        )
+        size = engine.save_snapshot(args.output)
+        print(
+            "wrote %d bytes (%d vertices, %d edges, %d places, alpha=%d) "
+            "to %s"
+            % (
+                size,
+                engine.graph.vertex_count,
+                engine.graph.edge_count,
+                engine.graph.place_count(),
+                engine.alpha,
+                args.output,
+            )
+        )
+        return 0
+    if args.snapshot_command == "inspect":
+        from repro.storage.snapshot import SnapshotError, SnapshotFile
+
+        try:
+            with SnapshotFile(args.path, verify=args.verify) as snap:
+                print("snapshot %s (%d bytes)" % (args.path, snap.size_bytes))
+                print("manifest:")
+                print(
+                    "\n".join(
+                        "  " + line
+                        for line in json.dumps(
+                            snap.manifest, indent=2, sort_keys=True
+                        ).splitlines()
+                    )
+                )
+                print("sections:")
+                for name in snap.names():
+                    print("  %-22s %10d bytes" % (name, snap.section_length(name)))
+                if args.verify:
+                    print("content hash: OK")
+        except SnapshotError as exc:
+            print("snapshot validation failed: %s" % exc, file=sys.stderr)
+            return 1
+        return 0
+    raise AssertionError("unreachable")
 
 
 def _cmd_generate(args) -> int:
@@ -364,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "lint":

@@ -97,6 +97,7 @@ class KSPEngine:
             else None
         )
         self.flight_recorder = FlightRecorder(config.flight_recorder_size)
+        self._snapshot = None
         self._init_metrics()
 
         started = time.monotonic()
@@ -231,6 +232,43 @@ class KSPEngine:
             self.metrics.gauge(
                 "ksp_tqsp_cache_hit_ratio", "TQSP cache hits / lookups"
             ).set(counters["hits"] / lookups if lookups else 0.0)
+        snapshot = getattr(self, "_snapshot", None)
+        if snapshot is not None:
+            stats = snapshot.stats
+            self.metrics.gauge(
+                "ksp_snapshot_maps_total", "mmap calls over the index snapshot"
+            ).set(stats.maps)
+            self.metrics.gauge(
+                "ksp_snapshot_bytes_mapped",
+                "bytes of index snapshot mapped into this process",
+            ).set(stats.bytes_mapped)
+            self.metrics.gauge(
+                "ksp_snapshot_section_reads_total",
+                "snapshot section views handed out (zero-copy reads)",
+            ).set(stats.section_reads)
+            self.metrics.gauge(
+                "ksp_snapshot_sections", "sections in the open index snapshot"
+            ).set(len(snapshot.names()))
+        pool_stats = getattr(self.graph, "buffer_stats", None)
+        if pool_stats is not None:
+            self.metrics.gauge(
+                "ksp_buffer_pool_hits_total", "disk-graph buffer pool page hits"
+            ).set(pool_stats.hits)
+            self.metrics.gauge(
+                "ksp_buffer_pool_misses_total",
+                "disk-graph buffer pool page misses (disk reads)",
+            ).set(pool_stats.misses)
+            self.metrics.gauge(
+                "ksp_buffer_pool_evictions_total",
+                "disk-graph buffer pool LRU evictions",
+            ).set(pool_stats.evictions)
+            self.metrics.gauge(
+                "ksp_buffer_pool_prefetches_total",
+                "disk-graph pages read ahead on sequential hints",
+            ).set(pool_stats.prefetches)
+            self.metrics.gauge(
+                "ksp_buffer_pool_hit_ratio", "buffer pool hits / accesses"
+            ).set(pool_stats.hit_rate)
         return self.metrics.render_text()
 
     # ------------------------------------------------------------------
@@ -423,6 +461,7 @@ class KSPEngine:
             else None
         )
         engine.flight_recorder = FlightRecorder(config.flight_recorder_size)
+        engine._snapshot = None
         engine._init_metrics()
 
         started = _time.monotonic()
@@ -447,6 +486,120 @@ class KSPEngine:
             engine.alpha_index = load_alpha_index(directory / "alpha.idx")
             engine.build_seconds["alpha_index"] = _time.monotonic() - started
         engine.manifest_hash = _hash_manifest(engine._manifest_dict())
+        return engine
+
+    def save_snapshot(self, path) -> int:
+        """Write every query-time index into one immutable, page-aligned
+        snapshot file (see :mod:`repro.storage.snapshot`).
+
+        Unlike :meth:`save` (an engine *directory* that re-decodes on
+        load), the snapshot is mmap'd and served zero-copy by
+        :meth:`from_snapshot`, so warm start is O(1) in the data size
+        and forked serving workers share one copy of the page cache.
+        Returns the number of bytes written.
+        """
+        from repro.storage.snapshot import write_snapshot
+
+        return write_snapshot(
+            path,
+            self.graph,
+            self.inverted_index,
+            self.rtree,
+            alpha=self.alpha,
+            undirected=self.undirected,
+            rtree_max_entries=self.rtree_max_entries,
+            reachability=self.reachability,
+            alpha_index=self.alpha_index,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        config: Optional[EngineConfig] = None,
+        verify: bool = False,
+        **legacy,
+    ) -> "KSPEngine":
+        """Open an engine over a snapshot written by :meth:`save_snapshot`.
+
+        The file is mmap'd once; the graph, inverted file, alpha-radius
+        postings and reachability labels are served through zero-copy
+        views over the mapping, and the R-tree is reconstructed from its
+        node section (ids preserved, so the alpha node postings stay
+        valid).  ``config`` supplies the serving knobs exactly as in
+        :meth:`load`; the build-time fields come from the snapshot
+        manifest.  ``verify=True`` additionally checks the full content
+        hash before serving (the header and section table are always
+        validated).
+        """
+        from repro.storage.snapshot import (
+            SnapshotAlphaIndex,
+            SnapshotFile,
+            SnapshotInvertedIndex,
+            SnapshotRDFGraph,
+            VocabView,
+            load_snapshot_reachability,
+            load_snapshot_rtree,
+        )
+
+        config = fold_legacy_kwargs(
+            "KSPEngine.from_snapshot", config or EngineConfig(), legacy,
+            "config=EngineConfig(...)",
+        )
+        started = time.monotonic()
+        snapshot = SnapshotFile(path, verify=verify)
+        manifest = snapshot.manifest["engine"]
+        config = config.replace(
+            alpha=manifest["alpha"],
+            undirected=manifest["undirected"],
+            rtree_max_entries=manifest["rtree_max_entries"],
+        )
+        vocab = VocabView(
+            snapshot.array_view("vocab.offsets", "Q"), snapshot.section("vocab.blob")
+        )
+        graph = SnapshotRDFGraph(snapshot, vocab)
+
+        engine = cls.__new__(cls)
+        engine.graph = graph
+        engine.config = config
+        engine.alpha = config.alpha
+        engine.undirected = config.undirected
+        engine.rtree_max_entries = config.rtree_max_entries
+        engine.build_seconds = {}
+
+        engine.csr = None
+        if config.use_csr_kernel:
+            engine.csr = CSRAdjacency(
+                manifest["vertices"],
+                snapshot.array_view("graph.out_index", "q"),
+                snapshot.array_view("graph.out_targets", "i"),
+                snapshot.array_view("graph.in_index", "q"),
+                snapshot.array_view("graph.in_targets", "i"),
+            )
+        engine.tqsp_cache = (
+            TQSPCache(config.tqsp_cache_size)
+            if config.tqsp_cache_size > 0
+            else None
+        )
+        engine._runtime = (
+            TQSPRuntime(csr=engine.csr, cache=engine.tqsp_cache)
+            if (engine.csr is not None or engine.tqsp_cache is not None)
+            else None
+        )
+        engine.flight_recorder = FlightRecorder(config.flight_recorder_size)
+        engine._snapshot = snapshot
+        engine._init_metrics()
+
+        engine.inverted_index = SnapshotInvertedIndex(snapshot, vocab)
+        engine.rtree = load_snapshot_rtree(snapshot)
+        engine.reachability = None
+        if manifest["has_reachability"]:
+            engine.reachability = load_snapshot_reachability(snapshot, vocab, graph)
+        engine.alpha_index = None
+        if manifest["has_alpha_index"]:
+            engine.alpha_index = SnapshotAlphaIndex(snapshot, vocab)
+        engine.manifest_hash = _hash_manifest(engine._manifest_dict())
+        engine.build_seconds["snapshot_mmap"] = time.monotonic() - started
         return engine
 
     # ------------------------------------------------------------------

@@ -33,6 +33,12 @@ class GraphTraversalMixin:
         """
         if not 0 <= start < self.vertex_count:
             raise IndexError("no such vertex: %d" % start)
+        # BFS touches vertices in frontier order, not file order — let
+        # stores with an access-pattern hint (buffer pool readahead,
+        # mmap madvise) know not to read ahead.
+        advise = getattr(self, "read_hint", None)
+        if advise is not None:
+            advise("random")
         seen = {start}
         queue = deque([(start, 0, -1)])
         while queue:

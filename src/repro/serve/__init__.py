@@ -10,6 +10,7 @@
 """
 
 from repro.serve.admission import AdmissionController, QueueFull
+from repro.serve.multiproc import PreForkServer, WorkerContext
 from repro.serve.schemas import (
     SchemaError,
     build_options,
@@ -22,6 +23,8 @@ from repro.serve.server import KSPServer, ServeConfig
 __all__ = [
     "KSPServer",
     "ServeConfig",
+    "PreForkServer",
+    "WorkerContext",
     "AdmissionController",
     "QueueFull",
     "SchemaError",

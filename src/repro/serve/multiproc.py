@@ -1,0 +1,350 @@
+"""Pre-forked multi-process serving: N workers behind one listen socket.
+
+The GIL caps a single ``ThreadingHTTPServer`` process at roughly one
+core of kSP kernel work no matter how many handler threads it runs.
+``PreForkServer`` escapes that: the parent binds one listen socket (the
+"router" — the kernel load-balances ``accept`` across processes), loads
+the engine **once** — ideally via :meth:`KSPEngine.from_snapshot`, so
+every worker serves zero-copy views over the same mmap'd file and the
+OS page cache is shared — then forks N workers that each run the
+ordinary :class:`~repro.serve.server.KSPServer` on the inherited
+socket.  Each worker keeps the existing ``AdmissionController`` +
+429/504 overload protocol; the frozen ``/v1`` wire schema is untouched.
+
+Supervision: the parent reaps exited workers and respawns them (crash
+detection), workers heartbeat JSON status files (pid, uptime, admission
+and flight-recorder counters) that ``/v1/debug/engine`` aggregates from
+any worker, and SIGTERM triggers a graceful drain — stop accepting,
+finish in-flight queries, then exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core.engine import KSPEngine
+from repro.obs.log import get_logger
+from repro.serve.server import KSPServer, ServeConfig
+
+_log = get_logger("repro.serve.multiproc")
+
+# A worker whose status file is older than this many heartbeats is
+# reported unhealthy (wedged or mid-respawn).
+_STALE_HEARTBEATS = 3.0
+
+
+class WorkerContext:
+    """What a forked worker knows about its place in the fleet."""
+
+    __slots__ = ("index", "status_dir")
+
+    def __init__(self, index: int, status_dir: Union[str, Path]) -> None:
+        self.index = index
+        self.status_dir = Path(status_dir)
+
+
+def write_worker_status(
+    status_dir: Union[str, Path], index: int, status: Dict[str, Any]
+) -> None:
+    """Atomically publish one worker's heartbeat record (tmp + rename,
+    so readers never observe a half-written file)."""
+    directory = Path(status_dir)
+    target = directory / ("worker-%d.json" % index)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=".worker-%d." % index, dir=str(directory)
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(status, stream, sort_keys=True)
+        os.replace(tmp_name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def read_worker_statuses(status_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All workers' latest heartbeat records, annotated with staleness.
+
+    Unreadable or half-gone files are skipped — aggregation must not
+    fail because a worker is being respawned right now.
+    """
+    statuses: List[Dict[str, Any]] = []
+    directory = Path(status_dir)
+    for path in sorted(directory.glob("worker-*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        written_at = record.get("written_at")
+        heartbeat = record.get("heartbeat_seconds") or 2.0
+        if isinstance(written_at, (int, float)):
+            age = max(0.0, time.time() - written_at)
+            record["age_seconds"] = round(age, 3)
+            record["healthy"] = bool(
+                record.get("ready") and age < _STALE_HEARTBEATS * heartbeat
+            )
+        else:
+            record["age_seconds"] = None
+            record["healthy"] = False
+        statuses.append(record)
+    return statuses
+
+
+class PreForkServer:
+    """N forked :class:`KSPServer` workers sharing one listen socket.
+
+    Parameters
+    ----------
+    engine:
+        A ready engine, or None with ``engine_loader`` — the loader runs
+        once in the parent *before* forking, so workers share the built
+        (or mmap'd) indexes copy-on-write.
+    config:
+        The per-worker :class:`ServeConfig` (``workers`` there is the
+        per-process query concurrency; the process count is ``workers``
+        here).
+    workers:
+        Number of processes to fork.
+    respawn:
+        Replace workers that exit unexpectedly (crash detection).
+    drain_seconds:
+        How long a SIGTERM'd worker waits for in-flight queries.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[KSPEngine] = None,
+        config: Optional[ServeConfig] = None,
+        engine_loader: Optional[Callable[[], KSPEngine]] = None,
+        workers: int = 2,
+        status_dir: Optional[Union[str, Path]] = None,
+        respawn: bool = True,
+        drain_seconds: float = 5.0,
+        heartbeat_seconds: float = 2.0,
+    ) -> None:
+        if engine is None and engine_loader is None:
+            raise ValueError("provide an engine or an engine_loader")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only repo
+            raise RuntimeError("pre-fork serving needs os.fork (POSIX)")
+        self.config = config or ServeConfig()
+        self.workers = workers
+        self._engine = engine
+        self._engine_loader = engine_loader
+        self._respawn = respawn
+        self._drain_seconds = drain_seconds
+        self._heartbeat_seconds = heartbeat_seconds
+        self._owns_status_dir = status_dir is None
+        self._status_dir = (
+            Path(tempfile.mkdtemp(prefix="ksp-workers-"))
+            if status_dir is None
+            else Path(status_dir)
+        )
+        self._status_dir.mkdir(parents=True, exist_ok=True)
+        self._socket: Optional[socket.socket] = None
+        self._children: Dict[int, int] = {}  # pid -> worker index
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> Optional[KSPEngine]:
+        return self._engine
+
+    @property
+    def status_dir(self) -> Path:
+        return self._status_dir
+
+    @property
+    def port(self) -> int:
+        if self._socket is None:
+            raise RuntimeError("server is not started")
+        return self._socket.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return "http://%s:%d" % (self.config.host, self.port)
+
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._children)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "PreForkServer":
+        if self._socket is not None:
+            raise RuntimeError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        self._socket = listener
+        if self._engine is None:
+            # Load before forking: every worker shares this build
+            # copy-on-write (and, for snapshots, one OS page cache).
+            self._engine = self._engine_loader()
+        for index in range(self.workers):
+            self._spawn(index)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="ksp-prefork-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        _log.info(
+            "prefork_started",
+            workers=self.workers,
+            port=self.port,
+            pids=self.worker_pids(),
+        )
+        return self
+
+    def _spawn(self, index: int) -> None:
+        pid = os.fork()
+        if pid == 0:
+            self._worker_main(index)  # never returns
+        with self._lock:
+            self._children[pid] = index
+
+    def _worker_main(self, index: int) -> None:
+        """Child entry point; always exits the process, never returns."""
+        exit_code = 0
+        try:
+            stop_event = threading.Event()
+
+            def _terminate(signum, frame):
+                stop_event.set()
+
+            signal.signal(signal.SIGTERM, _terminate)
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+            server = KSPServer(
+                engine=self._engine,
+                config=self.config,
+                worker=WorkerContext(index, self._status_dir),
+            )
+            server.start(listen_socket=self._socket)
+            started = time.monotonic()
+            while not stop_event.is_set():
+                self._publish_status(server, index, started)
+                stop_event.wait(self._heartbeat_seconds)
+            server.drain(self._drain_seconds)
+        except BaseException:  # noqa: B036 - the process boundary
+            exit_code = 1
+            _log.error("worker_crashed", index=index, exc_info=True)
+        finally:
+            os._exit(exit_code)
+
+    def _publish_status(
+        self, server: KSPServer, index: int, started: float
+    ) -> None:
+        status = server.worker_status()
+        status["index"] = index
+        status["uptime_seconds"] = round(time.monotonic() - started, 3)
+        status["heartbeat_seconds"] = self._heartbeat_seconds
+        status["written_at"] = time.time()
+        try:
+            write_worker_status(self._status_dir, index, status)
+        except OSError:  # pragma: no cover - status dir removed under us
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Reap exited workers; respawn them unless shutting down."""
+        while not self._stopping.is_set():
+            for pid in self.worker_pids():
+                try:
+                    reaped, status = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    reaped, status = pid, 0
+                if reaped == 0:
+                    continue
+                with self._lock:
+                    index = self._children.pop(pid, None)
+                if index is None or self._stopping.is_set():
+                    continue
+                _log.warning(
+                    "worker_exited",
+                    pid=pid,
+                    index=index,
+                    wait_status=status,
+                    respawn=self._respawn,
+                )
+                if self._respawn:
+                    self.respawns += 1
+                    self._spawn(index)
+            self._stopping.wait(0.2)
+
+    def stop(self) -> None:
+        """SIGTERM every worker, wait for graceful drain, then clean up."""
+        if self._socket is None:
+            return
+        self._stopping.set()
+        for pid in self.worker_pids():
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGTERM)
+        deadline = time.monotonic() + self._drain_seconds + 10.0
+        while self.worker_pids() and time.monotonic() < deadline:
+            self._reap_exited()
+            time.sleep(0.05)
+        for pid in self.worker_pids():  # stragglers: escalate
+            with contextlib.suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGKILL)
+            with contextlib.suppress(ChildProcessError):
+                os.waitpid(pid, 0)
+            with self._lock:
+                self._children.pop(pid, None)
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+            self._supervisor = None
+        self._socket.close()
+        self._socket = None
+        if self._owns_status_dir:
+            shutil.rmtree(self._status_dir, ignore_errors=True)
+
+    def _reap_exited(self) -> None:
+        for pid in self.worker_pids():
+            try:
+                reaped, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                reaped = pid
+            if reaped:
+                with self._lock:
+                    self._children.pop(pid, None)
+
+    def run_forever(self) -> None:
+        """Block until SIGTERM/SIGINT, then drain and stop (CLI entry)."""
+        interrupted = threading.Event()
+
+        def _interrupt(signum, frame):
+            interrupted.set()
+
+        signal.signal(signal.SIGTERM, _interrupt)
+        signal.signal(signal.SIGINT, _interrupt)
+        if self._socket is None:
+            self.start()
+        try:
+            while not interrupted.is_set():
+                interrupted.wait(1.0)
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "PreForkServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -58,6 +58,7 @@ from __future__ import annotations
 import contextlib
 import json
 import math
+import os
 import threading
 import time
 import uuid
@@ -167,9 +168,14 @@ class KSPServer:
         engine: Optional[KSPEngine] = None,
         config: Optional[ServeConfig] = None,
         engine_loader: Optional[Callable[[], KSPEngine]] = None,
+        worker=None,
     ) -> None:
         if engine is None and engine_loader is None:
             raise ValueError("provide an engine or an engine_loader")
+        # In pre-forked serving (repro.serve.multiproc) each process gets
+        # a WorkerContext(index, status_dir); /v1/debug/engine then also
+        # reports this worker's identity and the whole fleet's heartbeats.
+        self.worker = worker
         self.config = config or ServeConfig()
         self.metrics = ServingMetrics()
         self.admission = AdmissionController(
@@ -207,11 +213,28 @@ class KSPServer:
 
     # ------------------------------------------------------------------
 
-    def start(self) -> "KSPServer":
+    def start(self, listen_socket=None) -> "KSPServer":
+        """Start serving; ``listen_socket`` adopts an already-bound
+        socket instead of binding one (the pre-fork path: every worker
+        process accepts on the same inherited listener)."""
         if self._httpd is not None:
             raise RuntimeError("server already started")
         handler = _make_handler(self)
-        self._httpd = _HTTPServer((self.config.host, self.config.port), handler)
+        if listen_socket is None:
+            self._httpd = _HTTPServer(
+                (self.config.host, self.config.port), handler
+            )
+        else:
+            self._httpd = _HTTPServer(
+                (self.config.host, self.config.port), handler,
+                bind_and_activate=False,
+            )
+            self._httpd.socket.close()  # the auto-created, unbound one
+            self._httpd.socket = listen_socket
+            address = listen_socket.getsockname()
+            self._httpd.server_address = address
+            self._httpd.server_name = address[0]
+            self._httpd.server_port = address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="ksp-serve", daemon=True
         )
@@ -236,6 +259,39 @@ class KSPServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+    def drain(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, wait up to ``timeout``
+        seconds for admitted queries to finish, then close."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        deadline = time.monotonic() + timeout
+        while self.admission.active > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    def worker_status(self) -> Dict[str, Any]:
+        """One JSON-safe heartbeat record for this serving process — what
+        a pre-forked worker publishes and ``/v1/debug/engine`` aggregates."""
+        status: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "ready": self.ready,
+            "admission": {
+                "active": self.admission.active,
+                "queued": self.admission.queued,
+            },
+        }
+        if self.worker is not None:
+            status["index"] = self.worker.index
+        if self._engine is not None:
+            status["manifest_hash"] = self._engine.manifest_hash
+            status["flight_recorder"] = self._engine.flight_recorder.counters()
+        return status
 
     def serve_forever(self) -> None:
         """Block the calling thread until interrupted (CLI entry)."""
@@ -330,6 +386,16 @@ class KSPServer:
                 "queue_depth": self.config.queue_depth,
                 "default_timeout": self.config.default_timeout,
             }
+            if self.worker is not None:
+                from repro.serve.multiproc import read_worker_statuses
+
+                snapshot["worker"] = {
+                    "index": self.worker.index,
+                    "pid": os.getpid(),
+                }
+                snapshot["workers"] = read_worker_statuses(
+                    self.worker.status_dir
+                )
             return 200, snapshot, "application/json"
         return 404, error_body("no such endpoint: %s" % path), "application/json"
 

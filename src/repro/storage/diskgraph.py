@@ -179,6 +179,13 @@ class DiskRDFGraph(GraphTraversalMixin):
     def buffer_stats(self):
         return self._pool.stats
 
+    def read_hint(self, mode: str) -> None:
+        """Advise the store about the upcoming access pattern
+        (``"sequential"`` / ``"random"`` / ``"normal"``); forwarded to
+        the buffer pool's readahead policy.  The traversal mixin hints
+        ``"random"`` before each BFS."""
+        self._pool.read_hint(mode)
+
     def size_bytes(self) -> int:
         return self._pool.file_size
 
@@ -304,6 +311,7 @@ def read_memory_graph(path: Union[str, Path]) -> RDFGraph:
     """Load a disk graph file fully into an in-memory :class:`RDFGraph`."""
     graph = RDFGraph()
     with DiskRDFGraph(path, capacity_pages=1024) as disk:
+        disk.read_hint("sequential")  # a full scan in vertex order
         for vertex in disk.vertices():
             label, document, location = disk._record(vertex)
             graph.add_vertex(label, document=document, location=location)

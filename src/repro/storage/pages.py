@@ -19,12 +19,13 @@ PAGE_SIZE = 8192
 class BufferPoolStats:
     """Counters for buffer pool behaviour."""
 
-    __slots__ = ("hits", "misses", "evictions")
+    __slots__ = ("hits", "misses", "evictions", "prefetches")
 
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.prefetches = 0
 
     @property
     def accesses(self) -> int:
@@ -37,7 +38,7 @@ class BufferPoolStats:
         return self.hits / self.accesses
 
     def reset(self) -> None:
-        self.hits = self.misses = self.evictions = 0
+        self.hits = self.misses = self.evictions = self.prefetches = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<BufferPoolStats hits=%d misses=%d evictions=%d>" % (
@@ -45,6 +46,10 @@ class BufferPoolStats:
             self.misses,
             self.evictions,
         )
+
+
+READ_HINT_MODES = ("normal", "sequential", "random")
+_READAHEAD_PAGES = 8
 
 
 class BufferPool:
@@ -67,6 +72,22 @@ class BufferPool:
         self._pages: "OrderedDict[int, bytes]" = OrderedDict()
         self.stats = BufferPoolStats()
         self.file_size = self._path.stat().st_size
+        self._mode = "normal"
+
+    def read_hint(self, mode: str) -> None:
+        """Advise the pool about the upcoming access pattern — the
+        buffer-pool analogue of ``madvise``.
+
+        ``"sequential"`` enables readahead: a page miss pulls the next
+        few pages in the same read, so a scan pays one seek per batch
+        instead of one per page.  ``"random"`` / ``"normal"`` disable
+        it (BFS touches pages in vertex-id order with no locality).
+        """
+        if mode not in READ_HINT_MODES:
+            raise ValueError(
+                "mode must be one of %r, not %r" % (READ_HINT_MODES, mode)
+            )
+        self._mode = mode
 
     def close(self) -> None:
         self._stream.close()
@@ -86,9 +107,23 @@ class BufferPool:
             return cached
         self.stats.misses += 1
         self._stream.seek(page_number * self.page_size)
-        data = self._stream.read(self.page_size)
+        if self._mode == "sequential":
+            # Readahead must stay well under capacity or a scan would
+            # evict the very pages it just prefetched.
+            ahead = min(_READAHEAD_PAGES, max(1, self._capacity // 4))
+            batch = self._stream.read(self.page_size * ahead)
+            data = batch[: self.page_size]
+            for extra in range(1, ahead):
+                chunk = batch[extra * self.page_size : (extra + 1) * self.page_size]
+                if not chunk:
+                    break
+                if page_number + extra not in self._pages:
+                    self._pages[page_number + extra] = chunk
+                    self.stats.prefetches += 1
+        else:
+            data = self._stream.read(self.page_size)
         self._pages[page_number] = data
-        if len(self._pages) > self._capacity:
+        while len(self._pages) > self._capacity:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
         return data

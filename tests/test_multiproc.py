@@ -1,0 +1,188 @@
+"""The pre-forked multi-process server: N workers on one inherited
+listen socket, each mmap'ing the same snapshot.
+
+Pins the fleet contract: answers through a worker pool are byte-identical
+to the single-process golden pin, ``/v1/debug/engine`` reports the whole
+fleet, a SIGKILL'd worker is respawned while the service keeps answering,
+and ``stop()`` reaps every child.
+"""
+
+import json
+import os
+import signal
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.serve import PreForkServer, ServeConfig
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TIMING_FIELDS = ("runtime_seconds", "semantic_seconds", "other_seconds")
+
+
+def _normalize(document):
+    for field in TIMING_FIELDS:
+        if field in document.get("stats", {}):
+            document["stats"][field] = 0.0
+    return document
+
+
+def request(port, method, path, body=None, headers=None, timeout=30.0):
+    connection = HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        raw = json.dumps(body).encode("utf-8") if body is not None else None
+        base = {"Content-Type": "application/json"} if raw else {}
+        base.update(headers or {})
+        connection.request(method, path, body=raw, headers=base)
+        response = connection.getresponse()
+        payload = response.read().decode("utf-8")
+        if response.headers.get("Content-Type", "").startswith(
+            "application/json"
+        ):
+            payload = json.loads(payload)
+        return response.status, payload
+    finally:
+        connection.close()
+
+
+GOLDEN_BODY = {
+    "location": [Q1.x, Q1.y],
+    "keywords": list(EXAMPLE_KEYWORDS),
+    "k": 2,
+    "method": "sp",
+}
+# The golden file pins request_id "golden-1"; it rides the header.
+GOLDEN_HEADERS = {"X-Request-Id": "golden-1"}
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("multiproc") / "example.snap"
+    engine = KSPEngine(
+        build_example_graph(), EngineConfig(alpha=3, tqsp_cache_size=0)
+    )
+    engine.save_snapshot(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def fleet(snapshot_path):
+    server = PreForkServer(
+        engine_loader=lambda: KSPEngine.from_snapshot(
+            snapshot_path, EngineConfig(alpha=3, tqsp_cache_size=0)
+        ),
+        config=ServeConfig(workers=2, queue_depth=8),
+        workers=2,
+        heartbeat_seconds=0.2,
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestFleetServing:
+    def test_workers_answer_queries(self, fleet):
+        assert len(fleet.worker_pids()) == 2
+        for _ in range(8):
+            status, payload = request(
+                fleet.port, "POST", "/v1/query", GOLDEN_BODY
+            )
+            assert status == 200
+            assert payload["places"]
+
+    def test_golden_pin_byte_identical_through_workers(self, fleet):
+        golden = json.loads((GOLDEN_DIR / "query_example.json").read_text())
+        # Hit both workers: repeat enough that the kernel's accept
+        # balancing lands the query on each at least once with high odds.
+        for _ in range(8):
+            status, payload = request(
+                fleet.port, "POST", "/v1/query", GOLDEN_BODY, GOLDEN_HEADERS
+            )
+            assert status == 200
+            assert _normalize(payload) == golden
+
+    def test_debug_engine_reports_fleet(self, fleet):
+        def both_ready():
+            status, payload = request(fleet.port, "GET", "/v1/debug/engine")
+            if status != 200:
+                return False
+            workers = payload.get("workers", [])
+            return len(workers) == 2 and all(w["healthy"] for w in workers)
+
+        assert _wait_for(both_ready), "fleet never reported 2 healthy workers"
+        status, payload = request(fleet.port, "GET", "/v1/debug/engine")
+        assert status == 200
+        assert payload["worker"]["pid"] in fleet.worker_pids()
+        assert payload["worker"]["index"] in (0, 1)
+        pids = {entry["pid"] for entry in payload["workers"]}
+        assert pids == set(fleet.worker_pids())
+
+    def test_killed_worker_is_respawned_and_service_survives(self, fleet):
+        before = fleet.worker_pids()
+        victim = before[0]
+        os.kill(victim, signal.SIGKILL)
+
+        def respawned():
+            pids = fleet.worker_pids()
+            return len(pids) == 2 and victim not in pids
+
+        assert _wait_for(respawned), "supervisor never replaced the worker"
+        # The service answers throughout and after the respawn.
+        for _ in range(4):
+            status, payload = request(
+                fleet.port, "POST", "/v1/query", GOLDEN_BODY
+            )
+            assert status == 200
+            assert payload["places"]
+        assert fleet.respawns >= 1
+
+
+class TestLifecycle:
+    def test_stop_reaps_all_workers(self, snapshot_path):
+        server = PreForkServer(
+            engine_loader=lambda: KSPEngine.from_snapshot(snapshot_path),
+            config=ServeConfig(workers=2, queue_depth=8),
+            workers=2,
+            heartbeat_seconds=0.2,
+        )
+        server.start()
+        pids = server.worker_pids()
+        assert len(pids) == 2
+        status, _ = request(server.port, "POST", "/v1/query", GOLDEN_BODY)
+        assert status == 200
+        server.stop()
+        for pid in pids:
+            # Every child is gone (ESRCH) — not a zombie held by us.
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+
+    def test_prefork_requires_engine_or_loader(self):
+        with pytest.raises(ValueError):
+            PreForkServer(config=ServeConfig(), workers=2)
+
+    def test_single_worker_fleet_is_valid(self, snapshot_path):
+        with PreForkServer(
+            engine_loader=lambda: KSPEngine.from_snapshot(snapshot_path),
+            config=ServeConfig(workers=2, queue_depth=8),
+            workers=1,
+        ) as server:
+            status, payload = request(
+                server.port, "POST", "/v1/query", GOLDEN_BODY
+            )
+            assert status == 200
+            assert payload["places"]

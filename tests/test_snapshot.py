@@ -1,0 +1,258 @@
+"""The snapshot format: write → mmap-read roundtrip parity, fail-closed
+validation of damaged files, and the zero-copy view layer.
+
+A snapshot engine must be observationally identical to the engine that
+wrote it — same manifest hash, same golden wire bytes, same answers on
+every method — while serving from ``memoryview``s over one mmap.
+"""
+
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.datagen.queries import QueryGenerator, WorkloadConfig
+from repro.storage.snapshot import (
+    _HEADER,
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    SnapshotFile,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TIMING_FIELDS = ("runtime_seconds", "semantic_seconds", "other_seconds")
+
+
+def _normalize(document):
+    for field in TIMING_FIELDS:
+        if field in document.get("stats", {}):
+            document["stats"][field] = 0.0
+    return document
+
+
+def _signature(result):
+    return [(p.root, round(p.score, 9), p.looseness) for p in result]
+
+
+@pytest.fixture(scope="module")
+def example_snapshot(tmp_path_factory):
+    """(path, built engine) for the paper's Figure 1 example graph."""
+    path = tmp_path_factory.mktemp("snap") / "example.snap"
+    engine = KSPEngine(
+        build_example_graph(), EngineConfig(alpha=3, tqsp_cache_size=0)
+    )
+    engine.save_snapshot(path)
+    return path, engine
+
+
+@pytest.fixture(scope="module")
+def yago_snapshot(tmp_path_factory, tiny_yago_engine):
+    path = tmp_path_factory.mktemp("snap") / "yago.snap"
+    tiny_yago_engine.save_snapshot(path)
+    return path, tiny_yago_engine
+
+
+@pytest.fixture(scope="module")
+def yago_snapshot_engine(yago_snapshot):
+    path, _ = yago_snapshot
+    return KSPEngine.from_snapshot(path)
+
+
+class TestRoundtrip:
+    def test_manifest_hash_matches_builder(self, yago_snapshot, yago_snapshot_engine):
+        _, built = yago_snapshot
+        assert yago_snapshot_engine.manifest_hash == built.manifest_hash
+
+    def test_agreement_on_workload(self, yago_snapshot, yago_snapshot_engine):
+        _, built = yago_snapshot
+        generator = QueryGenerator(
+            built.graph,
+            built.inverted_index,
+            WorkloadConfig(keyword_count=3, k=5, seed=17),
+        )
+        for query in generator.workload(4, "O"):
+            for method in ("bsp", "spp", "sp", "ta"):
+                expected = _signature(built.query(query, method=method))
+                actual = _signature(
+                    yago_snapshot_engine.query(query, method=method)
+                )
+                assert actual == expected, (method, query)
+
+    def test_golden_pin_from_snapshot(self, example_snapshot):
+        path, _ = example_snapshot
+        engine = KSPEngine.from_snapshot(
+            path, EngineConfig(alpha=3, tqsp_cache_size=0)
+        )
+        result = engine.query(
+            Q1, EXAMPLE_KEYWORDS, k=2, method="sp", request_id="golden-1"
+        )
+        document = _normalize(result.to_dict())
+        golden = json.loads((GOLDEN_DIR / "query_example.json").read_text())
+        assert document == golden
+
+    def test_graph_view_parity(self, yago_snapshot, yago_snapshot_engine):
+        _, built = yago_snapshot
+        graph = yago_snapshot_engine.graph
+        assert graph.vertex_count == built.graph.vertex_count
+        assert graph.edge_count == built.graph.edge_count
+        assert graph.place_count() == built.graph.place_count()
+        for vertex in range(0, built.graph.vertex_count, 7):
+            assert list(graph.out_neighbors(vertex)) == list(
+                built.graph.out_neighbors(vertex)
+            )
+            assert list(graph.in_neighbors(vertex)) == list(
+                built.graph.in_neighbors(vertex)
+            )
+            assert graph.label(vertex) == built.graph.label(vertex)
+            assert graph.document(vertex) == built.graph.document(vertex)
+            assert graph.location(vertex) == built.graph.location(vertex)
+
+    def test_inverted_index_parity(self, yago_snapshot, yago_snapshot_engine):
+        _, built = yago_snapshot
+        index = yago_snapshot_engine.inverted_index
+        assert index.vocabulary_size() == built.inverted_index.vocabulary_size()
+        assert index.average_posting_length() == pytest.approx(
+            built.inverted_index.average_posting_length()
+        )
+        for term in sorted(built.inverted_index.vocabulary())[::9]:
+            assert term in index
+            assert list(index.posting(term)) == list(
+                built.inverted_index.posting(term)
+            )
+            assert index.document_frequency(
+                term
+            ) == built.inverted_index.document_frequency(term)
+        assert "no-such-term-ever" not in index
+        assert list(index.posting("no-such-term-ever")) == []
+
+    def test_alpha_index_parity(self, yago_snapshot, yago_snapshot_engine):
+        _, built = yago_snapshot
+        alpha = yago_snapshot_engine.alpha_index
+        terms = sorted(built.inverted_index.vocabulary())[::13]
+        for place, _ in built.graph.places():
+            for term in terms:
+                assert alpha.place_neighborhood_distance(
+                    place, term
+                ) == built.alpha_index.place_neighborhood_distance(place, term)
+
+    def test_snapshot_engine_cannot_be_resnapshotted(
+        self, yago_snapshot_engine, tmp_path
+    ):
+        with pytest.raises(SnapshotError):
+            yago_snapshot_engine.save_snapshot(tmp_path / "again.snap")
+
+
+class TestFailClosed:
+    def _bytes(self, example_snapshot):
+        path, _ = example_snapshot
+        return path.read_bytes()
+
+    def test_truncated_file(self, example_snapshot, tmp_path):
+        data = self._bytes(example_snapshot)
+        bad = tmp_path / "truncated.snap"
+        bad.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            SnapshotFile(bad)
+
+    def test_tiny_file(self, tmp_path):
+        bad = tmp_path / "tiny.snap"
+        bad.write_bytes(b"RS")
+        with pytest.raises(SnapshotError, match="truncated"):
+            SnapshotFile(bad)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot open"):
+            SnapshotFile(tmp_path / "nope.snap")
+
+    def test_bad_magic(self, example_snapshot, tmp_path):
+        data = bytearray(self._bytes(example_snapshot))
+        data[0] ^= 0xFF
+        bad = tmp_path / "magic.snap"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="not a repro snapshot"):
+            SnapshotFile(bad)
+
+    def test_wrong_version(self, example_snapshot, tmp_path):
+        data = bytearray(self._bytes(example_snapshot))
+        # The version is the u32 right after the 8-byte magic.
+        struct.pack_into("<I", data, len(MAGIC), FORMAT_VERSION + 1)
+        bad = tmp_path / "version.snap"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="version"):
+            SnapshotFile(bad)
+
+    def test_corrupted_section_table(self, example_snapshot, tmp_path):
+        data = bytearray(self._bytes(example_snapshot))
+        data[_HEADER.size] ^= 0xFF
+        bad = tmp_path / "table.snap"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="section table"):
+            SnapshotFile(bad)
+
+    def test_corrupted_payload_fails_verify(self, example_snapshot, tmp_path):
+        path, _ = example_snapshot
+        with SnapshotFile(path) as pristine:
+            offset, length = pristine._sections["graph.out_targets"]
+        data = bytearray(path.read_bytes())
+        data[offset] ^= 0xFF
+        bad = tmp_path / "payload.snap"
+        bad.write_bytes(bytes(data))
+        # Open-time validation only covers the header and table...
+        snapshot = SnapshotFile(bad)
+        try:
+            with pytest.raises(SnapshotError, match="content hash"):
+                snapshot.verify()
+        finally:
+            snapshot.close()
+        # ...and verify=True fails closed before serving anything.
+        with pytest.raises(SnapshotError, match="content hash"):
+            SnapshotFile(bad, verify=True)
+
+    def test_unknown_section_raises(self, example_snapshot):
+        path, _ = example_snapshot
+        with SnapshotFile(path) as snapshot:
+            with pytest.raises(SnapshotError, match="no section"):
+                snapshot.section("no.such.section")
+
+
+class TestZeroCopy:
+    def test_sections_are_memoryviews_over_one_map(self, example_snapshot):
+        path, _ = example_snapshot
+        snapshot = SnapshotFile(path)
+        view = snapshot.section("graph.out_targets")
+        assert isinstance(view, memoryview)
+        assert snapshot.stats.maps == 1
+        assert snapshot.stats.bytes_mapped == snapshot.size_bytes
+        assert snapshot.stats.section_reads >= 1
+        # A live view pins the mapping: close() must fail, not corrupt.
+        with pytest.raises(BufferError):
+            snapshot.close()
+        view.release()
+        snapshot.close()
+
+    def test_metrics_exported(self, yago_snapshot_engine):
+        text = yago_snapshot_engine.metrics_text()
+        assert "ksp_snapshot_maps_total" in text
+        assert "ksp_snapshot_bytes_mapped" in text
+        assert "ksp_snapshot_section_reads_total" in text
+
+    def test_read_hint(self, yago_snapshot_engine):
+        yago_snapshot_engine.graph.read_hint("random")
+        yago_snapshot_engine.graph.read_hint("sequential")
+        yago_snapshot_engine.graph.read_hint("normal")
+        with pytest.raises(ValueError):
+            yago_snapshot_engine.graph.read_hint("backwards")
+
+    def test_verify_passes_on_pristine_file(self, example_snapshot):
+        path, _ = example_snapshot
+        with SnapshotFile(path) as snapshot:
+            snapshot.verify()
+            assert "manifest" in snapshot.names()
+            assert snapshot.manifest["snapshot"]["page_size"] == 4096
+            assert snapshot.manifest["engine"]["alpha"] == 3

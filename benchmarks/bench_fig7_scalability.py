@@ -206,12 +206,22 @@ def _process_scaling():
             "%.2fx" % point["speedup"],
         )
     cpus = _usable_cpus()
+    degenerate = cpus < 2
     table.add_note(
         "all workers mmap one snapshot (%d vertices); method=sp, "
         "%d client threads, %d usable cpu(s)"
         % (ds.graph.vertex_count, CLIENT_THREADS, cpus)
     )
-    if cpus < max(WORKER_COUNTS):
+    if degenerate:
+        # On a single usable core there is no parallelism to measure:
+        # the curve is flat (or worse, fork overhead shows as slowdown)
+        # no matter what the server does.  Brand the section so the
+        # archived numbers cannot be mistaken for a real speedup curve.
+        table.mark_degenerate(
+            "only %d usable core(s); the process-scaling curve measures "
+            "the cpu quota, not the server" % cpus
+        )
+    elif cpus < max(WORKER_COUNTS):
         table.add_note(
             "core-limited host: process scaling is capped at %dx by the "
             "cpu quota, not by the server" % cpus
@@ -222,6 +232,8 @@ def _process_scaling():
         "method": "sp",
         "client_threads": CLIENT_THREADS,
         "usable_cpus": cpus,
+        "usable_cores": cpus,
+        "degenerate": degenerate,
         "points": points,
     }
     return table, payload

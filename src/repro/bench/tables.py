@@ -43,6 +43,7 @@ class Table:
         self.columns = list(columns)
         self.rows: List[List[str]] = []
         self.notes: List[str] = []
+        self.degenerate: Union[str, None] = None
 
     def add_row(self, *cells: Cell) -> None:
         if len(cells) != len(self.columns):
@@ -53,6 +54,14 @@ class Table:
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def mark_degenerate(self, reason: str) -> None:
+        """Flag the whole section as measured under conditions that make
+        the numbers untrustworthy (e.g. a speedup curve on a 1-core
+        host).  Rendered as a banner above the data, not a footnote —
+        readers skimming archived results must not mistake a degenerate
+        series for a real one."""
+        self.degenerate = reason
 
     def render(self) -> str:
         widths = [len(column) for column in self.columns]
@@ -65,7 +74,10 @@ class Table:
                 cell.ljust(width) for cell, width in zip(cells, widths)
             ).rstrip()
 
-        parts = [self.title, "=" * len(self.title), line(self.columns)]
+        parts = [self.title, "=" * len(self.title)]
+        if self.degenerate is not None:
+            parts.append("!! DEGENERATE DATA: %s !!" % self.degenerate)
+        parts.append(line(self.columns))
         parts.append(line(["-" * width for width in widths]))
         parts.extend(line(row) for row in self.rows)
         for note in self.notes:

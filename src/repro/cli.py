@@ -127,6 +127,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from an index snapshot built with 'repro snapshot "
         "build' (mmap'd zero-copy; O(1) warm start) instead of --data",
     )
+    serve.add_argument(
+        "--shard-dir",
+        default=None,
+        help="serve a sharded corpus built with 'repro shard build': "
+        "queries scatter-gather over the shard snapshots instead of "
+        "--data/--snapshot",
+    )
+    serve.add_argument(
+        "--shard-urls",
+        default=None,
+        help="comma-separated base URLs of per-shard fleets (aligned "
+        "with the shard manifest order); shard execution then goes "
+        "over HTTP while routing bounds stay local",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--alpha", type=int, default=3, help="alpha radius for SP")
@@ -197,6 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="also recompute and check the full content hash",
+    )
+
+    shard = commands.add_parser(
+        "shard",
+        help="partition a corpus into per-shard snapshots "
+        "(see repro.shard)",
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+    shard_build = shard_commands.add_parser(
+        "build",
+        help="STR-partition the places and freeze one snapshot per shard "
+        "plus a manifest; serve the result with 'repro serve --shard-dir'",
+    )
+    shard_build.add_argument(
+        "--data", required=True, help="RDF file (.nt or .ttl) to load"
+    )
+    shard_build.add_argument(
+        "--output-dir", required=True, help="directory for snapshots + manifest"
+    )
+    shard_build.add_argument(
+        "--shards", type=int, default=4, help="number of spatial shards"
+    )
+    shard_build.add_argument(
+        "--alpha", type=int, default=3, help="alpha radius for SP"
+    )
+    shard_build.add_argument(
+        "--undirected", action="store_true", help="disregard edge directions"
     )
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
@@ -342,8 +383,15 @@ def _cmd_stats(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serve import KSPServer, PreForkServer, ServeConfig
 
-    if (args.data is None) == (args.snapshot is None):
-        print("serve needs exactly one of --data or --snapshot", file=sys.stderr)
+    sources = [args.data, args.snapshot, args.shard_dir]
+    if sum(source is not None for source in sources) != 1:
+        print(
+            "serve needs exactly one of --data, --snapshot or --shard-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shard_urls is not None and args.shard_dir is None:
+        print("--shard-urls requires --shard-dir", file=sys.stderr)
         return 2
     config = ServeConfig(
         host=args.host,
@@ -359,6 +407,15 @@ def _cmd_serve(args) -> int:
     )
 
     def load_engine():
+        if args.shard_dir is not None:
+            from repro.shard import ShardRouter
+
+            urls = (
+                [url.strip() for url in args.shard_urls.split(",") if url.strip()]
+                if args.shard_urls is not None
+                else None
+            )
+            return ShardRouter(args.shard_dir, engine_config, shard_urls=urls)
         if args.snapshot is not None:
             return KSPEngine.from_snapshot(args.snapshot, engine_config)
         return KSPEngine.from_file(args.data, engine_config)
@@ -442,6 +499,48 @@ def _cmd_snapshot(args) -> int:
     raise AssertionError("unreachable")
 
 
+def _cmd_shard(args) -> int:
+    if args.shard_command == "build":
+        from repro.rdf.documents import graph_from_triples
+        from repro.shard import build_shards
+
+        name = str(args.data).lower()
+        if name.endswith(".gz"):
+            name = name[: -len(".gz")]
+        if name.rsplit(".", 1)[-1] in ("ttl", "turtle"):
+            from repro.rdf.turtle import parse_turtle_file
+
+            triples = parse_turtle_file(args.data)
+        else:
+            triples = ntriples.parse_file(args.data)
+        graph = graph_from_triples(triples)
+        manifest = build_shards(
+            graph,
+            args.output_dir,
+            args.shards,
+            config=EngineConfig(alpha=args.alpha, undirected=args.undirected),
+        )
+        total_bytes = sum(entry["bytes"] for entry in manifest["entries"])
+        print(
+            "wrote %d shard snapshot(s) (%d places over %d vertices, "
+            "%d bytes total) to %s"
+            % (
+                manifest["shards"],
+                manifest["source"]["places"],
+                manifest["source"]["vertices"],
+                total_bytes,
+                args.output_dir,
+            )
+        )
+        for entry in manifest["entries"]:
+            print(
+                "  %-18s places=%d region=%s"
+                % (entry["snapshot"], entry["places"], entry["region"])
+            )
+        return 0
+    raise AssertionError("unreachable")
+
+
 def _cmd_generate(args) -> int:
     profile = PROFILES[args.profile]
     if args.vertices:
@@ -488,6 +587,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "lint":

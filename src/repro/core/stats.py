@@ -38,6 +38,12 @@ class QueryStats:
     fallback_searches: int = 0  # TQSP constructions on the generator path
     timed_out: bool = False
     error: Optional[str] = None  # worker exception captured by the batch layer
+    # Per-shard scatter-gather records (repro.shard.router): bound,
+    # pruned/timed_out flags, contribution counts.  None for single-engine
+    # queries, and omitted from the wire then — the single-engine wire
+    # document (golden-pinned) is byte-identical with or without sharding
+    # support compiled in.
+    shards: Optional[List[Dict[str, object]]] = None
 
     @property
     def other_seconds(self) -> float:
@@ -68,8 +74,8 @@ class QueryStats:
         field_names = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in field_names})
 
-    def as_dict(self) -> Dict[str, float]:
-        return {
+    def as_dict(self) -> Dict[str, object]:
+        document: Dict[str, object] = {
             "algorithm": self.algorithm,
             "runtime_seconds": self.runtime_seconds,
             "semantic_seconds": self.semantic_seconds,
@@ -92,6 +98,9 @@ class QueryStats:
             "timed_out": self.timed_out,
             "error": self.error,
         }
+        if self.shards is not None:
+            document["shards"] = self.shards
+        return document
 
 
 @dataclass

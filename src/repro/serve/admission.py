@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Set
 
 from repro.core.deadline import Deadline
 from repro.core.stats import QueryTimeout
@@ -64,6 +64,12 @@ class AdmissionController:
         self._queued = 0
         self._next_ticket = 0  # next ticket to hand out
         self._serving = 0  # lowest ticket allowed to claim a slot
+        # Tickets whose waiters gave up (deadline) while NOT at the head
+        # of the queue.  Whoever later advances ``_serving`` skips these
+        # holes; without this, one mid-queue timeout orphans its ticket
+        # and every later arrival waits forever on a ticket nobody holds
+        # (a /v1/batch overflow storm wedged the FIFO exactly this way).
+        self._abandoned: Set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -97,6 +103,9 @@ class AdmissionController:
             if self._active < self.max_concurrency and self._queued == 0:
                 self._active += 1
                 self._serving = self._next_ticket
+                # No waiters are queued, so any remembered holes are
+                # behind ``_serving`` now and can never match again.
+                self._abandoned.clear()
                 return 0.0
             if self._queued >= self.max_queue_depth:
                 raise QueueFull(self.retry_after_hint(None))
@@ -119,8 +128,16 @@ class AdmissionController:
                 self._queued -= 1
                 if self._serving == ticket:
                     self._serving = ticket + 1
-                # A waiter that gave up (timeout) must pass the torch, or
-                # the queue wedges behind its ticket.
+                    # Skip the holes left by mid-queue timeouts: those
+                    # tickets have no waiter left to pass the torch.
+                    while self._serving in self._abandoned:
+                        self._abandoned.discard(self._serving)
+                        self._serving += 1
+                else:
+                    # Gave up (timeout) before reaching the head: mark
+                    # the ticket abandoned so advancement skips it, or
+                    # the queue wedges behind a ticket nobody holds.
+                    self._abandoned.add(ticket)
                 self._condition.notify_all()
             self._active += 1
             return time.monotonic() - started

@@ -87,9 +87,22 @@ def read_worker_statuses(status_dir: Union[str, Path]) -> List[Dict[str, Any]]:
         except (OSError, ValueError):
             continue
         written_at = record.get("written_at")
+        monotonic_at = record.get("monotonic_at")
         heartbeat = record.get("heartbeat_seconds") or 2.0
-        if isinstance(written_at, (int, float)):
+        age: Optional[float]
+        if isinstance(monotonic_at, (int, float)):
+            # Staleness must come from CLOCK_MONOTONIC: it is shared by
+            # every process on the host and never steps, so a backward
+            # NTP correction cannot mark a healthy fleet stale (and a
+            # forward one cannot hide a wedged worker).  ``written_at``
+            # stays in the record as the human-readable wall timestamp.
+            age = max(0.0, time.monotonic() - monotonic_at)
+        elif isinstance(written_at, (int, float)):
+            # Legacy record (pre-monotonic writer): wall-clock fallback.
             age = max(0.0, time.time() - written_at)
+        else:
+            age = None
+        if age is not None:
             record["age_seconds"] = round(age, 3)
             record["healthy"] = bool(
                 record.get("ready") and age < _STALE_HEARTBEATS * heartbeat
@@ -255,7 +268,11 @@ class PreForkServer:
         status["index"] = index
         status["uptime_seconds"] = round(time.monotonic() - started, 3)
         status["heartbeat_seconds"] = self._heartbeat_seconds
-        status["written_at"] = time.time()
+        status["written_at"] = time.time()  # wall clock, for humans only
+        # The freshness counter readers actually compare against:
+        # CLOCK_MONOTONIC is host-wide, so the reader's monotonic()
+        # minus this stamp is a true age immune to NTP steps.
+        status["monotonic_at"] = time.monotonic()
         try:
             write_worker_status(self._status_dir, index, status)
         except OSError:  # pragma: no cover - status dir removed under us

@@ -1,0 +1,24 @@
+"""Spatial sharding: partition places into per-shard snapshots and
+answer kSP queries by threshold-pruned scatter-gather (see
+:mod:`repro.shard.router` for the soundness argument).
+"""
+
+from repro.shard.build import (
+    MANIFEST_NAME,
+    PlaceMaskedGraph,
+    build_shards,
+    load_manifest,
+)
+from repro.shard.partition import str_partition, tile_region
+from repro.shard.router import ShardRouter, ShardUnavailable
+
+__all__ = [
+    "MANIFEST_NAME",
+    "PlaceMaskedGraph",
+    "ShardRouter",
+    "ShardUnavailable",
+    "build_shards",
+    "load_manifest",
+    "str_partition",
+    "tile_region",
+]

@@ -1,0 +1,211 @@
+"""Admission FIFO drain: a waiter that abandons a mid-queue ticket
+(deadline expiry during a /v1/batch overflow storm) must not wedge the
+queue behind a ticket nobody holds.
+
+The first class reproduces the orphaned-ticket bug deterministically at
+the controller level; the second hammers ``/v1/batch`` past capacity
+over real sockets and asserts the queue drains back to empty and keeps
+serving."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.deadline import Deadline
+from repro.core.stats import QueryTimeout
+from repro.serve.admission import AdmissionController
+from repro.serve.server import KSPServer, ServeConfig
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestOrphanedTicket:
+    def test_mid_queue_timeout_does_not_wedge_the_fifo(self):
+        """A (active), B (head of queue), C (mid-queue, times out),
+        D (queued behind C's hole).  While the queue stays non-empty the
+        fast path never resets the serving ticket, so before the fix the
+        torch stops at C's orphaned ticket and D waits forever on a free
+        slot."""
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=4)
+        controller.acquire()  # A occupies the only slot
+
+        b_admitted = threading.Event()
+
+        def _b():
+            controller.acquire()  # blocks; head of the queue
+            b_admitted.set()
+
+        b_thread = threading.Thread(target=_b, daemon=True)
+        b_thread.start()
+        assert _wait_until(lambda: controller.queued == 1)
+
+        # C queues behind B with a short deadline and gives up mid-queue.
+        with pytest.raises(QueryTimeout):
+            controller.acquire(Deadline.after(0.05))
+        assert controller.queued == 1  # only B remains
+
+        # D arrives while B is still queued, landing behind C's hole.
+        d_outcome = []
+
+        def _d():
+            try:
+                waited = controller.acquire(Deadline.after(5.0))
+            except QueryTimeout:
+                d_outcome.append("wedged")
+            else:
+                controller.release()
+                d_outcome.append(waited)
+
+        d_thread = threading.Thread(target=_d, daemon=True)
+        d_thread.start()
+        assert _wait_until(lambda: controller.queued == 2)
+
+        controller.release()  # A leaves; B's ticket is now serving
+        assert b_admitted.wait(timeout=5.0)
+        controller.release()  # B leaves; the torch must skip C's ticket
+
+        # The regression: before the fix D times out here despite a free
+        # slot, because the serving ticket points at C's orphan.
+        d_thread.join(timeout=10.0)
+        assert d_outcome and d_outcome[0] != "wedged", d_outcome
+        assert d_outcome[0] < 2.0  # admitted promptly, not at deadline
+        assert controller.active == 0
+        assert controller.queued == 0
+
+    def test_many_interleaved_timeouts_drain_clean(self):
+        """A storm of expiring waiters in arbitrary ticket positions
+        leaves the controller serving, with no residue."""
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=8)
+        controller.acquire()  # hold the slot for the whole storm
+        outcomes = []
+        lock = threading.Lock()
+
+        def _waiter(budget):
+            try:
+                controller.acquire(Deadline.after(budget))
+            except QueryTimeout:
+                with lock:
+                    outcomes.append("timeout")
+            else:
+                controller.release()
+                with lock:
+                    outcomes.append("admitted")
+
+        threads = [
+            threading.Thread(target=_waiter, args=(0.02 + 0.01 * i,), daemon=True)
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert outcomes.count("timeout") == 8  # slot never freed for them
+        controller.release()
+        assert controller.active == 0
+        assert controller.queued == 0
+        # And the controller still admits instantly.
+        assert controller.acquire(Deadline.after(1.0)) < 0.5
+        controller.release()
+
+
+# ---------------------------------------------------------------------------
+# /v1/batch hammering over live sockets
+
+
+class _SlowEngine:
+    """Delegates to a real engine with a fixed per-query delay, so a
+    small fleet saturates and admission actually queues."""
+
+    def __init__(self, engine, delay):
+        self._engine = engine
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def query(self, *args, **kwargs):
+        time.sleep(self._delay)
+        return self._engine.query(*args, **kwargs)
+
+
+def _post(url, path, body, timeout=30.0):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestBatchOverflowDrain:
+    def test_batch_hammer_past_capacity_drains_to_empty(self, example_engine):
+        engine = _SlowEngine(example_engine, delay=0.15)
+        config = ServeConfig(workers=1, queue_depth=2, default_timeout=5.0)
+        server = KSPServer(engine=engine, config=config).start()
+        try:
+            body = {
+                "queries": [
+                    {"location": [2.0, 2.0], "keywords": ["ancient", "history"], "k": 2},
+                    {"location": [2.0, 2.0], "keywords": ["roman"], "k": 2},
+                ],
+                "timeout": 0.25,  # expires while queued or mid-batch
+            }
+            statuses = []
+            lock = threading.Lock()
+
+            def _hammer():
+                status, _ = _post(server.url, "/v1/batch", body)
+                with lock:
+                    statuses.append(status)
+
+            threads = [
+                threading.Thread(target=_hammer, daemon=True) for _ in range(10)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+
+            assert len(statuses) == 10
+            assert set(statuses) <= {200, 429, 504}
+            assert 429 in statuses or 504 in statuses  # we truly overflowed
+
+            # The queue must drain to empty — no orphaned tickets.
+            admission = server.admission
+            assert _wait_until(
+                lambda: admission.active == 0 and admission.queued == 0
+            ), (admission.active, admission.queued)
+
+            # And the server still answers: a fresh request is admitted
+            # immediately instead of 504ing behind a wedged FIFO.
+            status, payload = _post(
+                server.url,
+                "/v1/query",
+                {
+                    "location": [2.0, 2.0],
+                    "keywords": ["ancient", "history"],
+                    "k": 2,
+                    "timeout": 5.0,
+                },
+            )
+            assert status == 200, payload
+            assert payload["timed_out"] is False
+        finally:
+            server.stop()

@@ -49,6 +49,20 @@ class TestTable:
         with pytest.raises(ValueError):
             table.add_row(1)
 
+    def test_degenerate_banner_renders_above_data(self):
+        table = Table("Demo", ["workers", "speedup"])
+        table.add_row(4, 1.0)
+        table.mark_degenerate("only 1 usable core(s)")
+        lines = table.render().splitlines()
+        assert lines[2] == "!! DEGENERATE DATA: only 1 usable core(s) !!"
+        assert lines[3].startswith("workers")  # banner precedes the columns
+
+    def test_not_degenerate_by_default(self):
+        table = Table("Demo", ["a"])
+        table.add_row(1)
+        assert table.degenerate is None
+        assert "DEGENERATE" not in table.render()
+
     def test_record_writes_file(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
         table = Table("T", ["x"])

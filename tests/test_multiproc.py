@@ -186,3 +186,103 @@ class TestLifecycle:
             )
             assert status == 200
             assert payload["places"]
+
+
+class TestHeartbeatStaleness:
+    """Staleness is judged by CLOCK_MONOTONIC, never by wall clock.
+
+    A backward NTP step used to mark a healthy fleet stale (wall-clock
+    ``written_at`` drifted into the future relative to the reader) and a
+    forward step could hide a genuinely wedged worker.  The writer now
+    publishes ``monotonic_at`` alongside the human-readable wall stamp
+    and the reader trusts only the monotonic field."""
+
+    @staticmethod
+    def _write(tmp_path, index, record):
+        from repro.serve.multiproc import write_worker_status
+
+        write_worker_status(tmp_path, index, record)
+
+    @staticmethod
+    def _read(tmp_path):
+        from repro.serve.multiproc import read_worker_statuses
+
+        return read_worker_statuses(tmp_path)
+
+    def test_fresh_monotonic_beats_skewed_wall_clock(self, tmp_path):
+        # Wall clock jumped an hour forward since the heartbeat was
+        # written; the monotonic stamp says it is fresh.  Healthy.
+        self._write(
+            tmp_path,
+            0,
+            {
+                "ready": True,
+                "heartbeat_seconds": 0.2,
+                "written_at": time.time() - 3600.0,
+                "monotonic_at": time.monotonic(),
+            },
+        )
+        (record,) = self._read(tmp_path)
+        assert record["healthy"] is True
+        assert record["age_seconds"] < 0.5
+
+    def test_stale_monotonic_beats_fresh_wall_clock(self, tmp_path):
+        # The worker wedged long ago; a forward wall-clock step (or a
+        # writer stamping wall time right before hanging) must not hide
+        # it.  The monotonic stamp is authoritative: unhealthy.
+        self._write(
+            tmp_path,
+            0,
+            {
+                "ready": True,
+                "heartbeat_seconds": 0.2,
+                "written_at": time.time(),
+                "monotonic_at": time.monotonic() - 3600.0,
+            },
+        )
+        (record,) = self._read(tmp_path)
+        assert record["healthy"] is False
+        assert record["age_seconds"] >= 3600.0
+
+    def test_legacy_record_falls_back_to_wall_clock(self, tmp_path):
+        # Records written before the monotonic field existed still get
+        # a (best-effort) wall-clock staleness judgement.
+        self._write(
+            tmp_path,
+            0,
+            {
+                "ready": True,
+                "heartbeat_seconds": 0.2,
+                "written_at": time.time(),
+            },
+        )
+        (record,) = self._read(tmp_path)
+        assert record["healthy"] is True
+
+        self._write(
+            tmp_path,
+            1,
+            {
+                "ready": True,
+                "heartbeat_seconds": 0.2,
+                "written_at": time.time() - 3600.0,
+            },
+        )
+        records = self._read(tmp_path)
+        assert records[1]["healthy"] is False
+
+    def test_record_without_any_timestamp_is_unhealthy(self, tmp_path):
+        self._write(tmp_path, 0, {"ready": True, "heartbeat_seconds": 0.2})
+        (record,) = self._read(tmp_path)
+        assert record["healthy"] is False
+        assert record["age_seconds"] is None
+
+    def test_live_fleet_publishes_monotonic_heartbeats(self, fleet):
+        status, payload = request(fleet.port, "GET", "/v1/debug/engine")
+        assert status == 200
+        workers = payload["workers"]
+        assert workers
+        for worker in workers:
+            assert isinstance(worker.get("monotonic_at"), float)
+            assert isinstance(worker.get("written_at"), float)
+            assert worker["healthy"] is True

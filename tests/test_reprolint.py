@@ -278,10 +278,40 @@ RL004_GOOD = """
         return time.monotonic()
 """
 
+# The cross-process-status pattern: judging another process's heartbeat
+# freshness by wall clock.  An NTP step makes a healthy fleet look stale
+# (or a wedged worker look fresh); CLOCK_MONOTONIC is shared by every
+# process on the host, so the monotonic twin is the only sound form.
+RL004_BAD_CROSS_PROCESS_STATUS = """
+    import time
+
+    STALE_AFTER = 3.0
+
+    def is_stale(record):
+        age = time.time() - record["written_at"]
+        return age >= STALE_AFTER
+"""
+
+RL004_GOOD_CROSS_PROCESS_STATUS = """
+    import time
+
+    STALE_AFTER = 3.0
+
+    def is_stale(record):
+        age = time.monotonic() - record["monotonic_at"]
+        return age >= STALE_AFTER
+"""
+
 
 class TestWallClock:
     @pytest.mark.parametrize(
-        "source", [RL004_BAD_TIME, RL004_BAD_IMPORT, RL004_BAD_RANDOM]
+        "source",
+        [
+            RL004_BAD_TIME,
+            RL004_BAD_IMPORT,
+            RL004_BAD_RANDOM,
+            RL004_BAD_CROSS_PROCESS_STATUS,
+        ],
     )
     def test_wall_clock_and_random_fire(self, tmp_path, source):
         result = run_lint(tmp_path, {"bad.py": source})
@@ -289,6 +319,12 @@ class TestWallClock:
 
     def test_monotonic_is_clean(self, tmp_path):
         result = run_lint(tmp_path, {"good.py": RL004_GOOD})
+        assert result.findings == []
+
+    def test_cross_process_monotonic_staleness_is_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path, {"good.py": RL004_GOOD_CROSS_PROCESS_STATUS}
+        )
         assert result.findings == []
 
 

@@ -1,9 +1,13 @@
 """Command-line interface for the kSP engine.
 
-Six subcommands::
+Subcommands::
 
     python -m repro query    --data kb.nt --location 43.51,4.75 \
                              --keywords ancient roman -k 5 --method sp
+    python -m repro sparql   --data kb.nt \
+                             --query 'SELECT ?p ?s WHERE { ksp(?p, ?s, \
+                             "ancient roman", POINT(43.51 4.75)) . } \
+                             ORDER BY ?s LIMIT 5'
     python -m repro serve    --data kb.nt --port 8080
     python -m repro serve    --snapshot kb.snap --workers 4
     python -m repro snapshot build --data kb.nt --output kb.snap
@@ -14,6 +18,9 @@ Six subcommands::
 ``query`` loads an N-Triples knowledge base, builds the engine and answers
 one kSP query, printing the ranked places, their TQSP trees and the
 execution statistics (``--json`` emits the wire schema instead).
+``sparql`` answers one SPARQL query over the same backends ``serve``
+accepts (``--data``, ``--snapshot`` or ``--shard-dir``), with the
+paper's query embeddable as a ``ksp()`` clause (see :mod:`repro.sparql`).
 ``serve`` runs the HTTP/JSON query service (see :mod:`repro.serve`);
 ``--workers N`` with N > 1 pre-forks N serving processes (best fed from
 ``--snapshot``, so they share one mmap'd index file).  ``snapshot``
@@ -109,6 +116,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the per-phase breakdown as Chrome trace_event JSON "
         "to PATH (loadable in Perfetto); implies --trace",
+    )
+
+    sparql = commands.add_parser(
+        "sparql",
+        help="answer one SPARQL query (with the kSP query embeddable "
+        "as a ksp() clause; see repro.sparql)",
+    )
+    sparql.add_argument(
+        "--data", default=None, help="RDF file (.nt or .ttl) to load"
+    )
+    sparql.add_argument(
+        "--snapshot", default=None,
+        help="answer from an index snapshot instead of --data",
+    )
+    sparql.add_argument(
+        "--shard-dir", default=None,
+        help="answer by scatter-gather over a sharded corpus built "
+        "with 'repro shard build'",
+    )
+    sparql.add_argument(
+        "--query", default=None, help="the SPARQL query text"
+    )
+    sparql.add_argument(
+        "--query-file", default=None,
+        help="read the SPARQL query from a file ('-' for stdin)",
+    )
+    sparql.add_argument("--alpha", type=int, default=3, help="alpha radius for SP")
+    sparql.add_argument(
+        "--undirected", action="store_true", help="disregard edge directions"
+    )
+    sparql.add_argument("--timeout", type=float, default=None, help="seconds")
+    sparql.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="disable the ORDER BY/LIMIT top-k pushdown (materialize "
+        "the full ksp() ranking, then sort — the equivalence oracle)",
+    )
+    sparql.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as wire-schema JSON (SparqlResult.to_dict) "
+        "instead of the human-readable table",
     )
 
     stats = commands.add_parser("stats", help="dataset and index reports")
@@ -366,6 +415,85 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_sparql(args) -> int:
+    from repro.sparql import (
+        SparqlOptions,
+        SparqlPlanError,
+        SparqlSyntaxError,
+        execute_sparql,
+    )
+    from repro.sparql.eval import SparqlEvaluationError
+
+    sources = [args.data, args.snapshot, args.shard_dir]
+    if sum(source is not None for source in sources) != 1:
+        print(
+            "sparql needs exactly one of --data, --snapshot or --shard-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.query is None) == (args.query_file is None):
+        print(
+            "sparql needs exactly one of --query or --query-file",
+            file=sys.stderr,
+        )
+        return 2
+    if args.query is not None:
+        text = args.query
+    elif args.query_file == "-":
+        text = sys.stdin.read()
+    else:
+        from pathlib import Path
+
+        text = Path(args.query_file).read_text(encoding="utf-8")
+
+    engine_config = EngineConfig(alpha=args.alpha, undirected=args.undirected)
+    if args.shard_dir is not None:
+        from repro.shard import ShardRouter
+
+        backend = ShardRouter(args.shard_dir, engine_config)
+    elif args.snapshot is not None:
+        backend = KSPEngine.from_snapshot(args.snapshot, engine_config)
+    else:
+        backend = KSPEngine.from_file(args.data, engine_config)
+
+    options = SparqlOptions(timeout=args.timeout, pushdown=not args.no_pushdown)
+    try:
+        result = execute_sparql(backend, text, options)
+    except (SparqlSyntaxError, SparqlPlanError, SparqlEvaluationError) as exc:
+        print("sparql: %s" % exc, file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if not result.bindings:
+        print("no solutions")
+    else:
+        print("  ".join("?%s" % name for name in result.variables))
+        for row in result.bindings:
+            print(
+                "  ".join(
+                    row[name]["value"] if name in row else ""
+                    for name in result.variables
+                )
+            )
+    stats = result.stats
+    print(
+        "[%s%s] %.1f ms, %d round(s), %d place(s) examined, %d rejected, "
+        "%d solution(s)%s"
+        % (
+            stats.backend,
+            " pushdown" if stats.pushdown else "",
+            1000 * stats.runtime_seconds,
+            stats.rounds,
+            stats.places_examined,
+            stats.places_rejected,
+            stats.solutions,
+            " [TIMED OUT]" if stats.timed_out else "",
+        )
+    )
+    return 0
+
+
 def _cmd_stats(args) -> int:
     engine = KSPEngine.from_file(args.data, EngineConfig(alpha=args.alpha))
     print("dataset:")
@@ -444,7 +572,7 @@ def _cmd_serve(args) -> int:
 
 
 def _print_endpoints() -> None:
-    print("  POST /v1/query   POST /v1/batch")
+    print("  POST /v1/query   POST /v1/batch   POST /v1/sparql")
     print("  GET  /v1/metrics GET  /v1/healthz  GET  /v1/ready")
     print(
         "  GET  /v1/debug/queries  GET  /v1/debug/inflight  "
@@ -581,6 +709,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "sparql":
+        return _cmd_sparql(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "serve":

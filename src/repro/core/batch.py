@@ -32,7 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.config import QueryOptions, fold_legacy_kwargs
+from repro.core.config import QueryOptions
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.stats import AggregateStats, QueryStats, QueryTimeout
 from repro.obs.log import get_logger
@@ -166,16 +166,13 @@ def run_batch(
     workers: int = 4,
     slow_query_threshold: Optional[float] = None,
     request_ids: Optional[Sequence[Optional[str]]] = None,
-    **legacy,
 ) -> BatchReport:
     """Execute ``queries`` against ``engine`` and aggregate the stats.
 
     ``options`` (a :class:`~repro.core.config.QueryOptions`) carries
-    method/ranking/timeout for every query in the batch; the historic
-    ``method=``/``ranking=``/``timeout=`` kwargs keep working with a
-    :class:`DeprecationWarning`.  ``request_ids``, aligned with
-    ``queries``, tags each result (``KSPResult.request_id``) and its
-    slow-query-log entry.
+    method/ranking/timeout for every query in the batch.
+    ``request_ids``, aligned with ``queries``, tags each result
+    (``KSPResult.request_id``) and its slow-query-log entry.
 
     ``workers`` > 1 fans the batch over a thread pool; every worker gets
     its own BFS scratch buffers (via the runtime's thread-local storage)
@@ -191,9 +188,7 @@ def run_batch(
     the threshold (and every timed-out/errored query) in
     ``BatchReport.slow_queries``, slowest first.
     """
-    options = fold_legacy_kwargs(
-        "run_batch", options or QueryOptions(), legacy, "options=QueryOptions(...)"
-    )
+    options = options or QueryOptions()
     queries = list(queries)
     if workers < 1:
         raise ValueError("workers must be positive")

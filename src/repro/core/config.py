@@ -13,18 +13,16 @@ across ``KSPEngine.__init__``, the ``from_*`` constructors, ``load``,
   options object flows unchanged through ``query``, ``query_batch``,
   ``cursor`` and the HTTP serving layer.
 
-The pre-redesign keyword spellings keep working for one release: every
-entry point funnels stray kwargs through :func:`fold_legacy_kwargs`,
-which emits a :class:`DeprecationWarning` naming the replacement and
-folds the values into the config object.
+The pre-redesign keyword spellings (and the ``fold_legacy_kwargs``
+shim that kept them alive for one deprecation cycle) are gone: stray
+kwargs now raise :class:`TypeError` like any other bad argument.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
-from typing import Mapping, Optional, Union
+from typing import Optional, Union
 
 from repro.core.deadline import Deadline
 from repro.core.ranking import DEFAULT_RANKING, RankingFunction
@@ -126,36 +124,3 @@ class QueryOptions:
     def replace(self, **changes) -> "QueryOptions":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""
         return dataclasses.replace(self, **changes)
-
-
-def fold_legacy_kwargs(
-    kind: str,
-    config,
-    legacy: Mapping[str, object],
-    replacement: str,
-    stacklevel: int = 3,
-):
-    """Fold pre-redesign keyword arguments into a config dataclass.
-
-    ``legacy`` maps old kwarg names to values (only the ones the caller
-    actually passed).  Unknown names raise :class:`TypeError` exactly
-    like a normal bad kwarg; known ones emit one
-    :class:`DeprecationWarning` naming ``replacement`` and override the
-    corresponding ``config`` fields.
-    """
-    if not legacy:
-        return config
-    valid = {field.name for field in dataclasses.fields(config)}
-    unknown = sorted(set(legacy) - valid)
-    if unknown:
-        raise TypeError(
-            "%s got unexpected keyword argument(s): %s" % (kind, ", ".join(unknown))
-        )
-    warnings.warn(
-        "passing %s as keyword argument(s) to %s is deprecated; "
-        "pass %s instead"
-        % (", ".join(sorted(legacy)), kind, replacement),
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-    return dataclasses.replace(config, **legacy)

@@ -14,12 +14,11 @@ from __future__ import annotations
 import hashlib
 import json as _json
 import time
-import warnings
 from typing import Any, Dict, Iterable, Optional, Sequence, Union
 
 from repro.alpha.index import AlphaIndex
 from repro.core.bsp import bsp_search
-from repro.core.config import EngineConfig, QueryOptions, fold_legacy_kwargs
+from repro.core.config import EngineConfig, QueryOptions
 from repro.core.metrics import MetricsRegistry, process_uptime_seconds
 from repro.core.query import KSPQuery, KSPResult
 from repro.obs.recorder import FlightRecorder
@@ -62,20 +61,17 @@ class KSPEngine:
         to build, fast-path and cache settings, default ranking and
         batch worker count).
 
-    The pre-1.1 keyword arguments (``alpha=``, ``undirected=``,
-    ``tqsp_cache_size=``, ...) keep working for one release; they emit
-    a :class:`DeprecationWarning` and are folded into ``config``.
+    The pre-1.1 keyword arguments (``alpha=``, ``undirected=``, ...)
+    and the ``run()`` alias are gone; pass ``config=EngineConfig(...)``
+    and ``options=QueryOptions(...)``.
     """
 
     def __init__(
         self,
         graph: RDFGraph,
         config: Optional[EngineConfig] = None,
-        **legacy,
     ) -> None:
-        config = fold_legacy_kwargs(
-            "KSPEngine", config or EngineConfig(), legacy, "config=EngineConfig(...)"
-        )
+        config = config or EngineConfig()
         self.graph = graph
         self.config = config
         self.alpha = config.alpha
@@ -280,30 +276,29 @@ class KSPEngine:
         cls,
         triples: Iterable[Triple],
         config: Optional[EngineConfig] = None,
-        **legacy,
     ) -> "KSPEngine":
         """Build an engine from RDF triples (document extraction included)."""
-        return cls(graph_from_triples(triples), config=config, **legacy)
+        return cls(graph_from_triples(triples), config=config)
 
     @classmethod
     def from_ntriples_file(
-        cls, path, config: Optional[EngineConfig] = None, **legacy
+        cls, path, config: Optional[EngineConfig] = None
     ) -> "KSPEngine":
         """Build an engine from an N-Triples file on disk."""
-        return cls.from_triples(parse_file(path), config=config, **legacy)
+        return cls.from_triples(parse_file(path), config=config)
 
     @classmethod
     def from_turtle_file(
-        cls, path, config: Optional[EngineConfig] = None, **legacy
+        cls, path, config: Optional[EngineConfig] = None
     ) -> "KSPEngine":
         """Build an engine from a Turtle file on disk."""
         from repro.rdf.turtle import parse_turtle_file
 
-        return cls.from_triples(parse_turtle_file(path), config=config, **legacy)
+        return cls.from_triples(parse_turtle_file(path), config=config)
 
     @classmethod
     def from_file(
-        cls, path, config: Optional[EngineConfig] = None, **legacy
+        cls, path, config: Optional[EngineConfig] = None
     ) -> "KSPEngine":
         """Build an engine from an RDF file, format chosen by extension
         (``.ttl``/``.turtle`` -> Turtle, anything else -> N-Triples).
@@ -317,8 +312,8 @@ class KSPEngine:
             name = name[: -len(".gz")]
         suffix = name.rsplit(".", 1)[-1]
         if suffix in ("ttl", "turtle"):
-            return cls.from_turtle_file(path, config=config, **legacy)
-        return cls.from_ntriples_file(path, config=config, **legacy)
+            return cls.from_turtle_file(path, config=config)
+        return cls.from_ntriples_file(path, config=config)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -376,7 +371,6 @@ class KSPEngine:
         directory,
         graph_backend: str = "memory",
         config: Optional[EngineConfig] = None,
-        **legacy,
     ) -> "KSPEngine":
         """Reload an engine saved with :meth:`save`.
 
@@ -400,10 +394,7 @@ class KSPEngine:
         from repro.storage.diskgraph import DiskRDFGraph, read_memory_graph
         from repro.storage.serialize import load_alpha_index, load_reachability
 
-        config = fold_legacy_kwargs(
-            "KSPEngine.load", config or EngineConfig(), legacy,
-            "config=EngineConfig(...)",
-        )
+        config = config or EngineConfig()
         directory = Path(directory)
         manifest = json.loads(
             (directory / "manifest.json").read_text(encoding="utf-8")
@@ -518,7 +509,6 @@ class KSPEngine:
         path,
         config: Optional[EngineConfig] = None,
         verify: bool = False,
-        **legacy,
     ) -> "KSPEngine":
         """Open an engine over a snapshot written by :meth:`save_snapshot`.
 
@@ -542,10 +532,7 @@ class KSPEngine:
             load_snapshot_rtree,
         )
 
-        config = fold_legacy_kwargs(
-            "KSPEngine.from_snapshot", config or EngineConfig(), legacy,
-            "config=EngineConfig(...)",
-        )
+        config = config or EngineConfig()
         started = time.monotonic()
         snapshot = SnapshotFile(path, verify=verify)
         manifest = snapshot.manifest["engine"]
@@ -669,32 +656,6 @@ class KSPEngine:
             query = KSPQuery.create(location, keywords, k=opts.k)
         return self._execute(query, opts)
 
-    def run(
-        self,
-        query: KSPQuery,
-        method: str = "sp",
-        ranking: Optional[RankingFunction] = None,
-        timeout: Optional[float] = None,
-        trace: bool = False,
-    ) -> KSPResult:
-        """Deprecated alias of :meth:`query` for pre-built queries."""
-        warnings.warn(
-            "KSPEngine.run() is deprecated; use KSPEngine.query(query, "
-            "options=QueryOptions(...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._execute(
-            query,
-            QueryOptions(
-                k=query.k,
-                method=method,
-                ranking=ranking,
-                timeout=timeout,
-                trace=trace,
-            ),
-        )
-
     def _execute(self, query: KSPQuery, options: QueryOptions) -> KSPResult:
         """Dispatch one normalized query under resolved options."""
         method = (options.method or "sp").lower()
@@ -789,7 +750,6 @@ class KSPEngine:
         options: Optional[QueryOptions] = None,
         slow_query_threshold: Optional[float] = None,
         request_ids: Optional[Sequence[Optional[str]]] = None,
-        **legacy,
     ):
         """Answer a workload of queries and aggregate their statistics.
 
@@ -812,10 +772,7 @@ class KSPEngine:
         """
         from repro.core.batch import run_batch
 
-        options = fold_legacy_kwargs(
-            "KSPEngine.query_batch", options or QueryOptions(), legacy,
-            "options=QueryOptions(...)",
-        )
+        options = options or QueryOptions()
         return run_batch(
             self,
             queries,
@@ -830,7 +787,6 @@ class KSPEngine:
         location: Union[Point, Sequence[float]],
         keywords: Iterable[str],
         options: Optional[QueryOptions] = None,
-        **legacy,
     ):
         """An incremental result stream: semantic places in ascending
         ranking score, without fixing ``k`` (see
@@ -844,10 +800,7 @@ class KSPEngine:
         """
         from repro.core.cursor import ksp_cursor
 
-        options = fold_legacy_kwargs(
-            "KSPEngine.cursor", options or QueryOptions(), legacy,
-            "options=QueryOptions(...)",
-        )
+        options = options or QueryOptions()
         if self.reachability is None or self.alpha_index is None:
             raise RuntimeError(
                 "the cursor needs the reachability and alpha indexes"

@@ -37,7 +37,9 @@ _LAT_PREDICATES = frozenset({"lat", "latitude"})
 _LONG_PREDICATES = frozenset({"long", "lon", "longitude"})
 
 _POINT_LITERAL = re.compile(
-    r"(?:POINT\s*\(\s*)?(-?\d+(?:\.\d+)?)[\s,]+(-?\d+(?:\.\d+)?)\s*\)?", re.IGNORECASE
+    r"(?:POINT\s*\(\s*)?([-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)"
+    r"[\s,]+([-+]?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)\s*\)?",
+    re.IGNORECASE,
 )
 
 

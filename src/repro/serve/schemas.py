@@ -25,9 +25,36 @@ Batch request::
 
 where per-slot fields override the batch-level defaults.
 
-Malformed input raises :class:`SchemaError` with a client-safe message;
-the server answers ``400`` with ``{"error": ...}`` and never lets a
-parse failure near the engine.
+SPARQL request (``POST /v1/sparql``)::
+
+    {
+      "query": "SELECT ?p WHERE { ksp(?p, ...) . } ...",  # required
+      "timeout": 2.0,                     # optional seconds (server may cap)
+      "trace": true,                      # optional: underlying kSP trace
+      "pushdown": false                   # optional: force the
+                                          #   materialize-then-sort path
+    }
+
+and the response is :meth:`~repro.sparql.plan.SparqlResult.to_dict`,
+pinned by :data:`SPARQL_RESULT_FIELDS` exactly as :data:`RESULT_FIELDS`
+pins ``/v1/query``.
+
+Unified request contract — all three endpoints (``/v1/query``,
+``/v1/batch``, ``/v1/sparql``) share one envelope:
+
+* ``timeout`` (seconds) is capped by the server's ``--max-timeout`` and
+  becomes one :class:`~repro.core.deadline.Deadline` resolved at admission;
+  expiry returns **504 with a partial body** (``timed_out`` set), never
+  an empty error.
+* The server mints ``request_id``/``trace_id`` per request (honouring
+  ``X-Request-Id``) and echoes both in the response body; flight-recorder
+  records and latency exemplars are keyed by them on every endpoint.
+* Admission control applies identically; a full queue is ``429`` with
+  ``{"error": ..., "request_id": ...}``.
+* Malformed input raises :class:`SchemaError` with a client-safe
+  message; the server answers ``400`` with ``{"error": ...}`` and never
+  lets a parse failure near the engine.  A SPARQL syntax error
+  additionally carries ``line``/``column``/``position``.
 """
 
 from __future__ import annotations
@@ -43,6 +70,11 @@ from repro.core.ranking import (
     WeightedSumRanking,
 )
 from repro.spatial.geometry import Point
+from repro.sparql.plan import (
+    SPARQL_RESULT_DERIVED_FIELDS as _SPARQL_RESULT_DERIVED_FIELDS,
+    SPARQL_RESULT_FIELDS as _SPARQL_RESULT_FIELDS,
+    SparqlOptions,
+)
 
 METHODS = ("bsp", "spp", "sp", "ta")
 
@@ -66,6 +98,18 @@ RESULT_FIELDS = (
 #: rebuilds from ``places``/``stats`` — written on the wire, not read
 #: back by ``KSPResult.from_dict``.
 RESULT_DERIVED_FIELDS = ("scores", "looseness", "timed_out")
+
+#: The ``/v1/sparql`` response schema — the SPARQL analogue of
+#: :data:`RESULT_FIELDS`, re-exported from :mod:`repro.sparql.plan` and
+#: golden-pinned by ``tests/golden/sparql_example.json``.  ``bindings``
+#: rows use W3C SPARQL 1.1 JSON results term documents
+#: (``{"type", "value", ["datatype"], ["xml:lang"]}``).
+SPARQL_RESULT_FIELDS = _SPARQL_RESULT_FIELDS
+
+#: Fields of :data:`SPARQL_RESULT_FIELDS` derived from ``stats`` on the
+#: way out — written on the wire, not read back by
+#: ``SparqlResult.from_dict``.
+SPARQL_RESULT_DERIVED_FIELDS = _SPARQL_RESULT_DERIVED_FIELDS
 
 
 class SchemaError(ValueError):
@@ -196,6 +240,48 @@ def build_options(
         ranking=fields.get("ranking"),
         timeout=deadline,
         trace=bool(fields.get("trace", False)),
+        request_id=request_id,
+        trace_id=trace_id,
+    )
+
+
+def parse_sparql_request(payload: Any) -> Tuple[str, Dict[str, Any]]:
+    """A ``/v1/sparql`` body -> ``(query text, option fields)``.
+
+    Shares the ``timeout``/``trace`` envelope of :func:`_parse_common`;
+    the query text itself is *not* parsed here — syntax errors are the
+    SPARQL front end's job and carry positions the schema layer cannot
+    produce.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError("request body must be a JSON object")
+    text = _require(payload, "query")
+    if not isinstance(text, str) or not text.strip():
+        raise SchemaError("query must be a non-empty SPARQL string")
+    fields = _parse_common(payload)
+    fields.pop("method", None)  # not meaningful for SPARQL
+    fields.pop("ranking", None)
+    if "pushdown" in payload and payload["pushdown"] is not None:
+        if not isinstance(payload["pushdown"], bool):
+            raise SchemaError("pushdown must be a boolean")
+        fields["pushdown"] = payload["pushdown"]
+    return text, fields
+
+
+def build_sparql_options(
+    fields: Dict[str, Any],
+    deadline: Optional[Deadline],
+    request_id: Optional[str],
+    trace_id: Optional[str] = None,
+    k_cap: int = 1000,
+) -> SparqlOptions:
+    """Merge parsed fields with the server-owned deadline and ids —
+    the :func:`build_options` counterpart for ``/v1/sparql``."""
+    return SparqlOptions(
+        k_cap=k_cap,
+        timeout=deadline,
+        trace=bool(fields.get("trace", False)),
+        pushdown=bool(fields.get("pushdown", True)),
         request_id=request_id,
         trace_id=trace_id,
     )

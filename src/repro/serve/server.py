@@ -11,6 +11,14 @@ framework, matching the repository's no-dependency rule.  Endpoints:
 ``POST /v1/batch``
     ``{"queries": [...]}`` with batch-level defaults; slots answer in
     order under one shared deadline and one admission slot.
+``POST /v1/sparql``
+    ``{"query": "SELECT ... ksp(...) ..."}`` — the SPARQL front end
+    (:mod:`repro.sparql`), with the paper's query embeddable as a
+    ``ksp()`` clause and ``ORDER BY ?score LIMIT n`` pushed down into
+    the engine's top-k machinery.  The response is
+    :meth:`~repro.sparql.plan.SparqlResult.to_dict`; admission,
+    deadlines, request ids, the flight recorder and metrics apply
+    exactly as on ``/v1/query``.
 ``GET /v1/metrics``
     Prometheus text exposition: the server's ``ksp_http_*`` families
     concatenated with the engine's ``ksp_query_*`` families.
@@ -79,9 +87,19 @@ from repro.serve.admission import AdmissionController, QueueFull
 from repro.serve.schemas import (
     SchemaError,
     build_options,
+    build_sparql_options,
     error_body,
     parse_batch_request,
     parse_query_request,
+    parse_sparql_request,
+)
+from repro.sparql.eval import SparqlEvaluationError
+from repro.sparql.parser import SparqlSyntaxError, parse_query as parse_sparql
+from repro.sparql.plan import (
+    SparqlExecutor,
+    SparqlPlanError,
+    SparqlResult,
+    SparqlStats,
 )
 
 _log = get_logger("repro.serve")
@@ -96,6 +114,7 @@ class ServeConfig:
     workers: int = 4  # queries admitted into the engine concurrently
     queue_depth: int = 16  # bounded waiters beyond the active set
     default_timeout: Optional[float] = None  # per-request budget fallback
+    sparql_k_cap: int = 1000  # largest k a ksp() clause may request
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -104,6 +123,8 @@ class ServeConfig:
             raise ValueError("queue_depth cannot be negative")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
+        if self.sparql_k_cap < 1:
+            raise ValueError("sparql_k_cap must be positive")
 
     def replace(self, **changes) -> "ServeConfig":
         return replace(self, **changes)
@@ -183,6 +204,8 @@ class KSPServer:
         )
         self._engine = engine
         self._engine_loader = engine_loader
+        self._sparql: Optional[SparqlExecutor] = None
+        self._sparql_lock = threading.Lock()
         self._load_error: Optional[str] = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -643,6 +666,136 @@ class KSPServer:
         }
         return status, body, {}
 
+    def _sparql_executor(self) -> SparqlExecutor:
+        """The per-server SPARQL executor (one triple view, built lazily
+        once the engine is up; engines are immutable after load)."""
+        with self._sparql_lock:
+            if self._sparql is None:
+                self._sparql = SparqlExecutor(self._engine)
+            return self._sparql
+
+    def handle_sparql(
+        self,
+        payload: Any,
+        request_id: str,
+        force_trace: bool,
+        trace_id: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """``POST /v1/sparql`` -> (status, body, extra headers)."""
+        started = time.monotonic()
+        if not self.ready:
+            return 503, error_body("engine is still loading", request_id), {}
+        try:
+            text, fields = parse_sparql_request(payload)
+        except SchemaError as exc:
+            return 400, error_body(str(exc), request_id), {}
+        try:
+            parsed = parse_sparql(text)
+        except SparqlSyntaxError as exc:
+            body = error_body(str(exc), request_id)
+            body["position"] = exc.position
+            body["line"] = exc.line
+            body["column"] = exc.column
+            return 400, body, {}
+        if force_trace:
+            fields["trace"] = True
+        timeout = fields.get("timeout", self.config.default_timeout)
+        deadline = Deadline.after(timeout)
+
+        clause = parsed.ksp
+        recorder = self._engine.flight_recorder
+        handle = recorder.begin(
+            request_id=request_id,
+            endpoint="/v1/sparql",
+            method="sparql",
+            keywords=tuple(clause.keywords.split()) if clause else (),
+            k=(clause.k or 0) if clause else 0,
+            phase="admission-queue",
+        )
+        admission_wait: Optional[float] = None
+        try:
+            with self.admission.admit(deadline) as queue_wait:
+                admission_wait = queue_wait
+                self.metrics.queue_wait.observe(queue_wait)
+                handle.set_phase("executing")
+                self.metrics.inflight.inc()
+                try:
+                    result = self._sparql_executor().execute(
+                        text,
+                        build_sparql_options(
+                            fields,
+                            deadline,
+                            request_id,
+                            trace_id,
+                            k_cap=self.config.sparql_k_cap,
+                        ),
+                    )
+                finally:
+                    self.metrics.inflight.inc(-1)
+        except (SparqlPlanError, SparqlEvaluationError) as exc:
+            return 400, error_body(str(exc), request_id), {}
+        except QueueFull:
+            self.metrics.rejections.inc()
+            retry_after = max(
+                1, int(math.ceil(self.admission.retry_after_hint(timeout)))
+            )
+            self._record_refusal(
+                request_id, trace_id, "/v1/sparql", "rejected", 429, started
+            )
+            _log.warning(
+                "request_rejected",
+                request_id=request_id,
+                endpoint="/v1/sparql",
+                retry_after_seconds=retry_after,
+            )
+            body = error_body("server overloaded; retry later", request_id)
+            body["retry_after_seconds"] = retry_after
+            return 429, body, {"Retry-After": str(retry_after)}
+        except QueryTimeout:
+            # Expired while still queued: 504, same wire schema, no rows.
+            self.metrics.timeouts.inc()
+            self._record_refusal(
+                request_id,
+                trace_id,
+                "/v1/sparql",
+                "timeout",
+                504,
+                started,
+                admission_wait=admission_wait,
+            )
+            _log.warning(
+                "request_timed_out_in_queue",
+                request_id=request_id,
+                endpoint="/v1/sparql",
+                timeout_seconds=timeout,
+            )
+            timed_out = SparqlResult(
+                query=text,
+                variables=[v.name for v in parsed.projected()],
+                bindings=[],
+                stats=SparqlStats(timed_out=True),
+                request_id=request_id,
+                trace_id=trace_id,
+            )
+            return 504, timed_out.to_dict(), {}
+        finally:
+            recorder.end(handle)
+            self.metrics.latency.observe(
+                time.monotonic() - started, exemplar={"request_id": request_id}
+            )
+
+        status = 200
+        if result.stats.timed_out:
+            self.metrics.timeouts.inc()
+            status = 504
+        recorder.annotate(
+            request_id,
+            endpoint="/v1/sparql",
+            admission_wait_seconds=admission_wait,
+            status=status,
+        )
+        return status, result.to_dict(), {}
+
     def _record_refusal(
         self,
         request_id: str,
@@ -746,6 +899,8 @@ def _make_handler(app: KSPServer):
                 endpoint = app.handle_query
             elif path == "/v1/batch":
                 endpoint = app.handle_batch
+            elif path == "/v1/sparql":
+                endpoint = app.handle_sparql
             else:
                 self._send(
                     404,

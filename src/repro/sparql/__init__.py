@@ -1,24 +1,51 @@
-"""A small SPARQL engine over raw triples — the "traditional" structured
-access path the paper contrasts kSP against (Section 1).
+"""A small SPARQL engine over spatial RDF — structured access plus kSP.
 
-Supports SELECT with basic graph patterns, FILTER expressions (including a
-GeoSPARQL-flavoured ``DISTANCE`` built-in), DISTINCT, ORDER BY, LIMIT and
-OFFSET, over an in-memory triple store with SPO/POS/OSP hash indexes and a
-selectivity-ordered backtracking join.
+Supports SELECT with basic graph patterns, FILTER expressions (including
+GeoSPARQL-flavoured ``DISTANCE`` / ``WITHIN_BOX`` built-ins), DISTINCT,
+ORDER BY, LIMIT and OFFSET, over an in-memory triple store with
+SPO/POS/OSP hash indexes and a selectivity-ordered backtracking join.
+
+Beyond the "traditional" path the paper contrasts kSP against
+(Section 1), queries may embed the paper's query itself as a
+``ksp(?place, ?score, "keywords", POINT(x y) [, k])`` clause; the
+planner in :mod:`repro.sparql.plan` pushes ``ORDER BY ?score LIMIT n``
+down into the engine's threshold-aware top-k machinery instead of
+materializing the ranking, and :mod:`repro.sparql.view` exposes any
+serving backend (engine, snapshot, shard router) as one canonical
+derived triple view so answers are byte-identical across tiers.
 """
 
-from repro.sparql.ast import SelectQuery, TriplePattern, Variable
+from repro.sparql.ast import KSPClause, SelectQuery, TriplePattern, Variable
 from repro.sparql.eval import QueryEngine, SparqlEvaluationError
 from repro.sparql.parser import SparqlSyntaxError, parse_query
-from repro.sparql.store import TripleStore
+from repro.sparql.plan import (
+    SparqlExecutor,
+    SparqlOptions,
+    SparqlPlanError,
+    SparqlResult,
+    SparqlStats,
+    execute_sparql,
+)
+from repro.sparql.store import TripleSource, TripleStore
+from repro.sparql.view import GraphTripleStore, backend_triple_view
 
 __all__ = [
     "TripleStore",
+    "TripleSource",
+    "GraphTripleStore",
     "QueryEngine",
     "parse_query",
     "SelectQuery",
     "TriplePattern",
+    "KSPClause",
     "Variable",
     "SparqlSyntaxError",
     "SparqlEvaluationError",
+    "SparqlExecutor",
+    "SparqlOptions",
+    "SparqlPlanError",
+    "SparqlResult",
+    "SparqlStats",
+    "execute_sparql",
+    "backend_triple_view",
 ]

@@ -96,14 +96,30 @@ class Arithmetic:
 
 @dataclass(frozen=True)
 class FunctionCall:
-    """Built-in call: STR, CONTAINS, BOUND, DISTANCE."""
+    """Built-in call: STR, CONTAINS, BOUND, DISTANCE, WITHIN_BOX."""
 
     name: str  # upper-cased
     arguments: Tuple["Expression", ...]
 
 
+@dataclass(frozen=True)
+class PointExpr:
+    """A WKT-style inline point: ``POINT(x y)`` — evaluates to a
+    :class:`~repro.spatial.geometry.Point`."""
+
+    x: float
+    y: float
+
+
 Expression = Union[
-    TermExpr, NumberExpr, Comparison, BooleanOp, Negation, Arithmetic, FunctionCall
+    TermExpr,
+    NumberExpr,
+    Comparison,
+    BooleanOp,
+    Negation,
+    Arithmetic,
+    FunctionCall,
+    PointExpr,
 ]
 
 
@@ -146,6 +162,33 @@ class OptionalBlock:
     group: BasicGroup
 
 
+@dataclass(frozen=True)
+class KSPClause:
+    """The paper's kSP query embedded as one group-level clause::
+
+        ksp(?place, ?score, "ancient roman", POINT(4.66 43.71), 5)
+
+    Binds ``place`` to each semantic place's IRI and (optionally)
+    ``score`` to its ranking score, in ascending score order.  ``k``
+    bounds the result set like the paper's k; when omitted the clause
+    conceptually ranks *every* reachable place and relies on
+    ``ORDER BY ?score LIMIT n`` (the pushdown planner stops the stream
+    after ``n`` surviving rows instead of materializing the ranking).
+    """
+
+    place: Variable
+    score: Optional[Variable]
+    keywords: str
+    x: float
+    y: float
+    k: Optional[int] = None
+
+    def variables(self) -> Tuple[Variable, ...]:
+        if self.score is None:
+            return (self.place,)
+        return (self.place, self.score)
+
+
 @dataclass
 class SelectQuery:
     """A parsed SELECT query."""
@@ -155,6 +198,7 @@ class SelectQuery:
     filters: List[Expression] = field(default_factory=list)
     unions: List[UnionBlock] = field(default_factory=list)
     optionals: List[OptionalBlock] = field(default_factory=list)
+    ksp: Optional[KSPClause] = None
     distinct: bool = False
     order_by: List[OrderCondition] = field(default_factory=list)
     limit: Optional[int] = None
@@ -165,6 +209,8 @@ class SelectQuery:
         if self.variables:
             return self.variables
         seen: List[Variable] = []
+        if self.ksp is not None:
+            seen.extend(self.ksp.variables())
         for pattern in self.patterns:
             for variable in pattern.variables():
                 if variable not in seen:

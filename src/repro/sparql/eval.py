@@ -11,11 +11,14 @@ Built-in functions:
 * ``STR(x)`` — the lexical form of a term;
 * ``CONTAINS(haystack, needle)`` — case-insensitive substring test;
 * ``BOUND(?v)`` — whether the variable is bound;
-* ``DISTANCE(?s, x, y)`` — Euclidean distance between the query point and
-  the subject's point geometry (its ``hasGeometry``-style literal),
-  the GeoSPARQL-flavoured spatial predicate the paper's Related Work
-  discusses.  Unlocated subjects make the filter error-fail (SPARQL
-  semantics: an error eliminates the solution).
+* ``DISTANCE(?s, x, y)`` / ``DISTANCE(?s, POINT(x y))`` — Euclidean
+  distance between the query point and the subject's point geometry (its
+  ``hasGeometry``-style literal), the GeoSPARQL-flavoured spatial
+  predicate the paper's Related Work discusses.  Unlocated subjects make
+  the filter error-fail (SPARQL semantics: an error eliminates the
+  solution);
+* ``WITHIN_BOX(?s, x1, y1, x2, y2)`` — whether the subject's geometry
+  lies inside the inclusive axis-aligned box spanned by the two corners.
 """
 
 from __future__ import annotations
@@ -32,13 +35,14 @@ from repro.sparql.ast import (
     FunctionCall,
     Negation,
     NumberExpr,
+    PointExpr,
     SelectQuery,
     TermExpr,
     TriplePattern,
     Variable,
 )
 from repro.sparql.parser import parse_query
-from repro.sparql.store import TripleStore
+from repro.sparql.store import TripleSource
 from repro.spatial.geometry import Point
 
 Term = Union[IRI, BlankNode, Literal]
@@ -66,7 +70,7 @@ class SparqlEvaluationError(ValueError):
 class QueryEngine:
     """Evaluates parsed SELECT queries against one store."""
 
-    def __init__(self, store: TripleStore) -> None:
+    def __init__(self, store: TripleSource) -> None:
         self._store = store
         self._location_cache: Dict[Term, Optional[Point]] = {}
 
@@ -79,14 +83,28 @@ class QueryEngine:
         if isinstance(query, str):
             query = parse_query(query)
         solutions = list(self._solutions(query))
-        if query.order_by:
-            for condition in reversed(query.order_by):
-                solutions.sort(
-                    key=lambda binding: _order_key(
-                        self._try_evaluate(condition.expression, binding)
-                    ),
-                    reverse=condition.descending,
-                )
+        self.sort_solutions(solutions, query.order_by)
+        rows = self.project(query, solutions)
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    def sort_solutions(self, solutions: List[Bindings], order_by) -> None:
+        """Stable in-place ORDER BY (later conditions sorted first)."""
+        for condition in reversed(order_by):
+            solutions.sort(
+                key=lambda binding: _order_key(
+                    self._try_evaluate(condition.expression, binding)
+                ),
+                reverse=condition.descending,
+            )
+
+    def project(
+        self, query: SelectQuery, solutions: Sequence[Bindings]
+    ) -> List[Bindings]:
+        """Projection + DISTINCT over ordered solutions (no offset/limit)."""
         projected = query.projected()
         rows: List[Bindings] = []
         seen = set()
@@ -97,16 +115,23 @@ class QueryEngine:
                 if variable in binding
             }
             if query.distinct:
-                key = tuple(sorted((v.name, str(t)) for v, t in row.items()))
+                key = distinct_key(row)
                 if key in seen:
                     continue
                 seen.add(key)
             rows.append(row)
-        if query.offset:
-            rows = rows[query.offset :]
-        if query.limit is not None:
-            rows = rows[: query.limit]
         return rows
+
+    def join(
+        self,
+        patterns: Sequence[TriplePattern],
+        filters: Sequence[Expression],
+        bindings: Bindings,
+    ) -> Iterator[Bindings]:
+        """Solutions of a BGP + filters extending ``bindings`` — the
+        residual-predicate hook the kSP pushdown planner evaluates each
+        candidate place against."""
+        return self._join(patterns, filters, bindings)
 
     # ------------------------------------------------------------------
     # BGP evaluation
@@ -276,6 +301,8 @@ class QueryEngine:
     def _evaluate(self, expression: Expression, bindings: Bindings):
         if isinstance(expression, NumberExpr):
             return expression.value
+        if isinstance(expression, PointExpr):
+            return Point(expression.x, expression.y)
         if isinstance(expression, TermExpr):
             term = expression.term
             if isinstance(term, Variable):
@@ -363,24 +390,51 @@ class QueryEngine:
                     "invalid regular expression %r" % pattern
                 ) from None
         if call.name == "DISTANCE":
+            if len(call.arguments) == 2:
+                location = self._subject_location(call.arguments[0], bindings)
+                target = self._evaluate(call.arguments[1], bindings)
+                if not isinstance(target, Point):
+                    raise SparqlEvaluationError(
+                        "DISTANCE(?s, point) needs a POINT(x y) argument"
+                    )
+                return location.distance_to(target)
             if len(call.arguments) != 3:
-                raise SparqlEvaluationError("DISTANCE(?s, x, y) takes 3 arguments")
-            argument = call.arguments[0]
-            if not (
-                isinstance(argument, TermExpr)
-                and isinstance(argument.term, Variable)
-            ):
-                raise SparqlEvaluationError("DISTANCE needs a variable subject")
-            variable = argument.term
-            if variable not in bindings:
-                raise SparqlEvaluationError("unbound variable %s" % variable)
-            location = self._location_of(bindings[variable])
-            if location is None:
-                raise SparqlEvaluationError("subject has no geometry")
+                raise SparqlEvaluationError(
+                    "DISTANCE takes (?s, x, y) or (?s, POINT(x y))"
+                )
+            location = self._subject_location(call.arguments[0], bindings)
             x = _numeric(self._evaluate(call.arguments[1], bindings))
             y = _numeric(self._evaluate(call.arguments[2], bindings))
             return location.distance_to(Point(x, y))
+        if call.name == "WITHIN_BOX":
+            if len(call.arguments) != 5:
+                raise SparqlEvaluationError(
+                    "WITHIN_BOX(?s, x1, y1, x2, y2) takes 5 arguments"
+                )
+            location = self._subject_location(call.arguments[0], bindings)
+            x1 = _numeric(self._evaluate(call.arguments[1], bindings))
+            y1 = _numeric(self._evaluate(call.arguments[2], bindings))
+            x2 = _numeric(self._evaluate(call.arguments[3], bindings))
+            y2 = _numeric(self._evaluate(call.arguments[4], bindings))
+            return (
+                min(x1, x2) <= location.x <= max(x1, x2)
+                and min(y1, y2) <= location.y <= max(y1, y2)
+            )
         raise SparqlEvaluationError("unknown function %s" % call.name)
+
+    def _subject_location(self, argument: Expression, bindings: Bindings) -> Point:
+        """The bound subject variable's point geometry, or an eval error."""
+        if not (
+            isinstance(argument, TermExpr) and isinstance(argument.term, Variable)
+        ):
+            raise SparqlEvaluationError("spatial builtins need a variable subject")
+        variable = argument.term
+        if variable not in bindings:
+            raise SparqlEvaluationError("unbound variable %s" % variable)
+        location = self._location_of(bindings[variable])
+        if location is None:
+            raise SparqlEvaluationError("subject has no geometry")
+        return location
 
     def _location_of(self, term: Term) -> Optional[Point]:
         if term in self._location_cache:
@@ -399,6 +453,11 @@ class QueryEngine:
 # --------------------------------------------------------------------------
 # Value helpers
 # --------------------------------------------------------------------------
+
+
+def distinct_key(row: Bindings):
+    """The DISTINCT identity of one projected row."""
+    return tuple(sorted((v.name, str(t)) for v, t in row.items()))
 
 
 def _resolve(term, bindings: Bindings):

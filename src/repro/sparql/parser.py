@@ -3,21 +3,24 @@
 Grammar (informal)::
 
     query      := (PREFIX pname: <iri>)* SELECT [DISTINCT] (?var+ | *)
-                  WHERE { (triple . | FILTER(expr))* }
+                  WHERE { (triple . | FILTER(expr) | ksp_clause .)* }
                   [ORDER BY cond+] [LIMIT n] [OFFSET n]
     triple     := term term term       (term: IRI, pname:local, ?var,
                                         "literal"[@lang|^^iri], number, a)
     expr       := full boolean/relational/arithmetic expressions with
-                  built-ins STR, CONTAINS, BOUND, DISTANCE
+                  built-ins STR, CONTAINS, BOUND, DISTANCE, WITHIN_BOX
+                  and inline POINT(x y) literals
+    ksp_clause := ksp( ?place [, ?score] , "kw1 kw2" , POINT(x y) [, k] )
 
 ``a`` abbreviates ``rdf:type`` as in full SPARQL.  Errors carry the
-offending position.
+offending character offset plus (via :func:`parse_query`) the 1-based
+line and column, so clients can point at the offending token.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.rdf.terms import IRI, Literal
 from repro.sparql.ast import (
@@ -27,10 +30,12 @@ from repro.sparql.ast import (
     Comparison,
     Expression,
     FunctionCall,
+    KSPClause,
     Negation,
     NumberExpr,
     OptionalBlock,
     OrderCondition,
+    PointExpr,
     SelectQuery,
     TermExpr,
     TriplePattern,
@@ -44,11 +49,37 @@ _XSD = "http://www.w3.org/2001/XMLSchema#"
 
 
 class SparqlSyntaxError(ValueError):
-    """Raised for malformed query text."""
+    """Raised for malformed query text.
 
-    def __init__(self, message: str, position: int) -> None:
-        super().__init__("%s (at offset %d)" % (message, position))
+    ``position`` is the 0-based character offset of the offending token.
+    :func:`parse_query` re-raises with the 1-based ``line``/``column``
+    filled in (computed from the query text), so the message — and the
+    server's 400 body — can point at the exact token.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ) -> None:
+        if line is not None and column is not None:
+            rendered = "%s (line %d, column %d)" % (message, line, column)
+        else:
+            rendered = "%s (at offset %d)" % (message, position)
+        super().__init__(rendered)
+        self.bare_message = message
         self.position = position
+        self.line = line
+        self.column = column
+
+    def located(self, text: str) -> "SparqlSyntaxError":
+        """A copy of this error with line/column computed from ``text``."""
+        position = min(self.position, len(text))
+        line = text.count("\n", 0, position) + 1
+        column = position - text.rfind("\n", 0, position)
+        return SparqlSyntaxError(self.bare_message, self.position, line, column)
 
 
 _TOKEN_SPEC = [
@@ -72,7 +103,7 @@ _KEYWORDS = {
     "UNION", "OPTIONAL",
 }
 _FUNCTIONS = {
-    "STR", "CONTAINS", "BOUND", "DISTANCE",
+    "STR", "CONTAINS", "BOUND", "DISTANCE", "WITHIN_BOX",
     "REGEX", "STRLEN", "UCASE", "LCASE", "STRSTARTS",
 }
 
@@ -241,6 +272,13 @@ class _Parser:
                 self._parse_braced_group(query)
                 self._accept_op(".")
                 continue
+            if token.kind == "NAME" and token.value.lower() == "ksp":
+                if query.ksp is not None:
+                    raise self._error("at most one ksp() clause per query")
+                self._next()
+                query.ksp = self._parse_ksp_clause()
+                self._accept_op(".")
+                continue
             pattern = TriplePattern(
                 self._parse_term(), self._parse_term(), self._parse_term()
             )
@@ -250,6 +288,71 @@ class _Parser:
                 closing = self._peek()
                 if not (closing.kind == "OP" and closing.value == "}"):
                     raise self._error("expected '.' after triple pattern")
+
+    def _parse_ksp_clause(self) -> KSPClause:
+        """``ksp(?place [, ?score], "kw1 kw2", POINT(x y) [, k])``."""
+        self._expect_op("(")
+        place = self._parse_clause_variable("ksp place")
+        score: Optional[Variable] = None
+        self._expect_op(",")
+        if self._peek().kind == "VAR":
+            score = self._parse_clause_variable("ksp score")
+            self._expect_op(",")
+        keywords_token = self._next()
+        if keywords_token.kind != "STRING":
+            raise SparqlSyntaxError(
+                "ksp keywords must be a string literal, found %r"
+                % keywords_token.value,
+                keywords_token.position,
+            )
+        keywords = _unescape(keywords_token.value[1:-1])
+        if not keywords.strip():
+            raise SparqlSyntaxError(
+                "ksp keywords must not be empty", keywords_token.position
+            )
+        self._expect_op(",")
+        x, y = self._parse_point()
+        k: Optional[int] = None
+        if self._accept_op(","):
+            k = self._parse_int()
+            if k < 1:
+                raise self._error("ksp k must be positive")
+        self._expect_op(")")
+        if score == place:
+            raise self._error("ksp place and score variables must differ")
+        return KSPClause(place=place, score=score, keywords=keywords, x=x, y=y, k=k)
+
+    def _parse_clause_variable(self, what: str) -> Variable:
+        token = self._next()
+        if token.kind != "VAR":
+            raise SparqlSyntaxError(
+                "%s must be a variable, found %r" % (what, token.value),
+                token.position,
+            )
+        return Variable(token.value[1:])
+
+    def _parse_point(self) -> Tuple[float, float]:
+        """``POINT(x y)`` (an optional comma between coordinates is
+        tolerated); returns the raw coordinates."""
+        token = self._next()
+        if token.kind != "NAME" or token.value.upper() != "POINT":
+            raise SparqlSyntaxError(
+                "expected POINT(x y), found %r" % token.value, token.position
+            )
+        self._expect_op("(")
+        x = self._parse_number()
+        self._accept_op(",")
+        y = self._parse_number()
+        self._expect_op(")")
+        return x, y
+
+    def _parse_number(self) -> float:
+        token = self._next()
+        if token.kind != "NUMBER":
+            raise SparqlSyntaxError(
+                "expected a number, found %r" % token.value, token.position
+            )
+        return float(token.value)
 
     def _parse_braced_group(self, query: SelectQuery) -> None:
         """``{ A }`` alone merges into the main group; followed by one or
@@ -410,6 +513,9 @@ class _Parser:
             inner = self._parse_expression()
             self._expect_op(")")
             return inner
+        if token.kind == "NAME" and token.value.upper() == "POINT":
+            x, y = self._parse_point()
+            return PointExpr(x, y)
         if token.kind == "NAME" and token.value.upper() in _FUNCTIONS:
             self._next()
             name = token.value.upper()
@@ -488,5 +594,14 @@ def _number_literal(text: str) -> Literal:
 
 
 def parse_query(text: str) -> SelectQuery:
-    """Parse one SELECT query."""
-    return _Parser(text).parse_query()
+    """Parse one SELECT query.
+
+    Syntax errors are re-raised with 1-based line/column information
+    computed from ``text`` (tokenizer errors included).
+    """
+    try:
+        return _Parser(text).parse_query()
+    except SparqlSyntaxError as error:
+        if error.line is not None:
+            raise
+        raise error.located(text) from None

@@ -1,0 +1,564 @@
+"""kSP-in-SPARQL: planning and execution of queries with a ``ksp()`` clause.
+
+The paper's query becomes *one clause of a larger SPARQL query*::
+
+    SELECT ?place ?score WHERE {
+      ksp(?place, ?score, "ancient roman", POINT(4.66 43.71)) .
+      ?place <urn:ksp:keyword> "abbey" .
+      FILTER(WITHIN_BOX(?place, 0, 40, 10, 50))
+    }
+    ORDER BY ?score LIMIT 5
+
+Execution has two regimes:
+
+* **Pushdown** (STREAK-style, the default): when the query orders by the
+  clause's score variable ascending and carries a ``LIMIT``, the planner
+  never materializes the full ranking.  Over an engine or snapshot
+  backend it streams :meth:`KSPEngine.cursor` — SP's alpha-bound
+  traversal *is* the threshold feedback: every emission re-checks the
+  running bound, exactly the θ loop Rules 2–4 implement for fixed k —
+  and stops as soon as ``OFFSET + LIMIT`` rows survive the residual
+  predicates (exact, because the stream is ascending).  Over a shard
+  router (which merges fixed-k scatter-gathers and exposes no cursor) it
+  geometrically doubles k, re-querying until enough rows survive or the
+  ranking is exhausted; the merged top-k' is a prefix-extension of
+  top-k, so the final round alone is authoritative.
+* **Materialize-then-sort** (``pushdown=False``, or an ineligible
+  ``ORDER BY``): evaluate the clause to its full result set (its ``k``,
+  or every reachable place when ``k`` is omitted), join residuals,
+  sort, slice.  This is the equivalence oracle for the pushdown paths
+  and the baseline ``benchmarks/bench_sparql.py`` measures against.
+
+Plain BGP patterns and FILTERs in a ksp query are *residual predicates*:
+each candidate place binds the clause variables, then the pattern join
+runs against the derived triple view (:mod:`repro.sparql.view`) with
+those bindings fixed.  Both regimes generate candidate rows in exactly
+the same order — ascending ``(score, root)``, then join order — so
+their outputs are byte-identical, on all three backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.config import QueryOptions
+from repro.core.deadline import Deadline
+from repro.core.query import KSPQuery
+from repro.core.stats import QueryTimeout
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.sparql.ast import (
+    KSPClause,
+    OrderCondition,
+    SelectQuery,
+    TermExpr,
+    Variable,
+)
+from repro.sparql.eval import Bindings, QueryEngine, distinct_key
+from repro.sparql.parser import parse_query
+from repro.sparql.view import backend_triple_view, subject_term
+
+XSD_DOUBLE = IRI("http://www.w3.org/2001/XMLSchema#double")
+
+#: Wire schema of one SPARQL response — the SPARQL analogue of
+#: ``RESULT_FIELDS`` for ``KSPResult`` (see ``repro/serve/schemas.py``,
+#: where the serving layer re-exports and documents the pin).
+SPARQL_RESULT_FIELDS = (
+    "query",
+    "request_id",
+    "trace_id",
+    "variables",
+    "bindings",
+    "timed_out",
+    "stats",
+    "trace",
+)
+
+#: Fields of :data:`SPARQL_RESULT_FIELDS` derived from ``stats`` on the
+#: way out and not read back by :meth:`SparqlResult.from_dict`.
+SPARQL_RESULT_DERIVED_FIELDS = ("timed_out",)
+
+
+class SparqlPlanError(ValueError):
+    """A query that parses but cannot be planned (bad ksp() usage)."""
+
+
+@dataclass(frozen=True)
+class SparqlOptions:
+    """Per-request execution options for ``/v1/sparql``, mirroring
+    :class:`~repro.core.config.QueryOptions` so all three endpoints
+    share one deadline/trace/request-id contract.
+
+    ``k_cap`` bounds the ``k`` an embedded ``ksp()`` clause may request
+    (the serving layer's resource guard).  ``timeout`` accepts seconds
+    or a pre-built :class:`~repro.core.deadline.Deadline`; expiry yields
+    the rows accumulated so far with ``stats.timed_out`` set — partial,
+    never an exception — exactly like ``/v1/query``.  ``pushdown=False``
+    forces the materialize-then-sort oracle path.
+    """
+
+    k_cap: int = 1000
+    timeout: Optional[Union[float, Deadline]] = None
+    trace: bool = False
+    pushdown: bool = True
+    request_id: Optional[str] = None
+    trace_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.k_cap < 1:
+            raise ValueError("k_cap must be positive")
+
+    def replace(self, **changes) -> "SparqlOptions":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass
+class SparqlStats:
+    """Execution counters for one SPARQL request."""
+
+    pushdown: bool = False
+    backend: str = "engine"  # "engine" (in-memory or snapshot) | "router"
+    rounds: int = 0  # kSP fetches issued (cursor stream counts as 1)
+    places_examined: int = 0  # distinct candidate places pulled from the ranking
+    places_rejected: int = 0  # candidates the residual predicates eliminated
+    solutions: int = 0  # rows returned after all modifiers
+    runtime_seconds: float = 0.0
+    timed_out: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pushdown": self.pushdown,
+            "backend": self.backend,
+            "rounds": self.rounds,
+            "places_examined": self.places_examined,
+            "places_rejected": self.places_rejected,
+            "solutions": self.solutions,
+            "runtime_seconds": self.runtime_seconds,
+            "timed_out": self.timed_out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SparqlStats":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+
+@dataclass
+class SparqlResult:
+    """One SPARQL response; ``to_dict`` is the frozen wire schema.
+
+    ``bindings`` holds wire-form rows already — each row maps a variable
+    name to a W3C SPARQL-results-style term document (``{"type": "uri" |
+    "literal" | "bnode", "value": ..., ["datatype"], ["xml:lang"]}``) —
+    so serialization is a verbatim copy and ``from_dict(x).to_dict()``
+    round-trips byte-identically.
+    """
+
+    query: str
+    variables: List[str]
+    bindings: List[Dict[str, Dict[str, str]]]
+    stats: SparqlStats = field(default_factory=SparqlStats)
+    trace: Optional[Dict[str, Any]] = None
+    request_id: Optional[str] = None
+    trace_id: Optional[str] = None
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "query": self.query,
+            "request_id": self.request_id,
+            "trace_id": self.trace_id,
+            "variables": list(self.variables),
+            "bindings": [dict(row) for row in self.bindings],
+            "timed_out": self.stats.timed_out,
+            "stats": self.stats.to_dict(),
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SparqlResult":
+        return cls(
+            query=data["query"],
+            variables=list(data["variables"]),
+            bindings=[dict(row) for row in data["bindings"]],
+            stats=SparqlStats.from_dict(data.get("stats") or {}),
+            trace=data.get("trace"),
+            request_id=data.get("request_id"),
+            trace_id=data.get("trace_id"),
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        query_text: str,
+        variables: List[Variable],
+        rows: Iterable[Bindings],
+        stats: SparqlStats,
+        trace: Optional[Dict[str, Any]] = None,
+        request_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> "SparqlResult":
+        """Build from evaluator rows (variable -> RDF term bindings)."""
+        return cls(
+            query=query_text,
+            variables=[variable.name for variable in variables],
+            bindings=[
+                {
+                    variable.name: term_to_json(term)
+                    for variable, term in row.items()
+                }
+                for row in rows
+            ],
+            stats=stats,
+            trace=trace,
+            request_id=request_id,
+            trace_id=trace_id,
+        )
+
+
+def term_to_json(term) -> Dict[str, str]:
+    """One RDF term in W3C SPARQL 1.1 JSON results form."""
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BlankNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        document = {"type": "literal", "value": term.lexical}
+        if term.datatype is not None:
+            document["datatype"] = term.datatype.value
+        if term.language is not None:
+            document["xml:lang"] = term.language
+        return document
+    raise TypeError("not an RDF term: %r" % (term,))
+
+
+class SparqlExecutor:
+    """Executes SPARQL text against one serving backend.
+
+    ``backend`` is anything that quacks like
+    :class:`~repro.core.engine.KSPEngine` — the in-memory engine, a
+    snapshot-backed engine, or a :class:`~repro.shard.router.ShardRouter`.
+    The triple view, plain BGP evaluation, and the ksp plan all derive
+    from the backend's own indexes, so the three tiers answer
+    identically.
+    """
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+        self._store, self._graph = backend_triple_view(backend)
+        self._engine = QueryEngine(self._store)
+        self._kind = "router" if getattr(backend, "engines", None) else "engine"
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        text: Union[str, SelectQuery],
+        options: Optional[SparqlOptions] = None,
+    ) -> SparqlResult:
+        options = options or SparqlOptions()
+        if isinstance(text, str):
+            query_text = text
+            query = parse_query(text)
+        else:
+            query = text
+            query_text = ""
+        deadline = Deadline.resolve(options.timeout)
+        stats = SparqlStats(backend=self._kind)
+        started = time.monotonic()
+        if query.ksp is None:
+            rows = self._engine.select(query)
+            trace = None
+        else:
+            rows, trace = self._execute_ksp(query, options, deadline, stats)
+        stats.runtime_seconds = time.monotonic() - started
+        stats.solutions = len(rows)
+        return SparqlResult.from_rows(
+            query_text,
+            query.projected(),
+            rows,
+            stats,
+            trace=trace,
+            request_id=options.request_id,
+            trace_id=options.trace_id,
+        )
+
+    # ------------------------------------------------------------------
+    # The ksp() plan
+    # ------------------------------------------------------------------
+
+    def _execute_ksp(
+        self,
+        query: SelectQuery,
+        options: SparqlOptions,
+        deadline: Optional[Deadline],
+        stats: SparqlStats,
+    ) -> Tuple[List[Bindings], Optional[Dict[str, Any]]]:
+        clause = query.ksp
+        assert clause is not None
+        if query.unions or query.optionals:
+            raise SparqlPlanError(
+                "ksp() cannot be combined with UNION/OPTIONAL blocks"
+            )
+        keywords = clause.keywords.split()
+        try:
+            KSPQuery.create((clause.x, clause.y), keywords, k=1)
+        except ValueError as exc:
+            raise SparqlPlanError(str(exc)) from None
+        if clause.k is not None and clause.k > options.k_cap:
+            raise SparqlPlanError(
+                "ksp k=%d exceeds the server cap of %d" % (clause.k, options.k_cap)
+            )
+        if clause.k is None and query.limit is None:
+            raise SparqlPlanError(
+                "an unbounded ksp() clause (no k) needs an ORDER BY/LIMIT"
+            )
+        target = None if query.limit is None else query.offset + query.limit
+        pushdown = (
+            options.pushdown
+            and target is not None
+            and _orders_by_score_ascending(query.order_by, clause)
+        )
+        stats.pushdown = pushdown
+        if pushdown:
+            if hasattr(self._backend, "cursor"):
+                rows, trace = self._pushdown_cursor(
+                    query, clause, keywords, target, options, deadline, stats
+                )
+            else:
+                rows, trace = self._pushdown_rounds(
+                    query, clause, keywords, target, options, deadline, stats
+                )
+            if query.offset:
+                rows = rows[query.offset :]
+            return rows, trace
+        return self._materialize(query, clause, keywords, options, deadline, stats)
+
+    def _pushdown_cursor(
+        self,
+        query: SelectQuery,
+        clause: KSPClause,
+        keywords: List[str],
+        target: int,
+        options: SparqlOptions,
+        deadline: Optional[Deadline],
+        stats: SparqlStats,
+    ) -> Tuple[List[Bindings], Optional[Dict[str, Any]]]:
+        """Threshold-aware streaming: the cursor's alpha-bound emission
+        test is the θ feedback loop; stop at ``target`` surviving rows."""
+        stats.rounds = 1
+        cursor = self._backend.cursor(
+            (clause.x, clause.y),
+            keywords,
+            options=QueryOptions(
+                timeout=deadline,
+                request_id=_sub_request_id(options.request_id),
+                trace_id=options.trace_id,
+            ),
+        )
+        stream: Iterable = cursor
+        if clause.k is not None:
+            stream = itertools.islice(cursor, clause.k)
+        rows, _ = self._rows_from_places(
+            query, clause, stream, target, deadline, stats, {}
+        )
+        if cursor.stats.timed_out:
+            stats.timed_out = True
+        return rows, None
+
+    def _pushdown_rounds(
+        self,
+        query: SelectQuery,
+        clause: KSPClause,
+        keywords: List[str],
+        target: int,
+        options: SparqlOptions,
+        deadline: Optional[Deadline],
+        stats: SparqlStats,
+    ) -> Tuple[List[Bindings], Optional[Dict[str, Any]]]:
+        """Geometric k-doubling over a fixed-k backend (the shard router):
+        the merged top-2k extends top-k as a prefix, so each round only
+        deepens the ranking; residual joins are cached per place."""
+        cache: Dict[int, List[Bindings]] = {}
+        trace: Optional[Dict[str, Any]] = None
+        rows: List[Bindings] = []
+        k = max(target, 1)
+        if clause.k is not None:
+            k = min(k, clause.k)
+        while True:
+            stats.rounds += 1
+            result = self._backend.query(
+                (clause.x, clause.y),
+                keywords,
+                options=QueryOptions(
+                    k=k,
+                    timeout=deadline,
+                    trace=options.trace,
+                    request_id=_sub_request_id(options.request_id),
+                    trace_id=options.trace_id,
+                ),
+            )
+            if result.trace is not None:
+                trace = result.trace.as_dict()
+            if result.stats.timed_out:
+                stats.timed_out = True
+            rows, filled = self._rows_from_places(
+                query, clause, result.places, target, deadline, stats, cache
+            )
+            if filled or stats.timed_out:
+                break
+            if len(result.places) < k:
+                break  # the ranking is exhausted
+            if clause.k is not None and k >= clause.k:
+                break
+            k *= 2
+            if clause.k is not None:
+                k = min(k, clause.k)
+        return rows, trace
+
+    def _materialize(
+        self,
+        query: SelectQuery,
+        clause: KSPClause,
+        keywords: List[str],
+        options: SparqlOptions,
+        deadline: Optional[Deadline],
+        stats: SparqlStats,
+    ) -> Tuple[List[Bindings], Optional[Dict[str, Any]]]:
+        """Enumerate the clause's full result set, join, sort, slice —
+        the oracle the pushdown paths are tested against."""
+        k = clause.k if clause.k is not None else max(self._graph.place_count(), 1)
+        stats.rounds = 1
+        result = self._backend.query(
+            (clause.x, clause.y),
+            keywords,
+            options=QueryOptions(
+                k=k,
+                timeout=deadline,
+                trace=options.trace,
+                request_id=_sub_request_id(options.request_id),
+                trace_id=options.trace_id,
+            ),
+        )
+        if result.stats.timed_out:
+            stats.timed_out = True
+        trace = result.trace.as_dict() if result.trace is not None else None
+        solutions: List[Bindings] = []
+        for place in result.places:
+            if deadline is not None and deadline.expired():
+                stats.timed_out = True
+                break
+            stats.places_examined += 1
+            extensions = list(
+                self._engine.join(
+                    query.patterns, query.filters, self._clause_binding(clause, place)
+                )
+            )
+            if not extensions:
+                stats.places_rejected += 1
+            solutions.extend(extensions)
+        self._engine.sort_solutions(solutions, query.order_by)
+        rows = self._engine.project(query, solutions)
+        if query.offset:
+            rows = rows[query.offset :]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows, trace
+
+    # ------------------------------------------------------------------
+
+    def _rows_from_places(
+        self,
+        query: SelectQuery,
+        clause: KSPClause,
+        places: Iterable,
+        target: Optional[int],
+        deadline: Optional[Deadline],
+        stats: SparqlStats,
+        cache: Dict[int, List[Bindings]],
+    ) -> Tuple[List[Bindings], bool]:
+        """Projected rows from candidate places in rank order, stopping
+        once ``target`` rows survive; returns ``(rows, target_reached)``.
+
+        ``cache`` memoizes residual joins per place root so k-doubling
+        rounds never re-join a place they already examined.
+        """
+        rows: List[Bindings] = []
+        seen: set = set()
+        projected = query.projected()
+        iterator = iter(places)
+        while True:
+            try:
+                place = next(iterator)
+            except StopIteration:
+                break
+            except QueryTimeout:
+                stats.timed_out = True
+                break
+            if deadline is not None and deadline.expired():
+                stats.timed_out = True
+                break
+            if place.root not in cache:
+                stats.places_examined += 1
+                cache[place.root] = list(
+                    self._engine.join(
+                        query.patterns,
+                        query.filters,
+                        self._clause_binding(clause, place),
+                    )
+                )
+                if not cache[place.root]:
+                    stats.places_rejected += 1
+            for solution in cache[place.root]:
+                row = {
+                    variable: solution[variable]
+                    for variable in projected
+                    if variable in solution
+                }
+                if query.distinct:
+                    key = distinct_key(row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                rows.append(row)
+                if target is not None and len(rows) >= target:
+                    return rows, True
+        return rows, False
+
+    def _clause_binding(self, clause: KSPClause, place) -> Bindings:
+        binding: Bindings = {clause.place: subject_term(place.root_label)}
+        if clause.score is not None:
+            binding[clause.score] = Literal(repr(place.score), datatype=XSD_DOUBLE)
+        return binding
+
+
+def _orders_by_score_ascending(
+    order_by: List[OrderCondition], clause: KSPClause
+) -> bool:
+    """Pushdown's ordering precondition: exactly ``ORDER BY ?score``
+    (ascending) on the clause's own score variable."""
+    if clause.score is None or len(order_by) != 1:
+        return False
+    condition = order_by[0]
+    return not condition.descending and condition.expression == TermExpr(
+        clause.score
+    )
+
+
+def _sub_request_id(request_id: Optional[str]) -> Optional[str]:
+    """Tag the embedded kSP executions so flight-recorder records of the
+    inner query never shadow the enclosing /v1/sparql record."""
+    return None if request_id is None else request_id + "#ksp"
+
+
+def execute_sparql(
+    backend, text: str, options: Optional[SparqlOptions] = None
+) -> SparqlResult:
+    """One-shot convenience over :class:`SparqlExecutor`."""
+    return SparqlExecutor(backend).execute(text, options)

@@ -10,13 +10,38 @@ cardinality estimates drive the join order in the evaluator.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Optional, Set, Union
+from typing import Dict, Iterable, Iterator, Optional, Protocol, Set, Union
 
 from repro.rdf.ntriples import parse, parse_file
 from repro.rdf.terms import IRI, BlankNode, Literal, Triple
 
 Term = Union[IRI, BlankNode, Literal]
 _Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+class TripleSource(Protocol):
+    """What the evaluator needs from a triple backend.
+
+    :class:`TripleStore` (raw triples, hash indexes) and
+    :class:`~repro.sparql.view.GraphTripleStore` (the derived view over
+    a built kSP engine) both satisfy it.
+    """
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        ...  # pragma: no cover - protocol
+
+    def cardinality_estimate(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        ...  # pragma: no cover - protocol
 
 
 def _add(index: _Index, a: Term, b: Term, c: Term) -> None:

@@ -1,0 +1,296 @@
+"""A derived, backend-independent triple view over a built kSP engine.
+
+The engine keeps no raw triples — only the simplified graph (labels,
+documents, edges, place locations) and its indexes — and the three
+serving backends expose that state differently: the in-memory
+:class:`~repro.rdf.graph.RDFGraph` knows per-edge predicate names, the
+PR-6 snapshot view does not, and the PR-7 shard router's first-shard
+graph masks every other shard's places.  SPARQL answers must be
+byte-identical across all three, so this module defines one *canonical*
+triple vocabulary derivable from the shared read protocol alone:
+
+* ``?v  ksp:keyword  "term"`` — one triple per term of the vertex's
+  document (reverse lookup served by the inverted index);
+* ``?u  ksp:link  ?w`` — one triple per graph edge, under a uniform
+  predicate (per-edge predicate names do not survive snapshotting);
+* ``?v  ksp:hasGeometry  "POINT(x y)"`` — one triple per place, in the
+  WKT form :func:`~repro.rdf.documents.parse_point_literal` reads, so
+  the evaluator's ``DISTANCE``/``WITHIN_BOX`` builtins work unchanged.
+
+Subjects are ``IRI(label)`` (or a blank node for ``_:`` labels).  All
+iteration orders are sorted, so solution enumeration — and therefore
+the serialized bindings — agree across backends.
+
+:class:`UnionPlaceGraph` re-unites the per-shard place-masked graphs of
+a :class:`~repro.shard.router.ShardRouter` into the full place set (the
+shards share every non-place section by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+from repro.spatial.geometry import Point
+
+KSP_NAMESPACE = "urn:ksp:"
+KEYWORD_PREDICATE = IRI(KSP_NAMESPACE + "keyword")
+LINK_PREDICATE = IRI(KSP_NAMESPACE + "link")
+GEOMETRY_PREDICATE = IRI(KSP_NAMESPACE + "hasGeometry")
+
+Term = Union[IRI, BlankNode, Literal]
+
+
+def geometry_literal(point: Point) -> Literal:
+    """The canonical WKT literal for a place location (repr round-trips
+    floats exactly, so the literal compares byte-identical everywhere)."""
+    return Literal("POINT(%r %r)" % (point.x, point.y))
+
+
+def subject_term(label: str) -> Union[IRI, BlankNode]:
+    if label.startswith("_:"):
+        return BlankNode(label[2:])
+    return IRI(label)
+
+
+class GraphTripleStore:
+    """Lazy :class:`~repro.sparql.store.TripleSource` over a graph + index.
+
+    ``match``/``cardinality_estimate`` are served from the graph's own
+    lookups — nothing is materialized, so the view is as cheap over a
+    2M-vertex snapshot as over the in-memory example graph.
+    """
+
+    def __init__(self, graph, inverted_index) -> None:
+        self._graph = graph
+        self._index = inverted_index
+        self._keyword_total: Optional[int] = None
+
+    # -- term <-> vertex -------------------------------------------------
+
+    def _vertex_of(self, term: Term) -> Optional[int]:
+        if isinstance(term, IRI):
+            label = term.value
+        elif isinstance(term, BlankNode):
+            label = "_:%s" % term.label
+        else:
+            return None
+        if not self._graph.has_vertex_label(label):
+            return None
+        return self._graph.vertex_by_label(label)
+
+    def _subject(self, vertex: int) -> Union[IRI, BlankNode]:
+        return subject_term(self._graph.label(vertex))
+
+    # -- matching --------------------------------------------------------
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """All derived triples matching the pattern (``None`` wildcard)."""
+        if predicate is not None and predicate not in (
+            KEYWORD_PREDICATE,
+            LINK_PREDICATE,
+            GEOMETRY_PREDICATE,
+        ):
+            return
+        if subject is not None:
+            vertex = self._vertex_of(subject)
+            if vertex is None:
+                return
+            yield from self._subject_triples(vertex, predicate, object)
+            return
+        if object is not None:
+            yield from self._object_triples(object, predicate)
+            return
+        for vertex in self._graph.vertices():
+            yield from self._subject_triples(vertex, predicate, None)
+
+    def _subject_triples(
+        self, vertex: int, predicate: Optional[Term], object: Optional[Term]
+    ) -> Iterator[Triple]:
+        subject = self._subject(vertex)
+        if predicate in (None, KEYWORD_PREDICATE):
+            if isinstance(object, Literal) and _plain(object):
+                if object.lexical in self._graph.document(vertex):
+                    yield Triple(subject, KEYWORD_PREDICATE, object)
+            elif object is None:
+                for term in sorted(self._graph.document(vertex)):
+                    yield Triple(subject, KEYWORD_PREDICATE, Literal(term))
+        if predicate in (None, GEOMETRY_PREDICATE):
+            location = self._graph.location(vertex)
+            if location is not None:
+                literal = geometry_literal(location)
+                if object is None or object == literal:
+                    yield Triple(subject, GEOMETRY_PREDICATE, literal)
+        if predicate in (None, LINK_PREDICATE):
+            if object is None:
+                for target in sorted(self._graph.out_neighbors(vertex)):
+                    yield Triple(subject, LINK_PREDICATE, self._subject(target))
+            elif isinstance(object, (IRI, BlankNode)):
+                target = self._vertex_of(object)
+                if target is not None and target in set(
+                    self._graph.out_neighbors(vertex)
+                ):
+                    yield Triple(subject, LINK_PREDICATE, object)
+
+    def _object_triples(
+        self, object: Term, predicate: Optional[Term]
+    ) -> Iterator[Triple]:
+        if isinstance(object, Literal):
+            if predicate in (None, KEYWORD_PREDICATE) and _plain(object):
+                for vertex in self._index.posting(object.lexical):
+                    yield Triple(self._subject(vertex), KEYWORD_PREDICATE, object)
+            if predicate in (None, GEOMETRY_PREDICATE) and _plain(object):
+                for vertex, point in self._places_in_order():
+                    if geometry_literal(point) == object:
+                        yield Triple(self._subject(vertex), GEOMETRY_PREDICATE, object)
+            return
+        target = self._vertex_of(object)
+        if target is None:
+            return
+        if predicate in (None, LINK_PREDICATE):
+            for source in sorted(self._graph.in_neighbors(target)):
+                yield Triple(self._subject(source), LINK_PREDICATE, object)
+
+    def _places_in_order(self) -> List[Tuple[int, Point]]:
+        return sorted(self._graph.places())
+
+    # -- cardinality -----------------------------------------------------
+
+    def cardinality_estimate(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Match counts from the graph's own lookups (exact for bound
+        subjects and single-predicate slices, an upper bound otherwise)."""
+        if predicate is not None and predicate not in (
+            KEYWORD_PREDICATE,
+            LINK_PREDICATE,
+            GEOMETRY_PREDICATE,
+        ):
+            return 0
+        if subject is not None:
+            vertex = self._vertex_of(subject)
+            if vertex is None:
+                return 0
+            total = 0
+            if predicate in (None, KEYWORD_PREDICATE):
+                if isinstance(object, Literal):
+                    total += int(
+                        _plain(object)
+                        and object.lexical in self._graph.document(vertex)
+                    )
+                elif object is None:
+                    total += len(self._graph.document(vertex))
+            if predicate in (None, GEOMETRY_PREDICATE) and not isinstance(
+                object, (IRI, BlankNode)
+            ):
+                total += int(self._graph.location(vertex) is not None)
+            if predicate in (None, LINK_PREDICATE) and not isinstance(
+                object, Literal
+            ):
+                neighbors = self._graph.out_neighbors(vertex)
+                if object is None:
+                    total += len(neighbors)
+                else:
+                    target = self._vertex_of(object)
+                    total += int(target is not None and target in set(neighbors))
+            return total
+        if object is not None:
+            if isinstance(object, Literal):
+                total = 0
+                if predicate in (None, KEYWORD_PREDICATE) and _plain(object):
+                    total += self._index.document_frequency(object.lexical)
+                if predicate in (None, GEOMETRY_PREDICATE):
+                    # Upper bound: resolving it exactly would scan places.
+                    total += min(self._graph.place_count(), 1)
+                return total
+            target = self._vertex_of(object)
+            if target is None:
+                return 0
+            if predicate in (None, LINK_PREDICATE):
+                return len(self._graph.in_neighbors(target))
+            return 0
+        total = 0
+        if predicate in (None, KEYWORD_PREDICATE):
+            total += self._keyword_triple_count()
+        if predicate in (None, LINK_PREDICATE):
+            total += self._graph.edge_count
+        if predicate in (None, GEOMETRY_PREDICATE):
+            total += self._graph.place_count()
+        return total
+
+    def _keyword_triple_count(self) -> int:
+        if self._keyword_total is None:
+            self._keyword_total = int(
+                self._index.vocabulary_size()
+                * self._index.average_posting_length()
+            )
+        return self._keyword_total
+
+
+def _plain(literal: Literal) -> bool:
+    return literal.language is None and literal.datatype is None
+
+
+class UnionPlaceGraph:
+    """The union of per-shard place-masked graph views.
+
+    Every shard snapshot carries the *full* vertex/edge/document
+    sections (see ``repro.shard.build``) with only its tile's places
+    visible, so delegating everything except place-ness to shard 0 and
+    unioning the place views reconstructs exactly the unsharded graph.
+    """
+
+    def __init__(self, graphs: Sequence) -> None:
+        if not graphs:
+            raise ValueError("UnionPlaceGraph needs at least one graph")
+        self._graphs = list(graphs)
+        self._base = self._graphs[0]
+
+    def __getattr__(self, name: str):
+        return getattr(self._base, name)
+
+    def location(self, vertex: int) -> Optional[Point]:
+        for graph in self._graphs:
+            location = graph.location(vertex)
+            if location is not None:
+                return location
+        return None
+
+    def is_place(self, vertex: int) -> bool:
+        return any(graph.is_place(vertex) for graph in self._graphs)
+
+    def places(self) -> Iterator[Tuple[int, Point]]:
+        merged: Dict[int, Point] = {}
+        for graph in self._graphs:
+            for vertex, point in graph.places():
+                merged[vertex] = point
+        for vertex in sorted(merged):
+            yield vertex, merged[vertex]
+
+    def place_count(self) -> int:
+        return sum(1 for _ in self.places())
+
+
+def backend_triple_view(backend) -> Tuple[GraphTripleStore, object]:
+    """``(store, graph)`` for any serving backend.
+
+    ``backend`` is a :class:`~repro.core.engine.KSPEngine` (in-memory or
+    snapshot-backed) or a :class:`~repro.shard.router.ShardRouter`
+    (detected by its ``engines`` list, whose graphs get place-unioned).
+    """
+    engines = getattr(backend, "engines", None)
+    if engines:
+        graph = UnionPlaceGraph([engine.graph for engine in engines])
+        index = engines[0].inverted_index
+    else:
+        graph = backend.graph
+        index = backend.inverted_index
+    return GraphTripleStore(graph, index), graph

@@ -93,11 +93,9 @@ class TestQueryInterface:
         reference = example_engine.query(Q1, EXAMPLE_KEYWORDS, k=2)
         assert example_engine.query(query).scores() == reference.scores()
 
-    def test_run_is_a_deprecated_alias(self, example_engine):
-        query = KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=2)
-        with pytest.warns(DeprecationWarning):
-            legacy = example_engine.run(query, method="sp")
-        assert legacy.scores() == example_engine.query(query, method="sp").scores()
+    def test_run_alias_removed(self, example_engine):
+        # run() completed its deprecation cycle; query() is the one entry.
+        assert not hasattr(example_engine, "run")
 
 
 class TestReports:

@@ -1,12 +1,15 @@
-"""The frozen public API surface: ``EngineConfig`` / ``QueryOptions``
-and the deprecation shim that keeps the historic kwargs working.
+"""The frozen public API surface: ``EngineConfig`` / ``QueryOptions``.
+
+The historic kwarg spellings (``KSPEngine(graph, alpha=2)``, ``run()``,
+``query_batch(..., method=...)``) were removed after their deprecation
+cycle; unknown kwargs now fail like any other bad argument.
 """
 
 import dataclasses
 
 import pytest
 
-from repro.core.config import EngineConfig, QueryOptions, fold_legacy_kwargs
+from repro.core.config import EngineConfig, QueryOptions
 from repro.core.engine import KSPEngine
 from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
 
@@ -44,48 +47,36 @@ class TestEngineConfig:
         assert engine.undirected is True
 
 
-class TestLegacyKwargShim:
-    def test_constructor_kwargs_warn_and_still_work(self):
-        graph = build_example_graph()
-        with pytest.warns(DeprecationWarning, match="EngineConfig"):
-            legacy = KSPEngine(graph, alpha=2, undirected=True)
-        modern = KSPEngine(graph, EngineConfig(alpha=2, undirected=True))
-        assert legacy.config == modern.config
-        assert legacy.query(Q1, EXAMPLE_KEYWORDS, k=2).scores() == modern.query(
-            Q1, EXAMPLE_KEYWORDS, k=2
-        ).scores()
+class TestLegacyKwargsRemoved:
+    def test_constructor_rejects_historic_kwargs(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            KSPEngine(build_example_graph(), alpha=2)
 
-    def test_from_triples_kwargs_warn(self):
-        from repro.datagen.synthetic import graph_to_triples
+    def test_run_alias_is_gone(self):
+        engine = KSPEngine(build_example_graph(), EngineConfig(alpha=2))
+        assert not hasattr(engine, "run")
 
-        triples = list(graph_to_triples(build_example_graph()))
-        with pytest.warns(DeprecationWarning):
-            engine = KSPEngine.from_triples(triples, alpha=2)
-        assert engine.config.alpha == 2
-
-    def test_query_batch_method_kwarg_warns(self):
+    def test_query_batch_rejects_method_kwarg(self):
         engine = KSPEngine(build_example_graph(), EngineConfig(alpha=2))
         from repro.core.query import KSPQuery
 
         queries = [KSPQuery(location=Q1, keywords=EXAMPLE_KEYWORDS, k=1)]
-        with pytest.warns(DeprecationWarning, match="QueryOptions"):
-            report = engine.query_batch(queries, workers=1, method="bsp")
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            engine.query_batch(queries, workers=1, method="bsp")
+        report = engine.query_batch(
+            queries, workers=1, options=QueryOptions(method="bsp")
+        )
         assert len(report.results) == 1
         assert report.method == "bsp"
 
-    def test_cursor_legacy_kwargs_warn(self):
+    def test_cursor_rejects_timeout_kwarg(self):
         engine = KSPEngine(build_example_graph(), EngineConfig(alpha=3))
-        with pytest.warns(DeprecationWarning):
-            cursor = engine.cursor(Q1, EXAMPLE_KEYWORDS, timeout=30.0)
-        assert cursor.take(1)
-
-    def test_unknown_kwarg_is_a_type_error_not_a_warning(self):
         with pytest.raises(TypeError, match="unexpected keyword"):
-            KSPEngine(build_example_graph(), alpa=2)  # typo must not warn
-
-    def test_fold_requires_no_legacy_to_stay_silent(self):
-        config = EngineConfig()
-        assert fold_legacy_kwargs("x", config, {}, "config=...") is config
+            engine.cursor(Q1, EXAMPLE_KEYWORDS, timeout=30.0)
+        cursor = engine.cursor(
+            Q1, EXAMPLE_KEYWORDS, options=QueryOptions(timeout=30.0)
+        )
+        assert cursor.take(1)
 
 
 class TestQueryOptions:

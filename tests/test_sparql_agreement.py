@@ -1,0 +1,246 @@
+"""Agreement: ksp()-in-SPARQL answers match the native query API.
+
+Three backends answer the same SPARQL text — the in-memory engine, an
+engine rehydrated from a snapshot, and a 3-shard router — and every
+binding row must be byte-identical across them and equal to what
+``engine.query`` returns through the Python API, across k and alpha
+sweeps.  A second suite checks the pushdown planner against the
+materialize-then-sort oracle on randomized corpora, residual patterns
+included.  A third drives ``POST /v1/sparql`` over a live socket.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.serve import KSPServer, ServeConfig
+from repro.shard.build import build_shards
+from repro.shard.router import ShardRouter
+from repro.sparql import SparqlExecutor, SparqlOptions
+
+from tests.test_batch_cache_agreement import TERMS, build_graph
+from tests.test_serve import request
+
+XSD_DOUBLE = "http://www.w3.org/2001/XMLSchema#double"
+
+K_SWEEP = [1, 2, 4, 8]
+ALPHAS = [2, 3]
+
+
+def sparql_text(keywords, location, k=None, limit=None, extra=""):
+    clause_k = ", %d" % k if k is not None else ""
+    tail = "ORDER BY ?score LIMIT %d" % limit if limit is not None else ""
+    return (
+        'SELECT ?place ?score WHERE { '
+        'ksp(?place, ?score, "%s", POINT(%r %r)%s) . %s} %s'
+        % (" ".join(keywords), location.x, location.y, clause_k, extra, tail)
+    )
+
+
+def expected_rows(engine, keywords, location, k):
+    """The SPARQL wire rows implied by the native Python API answer."""
+    result = engine.query(location, keywords, k=k)
+    return [
+        {
+            "place": {"type": "uri", "value": place.root_label},
+            "score": {
+                "type": "literal",
+                "value": repr(place.score),
+                "datatype": XSD_DOUBLE,
+            },
+        }
+        for place in result
+    ]
+
+
+@pytest.fixture(scope="module", params=ALPHAS)
+def backends(request, tmp_path_factory):
+    """(engine, snapshot-engine, 3-shard router) built from one graph."""
+    alpha = request.param
+    config = EngineConfig(alpha=alpha, tqsp_cache_size=0)
+    graph = build_graph(4200, vertex_count=70, place_share=0.5)
+    engine = KSPEngine(graph, config)
+
+    tmp = tmp_path_factory.mktemp("sparql-agreement-%d" % alpha)
+    snapshot_path = tmp / "kb.snap"
+    engine.save_snapshot(snapshot_path)
+    snapshot_engine = KSPEngine.from_snapshot(snapshot_path)
+
+    shard_dir = tmp / "shards"
+    build_shards(graph, shard_dir, shards=3, config=config)
+    router = ShardRouter(shard_dir, config)
+    return engine, snapshot_engine, router
+
+
+class TestThreeBackendAgreement:
+    def test_k_sweep_byte_identical_and_matches_query_api(self, backends):
+        engine, snapshot_engine, router = backends
+        rng = random.Random(97)
+        executors = [SparqlExecutor(backend) for backend in backends]
+        for k in K_SWEEP:
+            keywords = rng.sample(TERMS, 2)
+            location = Q1
+            text = sparql_text(keywords, location, k=k)
+            expected = expected_rows(engine, keywords, location, k)
+            payloads = [
+                json.dumps(
+                    executor.execute(text).to_dict()["bindings"], sort_keys=True
+                )
+                for executor in executors
+            ]
+            assert payloads[0] == payloads[1] == payloads[2]
+            assert json.loads(payloads[0]) == expected
+
+    def test_limit_pushdown_agrees_across_backends(self, backends):
+        engine, _, _ = backends
+        executors = [SparqlExecutor(backend) for backend in backends]
+        text = sparql_text(TERMS[:2], Q1, limit=3)
+        expected = expected_rows(engine, TERMS[:2], Q1, 3)
+        results = [executor.execute(text) for executor in executors]
+        for result in results:
+            assert result.stats.pushdown is True
+            assert result.bindings == expected
+        assert results[0].stats.backend == "engine"
+        assert results[2].stats.backend == "router"
+
+    def test_composite_query_agrees_across_backends(self, backends):
+        executors = [SparqlExecutor(backend) for backend in backends]
+        extra = "?place <urn:ksp:keyword> ?kw . "
+        text = sparql_text(TERMS[:3], Q1, k=8, extra=extra, limit=6)
+        payloads = [
+            json.dumps(executor.execute(text).to_dict()["bindings"], sort_keys=True)
+            for executor in executors
+        ]
+        assert payloads[0] == payloads[1] == payloads[2]
+        assert json.loads(payloads[0])
+
+
+class TestPushdownEqualsNaive:
+    @pytest.mark.parametrize("seed", [11, 23, 47, 89])
+    def test_randomized_corpora(self, seed):
+        rng = random.Random(seed)
+        graph = build_graph(seed, vertex_count=60, place_share=0.45)
+        engine = KSPEngine(graph, EngineConfig(alpha=2, tqsp_cache_size=0))
+        executor = SparqlExecutor(engine)
+        for _ in range(6):
+            keywords = rng.sample(TERMS, rng.randint(1, 3))
+            from repro.spatial.geometry import Point
+
+            location = Point(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            limit = rng.randint(1, 6)
+            extra = ""
+            if rng.random() < 0.5:
+                extra = '?place <urn:ksp:keyword> "%s" . ' % rng.choice(TERMS)
+            text = sparql_text(keywords, location, limit=limit, extra=extra)
+            pushed = executor.execute(text)
+            naive = executor.execute(text, SparqlOptions(pushdown=False))
+            assert pushed.stats.pushdown is True
+            assert naive.stats.pushdown is False
+            assert pushed.bindings == naive.bindings
+
+    @pytest.mark.parametrize("seed", [7, 31])
+    def test_randomized_router_pushdown(self, seed, tmp_path):
+        graph = build_graph(seed, vertex_count=60, place_share=0.45)
+        config = EngineConfig(alpha=2, tqsp_cache_size=0)
+        build_shards(graph, tmp_path, shards=3, config=config)
+        router = ShardRouter(tmp_path, config)
+        executor = SparqlExecutor(router)
+        rng = random.Random(seed * 13)
+        for _ in range(4):
+            keywords = rng.sample(TERMS, rng.randint(1, 2))
+            from repro.spatial.geometry import Point
+
+            location = Point(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            text = sparql_text(keywords, location, limit=rng.randint(1, 5))
+            pushed = executor.execute(text)
+            naive = executor.execute(text, SparqlOptions(pushdown=False))
+            assert pushed.bindings == naive.bindings
+
+
+# ----------------------------------------------------------------------
+# The HTTP endpoint.
+
+
+@pytest.fixture(scope="module")
+def example_engine():
+    return KSPEngine(build_example_graph(), EngineConfig(alpha=3, tqsp_cache_size=0))
+
+
+@pytest.fixture(scope="module")
+def server(example_engine):
+    with KSPServer(example_engine, ServeConfig(workers=2, queue_depth=16)) as running:
+        yield running
+
+
+def post_sparql(port, body, headers=None):
+    return request(port, "POST", "/v1/sparql", body=body, headers=headers)
+
+
+class TestSparqlEndpoint:
+    def test_agrees_with_v1_query(self, example_engine, server):
+        text = sparql_text(EXAMPLE_KEYWORDS, Q1, limit=5)
+        status, body, _ = post_sparql(server.port, {"query": text})
+        assert status == 200
+        expected = expected_rows(example_engine, EXAMPLE_KEYWORDS, Q1, 5)
+        assert body["bindings"] == expected
+        assert body["stats"]["pushdown"] is True
+        assert body["request_id"]
+
+        native_status, native_body, _ = request(
+            server.port,
+            "POST",
+            "/v1/query",
+            body={
+                "location": [Q1.x, Q1.y],
+                "keywords": list(EXAMPLE_KEYWORDS),
+                "k": 5,
+            },
+        )
+        assert native_status == 200
+        native_scores = [repr(p["score"]) for p in native_body["places"]]
+        sparql_scores = [row["score"]["value"] for row in body["bindings"]]
+        assert sparql_scores == native_scores
+
+    def test_syntax_error_reports_line_and_column(self, server):
+        status, body, _ = post_sparql(
+            server.port, {"query": 'SELECT ?p WHERE {\n  ksp(?p ?s, "a", POINT(1 2)) . }'}
+        )
+        assert status == 400
+        assert body["line"] == 2
+        assert body["column"] == 10
+        assert body["position"] == 27
+        assert "line 2, column 10" in body["error"]
+
+    def test_plan_error_is_a_400(self, server):
+        text = sparql_text(EXAMPLE_KEYWORDS, Q1)  # unbounded, no LIMIT
+        status, body, _ = post_sparql(server.port, {"query": text})
+        assert status == 400
+        assert "unbounded" in body["error"]
+
+    def test_request_id_is_echoed(self, server):
+        text = sparql_text(EXAMPLE_KEYWORDS, Q1, limit=1)
+        status, body, _ = post_sparql(
+            server.port, {"query": text}, headers={"X-Request-Id": "sparql-rid-1"}
+        )
+        assert status == 200
+        assert body["request_id"] == "sparql-rid-1"
+
+    def test_missing_query_is_a_400(self, server):
+        status, body, _ = post_sparql(server.port, {})
+        assert status == 400
+        assert "query" in body["error"]
+
+    def test_pushdown_flag_is_honoured(self, server):
+        text = sparql_text(EXAMPLE_KEYWORDS, Q1, limit=2)
+        status, body, _ = post_sparql(
+            server.port, {"query": text, "pushdown": False}
+        )
+        assert status == 200
+        assert body["stats"]["pushdown"] is False
+        pushed_status, pushed_body, _ = post_sparql(server.port, {"query": text})
+        assert pushed_status == 200
+        assert pushed_body["bindings"] == body["bindings"]

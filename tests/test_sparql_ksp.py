@@ -1,0 +1,342 @@
+"""kSP-in-SPARQL: the ksp() clause, spatial builtins, the derived
+triple view, the pushdown planner and the frozen SPARQL wire schema.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.datagen.paper_example import EXAMPLE_KEYWORDS, Q1, build_example_graph
+from repro.rdf.documents import parse_point_literal
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import (
+    SparqlExecutor,
+    SparqlOptions,
+    SparqlPlanError,
+    SparqlResult,
+    SparqlSyntaxError,
+    parse_query,
+)
+from repro.sparql.ast import PointExpr, TermExpr, Variable
+from repro.sparql.plan import SparqlStats, term_to_json
+from repro.sparql.view import (
+    GEOMETRY_PREDICATE,
+    KEYWORD_PREDICATE,
+    LINK_PREDICATE,
+    GraphTripleStore,
+    backend_triple_view,
+    geometry_literal,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+KW = " ".join(EXAMPLE_KEYWORDS)
+
+
+def ksp_query(extra="", tail="ORDER BY ?score LIMIT 5", k=""):
+    return (
+        'SELECT ?place ?score WHERE { '
+        'ksp(?place, ?score, "%s", POINT(%r %r)%s) . %s} %s'
+        % (KW, Q1.x, Q1.y, k, extra, tail)
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return KSPEngine(build_example_graph(), EngineConfig(alpha=3, tqsp_cache_size=0))
+
+
+@pytest.fixture(scope="module")
+def executor(engine):
+    return SparqlExecutor(engine)
+
+
+class TestKspClauseParsing:
+    def test_full_clause(self):
+        query = parse_query(
+            'SELECT ?p ?s WHERE { ksp(?p, ?s, "roman abbey", POINT(4.66 43.71), 7) . }'
+        )
+        clause = query.ksp
+        assert clause is not None
+        assert clause.place == Variable("p")
+        assert clause.score == Variable("s")
+        assert clause.keywords == "roman abbey"
+        assert (clause.x, clause.y) == (4.66, 43.71)
+        assert clause.k == 7
+
+    def test_score_variable_is_optional(self):
+        query = parse_query(
+            'SELECT ?p WHERE { ksp(?p, "roman", POINT(1 2), 3) . }'
+        )
+        assert query.ksp.score is None
+        assert query.ksp.variables() == (Variable("p"),)
+
+    def test_negative_coordinates(self):
+        query = parse_query(
+            'SELECT ?p WHERE { ksp(?p, "roman", POINT(-4.66 -43.71), 1) . }'
+        )
+        assert (query.ksp.x, query.ksp.y) == (-4.66, -43.71)
+
+    def test_select_star_projects_clause_variables_first(self):
+        query = parse_query(
+            'SELECT * WHERE { ksp(?p, ?s, "roman", POINT(1 2), 1) . '
+            "?p <urn:ksp:keyword> ?kw . }"
+        )
+        assert query.projected() == [Variable("p"), Variable("s"), Variable("kw")]
+
+    def test_at_most_one_clause(self):
+        with pytest.raises(SparqlSyntaxError, match="at most one ksp"):
+            parse_query(
+                'SELECT ?p WHERE { ksp(?p, "a", POINT(1 2), 1) . '
+                'ksp(?p, "b", POINT(1 2), 1) . }'
+            )
+
+    def test_place_and_score_must_differ(self):
+        with pytest.raises(SparqlSyntaxError, match="must differ"):
+            parse_query('SELECT ?p WHERE { ksp(?p, ?p, "a", POINT(1 2), 1) . }')
+
+    def test_keywords_must_be_nonempty(self):
+        with pytest.raises(SparqlSyntaxError, match="keyword"):
+            parse_query('SELECT ?p WHERE { ksp(?p, "", POINT(1 2), 1) . }')
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query('SELECT ?p WHERE { ksp(?p, "a", POINT(1 2), 0) . }')
+
+    def test_point_expression_in_filter(self):
+        query = parse_query(
+            "SELECT ?p WHERE { ?p <urn:ksp:keyword> ?kw . "
+            "FILTER(DISTANCE(?p, POINT(1 2)) < 5) }"
+        )
+        call = query.filters[0].left
+        assert call.arguments[1] == PointExpr(1.0, 2.0)
+
+    def test_syntax_errors_report_line_and_column(self):
+        try:
+            parse_query('SELECT ?p WHERE {\n  ksp(?p ?s, "a", POINT(1 2)) . }')
+        except SparqlSyntaxError as error:
+            assert error.line == 2
+            assert error.column == 10
+            assert "line 2, column 10" in str(error)
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_first_line_error_column(self):
+        try:
+            parse_query("SELECT ?p FROM { }")
+        except SparqlSyntaxError as error:
+            assert error.line == 1
+            assert error.column == error.position + 1
+        else:
+            pytest.fail("expected a syntax error")
+
+
+class TestDerivedTripleView:
+    def test_keyword_triples_from_documents(self, engine):
+        store, _ = backend_triple_view(engine)
+        p1 = IRI("p1")
+        terms = [
+            triple.object.lexical
+            for triple in store.match(subject=p1, predicate=KEYWORD_PREDICATE)
+        ]
+        assert terms == sorted(terms)
+        assert "abbey" in terms
+
+    def test_keyword_reverse_lookup_uses_posting(self, engine):
+        store, _ = backend_triple_view(engine)
+        subjects = [
+            triple.subject.value
+            for triple in store.match(
+                predicate=KEYWORD_PREDICATE, object=Literal("abbey")
+            )
+        ]
+        assert "p1" in subjects
+
+    def test_geometry_triples_parse_back(self, engine):
+        store, graph = backend_triple_view(engine)
+        for vertex, point in graph.places():
+            triples = list(
+                store.match(
+                    subject=IRI(graph.label(vertex)), predicate=GEOMETRY_PREDICATE
+                )
+            )
+            assert len(triples) == 1
+            parsed = parse_point_literal(triples[0].object.lexical)
+            assert (parsed.x, parsed.y) == (point.x, point.y)
+
+    def test_geometry_literal_exponent_floats_parse_back(self):
+        from repro.spatial.geometry import Point
+
+        literal = geometry_literal(Point(1e-7, 43.5))
+        parsed = parse_point_literal(literal.lexical)
+        assert (parsed.x, parsed.y) == (1e-7, 43.5)
+
+    def test_link_triples_mirror_edges(self, engine):
+        store, graph = backend_triple_view(engine)
+        count = sum(1 for _ in store.match(predicate=LINK_PREDICATE))
+        assert count == graph.edge_count
+
+    def test_cardinality_estimates(self, engine):
+        store, graph = backend_triple_view(engine)
+        assert store.cardinality_estimate(predicate=LINK_PREDICATE) == (
+            graph.edge_count
+        )
+        assert store.cardinality_estimate(predicate=GEOMETRY_PREDICATE) == (
+            graph.place_count()
+        )
+        assert store.cardinality_estimate(predicate=IRI("urn:other")) == 0
+
+    def test_union_place_graph_restores_all_places(self, engine, tmp_path):
+        from repro.shard.build import build_shards
+        from repro.shard.router import ShardRouter
+
+        config = EngineConfig(alpha=3, tqsp_cache_size=0)
+        build_shards(engine.graph, tmp_path, shards=2, config=config)
+        router = ShardRouter(tmp_path, config)
+        _, union = backend_triple_view(router)
+        assert union.place_count() == engine.graph.place_count()
+        assert sorted(v for v, _ in union.places()) == sorted(
+            v for v, _ in engine.graph.places()
+        )
+        single = router.engines[0].graph
+        assert single.place_count() < engine.graph.place_count()
+
+
+class TestKspPlanner:
+    def test_pushdown_stops_early(self, engine, executor):
+        result = executor.execute(ksp_query(tail="ORDER BY ?score LIMIT 1"))
+        assert result.stats.pushdown is True
+        assert result.stats.places_examined == 1
+        assert len(result.bindings) == 1
+
+    def test_naive_path_examines_everything(self, engine, executor):
+        result = executor.execute(
+            ksp_query(tail="ORDER BY ?score LIMIT 1"),
+            SparqlOptions(pushdown=False),
+        )
+        assert result.stats.pushdown is False
+        assert result.stats.places_examined == engine.graph.place_count()
+
+    def test_descending_order_disables_pushdown(self, executor):
+        descending = executor.execute(
+            ksp_query(k=", 5", tail="ORDER BY DESC(?score) LIMIT 2")
+        )
+        assert descending.stats.pushdown is False
+        ascending = executor.execute(ksp_query(k=", 5", tail="ORDER BY ?score"))
+        assert [row["place"] for row in descending.bindings] == [
+            row["place"] for row in reversed(ascending.bindings)
+        ]
+
+    def test_offset_matches_naive(self, executor):
+        pushed = executor.execute(ksp_query(tail="ORDER BY ?score LIMIT 1 OFFSET 1"))
+        naive = executor.execute(
+            ksp_query(tail="ORDER BY ?score LIMIT 1 OFFSET 1"),
+            SparqlOptions(pushdown=False),
+        )
+        assert pushed.stats.pushdown is True
+        assert pushed.bindings == naive.bindings
+
+    def test_union_with_ksp_is_a_plan_error(self, executor):
+        text = (
+            'SELECT ?p WHERE { ksp(?p, "roman", POINT(1 2), 1) . '
+            "{ ?p <urn:ksp:keyword> \"a\" . } UNION { ?p <urn:ksp:keyword> \"b\" . } }"
+        )
+        with pytest.raises(SparqlPlanError, match="UNION/OPTIONAL"):
+            executor.execute(text)
+
+    def test_k_cap_is_enforced(self, executor):
+        with pytest.raises(SparqlPlanError, match="cap"):
+            executor.execute(
+                ksp_query(k=", 50", tail="ORDER BY ?score LIMIT 1"),
+                SparqlOptions(k_cap=10),
+            )
+
+    def test_unbounded_clause_needs_a_limit(self, executor):
+        with pytest.raises(SparqlPlanError, match="unbounded"):
+            executor.execute(ksp_query(tail=""))
+
+    def test_explicit_k_without_limit_is_fine(self, executor):
+        result = executor.execute(ksp_query(k=", 2", tail=""))
+        assert len(result.bindings) == 2
+
+    def test_unsearchable_keywords_are_a_plan_error(self, executor):
+        # The parser rejects empty keyword strings, but a hand-built AST
+        # can still reach the planner's probe.
+        from repro.sparql.ast import KSPClause, SelectQuery
+
+        query = SelectQuery(
+            variables=[Variable("p")],
+            ksp=KSPClause(
+                place=Variable("p"), score=None, keywords="", x=1.0, y=2.0, k=1
+            ),
+        )
+        with pytest.raises(SparqlPlanError):
+            executor.execute(query)
+
+    def test_expired_deadline_returns_partial(self, executor):
+        result = executor.execute(
+            ksp_query(), SparqlOptions(timeout=1e-9)
+        )
+        assert result.stats.timed_out is True
+
+    def test_plain_select_still_works(self, executor):
+        result = executor.execute(
+            'SELECT ?p WHERE { ?p <urn:ksp:keyword> "abbey" . }'
+        )
+        assert {row["p"]["value"] for row in result.bindings} == {"p1"}
+
+    def test_residual_filter_rejections_are_counted(self, executor):
+        result = executor.execute(
+            ksp_query(
+                extra='?place <urn:ksp:keyword> "abbey" . ',
+                tail="ORDER BY ?score LIMIT 5",
+            ),
+            SparqlOptions(pushdown=False),
+        )
+        assert result.stats.places_rejected > 0
+        assert {row["place"]["value"] for row in result.bindings} == {"p1"}
+
+
+class TestSparqlWireSchema:
+    def test_term_json_forms(self):
+        assert term_to_json(IRI("urn:x")) == {"type": "uri", "value": "urn:x"}
+        literal = Literal("1.5", datatype=IRI("urn:t"))
+        assert term_to_json(literal) == {
+            "type": "literal",
+            "value": "1.5",
+            "datatype": "urn:t",
+        }
+        tagged = Literal("hi", language="en")
+        assert term_to_json(tagged)["xml:lang"] == "en"
+
+    def test_round_trip(self, executor):
+        result = executor.execute(ksp_query(), SparqlOptions(request_id="rt-1"))
+        rebuilt = SparqlResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.request_id == "rt-1"
+
+    def test_stats_round_trip_ignores_unknown_fields(self):
+        stats = SparqlStats.from_dict({"rounds": 3, "later_addition": 1})
+        assert stats.rounds == 3
+
+    def test_matches_golden(self, executor):
+        result = executor.execute(
+            ksp_query(), SparqlOptions(request_id="sparql-golden-1")
+        )
+        document = result.to_dict()
+        document["stats"]["runtime_seconds"] = 0.0
+        golden = json.loads((GOLDEN_DIR / "sparql_example.json").read_text())
+        assert document == golden
+
+    def test_golden_file_is_canonical_json(self):
+        raw = (GOLDEN_DIR / "sparql_example.json").read_text()
+        parsed = json.loads(raw)
+        assert raw == json.dumps(parsed, indent=2, sort_keys=True) + "\n"
+
+    def test_order_condition_equality_backs_pushdown_test(self):
+        # The eligibility check compares AST nodes by value.
+        query = parse_query(ksp_query())
+        assert query.order_by[0].expression == TermExpr(Variable("score"))

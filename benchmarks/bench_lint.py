@@ -1,0 +1,103 @@
+"""reprolint whole-program analysis cost over the repository itself.
+
+The v2 analyzer parses every module once and builds a project-wide call
+graph + lock-acquisition graph before any rule runs, so its cost is the
+sum of three parts this bench times separately: parsing, building the
+:class:`Program` (fact extraction + fixpoint closures + lock-order
+edges), and the full engine run (all rules, suppression matching,
+reporting).  Records the machine-readable ``BENCH_lint.json`` so a
+regression in analysis cost shows up next to the query benchmarks.
+"""
+
+import ast
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.config import load_config
+from repro.analysis.engine import discover_files, lint_paths
+from repro.analysis.program import Program
+from repro.analysis.rules.base import ModuleInfo
+from repro.bench.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _sweep():
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+    files = discover_files(paths, REPO_ROOT)
+
+    started = time.monotonic()
+    modules = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:  # pragma: no cover - repo parses
+            continue
+        modules.append(
+            ModuleInfo(
+                path=path,
+                relpath=path.relative_to(REPO_ROOT).as_posix(),
+                tree=tree,
+                lines=source.splitlines(),
+            )
+        )
+    parse_seconds = time.monotonic() - started
+
+    started = time.monotonic()
+    program = Program.build(modules)
+    edges = program.lock_order_edges()
+    acquires = program.transitive_acquires()
+    build_seconds = time.monotonic() - started
+
+    started = time.monotonic()
+    result = lint_paths(paths, config=load_config(REPO_ROOT))
+    full_seconds = time.monotonic() - started
+
+    call_edges = sum(len(c) for c in program.resolved_calls().values())
+    table = Table(
+        "reprolint v2: whole-program analysis cost (src + tests)",
+        ["stage", "seconds", "notes"],
+    )
+    table.add_row("parse", parse_seconds, "%d files" % len(modules))
+    table.add_row(
+        "program build",
+        build_seconds,
+        "%d functions, %d call edges, %d lock-order edges"
+        % (len(program.functions), call_edges, len(edges)),
+    )
+    table.add_row(
+        "full lint run",
+        full_seconds,
+        "%d finding(s), %d suppressed"
+        % (len(result.findings), len(result.suppressed)),
+    )
+    payload = {
+        "benchmark": "lint",
+        "files": len(modules),
+        "functions": len(program.functions),
+        "call_edges": call_edges,
+        "lock_order_edges": len(edges),
+        "functions_acquiring_locks": sum(
+            1 for held in acquires.values() if held
+        ),
+        "parse_seconds": round(parse_seconds, 6),
+        "program_build_seconds": round(build_seconds, 6),
+        "full_lint_seconds": round(full_seconds, 6),
+        "findings": len(result.findings),
+        "suppressed": len(result.suppressed),
+        "exit_code": result.exit_code(),
+    }
+    return table, payload
+
+
+def test_whole_program_lint_cost(benchmark, emit, emit_json):
+    table, payload = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit("lint_cost", table)
+    emit_json("BENCH_lint", payload)
+    # The repository must lint clean, and the whole-program pass must
+    # stay interactive — it runs on every CI push and locally via
+    # ``repro lint``.
+    assert payload["exit_code"] == 0, json.dumps(payload)
+    assert payload["full_lint_seconds"] < 60.0, json.dumps(payload)

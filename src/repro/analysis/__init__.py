@@ -4,15 +4,19 @@ The repository's correctness rests on a handful of hand-maintained
 contracts that ordinary linters cannot see: shared state touched only
 under its lock, hot loops polling the cooperative deadline, frozen
 config objects never mutated, monotonic clocks on the query path,
-exceptions never silently swallowed, and the wire schema kept in
-lockstep between :class:`~repro.core.query.KSPResult` and
-:mod:`repro.serve.schemas`.  This package checks them mechanically:
+exceptions never silently swallowed, the wire schema kept in lockstep
+between :class:`~repro.core.query.KSPResult` and
+:mod:`repro.serve.schemas`, and — whole-program, via one project-wide
+call graph (:mod:`repro.analysis.program`) — lock-order acyclicity,
+fork safety, and no blocking calls under serving locks.  This package
+checks them mechanically:
 
 ======  ==============================================================
 RL001   lock discipline: attributes guarded by a ``threading.Lock``
         somewhere must be guarded everywhere
 RL002   deadline polling: every ``while`` loop in the query hot paths
-        must consult the cooperative deadline
+        must consult the cooperative deadline, directly or through a
+        callee that provably polls (interprocedural)
 RL003   frozen-config mutation: no attribute assignment on
         ``EngineConfig`` / ``QueryOptions`` / ``ServeConfig`` instances
 RL004   wall-clock ban: ``time.time`` / argless ``datetime.now`` /
@@ -21,9 +25,24 @@ RL005   swallowed exceptions: ``except Exception`` must re-raise,
         record an error, or log
 RL006   wire-schema drift: ``KSPResult.to_dict``/``from_dict`` must
         match the field set declared in ``repro/serve/schemas.py``
+RL007   metric help text: every counter/gauge/histogram registration
+        carries a non-empty description
+RL008   lock order: the project-wide lock-acquisition graph is acyclic
+        (cycles are potential deadlocks, reported with witness call
+        chains); non-reentrant locks are never re-acquired while held
+RL009   fork safety: locks/threads/executors/sockets/mmaps created
+        before ``os.fork`` are not used on fork-child paths without a
+        ``register_at_fork`` hook, ``getpid`` guard, or re-creation
+RL010   blocking under lock: no sleep/subprocess/socket/file-I/O/query
+        call — direct or transitive — while a lock is held
+RL000   stale suppressions: an inline allowance that matches no
+        current finding is itself flagged (full runs only)
 ======  ==============================================================
 
-Run it as ``python -m repro.analysis [paths]`` or ``repro lint``.  A
+Run it as ``python -m repro.analysis [paths]`` or ``repro lint``.
+``--format sarif`` emits SARIF 2.1.0 (``--output`` writes it to a
+file); ``--baseline reprolint-baseline.json`` makes only *new*
+findings fail and ``--update-baseline`` rewrites the accepted set.  A
 finding is silenced with an inline suppression on the offending line or
 the line above::
 
@@ -31,7 +50,10 @@ the line above::
 
 The reason text is mandatory — a suppression without one does not
 count.  Rules are mapped to the module globs they govern by the
-``[tool.reprolint]`` block in ``pyproject.toml``.
+``[tool.reprolint]`` block in ``pyproject.toml``.  The runtime half of
+RL008 lives in :mod:`repro.analysis.runtime`: ``OrderedLock`` records
+real acquisition order under the hammer tests and asserts it acyclic
+and within the statically predicted edge set.
 """
 
 from repro.analysis.config import DEFAULT_RULE_PATHS, LintConfig, load_config

@@ -1,7 +1,10 @@
 """``python -m repro.analysis`` — run reprolint from the command line.
 
 Exit codes: 0 clean, 1 unsuppressed findings, 2 configuration or usage
-error (unknown rule id, unparseable file, broken ``[tool.reprolint]``).
+error (unknown rule id, unparseable file, broken ``[tool.reprolint]``
+or baseline file).  With ``--baseline`` only findings absent from the
+baseline count against the exit code; ``--update-baseline`` rewrites
+the file from the current findings and exits 0.
 """
 
 from __future__ import annotations
@@ -11,10 +14,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+)
 from repro.analysis.config import ConfigError, load_config
 from repro.analysis.engine import lint_paths
 from repro.analysis.registry import all_rules
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -23,7 +31,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "reprolint: AST-based invariant checks for the kSP serving "
             "stack (lock discipline, deadline polling, frozen configs, "
-            "monotonic time, exception accounting, wire-schema drift)."
+            "monotonic time, exception accounting, wire-schema drift, "
+            "lock-order cycles, fork safety, blocking-under-lock)."
         ),
     )
     parser.add_argument(
@@ -34,14 +43,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--rules",
         metavar="IDS",
         help="comma-separated rule ids to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "subtract findings recorded in this baseline file "
+            "(see %s at the repo root)" % DEFAULT_BASELINE_NAME
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file (--baseline, default %s) from the "
+            "current findings and exit 0" % DEFAULT_BASELINE_NAME
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -51,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--verbose",
         action="store_true",
-        help="also show suppressed findings in text output",
+        help="also show suppressed/baselined findings in text output",
     )
     return parser
 
@@ -83,11 +113,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
 
-    result = lint_paths(paths, config=config, rule_ids=rule_ids)
+    baseline_path = (
+        Path(options.baseline)
+        if options.baseline
+        else config.root / DEFAULT_BASELINE_NAME
+    )
+    baseline = None
+    if options.baseline and not options.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+
+    result = lint_paths(
+        paths, config=config, rule_ids=rule_ids, baseline=baseline
+    )
+
+    if options.update_baseline:
+        if result.errors:
+            for error in result.errors:
+                print("error: %s" % error, file=sys.stderr)
+            return 2
+        Baseline.from_findings(result.findings).write(baseline_path)
+        print(
+            "baseline written: %s (%d finding(s))"
+            % (baseline_path, len(result.findings))
+        )
+        return 0
+
     if options.format == "json":
-        print(render_json(result))
+        report = render_json(result)
+    elif options.format == "sarif":
+        report = render_sarif(result)
     else:
-        print(render_text(result, verbose=options.verbose))
+        report = render_text(result, verbose=options.verbose)
+    if options.output:
+        Path(options.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
     return result.exit_code()
 
 

@@ -1,0 +1,23 @@
+"""Tiny AST helpers shared by the rules and the whole-program model.
+
+Lives outside the ``rules`` package so :mod:`repro.analysis.program`
+can use it without triggering the rules package ``__init__`` (which
+imports every rule module, which import the program — a cycle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, '' for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,145 @@
+"""Finding baselines: fail CI on *new* findings only.
+
+Adopting an interprocedural rule on a living codebase surfaces debt
+that cannot all be paid in one PR.  The baseline file records the
+accepted debt: each entry fingerprints one finding by ``(rule, path,
+message)`` — deliberately *not* by line number, so unrelated edits
+above a known finding do not resurrect it — plus an occurrence count,
+so a second identical violation in the same file still fails.
+
+Workflow::
+
+    python -m repro.analysis src tests --update-baseline   # accept debt
+    python -m repro.analysis src tests --baseline reprolint-baseline.json
+
+The committed file lives at the repo root (``reprolint-baseline.json``)
+and is diffed in review like any other source: shrinking it is paying
+debt, growing it is a reviewed decision, and CI fails the moment a
+finding appears that the file does not cover.  Entries that no longer
+match anything are reported by :func:`apply` so the file cannot
+quietly rot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be interpreted."""
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable line-independent identity for one finding."""
+    blob = "\x00".join((finding.rule, finding.path, finding.message))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Accepted findings: fingerprint -> allowed occurrence count."""
+
+    counts: Dict[str, int]
+    # kept for human-readable serialization and unmatched-entry reports
+    entries: Dict[str, Dict[str, object]]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(counts={}, entries={})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        baseline = cls.empty()
+        for finding in sorted(findings, key=Finding.sort_key):
+            fp = fingerprint(finding)
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + 1
+            baseline.entries.setdefault(
+                fp,
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                },
+            )
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise BaselineError("cannot read baseline %s: %s" % (path, exc))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise BaselineError(
+                "baseline %s: expected {'version': %d, 'entries': [...]}"
+                % (path, _VERSION)
+            )
+        baseline = cls.empty()
+        for entry in data.get("entries", ()):
+            if not isinstance(entry, dict) or "fingerprint" not in entry:
+                raise BaselineError(
+                    "baseline %s: malformed entry %r" % (path, entry)
+                )
+            fp = str(entry["fingerprint"])
+            count = int(entry.get("count", 1))
+            baseline.counts[fp] = baseline.counts.get(fp, 0) + count
+            baseline.entries.setdefault(fp, entry)
+        return baseline
+
+    def write(self, path: Path) -> None:
+        entries = []
+        for fp in sorted(self.counts):
+            meta = self.entries.get(fp, {})
+            entries.append(
+                {
+                    "fingerprint": fp,
+                    "count": self.counts[fp],
+                    "rule": meta.get("rule", ""),
+                    "path": meta.get("path", ""),
+                    "message": meta.get("message", ""),
+                }
+            )
+        payload = {"version": _VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition findings into (new, baselined) + unmatched entries.
+
+        Each baseline entry absorbs up to ``count`` identical findings;
+        the remainder are new.  ``unmatched`` describes entries that
+        absorbed nothing — fixed debt whose entry should be deleted
+        (``--update-baseline`` rewrites the file).
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in sorted(findings, key=Finding.sort_key):
+            fp = fingerprint(finding)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        unmatched: List[str] = []
+        for fp, count in sorted(remaining.items()):
+            if count == self.counts.get(fp, 0) and count > 0:
+                meta = self.entries.get(fp, {})
+                unmatched.append(
+                    "%s %s: %s"
+                    % (meta.get("rule", "?"), meta.get("path", "?"), fp)
+                )
+        return new, baselined, unmatched

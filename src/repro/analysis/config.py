@@ -51,6 +51,10 @@ DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
     "RL004": ("src/repro/core/**/*.py", "src/repro/rdf/**/*.py"),
     "RL005": ("src/repro/**/*.py",),
     "RL006": ("src/repro/core/query.py", "src/repro/serve/schemas.py"),
+    "RL007": ("src/repro/**/*.py",),
+    "RL008": ("src/repro/**/*.py",),
+    "RL009": ("src/repro/**/*.py",),
+    "RL010": ("src/repro/**/*.py",),
 }
 
 

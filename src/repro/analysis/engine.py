@@ -1,4 +1,25 @@
-"""Analyzer orchestration: discover files, run rules, split suppressions."""
+"""Analyzer orchestration: discover files, run rules, split suppressions.
+
+reprolint v2 runs in two passes over one shared parse.  Every file is
+parsed exactly once into a :class:`ModuleInfo`; the per-module rules
+(RL001, RL003-RL007) see each governed file in isolation, then a single
+:class:`~repro.analysis.program.Program` is built from *all* parsed
+modules and handed to the interprocedural rules (RL002, RL008-RL010).
+The program must always span every discovered file — a call graph with
+holes where the ungoverned files were would silently weaken lock-order
+and fork-safety reasoning — so governance is applied to program-rule
+*findings* (by path) rather than to the program's inputs.
+
+Afterwards the engine:
+
+* splits raw findings into active/suppressed via the per-file inline
+  allowance indexes;
+* on full-registry runs, reports allowances that suppressed nothing as
+  RL000 findings (stale-suppression detection — skipped under
+  ``--rules``, where "unused" would just mean "not run");
+* optionally subtracts a committed :class:`~repro.analysis.baseline`
+  so CI fails only on *new* findings.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.findings import (
     Finding,
@@ -14,6 +36,7 @@ from repro.analysis.findings import (
     SuppressionIndex,
     split_suppressed,
 )
+from repro.analysis.program import Program
 from repro.analysis.registry import all_rules
 from repro.analysis.rules.base import ModuleInfo
 
@@ -24,6 +47,8 @@ class LintResult:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[SuppressedFinding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    baseline_unmatched: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)  # unparseable files etc.
     files_checked: int = 0
     rules_run: Tuple[str, ...] = ()
@@ -64,12 +89,14 @@ def lint_paths(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintResult:
     """Run the analyzer over ``paths`` (files or directories).
 
     ``rule_ids`` restricts the run to a subset (``--rules RL002,RL005``);
     unknown ids land in ``result.errors`` so a typo cannot masquerade as
-    a clean pass.
+    a clean pass.  ``baseline`` moves previously accepted findings into
+    ``result.baselined`` so only new ones affect the exit code.
     """
     if config is None:
         start = paths[0] if paths else Path.cwd()
@@ -78,6 +105,7 @@ def lint_paths(
 
     registry = all_rules()
     selected = list(registry)
+    full_run = rule_ids is None
     if rule_ids is not None:
         wanted = [rid.upper() for rid in rule_ids]
         unknown = [rid for rid in wanted if rid not in registry]
@@ -93,6 +121,7 @@ def lint_paths(
 
     raw: List[Finding] = []
     suppressions: Dict[str, SuppressionIndex] = {}
+    modules: List[ModuleInfo] = []
     for file_path in discover_files(paths, config.root):
         relpath = _relpath(file_path, config.root)
         try:
@@ -103,14 +132,64 @@ def lint_paths(
             continue
         lines = source.splitlines()
         module = ModuleInfo(path=file_path, relpath=relpath, tree=tree, lines=lines)
+        modules.append(module)
         suppressions[relpath] = SuppressionIndex.from_source(lines)
         result.files_checked += 1
         for rule_id, rule in rules.items():
+            if rule.uses_program:
+                continue
             if not config.governs(rule_id, relpath):
                 continue
             raw.extend(rule.check_module(module))
     for rule in rules.values():
         raw.extend(rule.finalize())
 
+    if any(rule.uses_program for rule in rules.values()) and modules:
+        program = Program.build(modules)
+        for rule_id, rule in rules.items():
+            if not rule.uses_program:
+                continue
+            raw.extend(
+                finding
+                for finding in rule.check_program(program)
+                if config.governs(rule_id, finding.path)
+            )
+
     result.findings, result.suppressed = split_suppressed(raw, suppressions)
+
+    if full_run:
+        result.findings.extend(
+            _stale_suppression_findings(suppressions, tuple(rules))
+        )
+        result.findings.sort(key=Finding.sort_key)
+
+    if baseline is not None:
+        new, already, unmatched = baseline.apply(result.findings)
+        result.findings = new
+        result.baselined = already
+        result.baseline_unmatched = unmatched
     return result
+
+
+def _stale_suppression_findings(
+    suppressions: Dict[str, SuppressionIndex],
+    active_rules: Tuple[str, ...],
+) -> List[Finding]:
+    """RL000 findings for allowances that suppressed nothing."""
+    out: List[Finding] = []
+    for relpath in sorted(suppressions):
+        for line, rule, reason in suppressions[relpath].stale(active_rules):
+            out.append(
+                Finding(
+                    rule="RL000",
+                    path=relpath,
+                    line=line,
+                    col=1,
+                    message=(
+                        "stale suppression: allow[%s] (%r) matched no "
+                        "finding — delete it, or fix the rule id"
+                        % (rule, reason)
+                    ),
+                )
+            )
+    return out

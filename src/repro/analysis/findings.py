@@ -12,13 +12,22 @@ The comment may sit on the offending line or on the line directly
 above; it may name several rules (``allow[RL001,RL002]``); and the
 trailing reason is mandatory — an allowance with no justification is
 ignored, so every silenced finding documents *why* it is safe.
+
+Allowances are extracted from real COMMENT tokens (via
+:mod:`tokenize`), not by regex over raw lines: an ``allow[...]``
+example quoted inside a docstring or a test fixture string is prose,
+not a suppression, and must neither silence findings nor be flagged as
+stale.  Each index records which of its allowances actually suppressed
+something, so the engine can report the stale ones (RL000).
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(\S.*)?$"
@@ -63,37 +72,78 @@ class SuppressionIndex:
 
     # line -> (rule ids, reason)
     allowances: Dict[int, Tuple[Tuple[str, ...], str]] = field(default_factory=dict)
+    # (line, rule) pairs that suppressed at least one finding this run
+    used: Set[Tuple[int, str]] = field(default_factory=set)
 
     @classmethod
     def from_source(cls, lines: Sequence[str]) -> "SuppressionIndex":
+        """Build the index from source lines via real COMMENT tokens."""
         index = cls()
-        for number, text in enumerate(lines, start=1):
-            match = _SUPPRESS_RE.search(text)
-            if match is None:
-                continue
-            reason = (match.group(2) or "").strip()
-            if not reason:
-                continue  # a suppression must explain itself
-            rules = tuple(
-                part.strip().upper()
-                for part in match.group(1).split(",")
-                if part.strip()
+        text = "\n".join(lines)
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(text).readline)
             )
-            if rules:
-                index.allowances[number] = (rules, reason)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # Unparseable files never reach the rules, but be lenient:
+            # fall back to the line scan so a stray tab cannot strip
+            # every suppression from an otherwise analyzable file.
+            tokens = None
+        if tokens is not None:
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                index._note(token.start[0], token.string)
+        else:
+            for number, line_text in enumerate(lines, start=1):
+                index._note(number, line_text)
         return index
+
+    def _note(self, number: int, text: str) -> None:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            return
+        reason = (match.group(2) or "").strip()
+        if not reason:
+            return  # a suppression must explain itself
+        rules = tuple(
+            part.strip().upper()
+            for part in match.group(1).split(",")
+            if part.strip()
+        )
+        if rules:
+            self.allowances[number] = (rules, reason)
 
     def covers(self, rule: str, line: int) -> Optional[str]:
         """The reason suppressing ``rule`` at ``line``, or None.
 
         An allowance applies to its own line and to the line below it
-        (comment-above style).
+        (comment-above style).  A hit is recorded in :attr:`used` so
+        stale allowances can be reported afterwards.
         """
         for candidate in (line, line - 1):
             entry = self.allowances.get(candidate)
             if entry is not None and rule in entry[0]:
+                self.used.add((candidate, rule))
                 return entry[1]
         return None
+
+    def stale(self, active_rules: Sequence[str]) -> List[Tuple[int, str, str]]:
+        """(line, rule, reason) for allowances that suppressed nothing.
+
+        The caller passes the ids that actually ran (the engine only
+        does this on full-registry runs); an allowance naming a rule
+        outside that set is a typo that can never match — always stale.
+        """
+        known = set(active_rules)
+        out: List[Tuple[int, str, str]] = []
+        for line in sorted(self.allowances):
+            rules, reason = self.allowances[line]
+            for rule in rules:
+                if rule in known and (line, rule) in self.used:
+                    continue
+                out.append((line, rule, reason))
+        return out
 
 
 @dataclass(frozen=True)

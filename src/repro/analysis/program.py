@@ -1,0 +1,914 @@
+"""Whole-program model for the interprocedural rules (RL002, RL008-RL010).
+
+The per-module rules (RL001, RL003-RL007) see one file at a time.  The
+concurrency hazards that actually bite a serving fleet cross function
+and module boundaries: a deadlock needs two call *chains* acquiring the
+same locks in opposite orders; fork-safety needs the import graph from
+the fork site; blocking-under-lock needs to know what a callee's callees
+eventually do while the caller still holds a lock.  This module parses
+nothing itself — it consumes the :class:`ModuleInfo` objects the engine
+already built — and derives:
+
+* a **function table** keyed by qualified name
+  (``relpath::Class.method`` / ``relpath::func``), with per-function
+  facts: which locks it acquires (and which were already held at that
+  point), which calls it makes (and under which locks), which
+  known-blocking operations it performs, whether it polls a query
+  deadline, and which ``self`` attributes it reads;
+* a **call graph** via best-effort resolution: ``self.m()`` to the same
+  class, bare ``f()`` through the module and its imports, ``mod.f()``
+  through import aliases, and — as a last resort — ``obj.m()`` to class
+  methods of that name when at most :data:`_MAX_METHOD_CANDIDATES`
+  classes in the program define one (may-edges);
+* **lock identities**: ``relpath::Class.attr`` for instance locks,
+  ``relpath::name`` for module-level locks, and
+  ``relpath::func.var`` for function-local locks, matched by the same
+  ``threading.Lock``-family constructor heuristic RL001 uses;
+* transitive closures (acquired locks, blocking operations, deadline
+  polling) with witness call chains, computed once per program by
+  fixpoint over the call graph;
+* the **lock-order edge set**: ``A -> B`` whenever some execution path
+  may acquire ``B`` while holding ``A``, each edge carrying witness
+  chains.  RL008 runs cycle detection over it, and
+  :mod:`repro.analysis.runtime` cross-validates observed orders
+  against it.
+
+Soundness caveats (also in DESIGN.md section 15): resolution is
+best-effort, so the model is neither sound nor complete — dynamic
+dispatch through duck-typed engines, callbacks stored in containers,
+and locks passed as arguments are invisible; method-name fallback can
+create false may-edges (it is capped, and the guaranteed-self-deadlock
+check ignores may-edges entirely).  Nested functions are inlined into
+their enclosing function, inheriting its lexical lock context, matching
+RL001's treatment of closures.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.rules.base import ModuleInfo
+
+#: threading constructors whose result is treated as a lock (RL001's set).
+LOCK_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+}
+
+#: constructors whose result must not be shared across os.fork (RL009).
+RESOURCE_FACTORIES = {
+    "Lock": "lock",
+    "RLock": "lock",
+    "Condition": "lock",
+    "Semaphore": "lock",
+    "BoundedSemaphore": "lock",
+    "Thread": "thread",
+    "Timer": "thread",
+    "ThreadPoolExecutor": "thread pool",
+    "ProcessPoolExecutor": "process pool",
+    "socket": "socket",
+    "create_connection": "socket",
+    "mmap": "mmap",
+}
+
+#: fully-qualified callables that block (after import-alias resolution).
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.wait",
+    "os.waitpid",
+    "os.replace",
+    "os.rename",
+    "os.fsync",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "concurrent.futures.wait",
+    "shutil.rmtree",
+    "shutil.copyfileobj",
+    "shutil.move",
+    "select.select",
+    "open",
+    "io.open",
+}
+
+#: method tails that block regardless of receiver (sockets, files,
+#: futures, engine queries).  ``.wait`` is special-cased: waiting on the
+#: condition you hold *releases* it, which is the whole point.
+BLOCKING_TAILS = {
+    "write": "file/stream write",
+    "flush": "stream flush",
+    "recv": "socket recv",
+    "recv_into": "socket recv",
+    "send": "socket send",
+    "sendall": "socket send",
+    "accept": "socket accept",
+    "connect": "socket connect",
+    "urlopen": "HTTP request",
+    "result": "future wait",
+    "wait": "blocking wait",
+    "query": "engine query",
+    "query_batch": "engine query",
+    "execute": "engine query",
+}
+
+_POLL_METHODS = {"expired", "check"}
+_MAX_METHOD_CANDIDATES = 3
+
+
+def is_deadline_poll(node: ast.AST) -> bool:
+    """``deadline.expired()`` / ``opts.deadline.check()``-style calls."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    if node.func.attr not in _POLL_METHODS:
+        return False
+    receiver = dotted_name(node.func.value)
+    return "deadline" in receiver.lower()
+
+
+# ---------------------------------------------------------------------------
+# per-function facts
+
+
+@dataclass
+class Acquire:
+    """One lock acquisition (a ``with`` item or an explicit ``.acquire()``)."""
+
+    lock: str
+    kind: str  # Lock | RLock | Condition | Semaphore | BoundedSemaphore
+    held: Tuple[str, ...]  # locks already held at this point
+    line: int
+    col: int
+
+
+@dataclass
+class CallSite:
+    """One call expression, with the lock context it runs under."""
+
+    ref: Tuple[str, str]  # (kind, spec); kind in self|name|dotted|method
+    held: Tuple[str, ...]
+    line: int
+    col: int
+    in_fork_child: bool = False
+
+
+@dataclass
+class BlockingOp:
+    """One known-blocking operation performed directly by a function."""
+
+    what: str  # human label, e.g. "time.sleep" or "socket send (.sendall)"
+    held: Tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the interprocedural rules need about one function."""
+
+    qualname: str  # relpath::Class.method or relpath::func
+    relpath: str
+    name: str
+    class_name: Optional[str]
+    node: ast.AST
+    line: int
+    acquires: List[Acquire] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    blocking: List[BlockingOp] = field(default_factory=list)
+    polls_deadline: bool = False
+    fork_lines: List[int] = field(default_factory=list)
+    has_getpid_guard: bool = False
+    # attr -> first (line, col) it is read at; child = inside `if pid == 0:`
+    self_attr_reads: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    child_attr_reads: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    self_attr_writes: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    relpath: str
+    line: int
+    lock_attrs: Dict[str, str] = field(default_factory=dict)  # attr -> kind
+    resource_attrs: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+
+@dataclass
+class ModuleFacts:
+    relpath: str
+    module_name: str  # dotted, without a leading src. segment
+    tree: ast.Module
+    module_locks: Dict[str, Tuple[str, int, int]] = field(default_factory=dict)
+    imports: Dict[str, str] = field(default_factory=dict)  # alias -> dotted
+    imported_modules: Set[str] = field(default_factory=set)
+    registers_at_fork: bool = False
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    function_names: List[str] = field(default_factory=list)  # qualnames
+
+
+@dataclass(frozen=True)
+class EdgeWitness:
+    """One concrete reason a lock-order edge exists."""
+
+    path: str
+    line: int
+    chain: Tuple[str, ...]  # qualnames, caller first, acquirer last
+
+
+# ---------------------------------------------------------------------------
+# AST scanning
+
+
+def _dotted_module_candidates(relpath: str) -> List[str]:
+    """Dotted names this file answers to (``a.b.c``, ``b.c``, ``c``)."""
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return [".".join(parts[i:]) for i in range(len(parts)) if parts[i:]]
+
+
+def _is_factory(call: ast.AST, names: Set[str]) -> Optional[str]:
+    if not isinstance(call, ast.Call):
+        return None
+    tail = dotted_name(call.func).rsplit(".", 1)[-1]
+    return tail if tail in names else None
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Walk one top-level function/method, nested defs inlined."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        module: ModuleFacts,
+        cls: Optional[ClassInfo],
+    ) -> None:
+        self._info = info
+        self._module = module
+        self._cls = cls
+        self._held: List[str] = []
+        self._local_locks: Dict[str, str] = {}  # var -> kind
+        self._fork_child_ifs: Set[int] = set()
+        self._in_child = 0
+        self._prescan(info.node)
+
+    # -- pre-pass: local lock vars and `if pid == 0:` fork-child bodies --
+
+    def _prescan(self, node: ast.AST) -> None:
+        fork_vars: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                kind = _is_factory(sub.value, set(LOCK_FACTORIES))
+                if kind is not None:
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            self._local_locks[target.id] = kind
+                if self._is_fork_call(sub.value):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            fork_vars.add(target.id)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.If) and self._is_child_test(sub.test, fork_vars):
+                self._fork_child_ifs.add(id(sub))
+
+    def _canonical(self, dotted: str) -> str:
+        head, sep, rest = dotted.partition(".")
+        mapped = self._module.imports.get(head)
+        if mapped is None:
+            return dotted
+        return mapped + (("." + rest) if rest else "")
+
+    def _is_fork_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and self._canonical(dotted_name(node.func)) == "os.fork"
+        )
+
+    def _is_child_test(self, test: ast.AST, fork_vars: Set[str]) -> bool:
+        """``pid == 0`` (pid assigned from os.fork) or ``os.fork() == 0``."""
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and len(test.comparators) == 1
+        ):
+            return False
+        left, right = test.left, test.comparators[0]
+        if isinstance(left, ast.Constant):
+            left, right = right, left
+        if not (isinstance(right, ast.Constant) and right.value == 0):
+            return False
+        if isinstance(left, ast.Name) and left.id in fork_vars:
+            return True
+        return self._is_fork_call(left)
+
+    # -- lock identity ---------------------------------------------------
+
+    def _lock_ref(self, expr: ast.AST) -> Optional[Tuple[str, str]]:
+        """(lock id, kind) when ``expr`` names a known lock."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self._cls is not None
+            and expr.attr in self._cls.lock_attrs
+        ):
+            lock_id = "%s::%s.%s" % (self._info.relpath, self._cls.name, expr.attr)
+            return lock_id, self._cls.lock_attrs[expr.attr]
+        if isinstance(expr, ast.Name):
+            if expr.id in self._local_locks:
+                lock_id = "%s.%s" % (self._info.qualname, expr.id)
+                return lock_id, self._local_locks[expr.id]
+            if expr.id in self._module.module_locks:
+                kind = self._module.module_locks[expr.id][0]
+                return "%s::%s" % (self._info.relpath, expr.id), kind
+        return None
+
+    def _held_tuple(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(self._held))
+
+    # -- traversal -------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+            ref = self._lock_ref(item.context_expr)
+            if ref is not None:
+                lock_id, kind = ref
+                self._info.acquires.append(
+                    Acquire(
+                        lock=lock_id,
+                        kind=kind,
+                        held=self._held_tuple(),
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset + 1,
+                    )
+                )
+                self._held.append(lock_id)
+                pushed += 1
+        for statement in node.body:
+            self.visit(statement)
+        for _ in range(pushed):
+            self._held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        child = id(node) in self._fork_child_ifs
+        if child:
+            self._in_child += 1
+        for statement in node.body:
+            self.visit(statement)
+        if child:
+            self._in_child -= 1
+        for statement in node.orelse:
+            self.visit(statement)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            spot = (node.lineno, node.col_offset + 1)
+            if isinstance(node.ctx, ast.Load):
+                self._info.self_attr_reads.setdefault(node.attr, spot)
+                if self._in_child:
+                    self._info.child_attr_reads.setdefault(node.attr, spot)
+            else:
+                self._info.self_attr_writes.setdefault(node.attr, spot)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = dotted_name(func)
+        canonical = self._canonical(dotted) if dotted else ""
+
+        # explicit lock.acquire(): an acquisition, not a call site.  The
+        # matching release is untracked, so the held set is NOT extended
+        # (scoped `with` is the repository idiom; see DESIGN.md).
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            ref = self._lock_ref(func.value)
+            if ref is not None:
+                lock_id, kind = ref
+                self._info.acquires.append(
+                    Acquire(
+                        lock=lock_id,
+                        kind=kind,
+                        held=self._held_tuple(),
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                    )
+                )
+                self.generic_visit(node)
+                return
+
+        if canonical == "os.fork":
+            self._info.fork_lines.append(node.lineno)
+        elif canonical == "os.getpid":
+            self._info.has_getpid_guard = True
+        if is_deadline_poll(node):
+            self._info.polls_deadline = True
+
+        blocking = self._classify_blocking(node, canonical)
+        if blocking is not None:
+            self._info.blocking.append(
+                BlockingOp(
+                    what=blocking,
+                    held=self._held_tuple(),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                )
+            )
+
+        ref = self._call_ref(func, dotted)
+        if ref is not None:
+            self._info.calls.append(
+                CallSite(
+                    ref=ref,
+                    held=self._held_tuple(),
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    in_fork_child=self._in_child > 0,
+                )
+            )
+        self.generic_visit(node)
+
+    # -- call classification --------------------------------------------
+
+    def _classify_blocking(self, node: ast.Call, canonical: str) -> Optional[str]:
+        if canonical in BLOCKING_CALLS:
+            if canonical in ("os.waitpid", "os.wait") and any(
+                dotted_name(arg).endswith("WNOHANG") for arg in node.args
+            ):
+                return None  # WNOHANG polls; it does not block
+            return canonical
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            tail = func.attr
+            if tail == "wait":
+                ref = self._lock_ref(func.value)
+                if ref is not None and ref[0] in self._held:
+                    return None  # Condition.wait releases the held lock
+            if tail in BLOCKING_TAILS:
+                label = dotted_name(func) or "<expr>.%s" % tail
+                return "%s (%s)" % (label, BLOCKING_TAILS[tail])
+        return None
+
+    def _call_ref(self, func: ast.AST, dotted: str) -> Optional[Tuple[str, str]]:
+        if isinstance(func, ast.Name):
+            return ("name", func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                return ("self", func.attr)
+            if dotted:
+                return ("dotted", dotted)
+            return ("method", func.attr)
+        return None
+
+    # a nested class is a fresh scope, scanned by the module walk
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+
+# ---------------------------------------------------------------------------
+# the program
+
+
+class Program:
+    """Call graph + lock facts for one analyzer run, built once."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleFacts] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}  # relpath::Class -> info
+        self.lock_kinds: Dict[str, str] = {}
+        self._module_by_dotted: Dict[str, Optional[str]] = {}
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._resolved: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._trans_acquires: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None
+        self._trans_blocking: Optional[Dict[str, Dict[str, Tuple[str, ...]]]] = None
+        self._polls: Optional[Set[str]] = None
+        self._edges: Optional[Dict[Tuple[str, str], List[EdgeWitness]]] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: Sequence[ModuleInfo]) -> "Program":
+        program = cls()
+        for module in modules:
+            program._add_module(module)
+        program._scan_functions()
+        return program
+
+    def _add_module(self, module: ModuleInfo) -> None:
+        candidates = _dotted_module_candidates(module.relpath)
+        preferred = [c for c in candidates if not c.startswith("src.")]
+        facts = ModuleFacts(
+            relpath=module.relpath,
+            module_name=preferred[0] if preferred else module.relpath,
+            tree=module.tree,
+        )
+        self.modules[module.relpath] = facts
+        for dotted in candidates:
+            existing = self._module_by_dotted.get(dotted, dotted)
+            if existing == dotted or existing == module.relpath:
+                self._module_by_dotted[dotted] = module.relpath
+            else:
+                self._module_by_dotted[dotted] = None  # ambiguous
+
+        for node in facts.tree.body:
+            if isinstance(node, ast.Assign):
+                kind = _is_factory(node.value, set(LOCK_FACTORIES))
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            facts.module_locks[target.id] = (
+                                kind,
+                                node.lineno,
+                                node.col_offset + 1,
+                            )
+        for node in ast.walk(facts.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    facts.imported_modules.add(alias.name)
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    facts.imports[local] = (
+                        alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:
+                    pkg = facts.module_name.rsplit(".", max(node.level, 1))[0]
+                    base = "%s.%s" % (pkg, node.module) if pkg else node.module
+                facts.imported_modules.add(base)
+                for alias in node.names:
+                    facts.imported_modules.add("%s.%s" % (base, alias.name))
+                    facts.imports[alias.asname or alias.name] = "%s.%s" % (
+                        base,
+                        alias.name,
+                    )
+        # the fork hook is typically installed at module import time,
+        # outside any function, so scan the whole tree for it
+        for node in ast.walk(facts.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                head, sep, rest = dotted.partition(".")
+                mapped = facts.imports.get(head)
+                if mapped is not None:
+                    dotted = mapped + (("." + rest) if rest else "")
+                if dotted == "os.register_at_fork":
+                    facts.registers_at_fork = True
+                    break
+
+    def _scan_functions(self) -> None:
+        for relpath, facts in self.modules.items():
+            for node in ast.walk(facts.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = ClassInfo(name=node.name, relpath=relpath, line=node.lineno)
+                facts.classes[node.name] = info
+                self.classes["%s::%s" % (relpath, node.name)] = info
+                for method in node.body:
+                    if not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    info.methods[method.name] = "%s::%s.%s" % (
+                        relpath,
+                        node.name,
+                        method.name,
+                    )
+                    # locals holding a freshly built resource, so that
+                    # ``listener = socket.socket(...); self._socket =
+                    # listener`` still marks the attribute (one step)
+                    local_kinds: Dict[str, str] = {}
+                    for sub in ast.walk(method):
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        res_kind = _is_factory(
+                            sub.value, set(RESOURCE_FACTORIES)
+                        )
+                        if res_kind is not None:
+                            for target in sub.targets:
+                                if isinstance(target, ast.Name):
+                                    local_kinds[target.id] = RESOURCE_FACTORIES[
+                                        res_kind
+                                    ]
+                    for sub in ast.walk(method):
+                        if not isinstance(sub, ast.Assign):
+                            continue
+                        lock_kind = _is_factory(sub.value, set(LOCK_FACTORIES))
+                        res_kind = _is_factory(
+                            sub.value, set(RESOURCE_FACTORIES)
+                        )
+                        via_local = (
+                            local_kinds.get(sub.value.id)
+                            if isinstance(sub.value, ast.Name)
+                            else None
+                        )
+                        for target in sub.targets:
+                            if not (
+                                isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"
+                            ):
+                                continue
+                            if lock_kind is not None:
+                                info.lock_attrs[target.attr] = lock_kind
+                            if res_kind is not None:
+                                info.resource_attrs.setdefault(
+                                    target.attr,
+                                    (RESOURCE_FACTORIES[res_kind], sub.lineno),
+                                )
+                            elif via_local is not None:
+                                info.resource_attrs.setdefault(
+                                    target.attr, (via_local, sub.lineno)
+                                )
+        for relpath, facts in self.modules.items():
+            for name, (kind, line, col) in facts.module_locks.items():
+                self.lock_kinds["%s::%s" % (relpath, name)] = kind
+            for cls_info in facts.classes.values():
+                for attr, kind in cls_info.lock_attrs.items():
+                    self.lock_kinds[
+                        "%s::%s.%s" % (relpath, cls_info.name, attr)
+                    ] = kind
+            self._scan_module_functions(facts)
+
+    def _scan_module_functions(self, facts: ModuleFacts) -> None:
+        def scan(node: ast.AST, cls: Optional[ClassInfo]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = (
+                    "%s::%s.%s" % (facts.relpath, cls.name, node.name)
+                    if cls
+                    else "%s::%s" % (facts.relpath, node.name)
+                )
+                info = FunctionInfo(
+                    qualname=qual,
+                    relpath=facts.relpath,
+                    name=node.name,
+                    class_name=cls.name if cls else None,
+                    node=node,
+                    line=node.lineno,
+                )
+                scanner = _FunctionScanner(info, facts, cls)
+                for statement in node.body:
+                    scanner.visit(statement)
+                for lock_var, kind in scanner._local_locks.items():
+                    self.lock_kinds["%s.%s" % (qual, lock_var)] = kind
+                self.functions[qual] = info
+                facts.function_names.append(qual)
+                if cls is not None:
+                    self._methods_by_name.setdefault(node.name, []).append(qual)
+                return  # nested defs were inlined by the scanner
+            if isinstance(node, ast.ClassDef):
+                inner = facts.classes.get(node.name)
+                for child in node.body:
+                    scan(child, inner)
+                return
+            for child in ast.iter_child_nodes(node):
+                scan(child, cls)
+
+        for top in facts.tree.body:
+            scan(top, None)
+
+    # -- call resolution -------------------------------------------------
+
+    def _module_rel(self, dotted: str) -> Optional[str]:
+        return self._module_by_dotted.get(dotted) or None
+
+    def _function_or_init(self, relpath: str, name: str) -> Optional[str]:
+        qual = "%s::%s" % (relpath, name)
+        if qual in self.functions:
+            return qual
+        cls = self.classes.get(qual)
+        if cls is not None:
+            return cls.methods.get("__init__")
+        return None
+
+    def resolve(self, func: FunctionInfo, call: CallSite) -> Tuple[str, ...]:
+        """Possible callee qualnames for one call site (may be empty)."""
+        return self.resolve_ex(func, call)[0]
+
+    def resolve_ex(
+        self, func: FunctionInfo, call: CallSite
+    ) -> Tuple[Tuple[str, ...], bool]:
+        """(callees, exact) — ``exact`` False for method-name may-edges."""
+        kind, spec = call.ref
+        facts = self.modules[func.relpath]
+        if kind == "self":
+            if func.class_name:
+                cls = facts.classes.get(func.class_name)
+                if cls and spec in cls.methods:
+                    return (cls.methods[spec],), True
+            return self._method_candidates(spec), False
+        if kind == "name":
+            hit = self._function_or_init(func.relpath, spec)
+            if hit is not None:
+                return (hit,), True
+            canonical = facts.imports.get(spec)
+            if canonical and "." in canonical:
+                mod, _, attr = canonical.rpartition(".")
+                rel = self._module_rel(mod)
+                if rel is not None:
+                    hit = self._function_or_init(rel, attr)
+                    if hit is not None:
+                        return (hit,), True
+            return (), True
+        if kind == "dotted":
+            head, _, rest = spec.partition(".")
+            mapped = facts.imports.get(head, head)
+            canonical = mapped + (("." + rest) if rest else "")
+            mod, _, attr = canonical.rpartition(".")
+            rel = self._module_rel(mod) if mod else None
+            if rel is not None:
+                hit = self._function_or_init(rel, attr)
+                return ((hit,) if hit is not None else ()), True
+            if mod in facts.imported_modules or mapped in facts.imported_modules:
+                # a call into an external module (``subprocess.run``):
+                # definitely not one of our methods that happens to
+                # share the attribute name
+                return (), True
+            return self._method_candidates(spec.rsplit(".", 1)[-1]), False
+        if kind == "method":
+            return self._method_candidates(spec), False
+        return (), True
+
+    def _method_candidates(self, name: str) -> Tuple[str, ...]:
+        candidates = self._methods_by_name.get(name, [])
+        if 0 < len(candidates) <= _MAX_METHOD_CANDIDATES:
+            return tuple(candidates)
+        return ()
+
+    def resolved_calls(self) -> Dict[str, Tuple[str, ...]]:
+        """qualname -> de-duplicated resolved callees (cached)."""
+        if self._resolved is None:
+            out: Dict[str, Tuple[str, ...]] = {}
+            for qual, info in self.functions.items():
+                seen: Dict[str, None] = {}
+                for call in info.calls:
+                    for callee in self.resolve(info, call):
+                        seen[callee] = None
+                out[qual] = tuple(seen)
+            self._resolved = out
+        return self._resolved
+
+    # -- transitive closures --------------------------------------------
+
+    def _closure(
+        self, direct: Dict[str, Dict[str, Tuple[str, ...]]]
+    ) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Propagate {func: {key: chain}} up the call graph to fixpoint."""
+        resolved = self.resolved_calls()
+        changed = True
+        while changed:
+            changed = False
+            for qual in self.functions:
+                mine = direct.setdefault(qual, {})
+                for callee in resolved.get(qual, ()):
+                    for key, chain in direct.get(callee, {}).items():
+                        if key not in mine:
+                            mine[key] = (qual,) + chain
+                            changed = True
+        return direct
+
+    def transitive_acquires(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """func -> {lock id -> witness chain ending at the acquirer}."""
+        if self._trans_acquires is None:
+            direct: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+            for qual, info in self.functions.items():
+                mine: Dict[str, Tuple[str, ...]] = {}
+                for acq in info.acquires:
+                    mine.setdefault(acq.lock, (qual,))
+                direct[qual] = mine
+            self._trans_acquires = self._closure(direct)
+        return self._trans_acquires
+
+    def transitive_blocking(self) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """func -> {blocking op label -> witness chain}."""
+        if self._trans_blocking is None:
+            direct: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+            for qual, info in self.functions.items():
+                mine: Dict[str, Tuple[str, ...]] = {}
+                for op in info.blocking:
+                    mine.setdefault(op.what, (qual,))
+                direct[qual] = mine
+            self._trans_blocking = self._closure(direct)
+        return self._trans_blocking
+
+    def polls_closure(self) -> Set[str]:
+        """Functions that poll a deadline directly or via any callee."""
+        if self._polls is None:
+            resolved = self.resolved_calls()
+            polls = {
+                qual
+                for qual, info in self.functions.items()
+                if info.polls_deadline
+            }
+            changed = True
+            while changed:
+                changed = False
+                for qual in self.functions:
+                    if qual in polls:
+                        continue
+                    if any(c in polls for c in resolved.get(qual, ())):
+                        polls.add(qual)
+                        changed = True
+            self._polls = polls
+        return self._polls
+
+    # -- lock-order edges ------------------------------------------------
+
+    def lock_order_edges(self) -> Dict[Tuple[str, str], List[EdgeWitness]]:
+        """``(held, acquired) -> witnesses`` over every execution path.
+
+        Direct edges come from acquisitions with a non-empty held set;
+        interprocedural edges from call sites under a lock whose callee
+        transitively acquires another lock.  Self-edges (re-acquiring a
+        lock already held) are included; RL008 splits them out as
+        guaranteed self-deadlocks when the lock kind is non-reentrant.
+        """
+        if self._edges is not None:
+            return self._edges
+        edges: Dict[Tuple[str, str], List[EdgeWitness]] = {}
+        trans = self.transitive_acquires()
+
+        def note(held: str, acquired: str, witness: EdgeWitness) -> None:
+            bucket = edges.setdefault((held, acquired), [])
+            if len(bucket) < 4 and witness not in bucket:
+                bucket.append(witness)
+
+        for qual, info in self.functions.items():
+            for acq in info.acquires:
+                for held in acq.held:
+                    note(
+                        held,
+                        acq.lock,
+                        EdgeWitness(info.relpath, acq.line, (qual,)),
+                    )
+            for call in info.calls:
+                if not call.held:
+                    continue
+                callees, exact = self.resolve_ex(info, call)
+                for callee in callees:
+                    for lock, chain in trans.get(callee, {}).items():
+                        for held in call.held:
+                            if lock == held and not exact:
+                                # a may-edge is too weak a basis for a
+                                # guaranteed-deadlock self-edge
+                                continue
+                            note(
+                                held,
+                                lock,
+                                EdgeWitness(
+                                    info.relpath, call.line, (qual,) + chain
+                                ),
+                            )
+        self._edges = edges
+        return edges
+
+    def lock_order_pairs(self) -> Set[Tuple[str, str]]:
+        """The edge set alone, for runtime cross-validation."""
+        return set(self.lock_order_edges())
+
+    # -- import reachability (RL009) ------------------------------------
+
+    def import_reach(self, roots: Sequence[str]) -> Dict[str, Tuple[str, ...]]:
+        """Modules importable from ``roots`` -> import chain (relpaths)."""
+        reach: Dict[str, Tuple[str, ...]] = {}
+        stack: List[Tuple[str, Tuple[str, ...]]] = [
+            (root, (root,)) for root in roots if root in self.modules
+        ]
+        while stack:
+            relpath, chain = stack.pop()
+            if relpath in reach:
+                continue
+            reach[relpath] = chain
+            facts = self.modules[relpath]
+            for dotted in sorted(facts.imported_modules):
+                target = self._module_rel(dotted)
+                if target is not None and target not in reach:
+                    stack.append((target, chain + (target,)))
+        return reach
+
+    def fork_modules(self) -> Dict[str, int]:
+        """relpath -> first os.fork() line, for modules that fork."""
+        out: Dict[str, int] = {}
+        for qual, info in self.functions.items():
+            if info.fork_lines:
+                line = min(info.fork_lines)
+                existing = out.get(info.relpath)
+                out[info.relpath] = min(existing, line) if existing else line
+        return out

@@ -1,11 +1,29 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs and CI annotation surfaces ingest; emitting it makes reprolint a
+peer of commercial analyzers in any pipeline that understands the
+format.  The document carries the full picture: active findings as
+``results`` with ``baselineState: "new"``, baselined ones as
+``"unchanged"``, and inline-suppressed ones with a ``suppressions``
+block — so the artifact is a complete audit of the run, while the exit
+code still reflects only what should fail the build.
+"""
 
 from __future__ import annotations
 
 import json
+from typing import Dict, List
 
 from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
 from repro.analysis.registry import all_rules
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -20,6 +38,13 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
             lines.append(
                 "%s  [suppressed: %s]" % (item.finding.render(), item.reason)
             )
+        for finding in result.baselined:
+            lines.append("%s  [baselined]" % finding.render())
+    for entry in result.baseline_unmatched:
+        lines.append(
+            "note: baseline entry matched nothing (debt paid — run "
+            "--update-baseline): %s" % entry
+        )
     noun = "file" if result.files_checked == 1 else "files"
     summary = "%d %s checked, %d finding(s), %d suppressed" % (
         result.files_checked,
@@ -27,6 +52,8 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         len(result.findings),
         len(result.suppressed),
     )
+    if result.baselined:
+        summary += ", %d baselined" % len(result.baselined)
     if result.errors:
         summary += ", %d error(s)" % len(result.errors)
     lines.append(summary)
@@ -45,7 +72,82 @@ def render_json(result: LintResult) -> str:
         ],
         "findings": [finding.as_dict() for finding in result.findings],
         "suppressed": [item.as_dict() for item in result.suppressed],
+        "baselined": [finding.as_dict() for finding in result.baselined],
+        "baseline_unmatched": list(result.baseline_unmatched),
         "errors": list(result.errors),
         "exit_code": result.exit_code(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _sarif_result(
+    finding: Finding,
+    baseline_state: str,
+    suppression_reason: str = "",
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "baselineState": baseline_state,
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+    if suppression_reason:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": suppression_reason}
+        ]
+    return result
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document (one run, reprolint as the driver)."""
+    registry = all_rules()
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": registry[rule_id].summary},
+        }
+        for rule_id in result.rules_run
+        if rule_id in registry
+    ]
+    results: List[Dict[str, object]] = []
+    for finding in result.findings:
+        results.append(_sarif_result(finding, "new"))
+    for finding in result.baselined:
+        results.append(_sarif_result(finding, "unchanged"))
+    for item in result.suppressed:
+        results.append(_sarif_result(item.finding, "unchanged", item.reason))
+    run: Dict[str, object] = {
+        "tool": {
+            "driver": {
+                "name": "reprolint",
+                "rules": rules,
+            }
+        },
+        "results": results,
+        "invocations": [
+            {
+                "executionSuccessful": not result.errors,
+                "toolExecutionNotifications": [
+                    {"level": "error", "message": {"text": error}}
+                    for error in result.errors
+                ],
+            }
+        ],
+    }
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [run],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

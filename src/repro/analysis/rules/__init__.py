@@ -6,6 +6,7 @@ its id.
 """
 
 from repro.analysis.rules import (  # noqa: F401 - imported for registration
+    rl000_stale_suppression,
     rl001_lock_discipline,
     rl002_deadline_poll,
     rl003_frozen_config,
@@ -13,6 +14,9 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     rl005_swallowed_exceptions,
     rl006_wire_schema,
     rl007_metric_help,
+    rl008_lock_order,
+    rl009_fork_safety,
+    rl010_blocking_under_lock,
 )
 from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
 

@@ -5,9 +5,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro.analysis.astutil import dotted_name  # noqa: F401 - re-export
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.program import Program
 
 
 @dataclass
@@ -26,12 +30,23 @@ class Rule:
     A rule instance lives for one analyzer run.  ``check_module`` is
     called once per governed file; ``finalize`` runs after every file
     has been seen, for rules that correlate across files (RL006).
+
+    Interprocedural rules set ``uses_program = True`` and implement
+    ``check_program`` instead: the engine builds one
+    :class:`~repro.analysis.program.Program` from *every* discovered
+    file (the call graph must see the whole program, not just governed
+    files) and calls the hook once; findings are then filtered to the
+    paths the rule governs.
     """
 
     rule_id: str = ""
     summary: str = ""
+    uses_program: bool = False
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_program(self, program: "Program") -> Iterator[Finding]:
         return iter(())
 
     def finalize(self) -> Iterator[Finding]:
@@ -50,14 +65,14 @@ class Rule:
             message=message,
         )
 
-
-def dotted_name(node: ast.AST) -> str:
-    """``a.b.c`` for a Name/Attribute chain, '' for anything else."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
+    def finding_at(
+        self, relpath: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A finding by location, for program rules without a ModuleInfo."""
+        return Finding(
+            rule=self.rule_id,
+            path=relpath,
+            line=line,
+            col=col,
+            message=message,
+        )

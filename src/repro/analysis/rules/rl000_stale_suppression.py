@@ -1,0 +1,31 @@
+"""RL000 — inline suppressions must suppress something.
+
+An ``# repro-lint: allow[RLnnn] reason`` comment that no longer matches
+any finding is debt: either the violation was fixed (delete the
+comment), the rule id is a typo (fix it), or the rule got smarter —
+the interprocedural RL002 upgrade made whole families of "the poll is
+one call down" suppressions redundant at a stroke.  Stale allowances
+rot into folklore ("don't touch that, the linter needs it"), so the
+analyzer flags them as findings in their own right.
+
+This module only registers the descriptor; the detection itself lives
+in the engine, which is the one place that knows which allowances were
+consumed by :func:`repro.analysis.findings.split_suppressed`.  The
+check runs only on full-rule runs — under ``--rules RL001`` an RL005
+allowance is unused by construction, not stale — and RL000 findings
+cannot themselves be suppressed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+
+
+@register
+class StaleSuppressionRule(Rule):
+    rule_id = "RL000"
+    summary = (
+        "inline allow[...] suppressions must match a current finding "
+        "(stale ones are flagged on full runs)"
+    )

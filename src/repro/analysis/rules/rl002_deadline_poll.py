@@ -7,13 +7,21 @@ iteration.  A ``while`` loop in a governed kernel module that never
 consults a deadline is a loop the admission controller cannot preempt —
 one adversarial query then holds its worker thread until process death.
 
-The rule accepts any call whose terminal attribute is ``expired`` or
-``check`` on a receiver whose dotted name mentions ``deadline``
+The check is interprocedural (reprolint v2): a loop is satisfied either
+by a *direct* poll — any call whose terminal attribute is ``expired``
+or ``check`` on a receiver whose dotted name mentions ``deadline``
 (``deadline.expired()``, ``self._deadline.check()``,
-``opts.deadline.expired()``).  Loops that are structurally bounded
-(fixed-depth chain walks, alpha-bounded expansions) carry an inline
-``repro-lint: allow[RL002] <why bounded>`` instead, so the bound is
-documented at the loop.
+``opts.deadline.expired()``) — or by calling a function that provably
+polls, transitively through the whole-program call graph
+(:meth:`Program.polls_closure`).  A kernel loop whose body delegates to
+``self._expand(deadline)`` no longer needs a suppression just because
+the poll lives one call down.  When a call resolves to several
+candidate methods, *all* of them must poll for the call to count —
+"provably polls" must survive every resolution.
+
+Loops that are structurally bounded (fixed-depth chain walks,
+alpha-bounded expansions) carry an inline ``repro-lint: allow[RL002]
+<why bounded>`` instead, so the bound is documented at the loop.
 
 Only ``while`` loops are examined: ``for`` loops over materialised
 sequences are bounded by construction, and the kernels' unbounded
@@ -23,38 +31,76 @@ frontier expansions are all spelled ``while``.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.analysis.findings import Finding
+from repro.analysis.program import FunctionInfo, Program, is_deadline_poll
 from repro.analysis.registry import register
-from repro.analysis.rules.base import ModuleInfo, Rule, dotted_name
-
-_POLL_METHODS = {"expired", "check"}
-
-
-def _is_deadline_poll(node: ast.AST) -> bool:
-    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-        return False
-    if node.func.attr not in _POLL_METHODS:
-        return False
-    receiver = dotted_name(node.func.value)
-    return "deadline" in receiver.lower()
+from repro.analysis.rules.base import Rule
 
 
 @register
 class DeadlinePollRule(Rule):
     rule_id = "RL002"
-    summary = "while loops in search kernels must poll the query deadline"
+    summary = (
+        "while loops in search kernels must poll the query deadline, "
+        "directly or via a callee that provably polls"
+    )
+    uses_program = True
 
-    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.While):
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        polls = program.polls_closure()
+        for relpath in sorted(program.modules):
+            facts = program.modules[relpath]
+            in_function = set()
+            for qual in facts.function_names:
+                info = program.functions[qual]
+                for node in ast.walk(info.node):
+                    if isinstance(node, ast.While):
+                        in_function.add(id(node))
+                        finding = self._check_loop(program, info, node, polls)
+                        if finding is not None:
+                            yield finding
+            # module-level loops (no enclosing function to resolve from)
+            for node in ast.walk(facts.tree):
+                if isinstance(node, ast.While) and id(node) not in in_function:
+                    if not any(
+                        is_deadline_poll(sub) for sub in ast.walk(node)
+                    ):
+                        yield self.finding_at(
+                            relpath,
+                            node.lineno,
+                            node.col_offset + 1,
+                            "while loop never polls a deadline "
+                            "(.expired()/.check()); an expired query "
+                            "cannot be cancelled here",
+                        )
+
+    def _check_loop(
+        self,
+        program: Program,
+        info: FunctionInfo,
+        loop: ast.While,
+        polls,
+    ) -> Optional[Finding]:
+        if any(is_deadline_poll(sub) for sub in ast.walk(loop)):
+            return None
+        loop_lines = {
+            sub.lineno
+            for sub in ast.walk(loop)
+            if hasattr(sub, "lineno")
+        }
+        for call in info.calls:
+            if call.line not in loop_lines:
                 continue
-            if any(_is_deadline_poll(sub) for sub in ast.walk(node)):
-                continue
-            yield self.finding(
-                module,
-                node,
-                "while loop never polls a deadline (.expired()/.check()); "
-                "an expired query cannot be cancelled here",
-            )
+            callees = program.resolve(info, call)
+            if callees and all(c in polls for c in callees):
+                return None  # every resolution of this call polls
+        return self.finding_at(
+            info.relpath,
+            loop.lineno,
+            loop.col_offset + 1,
+            "while loop never polls a deadline (.expired()/.check()) and "
+            "calls no function that provably polls; an expired query "
+            "cannot be cancelled here",
+        )

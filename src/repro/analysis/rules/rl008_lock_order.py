@@ -1,0 +1,178 @@
+"""RL008 — lock-order cycles across the whole program.
+
+Two threads deadlock when one holds lock A waiting for B while the
+other holds B waiting for A.  Statically, that is a cycle in the
+lock-acquisition graph: an edge ``A -> B`` whenever some execution path
+may acquire B while holding A — directly (nested ``with`` blocks) or
+through any chain of calls (:meth:`Program.lock_order_edges`).  This
+rule runs strongly-connected-component detection over that graph and
+reports each cycle once, printing at least two witness call chains (one
+per edge) so the report names the *code paths* that collide, not just
+the locks.
+
+A special case is reported separately: acquiring a non-reentrant
+``threading.Lock`` on a path that already holds it is a guaranteed
+single-thread self-deadlock, not merely a potential ordering hazard.
+Self-edges discovered only through the capped method-name fallback
+(may-edges) are ignored — a guaranteed-deadlock claim needs a
+high-confidence call chain.
+
+Soundness: the edge set is an over-approximation built from best-effort
+call resolution, so a reported cycle is *potential* — the two chains
+may be mutually exclusive at runtime.  The repository convention is to
+fix the order anyway (or restructure so one lock is dropped before the
+next is taken); lock-order hygiene is cheaper than reasoning about
+reachability.  See DESIGN.md section 15.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.program import EdgeWitness, Program
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+
+
+def _strongly_connected(
+    nodes: List[str], edges: Dict[str, List[str]]
+) -> List[List[str]]:
+    """Iterative Tarjan; returns SCCs in deterministic order."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            successors = edges.get(node, [])
+            for i in range(child_i, len(successors)):
+                succ = successors[i]
+                if succ not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def _find_cycle(
+    start: str, members: List[str], edges: Dict[str, List[str]]
+) -> List[str]:
+    """A simple cycle through ``start`` using SCC-internal edges (BFS)."""
+    member_set = set(members)
+    parents: Dict[str, str] = {}
+    queue = [start]
+    seen = {start}
+    while queue:
+        node = queue.pop(0)
+        for succ in edges.get(node, []):
+            if succ not in member_set:
+                continue
+            if succ == start:
+                chain = []
+                walker = node
+                while walker != start:
+                    chain.append(walker)
+                    walker = parents[walker]
+                return [start] + list(reversed(chain)) + [start]
+            if succ not in seen:
+                seen.add(succ)
+                parents[succ] = node
+                queue.append(succ)
+    return [start, start]  # self-loop
+
+
+def _render_witness(a: str, b: str, witness: EdgeWitness) -> str:
+    chain = " -> ".join(witness.chain)
+    return "[%s -> %s] %s:%d via %s" % (a, b, witness.path, witness.line, chain)
+
+
+@register
+class LockOrderRule(Rule):
+    rule_id = "RL008"
+    summary = (
+        "lock-acquisition graph must be acyclic: a cycle is a potential "
+        "deadlock between the witness call chains"
+    )
+    uses_program = True
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        edge_witnesses = program.lock_order_edges()
+
+        # guaranteed self-deadlocks first: non-reentrant lock re-acquired
+        for (held, acquired), witnesses in sorted(edge_witnesses.items()):
+            if held != acquired:
+                continue
+            if program.lock_kinds.get(held) != "Lock":
+                continue  # RLock/Condition re-entry is legal
+            for witness in witnesses[:1]:
+                yield self.finding_at(
+                    witness.path,
+                    witness.line,
+                    1,
+                    "non-reentrant lock '%s' may be re-acquired while "
+                    "already held (guaranteed self-deadlock) via %s"
+                    % (held, " -> ".join(witness.chain)),
+                )
+
+        adjacency: Dict[str, List[str]] = {}
+        node_set = set()
+        for held, acquired in sorted(edge_witnesses):
+            if held == acquired:
+                continue
+            adjacency.setdefault(held, []).append(acquired)
+            node_set.update((held, acquired))
+        nodes = sorted(node_set)
+
+        for component in _strongly_connected(nodes, adjacency):
+            if len(component) < 2:
+                continue
+            start = component[0]
+            cycle = _find_cycle(start, component, adjacency)
+            rendered: List[str] = []
+            first_witness = None
+            for a, b in zip(cycle, cycle[1:]):
+                for witness in edge_witnesses.get((a, b), [])[:2]:
+                    rendered.append(_render_witness(a, b, witness))
+                    if first_witness is None:
+                        first_witness = witness
+            if first_witness is None:  # pragma: no cover - defensive
+                continue
+            yield self.finding_at(
+                first_witness.path,
+                first_witness.line,
+                1,
+                "potential deadlock: lock-order cycle %s; witness %s"
+                % (" -> ".join(cycle), "; witness ".join(rendered)),
+            )

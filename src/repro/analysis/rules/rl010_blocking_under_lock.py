@@ -1,0 +1,80 @@
+"""RL010 — no blocking operations while a serving-path lock is held.
+
+A lock in the serving stack is a queueing point: every microsecond it
+is held while the owner waits on a socket, a file, a subprocess, or a
+whole engine query is a microsecond *every* other request stalls.  The
+classic failure is exactly the one the shard router was designed
+around — fanning out HTTP calls while still holding the merge lock
+turns a parallel scatter into a serial one.
+
+The rule flags a function that, while holding any known lock, either
+performs a known-blocking operation directly (``time.sleep``, socket
+send/recv/accept/connect, ``urllib.request.urlopen``, ``open``/writes/
+flushes, ``subprocess.*``, ``Future.result``, engine ``query``/
+``query_batch``/``execute`` — :data:`repro.analysis.program.BLOCKING_CALLS`
+and :data:`~repro.analysis.program.BLOCKING_TAILS`) or calls a function
+that provably does so transitively; the witness call chain is printed.
+
+Deliberate exceptions are part of the idiom, not the rule:
+``Condition.wait`` on the condition currently held is exempt (waiting
+releases the lock — that is the point of a condition variable), and
+``os.waitpid(..., WNOHANG)`` is a poll, not a wait.  A lock whose whole
+job is to serialize one small write (the stderr log sink) carries an
+inline suppression stating exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.program import Program
+from repro.analysis.registry import register
+from repro.analysis.rules.base import Rule
+
+
+@register
+class BlockingUnderLockRule(Rule):
+    rule_id = "RL010"
+    summary = (
+        "no socket/file/subprocess/engine-query calls while holding a "
+        "serving-path lock"
+    )
+    uses_program = True
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        trans = program.transitive_blocking()
+        for qual in sorted(program.functions):
+            info = program.functions[qual]
+            for op in info.blocking:
+                if not op.held:
+                    continue
+                yield self.finding_at(
+                    info.relpath,
+                    op.line,
+                    op.col,
+                    "blocking call %s while holding %s; the lock is held "
+                    "for the full duration of the wait"
+                    % (op.what, ", ".join(op.held)),
+                )
+            reported = set()
+            for call in info.calls:
+                if not call.held:
+                    continue
+                for callee in program.resolve(info, call):
+                    for what, chain in sorted(trans.get(callee, {}).items()):
+                        key = (call.line, callee, what)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        yield self.finding_at(
+                            info.relpath,
+                            call.line,
+                            call.col,
+                            "call under %s reaches blocking %s via %s"
+                            % (
+                                ", ".join(call.held),
+                                what,
+                                " -> ".join((qual,) + chain),
+                            ),
+                        )

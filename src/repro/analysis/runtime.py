@@ -1,0 +1,208 @@
+"""Runtime lock-order validation: the dynamic half of RL008.
+
+The static lock-order graph (:meth:`Program.lock_order_edges`) is an
+over-approximation built from best-effort call resolution; the hammer
+tests exercise the real thing.  This module lets a test wrap the locks
+it stresses in :class:`OrderedLock` and then assert two properties
+after the hammer:
+
+* the *observed* acquisition-order graph is acyclic (no thread ever
+  acquired B-while-holding-A after some thread acquired
+  A-while-holding-B), and
+* every observed edge is predicted by the static graph — observed ⊆
+  static.  A dynamic edge the analyzer cannot see means call
+  resolution has a hole, so static and dynamic views cross-validate
+  each other: the analyzer keeps the tests honest about ordering, the
+  tests keep the analyzer honest about coverage.
+
+Intended usage inside a test::
+
+    registry = LockOrderRegistry()
+    cache._lock = OrderedLock("TQSPCache._lock", registry, cache._lock)
+    recorder._lock = OrderedLock("FlightRecorder._lock", registry)
+    ... hammer ...
+    registry.assert_acyclic()
+    registry.assert_consistent_with(static_edges)
+
+Edges are recorded *before* blocking on the inner lock: a real deadlock
+would otherwise never record the edge that caused it.  The registry is
+thread-safe and intentionally tiny — it is test instrumentation, not a
+production wrapper — but :class:`OrderedLock` is a faithful context
+manager/lock duck type, so production code under test never notices.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class LockOrderViolation(AssertionError):
+    """The observed acquisition order contradicts the required order."""
+
+
+class LockOrderRegistry:
+    """Records which named lock was acquired while which others were held."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (held, acquired) -> first witnessing thread name
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._held = threading.local()
+
+    # -- bookkeeping (called by OrderedLock) ----------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        """Record edges held->name for this thread, then push ``name``."""
+        stack = self._stack()
+        if stack:
+            thread = threading.current_thread().name
+            with self._lock:
+                for held in stack:
+                    self._edges.setdefault((held, name), thread)
+        stack.append(name)
+
+    def note_release(self, name: str) -> None:
+        stack = self._stack()
+        if name in stack:
+            # remove the innermost occurrence: non-LIFO release is legal
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == name:
+                    del stack[i]
+                    break
+
+    # -- assertions (called by tests) -----------------------------------
+
+    def edges(self) -> Dict[Tuple[str, str], str]:
+        with self._lock:
+            return dict(self._edges)
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """A lock cycle in the observed order graph, or None."""
+        edges = self.edges()
+        adjacency: Dict[str, List[str]] = {}
+        for held, acquired in sorted(edges):
+            adjacency.setdefault(held, []).append(acquired)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        parent: Dict[str, str] = {}
+
+        for root in sorted(adjacency):
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            color[root] = GRAY
+            while stack:
+                node, child_i = stack[-1]
+                successors = adjacency.get(node, [])
+                if child_i < len(successors):
+                    stack[-1] = (node, child_i + 1)
+                    succ = successors[child_i]
+                    state = color.get(succ, WHITE)
+                    if state == GRAY:
+                        cycle = [succ, node]
+                        walker = node
+                        while walker != succ:
+                            walker = parent[walker]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        color[succ] = GRAY
+                        parent[succ] = node
+                        stack.append((succ, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def assert_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle is not None:
+            edges = self.edges()
+            detail = "; ".join(
+                "%s -> %s (thread %s)" % (a, b, edges.get((a, b), "?"))
+                for a, b in zip(cycle, cycle[1:])
+            )
+            raise LockOrderViolation(
+                "observed lock acquisition order has a cycle: %s [%s]"
+                % (" -> ".join(cycle), detail)
+            )
+
+    def assert_consistent_with(
+        self, static_edges: Iterable[Tuple[str, str]]
+    ) -> None:
+        """Every observed edge must be predicted statically.
+
+        ``static_edges`` uses the same short names the OrderedLocks were
+        given (the caller projects ``Program.lock_order_pairs()`` onto
+        its naming).  Self-edges are exempt: an RLock legitimately
+        re-enters, and the static side models that separately.
+        """
+        allowed: Set[Tuple[str, str]] = set(static_edges)
+        rogue = [
+            (edge, thread)
+            for edge, thread in sorted(self.edges().items())
+            if edge[0] != edge[1] and edge not in allowed
+        ]
+        if rogue:
+            detail = "; ".join(
+                "%s -> %s (thread %s)" % (a, b, thread)
+                for (a, b), thread in rogue
+            )
+            raise LockOrderViolation(
+                "observed lock-order edges the static analysis did not "
+                "predict (call-graph hole?): %s" % detail
+            )
+
+
+class OrderedLock:
+    """A named lock wrapper feeding a :class:`LockOrderRegistry`.
+
+    Wraps an existing lock (or a fresh ``threading.Lock``) and mirrors
+    the lock protocol: ``acquire``/``release``, context manager, and
+    ``locked``.  Waiting on a wrapped ``Condition`` still works because
+    the condition holds the *inner* lock object.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        registry: LockOrderRegistry,
+        inner: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self._registry = registry
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._registry.note_acquire(self.name)
+        acquired = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if not acquired:
+            self._registry.note_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()  # type: ignore[attr-defined]
+        self._registry.note_release(self.name)
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if callable(inner_locked) else False
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "OrderedLock(%r, inner=%r)" % (self.name, self._inner)

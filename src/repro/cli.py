@@ -306,12 +306,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src tests)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format",
+    )
+    lint.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report here instead of stdout",
     )
     lint.add_argument(
         "--rules", metavar="IDS", default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="accepted-findings file; only new findings fail the run",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
@@ -698,8 +710,14 @@ def _cmd_lint(args) -> int:
         argv.append("--list-rules")
     if args.format != "text":
         argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
     if args.rules:
         argv += ["--rules", args.rules]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline:
+        argv.append("--update-baseline")
     if args.verbose:
         argv.append("--verbose")
     return lint_main(argv)

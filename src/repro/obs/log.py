@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import contextvars
 import json
+import os
 import sys
 import threading
 import time
@@ -54,6 +55,7 @@ class _StderrSink:
     def __call__(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
+            # repro-lint: allow[RL010] this lock exists to serialize exactly this one-line write; stderr is local and the write is O(line)
             sys.stderr.write(line + "\n")
 
 
@@ -165,3 +167,27 @@ def get_logger(name: str) -> StructuredLogger:
             logger = StructuredLogger(name)
             _loggers[name] = logger
         return logger
+
+
+def _reinit_after_fork() -> None:
+    """Recreate this module's locks in a freshly forked child.
+
+    These locks exist at import time, so they predate any ``os.fork``
+    (the pre-forked serving fleet forks with the supervisor thread
+    running).  If another thread holds one at fork time, the child's
+    copy is locked forever — the first log line in the child would then
+    hang the worker.  Fresh locks are safe here: the child starts with
+    exactly one thread, so nothing can hold them yet.  A custom sink
+    installed via :func:`set_sink` is the embedder's to re-arm; only the
+    default stderr sink (whose internal lock has the same problem) is
+    rebuilt.
+    """
+    global _sink, _sink_lock, _loggers_lock
+    _sink_lock = threading.Lock()
+    _loggers_lock = threading.Lock()
+    if isinstance(_sink, _StderrSink):
+        _sink = _StderrSink()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; absent on Windows
+    os.register_at_fork(after_in_child=_reinit_after_fork)

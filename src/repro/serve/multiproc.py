@@ -249,6 +249,7 @@ class PreForkServer:
                 config=self.config,
                 worker=WorkerContext(index, self._status_dir),
             )
+            # repro-lint: allow[RL009] deliberate: every worker accepts on the parent's pre-bound listener; the kernel load-balances accept() across the fleet
             server.start(listen_socket=self._socket)
             started = time.monotonic()
             while not stop_event.is_set():

@@ -1,0 +1,228 @@
+"""Runtime lock-order validation (repro.analysis.runtime).
+
+Three layers: the registry's bookkeeping (edges, stacks, non-LIFO
+release), the two assertions (acyclicity and observed-subset-of-static),
+and the cross-validation loop — a Program built from a fixture whose
+lock nesting matches what OrderedLocks then observe at runtime.
+"""
+
+import ast
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.program import Program
+from repro.analysis.rules.base import ModuleInfo
+from repro.analysis.runtime import (
+    LockOrderRegistry,
+    LockOrderViolation,
+    OrderedLock,
+)
+
+
+def build_program(files):
+    """Program over {relpath: source} fixture modules."""
+    modules = []
+    for relpath, source in files.items():
+        source = textwrap.dedent(source)
+        modules.append(
+            ModuleInfo(
+                path=Path("/fixture") / relpath,
+                relpath=relpath,
+                tree=ast.parse(source),
+                lines=source.splitlines(),
+            )
+        )
+    return Program.build(modules)
+
+
+class TestRegistryBookkeeping:
+    def test_nested_acquire_records_edge(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        with a:
+            with b:
+                pass
+        assert ("A", "B") in registry.edges()
+        assert ("B", "A") not in registry.edges()
+
+    def test_flat_acquisitions_record_nothing(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        with a:
+            pass
+        with b:
+            pass
+        assert registry.edges() == {}
+
+    def test_failed_nonblocking_acquire_leaves_no_held_state(self):
+        registry = LockOrderRegistry()
+        inner = threading.Lock()
+        inner.acquire()  # someone else holds it
+        a = OrderedLock("A", registry, inner)
+        b = OrderedLock("B", registry)
+        assert a.acquire(blocking=False) is False
+        with b:  # A must not be considered held here
+            pass
+        assert registry.edges() == {}
+        inner.release()
+
+    def test_non_lifo_release_keeps_outer_held(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        c = OrderedLock("C", registry)
+        a.acquire()
+        b.acquire()
+        a.release()  # out of order: B stays held
+        c.acquire()
+        c.release()
+        b.release()
+        edges = registry.edges()
+        assert ("A", "B") in edges
+        assert ("B", "C") in edges
+        assert ("A", "C") not in edges  # A was released before C
+
+    def test_reentrant_rlock_self_edge(self):
+        registry = LockOrderRegistry()
+        r = OrderedLock("R", registry, threading.RLock())
+        with r:
+            with r:
+                pass
+        assert ("R", "R") in registry.edges()
+
+
+class TestAssertions:
+    def test_consistent_order_is_acyclic(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        registry.assert_acyclic()  # must not raise
+
+    def test_opposite_order_across_threads_is_a_cycle(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+
+        # Sequential opposite-order nesting: no real deadlock happens,
+        # but the order graph gains A->B and B->A — exactly the hazard
+        # the validator exists to catch before a hammer hits the
+        # interleaving that hangs.
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+
+        with pytest.raises(LockOrderViolation) as exc:
+            registry.assert_acyclic()
+        message = str(exc.value)
+        assert "A" in message and "B" in message
+        assert "cycle" in message
+
+    def test_observed_subset_of_static_passes(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        with a:
+            with b:
+                pass
+        registry.assert_consistent_with({("A", "B"), ("A", "C")})
+
+    def test_unpredicted_observed_edge_raises(self):
+        registry = LockOrderRegistry()
+        a = OrderedLock("A", registry)
+        b = OrderedLock("B", registry)
+        with b:
+            with a:
+                pass
+        with pytest.raises(LockOrderViolation) as exc:
+            registry.assert_consistent_with({("A", "B")})
+        assert "call-graph hole" in str(exc.value)
+
+    def test_self_edges_exempt_from_static_check(self):
+        registry = LockOrderRegistry()
+        r = OrderedLock("R", registry, threading.RLock())
+        with r:
+            with r:
+                pass
+        registry.assert_consistent_with(set())  # (R, R) is exempt
+
+
+class TestStaticDynamicCrossValidation:
+    """The static graph predicts what OrderedLocks then observe."""
+
+    FIXTURE = """
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self.outer = threading.Lock()
+            self.inner = threading.Lock()
+
+        def nested(self):
+            with self.outer:
+                self._under_outer()
+
+        def _under_outer(self):
+            with self.inner:
+                pass
+    """
+
+    def test_observed_edges_match_static_prediction(self):
+        program = build_program({"pair.py": self.FIXTURE})
+        static = {
+            (held.rsplit(".", 1)[-1], acquired.rsplit(".", 1)[-1])
+            for held, acquired in program.lock_order_pairs()
+        }
+        # The interprocedural edge outer->inner must be predicted.
+        assert ("outer", "inner") in static
+
+        registry = LockOrderRegistry()
+        outer = OrderedLock("outer", registry)
+        inner = OrderedLock("inner", registry)
+
+        def nested():
+            with outer:
+                with inner:
+                    pass
+
+        threads = [threading.Thread(target=nested) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        registry.assert_acyclic()
+        registry.assert_consistent_with(static)
+
+    def test_hole_in_static_graph_is_reported(self):
+        # Drop the static edge: the runtime side must notice the
+        # unpredicted observation instead of silently passing.
+        registry = LockOrderRegistry()
+        outer = OrderedLock("outer", registry)
+        inner = OrderedLock("inner", registry)
+        with outer:
+            with inner:
+                pass
+        with pytest.raises(LockOrderViolation):
+            registry.assert_consistent_with(set())

@@ -13,21 +13,34 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import lint_paths
+from repro.analysis.baseline import Baseline, BaselineError, fingerprint
 from repro.analysis.config import (
     ConfigError,
     LintConfig,
     config_from_mapping,
     load_config,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-ALL_RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
+ALL_RULE_IDS = (
+    "RL000",
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+    "RL007",
+    "RL008",
+    "RL009",
+    "RL010",
+)
 
 
-def run_lint(tmp_path, files, rule_paths=None, rule_ids=None):
+def run_lint(tmp_path, files, rule_paths=None, rule_ids=None, baseline=None):
     """Write ``files`` (name -> source) under ``tmp_path`` and lint them.
 
     Unless a test narrows them, every rule governs every fixture file —
@@ -43,7 +56,9 @@ def run_lint(tmp_path, files, rule_paths=None, rule_ids=None):
     if rule_paths is None:
         rule_paths = {rule_id: ["**/*.py"] for rule_id in ALL_RULE_IDS}
     config = config_from_mapping(tmp_path, rule_paths)
-    return lint_paths(paths, config=config, rule_ids=rule_ids)
+    return lint_paths(
+        paths, config=config, rule_ids=rule_ids, baseline=baseline
+    )
 
 
 def rules_fired(result):
@@ -577,7 +592,577 @@ class TestSuppressions:
 
     def test_wrong_rule_id_does_not_suppress(self, tmp_path):
         result = run_lint(tmp_path, {"s.py": SUPPRESSED_OTHER_RULE})
+        # the loop still fires, and the mismatched allowance is itself
+        # flagged as stale (RL000) because it suppressed nothing
+        assert rules_fired(result) == ["RL000", "RL002"]
+
+
+# ---------------------------------------------------------------------------
+# RL002 interprocedural: a loop may delegate polling to a callee
+
+
+RL002_HELPER_POLLS = """
+    def _tick(deadline):
+        deadline.check()
+
+    def drain(queue, deadline):
+        while queue:
+            _tick(deadline)
+            queue.pop()
+"""
+
+RL002_HELPER_POLLS_TRANSITIVELY = """
+    def _really_tick(deadline):
+        if deadline.expired():
+            raise TimeoutError
+    def _tick(deadline):
+        _really_tick(deadline)
+
+    def drain(queue, deadline):
+        while queue:
+            _tick(deadline)
+            queue.pop()
+"""
+
+RL002_HELPER_DOES_NOT_POLL = """
+    def _tick(deadline):
+        pass
+
+    def drain(queue, deadline):
+        while queue:
+            _tick(deadline)
+            queue.pop()
+"""
+
+RL002_METHOD_POLLS = """
+    class Search:
+        def _poll(self):
+            self.deadline.check()
+
+        def run(self, queue):
+            while queue:
+                self._poll()
+                queue.pop()
+"""
+
+
+class TestDeadlinePollInterprocedural:
+    def test_polling_helper_satisfies(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL002_HELPER_POLLS})
+        assert result.findings == []
+
+    def test_transitive_polling_helper_satisfies(self, tmp_path):
+        result = run_lint(
+            tmp_path, {"good.py": RL002_HELPER_POLLS_TRANSITIVELY}
+        )
+        assert result.findings == []
+
+    def test_non_polling_helper_still_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL002_HELPER_DOES_NOT_POLL})
         assert rules_fired(result) == ["RL002"]
+
+    def test_polling_method_satisfies(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL002_METHOD_POLLS})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 lock-order cycles
+
+
+RL008_OPPOSITE_ORDER = """
+    import threading
+
+    class Transfer:
+        def __init__(self):
+            self.alpha = threading.Lock()
+            self.beta = threading.Lock()
+
+        def forward(self):
+            with self.alpha:
+                with self.beta:
+                    pass
+
+        def backward(self):
+            with self.beta:
+                with self.alpha:
+                    pass
+"""
+
+RL008_CONSISTENT_ORDER = """
+    import threading
+
+    class Transfer:
+        def __init__(self):
+            self.alpha = threading.Lock()
+            self.beta = threading.Lock()
+
+        def forward(self):
+            with self.alpha:
+                with self.beta:
+                    pass
+
+        def backward(self):
+            with self.alpha:
+                with self.beta:
+                    pass
+"""
+
+RL008_INTERPROCEDURAL_CYCLE = """
+    import threading
+
+    class Transfer:
+        def __init__(self):
+            self.alpha = threading.Lock()
+            self.beta = threading.Lock()
+
+        def forward(self):
+            with self.alpha:
+                self._take_beta()
+
+        def _take_beta(self):
+            with self.beta:
+                pass
+
+        def backward(self):
+            with self.beta:
+                self._take_alpha()
+
+        def _take_alpha(self):
+            with self.alpha:
+                pass
+"""
+
+RL008_SELF_DEADLOCK = """
+    import threading
+
+    class Once:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def outer(self):
+            with self._lock:
+                self.inner()
+
+        def inner(self):
+            with self._lock:
+                pass
+"""
+
+RL008_SELF_RLOCK = """
+    import threading
+
+    class Once:
+        def __init__(self):
+            self._lock = threading.RLock()
+
+        def outer(self):
+            with self._lock:
+                self.inner()
+
+        def inner(self):
+            with self._lock:
+                pass
+"""
+
+
+class TestLockOrder:
+    def test_opposite_order_reports_cycle_with_witnesses(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL008_OPPOSITE_ORDER})
+        assert rules_fired(result) == ["RL008"]
+        message = result.findings[0].message
+        assert "potential deadlock: lock-order cycle" in message
+        # one witness call chain per edge of the 2-cycle
+        assert message.count("witness") >= 2
+        assert "alpha" in message and "beta" in message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL008_CONSISTENT_ORDER})
+        assert result.findings == []
+
+    def test_cycle_through_helpers_is_found(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL008_INTERPROCEDURAL_CYCLE})
+        assert rules_fired(result) == ["RL008"]
+        message = result.findings[0].message
+        assert "witness" in message
+        # the witness renders the call chain that closes the cycle
+        assert "_take_beta" in message or "_take_alpha" in message
+
+    def test_self_deadlock_on_plain_lock(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL008_SELF_DEADLOCK})
+        assert rules_fired(result) == ["RL008"]
+        assert "self-deadlock" in result.findings[0].message
+
+    def test_rlock_reentry_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL008_SELF_RLOCK})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 fork safety
+
+
+RL009_MODULE_LOCK = """
+    import os
+    import threading
+
+    _lock = threading.Lock()
+
+    def spawn():
+        pid = os.fork()
+        return pid
+"""
+
+RL009_MODULE_LOCK_REINIT = """
+    import os
+    import threading
+
+    _lock = threading.Lock()
+
+    def _reinit():
+        global _lock
+        _lock = threading.Lock()
+
+    os.register_at_fork(after_in_child=_reinit)
+
+    def spawn():
+        pid = os.fork()
+        return pid
+"""
+
+RL009_IMPORT_CHAIN = {
+    "locks.py": """
+        import threading
+
+        _registry_lock = threading.Lock()
+    """,
+    "forker.py": """
+        import os
+
+        import locks
+
+        def spawn():
+            pid = os.fork()
+            return pid
+    """,
+}
+
+RL009_CHILD_USES_PREFORK_LOCK = """
+    import os
+    import threading
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def spawn(self):
+            pid = os.fork()
+            if pid == 0:
+                self.work()
+
+        def work(self):
+            with self._lock:
+                pass
+"""
+
+RL009_CHILD_RECREATES = """
+    import os
+    import threading
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def spawn(self):
+            pid = os.fork()
+            if pid == 0:
+                self.work()
+
+        def work(self):
+            self._lock = threading.Lock()
+            with self._lock:
+                pass
+"""
+
+RL009_PID_GUARD = """
+    import os
+    import threading
+
+    class Server:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._owner_pid = os.getpid()
+
+        def spawn(self):
+            pid = os.fork()
+            if pid == 0:
+                self.work()
+
+        def work(self):
+            if os.getpid() != self._owner_pid:
+                return
+            with self._lock:
+                pass
+"""
+
+
+class TestForkSafety:
+    def test_module_lock_before_fork_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL009_MODULE_LOCK})
+        assert rules_fired(result) == ["RL009"]
+        assert "register_at_fork" in result.findings[0].message
+
+    def test_register_at_fork_satisfies(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL009_MODULE_LOCK_REINIT})
+        assert result.findings == []
+
+    def test_lock_reached_through_import_chain_fires(self, tmp_path):
+        result = run_lint(tmp_path, RL009_IMPORT_CHAIN)
+        assert rules_fired(result) == ["RL009"]
+        finding = result.findings[0]
+        assert finding.path.endswith("locks.py")
+        assert "import chain" in finding.message
+
+    def test_child_path_using_prefork_lock_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL009_CHILD_USES_PREFORK_LOCK})
+        assert rules_fired(result) == ["RL009"]
+        assert "fork-child path" in result.findings[0].message
+
+    def test_child_recreating_the_resource_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL009_CHILD_RECREATES})
+        assert result.findings == []
+
+    def test_getpid_guard_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL009_PID_GUARD})
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL010 blocking under a lock
+
+
+RL010_SLEEP_UNDER_LOCK = """
+    import threading
+    import time
+
+    class Slow:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def tick(self):
+            with self._lock:
+                time.sleep(1.0)
+"""
+
+RL010_SLEEP_OUTSIDE_LOCK = """
+    import threading
+    import time
+
+    class Slow:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def tick(self):
+            with self._lock:
+                pass
+            time.sleep(1.0)
+"""
+
+RL010_TRANSITIVE = """
+    import subprocess
+    import threading
+
+    class Runner:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+        def run(self):
+            with self._lock:
+                self._exec()
+
+        def _exec(self):
+            subprocess.run(["true"])
+"""
+
+RL010_CONDITION_WAIT = """
+    import threading
+
+    class Queue:
+        def __init__(self):
+            self._cond = threading.Condition()
+
+        def take(self):
+            with self._cond:
+                self._cond.wait()
+"""
+
+RL010_SOCKET_SEND = """
+    import threading
+
+    class Pipe:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._sock = None
+
+        def push(self, data):
+            with self._lock:
+                self._sock.sendall(data)
+"""
+
+
+class TestBlockingUnderLock:
+    def test_sleep_under_lock_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL010_SLEEP_UNDER_LOCK})
+        assert rules_fired(result) == ["RL010"]
+        assert "time.sleep" in result.findings[0].message
+
+    def test_sleep_after_release_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL010_SLEEP_OUTSIDE_LOCK})
+        assert result.findings == []
+
+    def test_blocking_reached_through_callee_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL010_TRANSITIVE})
+        assert rules_fired(result) == ["RL010"]
+        message = result.findings[0].message
+        assert "via" in message and "_exec" in message
+
+    def test_condition_wait_is_exempt(self, tmp_path):
+        result = run_lint(tmp_path, {"good.py": RL010_CONDITION_WAIT})
+        assert result.findings == []
+
+    def test_socket_send_under_lock_fires(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL010_SOCKET_SEND})
+        assert rules_fired(result) == ["RL010"]
+
+
+# ---------------------------------------------------------------------------
+# RL000 stale suppressions
+
+
+STALE_SUPPRESSION = """
+    # repro-lint: allow[RL001] nothing here ever needed this
+    def quiet():
+        return 1
+"""
+
+
+class TestStaleSuppressions:
+    def test_unused_allowance_fires_on_full_run(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": STALE_SUPPRESSION})
+        assert rules_fired(result) == ["RL000"]
+        assert "stale suppression" in result.findings[0].message
+
+    def test_subset_runs_do_not_flag_stale(self, tmp_path):
+        # With only RL002 selected, the RL001 allowance legitimately
+        # matches nothing — flagging it would make --rules unusable.
+        result = run_lint(
+            tmp_path, {"s.py": STALE_SUPPRESSION}, rule_ids=["RL002"]
+        )
+        assert result.findings == []
+
+    def test_used_allowance_is_not_stale(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED})
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail_the_run(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        assert dirty.exit_code() == 1
+        baseline = Baseline.from_findings(dirty.findings)
+        again = run_lint(tmp_path, {"bad.py": RL002_BAD}, baseline=baseline)
+        assert again.findings == []
+        assert len(again.baselined) == 1
+        assert again.exit_code() == 0
+
+    def test_new_finding_still_fails(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        baseline = Baseline.from_findings(dirty.findings)
+        both = run_lint(
+            tmp_path,
+            {"bad.py": RL002_BAD, "worse.py": RL010_SLEEP_UNDER_LOCK},
+            baseline=baseline,
+        )
+        assert rules_fired(both) == ["RL010"]
+        assert both.exit_code() == 1
+
+    def test_fixed_debt_is_reported_as_unmatched(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        baseline = Baseline.from_findings(dirty.findings)
+        clean = run_lint(tmp_path, {"bad.py": RL002_GOOD}, baseline=baseline)
+        assert clean.findings == []
+        assert clean.baseline_unmatched  # entry absorbed nothing
+        assert clean.exit_code() == 0
+
+    def test_round_trip_through_disk(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        baseline = Baseline.from_findings(dirty.findings)
+        path = tmp_path / "baseline.json"
+        baseline.write(path)
+        loaded = Baseline.load(path)
+        new, baselined, unmatched = loaded.apply(dirty.findings)
+        assert new == [] and len(baselined) == 1 and unmatched == []
+
+    def test_fingerprint_ignores_line_numbers(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        moved = run_lint(tmp_path, {"bad.py": "\n\n\n" + RL002_BAD})
+        assert [fingerprint(f) for f in dirty.findings] == [
+            fingerprint(f) for f in moved.findings
+        ]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99}', encoding="utf-8")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+# ---------------------------------------------------------------------------
+# SARIF
+
+
+class TestSarifReporter:
+    def test_findings_become_new_results(self, tmp_path):
+        result = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        doc = json.loads(render_sarif(result))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        (sarif_result,) = [
+            r for r in run["results"] if r["ruleId"] == "RL002"
+        ]
+        assert sarif_result["baselineState"] == "new"
+        location = sarif_result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] >= 1
+
+    def test_baselined_results_are_unchanged(self, tmp_path):
+        dirty = run_lint(tmp_path, {"bad.py": RL002_BAD})
+        baseline = Baseline.from_findings(dirty.findings)
+        again = run_lint(tmp_path, {"bad.py": RL002_BAD}, baseline=baseline)
+        doc = json.loads(render_sarif(again))
+        states = [r["baselineState"] for r in doc["runs"][0]["results"]]
+        assert states == ["unchanged"]
+
+    def test_suppressions_carry_justification(self, tmp_path):
+        result = run_lint(tmp_path, {"s.py": SUPPRESSED})
+        doc = json.loads(render_sarif(result))
+        (sarif_result,) = doc["runs"][0]["results"]
+        (suppression,) = sarif_result["suppressions"]
+        assert suppression["kind"] == "inSource"
+        assert "bounded" in suppression["justification"]
+
+    def test_errors_become_notifications(self, tmp_path):
+        result = run_lint(tmp_path, {"broken.py": "def f(:\n"})
+        doc = json.loads(render_sarif(result))
+        invocation = doc["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["toolExecutionNotifications"]
 
 
 # ---------------------------------------------------------------------------

@@ -174,7 +174,18 @@ class TestThreadSafety:
     def test_eight_worker_hammer_keeps_counters_consistent(self):
         import threading
 
+        from repro.analysis.runtime import LockOrderRegistry, OrderedLock
+
         cache = TQSPCache(capacity=64)
+        # Runtime half of RL008: record every acquisition the hammer
+        # makes and assert afterwards that the observed order is
+        # acyclic.  The cache uses a single lock, so the order graph
+        # must in fact stay empty — any edge means a second lock crept
+        # into the hot path without the static analysis noticing.
+        lock_registry = LockOrderRegistry()
+        cache._lock = OrderedLock(
+            "TQSPCache._lock", lock_registry, cache._lock
+        )
         workers = 8
         rounds = 400
         start = threading.Barrier(workers + 1)
@@ -210,6 +221,8 @@ class TestThreadSafety:
             thread.join()
 
         assert not errors
+        lock_registry.assert_acyclic()
+        assert lock_registry.edges() == {}  # single-lock hot path
         total_lookups = workers * rounds
         previous_events = -1
         for snap in snapshots:

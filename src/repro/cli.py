@@ -13,6 +13,7 @@ Subcommands::
     python -m repro snapshot build --data kb.nt --output kb.snap
     python -m repro stats    --data kb.nt
     python -m repro generate --profile yago-like --vertices 5000 --output kb.nt
+    python -m repro shard stats --url http://127.0.0.1:8080
     python -m repro lint     src tests
 
 ``query`` loads an N-Triples knowledge base, builds the engine and answers
@@ -287,6 +288,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_build.add_argument(
         "--undirected", action="store_true", help="disregard edge directions"
+    )
+    shard_stats = shard_commands.add_parser(
+        "stats",
+        help="fetch /v1/debug/load from a running server and summarise "
+        "per-shard load (query counts, latency, fan-out)",
+    )
+    shard_stats.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the running server (default %(default)s)",
+    )
+    shard_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw load report as JSON instead of a table",
     )
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
@@ -678,7 +694,70 @@ def _cmd_shard(args) -> int:
                 % (entry["snapshot"], entry["places"], entry["region"])
             )
         return 0
+    if args.shard_command == "stats":
+        return _cmd_shard_stats(args)
     raise AssertionError("unreachable")
+
+
+def _cmd_shard_stats(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/v1/debug/load"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            report = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError) as exc:
+        print("cannot reach %s: %s" % (url, exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    queries = report.get("queries", 0)
+    print(
+        "%d quer%s recorded on pid %s"
+        % (queries, "y" if queries == 1 else "ies", report.get("pid", "?"))
+    )
+    outcomes = report.get("outcomes") or {}
+    if outcomes:
+        print(
+            "outcomes: "
+            + ", ".join(
+                "%s=%d" % (key, outcomes[key]) for key in sorted(outcomes)
+            )
+        )
+    if queries:
+        print(
+            "latency: mean %.1f ms over %d queries"
+            % (
+                1000.0 * report.get("latency_sum_seconds", 0.0) / queries,
+                queries,
+            )
+        )
+    if report.get("fanout_mean") is not None:
+        print("fan-out: mean %.2f shards per routed query" % report["fanout_mean"])
+    shards = report.get("shards") or []
+    if shards:
+        print("%-8s %8s %8s %8s %8s %8s %12s" % (
+            "shard", "routed", "executed", "pruned", "timedout", "places",
+            "subquery_s",
+        ))
+        for entry in shards:
+            print(
+                "%-8s %8d %8d %8d %8d %8d %12.4f"
+                % (
+                    entry.get("shard", "?"),
+                    entry.get("routed", 0),
+                    entry.get("executed", 0),
+                    entry.get("pruned", 0),
+                    entry.get("timed_out", 0),
+                    entry.get("places", 0),
+                    entry.get("subquery_seconds", 0.0),
+                )
+            )
+    elif queries:
+        print("no per-shard records (single-engine server)")
+    return 0
 
 
 def _cmd_generate(args) -> int:

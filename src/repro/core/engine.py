@@ -199,6 +199,18 @@ class KSPEngine:
         index manifest hash — the "what exactly is running?" gauge) and
         ``ksp_process_uptime_seconds``.
         """
+        self._refresh_metric_gauges()
+        return self.metrics.render_text()
+
+    def metrics_state(self) -> Dict[str, Any]:
+        """The registry's JSON-safe state with runtime gauges refreshed —
+        what a pre-forked worker spools for fleet-wide aggregation
+        (:mod:`repro.obs.fleet`)."""
+        self._refresh_metric_gauges()
+        return self.metrics.state()
+
+    def _refresh_metric_gauges(self) -> None:
+        """Refresh the observation-time gauges before a render/snapshot."""
         import platform
 
         from repro import __version__
@@ -265,7 +277,6 @@ class KSPEngine:
             self.metrics.gauge(
                 "ksp_buffer_pool_hit_ratio", "buffer pool hits / accesses"
             ).set(pool_stats.hit_rate)
-        return self.metrics.render_text()
 
     # ------------------------------------------------------------------
     # Constructors

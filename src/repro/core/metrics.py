@@ -21,7 +21,7 @@ import math
 import threading
 import time
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 # Anchor for ksp_process_uptime_seconds: module import time is the
 # closest monotonic stand-in for process start without wall clocks.
@@ -97,6 +97,13 @@ class Counter:
     def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
         return ["%s%s %s" % (name, _render_labels(pairs), _format_value(self.value))]
 
+    def _state(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._value = float(state["value"])
+
 
 class Gauge:
     """A value that can go up and down (set at observation time)."""
@@ -122,6 +129,13 @@ class Gauge:
 
     def _samples(self, name: str, pairs: LabelPairs) -> List[str]:
         return ["%s%s %s" % (name, _render_labels(pairs), _format_value(self.value))]
+
+    def _state(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._value = float(state["value"])
 
 
 class Histogram:
@@ -214,6 +228,38 @@ class Histogram:
         )
         lines.append("%s_count%s %d" % (name, _render_labels(pairs), total))
         return lines
+
+    def _state(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: bounds, per-owning-bucket counts (the
+        last slot is +Inf overflow), sum/count, and exemplars keyed by
+        owning-bucket index."""
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "exemplars": {
+                    str(index): [
+                        [list(pair) for pair in pairs],
+                        value,
+                    ]
+                    for index, (pairs, value) in self._exemplars.items()
+                },
+            }
+
+    def _load_state(self, state: Mapping[str, Any]) -> None:
+        with self._lock:
+            self._counts = [int(c) for c in state["counts"]]
+            self._sum = float(state["sum"])
+            self._count = int(state["count"])
+            self._exemplars = {
+                int(index): (
+                    tuple((str(k), str(v)) for k, v in entry[0]),
+                    float(entry[1]),
+                )
+                for index, entry in (state.get("exemplars") or {}).items()
+            }
 
 
 class ServingMetrics:
@@ -324,6 +370,62 @@ class MetricsRegistry:
         return self._get_or_create(
             "histogram", name, help_text, labels, lambda: Histogram(buckets)
         )
+
+    # ------------------------------------------------------------------
+    # State snapshots (the fleet-aggregation substrate; see repro.obs.fleet)
+
+    def state(self) -> Dict[str, Any]:
+        """One JSON-safe snapshot of every family and series.
+
+        The shape is the unit of the fleet metrics plane: workers spool
+        it to disk, :mod:`repro.obs.fleet` merges many of them (counters
+        summed, histogram buckets merged, gauges labeled per worker) and
+        :meth:`from_state` turns a merged state back into a renderable
+        registry.
+        """
+        with self._lock:
+            families = dict(self._families)
+            metrics = list(self._metrics.items())
+        series: List[Dict[str, Any]] = []
+        for (name, pairs), metric in metrics:
+            series.append(
+                {
+                    "name": name,
+                    "labels": [list(pair) for pair in pairs],
+                    "data": metric._state(),
+                }
+            )
+        return {
+            "families": {
+                name: [kind, help_text]
+                for name, (kind, help_text) in families.items()
+            },
+            "series": series,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`state` output (or a merge of
+        several — see :func:`repro.obs.fleet.merge_states`)."""
+        registry = cls()
+        families = state.get("families") or {}
+        for entry in state.get("series") or ():
+            name = entry["name"]
+            kind, help_text = families.get(name, ("counter", ""))
+            labels = {str(k): str(v) for k, v in entry.get("labels") or ()}
+            data = entry["data"]
+            if kind == "counter":
+                metric: Metric = registry.counter(name, help_text, labels=labels)
+            elif kind == "gauge":
+                metric = registry.gauge(name, help_text, labels=labels)
+            elif kind == "histogram":
+                metric = registry.histogram(
+                    name, help_text, labels=labels, buckets=data["buckets"]
+                )
+            else:
+                raise ValueError("unknown metric kind %r for %r" % (kind, name))
+            metric._load_state(data)
+        return registry
 
     # ------------------------------------------------------------------
 

@@ -141,6 +141,13 @@ class KSPResult:
     ``trace_id`` is the caller's W3C trace id (from a ``traceparent``
     header) when one was supplied — it rides the wire alongside
     ``request_id`` so distributed traces and kSP results correlate.
+    ``subtraces`` is a router-only attachment: the ``trace_events``
+    documents the shard sub-requests of a scatter-gather query
+    returned, each with its fan-out label, dispatch offset and
+    sub-request id, consumed by
+    :func:`repro.obs.traceexport.stitch_trace_events`.  It is NOT part
+    of the wire schema (``to_dict`` omits it) — the serving layer
+    stitches it into the response's ``trace_events`` instead.
     """
 
     query: KSPQuery
@@ -149,6 +156,7 @@ class KSPResult:
     trace: Optional[QueryTrace] = None
     request_id: Optional[str] = None
     trace_id: Optional[str] = None
+    subtraces: Optional[List[Dict[str, object]]] = None
 
     @property
     def incomplete(self) -> bool:

@@ -1,0 +1,423 @@
+"""Fleet-wide metrics aggregation and per-shard load statistics.
+
+PR 6 forked the server into N worker processes and PR 7 put whole
+fleets behind a shard router — but each process still owned a private
+:class:`~repro.core.metrics.MetricsRegistry`, so ``/v1/metrics`` on a
+fleet answered with whichever worker won the accept race.  This module
+is the missing aggregation plane:
+
+* **Spools.**  Every worker periodically serializes its registry state
+  (:meth:`MetricsRegistry.state`) to a per-pid JSON file in the fleet's
+  heartbeat directory (:func:`write_metrics_spool`).  Writes are atomic
+  (tmp + rename) so readers never see a torn state.
+* **Merge.**  :func:`merge_states` folds many states into one coherent
+  registry state: counters are **summed** per ``(name, labels)``
+  series, histograms are **bucket-wise merged** (exact when bounds
+  agree — see DESIGN.md §16 for the proof sketch — and conservative at
+  each source's own granularity when they differ), and gauges keep one
+  series per worker via an added ``worker="<pid>"`` label, since a
+  mean-of-gauges is rarely what anyone wants.
+* **Scrape.**  Any worker answering ``/v1/metrics`` refreshes its own
+  spool, merges every live spool, and renders the merged state — so
+  two consecutive scrapes are coherent no matter which worker answers:
+  each spool only ever grows, hence the sum only ever grows.
+* **Load stats.**  :func:`load_report` derives the per-shard
+  query-count / latency / fan-out histograms from flight-recorder
+  records — the machine-readable signal a future load-aware re-split
+  (ROADMAP item 2, QDR-Tree-style adaptivity) consumes, served at
+  ``GET /v1/debug/load`` and ``repro shard stats``.
+
+Nothing here imports the engine or the server: both feed it, matching
+the package rule (core/serve import obs, never the reverse).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+from bisect import bisect_left
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+#: Spool format version (bumped on incompatible shape changes; readers
+#: skip spools they do not understand rather than fail the scrape).
+SPOOL_VERSION = 1
+
+_SPOOL_PREFIX = "metrics-"
+
+
+# ----------------------------------------------------------------------
+# Spool files
+
+
+def write_metrics_spool(
+    status_dir: Union[str, Path],
+    state: Mapping[str, Any],
+    index: Optional[int] = None,
+    pid: Optional[int] = None,
+) -> Path:
+    """Atomically publish one process's registry state as
+    ``metrics-<pid>.json`` in the fleet's heartbeat directory."""
+    directory = Path(status_dir)
+    pid = os.getpid() if pid is None else pid
+    target = directory / ("%s%d.json" % (_SPOOL_PREFIX, pid))
+    record = {
+        "version": SPOOL_VERSION,
+        "pid": pid,
+        "index": index,
+        "written_at": time.time(),  # wall clock, for humans only
+        "monotonic_at": time.monotonic(),  # freshness ordering (host-wide)
+        "state": dict(state),
+    }
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=".%s%d." % (_SPOOL_PREFIX, pid), dir=str(directory)
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(record, stream, sort_keys=True)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def read_metrics_spools(status_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every live spool in the heartbeat directory, oldest index first.
+
+    Unreadable or foreign files are skipped — a scrape must not fail
+    because a worker is being respawned right now.  When several spools
+    claim the same worker ``index`` (a respawned worker left its dead
+    predecessor's pid file behind), only the freshest by
+    ``monotonic_at`` survives: the replacement's counters restart from
+    zero, which is ordinary Prometheus counter-reset semantics, while
+    summing a ghost's frozen counters forever would overcount.
+    """
+    spools: List[Dict[str, Any]] = []
+    directory = Path(status_dir)
+    for path in sorted(directory.glob(_SPOOL_PREFIX + "*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if not isinstance(record, dict) or record.get("version") != SPOOL_VERSION:
+            continue
+        if not isinstance(record.get("state"), dict):
+            continue
+        spools.append(record)
+    newest_per_index: Dict[Any, Dict[str, Any]] = {}
+    unindexed: List[Dict[str, Any]] = []
+    for record in spools:
+        index = record.get("index")
+        if index is None:
+            unindexed.append(record)
+            continue
+        best = newest_per_index.get(index)
+        if best is None or (record.get("monotonic_at") or 0.0) > (
+            best.get("monotonic_at") or 0.0
+        ):
+            newest_per_index[index] = record
+    ordered = [newest_per_index[key] for key in sorted(newest_per_index)]
+    ordered.extend(unindexed)
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# State merging
+
+
+def _series_key(name: str, labels: Sequence[Sequence[str]]) -> Tuple:
+    return (name, tuple((str(k), str(v)) for k, v in labels))
+
+
+def _merge_histograms(
+    target: Dict[str, Any], source: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Bucket-wise merge of two histogram states.
+
+    Identical bounds merge element-wise (exact).  Differing bounds merge
+    onto the union of bounds: every per-owning-bucket count keeps its own
+    upper bound, which exists in the union, so each observation is still
+    counted at (exactly) its original bucket granularity — cumulative
+    counts, ``sum`` and ``count`` all stay correct.
+    """
+    if list(target["buckets"]) == list(source["buckets"]):
+        merged_bounds = [float(b) for b in target["buckets"]]
+        counts = [
+            int(a) + int(b) for a, b in zip(target["counts"], source["counts"])
+        ]
+        exemplars = dict(source.get("exemplars") or {})
+        exemplars.update(target.get("exemplars") or {})
+    else:
+        union = sorted(
+            {float(b) for b in target["buckets"]}
+            | {float(b) for b in source["buckets"]}
+        )
+        merged_bounds = union
+        counts = [0] * (len(union) + 1)
+        exemplars = {}
+        for state in (target, source):
+            bounds = [float(b) for b in state["buckets"]]
+            own_counts = state["counts"]
+            own_exemplars = state.get("exemplars") or {}
+            for own_index, count in enumerate(own_counts):
+                if own_index < len(bounds):
+                    new_index = bisect_left(union, bounds[own_index])
+                else:
+                    new_index = len(union)  # the +Inf overflow slot
+                counts[new_index] += int(count)
+                exemplar = own_exemplars.get(str(own_index))
+                if exemplar is not None:
+                    exemplars.setdefault(str(new_index), exemplar)
+    return {
+        "buckets": merged_bounds,
+        "counts": counts,
+        "sum": float(target["sum"]) + float(source["sum"]),
+        "count": int(target["count"]) + int(source["count"]),
+        "exemplars": exemplars,
+    }
+
+
+def merge_states(
+    states: Sequence[Mapping[str, Any]],
+    source_labels: Optional[Sequence[Optional[Mapping[str, str]]]] = None,
+) -> Dict[str, Any]:
+    """Fold many registry states into one.
+
+    ``source_labels`` (aligned with ``states``) adds labels to every
+    **gauge** series of that source — the fleet merge passes
+    ``{"worker": "<pid>"}`` so per-process gauges (uptime, cache
+    occupancy, build info) stay attributable instead of being averaged
+    into nonsense.  Counters and histograms merge across sources:
+    summed and bucket-merged respectively, per ``(name, labels)``.
+    """
+    families: Dict[str, List[str]] = {}
+    merged: Dict[Tuple, Dict[str, Any]] = {}
+    order: List[Tuple] = []
+    for position, state in enumerate(states):
+        extra = None
+        if source_labels is not None and position < len(source_labels):
+            extra = source_labels[position]
+        for name, family in (state.get("families") or {}).items():
+            families.setdefault(name, [family[0], family[1]])
+        for entry in state.get("series") or ():
+            name = entry["name"]
+            kind = (state.get("families") or {}).get(name, ["counter"])[0]
+            labels = [[str(k), str(v)] for k, v in entry.get("labels") or ()]
+            if kind == "gauge" and extra:
+                present = {pair[0] for pair in labels}
+                for key, value in sorted(extra.items()):
+                    if key not in present:
+                        labels.append([str(key), str(value)])
+                labels.sort()
+            key = _series_key(name, labels)
+            data = entry["data"]
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = {
+                    "name": name,
+                    "labels": labels,
+                    "data": json.loads(json.dumps(data)),  # deep, JSON-safe copy
+                }
+                order.append(key)
+            elif kind == "counter":
+                existing["data"]["value"] = float(
+                    existing["data"]["value"]
+                ) + float(data["value"])
+            elif kind == "histogram":
+                existing["data"] = _merge_histograms(existing["data"], data)
+            else:  # gauge collision (same worker label twice): last wins
+                existing["data"]["value"] = float(data["value"])
+    return {
+        "families": families,
+        "series": [merged[key] for key in order],
+    }
+
+
+def label_state(
+    state: Mapping[str, Any], labels: Mapping[str, str]
+) -> Dict[str, Any]:
+    """A copy of ``state`` with ``labels`` added to EVERY series.
+
+    This is the cross-fleet merge's tool: workers of one fleet are
+    identical replicas, so their counters genuinely sum — but distinct
+    *shards* are different partitions, and summing shard 0's
+    ``ksp_queries_total`` into shard 1's would erase exactly the per
+    partition attribution a scrape wants.  The router therefore tags
+    each shard fleet's whole state ``shard="i"`` before merging, so
+    every series stays its own."""
+    out: Dict[str, Any] = {
+        "families": dict(state.get("families") or {}),
+        "series": [],
+    }
+    for entry in state.get("series") or ():
+        series_labels = [
+            [str(k), str(v)] for k, v in entry.get("labels") or ()
+        ]
+        present = {pair[0] for pair in series_labels}
+        for key, value in sorted(labels.items()):
+            if key not in present:
+                series_labels.append([str(key), str(value)])
+        series_labels.sort()
+        out["series"].append(
+            {
+                "name": entry["name"],
+                "labels": series_labels,
+                "data": json.loads(json.dumps(entry["data"])),
+            }
+        )
+    return out
+
+
+def merge_spools(spools: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge spool records (from :func:`read_metrics_spools`), labeling
+    each source's gauges with its worker pid."""
+    states = [record["state"] for record in spools]
+    labels: List[Optional[Mapping[str, str]]] = [
+        {"worker": str(record.get("pid"))} for record in spools
+    ]
+    return merge_states(states, source_labels=labels)
+
+
+def render_state(state: Mapping[str, Any]) -> str:
+    """A merged (or plain) registry state as Prometheus text."""
+    return MetricsRegistry.from_state(state).render_text()
+
+
+# ----------------------------------------------------------------------
+# Load statistics (the re-sharding signal)
+
+#: Latency bucket bounds for load reports, in seconds (the serving
+#: histogram defaults — merge-compatible with ``/v1/metrics``).
+LOAD_BUCKETS: Tuple[float, ...] = DEFAULT_BUCKETS
+
+#: Fan-out bucket bounds: shard subqueries executed per routed query.
+FANOUT_BUCKETS: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+def _bucket_counts(
+    values: Sequence[float], bounds: Sequence[float] = LOAD_BUCKETS
+) -> Dict[str, int]:
+    """Cumulative ``le``-keyed counts of ``values`` over ``bounds``."""
+    owning = [0] * (len(bounds) + 1)
+    for value in values:
+        owning[bisect_left(bounds, float(value))] += 1
+    counts: Dict[str, int] = {}
+    running = 0
+    for bound, count in zip(bounds, owning):
+        running += count
+        counts[repr(float(bound))] = running
+    counts["+Inf"] = running + owning[-1]
+    return counts
+
+
+def load_report(
+    records: Sequence[Mapping[str, Any]],
+    shard_count: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Per-shard load statistics derived from flight-recorder records.
+
+    ``records`` is :meth:`FlightRecorder.snapshot` output (each record a
+    dict; router records carry a ``shards`` summary).  The report is the
+    machine-readable contract a load-aware re-split consumes: overall
+    query counts and latency buckets, the fan-out distribution, and per
+    shard — subqueries executed / pruned / timed out, places
+    contributed, and the latency histogram of that shard's subqueries.
+    """
+    latencies: List[float] = []
+    outcomes: Dict[str, int] = {}
+    fanouts: List[float] = []
+    per_shard: Dict[int, Dict[str, Any]] = {}
+    shard_latencies: Dict[int, List[float]] = {}
+    for record in records:
+        runtime = float(record.get("runtime_seconds") or 0.0)
+        latencies.append(runtime)
+        outcome = str(record.get("outcome") or "ok")
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        shards = record.get("shards")
+        if not shards:
+            continue
+        executed = 0
+        for summary in shards:
+            index = int(summary.get("shard", 0))
+            stats = per_shard.setdefault(
+                index,
+                {
+                    "shard": index,
+                    "routed": 0,
+                    "executed": 0,
+                    "pruned": 0,
+                    "timed_out": 0,
+                    "places": 0,
+                    "subquery_seconds": 0.0,
+                },
+            )
+            stats["routed"] += 1
+            if summary.get("pruned"):
+                stats["pruned"] += 1
+                continue
+            executed += 1
+            stats["executed"] += 1
+            if summary.get("timed_out"):
+                stats["timed_out"] += 1
+            stats["places"] += int(summary.get("places") or 0)
+            seconds = float(summary.get("runtime_seconds") or 0.0)
+            stats["subquery_seconds"] += seconds
+            shard_latencies.setdefault(index, []).append(seconds)
+        fanouts.append(float(executed))
+    expected = shard_count if shard_count is not None else len(per_shard)
+    for index in range(expected or 0):
+        per_shard.setdefault(
+            index,
+            {
+                "shard": index,
+                "routed": 0,
+                "executed": 0,
+                "pruned": 0,
+                "timed_out": 0,
+                "places": 0,
+                "subquery_seconds": 0.0,
+            },
+        )
+    shards_out: List[Dict[str, Any]] = []
+    for index in sorted(per_shard):
+        stats = dict(per_shard[index])
+        stats["subquery_seconds"] = round(stats["subquery_seconds"], 6)
+        stats["latency_buckets"] = _bucket_counts(shard_latencies.get(index, ()))
+        shards_out.append(stats)
+    report: Dict[str, Any] = {
+        "queries": len(latencies),
+        "outcomes": outcomes,
+        "latency_buckets": _bucket_counts(latencies),
+        "latency_sum_seconds": round(math.fsum(latencies), 6),
+        "fanout_buckets": (
+            _bucket_counts(fanouts, FANOUT_BUCKETS) if fanouts else None
+        ),
+        "fanout_mean": (
+            round(math.fsum(fanouts) / len(fanouts), 4) if fanouts else None
+        ),
+        "shards": shards_out,
+    }
+    return report
+
+
+__all__ = [
+    "FANOUT_BUCKETS",
+    "LOAD_BUCKETS",
+    "SPOOL_VERSION",
+    "label_state",
+    "load_report",
+    "merge_spools",
+    "merge_states",
+    "read_metrics_spools",
+    "render_state",
+    "write_metrics_spool",
+]

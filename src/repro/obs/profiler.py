@@ -1,0 +1,380 @@
+"""An in-process sampling profiler: where does CPU time go, live?
+
+Stdlib-only, always-on-capable.  At a configurable rate the profiler
+captures every thread's Python stack via :func:`sys._current_frames`
+and accumulates identical stacks into counts.  Two capture engines
+share that collection path:
+
+* **Signal sampling** (the default on POSIX): ``signal.setitimer``
+  arms a wall-clock interval timer whose SIGALRM handler — installed
+  once, from the main thread, at server boot — takes one sample per
+  tick.  CPython delivers signals on the main thread between bytecodes,
+  so the handler observes the other threads mid-kernel: exactly the
+  "where is the worker stuck?" view.  The handler is a few dict
+  operations; overhead at the default 19 Hz is measured in
+  ``BENCH_obs.json`` (< 5%).
+* **Thread sampling** (fallback): a daemon thread sleeping
+  ``1/hz`` between samples.  Used when no handler could be installed —
+  profiling from a library embedder's worker thread, or a platform
+  without ``setitimer``.
+
+Safety properties (the ``/v1/debug/profile`` contract):
+
+* at most **one profile runs per process** at a time — a second caller
+  gets :class:`ProfilerBusy` (the HTTP layer maps it to 409) instead of
+  a second timer fighting over the shared handler;
+* duration and rate are capped (:data:`MAX_SECONDS`, :data:`MAX_HZ`);
+* the sampler thread of the profiled process is excluded from its own
+  samples, so a profile of an idle server is not all profiler;
+* the previous SIGALRM disposition is restored when the profiler is
+  uninstalled, and a disarmed handler tick is a no-op.
+
+Output is the collapsed-stack format Brendan Gregg's ``flamegraph.pl``
+eats (``frame;frame;frame count`` lines, leaf last) plus a top-N
+self-time JSON summary, so a flamegraph is one pipe away from a curl.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Hard caps enforced for every profile request.
+MAX_SECONDS = 60.0
+MAX_HZ = 997
+#: Default sampling rate (Hz).  Prime, so it does not phase-lock with
+#: heartbeats or pollers that tick on round numbers.
+DEFAULT_HZ = 19
+
+
+class ProfilerError(ValueError):
+    """Invalid profile parameters (bad duration or rate)."""
+
+
+class ProfilerBusy(RuntimeError):
+    """A profile is already running in this process."""
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename
+    # Shorten site paths to the tail the reader actually recognizes.
+    parts = filename.replace("\\", "/").rsplit("/", 2)
+    short = "/".join(parts[-2:]) if len(parts) > 1 else filename
+    # f_lineno is None for synthesized frames (exec'd kernels sampled
+    # between line events); fall back to the code object's first line.
+    lineno = frame.f_lineno
+    if lineno is None:
+        lineno = code.co_firstlineno
+    return "%s:%s:%d" % (short, code.co_name, lineno)
+
+
+def _stack_of(frame) -> Tuple[str, ...]:
+    """Root-first frame labels for one thread's current frame."""
+    labels: List[str] = []
+    depth = 0
+    while frame is not None and depth < 256:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+        depth += 1
+    labels.reverse()
+    return tuple(labels)
+
+
+class ProfileReport:
+    """Accumulated samples of one profiling run."""
+
+    def __init__(
+        self,
+        stacks: Dict[Tuple[Tuple[str, ...], str], int],
+        samples: int,
+        seconds: float,
+        hz: float,
+        engine: str,
+    ) -> None:
+        self.stacks = stacks  # (stack, thread name) -> sample count
+        self.samples = samples  # sampler ticks (each covers all threads)
+        self.seconds = seconds
+        self.hz = hz
+        self.engine = engine
+        self.pid = os.getpid()
+
+    # ------------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """The ``flamegraph.pl`` collapsed-stack format: one line per
+        distinct stack, root first, frames joined by ``;``, trailing
+        sample count.  The thread name is the synthetic root frame so
+        one flamegraph separates the serving threads."""
+        lines = []
+        for (stack, thread_name), count in sorted(
+            self.stacks.items(), key=lambda item: (-item[1], item[0])
+        ):
+            frames = (thread_name,) + stack
+            lines.append("%s %d" % (";".join(frames), count))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def top(self, n: int = 20) -> List[Dict[str, Any]]:
+        """Top-``n`` frames by self time (the leaf frame owns a sample)
+        with total (anywhere-on-stack) counts alongside."""
+        self_counts: Dict[str, int] = {}
+        total_counts: Dict[str, int] = {}
+        for (stack, _thread), count in self.stacks.items():
+            if not stack:
+                continue
+            leaf = stack[-1]
+            self_counts[leaf] = self_counts.get(leaf, 0) + count
+            for frame in set(stack):
+                total_counts[frame] = total_counts.get(frame, 0) + count
+        ranked = sorted(
+            self_counts.items(), key=lambda item: (-item[1], item[0])
+        )[:n]
+        thread_samples = sum(self.stacks.values())
+        out = []
+        for frame, self_count in ranked:
+            out.append(
+                {
+                    "frame": frame,
+                    "self": self_count,
+                    "total": total_counts.get(frame, self_count),
+                    "self_fraction": (
+                        round(self_count / thread_samples, 4)
+                        if thread_samples
+                        else 0.0
+                    ),
+                }
+            )
+        return out
+
+    def as_dict(self, top_n: int = 20) -> Dict[str, Any]:
+        """The ``/v1/debug/profile`` JSON body."""
+        return {
+            "pid": self.pid,
+            "engine": self.engine,
+            "seconds": round(self.seconds, 3),
+            "hz": self.hz,
+            "samples": self.samples,
+            "distinct_stacks": len(self.stacks),
+            "collapsed": self.collapsed(),
+            "top": self.top(top_n),
+        }
+
+
+class SamplingProfiler:
+    """One per-process profiler; see the module docstring.
+
+    ``install()`` (main thread, idempotent) claims SIGALRM for the
+    signal engine.  :meth:`profile` runs one bounded capture on
+    whichever engine is available and returns a :class:`ProfileReport`.
+    """
+
+    def __init__(self) -> None:
+        self._run_lock = threading.Lock()  # the one-profile-per-process guard
+        self._state_lock = threading.Lock()
+        self._installed = False
+        self._previous_handler: Any = None
+        self._armed = False
+        self._exclude_thread: Optional[int] = None
+        self._stacks: Dict[Tuple[Tuple[str, ...], str], int] = {}
+        self._samples = 0
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+
+    @property
+    def installed(self) -> bool:
+        with self._state_lock:
+            return self._installed
+
+    def install(self) -> bool:
+        """Claim SIGALRM for signal-engine sampling.
+
+        Must run on the main thread (a CPython rule for
+        ``signal.signal``); returns False — leaving the thread engine as
+        the fallback — when that is impossible rather than raising, so
+        callers can install opportunistically at boot.
+        """
+        with self._state_lock:
+            if self._installed:
+                return True
+            if not hasattr(signal, "setitimer"):  # pragma: no cover - non-POSIX
+                return False
+            if threading.current_thread() is not threading.main_thread():
+                return False
+            try:
+                self._previous_handler = signal.signal(
+                    signal.SIGALRM, self._on_tick
+                )
+            except (ValueError, OSError):  # pragma: no cover - exotic embedders
+                return False
+            self._installed = True
+            return True
+
+    def uninstall(self) -> None:
+        """Restore the previous SIGALRM disposition (main thread only)."""
+        with self._state_lock:
+            if not self._installed:
+                return
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous_handler or signal.SIG_DFL)
+            self._previous_handler = None
+            self._installed = False
+            self._armed = False
+
+    def _on_tick(self, signum, frame) -> None:
+        # The signal handler: runs on the main thread between bytecodes,
+        # so it must never block on a lock the interrupted code may hold.
+        # _armed is a bare bool flag; the worst a stale read costs is one
+        # extra (or missed) sample around disarm.
+        # repro-lint: allow[RL001] signal handlers cannot take locks; _armed is a monotone bool flag per run
+        if self._armed:
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        names = {
+            thread.ident: thread.name for thread in threading.enumerate()
+        }
+        exclude = self._exclude_thread
+        self._samples += 1
+        for ident, frame in sys._current_frames().items():
+            if ident == exclude:
+                continue
+            stack = _stack_of(frame)
+            if not stack:
+                continue
+            key = (stack, names.get(ident, "thread-%d" % ident))
+            self._stacks[key] = self._stacks.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def profile(
+        self, seconds: float, hz: float = DEFAULT_HZ
+    ) -> ProfileReport:
+        """Run one bounded capture and return its report.
+
+        Raises :class:`ProfilerError` on bad parameters and
+        :class:`ProfilerBusy` when a capture is already running in this
+        process.
+        """
+        seconds = float(seconds)
+        hz = float(hz)
+        if not 0.0 < seconds <= MAX_SECONDS:
+            raise ProfilerError(
+                "seconds must be in (0, %g], got %g" % (MAX_SECONDS, seconds)
+            )
+        if not 0.0 < hz <= MAX_HZ:
+            raise ProfilerError("hz must be in (0, %d], got %g" % (MAX_HZ, hz))
+        if not self._run_lock.acquire(blocking=False):
+            raise ProfilerBusy("a profile is already running in this process")
+        try:
+            self._stacks = {}
+            self._samples = 0
+            with self._state_lock:
+                installed = self._installed
+            if installed:
+                engine = "signal"
+                self._run_signal(seconds, hz)
+            else:
+                engine = "thread"
+                self._run_thread(seconds, hz)
+            return ProfileReport(
+                stacks=self._stacks,
+                samples=self._samples,
+                seconds=seconds,
+                hz=hz,
+                engine=engine,
+            )
+        finally:
+            self._run_lock.release()
+
+    def _run_signal(self, seconds: float, hz: float) -> None:
+        interval = 1.0 / hz
+        self._exclude_thread = None  # main thread samples are real work
+        with self._state_lock:
+            self._armed = True
+        # setitimer is callable from any thread; delivery lands on the
+        # main thread where our handler was installed at boot.
+        signal.setitimer(signal.ITIMER_REAL, interval, interval)
+        try:
+            deadline = time.monotonic() + seconds
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    break
+                time.sleep(min(remaining, 0.05))
+        finally:
+            with self._state_lock:
+                self._armed = False
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+
+    def _run_thread(self, seconds: float, hz: float) -> None:
+        interval = 1.0 / hz
+        stop = threading.Event()
+        started = threading.Event()
+
+        def _sampler() -> None:
+            self._exclude_thread = threading.get_ident()
+            started.set()
+            while not stop.is_set():
+                self._sample_once()
+                stop.wait(interval)
+
+        thread = threading.Thread(
+            target=_sampler, name="ksp-profiler", daemon=True
+        )
+        thread.start()
+        started.wait(1.0)
+        try:
+            time.sleep(seconds)
+        finally:
+            stop.set()
+            thread.join(timeout=2.0)
+            self._exclude_thread = None
+
+
+#: The per-process default profiler instance ``/v1/debug/profile`` uses.
+_default = SamplingProfiler()
+
+
+def default_profiler() -> SamplingProfiler:
+    return _default
+
+
+def install() -> bool:
+    """Install the default profiler's signal engine (main thread only)."""
+    return _default.install()
+
+
+def run_profile(seconds: float, hz: float = DEFAULT_HZ) -> ProfileReport:
+    """One capture on the process-wide default profiler."""
+    return _default.profile(seconds, hz)
+
+
+def _reinit_after_fork() -> None:
+    """A forked child inherits the parent's handler flags but not its
+    timers or threads; start from a clean, uninstalled profiler so the
+    worker re-claims SIGALRM (or falls back to the thread engine)."""
+    global _default
+    _default = SamplingProfiler()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; absent on Windows
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+__all__ = [
+    "DEFAULT_HZ",
+    "MAX_HZ",
+    "MAX_SECONDS",
+    "ProfileReport",
+    "ProfilerBusy",
+    "ProfilerError",
+    "SamplingProfiler",
+    "default_profiler",
+    "install",
+    "run_profile",
+]

@@ -23,6 +23,7 @@ rendered straight from :meth:`snapshot` and :meth:`inflight`.
 from __future__ import annotations
 
 import itertools
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -50,8 +51,11 @@ class QueryRecord:
     error: Optional[str] = None
     recorded_at: float = 0.0  # wall clock (time.time) at record time
     sequence: int = 0  # recorder-assigned, monotonically increasing
+    pid: Optional[int] = None  # recording process (stamped at record time)
+    worker_id: Optional[int] = None  # pre-fork worker index, when forked
     phases: Optional[Dict[str, Dict[str, float]]] = None  # QueryTrace.as_dict
     counters: Dict[str, Any] = field(default_factory=dict)  # QueryStats subset
+    shards: Optional[List[Dict[str, Any]]] = None  # router fan-out summary
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -68,8 +72,11 @@ class QueryRecord:
             "error": self.error,
             "recorded_at": self.recorded_at,
             "sequence": self.sequence,
+            "pid": self.pid,
+            "worker_id": self.worker_id,
             "phases": self.phases,
             "counters": dict(self.counters),
+            "shards": self.shards,
         }
 
 
@@ -150,6 +157,9 @@ class FlightRecorder:
         if capacity < 1:
             raise ValueError("flight recorder capacity must be positive")
         self.capacity = capacity
+        # Pre-fork worker identity; set by the serving layer after fork
+        # so every record names the worker that produced it.
+        self.worker_id: Optional[int] = None
         self._lock = Lock()
         self._ring: Deque[QueryRecord] = deque(maxlen=capacity)
         self._inflight: Dict[int, InflightHandle] = {}
@@ -160,8 +170,13 @@ class FlightRecorder:
     # Completed queries
 
     def record(self, record: QueryRecord) -> QueryRecord:
-        """Append one record (stamping sequence and wall time)."""
+        """Append one record (stamping sequence, wall time and process
+        identity — after a fork each worker stamps its own pid)."""
         record.recorded_at = time.time()
+        if record.pid is None:
+            record.pid = os.getpid()
+        if record.worker_id is None:
+            record.worker_id = self.worker_id
         with self._lock:
             self._recorded_total += 1
             record.sequence = self._recorded_total

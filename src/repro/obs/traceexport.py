@@ -19,10 +19,26 @@ or ``chrome://tracing``.  Two fidelities:
   laid end-to-end in insertion order, with span count and mean span
   cost in ``args``.  Deterministic by construction, which is what the
   golden-file test pins.
+
+Distributed: :func:`stitch_trace_events` merges a router's own
+document with the ``trace_events`` documents its shard sub-requests
+returned into ONE Perfetto timeline.  Each participant becomes a
+Perfetto *process*: the router keeps logical pid 1, shard ``j`` (label
+order) gets pid ``2 + j``, every process row is named by its
+shard/worker identity via ``process_name`` metadata, and child spans
+are shifted by the shard's dispatch offset so the timeline reads as
+the actual fan-out.  Logical pids are deterministic (golden-pinnable);
+the *operating-system* pid of the answering worker rides in
+``otherData.os_pid`` / ``otherData.processes[].os_pid`` instead.
+:func:`span_id_for` + :func:`make_traceparent` build the outbound
+W3C header for sub-requests — span ids are derived from the
+sub-request id by hashing, never random, so a replayed query produces
+a byte-identical trace.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Dict, List, Optional
 
@@ -63,6 +79,22 @@ def parse_traceparent(header: Optional[str]) -> Optional[str]:
     return trace_id
 
 
+def span_id_for(seed: str) -> str:
+    """A deterministic 16-hex-digit W3C span id derived from ``seed``
+    (typically the sub-request id).  Hash-derived, never random: the
+    same query replayed produces the same traceparent, which is what
+    lets golden files pin distributed traces."""
+    digest = hashlib.sha256(seed.encode("utf-8")).hexdigest()[:16]
+    if set(digest) == {"0"}:  # the spec forbids the all-zero parent id
+        digest = digest[:-1] + "1"
+    return digest
+
+
+def make_traceparent(trace_id: str, span_id: str) -> str:
+    """A version-00 ``traceparent`` header (sampled flag set)."""
+    return "00-%s-%s-01" % (trace_id, span_id)
+
+
 def _microseconds(seconds: float) -> int:
     return int(round(1e6 * seconds))
 
@@ -79,12 +111,19 @@ def trace_events(
     request_id: Optional[str] = None,
     trace_id: Optional[str] = None,
     runtime_seconds: Optional[float] = None,
+    pid: int = _PID,
+    process_name: str = "ksp-query",
+    os_pid: Optional[int] = None,
 ) -> Dict[str, Any]:
     """A Chrome ``trace_event`` JSON object for one query's trace.
 
     ``trace`` is a :class:`~repro.core.trace.QueryTrace` or its
     ``as_dict()`` form.  ``runtime_seconds`` (when known) adds an
-    enclosing ``query`` span and an ``(untraced)`` remainder.
+    enclosing ``query`` span and an ``(untraced)`` remainder.  ``pid``
+    and ``process_name`` set the (logical) Perfetto process this
+    document renders as; ``os_pid`` — when given — records the real
+    operating-system pid of the producing worker in ``otherData`` so a
+    stitched fleet trace can attribute spans to a process.
     """
     phases = _phase_dict(trace)
     timeline: List[Any] = []
@@ -95,9 +134,9 @@ def trace_events(
         {
             "name": "process_name",
             "ph": "M",
-            "pid": _PID,
+            "pid": pid,
             "tid": 0,
-            "args": {"name": "ksp-query"},
+            "args": {"name": process_name},
         }
     ]
     # One track (tid) per phase, numbered by first appearance so the
@@ -113,7 +152,7 @@ def trace_events(
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid,
                     "args": {"name": phase},
                 }
@@ -135,7 +174,7 @@ def trace_events(
                 "ph": "X",
                 "ts": 0,
                 "dur": _microseconds(runtime_seconds),
-                "pid": _PID,
+                "pid": pid,
                 "tid": 0,
                 "args": dict(span_args, phases=len(phases)),
             }
@@ -150,7 +189,7 @@ def trace_events(
                     "ph": "X",
                     "ts": _microseconds(start),
                     "dur": _microseconds(duration),
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid_for(phase),
                     "args": span_args,
                 }
@@ -171,7 +210,7 @@ def trace_events(
                     "ph": "X",
                     "ts": _microseconds(cursor),
                     "dur": _microseconds(seconds),
-                    "pid": _PID,
+                    "pid": pid,
                     "tid": tid_for(phase),
                     "args": args,
                 }
@@ -186,7 +225,7 @@ def trace_events(
                 "ph": "X",
                 "ts": _microseconds(total),
                 "dur": _microseconds(runtime_seconds - total),
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid_for("(untraced)"),
                 "args": span_args,
             }
@@ -197,9 +236,100 @@ def trace_events(
         other["request_id"] = request_id
     if trace_id is not None:
         other["trace_id"] = trace_id
+    if os_pid is not None:
+        other["os_pid"] = os_pid
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def stitch_trace_events(
+    root: Dict[str, Any],
+    children: List[Dict[str, Any]],
+    root_label: str = "router",
+) -> Dict[str, Any]:
+    """One Perfetto timeline for a whole distributed query.
+
+    ``root`` is the coordinator's own :func:`trace_events` document;
+    each child is ``{"label", "document", "offset_seconds",
+    "request_id", "os_pid"}`` — the ``trace_events`` document a shard
+    sub-request returned, plus where its dispatch started relative to
+    the root query and which sub-request produced it.
+
+    The stitch is deterministic: the root keeps logical pid 1, children
+    are ordered by label and get pids 2, 3, ...; every ``process_name``
+    metadata row is renamed to the participant's identity; child spans
+    are shifted by their dispatch offset so concurrent shard fan-out
+    renders as overlapping process tracks.  ``otherData.processes``
+    maps each logical pid back to its label, sub-request id and (when
+    known) operating-system pid.
+    """
+    events: List[Dict[str, Any]] = []
+    processes: List[Dict[str, Any]] = []
+
+    def add_document(
+        document: Dict[str, Any],
+        pid: int,
+        label: str,
+        offset_us: int,
+        request_id: Optional[str],
+        os_pid: Optional[int],
+    ) -> None:
+        named = False
+        for event in document.get("traceEvents", []):
+            entry = dict(event)
+            entry["pid"] = pid
+            if entry.get("ph") == "M" and entry.get("name") == "process_name":
+                entry["args"] = {"name": label}
+                named = True
+            elif "ts" in entry and offset_us:
+                entry["ts"] = int(entry["ts"]) + offset_us
+            events.append(entry)
+        if not named:
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        other = document.get("otherData") or {}
+        processes.append(
+            {
+                "pid": pid,
+                "label": label,
+                "request_id": (
+                    request_id
+                    if request_id is not None
+                    else other.get("request_id")
+                ),
+                "os_pid": os_pid if os_pid is not None else other.get("os_pid"),
+            }
+        )
+
+    add_document(root, _PID, root_label, 0, None, None)
+    ordered = sorted(
+        children, key=lambda child: (str(child.get("label")), id(child))
+    )
+    for index, child in enumerate(ordered):
+        add_document(
+            child["document"],
+            _PID + 1 + index,
+            str(child.get("label") or "shard-%d" % index),
+            _microseconds(float(child.get("offset_seconds") or 0.0)),
+            child.get("request_id"),
+            child.get("os_pid"),
+        )
+
+    other = dict(root.get("otherData") or {})
+    other["processes"] = processes
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": root.get("displayTimeUnit", "ms"),
         "otherData": other,
     }
 
@@ -221,4 +351,11 @@ def render_trace_json(
     return json.dumps(document, indent=indent, sort_keys=True)
 
 
-__all__ = ["parse_traceparent", "render_trace_json", "trace_events"]
+__all__ = [
+    "make_traceparent",
+    "parse_traceparent",
+    "render_trace_json",
+    "span_id_for",
+    "stitch_trace_events",
+    "trace_events",
+]

@@ -249,6 +249,9 @@ class PreForkServer:
                 config=self.config,
                 worker=WorkerContext(index, self._status_dir),
             )
+            # Every flight-recorder entry this worker writes names it:
+            # records carry pid (stamped at record time) + worker index.
+            self._engine.flight_recorder.worker_id = index
             # repro-lint: allow[RL009] deliberate: every worker accepts on the parent's pre-bound listener; the kernel load-balances accept() across the fleet
             server.start(listen_socket=self._socket)
             started = time.monotonic()
@@ -278,6 +281,11 @@ class PreForkServer:
             write_worker_status(self._status_dir, index, status)
         except OSError:  # pragma: no cover - status dir removed under us
             pass
+        # The metrics spool rides the same heartbeat: each worker's
+        # registry state lands next to its status file, so any worker
+        # answering /v1/metrics can merge the whole fleet's counters
+        # (see repro.obs.fleet).
+        server.publish_metrics_spool()
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,13 @@ framework, matching the repository's no-dependency rule.  Endpoints:
     exactly as on ``/v1/query``.
 ``GET /v1/metrics``
     Prometheus text exposition: the server's ``ksp_http_*`` families
-    concatenated with the engine's ``ksp_query_*`` families.
+    concatenated with the engine's ``ksp_query_*`` families.  On a
+    pre-forked fleet the answering worker instead merges every
+    worker's metrics spool (counters summed, histograms bucket-merged,
+    gauges labeled ``worker="pid"``), and a router over HTTP shard
+    fleets additionally folds in each fleet's aggregated state labeled
+    ``shard="i"`` — one scrape sees the whole deployment
+    (:mod:`repro.obs.fleet`).
 ``GET /v1/healthz`` / ``GET /v1/ready``
     Liveness (always 200 once listening) versus readiness (503 until
     the engine — possibly still loading in the background — is up).
@@ -37,6 +43,20 @@ framework, matching the repository's no-dependency rule.  Endpoints:
     One self-describing snapshot: dataset/index sizes, manifest hash,
     TQSP-cache occupancy, flight-recorder accounting, admission state
     and the frozen engine + serve configs.
+``GET /v1/debug/metrics``
+    The aggregated registry state as JSON (the machine-readable twin of
+    ``/v1/metrics``) — what a router scrapes from each shard fleet to
+    build the deployment-wide exposition.
+``GET /v1/debug/load``
+    Per-shard load statistics derived from the flight recorder: query
+    counts, latency buckets, fan-out distribution, and per shard the
+    executed/pruned/timed-out split — the machine-readable signal for
+    load-aware re-sharding.  Also ``repro shard stats``.
+``GET /v1/debug/profile``
+    A bounded sampling-profiler capture of this process
+    (``?seconds=S&hz=H``): collapsed stacks (flamegraph.pl format) plus
+    a top-N self-time table.  At most one capture per process; a
+    concurrent request is answered 409.
 
 Telemetry.  Request ids (client ``X-Request-Id`` or generated) and W3C
 ``traceparent`` trace ids thread through ``QueryOptions`` into results,
@@ -80,9 +100,23 @@ from repro.core.engine import KSPEngine
 from repro.core.metrics import ServingMetrics
 from repro.core.query import KSPQuery, KSPResult
 from repro.core.stats import QueryStats, QueryTimeout
+from repro.obs import profiler as obs_profiler
+from repro.obs.fleet import (
+    label_state,
+    load_report,
+    merge_spools,
+    merge_states,
+    read_metrics_spools,
+    render_state,
+    write_metrics_spool,
+)
 from repro.obs.log import get_logger, log_context
 from repro.obs.recorder import OUTCOMES, QueryRecord
-from repro.obs.traceexport import parse_traceparent, trace_events
+from repro.obs.traceexport import (
+    parse_traceparent,
+    stitch_trace_events,
+    trace_events,
+)
 from repro.serve.admission import AdmissionController, QueueFull
 from repro.serve.schemas import (
     SchemaError,
@@ -242,6 +276,10 @@ class KSPServer:
         process accepts on the same inherited listener)."""
         if self._httpd is not None:
             raise RuntimeError("server already started")
+        # Claim SIGALRM for the sampling profiler while we are (usually)
+        # still on the main thread; a False return just means
+        # /v1/debug/profile falls back to the thread-sampling engine.
+        obs_profiler.install()
         handler = _make_handler(self)
         if listen_socket is None:
             self._httpd = _HTTPServer(
@@ -351,18 +389,90 @@ class KSPServer:
                 body = {"status": "failed", "error": self._load_error}
             return 503, body, "application/json"
         if path == "/v1/metrics":
-            text = self.metrics.render_text()
-            if self._engine is not None:
-                text += self._engine.metrics_text()
-            return 200, text, "text/plain; version=0.0.4"
+            return 200, self._metrics_exposition(), "text/plain; version=0.0.4"
         if path.startswith("/v1/debug/"):
             return self._handle_debug(path, params)
         return 404, error_body("no such endpoint: %s" % path), "application/json"
+
+    # ------------------------------------------------------------------
+    # Metrics aggregation (the fleet plane; see repro.obs.fleet)
+
+    def metrics_state(self) -> Dict[str, Any]:
+        """This PROCESS's combined registry state: the HTTP families
+        plus the engine's (or router's) families, in spool shape."""
+        state = self.metrics.registry.state()
+        engine_state = getattr(self._engine, "metrics_state", None)
+        if engine_state is not None:
+            state = merge_states([state, engine_state()])
+        return state
+
+    def publish_metrics_spool(self) -> None:
+        """Write this worker's current state to its fleet spool file
+        (heartbeat-time and scrape-time; atomic, never raises)."""
+        if self.worker is None:
+            return
+        try:
+            write_metrics_spool(
+                self.worker.status_dir,
+                self.metrics_state(),
+                index=self.worker.index,
+            )
+        except OSError:  # status dir removed under us (fleet stopping)
+            pass
+
+    def _aggregated_metrics_state(self) -> Dict[str, Any]:
+        """What one scrape of this process should see: own state, merged
+        with every sibling worker's spool (counters summed, gauges
+        labeled per worker) and — when the engine is a router over HTTP
+        shard fleets — each fleet's own aggregated state, labeled
+        ``shard="i"`` so partitions stay distinguishable."""
+        merged = self.metrics_state()
+        if self.worker is not None:
+            # Refresh our own spool synchronously first: spools only
+            # ever grow, so whichever worker answers the next scrape,
+            # the merged counters can never regress.
+            self.publish_metrics_spool()
+            spools = read_metrics_spools(self.worker.status_dir)
+            if spools:
+                merged = merge_spools(spools)
+        fleet_states = getattr(self._engine, "fleet_metrics_states", None)
+        if fleet_states is not None:
+            shard_states = fleet_states()
+            if shard_states:
+                merged = merge_states(
+                    [merged]
+                    + [
+                        label_state(
+                            entry["state"], {"shard": str(entry["shard"])}
+                        )
+                        for entry in shard_states
+                    ]
+                )
+        return merged
+
+    def _metrics_exposition(self) -> str:
+        """The ``/v1/metrics`` body.  Single-process serving keeps the
+        original two-exposition concatenation byte-compatibly; a
+        pre-forked worker or a router over HTTP fleets renders the
+        aggregated state instead."""
+        aggregate = self.worker is not None or (
+            getattr(self._engine, "shard_urls", None) is not None
+        )
+        if not aggregate:
+            text = self.metrics.render_text()
+            if self._engine is not None:
+                text += self._engine.metrics_text()
+            return text
+        return render_state(self._aggregated_metrics_state())
 
     def _handle_debug(
         self, path: str, params: Dict[str, Any]
     ) -> Tuple[int, Any, str]:
         """The ``/v1/debug/*`` introspection family (JSON only)."""
+        if path == "/v1/debug/profile":
+            # Profiling needs no engine: it answers "where is THIS
+            # process spending time", loading included.
+            return self._handle_profile(params)
         if not self.ready:
             return 503, error_body("engine is still loading"), "application/json"
         recorder = self._engine.flight_recorder
@@ -394,6 +504,25 @@ class KSPServer:
         if path == "/v1/debug/inflight":
             live = recorder.inflight()
             return 200, {"inflight": live, "count": len(live)}, "application/json"
+        if path == "/v1/debug/metrics":
+            body = {
+                "pid": os.getpid(),
+                "state": self._aggregated_metrics_state(),
+            }
+            if self.worker is not None:
+                body["worker"] = self.worker.index
+            return 200, body, "application/json"
+        if path == "/v1/debug/load":
+            records = recorder.snapshot()
+            shard_engines = getattr(self._engine, "engines", None)
+            report = load_report(
+                records,
+                shard_count=(
+                    len(shard_engines) if shard_engines is not None else None
+                ),
+            )
+            report["pid"] = os.getpid()
+            return 200, report, "application/json"
         if path == "/v1/debug/engine":
             snapshot = self._engine.debug_snapshot()
             snapshot["admission"] = {
@@ -421,6 +550,29 @@ class KSPServer:
                 )
             return 200, snapshot, "application/json"
         return 404, error_body("no such endpoint: %s" % path), "application/json"
+
+    def _handle_profile(
+        self, params: Dict[str, Any]
+    ) -> Tuple[int, Any, str]:
+        """``GET /v1/debug/profile?seconds=S&hz=H`` — one bounded
+        sampling-profiler capture of THIS process.  409 while another
+        capture runs (the one-profile-per-process guard)."""
+        try:
+            seconds = _float_param(params, "seconds", 1.0)
+            hz = _float_param(params, "hz", float(obs_profiler.DEFAULT_HZ))
+            top_n = _int_param(params, "top", 20)
+        except SchemaError as exc:
+            return 400, error_body(str(exc)), "application/json"
+        try:
+            report = obs_profiler.run_profile(seconds, hz)
+        except obs_profiler.ProfilerError as exc:
+            return 400, error_body(str(exc)), "application/json"
+        except obs_profiler.ProfilerBusy as exc:
+            return 409, error_body(str(exc)), "application/json"
+        body = report.as_dict(top_n=top_n or 20)
+        if self.worker is not None:
+            body["worker"] = self.worker.index
+        return 200, body, "application/json"
 
     def handle_query(
         self,
@@ -532,12 +684,7 @@ class KSPServer:
         )
         body = result.to_dict()
         if result.trace is not None:
-            body["trace_events"] = trace_events(
-                result.trace,
-                request_id=request_id,
-                trace_id=trace_id,
-                runtime_seconds=result.stats.runtime_seconds,
-            )
+            body["trace_events"] = self._trace_document(result, request_id)
         return status, body, {}
 
     def handle_batch(
@@ -652,11 +799,8 @@ class KSPServer:
             )
             slot_body = result.to_dict()
             if result.trace is not None:
-                slot_body["trace_events"] = trace_events(
-                    result.trace,
-                    request_id=result.request_id,
-                    trace_id=trace_id,
-                    runtime_seconds=result.stats.runtime_seconds,
+                slot_body["trace_events"] = self._trace_document(
+                    result, result.request_id
                 )
             slot_bodies.append(slot_body)
         body = {
@@ -795,6 +939,25 @@ class KSPServer:
             status=status,
         )
         return status, result.to_dict(), {}
+
+    def _trace_document(
+        self, result: KSPResult, request_id: Optional[str]
+    ) -> Dict[str, Any]:
+        """The response's ``trace_events``: this process's own spans —
+        stitched with the shard sub-traces into one fleet-wide Perfetto
+        timeline when the engine is a :class:`ShardRouter` that fanned
+        out (``result.subtraces``)."""
+        document = trace_events(
+            result.trace,
+            request_id=request_id,
+            trace_id=result.trace_id,
+            runtime_seconds=result.stats.runtime_seconds,
+            os_pid=os.getpid(),
+        )
+        subtraces = getattr(result, "subtraces", None)
+        if subtraces:
+            document = stitch_trace_events(document, subtraces)
+        return document
 
     def _record_refusal(
         self,

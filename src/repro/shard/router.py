@@ -60,6 +60,7 @@ from repro.core.topk import TopKQueue
 from repro.core.trace import QueryTrace
 from repro.obs.log import get_logger
 from repro.obs.recorder import FlightRecorder
+from repro.obs.traceexport import make_traceparent, span_id_for, trace_events
 from repro.shard.build import load_manifest
 from repro.spatial.geometry import Point
 
@@ -201,6 +202,15 @@ class ShardRouter:
     def metrics_text(self) -> str:
         """Prometheus exposition: router identity plus per-shard fan-out,
         prune and timeout counters (incremented per query)."""
+        self._refresh_metric_gauges()
+        return self.metrics.render_text()
+
+    def metrics_state(self) -> Dict[str, Any]:
+        """The router's registry state (for spooling / fleet merging)."""
+        self._refresh_metric_gauges()
+        return self.metrics.state()
+
+    def _refresh_metric_gauges(self) -> None:
         import platform
 
         from repro import __version__
@@ -221,7 +231,29 @@ class ShardRouter:
         self.metrics.gauge(
             "ksp_shards", "shards behind this router"
         ).set(float(len(self.engines)))
-        return self.metrics.render_text()
+
+    def fleet_metrics_states(self, timeout: float = 2.0) -> List[Dict[str, Any]]:
+        """Each HTTP shard fleet's aggregated registry state, fetched
+        from its ``/v1/debug/metrics`` endpoint — one entry per
+        reachable shard, each tagged with its index for labeling.  An
+        unreachable shard is skipped: a scrape of the router must
+        degrade, never fail, when part of the fleet is down."""
+        states: List[Dict[str, Any]] = []
+        if self.shard_urls is None:
+            return states
+        for index, base_url in enumerate(self.shard_urls):
+            request = urllib.request.Request(
+                base_url.rstrip("/") + "/v1/debug/metrics"
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=timeout) as response:
+                    payload = json.loads(response.read().decode("utf-8"))
+            except (urllib.error.URLError, OSError, ValueError):
+                continue
+            state = payload.get("state")
+            if isinstance(state, dict):
+                states.append({"shard": index, "state": state})
+        return states
 
     # ------------------------------------------------------------------
     # Engine facade
@@ -355,6 +387,8 @@ class ShardRouter:
         merge_lock = threading.Lock()
         records: List[Dict[str, Any]] = []
         plan: List[Dict[str, Any]] = []
+        subtraces: List[Dict[str, Any]] = []
+        scatter_started = time.monotonic()
 
         bound_started = time.monotonic()
         for index, engine in enumerate(self.engines):
@@ -366,6 +400,10 @@ class ShardRouter:
                 "places": 0,
                 "runtime_seconds": 0.0,
                 "error": None,
+                # The shard executor's own correlation id, so the
+                # router's stats.shards[i] joins the shard fleet's
+                # flight recorder (/v1/debug/queries) directly.
+                "request_id": _sub_request_id(options.request_id, index),
             }
             records.append(record)
             root = engine.rtree.root
@@ -406,7 +444,7 @@ class ShardRouter:
             ).inc()
             shard_started = time.monotonic()
             try:
-                result = self._execute_shard(
+                result, trace_doc = self._execute_shard(
                     index, query, options, method, ranking, deadline
                 )
             except Exception as exc:
@@ -432,6 +470,21 @@ class ShardRouter:
                 )
             record["places"] = len(result.places)
             record["timed_out"] = bool(result.stats.timed_out)
+            if trace_doc is not None:
+                with merge_lock:
+                    subtraces.append(
+                        {
+                            "label": "shard-%d" % index,
+                            "document": trace_doc,
+                            "offset_seconds": round(
+                                shard_started - scatter_started, 6
+                            ),
+                            "request_id": record["request_id"],
+                            "os_pid": (trace_doc.get("otherData") or {}).get(
+                                "os_pid"
+                            ),
+                        }
+                    )
             if record["timed_out"]:
                 self._shard_counter(
                     "ksp_shard_timeouts_total",
@@ -465,8 +518,13 @@ class ShardRouter:
 
         merged_stats.timed_out = any(record["timed_out"] for record in records)
         merged_stats.shards = records
+        subtraces.sort(key=lambda entry: entry["label"])
         return KSPResult(
-            query=query, places=top_k.ranked(), stats=merged_stats, trace=recorder
+            query=query,
+            places=top_k.ranked(),
+            stats=merged_stats,
+            trace=recorder,
+            subtraces=subtraces or None,
         )
 
     def _execute_shard(
@@ -477,34 +535,46 @@ class ShardRouter:
         method: str,
         ranking: RankingFunction,
         deadline: Optional[Deadline],
-    ) -> KSPResult:
+    ):
+        """-> (sub-result, its ``trace_events`` document or None)."""
         if self.shard_urls is not None:
             return self._execute_http(
-                self.shard_urls[index], query, method, ranking, deadline
+                index, self.shard_urls[index], query, options, method,
+                ranking, deadline,
             )
-        sub_id = (
-            "%s#shard-%d" % (options.request_id, index)
-            if options.request_id
-            else None
-        )
+        sub_id = _sub_request_id(options.request_id, index)
         sub_options = QueryOptions(
             k=query.k,
             method=method,
             ranking=ranking,
             timeout=deadline,
-            trace=False,
+            trace=bool(options.trace),
             request_id=sub_id,
+            trace_id=options.trace_id,
         )
-        return self.engines[index].query(query, options=sub_options)
+        result = self.engines[index].query(query, options=sub_options)
+        trace_doc = None
+        if result.trace is not None:
+            trace_doc = trace_events(
+                result.trace,
+                request_id=sub_id,
+                trace_id=options.trace_id,
+                runtime_seconds=result.stats.runtime_seconds,
+                os_pid=os.getpid(),
+            )
+        return result, trace_doc
 
     def _execute_http(
         self,
+        index: int,
         base_url: str,
         query: KSPQuery,
+        options: QueryOptions,
         method: str,
         ranking: RankingFunction,
         deadline: Optional[Deadline],
-    ) -> KSPResult:
+    ):
+        """-> (sub-result, the shard's ``trace_events`` doc or None)."""
         body: Dict[str, Any] = {
             "location": [query.location.x, query.location.y],
             "keywords": list(query.keywords),
@@ -512,6 +582,8 @@ class ShardRouter:
             "method": method,
             "ranking": _ranking_wire(ranking),
         }
+        if options.trace:
+            body["trace"] = True
         socket_timeout = 30.0
         if deadline is not None:
             remaining = deadline.remaining()
@@ -519,10 +591,21 @@ class ShardRouter:
                 raise ShardUnavailable("deadline exhausted before dispatch")
             body["timeout"] = remaining
             socket_timeout = remaining + 1.0  # body timeout governs; +1 slack
+        sub_id = _sub_request_id(options.request_id, index)
+        headers = {"Content-Type": "application/json"}
+        if sub_id is not None:
+            # The shard fleet adopts this id, so its flight recorder,
+            # slow-query log and response all join the router's
+            # stats.shards[index]["request_id"].
+            headers["X-Request-Id"] = sub_id
+        if options.trace_id is not None:
+            headers["traceparent"] = make_traceparent(
+                options.trace_id, span_id_for(sub_id or base_url)
+            )
         request = urllib.request.Request(
             base_url.rstrip("/") + "/v1/query",
             data=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         try:
             with urllib.request.urlopen(request, timeout=socket_timeout) as response:
@@ -538,7 +621,7 @@ class ShardRouter:
                 ) from exc
         except (urllib.error.URLError, OSError, ValueError) as exc:
             raise ShardUnavailable("shard unreachable: %s" % exc) from exc
-        return KSPResult.from_dict(payload)
+        return KSPResult.from_dict(payload), payload.get("trace_events")
 
     # ------------------------------------------------------------------
 
@@ -565,6 +648,20 @@ class ShardRouter:
                 for shard in stats.shards
                 if not shard["pruned"]
             }
+        if stats.shards is not None:
+            # The per-shard summary the load-stats surface aggregates
+            # (repro.obs.fleet.load_report) — one slim dict per shard.
+            record.shards = [
+                {
+                    "shard": shard["shard"],
+                    "pruned": shard["pruned"],
+                    "timed_out": shard["timed_out"],
+                    "places": shard["places"],
+                    "runtime_seconds": shard["runtime_seconds"],
+                    "request_id": shard.get("request_id"),
+                }
+                for shard in stats.shards
+            ]
         if stats.timed_out:
             self._metric_timeouts.inc()
 
@@ -580,6 +677,13 @@ class ShardRouter:
                 )
                 self._pool_pid = pid
             return self._pool
+
+
+def _sub_request_id(request_id: Optional[str], index: int) -> Optional[str]:
+    """The deterministic per-shard correlation id of one fan-out leg."""
+    if not request_id:
+        return None
+    return "%s#shard-%d" % (request_id, index)
 
 
 def _merge_counters(merged: QueryStats, shard: QueryStats) -> None:

@@ -49,6 +49,7 @@ from repro.core.config import QueryOptions
 from repro.core.deadline import Deadline
 from repro.core.query import KSPQuery
 from repro.core.stats import QueryTimeout
+from repro.core.trace import QueryTrace
 from repro.rdf.terms import IRI, BlankNode, Literal
 from repro.sparql.ast import (
     KSPClause,
@@ -353,6 +354,8 @@ class SparqlExecutor:
         """Threshold-aware streaming: the cursor's alpha-bound emission
         test is the θ feedback loop; stop at ``target`` surviving rows."""
         stats.rounds = 1
+        op_trace = QueryTrace() if options.trace else None
+        started = time.monotonic()
         cursor = self._backend.cursor(
             (clause.x, clause.y),
             keywords,
@@ -370,6 +373,11 @@ class SparqlExecutor:
         )
         if cursor.stats.timed_out:
             stats.timed_out = True
+        if op_trace is not None:
+            # One operator span: stream + join are interleaved here (the
+            # θ feedback loop), so they share a single wall-clock span.
+            op_trace.add("op:cursor-stream", time.monotonic() - started)
+            return rows, op_trace.as_dict()
         return rows, None
 
     def _pushdown_rounds(
@@ -387,12 +395,14 @@ class SparqlExecutor:
         deepens the ranking; residual joins are cached per place."""
         cache: Dict[int, List[Bindings]] = {}
         trace: Optional[Dict[str, Any]] = None
+        op_trace = QueryTrace() if options.trace else None
         rows: List[Bindings] = []
         k = max(target, 1)
         if clause.k is not None:
             k = min(k, clause.k)
         while True:
             stats.rounds += 1
+            round_started = time.monotonic()
             result = self._backend.query(
                 (clause.x, clause.y),
                 keywords,
@@ -406,11 +416,22 @@ class SparqlExecutor:
             )
             if result.trace is not None:
                 trace = result.trace.as_dict()
+            if op_trace is not None:
+                op_trace.add(
+                    "op:ksp-round-%d[k=%d]" % (stats.rounds, k),
+                    time.monotonic() - round_started,
+                )
             if result.stats.timed_out:
                 stats.timed_out = True
+            join_started = time.monotonic()
             rows, filled = self._rows_from_places(
                 query, clause, result.places, target, deadline, stats, cache
             )
+            if op_trace is not None:
+                op_trace.add(
+                    "op:join-round-%d" % stats.rounds,
+                    time.monotonic() - join_started,
+                )
             if filled or stats.timed_out:
                 break
             if len(result.places) < k:
@@ -420,6 +441,12 @@ class SparqlExecutor:
             k *= 2
             if clause.k is not None:
                 k = min(k, clause.k)
+        if op_trace is not None:
+            # Operator spans first, then the last round's engine phases —
+            # the merged dict is what ?trace=1 renders per round.
+            phases = op_trace.as_dict()
+            phases.update(trace or {})
+            trace = phases
         return rows, trace
 
     def _materialize(
@@ -435,6 +462,8 @@ class SparqlExecutor:
         the oracle the pushdown paths are tested against."""
         k = clause.k if clause.k is not None else max(self._graph.place_count(), 1)
         stats.rounds = 1
+        op_trace = QueryTrace() if options.trace else None
+        started = time.monotonic()
         result = self._backend.query(
             (clause.x, clause.y),
             keywords,
@@ -449,6 +478,9 @@ class SparqlExecutor:
         if result.stats.timed_out:
             stats.timed_out = True
         trace = result.trace.as_dict() if result.trace is not None else None
+        if op_trace is not None:
+            op_trace.add("op:materialize[k=%d]" % k, time.monotonic() - started)
+        join_started = time.monotonic()
         solutions: List[Bindings] = []
         for place in result.places:
             if deadline is not None and deadline.expired():
@@ -469,6 +501,11 @@ class SparqlExecutor:
             rows = rows[query.offset :]
         if query.limit is not None:
             rows = rows[: query.limit]
+        if op_trace is not None:
+            op_trace.add("op:join-sort-project", time.monotonic() - join_started)
+            phases = op_trace.as_dict()
+            phases.update(trace or {})
+            trace = phases
         return rows, trace
 
     # ------------------------------------------------------------------

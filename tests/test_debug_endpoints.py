@@ -384,3 +384,62 @@ class TestCorrelation:
             assert "engine exploded" in record["traceback"]
         finally:
             set_sink(previous)
+
+
+# ----------------------------------------------------------------------
+# /v1/debug/load and the per-process provenance fields
+
+
+class TestDebugLoad:
+    def test_recorded_queries_carry_process_provenance(self):
+        import os
+
+        with serving() as (server, engine):
+            status, _, _ = post_query(
+                server.port, example_body(), headers={"X-Request-Id": "prov-1"}
+            )
+            assert status == 200
+            status, body = get_json(server.port, "/v1/debug/queries")
+            entry = body["queries"][0]
+            assert entry["pid"] == os.getpid()
+            assert entry["worker_id"] is None  # single-process server
+
+    def test_load_report_over_http(self):
+        with serving() as (server, engine):
+            for index in range(3):
+                status, _, _ = post_query(
+                    server.port,
+                    example_body(),
+                    headers={"X-Request-Id": "load-%d" % index},
+                )
+                assert status == 200
+            status, body = get_json(server.port, "/v1/debug/load")
+            assert status == 200
+            assert body["queries"] >= 3
+            assert body["outcomes"].get("ok", 0) >= 3
+            assert body["latency_buckets"]["+Inf"] == body["queries"]
+            assert body["latency_sum_seconds"] > 0
+            # A single-engine server has no shard fan-out to report.
+            assert body["shards"] == []
+            assert body["fanout_mean"] is None
+            assert body["pid"] is not None
+
+    def test_debug_metrics_exposes_the_registry_state(self):
+        import time
+
+        with serving() as (server, engine):
+            status, _, _ = post_query(server.port, example_body())
+            assert status == 200
+            # The request counter increments as the response is written,
+            # so an immediate scrape can race it: poll briefly.
+            names = set()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                status, body = get_json(server.port, "/v1/debug/metrics")
+                assert status == 200
+                names = {entry["name"] for entry in body["state"]["series"]}
+                if "ksp_http_requests_total" in names:
+                    break
+                time.sleep(0.05)
+            assert "ksp_http_requests_total" in names
+            assert "worker" not in body  # single-process server

@@ -1,0 +1,258 @@
+"""Fleet metrics plane: spool files, state merging and load reports.
+
+The aggregation contract under test (DESIGN.md §16): counters from
+sibling workers **sum**, histograms merge **bucket-wise** (exactly when
+bounds agree, at each source's own granularity when they differ),
+gauges stay attributable via an added ``worker="<pid>"`` label, and a
+scrape answered by *any* worker of a fleet renders the same coherent
+merged state — monotone across consecutive scrapes.
+"""
+
+import json
+
+import pytest
+
+from repro.core.metrics import MetricsRegistry
+from repro.obs.fleet import (
+    FANOUT_BUCKETS,
+    label_state,
+    load_report,
+    merge_spools,
+    merge_states,
+    read_metrics_spools,
+    render_state,
+    write_metrics_spool,
+)
+
+
+def registry_with(counter=0, gauge=None, observations=()):
+    registry = MetricsRegistry()
+    c = registry.counter("ksp_queries_total", "queries served")
+    for _ in range(counter):
+        c.inc()
+    if gauge is not None:
+        registry.gauge("ksp_cache_entries", "cache occupancy").set(gauge)
+    h = registry.histogram("ksp_latency_seconds", "latency", buckets=(0.1, 1.0))
+    for value in observations:
+        h.observe(value)
+    return registry
+
+
+def series(state, name):
+    return [entry for entry in state["series"] if entry["name"] == name]
+
+
+# ----------------------------------------------------------------------
+# Spool files
+
+
+class TestSpools:
+    def test_write_read_roundtrip(self, tmp_path):
+        state = registry_with(counter=3).state()
+        path = write_metrics_spool(tmp_path, state, index=0, pid=111)
+        assert path.name == "metrics-111.json"
+        spools = read_metrics_spools(tmp_path)
+        assert len(spools) == 1
+        assert spools[0]["pid"] == 111
+        assert spools[0]["index"] == 0
+        assert spools[0]["state"] == state
+
+    def test_ghost_spool_for_same_index_is_dropped(self, tmp_path):
+        """A respawned worker's dead predecessor must not be summed
+        forever: only the freshest spool per worker index survives."""
+        write_metrics_spool(tmp_path, registry_with(counter=100).state(),
+                            index=0, pid=111)
+        write_metrics_spool(tmp_path, registry_with(counter=2).state(),
+                            index=0, pid=222)
+        spools = read_metrics_spools(tmp_path)
+        assert [record["pid"] for record in spools] == [222]
+        merged = merge_spools(spools)
+        assert series(merged, "ksp_queries_total")[0]["data"]["value"] == 2.0
+
+    def test_unreadable_and_foreign_files_are_skipped(self, tmp_path):
+        write_metrics_spool(tmp_path, registry_with(counter=1).state(),
+                            index=0, pid=111)
+        (tmp_path / "metrics-999.json").write_text("{not json", encoding="utf-8")
+        (tmp_path / "metrics-998.json").write_text(
+            json.dumps({"version": 99, "state": {}}), encoding="utf-8"
+        )
+        (tmp_path / "worker-0.json").write_text("{}", encoding="utf-8")
+        spools = read_metrics_spools(tmp_path)
+        assert [record["pid"] for record in spools] == [111]
+
+
+# ----------------------------------------------------------------------
+# Merging
+
+
+class TestMergeStates:
+    def test_counters_sum(self):
+        merged = merge_states(
+            [registry_with(counter=3).state(), registry_with(counter=4).state()]
+        )
+        assert series(merged, "ksp_queries_total")[0]["data"]["value"] == 7.0
+
+    def test_gauges_keep_one_series_per_source(self):
+        merged = merge_states(
+            [
+                registry_with(gauge=10).state(),
+                registry_with(gauge=20).state(),
+            ],
+            source_labels=[{"worker": "111"}, {"worker": "222"}],
+        )
+        entries = series(merged, "ksp_cache_entries")
+        assert len(entries) == 2
+        by_worker = {
+            dict(entry["labels"])["worker"]: entry["data"]["value"]
+            for entry in entries
+        }
+        assert by_worker == {"111": 10.0, "222": 20.0}
+
+    def test_identical_bucket_histograms_merge_exactly(self):
+        a = registry_with(observations=[0.05, 0.5]).state()
+        b = registry_with(observations=[0.5, 2.0]).state()
+        merged = merge_states([a, b])
+        data = series(merged, "ksp_latency_seconds")[0]["data"]
+        assert data["buckets"] == [0.1, 1.0]
+        assert data["counts"] == [1, 2, 1]  # owning-bucket counts + +Inf
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(3.05)
+
+    def test_differing_buckets_merge_onto_the_union(self):
+        """Each observation keeps its own upper bound (which exists in
+        the union), so cumulative counts stay exact at each source's own
+        granularity — no observation moves below its true bucket."""
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0)).observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(0.5, 1.0)).observe(0.3)
+        b.histogram("h", buckets=(0.5, 1.0)).observe(5.0)
+        merged = merge_states([a.state(), b.state()])
+        data = series(merged, "h")[0]["data"]
+        assert data["buckets"] == [0.1, 0.5, 1.0]
+        assert data["counts"] == [1, 1, 0, 1]
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(5.35)
+
+    def test_merged_state_renders_as_prometheus_text(self):
+        merged = merge_spools(
+            [
+                {"pid": 111, "state": registry_with(counter=1, gauge=5).state()},
+                {"pid": 222, "state": registry_with(counter=2, gauge=7).state()},
+            ]
+        )
+        text = render_state(merged)
+        assert "ksp_queries_total 3" in text
+        assert 'ksp_cache_entries{worker="111"} 5' in text
+        assert 'ksp_cache_entries{worker="222"} 7' in text
+        assert "# TYPE ksp_latency_seconds histogram" in text
+
+    def test_merge_is_monotone_as_spools_grow(self):
+        """The scrape-coherence property: spools only grow, so the
+        merged counter sum can only grow, whichever worker answers."""
+        young = registry_with(counter=1)
+        old = registry_with(counter=5)
+        first = merge_states([young.state(), old.state()])
+        young.counter("ksp_queries_total").inc(3)
+        second = merge_states([young.state(), old.state()])
+        v1 = series(first, "ksp_queries_total")[0]["data"]["value"]
+        v2 = series(second, "ksp_queries_total")[0]["data"]["value"]
+        assert v2 >= v1
+        assert (v1, v2) == (6.0, 9.0)
+
+
+class TestLabelState:
+    def test_labels_every_series_kind(self):
+        state = registry_with(counter=1, gauge=2, observations=[0.5]).state()
+        labeled = label_state(state, {"shard": "3"})
+        for entry in labeled["series"]:
+            assert ["shard", "3"] in entry["labels"]
+
+    def test_existing_labels_are_not_overwritten(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"shard": "0"}).inc()
+        labeled = label_state(registry.state(), {"shard": "9"})
+        assert labeled["series"][0]["labels"] == [["shard", "0"]]
+
+    def test_source_is_left_untouched(self):
+        state = registry_with(counter=1).state()
+        before = json.dumps(state, sort_keys=True)
+        label_state(state, {"shard": "1"})
+        assert json.dumps(state, sort_keys=True) == before
+
+    def test_cross_fleet_merge_keeps_per_shard_attribution(self):
+        """Distinct shards are partitions, not replicas: tagging each
+        fleet's state ``shard=i`` before merging must keep the counters
+        as separate series instead of summing them."""
+        merged = merge_states(
+            [
+                label_state(registry_with(counter=3).state(), {"shard": "0"}),
+                label_state(registry_with(counter=4).state(), {"shard": "1"}),
+            ]
+        )
+        entries = series(merged, "ksp_queries_total")
+        by_shard = {
+            dict(entry["labels"])["shard"]: entry["data"]["value"]
+            for entry in entries
+        }
+        assert by_shard == {"0": 3.0, "1": 4.0}
+
+
+# ----------------------------------------------------------------------
+# Load reports
+
+
+def router_record(runtime=0.01, shards=()):
+    return {"runtime_seconds": runtime, "outcome": "ok", "shards": list(shards)}
+
+
+def shard_summary(index, pruned=False, timed_out=False, places=2, seconds=0.004):
+    return {
+        "shard": index,
+        "pruned": pruned,
+        "timed_out": timed_out,
+        "places": places,
+        "runtime_seconds": seconds,
+        "request_id": "q#shard-%d" % index,
+    }
+
+
+class TestLoadReport:
+    def test_per_shard_counts_and_fanout(self):
+        records = [
+            router_record(0.01, [shard_summary(0), shard_summary(1, pruned=True)]),
+            router_record(0.02, [shard_summary(0), shard_summary(1)]),
+        ]
+        report = load_report(records, shard_count=3)
+        assert report["queries"] == 2
+        assert report["outcomes"] == {"ok": 2}
+        assert report["fanout_mean"] == pytest.approx(1.5)
+        shards = {entry["shard"]: entry for entry in report["shards"]}
+        assert set(shards) == {0, 1, 2}  # shard 2 present with zeros
+        assert shards[0]["routed"] == 2 and shards[0]["executed"] == 2
+        assert shards[1]["pruned"] == 1 and shards[1]["executed"] == 1
+        assert shards[2]["routed"] == 0
+        assert shards[0]["places"] == 4
+        assert shards[0]["subquery_seconds"] == pytest.approx(0.008)
+
+    def test_latency_buckets_are_cumulative(self):
+        report = load_report([router_record(0.004), router_record(10.0)])
+        buckets = report["latency_buckets"]
+        assert buckets["+Inf"] == 2
+        values = list(buckets.values())
+        assert values == sorted(values)  # cumulative => non-decreasing
+
+    def test_single_engine_records_have_no_fanout(self):
+        report = load_report([router_record(0.01)])
+        assert report["fanout_buckets"] is None
+        assert report["fanout_mean"] is None
+        assert report["shards"] == []
+
+    def test_timed_out_subqueries_are_counted(self):
+        records = [router_record(0.5, [shard_summary(0, timed_out=True)])]
+        report = load_report(records)
+        assert report["shards"][0]["timed_out"] == 1
+
+    def test_fanout_bounds_cover_small_fleets(self):
+        assert FANOUT_BUCKETS[0] == 0.0
+        assert FANOUT_BUCKETS[-1] >= 32.0

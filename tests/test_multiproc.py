@@ -286,3 +286,136 @@ class TestHeartbeatStaleness:
             assert isinstance(worker.get("monotonic_at"), float)
             assert isinstance(worker.get("written_at"), float)
             assert worker["healthy"] is True
+
+
+# ---------------------------------------------------------------------------
+# Fleet metrics aggregation (the observability-plane acceptance bar)
+
+
+def _counter_value(text, name, labels=""):
+    """The value of one sample line in a Prometheus exposition."""
+    prefix = name + labels + " "
+    for line in text.splitlines():
+        if line.startswith(prefix):
+            return float(line[len(prefix):])
+    return None
+
+
+QUERY_OK = '{code="200",endpoint="/v1/query"}'
+
+
+class TestFleetMetricsAggregation:
+    def _spool_sum(self, fleet):
+        from repro.obs.fleet import read_metrics_spools
+
+        total = 0.0
+        spools = read_metrics_spools(fleet.status_dir)
+        for record in spools:
+            for entry in record["state"]["series"]:
+                if entry["name"] != "ksp_http_requests_total":
+                    continue
+                labels = dict(entry["labels"])
+                if (
+                    labels.get("endpoint") == "/v1/query"
+                    and labels.get("code") == "200"
+                ):
+                    total += float(entry["data"]["value"])
+        return total, spools
+
+    def test_merged_scrape_equals_spool_sums_and_is_coherent(self, fleet):
+        for _ in range(6):
+            status, _ = request(fleet.port, "POST", "/v1/query", GOLDEN_BODY)
+            assert status == 200
+
+        # Quiesce: wait for every worker's heartbeat to flush its spool
+        # (the sum stops changing once all served queries are spooled).
+        def stable_sum():
+            first, _ = self._spool_sum(fleet)
+            time.sleep(0.5)
+            second, spools = self._spool_sum(fleet)
+            return (first, spools) if first == second and first >= 6 else None
+
+        settled = None
+        deadline = time.monotonic() + 10.0
+        while settled is None and time.monotonic() < deadline:
+            settled = stable_sum()
+        assert settled is not None, "worker spools never quiesced"
+        spool_total, spools = settled
+        assert len(spools) == 2, "expected one live spool per worker"
+
+        # The merged scrape equals the sum of the per-worker spools —
+        # whichever worker answers.
+        status, text1 = request(fleet.port, "GET", "/v1/metrics")
+        assert status == 200
+        merged1 = _counter_value(text1, "ksp_http_requests_total", QUERY_OK)
+        assert merged1 == spool_total
+
+        # Coherence: a second consecutive scrape can only see the sum
+        # grow (spools only grow), never dip below the first answer.
+        status, text2 = request(fleet.port, "GET", "/v1/metrics")
+        assert status == 200
+        merged2 = _counter_value(text2, "ksp_http_requests_total", QUERY_OK)
+        assert merged2 is not None and merged2 >= merged1
+
+    def test_gauges_stay_attributable_per_worker(self, fleet):
+        status, text = request(fleet.port, "GET", "/v1/metrics")
+        assert status == 200
+        worker_labels = set()
+        for line in text.splitlines():
+            if line.startswith("ksp_process_uptime_seconds{"):
+                labels = line[line.index("{") + 1 : line.index("}")]
+                for part in labels.split(","):
+                    key, _, value = part.partition("=")
+                    if key == "worker":
+                        worker_labels.add(value.strip('"'))
+        assert len(worker_labels) == 2, text
+        pids = {str(pid) for pid in fleet.worker_pids()}
+        assert worker_labels <= pids
+
+    def test_debug_metrics_returns_the_merged_state(self, fleet):
+        status, payload = request(fleet.port, "GET", "/v1/debug/metrics")
+        assert status == 200
+        assert payload["pid"] in fleet.worker_pids()
+        assert payload["worker"] in (0, 1)
+        names = {entry["name"] for entry in payload["state"]["series"]}
+        assert "ksp_http_requests_total" in names
+
+    def test_queries_record_worker_pid(self, fleet):
+        status, _ = request(
+            fleet.port,
+            "POST",
+            "/v1/query",
+            GOLDEN_BODY,
+            {"X-Request-Id": "fleet-pid-1"},
+        )
+        assert status == 200
+
+        def find_record():
+            status, payload = request(fleet.port, "GET", "/v1/debug/queries")
+            if status != 200:
+                return None
+            for entry in payload["queries"]:
+                if entry.get("request_id") == "fleet-pid-1":
+                    return entry
+            return None
+
+        # /v1/debug/queries answers from whichever worker accepts, and
+        # flight recorders are per-process: retry until the recording
+        # worker answers.
+        entry = None
+        deadline = time.monotonic() + 10.0
+        while entry is None and time.monotonic() < deadline:
+            entry = find_record()
+        assert entry is not None, "recording worker never answered"
+        assert entry["pid"] in fleet.worker_pids()
+        assert entry["worker_id"] in (0, 1)
+
+    def test_profile_endpoint_answers_from_a_worker(self, fleet):
+        status, payload = request(
+            fleet.port, "GET", "/v1/debug/profile?seconds=0.3&hz=50"
+        )
+        assert status == 200
+        assert payload["pid"] in fleet.worker_pids()
+        assert payload["worker"] in (0, 1)
+        assert payload["samples"] >= 0
+        assert payload["engine"] in ("signal", "thread")

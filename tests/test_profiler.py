@@ -1,0 +1,233 @@
+"""The sampling profiler: both capture engines, the safety contract
+(one profile per process, capped parameters, sampler self-exclusion)
+and the ``GET /v1/debug/profile`` endpoint.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    MAX_HZ,
+    MAX_SECONDS,
+    ProfileReport,
+    ProfilerBusy,
+    ProfilerError,
+    SamplingProfiler,
+)
+
+from tests.test_debug_endpoints import serving
+from tests.test_serve import request
+
+
+def busy_worker(stop):
+    """A recognizable CPU burner the profiler should catch."""
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+@pytest.fixture
+def worker():
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=busy_worker, args=(stop,), name="busy-worker", daemon=True
+    )
+    thread.start()
+    try:
+        yield thread
+    finally:
+        stop.set()
+        thread.join(timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# Capture engines
+
+
+class TestThreadEngine:
+    def test_captures_the_busy_worker(self, worker):
+        profiler = SamplingProfiler()  # never installed -> thread engine
+        report = profiler.profile(seconds=0.3, hz=50)
+        assert report.engine == "thread"
+        assert report.samples > 0
+        assert "busy-worker" in report.collapsed()
+
+    def test_sampler_thread_excludes_itself(self, worker):
+        report = SamplingProfiler().profile(seconds=0.2, hz=50)
+        assert "ksp-profiler" not in report.collapsed()
+
+
+class TestSignalEngine:
+    def test_install_profile_uninstall(self, worker):
+        profiler = SamplingProfiler()
+        assert profiler.install()  # tests run on the main thread
+        try:
+            assert profiler.install()  # idempotent
+            report = profiler.profile(seconds=0.3, hz=50)
+            assert report.engine == "signal"
+            assert report.samples > 0
+            assert "busy-worker" in report.collapsed()
+        finally:
+            profiler.uninstall()
+        assert not profiler.installed
+
+    def test_install_from_a_worker_thread_falls_back(self):
+        profiler = SamplingProfiler()
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(profiler.install())
+        )
+        thread.start()
+        thread.join()
+        assert results == [False]
+        assert not profiler.installed
+
+
+# ----------------------------------------------------------------------
+# Safety contract
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "seconds,hz",
+        [
+            (0.0, DEFAULT_HZ),
+            (-1.0, DEFAULT_HZ),
+            (MAX_SECONDS + 1, DEFAULT_HZ),
+            (1.0, 0.0),
+            (1.0, MAX_HZ + 1),
+        ],
+    )
+    def test_out_of_range_parameters_raise(self, seconds, hz):
+        with pytest.raises(ProfilerError):
+            SamplingProfiler().profile(seconds=seconds, hz=hz)
+
+    def test_second_concurrent_profile_is_rejected(self):
+        profiler = SamplingProfiler()
+        errors = []
+
+        def _second():
+            time.sleep(0.05)
+            try:
+                profiler.profile(seconds=0.1, hz=10)
+            except ProfilerBusy as exc:
+                errors.append(exc)
+
+        racer = threading.Thread(target=_second)
+        racer.start()
+        profiler.profile(seconds=0.4, hz=10)
+        racer.join()
+        assert len(errors) == 1
+        # ... and the lock is released afterwards:
+        profiler.profile(seconds=0.05, hz=10)
+
+
+# ----------------------------------------------------------------------
+# Report formats
+
+
+class TestReport:
+    def make_report(self):
+        stacks = {
+            (("a.py:main:1", "a.py:hot:9"), "MainThread"): 7,
+            (("a.py:main:1",), "MainThread"): 3,
+        }
+        return ProfileReport(
+            stacks=stacks, samples=10, seconds=1.0, hz=10, engine="thread"
+        )
+
+    def test_collapsed_is_flamegraph_format(self):
+        lines = self.make_report().collapsed().splitlines()
+        assert lines[0] == "MainThread;a.py:main:1;a.py:hot:9 7"
+        assert lines[1] == "MainThread;a.py:main:1 3"
+
+    def test_top_ranks_by_self_time_with_totals(self):
+        top = self.make_report().top(5)
+        assert top[0]["frame"] == "a.py:hot:9"
+        assert top[0]["self"] == 7
+        assert top[0]["total"] == 7
+        assert top[0]["self_fraction"] == pytest.approx(0.7)
+        by_frame = {entry["frame"]: entry for entry in top}
+        assert by_frame["a.py:main:1"]["self"] == 3
+        assert by_frame["a.py:main:1"]["total"] == 10  # on every stack
+
+    def test_as_dict_is_the_endpoint_body(self):
+        body = self.make_report().as_dict(top_n=1)
+        assert body["engine"] == "thread"
+        assert body["samples"] == 10
+        assert body["distinct_stacks"] == 2
+        assert len(body["top"]) == 1
+        assert body["collapsed"].endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# GET /v1/debug/profile
+
+
+class TestProfileEndpoint:
+    def test_profile_returns_collapsed_stacks(self, worker):
+        with serving() as (server, _engine):
+            status, body, _ = request(
+                server.port,
+                "GET",
+                "/v1/debug/profile?seconds=0.3&hz=50",
+                timeout=30.0,
+            )
+            assert status == 200
+            assert body["samples"] > 0
+            assert body["collapsed"].strip()
+            assert body["distinct_stacks"] >= 1
+            assert isinstance(body["top"], list)
+
+    def test_bad_parameters_are_400(self):
+        with serving() as (server, _engine):
+            status, body, _ = request(
+                server.port, "GET", "/v1/debug/profile?seconds=0"
+            )
+            assert status == 400
+            status, body, _ = request(
+                server.port, "GET", "/v1/debug/profile?seconds=1&hz=100000"
+            )
+            assert status == 400
+
+    def test_concurrent_profile_is_409(self):
+        with serving() as (server, _engine):
+            first = {}
+
+            def _long():
+                first["response"] = request(
+                    server.port,
+                    "GET",
+                    "/v1/debug/profile?seconds=1.5&hz=10",
+                    timeout=30.0,
+                )
+
+            runner = threading.Thread(target=_long)
+            runner.start()
+            time.sleep(0.3)
+            status, body, _ = request(
+                server.port, "GET", "/v1/debug/profile?seconds=0.2"
+            )
+            runner.join()
+            assert status == 409
+            assert first["response"][0] == 200
+
+
+class TestFrameLabels:
+    def test_none_lineno_falls_back_to_first_line(self):
+        """Synthesized frames (exec'd kernels sampled between line
+        events) report ``f_lineno`` None; the label must not crash."""
+        from repro.obs.profiler import _frame_label
+
+        class FakeCode:
+            co_filename = "/site/repro/rdf/csr.py"
+            co_name = "csr_tightest"
+            co_firstlineno = 41
+
+        class FakeFrame:
+            f_code = FakeCode()
+            f_lineno = None
+
+        assert _frame_label(FakeFrame()) == "rdf/csr.py:csr_tightest:41"

@@ -446,3 +446,44 @@ class TestServedRouter:
         assert rebuilt.algorithm == merged.stats.algorithm
         # Single-engine stats keep the pinned wire shape: no shards key.
         assert "shards" not in QueryStats().as_dict()
+
+
+class TestSubRequestIds:
+    def test_shard_stats_carry_sub_request_ids(self, shard_setup):
+        graph, _, router, _, _ = shard_setup
+        terms = _place_terms(graph)
+        merged = router.query(
+            (1.0, 52.0), terms[:2], k=3, method="sp", request_id="rid-7"
+        )
+        for summary in merged.stats.shards:
+            assert summary["request_id"] == "rid-7#shard-%d" % summary["shard"]
+
+    def test_no_request_id_means_no_sub_ids(self, shard_setup):
+        graph, _, router, _, _ = shard_setup
+        terms = _place_terms(graph)
+        merged = router.query((1.0, 52.0), terms[:2], k=3, method="sp")
+        for summary in merged.stats.shards:
+            assert summary["request_id"] is None
+
+    def test_traced_router_query_collects_subtraces(self, shard_setup):
+        graph, _, router, _, _ = shard_setup
+        terms = _place_terms(graph)
+        merged = router.query(
+            (1.0, 52.0), terms[:2], k=3, method="sp",
+            trace=True, request_id="rid-8",
+        )
+        assert merged.subtraces, "traced scatter should collect shard docs"
+        labels = [entry["label"] for entry in merged.subtraces]
+        assert labels == sorted(labels)
+        executed = {
+            "shard-%d" % s["shard"]
+            for s in merged.stats.shards
+            if not s["pruned"] and not s["timed_out"]
+        }
+        assert set(labels) == executed
+        for entry in merged.subtraces:
+            assert entry["document"]["traceEvents"]
+            assert entry["os_pid"] is not None
+            assert entry["offset_seconds"] >= 0.0
+        # subtraces are router-side only, never part of the wire schema
+        assert "subtraces" not in merged.to_dict()

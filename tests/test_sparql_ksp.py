@@ -340,3 +340,53 @@ class TestSparqlWireSchema:
         # The eligibility check compares AST nodes by value.
         query = parse_query(ksp_query())
         assert query.order_by[0].expression == TermExpr(Variable("score"))
+
+
+class TestOperatorSpans:
+    """?trace=1 on a sparql query shows WHERE the plan spent time —
+    operator-level spans (``op:*``) alongside the engine's own phases."""
+
+    def _phases(self, executor, query_text, **options):
+        result = executor.execute(
+            query_text, SparqlOptions(trace=True, **options)
+        )
+        assert result.trace is not None
+        return result.trace
+
+    def test_cursor_pushdown_has_a_stream_span(self, executor):
+        phases = self._phases(executor, ksp_query())
+        assert "op:cursor-stream" in phases
+        assert phases["op:cursor-stream"]["seconds"] >= 0.0
+
+    def test_materialize_has_operator_spans(self, executor):
+        phases = self._phases(executor, ksp_query(), pushdown=False)
+        ops = [name for name in phases if name.startswith("op:")]
+        assert any(name.startswith("op:materialize[k=") for name in ops)
+        assert "op:join-sort-project" in ops
+        # The engine's own phases ride in the same dict, after the ops.
+        assert any(not name.startswith("op:") for name in phases)
+
+    def test_rounds_pushdown_labels_each_round(self, engine):
+        class NoCursor:
+            """The engine minus its cursor: forces the k-doubling path
+            (what a shard router looks like to the planner)."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __getattr__(self, name):
+                if name == "cursor":
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        executor = SparqlExecutor(NoCursor(engine))
+        phases = self._phases(executor, ksp_query())
+        rounds = [n for n in phases if n.startswith("op:ksp-round-")]
+        joins = [n for n in phases if n.startswith("op:join-round-")]
+        assert rounds and joins
+        assert len(rounds) == len(joins)
+        assert rounds[0].startswith("op:ksp-round-1[k=")
+
+    def test_untraced_queries_carry_no_spans(self, executor):
+        result = executor.execute(ksp_query(), SparqlOptions())
+        assert result.trace is None

@@ -1,0 +1,288 @@
+"""Distributed trace stitching: deterministic span ids, the Perfetto
+process mapping (router pid 1, shard ``j`` pid ``2 + j``, OS pids as
+metadata), and the end-to-end correlation contract — one query traced
+through a sharded fleet yields ONE merged timeline whose router, shard
+and worker spans all share the caller's trace id.
+"""
+
+import json
+import pathlib
+import urllib.request
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import KSPEngine
+from repro.core.trace import QueryTrace
+from repro.obs.traceexport import (
+    make_traceparent,
+    parse_traceparent,
+    span_id_for,
+    stitch_trace_events,
+    trace_events,
+)
+from repro.shard import ShardRouter, build_shards
+
+from tests.test_serve import request
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+TRACE_ID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+
+# ----------------------------------------------------------------------
+# Outbound header construction
+
+
+class TestSpanIds:
+    def test_span_id_is_deterministic_16_hex(self):
+        first = span_id_for("q-1#shard-0")
+        assert first == span_id_for("q-1#shard-0")
+        assert len(first) == 16
+        assert first != span_id_for("q-1#shard-1")
+        assert set(first) <= set("0123456789abcdef")
+        assert set(first) != {"0"}
+
+    def test_traceparent_roundtrips_through_the_parser(self):
+        header = make_traceparent(TRACE_ID, span_id_for("q-1#shard-2"))
+        assert header.startswith("00-") and header.endswith("-01")
+        assert parse_traceparent(header) == TRACE_ID
+
+
+# ----------------------------------------------------------------------
+# The stitch (pure document surgery; wire-rebuilt traces make it
+# byte-deterministic, which is what the golden file pins)
+
+ROOT_PHASES = {
+    "scatter": {"seconds": 0.002, "count": 1},
+    "merge": {"seconds": 0.001, "count": 3},
+}
+SHARD_PHASES = {
+    "rtree-ascent": {"seconds": 0.001, "count": 2},
+    "tqsp-bfs": {"seconds": 0.0005, "count": 1},
+}
+
+
+def make_stitched():
+    root = trace_events(
+        QueryTrace.from_dict(ROOT_PHASES),
+        request_id="golden-stitch-1",
+        trace_id=TRACE_ID,
+        runtime_seconds=0.004,
+    )
+    # Children deliberately out of label order: the stitch must order
+    # by label so shard-0 always gets pid 2.
+    children = []
+    for index, offset, os_pid in ((1, 0.0003, 40002), (0, 0.0002, 40001)):
+        sub_id = "golden-stitch-1#shard-%d" % index
+        children.append(
+            {
+                "label": "shard-%d" % index,
+                "document": trace_events(
+                    QueryTrace.from_dict(SHARD_PHASES),
+                    request_id=sub_id,
+                    trace_id=TRACE_ID,
+                    runtime_seconds=0.0015,
+                    os_pid=os_pid,
+                ),
+                "offset_seconds": offset,
+                "request_id": sub_id,
+                "os_pid": os_pid,
+            }
+        )
+    return stitch_trace_events(root, children)
+
+
+class TestStitch:
+    def test_logical_pids_are_label_ordered(self):
+        stitched = make_stitched()
+        processes = stitched["otherData"]["processes"]
+        assert [(p["pid"], p["label"]) for p in processes] == [
+            (1, "router"),
+            (2, "shard-0"),
+            (3, "shard-1"),
+        ]
+
+    def test_os_pids_ride_as_metadata_only(self):
+        stitched = make_stitched()
+        processes = stitched["otherData"]["processes"]
+        assert [p["os_pid"] for p in processes] == [None, 40001, 40002]
+        event_pids = {e["pid"] for e in stitched["traceEvents"]}
+        assert event_pids == {1, 2, 3}  # never the OS pids
+
+    def test_process_rows_are_renamed_to_their_identity(self):
+        stitched = make_stitched()
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in stitched["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert names == {1: "router", 2: "shard-0", 3: "shard-1"}
+
+    def test_child_spans_are_shifted_by_dispatch_offset(self):
+        stitched = make_stitched()
+        shard0_spans = [
+            e
+            for e in stitched["traceEvents"]
+            if e["pid"] == 2 and e.get("cat") == "phase"
+        ]
+        # shard-0 dispatched 200us in: its first span starts there.
+        assert min(span["ts"] for span in shard0_spans) == 200
+        meta = [
+            e for e in stitched["traceEvents"] if e.get("ph") == "M"
+        ]
+        assert all("ts" not in e or e["pid"] == 1 for e in meta)
+
+    def test_every_span_carries_the_one_trace_id(self):
+        stitched = make_stitched()
+        assert stitched["otherData"]["trace_id"] == TRACE_ID
+        for event in stitched["traceEvents"]:
+            if event.get("cat") in ("phase", "query"):
+                assert event["args"]["trace_id"] == TRACE_ID
+
+    def test_sub_request_ids_follow_the_shard_convention(self):
+        processes = make_stitched()["otherData"]["processes"]
+        assert processes[0]["request_id"] == "golden-stitch-1"
+        assert processes[1]["request_id"] == "golden-stitch-1#shard-0"
+        assert processes[2]["request_id"] == "golden-stitch-1#shard-1"
+
+    def test_golden_stitched_trace(self):
+        rendered = (
+            json.dumps(make_stitched(), indent=2, sort_keys=True) + "\n"
+        )
+        golden = (GOLDEN_DIR / "trace_stitch_example.json").read_text()
+        assert rendered == golden
+
+    def test_golden_file_is_canonical_json(self):
+        raw = (GOLDEN_DIR / "trace_stitch_example.json").read_text()
+        assert raw == json.dumps(json.loads(raw), indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# End-to-end correlation through a sharded fleet
+
+
+def _place_terms(graph, limit=20):
+    terms = set()
+    for vertex, _ in graph.places():
+        terms.update(graph.document(vertex))
+        if len(terms) >= limit:
+            break
+    return sorted(terms)
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory, tiny_yago_graph):
+    """Three single-engine shard servers behind an HTTP router server."""
+    from repro.serve.server import KSPServer, ServeConfig
+
+    config = EngineConfig(alpha=3)
+    directory = tmp_path_factory.mktemp("stitch-shards")
+    manifest = build_shards(tiny_yago_graph, directory, 3, config=config)
+    servers = []
+    try:
+        for entry in manifest["entries"]:
+            engine = KSPEngine.from_snapshot(directory / entry["snapshot"], config)
+            servers.append(
+                KSPServer(engine=engine, config=ServeConfig(port=0)).start()
+            )
+        router = ShardRouter(
+            directory, config, shard_urls=[server.url for server in servers]
+        )
+        front = KSPServer(engine=router, config=ServeConfig(port=0)).start()
+        try:
+            yield front, servers, tiny_yago_graph
+        finally:
+            front.stop()
+    finally:
+        for server in servers:
+            server.stop()
+
+
+class TestEndToEndCorrelation:
+    def test_one_trace_id_across_router_shards_and_export(self, fleet):
+        front, shard_servers, graph = fleet
+        terms = _place_terms(graph)
+        body = {
+            "location": [2.0, 48.0],
+            "keywords": terms[:2],
+            "k": 3,
+            "method": "sp",
+            "trace": True,
+        }
+        status, wire, _ = request(
+            front.port,
+            "POST",
+            "/v1/query",
+            body=body,
+            headers={
+                "X-Request-Id": "stitch-e2e-1",
+                "traceparent": make_traceparent(TRACE_ID, "00f067aa0ba902b7"),
+            },
+        )
+        assert status == 200
+
+        # 1. The router wire response carries the caller's trace id and
+        #    a stitched trace_events document.
+        assert wire["request_id"] == "stitch-e2e-1"
+        assert wire["trace_id"] == TRACE_ID
+        document = wire["trace_events"]
+        assert document["otherData"]["trace_id"] == TRACE_ID
+
+        # 2. The merged timeline contains router AND shard processes,
+        #    each attributed to an OS pid.
+        processes = document["otherData"]["processes"]
+        labels = [p["label"] for p in processes]
+        assert labels[0] == "router"
+        executed = [
+            s for s in wire["stats"]["shards"] if not s["pruned"]
+        ]
+        assert len(labels) == 1 + len(executed)
+        assert all(p["os_pid"] is not None for p in processes[1:])
+        pids_in_events = {e["pid"] for e in document["traceEvents"]}
+        assert pids_in_events == {p["pid"] for p in processes}
+        assert len(pids_in_events) >= 2
+
+        # 3. Per-shard request ids follow the '#shard-j' convention and
+        #    appear in the router's own stats.
+        for process in processes[1:]:
+            assert process["request_id"].startswith("stitch-e2e-1#shard-")
+        stats_ids = {
+            s["request_id"]
+            for s in wire["stats"]["shards"]
+            if s.get("request_id")
+        }
+        assert {p["request_id"] for p in processes[1:]} <= stats_ids
+
+        # 4. Every shard server's flight recorder saw the same trace id
+        #    under the sub-request id.
+        correlated = 0
+        for server in shard_servers:
+            with urllib.request.urlopen(
+                server.url + "/v1/debug/queries", timeout=10
+            ) as response:
+                debug = json.loads(response.read().decode("utf-8"))
+            for entry in debug["queries"]:
+                if str(entry.get("request_id", "")).startswith(
+                    "stitch-e2e-1#shard-"
+                ):
+                    assert entry["trace_id"] == TRACE_ID
+                    assert entry["pid"] is not None
+                    correlated += 1
+        assert correlated == len(executed)
+
+    def test_untraced_queries_carry_no_trace_document(self, fleet):
+        front, _, graph = fleet
+        terms = _place_terms(graph)
+        status, wire, _ = request(
+            front.port,
+            "POST",
+            "/v1/query",
+            body={
+                "location": [2.0, 48.0],
+                "keywords": terms[:2],
+                "k": 2,
+                "method": "sp",
+            },
+        )
+        assert status == 200
+        assert "trace_events" not in wire
